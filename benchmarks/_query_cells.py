@@ -1,0 +1,13 @@
+"""Shared helper for the per-query table benchmarks (Tables 5-9)."""
+
+from __future__ import annotations
+
+from repro.workload import bind_params
+
+
+def run_query_cell(benchmark, loaded_engines, cell, qid: str):
+    """Benchmark one (engine, class, scale) cell of a query table."""
+    engine_key, class_key, scale = cell
+    engine, scenario = loaded_engines(engine_key, class_key, scale)
+    params = bind_params(qid, class_key, scenario.units)
+    return benchmark(engine.execute, qid, params)

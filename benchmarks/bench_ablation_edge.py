@@ -1,0 +1,64 @@
+"""Ablation — shredding granularity: DAD mapping vs. interval encoding.
+
+DESIGN.md design decision #2: schema-specific shredding (Xcollection's
+DAD tables) against the schema-agnostic edge/interval table.  The edge
+table wins on mapping effort (one loader for every class, no DAD) and
+loses on query cost (one self-join per path step instead of direct
+column access); this bench quantifies both sides on the experiment
+queries at the large scale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.indexes import indexes_for
+from repro.engines.edge import EdgeEngine
+from repro.workload import bind_params
+
+from ._support import ENGINES_BY_KEY
+
+CONTENDERS = {"xcollection": ENGINES_BY_KEY["xcollection"],
+              "edge": EdgeEngine}
+QIDS = ("Q5", "Q8", "Q14", "Q17")
+CLASSES = ("dcmd", "tcmd")     # classes Xcollection supports at scale
+
+
+@pytest.fixture(scope="module")
+def contender_engines(xbench):
+    cache = {}
+
+    def get(engine_key: str, class_key: str):
+        key = (engine_key, class_key)
+        if key not in cache:
+            scenario = xbench.corpus.scenario(class_key, "large")
+            engine = CONTENDERS[engine_key]()
+            engine.timed_load(scenario.db_class, scenario.texts)
+            engine.create_indexes(list(indexes_for(class_key)))
+            cache[key] = (engine, scenario)
+        return cache[key]
+
+    return get
+
+
+@pytest.mark.parametrize("qid", QIDS)
+@pytest.mark.parametrize("class_key", CLASSES)
+@pytest.mark.parametrize("engine_key", sorted(CONTENDERS))
+def test_granularity_ablation(benchmark, contender_engines, engine_key,
+                              class_key, qid):
+    engine, scenario = contender_engines(engine_key, class_key)
+    params = bind_params(qid, class_key, scenario.units)
+    benchmark(engine.execute, qid, params)
+
+
+@pytest.mark.parametrize("class_key", CLASSES)
+@pytest.mark.parametrize("engine_key", sorted(CONTENDERS))
+def test_granularity_load(benchmark, xbench, engine_key, class_key):
+    scenario = xbench.corpus.scenario(class_key, "normal")
+
+    def load():
+        engine = CONTENDERS[engine_key]()
+        return engine.timed_load(scenario.db_class, scenario.texts)
+
+    stats = benchmark.pedantic(load, rounds=2, iterations=1)
+    assert stats.documents == len(scenario.texts)

@@ -1,0 +1,44 @@
+"""Ablation — the Table 3 value indexes vs. sequential scans.
+
+The paper measures every query "with no indexes (i.e., sequential scan)
+to form a baseline, and with indexes", but only tabulates the indexed
+times.  This bench reports both sides for the point queries (Q5, Q8) on
+the classes where Table 3 defines an index, quantifying design decision
+#1 of DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.indexes import indexes_for
+from repro.workload import bind_params
+
+from ._support import ENGINES_BY_KEY, cell_id, supported_cells
+
+# Point queries on their indexed classes; larger scale = bigger effect.
+ABLATION_CELLS = [cell for cell in supported_cells()
+                  if cell[2] == "large"]
+QIDS = ("Q5", "Q8")
+
+
+def _load(xbench, engine_key, class_key, scale, with_indexes):
+    engine = ENGINES_BY_KEY[engine_key]()
+    scenario = xbench.corpus.scenario(class_key, scale)
+    engine.timed_load(scenario.db_class, scenario.texts)
+    if with_indexes:
+        engine.create_indexes(list(indexes_for(class_key)))
+    return engine, scenario
+
+
+@pytest.mark.parametrize("qid", QIDS)
+@pytest.mark.parametrize("cell", ABLATION_CELLS,
+                         ids=[cell_id(c) for c in ABLATION_CELLS])
+@pytest.mark.parametrize("indexed", [True, False],
+                         ids=["indexed", "scan"])
+def test_index_ablation(benchmark, xbench, cell, qid, indexed):
+    engine_key, class_key, scale = cell
+    engine, scenario = _load(xbench, engine_key, class_key, scale,
+                             indexed)
+    params = bind_params(qid, class_key, scenario.units)
+    benchmark(engine.execute, qid, params)

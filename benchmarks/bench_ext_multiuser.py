@@ -1,0 +1,38 @@
+"""Extension — multi-user throughput (toward planned extension #1).
+
+XBench 1.0 is single-user; the paper's roadmap includes multi-user /
+distributed support (the dimension XMach-1 covers).  This bench drives N
+client streams of the experiment-query mix against each engine and
+reports aggregate throughput — the paper's Xqps-style metric on one
+machine.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.indexes import indexes_for
+from repro.core.multiuser import run_multi_user
+
+from ._support import ENGINES_BY_KEY
+
+ENGINE_KEYS = ("native", "xcolumn", "xcollection", "sqlserver")
+STREAM_COUNTS = (1, 4)
+
+
+@pytest.mark.parametrize("streams", STREAM_COUNTS,
+                         ids=[f"{n}streams" for n in STREAM_COUNTS])
+@pytest.mark.parametrize("engine_key", ENGINE_KEYS)
+def test_multiuser_throughput(benchmark, xbench, loaded_engines,
+                              engine_key, streams):
+    engine, scenario = loaded_engines(engine_key, "dcmd", "normal")
+
+    def run():
+        return run_multi_user(engine, "dcmd", scenario.units,
+                              streams=streams, queries_per_stream=10,
+                              mode="interleaved")
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.total_queries == streams * 10
+    print(f"\n{engine_key}/{streams} streams: "
+          f"{result.throughput_qps:.0f} q/s")

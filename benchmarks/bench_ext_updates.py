@@ -1,0 +1,53 @@
+"""Extension — update workload (the paper's planned extension #2).
+
+XBench 1.0 measures only queries and bulk loading; the paper lists
+"update workloads" as the first planned extension.  This bench measures
+the three natural multi-document update operations per engine:
+
+* **insert** — a new document arrives (parse + shred / side-table
+  extraction / tree attach, with incremental index maintenance);
+* **update** — a value inside an existing document changes (an order's
+  status): an indexed row update for the shredders, a whole-CLOB rewrite
+  for Xcolumn, an in-place tree edit for the native engine;
+* **delete** — a document is archived (multi-table DELETE vs. tree
+  detach).
+
+Expected shape: the native engine wins inserts (no mapping work) but the
+shredders win value updates (one indexed row vs. Xcolumn's full-document
+rewrite).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.indexes import indexes_for
+from repro.workload.updates import make_update_stream, run_update_stream
+
+from ._support import ENGINES_BY_KEY
+
+ENGINE_KEYS = ("native", "xcolumn", "xcollection", "sqlserver")
+CLASS_KEYS = ("dcmd", "tcmd")
+
+
+@pytest.mark.parametrize("class_key", CLASS_KEYS)
+@pytest.mark.parametrize("engine_key", ENGINE_KEYS)
+def test_update_stream(benchmark, xbench, engine_key, class_key):
+    scenario = xbench.corpus.scenario(class_key, "normal")
+    stream = make_update_stream(class_key, scenario.units, count=30,
+                                seed=11)
+
+    def setup():
+        engine = ENGINES_BY_KEY[engine_key]()
+        engine.timed_load(scenario.db_class, scenario.texts)
+        engine.create_indexes(list(indexes_for(class_key)))
+        return (engine,), {}
+
+    def run(engine):
+        return run_update_stream(engine, class_key, stream)
+
+    stats = benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)
+    assert sum(stats.counts.values()) == 30
+    summary = ", ".join(f"{kind}={stats.mean_ms(kind):.3f}ms"
+                        for kind in sorted(stats.counts))
+    print(f"\n{engine_key}/{class_key}: {summary}")

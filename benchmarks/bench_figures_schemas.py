@@ -1,0 +1,24 @@
+"""Figures 1-4 — the schema diagrams of the four database classes.
+
+The paper's figures are visual schema diagrams; this bench regenerates
+them as ASCII trees from the same schema descriptions that drive the
+generator and the shredding mappings (so the figures cannot drift from
+the implementation), printing each one.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.diagrams import FIGURES, render_figure
+
+
+@pytest.mark.parametrize("number", sorted(FIGURES),
+                         ids=[f"figure{n}" for n in sorted(FIGURES)])
+def test_render_figure(benchmark, number):
+    diagram = benchmark(render_figure, number)
+    print("\n" + diagram)
+    class_key, caption = FIGURES[number]
+    assert caption in diagram
+    # every figure shows at least one mandatory and one optional type
+    assert "[" in diagram and "(" in diagram

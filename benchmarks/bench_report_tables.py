@@ -1,0 +1,35 @@
+"""The paper-layout report: Tables 4-9 printed exactly as published.
+
+This is the harness that regenerates the paper's result tables in one
+shot — rows are the four systems, columns DC/SD | DC/MD | TC/SD | TC/MD
+split into Small/Normal/Large, ``-`` for unrunnable configurations and
+``*`` for results that disagree with the native correctness oracle.
+
+The measured operation is the complete suite (all loads + all queries);
+the printed output is what EXPERIMENTS.md quotes.
+"""
+
+from __future__ import annotations
+
+from repro.core import XBench, format_suite
+from repro.core.report import shape_summary
+
+from ._support import benchmark_config
+
+
+def test_full_suite_report(benchmark):
+    def run():
+        bench = XBench(benchmark_config())
+        return bench.run_suite()
+
+    suite = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n" + format_suite(suite))
+    print()
+    for line in shape_summary(suite):
+        print("shape:", line)
+
+    # Structural assertions on the published table layout.
+    assert suite.load.cells[("Xcolumn", "dcsd", "large")].seconds is None
+    assert suite.load.cells[("X-Hive", "dcmd", "large")].seconds \
+        is not None
+    assert set(suite.queries) == {"Q5", "Q8", "Q12", "Q14", "Q17"}

@@ -1,0 +1,66 @@
+"""Table 2 — statistics of the analyzed text-centric corpora.
+
+The paper's Table 2 reports file counts, file-size ranges and data sizes
+of the real corpora (GCIDE, OED, Reuters, Springer), which are
+proprietary.  This bench runs the same Section 2.1.1 analysis over this
+package's generated TC corpora and prints the equivalent rows; the
+benchmark measures the analyzer itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.stats import analyze_corpus, format_table2
+
+from ._support import benchmark_config
+
+
+@pytest.fixture(scope="module")
+def tc_corpora(xbench):
+    return {
+        "dictionary": xbench.corpus.scenario("tcsd", "normal"),
+        "articles": xbench.corpus.scenario("tcmd", "normal"),
+    }
+
+
+def test_analyze_tc_corpora(benchmark, tc_corpora):
+    def analyze():
+        rows = []
+        for source, scenario in tc_corpora.items():
+            documents = scenario.db_class.generate(scenario.units,
+                                                   seed=42)
+            sizes = [len(text) for __, text in scenario.texts]
+            rows.append(analyze_corpus(documents, source=source,
+                                       sizes=sizes))
+        return rows
+
+    rows = benchmark.pedantic(analyze, rounds=2, iterations=1)
+    table = format_table2(rows)
+    print("\n" + table)
+    assert "dictionary" in table
+    # text-centric corpora must actually be text-dominated
+    assert all(stats.text_ratio() > 0.3 for stats in rows)
+
+
+def test_distribution_fitting(benchmark, tc_corpora):
+    """The fitting half of Section 2.1.1: fit occurrence distributions."""
+    from repro.stats import best_fit
+    scenario = tc_corpora["dictionary"]
+    documents = scenario.db_class.generate(scenario.units, seed=42)
+    stats = analyze_corpus(documents, sizes=[0])
+
+    def fit_all():
+        fits = {}
+        for pair in stats.parent_child_pairs():
+            samples = [float(v)
+                       for v in stats.occurrence_samples(*pair)]
+            if len(samples) >= 10:
+                fits[pair] = best_fit(samples)
+        return fits
+
+    fits = benchmark.pedantic(fit_all, rounds=2, iterations=1)
+    assert fits, "expected at least one fitted distribution"
+    print("\nFitted occurrence distributions (dictionary):")
+    for (parent, child), fit in sorted(fits.items()):
+        print(f"  {parent}/{child}: {fit}")

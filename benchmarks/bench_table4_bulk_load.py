@@ -1,0 +1,30 @@
+"""Table 4 — bulk loading time.
+
+One benchmark per supported (engine, class, scale) cell: a fresh engine
+instance bulk-loads the serialized corpus (parse + shred/side-table
+extraction + automatic key indexes, per architecture).  The paper's
+finding: the relational engines pay mapping overhead everywhere, DC/MD is
+the slowest class per byte because its document count dominates, and the
+native engine is fastest across the board.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from ._support import ENGINES_BY_KEY, cell_id, supported_cells
+
+CELLS = supported_cells()
+
+
+@pytest.mark.parametrize("cell", CELLS, ids=[cell_id(c) for c in CELLS])
+def test_bulk_load(benchmark, xbench, cell):
+    engine_key, class_key, scale = cell
+    scenario = xbench.corpus.scenario(class_key, scale)
+
+    def load():
+        engine = ENGINES_BY_KEY[engine_key]()
+        return engine.timed_load(scenario.db_class, scenario.texts)
+
+    stats = benchmark.pedantic(load, rounds=2, iterations=1)
+    assert stats.documents == len(scenario.texts)

@@ -1,0 +1,16 @@
+"""Table 5 — query Q5: ordered access (absolute): return the first order line of order X; the paper's Table 5. Shredded engines answer via indexed key lookups, Xcolumn via dxx_seqno side-table rows, the native engine by evaluating XQuery (iterating the whole collection on multi-document classes - its measured weakness)."""
+
+from __future__ import annotations
+
+import pytest
+
+from ._query_cells import run_query_cell
+from ._support import cell_id, supported_cells
+
+QID = "Q5"
+CELLS = supported_cells()
+
+
+@pytest.mark.parametrize("cell", CELLS, ids=[cell_id(c) for c in CELLS])
+def test_q5(benchmark, loaded_engines, cell):
+    run_query_cell(benchmark, loaded_engines, cell, QID)

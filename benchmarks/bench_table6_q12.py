@@ -1,0 +1,16 @@
+"""Table 6 — query Q12: document construction: rebuild the mailing address / credit card / definition fragment. The shredders must reconstruct structure from joined rows (and lose mixed-content markup - starred cells); Xcolumn parses the intact CLOB and is always correct; the native engine copies subtrees directly."""
+
+from __future__ import annotations
+
+import pytest
+
+from ._query_cells import run_query_cell
+from ._support import cell_id, supported_cells
+
+QID = "Q12"
+CELLS = supported_cells()
+
+
+@pytest.mark.parametrize("cell", CELLS, ids=[cell_id(c) for c in CELLS])
+def test_q12(benchmark, loaded_engines, cell):
+    run_query_cell(benchmark, loaded_engines, cell, QID)

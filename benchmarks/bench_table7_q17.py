@@ -1,0 +1,16 @@
+"""Table 7 — query Q17: uni-gram text search. No engine has a full-text index (Section 3.2.2): the relational engines LIKE-scan every text column, Xcolumn scans its side tables, the native engine walks every text node; all grow with database size."""
+
+from __future__ import annotations
+
+import pytest
+
+from ._query_cells import run_query_cell
+from ._support import cell_id, supported_cells
+
+QID = "Q17"
+CELLS = supported_cells()
+
+
+@pytest.mark.parametrize("cell", CELLS, ids=[cell_id(c) for c in CELLS])
+def test_q17(benchmark, loaded_engines, cell):
+    run_query_cell(benchmark, loaded_engines, cell, QID)

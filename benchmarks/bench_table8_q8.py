@@ -1,0 +1,16 @@
+"""Table 8 — query Q8: path expression with one unknown element. For the relational engines the unknown step disappears during mapping ('no real path expressions are actually involved'); the native engine evaluates the wildcard step."""
+
+from __future__ import annotations
+
+import pytest
+
+from ._query_cells import run_query_cell
+from ._support import cell_id, supported_cells
+
+QID = "Q8"
+CELLS = supported_cells()
+
+
+@pytest.mark.parametrize("cell", CELLS, ids=[cell_id(c) for c in CELLS])
+def test_q8(benchmark, loaded_engines, cell):
+    run_query_cell(benchmark, loaded_engines, cell, QID)

@@ -1,0 +1,16 @@
+"""Table 9 — query Q14: irregular data - missing elements. No index covers the missing element, so every engine scans; relational table scans are compact, the native engine walks trees; times grow with size everywhere."""
+
+from __future__ import annotations
+
+import pytest
+
+from ._query_cells import run_query_cell
+from ._support import cell_id, supported_cells
+
+QID = "Q14"
+CELLS = supported_cells()
+
+
+@pytest.mark.parametrize("cell", CELLS, ids=[cell_id(c) for c in CELLS])
+def test_q14(benchmark, loaded_engines, cell):
+    run_query_cell(benchmark, loaded_engines, cell, QID)

@@ -1,0 +1,45 @@
+"""Shared benchmark fixtures.
+
+The benchmark scale is controlled by the ``XBENCH_DIVISOR`` environment
+variable (default 2000): the paper's 10 MB / 100 MB / 1 GB budgets are
+divided by it, preserving the 1:10:100 ratios.  Lower values give larger
+databases and better resolution at the cost of runtime.
+
+Engines are loaded once per (engine, class, scale) cell and cached for
+the whole session, mirroring the paper's per-scenario database instances;
+the bulk-load benchmarks construct fresh engines because loading *is*
+their measured operation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import XBench
+from repro.core.indexes import indexes_for
+
+from ._support import ENGINES_BY_KEY, benchmark_config
+
+
+@pytest.fixture(scope="session")
+def xbench() -> XBench:
+    return XBench(benchmark_config())
+
+
+@pytest.fixture(scope="session")
+def loaded_engines(xbench):
+    """Cache of loaded, indexed engines keyed by benchmark cell."""
+    cache: dict[tuple[str, str, str], object] = {}
+
+    def get(engine_key: str, class_key: str, scale: str):
+        key = (engine_key, class_key, scale)
+        if key not in cache:
+            engine = ENGINES_BY_KEY[engine_key]()
+            scenario = xbench.corpus.scenario(class_key, scale)
+            engine.check_supported(scenario.db_class, scale)
+            engine.timed_load(scenario.db_class, scenario.texts)
+            engine.create_indexes(list(indexes_for(class_key)))
+            cache[key] = (engine, scenario)
+        return cache[key]
+
+    return get

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Quickstart: generate an XBench database, query it, run a mini benchmark.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import BenchmarkConfig, XBench, format_suite
+from repro.databases import CLASSES_BY_KEY
+from repro.engines import NativeEngine
+from repro.xml.serializer import serialize
+
+# ---------------------------------------------------------------------------
+# 1. The XBench family: four database classes (paper Table 1).
+# ---------------------------------------------------------------------------
+print("XBench database classes")
+print("-----------------------")
+print(f"{'':8}{'SD':<28}{'MD'}")
+print(f"{'TC':<8}{'Online dictionaries':<28}News corpus, digital libraries")
+print(f"{'DC':<8}{'E-commerce catalogs':<28}Transactional data")
+print()
+
+# ---------------------------------------------------------------------------
+# 2. Generate a small DC/SD catalog and inspect it.
+# ---------------------------------------------------------------------------
+dcsd = CLASSES_BY_KEY["dcsd"]
+documents = dcsd.generate(units=50, seed=42)
+catalog = documents[0]
+print(f"generated {catalog.name}: "
+      f"{len(serialize(catalog)) / 1024:.1f} KB, "
+      f"{len(list(catalog.root_element.child_elements('item')))} items")
+
+# ---------------------------------------------------------------------------
+# 3. Load it into the native engine and run real XQuery.
+# ---------------------------------------------------------------------------
+engine = NativeEngine()
+engine.timed_load(dcsd, [(doc.name, serialize(doc)) for doc in documents])
+
+cheap_titles = engine.run_xquery(
+    "for $i in /catalog/item "
+    "where xs:decimal($i/pricing/suggested_retail_price) < 20 "
+    "order by $i/title return string($i/title)")
+print(f"\nitems under $20: {len(cheap_titles)}")
+for title in cheap_titles[:5]:
+    print(f"  - {title}")
+
+count_by_subject = engine.run_xquery(
+    "for $s in distinct-values(/catalog/item/subject) order by $s "
+    "return concat($s, ': ', count(/catalog/item[subject = $s]))")
+print("\nitems per subject:")
+for line in count_by_subject:
+    print(f"  {line}")
+
+# ---------------------------------------------------------------------------
+# 4. A one-scale benchmark run across all four engines.
+# ---------------------------------------------------------------------------
+print("\nRunning the benchmark suite at tiny scale "
+      "(divisor 5000; see benchmarks/ for the real runs)...")
+bench = XBench(BenchmarkConfig(scale_divisor=5000,
+                               scale_names=("small",)))
+suite = bench.run_suite()
+print()
+print(format_suite(suite, scale_names=("small",)))

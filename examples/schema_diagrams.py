@@ -1,0 +1,24 @@
+#!/usr/bin/env python
+"""Regenerate the paper's Figures 1-4: the four schema diagrams.
+
+Mandatory element types print as ``[name]`` (solid boxes in the paper),
+optional ones as ``(name)`` (dotted boxes); ``*`` marks repeatable types,
+``~`` mixed content, ``@x`` attributes.
+
+Run:  python examples/schema_diagrams.py
+"""
+
+from __future__ import annotations
+
+from repro import render_all_figures
+from repro.databases import CLASSES_BY_KEY
+
+print(render_all_figures())
+
+print("\nSchema complexity summary")
+print("-------------------------")
+print(f"{'class':<8}{'element types':>15}{'max depth':>12}")
+for key, db_class in CLASSES_BY_KEY.items():
+    schema = db_class.schema()
+    print(f"{db_class.label:<8}{schema.element_count():>15}"
+          f"{schema.max_depth():>12}")

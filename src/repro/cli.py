@@ -1,0 +1,361 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``figures``   print the paper's Figures 1-4 (schema diagrams)
+``suite``     run the full benchmark and print Tables 4-9
+``generate``  write a database class's corpus to disk
+``query``     run one workload query on one engine and print results
+``path``      run an arbitrary path query via structural joins
+``schema``    print a class's schema as diagram, DTD or XSD
+``stats``     analyze a generated corpus (Table 2-style + fits)
+``verify``    cross-check every engine against the native oracle
+``workload``  list the 20 query types and their class applicability
+``updates``   run the update-workload extension on one engine
+``multiuser`` multi-user throughput harness
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core.benchmark import BenchmarkConfig, CorpusCache, XBench
+from .core.diagrams import render_all_figures
+from .core.indexes import indexes_for
+from .core.report import format_suite
+from .databases import CLASSES_BY_KEY
+from .engines import make_engines
+from .errors import ReproError
+from .workload import ALL_QUERIES, bind_params
+from .workload.queries import QUERIES_BY_ID
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="XBench: a family of XML DBMS benchmarks "
+                    "(ICDE 2004 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("figures", help="print Figures 1-4")
+
+    suite = sub.add_parser("suite", help="run Tables 4-9")
+    suite.add_argument("--divisor", type=int, default=1000,
+                       help="scale divisor over the paper's byte "
+                            "budgets (default 1000)")
+    suite.add_argument("--scales", default="small,normal,large")
+    suite.add_argument("--classes", default="dcsd,dcmd,tcsd,tcmd")
+    suite.add_argument("--no-indexes", action="store_true",
+                       help="skip the Table 3 value indexes "
+                            "(sequential-scan baseline)")
+    suite.add_argument("--format", default="tables",
+                       choices=["tables", "csv", "json"])
+
+    generate = sub.add_parser("generate", help="write a corpus to disk")
+    generate.add_argument("class_key", choices=sorted(CLASSES_BY_KEY))
+    generate.add_argument("--units", type=int, default=100)
+    generate.add_argument("--out", default="xbench_corpus")
+    generate.add_argument("--seed", type=int, default=42)
+
+    query = sub.add_parser("query", help="run one workload query")
+    query.add_argument("qid", help="query id, e.g. Q5")
+    query.add_argument("class_key", choices=sorted(CLASSES_BY_KEY))
+    query.add_argument("--engine", default="native",
+                       choices=["native", "xcolumn", "xcollection",
+                                "sqlserver"])
+    query.add_argument("--units", type=int, default=50)
+    query.add_argument("--seed", type=int, default=42)
+    query.add_argument("--limit", type=int, default=10,
+                       help="max result items to print")
+
+    stats = sub.add_parser("stats", help="analyze a generated corpus")
+    stats.add_argument("class_key", choices=sorted(CLASSES_BY_KEY))
+    stats.add_argument("--units", type=int, default=100)
+    stats.add_argument("--seed", type=int, default=42)
+
+    workload = sub.add_parser("workload",
+                              help="list the 20 query types")
+    workload.add_argument("--full", action="store_true",
+                          help="include descriptions and per-class "
+                               "XQuery text")
+
+    schema = sub.add_parser(
+        "schema", help="print a class's schema (diagram, DTD or XSD)")
+    schema.add_argument("class_key", choices=sorted(CLASSES_BY_KEY))
+    schema.add_argument("--format", default="diagram",
+                        choices=["diagram", "dtd", "xsd"])
+
+    verify = sub.add_parser(
+        "verify", help="cross-check every engine against the native "
+                       "oracle")
+    verify.add_argument("class_key", nargs="?", default=None,
+                        choices=sorted(CLASSES_BY_KEY))
+    verify.add_argument("--divisor", type=int, default=2000)
+    verify.add_argument("--scale", default="small")
+
+    updates = sub.add_parser("updates",
+                             help="run the update-workload extension")
+    updates.add_argument("class_key", choices=["dcmd", "tcmd"])
+    updates.add_argument("--engine", default="native",
+                         choices=["native", "xcolumn", "xcollection",
+                                  "sqlserver"])
+    updates.add_argument("--units", type=int, default=60)
+    updates.add_argument("--count", type=int, default=30)
+
+    path = sub.add_parser(
+        "path", help="run an arbitrary path query via structural "
+                     "joins (edge store)")
+    path.add_argument("class_key", choices=sorted(CLASSES_BY_KEY))
+    path.add_argument("expression",
+                      help="pure path query, e.g. "
+                           "\"/dictionary/entry[hw = 'word_1']/pos\"")
+    path.add_argument("--units", type=int, default=50)
+    path.add_argument("--limit", type=int, default=10)
+
+    multiuser = sub.add_parser(
+        "multiuser", help="multi-user throughput (extension)")
+    multiuser.add_argument("class_key",
+                           choices=sorted(CLASSES_BY_KEY))
+    multiuser.add_argument("--engine", default="native",
+                           choices=["native", "xcolumn", "xcollection",
+                                    "sqlserver"])
+    multiuser.add_argument("--streams", type=int, default=4)
+    multiuser.add_argument("--queries", type=int, default=20)
+    multiuser.add_argument("--units", type=int, default=60)
+    multiuser.add_argument("--mode", default="threads",
+                           choices=["threads", "interleaved"])
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # Output piped into head/less that closed early: normal exit.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    if args.command == "figures":
+        print(render_all_figures())
+    elif args.command == "suite":
+        return _cmd_suite(args)
+    elif args.command == "generate":
+        return _cmd_generate(args)
+    elif args.command == "query":
+        return _cmd_query(args)
+    elif args.command == "stats":
+        return _cmd_stats(args)
+    elif args.command == "workload":
+        return _cmd_workload(args)
+    elif args.command == "updates":
+        return _cmd_updates(args)
+    elif args.command == "verify":
+        return _cmd_verify(args)
+    elif args.command == "schema":
+        return _cmd_schema(args)
+    elif args.command == "multiuser":
+        return _cmd_multiuser(args)
+    elif args.command == "path":
+        return _cmd_path(args)
+    return 0
+
+
+def _cmd_path(args: argparse.Namespace) -> int:
+    import time
+    from .engines.edge import EdgeEngine
+    from .xml.serializer import serialize
+    db_class = CLASSES_BY_KEY[args.class_key]
+    engine = EdgeEngine()
+    documents = db_class.generate(args.units, seed=42)
+    engine.timed_load(db_class,
+                      [(d.name, serialize(d)) for d in documents])
+    start = time.perf_counter()
+    values = engine.run_path(args.expression)
+    elapsed = (time.perf_counter() - start) * 1000
+    print(f"{len(values)} item(s) in {elapsed:.2f} ms "
+          f"(structural joins over the interval table)")
+    for value in values[:args.limit]:
+        preview = value if len(value) <= 100 else value[:97] + "..."
+        print(f"  {preview}")
+    if len(values) > args.limit:
+        print(f"  ... {len(values) - args.limit} more")
+    return 0
+
+
+def _cmd_multiuser(args: argparse.Namespace) -> int:
+    from .core.multiuser import run_multi_user
+    engine = _load_engine(args.engine, args.class_key, args.units, 42)
+    result = run_multi_user(engine, args.class_key, args.units,
+                            streams=args.streams,
+                            queries_per_stream=args.queries,
+                            mode=args.mode)
+    print(result.summary())
+    return 0
+
+
+def _cmd_schema(args: argparse.Namespace) -> int:
+    from .xml.schema import render_diagram
+    from .xml.schema_export import to_dtd, to_xsd
+    db_class = CLASSES_BY_KEY[args.class_key]
+    schema = db_class.schema()
+    if args.format == "dtd":
+        print(to_dtd(schema), end="")
+    elif args.format == "xsd":
+        print(to_xsd(schema), end="")
+    else:
+        print(render_diagram(schema, db_class.label))
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from .core.verification import verify_scenario
+    bench = XBench(BenchmarkConfig(scale_divisor=args.divisor))
+    class_keys = ([args.class_key] if args.class_key
+                  else sorted(CLASSES_BY_KEY))
+    mismatches = 0
+    for class_key in class_keys:
+        report = verify_scenario(bench, class_key, args.scale)
+        print(report.format())
+        print()
+        mismatches += len(report.mismatches())
+    print(f"{mismatches} cell(s) differ from the native oracle "
+          "(expected: the paper's documented mapping infidelities)")
+    return 0
+
+
+def _cmd_suite(args: argparse.Namespace) -> int:
+    scales = tuple(args.scales.split(","))
+    config = BenchmarkConfig(scale_divisor=args.divisor,
+                             scale_names=scales,
+                             class_keys=tuple(args.classes.split(",")),
+                             with_indexes=not args.no_indexes)
+    suite = XBench(config).run_suite()
+    if args.format == "csv":
+        from .core.report import format_csv
+        print(format_csv(suite))
+    elif args.format == "json":
+        from .core.report import format_json
+        print(format_json(suite))
+    else:
+        print(format_suite(suite, scale_names=scales))
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    import pathlib
+    from .xml.serializer import serialize
+    db_class = CLASSES_BY_KEY[args.class_key]
+    directory = pathlib.Path(args.out) / args.class_key
+    directory.mkdir(parents=True, exist_ok=True)
+    total = 0
+    documents = db_class.generate(args.units, seed=args.seed)
+    for document in documents:
+        text = serialize(document)
+        (directory / document.name).write_text(
+            '<?xml version="1.0" encoding="UTF-8"?>' + text,
+            encoding="utf-8")
+        total += len(text)
+    print(f"wrote {len(documents)} document(s), {total / 1024:.0f} KB "
+          f"to {directory}")
+    return 0
+
+
+def _load_engine(engine_key: str, class_key: str, units: int,
+                 seed: int):
+    from .xml.serializer import serialize
+    db_class = CLASSES_BY_KEY[class_key]
+    engine = next(e for e in make_engines() if e.key == engine_key)
+    engine.check_supported(db_class, "small")
+    documents = db_class.generate(units, seed=seed)
+    engine.timed_load(db_class,
+                      [(d.name, serialize(d)) for d in documents])
+    engine.create_indexes(list(indexes_for(class_key)))
+    return engine
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    qid = args.qid.upper()
+    query = QUERIES_BY_ID.get(qid)
+    if query is None or not query.applies_to(args.class_key):
+        print(f"error: {qid} is not defined for {args.class_key}",
+              file=sys.stderr)
+        return 1
+    engine = _load_engine(args.engine, args.class_key, args.units,
+                          args.seed)
+    params = bind_params(qid, args.class_key, args.units)
+    outcome = engine.timed_execute(qid, params)
+    print(f"{qid} on {args.class_key} via {engine.row_label}: "
+          f"{len(outcome.values)} item(s) in "
+          f"{outcome.seconds * 1000:.2f} ms")
+    print(f"  query: {query.text_for(args.class_key)}")
+    print(f"  params: {params}")
+    for value in outcome.values[:args.limit]:
+        preview = value if len(value) <= 100 else value[:97] + "..."
+        print(f"  {preview}")
+    if len(outcome.values) > args.limit:
+        print(f"  ... {len(outcome.values) - args.limit} more")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from .stats import analyze_corpus, best_fit, format_table2
+    db_class = CLASSES_BY_KEY[args.class_key]
+    documents = db_class.generate(args.units, seed=args.seed)
+    stats = analyze_corpus(documents, source=db_class.label)
+    print(format_table2([stats]))
+    print(f"\nelement types: {stats.distinct_element_types}, "
+          f"elements: {stats.total_elements}, "
+          f"max depth: {stats.max_depth}, "
+          f"text ratio: {stats.text_ratio():.2f}, "
+          f"mixed types: {sorted(stats.mixed_tags) or 'none'}")
+    print("\nchild-occurrence fits:")
+    for pair in stats.parent_child_pairs():
+        samples = [float(v) for v in stats.occurrence_samples(*pair)]
+        if len(samples) >= 10:
+            print(f"  {pair[0]}/{pair[1]}: {best_fit(samples)}")
+    return 0
+
+
+def _cmd_workload(args: argparse.Namespace) -> int:
+    if not args.full:
+        print(f"{'id':<5}{'functionality':<45}{'classes'}")
+        for query in ALL_QUERIES:
+            classes = ",".join(sorted(query.xquery))
+            print(f"{query.qid:<5}{query.functionality:<45}{classes}")
+        return 0
+    for query in ALL_QUERIES:
+        print(f"{query.qid} - {query.functionality}")
+        print(f"  {query.description}")
+        print(f"  canonical class: {query.canonical_class}")
+        for class_key in sorted(query.xquery):
+            print(f"  [{class_key}] {query.text_for(class_key)}")
+        print()
+    return 0
+
+
+def _cmd_updates(args: argparse.Namespace) -> int:
+    from .workload.updates import make_update_stream, run_update_stream
+    engine = _load_engine(args.engine, args.class_key, args.units, 42)
+    stream = make_update_stream(args.class_key, args.units,
+                                count=args.count)
+    stats = run_update_stream(engine, args.class_key, stream)
+    print(f"update stream on {args.class_key} via {engine.row_label}:")
+    for kind in sorted(stats.counts):
+        print(f"  {kind:<8}{stats.counts[kind]:>4} ops, "
+              f"mean {stats.mean_ms(kind):8.3f} ms")
+    return 0
+
+
+if __name__ == "__main__":          # pragma: no cover
+    sys.exit(main())

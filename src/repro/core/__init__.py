@@ -1,0 +1,34 @@
+"""XBench core: the benchmark driver, experiments, reporting, figures."""
+
+from .benchmark import (
+    BenchmarkConfig,
+    Cell,
+    CorpusCache,
+    ExperimentResult,
+    Scenario,
+    SuiteResult,
+    XBench,
+    class_by_key,
+)
+from .diagrams import FIGURES, render_all_figures, render_figure
+from .indexes import TABLE3_INDEXES, indexes_for
+from .report import format_suite, format_table, shape_summary
+
+__all__ = [
+    "BenchmarkConfig",
+    "Cell",
+    "CorpusCache",
+    "ExperimentResult",
+    "Scenario",
+    "SuiteResult",
+    "XBench",
+    "class_by_key",
+    "FIGURES",
+    "render_all_figures",
+    "render_figure",
+    "TABLE3_INDEXES",
+    "indexes_for",
+    "format_suite",
+    "format_table",
+    "shape_summary",
+]

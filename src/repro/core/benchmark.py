@@ -1,0 +1,263 @@
+"""The XBench driver: corpus preparation, loading, indexing, timing.
+
+Mirrors the paper's experimental setup (Section 3.1):
+
+* a separate database instance per (class, scale) scenario;
+* bulk loading timed with validation off;
+* the Table 3 value indexes created after loading;
+* query times are cold-run wall-clock times;
+* configurations a system cannot run are reported as ``-``.
+
+The native engine doubles as the correctness oracle: result sets that
+disagree with it are flagged, reproducing the paper's caveat that the
+relational mappings "may not generate correct results, even though we
+report their performance".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..databases import ALL_CLASSES, SCALES_BY_NAME
+from ..databases.base import DatabaseClass, Scale
+from ..engines import Engine, make_engines
+from ..engines.native import NativeEngine
+from ..errors import BenchmarkError, UnsupportedConfiguration, \
+    UnsupportedQuery
+from ..workload import bind_params
+from ..workload.queries import EXPERIMENT_QUERIES
+from ..xml.serializer import serialize
+from .indexes import indexes_for
+
+
+@dataclass
+class BenchmarkConfig:
+    """Knobs of one benchmark run.
+
+    ``scale_divisor`` divides the paper's byte budgets (10 MB / 100 MB /
+    1 GB) while preserving their 1:10:100 ratios; the default of 1000
+    yields ~10 KB / ~100 KB / ~1 MB databases, which a pure-Python stack
+    processes in benchmark-friendly time.  Lower it (e.g. 100) for
+    larger, slower, higher-resolution runs.
+    """
+
+    scale_divisor: int = 1000
+    seed: int = 42
+    scale_names: tuple[str, ...] = ("small", "normal", "large")
+    class_keys: tuple[str, ...] = ("dcsd", "dcmd", "tcsd", "tcmd")
+    query_ids: tuple[str, ...] = EXPERIMENT_QUERIES
+    #: create the Table 3 value indexes after loading.
+    with_indexes: bool = True
+    #: cross-check every engine's result against the native oracle.
+    check_correctness: bool = True
+    #: when set, scenario corpora are written under this directory and
+    #: engines bulk-load by *reading the files* (the paper loads files;
+    #: per-file I/O is what makes DC/MD loading dominate Experiment 1).
+    corpus_dir: str | None = None
+
+
+@dataclass
+class Cell:
+    """One (engine, class, scale) measurement."""
+
+    seconds: float | None = None        # None = unsupported ("-")
+    correct: bool | None = None         # None = not checked / no oracle
+    detail: str = ""
+
+
+@dataclass
+class Scenario:
+    """One prepared (class, scale) database instance."""
+
+    db_class: DatabaseClass
+    scale: Scale
+    units: int
+    #: ``(name, xml_text)`` pairs — a plain list, or a lazy
+    #: :class:`~repro.core.corpus_io.FileCorpus` when file-backed.
+    texts: object
+
+    @property
+    def name(self) -> str:
+        """Instance name in the paper's style, e.g. ``TCSDS``."""
+        return (self.db_class.label.replace("/", "")
+                + self.scale.name[0].upper())
+
+    @property
+    def bytes(self) -> int:
+        total = getattr(self.texts, "total_bytes", None)
+        if total is not None:
+            return total()
+        return sum(len(text) for __, text in self.texts)
+
+
+class CorpusCache:
+    """Generate-once cache of scenario corpora (generation is untimed)."""
+
+    def __init__(self, config: BenchmarkConfig) -> None:
+        self.config = config
+        self._cache: dict[tuple[str, str], Scenario] = {}
+
+    def scenario(self, class_key: str, scale_name: str) -> Scenario:
+        key = (class_key, scale_name)
+        if key not in self._cache:
+            self._cache[key] = self._build(class_key, scale_name)
+        return self._cache[key]
+
+    def _build(self, class_key: str, scale_name: str) -> Scenario:
+        db_class = class_by_key(class_key)
+        scale = SCALES_BY_NAME[scale_name]
+        budget = scale.budget(self.config.scale_divisor)
+        units = db_class.units_for_budget(budget, seed=self.config.seed)
+        documents = db_class.generate(units, seed=self.config.seed)
+        texts: object = [(document.name, serialize(document))
+                         for document in documents]
+        if self.config.corpus_dir is not None:
+            from .corpus_io import write_corpus
+            directory = (f"{self.config.corpus_dir}/"
+                         f"{class_key}_{scale_name}")
+            texts = write_corpus(texts, directory)
+        return Scenario(db_class, scale, units, texts)
+
+
+def class_by_key(class_key: str) -> DatabaseClass:
+    """Resolve a class key like ``"dcsd"`` to its DatabaseClass."""
+    for db_class in ALL_CLASSES:
+        if db_class.key == class_key:
+            return db_class
+    raise BenchmarkError(f"unknown database class {class_key!r}")
+
+
+@dataclass
+class ExperimentResult:
+    """One table's worth of cells: engine row label -> scenario -> cell."""
+
+    title: str
+    unit: str                                      # "s" or "ms"
+    cells: dict = field(default_factory=dict)      # (row, class, scale) -> Cell
+
+    def cell(self, row_label: str, class_key: str,
+             scale_name: str) -> Cell:
+        return self.cells.setdefault((row_label, class_key, scale_name),
+                                     Cell())
+
+
+@dataclass
+class SuiteResult:
+    """Everything one full run produces (Tables 4-9 analogues)."""
+
+    load: ExperimentResult
+    queries: dict = field(default_factory=dict)    # qid -> ExperimentResult
+
+
+#: Paper table number for each experiment query.
+QUERY_TABLE_TITLES = {
+    "Q5": "Table 5. Query Q5 Execution Time",
+    "Q12": "Table 6. Query Q12 Execution Time",
+    "Q17": "Table 7. Query Q17 Execution Time",
+    "Q8": "Table 8. Query Q8 Execution Time",
+    "Q14": "Table 9. Query Q14 Execution Time",
+}
+
+
+class XBench:
+    """Top-level benchmark driver."""
+
+    def __init__(self, config: BenchmarkConfig | None = None) -> None:
+        self.config = config or BenchmarkConfig()
+        self.corpus = CorpusCache(self.config)
+
+    # -- engine preparation -----------------------------------------------------
+
+    def _engines_oracle_first(self) -> list[Engine]:
+        engines = make_engines()
+        engines.sort(key=lambda e: not isinstance(e, NativeEngine))
+        return engines
+
+    def load_engine(self, engine: Engine, class_key: str,
+                    scale_name: str):
+        """Load one engine with one scenario; returns (scenario, stats)."""
+        scenario = self.corpus.scenario(class_key, scale_name)
+        engine.check_supported(scenario.db_class, scale_name)
+        stats = engine.timed_load(scenario.db_class, scenario.texts)
+        if self.config.with_indexes:
+            engine.create_indexes(list(indexes_for(class_key)))
+        return scenario, stats
+
+    # -- experiments ----------------------------------------------------------------
+
+    def run_suite(self, query_ids: tuple[str, ...] | None = None
+                  ) -> SuiteResult:
+        """Run bulk loading plus all experiment queries.
+
+        Each engine is loaded once per (class, scale) scenario; the load
+        itself is the Table 4 measurement and the loaded instance then
+        serves all query measurements, like the paper's database
+        instances (TCSDS, TCSDN, ...).
+        """
+        query_ids = query_ids or self.config.query_ids
+        load_result = ExperimentResult("Table 4. Bulk Loading Time",
+                                       unit="s")
+        query_results = {
+            qid: ExperimentResult(
+                QUERY_TABLE_TITLES.get(
+                    qid, f"Query {qid} Execution Time"), unit="ms")
+            for qid in query_ids}
+
+        for class_key in self.config.class_keys:
+            for scale_name in self.config.scale_names:
+                self._run_scenario(class_key, scale_name, query_ids,
+                                   load_result, query_results)
+        return SuiteResult(load_result, query_results)
+
+    def _run_scenario(self, class_key: str, scale_name: str,
+                      query_ids: tuple[str, ...],
+                      load_result: ExperimentResult,
+                      query_results: dict) -> None:
+        scenario = self.corpus.scenario(class_key, scale_name)
+        oracles: dict[str, list[str]] = {}
+
+        for engine in self._engines_oracle_first():
+            load_cell = load_result.cell(engine.row_label, class_key,
+                                         scale_name)
+            try:
+                engine.check_supported(scenario.db_class, scale_name)
+            except UnsupportedConfiguration as exc:
+                load_cell.detail = str(exc)
+                for qid in query_ids:
+                    query_results[qid].cell(engine.row_label, class_key,
+                                            scale_name).detail = str(exc)
+                continue
+
+            stats = engine.timed_load(scenario.db_class, scenario.texts)
+            if self.config.with_indexes:
+                engine.create_indexes(list(indexes_for(class_key)))
+            load_cell.seconds = stats.seconds
+
+            for qid in query_ids:
+                cell = query_results[qid].cell(engine.row_label,
+                                               class_key, scale_name)
+                params = bind_params(qid, class_key, scenario.units)
+                try:
+                    outcome = engine.timed_execute(qid, params)
+                except UnsupportedQuery as exc:
+                    cell.detail = str(exc)
+                    continue
+                cell.seconds = outcome.seconds
+                if not self.config.check_correctness:
+                    continue
+                if isinstance(engine, NativeEngine):
+                    oracles[qid] = outcome.values
+                    cell.correct = True
+                elif qid in oracles:
+                    cell.correct = outcome.values == oracles[qid]
+                    if not cell.correct:
+                        cell.detail = ("result differs from native "
+                                       "oracle (mapping infidelity)")
+
+    def run_bulk_load(self) -> ExperimentResult:
+        """Experiment 1 only (Table 4)."""
+        return self.run_suite(query_ids=()).load
+
+    def run_query(self, qid: str) -> ExperimentResult:
+        """One query's table (Experiments 2/3)."""
+        return self.run_suite(query_ids=(qid,)).queries[qid]

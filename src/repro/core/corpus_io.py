@@ -1,0 +1,56 @@
+"""File-backed corpora: write scenarios to disk, load them lazily.
+
+The paper bulk-loads *files* — for DC/MD that means hundreds of
+thousands of small files whose open/read cost dominates Experiment 1.
+A :class:`FileCorpus` makes that cost real: it looks like a sequence of
+``(name, xml_text)`` pairs, but each text is read from disk at iteration
+time, inside the engine's timed load loop.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Iterator
+
+
+class FileCorpus:
+    """A lazy sequence of ``(name, text)`` pairs backed by files."""
+
+    def __init__(self, entries: list[tuple[str, Path]]) -> None:
+        self._entries = list(entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[tuple[str, str]]:
+        for name, path in self._entries:
+            yield name, path.read_text(encoding="utf-8")
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [(name, path.read_text(encoding="utf-8"))
+                    for name, path in self._entries[index]]
+        name, path = self._entries[index]
+        return name, path.read_text(encoding="utf-8")
+
+    def total_bytes(self) -> int:
+        """Corpus size from file metadata (no reads)."""
+        return sum(os.stat(path).st_size for __, path in self._entries)
+
+    @property
+    def paths(self) -> list[Path]:
+        return [path for __, path in self._entries]
+
+
+def write_corpus(texts, directory: str | Path) -> FileCorpus:
+    """Write ``(name, text)`` pairs under ``directory``; return the
+    lazy file-backed view."""
+    base = Path(directory)
+    base.mkdir(parents=True, exist_ok=True)
+    entries = []
+    for name, text in texts:
+        path = base / name
+        path.write_text(text, encoding="utf-8")
+        entries.append((name, path))
+    return FileCorpus(entries)

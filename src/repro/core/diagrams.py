@@ -1,0 +1,26 @@
+"""Regenerate the paper's figures (schema diagrams, Figures 1-4)."""
+
+from __future__ import annotations
+
+from ..databases import CLASSES_BY_KEY
+from ..xml.schema import render_diagram
+
+#: figure number -> (class key, paper caption)
+FIGURES = {
+    1: ("tcsd", "Figure 1. Schema Diagram of TC/SD (Dictionary)"),
+    2: ("tcmd", "Figure 2. Schema Diagram of TC/MD (ArticleXXX)"),
+    3: ("dcsd", "Figure 3. Schema Diagram of DC/SD (Catalog)"),
+    4: ("dcmd", "Figure 4. Schema Diagram of DC/MD (OrderXXX)"),
+}
+
+
+def render_figure(number: int) -> str:
+    """The ASCII rendering of one paper figure."""
+    class_key, caption = FIGURES[number]
+    schema = CLASSES_BY_KEY[class_key].schema()
+    return render_diagram(schema, caption)
+
+
+def render_all_figures() -> str:
+    """All four schema diagrams, in figure order."""
+    return "\n\n".join(render_figure(number) for number in sorted(FIGURES))

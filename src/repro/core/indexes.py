@@ -1,0 +1,21 @@
+"""Per-class value indexes (the paper's Table 3).
+
+"For fairness, we only create value indexes on the elements/attributes
+that are most frequently used by the queries in each document class, and
+can be implemented for all systems."
+"""
+
+from __future__ import annotations
+
+#: class key -> index paths, exactly as Table 3 lists them.
+TABLE3_INDEXES: dict[str, tuple[str, ...]] = {
+    "tcsd": ("hw",),
+    "tcmd": ("article/@id",),
+    "dcsd": ("item/@id", "date_of_release"),
+    "dcmd": ("order/@id",),
+}
+
+
+def indexes_for(class_key: str) -> tuple[str, ...]:
+    """The Table 3 index paths for one database class."""
+    return TABLE3_INDEXES.get(class_key, ())

@@ -1,0 +1,154 @@
+"""Multi-user workload harness (toward the paper's planned extension #1).
+
+XBench 1.0 is "a single machine benchmark"; the paper plans "support for
+distributed environments" and contrasts itself with XMach-1's multi-user
+design.  This module adds the single-machine half of that roadmap: N
+concurrent client streams issuing randomized query mixes against one
+loaded engine, reporting aggregate throughput (queries/second, XMach-1's
+Xqps metric in spirit) and per-stream latency statistics.
+
+Streams run on Python threads.  The engines are pure Python, so the GIL
+serializes CPU work — throughput therefore measures engine efficiency
+under interleaving (lock-free read-only data structures, no
+cross-stream interference), not parallel speed-up; the ``interleaved``
+mode makes the same measurement deterministically without threads.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+
+from ..errors import BenchmarkError, UnsupportedQuery
+from ..workload import bind_params
+from ..workload.queries import EXPERIMENT_QUERIES, QUERIES_BY_ID
+
+
+@dataclass
+class StreamResult:
+    """One client stream's outcome."""
+
+    stream_id: int
+    queries: int = 0
+    errors: int = 0
+    latencies: list = field(default_factory=list)
+
+    def mean_latency_ms(self) -> float:
+        if not self.latencies:
+            return 0.0
+        return sum(self.latencies) * 1000.0 / len(self.latencies)
+
+    def max_latency_ms(self) -> float:
+        return max(self.latencies, default=0.0) * 1000.0
+
+
+@dataclass
+class MultiUserResult:
+    """Aggregate outcome of one multi-user run."""
+
+    streams: list = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    @property
+    def total_queries(self) -> int:
+        return sum(stream.queries for stream in self.streams)
+
+    @property
+    def throughput_qps(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.total_queries / self.wall_seconds
+
+    def summary(self) -> str:
+        lines = [f"{len(self.streams)} streams, "
+                 f"{self.total_queries} queries in "
+                 f"{self.wall_seconds:.2f}s -> "
+                 f"{self.throughput_qps:.1f} q/s"]
+        for stream in self.streams:
+            lines.append(
+                f"  stream {stream.stream_id}: {stream.queries} queries, "
+                f"mean {stream.mean_latency_ms():.2f} ms, "
+                f"max {stream.max_latency_ms():.2f} ms")
+        return "\n".join(lines)
+
+
+def _stream_plan(class_key: str, units: int, queries_per_stream: int,
+                 seed: int, query_ids: tuple[str, ...]) -> list[tuple]:
+    """A deterministic (qid, params) sequence for one stream."""
+    rng = random.Random(seed)
+    applicable = [qid for qid in query_ids
+                  if QUERIES_BY_ID[qid].applies_to(class_key)]
+    if not applicable:
+        raise BenchmarkError(
+            f"no queries of the mix apply to {class_key!r}")
+    plan = []
+    for __ in range(queries_per_stream):
+        qid = rng.choice(applicable)
+        params = dict(bind_params(qid, class_key, units))
+        # Vary the point-query target per client, like distinct users.
+        if "id" in params:
+            params["id"] = str(rng.randint(1, units))
+        plan.append((qid, params))
+    return plan
+
+
+def run_multi_user(engine, class_key: str, units: int,
+                   streams: int = 4, queries_per_stream: int = 20,
+                   seed: int = 17,
+                   query_ids: tuple[str, ...] = EXPERIMENT_QUERIES,
+                   mode: str = "threads") -> MultiUserResult:
+    """Run N client streams against one loaded engine.
+
+    ``mode`` is ``"threads"`` (real threads, wall-clock throughput) or
+    ``"interleaved"`` (deterministic round-robin on one thread).
+    """
+    plans = [_stream_plan(class_key, units, queries_per_stream,
+                          seed + index, query_ids)
+             for index in range(streams)]
+    results = [StreamResult(index) for index in range(streams)]
+
+    def run_one(index: int) -> None:
+        for qid, params in plans[index]:
+            start = time.perf_counter()
+            try:
+                engine.execute(qid, params)
+            except UnsupportedQuery:
+                results[index].errors += 1
+                continue
+            results[index].latencies.append(
+                time.perf_counter() - start)
+            results[index].queries += 1
+
+    wall_start = time.perf_counter()
+    if mode == "threads":
+        workers = [threading.Thread(target=run_one, args=(index,))
+                   for index in range(streams)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+    elif mode == "interleaved":
+        cursors = [iter(plan) for plan in plans]
+        live = set(range(streams))
+        while live:
+            for index in sorted(live):
+                try:
+                    qid, params = next(cursors[index])
+                except StopIteration:
+                    live.discard(index)
+                    continue
+                start = time.perf_counter()
+                try:
+                    engine.execute(qid, params)
+                except UnsupportedQuery:
+                    results[index].errors += 1
+                    continue
+                results[index].latencies.append(
+                    time.perf_counter() - start)
+                results[index].queries += 1
+    else:
+        raise BenchmarkError(f"unknown multi-user mode {mode!r}")
+
+    return MultiUserResult(results, time.perf_counter() - wall_start)

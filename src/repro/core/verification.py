@@ -1,0 +1,97 @@
+"""Cross-engine verification: every engine vs. the native oracle.
+
+The paper repeatedly notes that the relational mappings "may not
+generate correct results, even though we report their performance".
+This module turns that caveat into a first-class report: for one (class,
+scale) scenario it runs every translated query on every supported engine
+and classifies each cell as
+
+* ``ok``      — result sequence identical to the native engine's,
+* ``differs`` — result differs (the mapping infidelities),
+* ``-``       — engine unsupported on the class, or query untranslated.
+
+Exposed on the CLI as ``xbench verify``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..engines import make_engines
+from ..engines.native import NativeEngine
+from ..errors import UnsupportedConfiguration, UnsupportedQuery
+from ..workload import bind_params
+from ..workload.queries import ALL_QUERIES
+from .benchmark import XBench
+from .indexes import indexes_for
+
+
+@dataclass
+class VerificationReport:
+    """Outcome matrix: (engine label, qid) -> status string."""
+
+    class_key: str
+    scale_name: str
+    cells: dict = field(default_factory=dict)
+    query_ids: list = field(default_factory=list)
+    engine_labels: list = field(default_factory=list)
+
+    def status(self, engine_label: str, qid: str) -> str:
+        return self.cells.get((engine_label, qid), "-")
+
+    def mismatches(self) -> list[tuple[str, str]]:
+        return sorted((label, qid)
+                      for (label, qid), status in self.cells.items()
+                      if status == "differs")
+
+    def format(self) -> str:
+        width = max(len(label) for label in self.engine_labels) + 2
+        header = "Query".ljust(8) + "".join(
+            label.rjust(width) for label in self.engine_labels)
+        lines = [f"Verification matrix - {self.class_key} "
+                 f"({self.scale_name} scale), oracle: X-Hive",
+                 header, "-" * len(header)]
+        for qid in self.query_ids:
+            row = qid.ljust(8)
+            for label in self.engine_labels:
+                row += self.status(label, qid).rjust(width)
+            lines.append(row)
+        lines.append("ok: matches native oracle; differs: mapping "
+                     "infidelity; -: unsupported/untranslated")
+        return "\n".join(lines)
+
+
+def verify_scenario(bench: XBench, class_key: str,
+                    scale_name: str = "small") -> VerificationReport:
+    """Build the verification matrix for one scenario."""
+    scenario = bench.corpus.scenario(class_key, scale_name)
+    query_ids = [query.qid for query in ALL_QUERIES
+                 if query.applies_to(class_key)]
+    report = VerificationReport(class_key, scale_name,
+                                query_ids=query_ids)
+
+    engines = sorted(make_engines(),
+                     key=lambda e: not isinstance(e, NativeEngine))
+    oracles: dict[str, list[str]] = {}
+    for engine in engines:
+        report.engine_labels.append(engine.row_label)
+        try:
+            engine.check_supported(scenario.db_class, scale_name)
+        except UnsupportedConfiguration:
+            continue
+        engine.timed_load(scenario.db_class, scenario.texts)
+        engine.create_indexes(list(indexes_for(class_key)))
+        for qid in query_ids:
+            params = bind_params(qid, class_key, scenario.units)
+            try:
+                values = engine.execute(qid, params)
+            except UnsupportedQuery:
+                continue
+            if isinstance(engine, NativeEngine):
+                oracles[qid] = values
+                report.cells[(engine.row_label, qid)] = "ok"
+            elif qid in oracles:
+                matches = values == oracles[qid]
+                report.cells[(engine.row_label, qid)] = \
+                    "ok" if matches else "differs"
+    return report

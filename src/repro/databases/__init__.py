@@ -1,0 +1,39 @@
+"""The four XBench database classes and the scale model."""
+
+from .base import (
+    HUGE,
+    LARGE,
+    NORMAL,
+    PAPER_SCALES,
+    REPORTED_SCALES,
+    SCALES_BY_NAME,
+    SMALL,
+    DatabaseClass,
+    Scale,
+)
+from .dcmd import DCMD
+from .dcsd import DCSD
+from .tcmd import TCMD
+from .tcsd import TCSD
+
+#: All four classes in the paper's column order (DC/SD, DC/MD, TC/SD, TC/MD).
+ALL_CLASSES: tuple[DatabaseClass, ...] = (DCSD(), DCMD(), TCSD(), TCMD())
+CLASSES_BY_KEY: dict[str, DatabaseClass] = {c.key: c for c in ALL_CLASSES}
+
+__all__ = [
+    "HUGE",
+    "LARGE",
+    "NORMAL",
+    "PAPER_SCALES",
+    "REPORTED_SCALES",
+    "SCALES_BY_NAME",
+    "SMALL",
+    "DatabaseClass",
+    "Scale",
+    "DCMD",
+    "DCSD",
+    "TCMD",
+    "TCSD",
+    "ALL_CLASSES",
+    "CLASSES_BY_KEY",
+]

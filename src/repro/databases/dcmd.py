@@ -1,0 +1,80 @@
+"""DC/MD: transactional data (``order1.xml`` ... plus flat side docs).
+
+Many small flat documents, one per order (ORDERS ⋈ ORDER_LINE ⋈ CC_XACTS),
+accompanied by the five flat-translated table documents (customer.xml,
+item.xml, author.xml, address.xml, country.xml) that Q19 joins against.
+Size is controlled by the number of orders; the document count dominates
+bulk-loading here exactly as in the paper's Experiment 1.
+"""
+
+from __future__ import annotations
+
+from ..tpcw.mapping import FLAT_DOCUMENT_NAMES, build_order_documents, \
+    flat_documents
+from ..tpcw.population import populate
+from ..tpcw.schema import TABLES_BY_NAME
+from ..xml.nodes import Document
+from ..xml.schema import SchemaElement
+from .base import DatabaseClass
+
+
+class DCMD(DatabaseClass):
+    """Data-centric, multiple documents: orders + exchanged tables."""
+
+    key = "dcmd"
+    label = "DC/MD"
+    size_parameter = "order_num"
+    default_units = 200000
+    single_document = False
+    _calibration_units = 20
+
+    def generate(self, units: int, seed: int = 42) -> list[Document]:
+        population = populate(num_items=max(units // 4, 5),
+                              num_orders=units, seed=seed)
+        documents = build_order_documents(population)
+        documents.extend(flat_documents(population))
+        return documents
+
+    def schema(self) -> SchemaElement:
+        root = SchemaElement("order")
+        root.attributes.append("id")
+        root.child("customer_id")
+        root.child("order_date")
+        root.child("total")
+        shipping = root.child("shipping_information")
+        shipping.child("ship_type")
+        shipping.child("ship_date")
+        delivery = shipping.child("delivery")
+        delivery.child("order_status")
+        ship_addr = shipping.child("shipping_address", optional=True)
+        for tag in ("street1", "street2", "city", "zip", "country"):
+            ship_addr.child(tag, optional=(tag in ("street2", "country")))
+        billing = root.child("billing_information")
+        card = billing.child("credit_card", optional=True)
+        for tag in ("cc_type", "cc_number", "cc_name", "cc_expire",
+                    "cc_auth_id", "transaction_amount",
+                    "transaction_date"):
+            card.child(tag)
+        bill_addr = billing.child("billing_address", optional=True)
+        for tag in ("street1", "street2", "city", "zip", "country"):
+            bill_addr.child(tag, optional=(tag in ("street2", "country")))
+        lines = root.child("order_lines")
+        line = lines.child("order_line", repeated=True)
+        line.attributes.append("id")
+        line.child("item_id")
+        line.child("quantity")
+        line.child("discount")
+        line.child("comments", optional=True)
+        return root
+
+    def schemas(self) -> list[SchemaElement]:
+        """Order schema plus the five flat-translated table schemas."""
+        all_schemas = [self.schema()]
+        for table_name, (root_tag, row_tag, __) in \
+                FLAT_DOCUMENT_NAMES.items():
+            root = SchemaElement(root_tag)
+            row = root.child(row_tag, repeated=True)
+            for column in TABLES_BY_NAME[table_name].columns:
+                row.child(column, optional=True)
+            all_schemas.append(root)
+        return all_schemas

@@ -1,0 +1,74 @@
+"""DC/SD: the e-commerce catalog (``catalog.xml``).
+
+A single document with complex structure and little text, produced by the
+nested join mapping over the TPC-W tables (Section 2.1.2 of the paper).
+Size is controlled by the number of items.
+"""
+
+from __future__ import annotations
+
+from ..tpcw.mapping import build_catalog
+from ..tpcw.population import populate
+from ..xml.nodes import Document
+from ..xml.schema import SchemaElement
+from .base import DatabaseClass
+
+
+class DCSD(DatabaseClass):
+    """Data-centric, single document: the catalog."""
+
+    key = "dcsd"
+    label = "DC/SD"
+    size_parameter = "item_num"
+    default_units = 30000
+    single_document = True
+    _calibration_units = 12
+
+    def generate(self, units: int, seed: int = 42) -> list[Document]:
+        population = populate(num_items=units,
+                              num_orders=max(units // 10, 1), seed=seed)
+        return [build_catalog(population)]
+
+    def schema(self) -> SchemaElement:
+        root = SchemaElement("catalog")
+        item = root.child("item", repeated=True)
+        item.attributes.append("id")
+        item.child("title")
+        item.child("subject")
+        item.child("description")
+        item.child("isbn")
+        item.child("date_of_release")
+        item.child("number_of_pages")
+        item.child("backing")
+        item.child("availability_date")
+        pricing = item.child("pricing")
+        pricing.child("suggested_retail_price")
+        pricing.child("cost")
+        authors = item.child("authors")
+        author = authors.child("author", repeated=True)
+        author.attributes.append("id")
+        name = author.child("name")
+        name.child("first_name")
+        name.child("middle_name", optional=True)
+        name.child("last_name")
+        author.child("date_of_birth")
+        author.child("biography")
+        contact = author.child("contact_information", optional=True)
+        mailing = contact.child("mailing_address")
+        mailing.child("street1")
+        mailing.child("street2", optional=True)
+        mailing.child("city")
+        mailing.child("state", optional=True)
+        mailing.child("zip")
+        country = mailing.child("country")
+        country.child("name")
+        country.child("currency")
+        contact.child("phone")
+        contact.child("email")
+        publisher = item.child("publisher")
+        publisher.attributes.append("id")
+        publisher.child("name")
+        publisher.child("phone")
+        publisher.child("fax", optional=True)
+        publisher.child("email")
+        return root

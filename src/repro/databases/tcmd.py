@@ -1,0 +1,196 @@
+"""TC/MD: the article corpus (``article1.xml`` ... ``articleN.xml``).
+
+Numerous relatively small text-centric documents with references between
+them, a loose schema and recursive ``sec`` elements — modelled on the
+Reuters news corpus and the Springer digital library.  Size is controlled
+by ``article_num`` (paper default 266 ≈ 100 MB; individual files range
+from a few KB to a few hundred KB).
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..toxgene.distributions import Bernoulli, Exponential, UniformInt
+from ..toxgene.generator import generate_element
+from ..toxgene.template import ElementTemplate, GenContext, date_between
+from ..xml.nodes import Document, Element
+from ..xml.schema import SchemaElement
+from .base import DatabaseClass
+
+# Keyword vocabulary: workload target words appear as article keywords so
+# the existential-quantification query (Q6) has controllable selectivity.
+_KEYWORDS = ["parsing", "indexing", "storage", "recovery", "replication",
+             "optimization", "caching", "scheduling", "streaming",
+             "benchmarking", "word_1", "word_2", "word_3"]
+
+
+class TCMD(DatabaseClass):
+    """Text-centric, multiple documents: the article corpus."""
+
+    key = "tcmd"
+    label = "TC/MD"
+    size_parameter = "article_num"
+    default_units = 266
+    single_document = False
+    _calibration_units = 6
+
+    def generate(self, units: int, seed: int = 42) -> list[Document]:
+        context = GenContext(seed=seed)
+        documents = []
+        for number in range(1, units + 1):
+            documents.append(_build_article(context, number, units))
+        return documents
+
+    def schema(self) -> SchemaElement:
+        root = SchemaElement("article")
+        root.attributes.append("id")
+        prolog = root.child("prolog")
+        prolog.child("title")
+        authors = prolog.child("authors")
+        author = authors.child("author", repeated=True)
+        name = author.child("name")
+        name.child("first_name")
+        name.child("last_name")
+        contact = author.child("contact", optional=True)
+        contact.child("email", optional=True)
+        contact.child("phone", optional=True)
+        author.child("affiliation", optional=True)
+        keywords = prolog.child("keywords", optional=True)
+        keywords.child("keyword", repeated=True)
+        prolog.child("date_of_publication")
+        abstract = prolog.child("abstract", optional=True)
+        abstract.child("p", repeated=True)
+        body = root.child("body")
+        # Marked optional because the same node doubles as its own child
+        # (nested secs need not be present at every level).
+        sec = body.child("sec", optional=True, repeated=True)
+        sec.attributes.append("id")
+        sec.child("heading", optional=True)
+        p = sec.child("p", repeated=True, mixed=True)
+        p.child("citation", optional=True, repeated=True)
+        # Recursive element type: a sec may contain nested secs (the
+        # "possibly recursive elements" feature the paper assigns to TC/MD).
+        sec.children.append(sec)
+        epilog = root.child("epilog", optional=True)
+        references = epilog.child("references", optional=True)
+        ref = references.child("ref", repeated=True)
+        ref.attributes.append("article")
+        return root
+
+
+def _build_article(context: GenContext, number: int,
+                   total: int) -> Document:
+    """Build one article document by direct construction.
+
+    Direct construction (rather than a static template) is used because
+    sections recurse with depth-dependent probabilities and Q4 needs an
+    ``Introduction`` section planted as the first section of roughly half
+    of the articles.
+    """
+    rng = context.rng
+    article = Element("article", {"id": str(number)})
+    context.issue_id("article", "")
+
+    prolog = article.append_element("prolog")
+    prolog.append_element(
+        "title", text=" ".join(context.pool.words_sample(
+            rng, rng.randint(3, 8))))
+    authors = prolog.append_element("authors")
+    for _ in range(rng.randint(1, 4)):
+        authors.append(_build_author(context))
+    if rng.random() < 0.9:
+        keywords = prolog.append_element("keywords")
+        for keyword in rng.sample(_KEYWORDS, rng.randint(2, 5)):
+            keywords.append_element("keyword", text=keyword)
+    prolog.append_element("date_of_publication",
+                          text=date_between(1995, 2003)(context))
+    if rng.random() < 0.85:
+        abstract = prolog.append_element("abstract")
+        for _ in range(rng.randint(1, 3)):
+            abstract.append_element(
+                "p", text=context.pool.paragraph(rng, rng.randint(2, 5)))
+
+    body = article.append_element("body")
+    # Article sizes are heavy-tailed (the paper's corpora range from 1 KB
+    # to hundreds of KB): draw the section count from an exponential.
+    section_count = max(int(Exponential(3.0, minimum=1, maximum=30)
+                            .sample(rng)), 1)
+    for section_index in range(section_count):
+        body.append(_build_section(context, depth=0,
+                                   first=(section_index == 0),
+                                   article_number=number))
+
+    if rng.random() < 0.6:
+        epilog = article.append_element("epilog")
+        references = epilog.append_element("references")
+        for _ in range(rng.randint(1, 5)):
+            target = rng.randint(1, max(total, 1))
+            ref = references.append_element("ref")
+            ref.set_attribute("article", str(target))
+
+    document = Document(article, name=f"article{number}.xml")
+    document.refresh_order()
+    return document
+
+
+def _build_author(context: GenContext) -> Element:
+    from ..toxgene.text import email_address, person_name, phone_number
+    rng = context.rng
+    author = Element("author")
+    first, last = person_name(rng)
+    name = author.append_element("name")
+    name.append_element("first_name", text=first)
+    name.append_element("last_name", text=last)
+    if rng.random() < 0.8:
+        contact = author.append_element("contact")
+        # Empty contact elements are the Q15 irregularity target.
+        if rng.random() >= 0.25:
+            if rng.random() < 0.8:
+                contact.append_element(
+                    "email", text=email_address(rng, first, last))
+            if rng.random() < 0.5:
+                contact.append_element("phone", text=phone_number(rng))
+    if rng.random() < 0.5:
+        author.append_element(
+            "affiliation",
+            text=f"{rng.choice(['University', 'Institute', 'Laboratory'])} "
+                 f"of {context.pool.word(rng).capitalize()}")
+    return author
+
+
+def _build_section(context: GenContext, depth: int, first: bool,
+                   article_number: int) -> Element:
+    rng = context.rng
+    section = Element("sec")
+    # The paper adds a unique id attribute to sec elements because chain
+    # relationships without unique values cannot be shredded faithfully.
+    section.set_attribute("id", f"s{context.next_number('sec')}")
+
+    if first:
+        section.append_element("heading", text="Introduction")
+    elif rng.random() < 0.8:
+        section.append_element(
+            "heading", text=" ".join(context.pool.words_sample(
+                rng, rng.randint(1, 4))).capitalize())
+
+    for _ in range(rng.randint(1, 6)):
+        section.append(_build_paragraph(context))
+
+    if depth < 2 and rng.random() < 0.35 - 0.15 * depth:
+        for _ in range(rng.randint(1, 3)):
+            section.append(_build_section(context, depth + 1, False,
+                                          article_number))
+    return section
+
+
+def _build_paragraph(context: GenContext) -> Element:
+    rng = context.rng
+    paragraph = Element("p")
+    paragraph.append_text(context.pool.paragraph(rng, rng.randint(2, 6)))
+    if rng.random() < 0.2:
+        citation = paragraph.append_element(
+            "citation", text=context.pool.phrase(rng, 2))
+        del citation
+        paragraph.append_text(context.pool.sentence(rng, 8))
+    return paragraph

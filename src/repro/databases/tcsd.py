@@ -1,0 +1,135 @@
+"""TC/SD: the dictionary database (``dictionary.xml``).
+
+One big text-dominated document with numerous word entries, deep nesting,
+mixed-content quotation text (the ``qt`` element the paper calls out as a
+relational-mapping problem) and cross-references between entries —
+modelled on GCIDE/OED.  Size is controlled by ``entry_num`` (paper
+default 7333 ≈ 100 MB).
+"""
+
+from __future__ import annotations
+
+from ..toxgene.distributions import Bernoulli, Normal, UniformInt
+from ..toxgene.generator import generate_document
+from ..toxgene.template import (
+    ChildTemplate,
+    ElementTemplate,
+    GenContext,
+    choice,
+    date_between,
+    sentences,
+    words,
+)
+from ..xml.nodes import Document
+from ..xml.schema import SchemaElement
+from .base import DatabaseClass
+
+PARTS_OF_SPEECH = ["noun", "verb", "adjective", "adverb", "pronoun",
+                   "preposition", "conjunction", "interjection"]
+QUOTE_LOCATIONS = ["london", "paris", "boston", "dublin", "edinburgh",
+                   "york", "oxford", "cambridge", "bath", "bristol"]
+
+# One entry in _TARGET_PERIOD gets a planted target headword, cycling
+# through word_1..word_10, so headword lookups are selective but non-empty
+# at every scale.
+_TARGET_PERIOD = 40
+
+
+def _headword(ctx: GenContext) -> str:
+    number = ctx.next_number("entry_hw")
+    residue = number % _TARGET_PERIOD
+    if 1 <= residue <= 10:
+        return f"word_{residue}"
+    base = ctx.pool.word(ctx.rng)
+    return f"{base}_{number}"
+
+
+def _entry_id(ctx: GenContext) -> str:
+    return ctx.issue_id("entry", "e")
+
+
+def _cross_reference(ctx: GenContext) -> str:
+    target = ctx.reference("entry")
+    return target if target is not None else "e1"
+
+
+def build_entry_template() -> ElementTemplate:
+    """The ``entry`` element template (Figure 1 analogue)."""
+    quote = ElementTemplate("quote")
+    quote.child(ElementTemplate(
+        "qt",
+        text=sentences(UniformInt(1, 3), words_per_sentence=8),
+        mixed=True,
+        children=[ChildTemplate(
+            ElementTemplate("emphasis", text=words(UniformInt(1, 2))),
+            UniformInt(0, 2))],
+    ))
+    quote.child(ElementTemplate("author", text=words(UniformInt(2, 3))),
+                Bernoulli(0.8))
+    quote.child(ElementTemplate("date", text=date_between(1700, 2000)),
+                Bernoulli(0.9))
+    quote.child(ElementTemplate("location", text=choice(QUOTE_LOCATIONS)),
+                Bernoulli(0.7))
+
+    definition = ElementTemplate("definition")
+    definition.child(ElementTemplate(
+        "def_text", text=sentences(UniformInt(1, 4))))
+    definition.child(quote, Normal(2.0, 1.5, minimum=0, maximum=8))
+
+    entry = ElementTemplate("entry")
+    entry.attr("id", _entry_id)
+    entry.child(ElementTemplate("hw", text=_headword))
+    entry.child(ElementTemplate("pronunciation",
+                                text=words(UniformInt(1, 1))),
+                Bernoulli(0.8))
+    entry.child(ElementTemplate("pos", text=choice(PARTS_OF_SPEECH)))
+    entry.child(ElementTemplate("etymology",
+                                text=sentences(UniformInt(1, 2))),
+                Bernoulli(0.6))
+    entry.child(definition, Normal(2.0, 1.0, minimum=1, maximum=6))
+    cross_ref = ElementTemplate("cross_reference")
+    cross_ref.attr("target", _cross_reference)
+    entry.child(cross_ref, Bernoulli(0.5))
+    return entry
+
+
+class TCSD(DatabaseClass):
+    """Text-centric, single document: the dictionary."""
+
+    key = "tcsd"
+    label = "TC/SD"
+    size_parameter = "entry_num"
+    default_units = 7333
+    single_document = True
+
+    def generate(self, units: int, seed: int = 42) -> list[Document]:
+        context = GenContext(seed=seed)
+        entry_template = build_entry_template()
+        dictionary = ElementTemplate("dictionary")
+        root = generate_document(dictionary, context, name="dictionary.xml")
+        root_element = root.root_element
+        for _ in range(units):
+            from ..toxgene.generator import generate_element
+            root_element.append(generate_element(entry_template, context))
+        root.refresh_order()
+        return [root]
+
+    def schema(self) -> SchemaElement:
+        root = SchemaElement("dictionary")
+        entry = root.child("entry", repeated=True)
+        entry.attributes.append("id")
+        entry.child("hw")
+        entry.child("pronunciation", optional=True)
+        entry.child("pos")
+        entry.child("etymology", optional=True)
+        definition = entry.child("definition", repeated=True)
+        definition.child("def_text")
+        quote = definition.child("quote", optional=True, repeated=True)
+        qt = quote.child("qt", mixed=True)
+        qt.child("emphasis", optional=True, repeated=True)
+        quote.child("author", optional=True)
+        quote.child("date", optional=True)
+        quote.child("location", optional=True)
+        cross_ref = entry.child("cross_reference", optional=True)
+        cross_ref.attributes.append("target")
+        return root

@@ -1,0 +1,34 @@
+"""DBMS engine analogues: native, Xcolumn, Xcollection, SQL Server."""
+
+from .base import Engine, LoadStats, QueryResult
+from .native import NativeEngine, normalize_result
+from .relational import ShreddedEngine, SqlServerEngine, XCollectionEngine
+from .shredding import ShreddedStore, ShredPlan, build_plan
+from .xcolumn import XColumnEngine
+
+#: Factories in the paper's table row order.
+ENGINE_FACTORIES = (XColumnEngine, XCollectionEngine, SqlServerEngine,
+                    NativeEngine)
+
+
+def make_engines() -> list[Engine]:
+    """Fresh instances of all four engines (paper row order)."""
+    return [factory() for factory in ENGINE_FACTORIES]
+
+
+__all__ = [
+    "Engine",
+    "LoadStats",
+    "QueryResult",
+    "NativeEngine",
+    "normalize_result",
+    "ShreddedEngine",
+    "SqlServerEngine",
+    "XCollectionEngine",
+    "ShreddedStore",
+    "ShredPlan",
+    "build_plan",
+    "XColumnEngine",
+    "ENGINE_FACTORIES",
+    "make_engines",
+]

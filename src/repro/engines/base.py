@@ -1,0 +1,165 @@
+"""Common interface of the four DBMS engine analogues.
+
+Engines receive the benchmark's document corpus as *serialized XML text*
+(the paper bulk-loads files), so every engine pays the parse cost it would
+pay in reality, plus whatever its storage architecture adds: shredding and
+key indexes for the relational engines, side-table extraction for Xcolumn,
+nothing extra for the native engine.
+
+``execute`` returns a list of result strings (serialized fragments or
+atomic values) so results are comparable across engines; the benchmark
+driver uses the native engine as the correctness oracle, mirroring the
+paper's observation that the relational mappings do not always return
+correct results for order- and structure-sensitive queries.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from ..databases.base import DatabaseClass
+from ..errors import BenchmarkError, UnsupportedOperation
+
+
+@dataclass
+class LoadStats:
+    """What bulk loading did (returned by :meth:`Engine.bulk_load`)."""
+
+    documents: int = 0
+    bytes: int = 0
+    rows: int = 0                     # shredded rows / side-table entries
+    seconds: float = 0.0
+    notes: list[str] = field(default_factory=list)
+
+
+@dataclass
+class QueryResult:
+    """One query execution: normalized result plus timing.
+
+    ``rows_scanned`` counts relational rows touched by sequential scans
+    (0 for fully indexed plans; None for engines without a relational
+    substrate) — the observability hook behind the index ablation.
+    """
+
+    qid: str
+    values: list[str]
+    seconds: float
+    rows_scanned: int | None = None
+
+
+class Engine(ABC):
+    """One storage architecture under test."""
+
+    #: programmatic key, e.g. ``"native"``.
+    key: str = ""
+    #: the paper's row label, e.g. ``"X-Hive"``.
+    row_label: str = ""
+    #: human description of what the engine emulates.
+    description: str = ""
+
+    def __init__(self) -> None:
+        self.db_class: DatabaseClass | None = None
+        self.loaded = False
+
+    # -- configuration gating ------------------------------------------------
+
+    def check_supported(self, db_class: DatabaseClass,
+                        scale_name: str) -> None:
+        """Raise :class:`UnsupportedConfiguration` for the paper's
+        ``-`` cells.  Default: everything is supported."""
+
+    # -- lifecycle -------------------------------------------------------------
+
+    @abstractmethod
+    def bulk_load(self, db_class: DatabaseClass,
+                  texts: list[tuple[str, str]]) -> LoadStats:
+        """Load a corpus of ``(name, xml_text)`` pairs."""
+
+    @abstractmethod
+    def create_indexes(self, paths: list[str]) -> None:
+        """Create the per-class value indexes of the paper's Table 3.
+
+        ``paths`` use the paper's notation, e.g. ``"item/@id"`` or
+        ``"hw"``.
+        """
+
+    def drop_indexes(self) -> None:
+        """Remove user-created value indexes (index-ablation bench)."""
+
+    @abstractmethod
+    def execute(self, qid: str, params: dict) -> list[str]:
+        """Run one workload query and return normalized result strings."""
+
+    # -- update workload (the paper's planned extension #2) -----------------
+    #
+    # The first XBench version is query-only; these three operations
+    # implement the natural transactional updates of the multi-document
+    # classes: new documents arrive, documents are archived, and a value
+    # inside a document changes (an order's status, say).  Engines that
+    # cannot support an operation raise UnsupportedOperation.
+
+    def insert_document(self, name: str, text: str) -> None:
+        """Add one document to the loaded database."""
+        raise UnsupportedOperation(
+            f"{self.row_label}: document insertion not supported")
+
+    def delete_document(self, name: str) -> None:
+        """Remove one document from the loaded database."""
+        raise UnsupportedOperation(
+            f"{self.row_label}: document deletion not supported")
+
+    def update_value(self, id_path: str, id_value: str, target_tag: str,
+                     new_value: str) -> int:
+        """Set the text of ``target_tag`` inside the document(s) matching
+        ``id_path = id_value``; returns the number of values changed."""
+        raise UnsupportedOperation(
+            f"{self.row_label}: value updates not supported")
+
+    def relational_database(self):
+        """The engine's relstore Database, if it has one (else None)."""
+        return None
+
+    def timed_execute(self, qid: str, params: dict) -> QueryResult:
+        """Execute with wall-clock timing (the paper's cold-run time)."""
+        self._require_loaded()
+        database = self.relational_database()
+        if database is not None:
+            database.reset_scan_counters()
+        start = time.perf_counter()
+        values = self.execute(qid, params)
+        elapsed = time.perf_counter() - start
+        rows_scanned = (database.rows_scanned()
+                        if database is not None else None)
+        return QueryResult(qid, values, elapsed, rows_scanned)
+
+    def timed_load(self, db_class: DatabaseClass,
+                   texts) -> LoadStats:
+        """Bulk load with wall-clock timing.
+
+        ``texts`` is any iterable of ``(name, xml_text)`` pairs with a
+        ``len()`` — a plain list, or a lazy
+        :class:`~repro.core.corpus_io.FileCorpus` whose file reads then
+        happen inside the timed region, like the paper's file loads.
+        """
+        start = time.perf_counter()
+        stats = self.bulk_load(db_class, texts)
+        stats.seconds = time.perf_counter() - start
+        stats.documents = len(texts)
+        total = getattr(texts, "total_bytes", None)
+        if total is not None:
+            stats.bytes = total()
+        else:
+            stats.bytes = sum(len(text) for _, text in texts)
+        self.db_class = db_class
+        self.loaded = True
+        return stats
+
+    def _require_loaded(self) -> None:
+        if not self.loaded or self.db_class is None:
+            raise BenchmarkError(
+                f"{self.row_label}: no database loaded")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Engine {self.row_label}>"

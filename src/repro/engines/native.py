@@ -1,0 +1,248 @@
+"""Native XML DBMS analogue (the paper's X-Hive).
+
+Storage architecture: documents are parsed once at load time and kept as
+trees — no mapping, no shredding.  Queries are genuine XQuery evaluated by
+:mod:`repro.xquery`.
+
+Value indexes (Table 3) are per-document-tree structures, as in X-Hive's
+library indexes: an accelerated plan can jump to matching nodes *within*
+trees, but a ``collection()`` query still visits every document of a
+multi-document class.  That per-document cost is exactly the weakness the
+paper measures for X-Hive in DC/MD ("X-Hive suffers from accessing huge
+amounts of XML documents"); it emerges here from the same architecture
+rather than from tuned constants.
+
+Consequences (mirroring the paper's Experiment 2/3 analysis):
+
+* fastest bulk load everywhere — parsing is all it does;
+* perfect structure preservation and document order (Q5/Q12 oracle);
+* single-document classes with an applicable index answer point queries
+  without scanning;
+* multi-document classes pay per-document evaluation, so DC/MD queries
+  degrade with document count;
+* no full-text index: Q17/Q18 walk all text.
+"""
+
+from __future__ import annotations
+
+from ..databases.base import DatabaseClass
+from ..errors import XQueryEvalError
+from ..workload.queries import QUERIES_BY_ID
+from ..xml.nodes import Attribute, Document, Element, Node
+from ..xml.parser import parse_document
+from ..xml.serializer import serialize
+from ..xquery.engine import StaticCollection, XQueryEngine
+from ..xquery.items import string_value
+from .base import Engine, LoadStats
+
+# Accelerated plans for single-document classes: (qid, class) ->
+# (index path, parameter name, XQuery relative to each indexed node).
+# Element-value indexes (e.g. "hw") yield the value-carrying element, so
+# relative queries step up with "..".  The multi-document classes have no
+# entries: collection() iteration is the architectural cost being modeled.
+_ACCELERATED: dict[tuple[str, str], tuple[str, str, str]] = {
+    ("Q1", "dcsd"): ("item/@id", "id", "."),
+    ("Q5", "dcsd"): ("item/@id", "id", "authors/author[1]/name/last_name"),
+    ("Q8", "dcsd"): ("item/@id", "id", "*/suggested_retail_price"),
+    ("Q12", "dcsd"): ("item/@id", "id",
+                      "for $a in ./authors/author[1] return <address_info>"
+                      "{ $a/contact_information/mailing_address }"
+                      "</address_info>"),
+    ("Q5", "tcsd"): ("hw", "word", "../definition[1]/def_text"),
+    ("Q8", "tcsd"): ("hw", "word", "../*/quote/qt"),
+    ("Q11", "tcsd"): ("hw", "word",
+                      "for $q in ../definition/quote "
+                      "where exists($q/date) order by xs:date($q/date) "
+                      "return <quotation>{ $q/author }{ $q/date }"
+                      "</quotation>"),
+    ("Q12", "tcsd"): ("hw", "word",
+                      "<entry_info>{ ../definition }</entry_info>"),
+}
+
+
+class NativeEngine(Engine):
+    """In-memory tree store + real XQuery evaluation."""
+
+    key = "native"
+    row_label = "X-Hive"
+    description = "native XML DBMS analogue (tree storage, XQuery)"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._collection = StaticCollection()
+        self._xquery = XQueryEngine()
+        # index path -> {value: [nodes]}
+        self._indexes: dict[str, dict[str, list[Node]]] = {}
+
+    def bulk_load(self, db_class: DatabaseClass,
+                  texts: list[tuple[str, str]]) -> LoadStats:
+        self._collection = StaticCollection()
+        self._indexes.clear()
+        for name, text in texts:
+            self._collection.add(parse_document(text, name=name))
+        return LoadStats(rows=0, notes=["parsed into trees"])
+
+    def create_indexes(self, paths: list[str]) -> None:
+        for path in paths:
+            self._indexes[path] = self._build_index(path)
+
+    def drop_indexes(self) -> None:
+        self._indexes.clear()
+
+    def _build_index(self, path: str) -> dict[str, list[Node]]:
+        """Index every document: value -> value-carrying nodes.
+
+        Paths are either ``tag/@attr`` (index owner elements by attribute
+        value) or a bare element tag (index the elements by their text).
+        """
+        index: dict[str, list[Node]] = {}
+        for document in self._collection.collection():
+            self._index_document(path, index, document)
+        return index
+
+    @staticmethod
+    def _index_document(path: str, index: dict,
+                        document: Document) -> None:
+        root = document.root_element
+        if "/@" in path:
+            tag, __, attr_name = path.partition("/@")
+            # The root element itself may carry the indexed attribute
+            # (order/@id: the root *is* the order element).
+            candidates = [root] if root.tag == tag else []
+            candidates.extend(root.descendant_elements(tag))
+            for element in candidates:
+                value = element.get(attr_name)
+                if value is not None:
+                    index.setdefault(value, []).append(element)
+        else:
+            for element in root.descendant_elements(path.split("/")[-1]):
+                index.setdefault(element.text_content(),
+                                 []).append(element)
+
+    def execute(self, qid: str, params: dict) -> list[str]:
+        assert self.db_class is not None
+        class_key = self.db_class.key
+
+        plan = _ACCELERATED.get((qid, class_key))
+        if plan is not None:
+            path, param_name, relative_query = plan
+            index = self._indexes.get(path)
+            if index is not None:
+                return self._run_accelerated(index, str(params[param_name]),
+                                             relative_query, params)
+
+        query = QUERIES_BY_ID[qid]
+        text = query.text_for(class_key)
+        context_item = None
+        if self.db_class.single_document:
+            documents = self._collection.collection()
+            if not documents:
+                raise XQueryEvalError("collection is empty")
+            context_item = documents[0]
+        result = self._xquery.execute(text, self._collection,
+                                      variables=dict(params),
+                                      context_item=context_item)
+        return normalize_result(result)
+
+    def _run_accelerated(self, index: dict[str, list[Node]], value: str,
+                         relative_query: str, params: dict) -> list[str]:
+        out: list[str] = []
+        for node in index.get(value, []):
+            result = self._xquery.execute(relative_query, self._collection,
+                                          variables=dict(params),
+                                          context_item=node)
+            out.extend(normalize_result(result))
+        return out
+
+    # -- update workload -------------------------------------------------------
+
+    def insert_document(self, name: str, text: str) -> None:
+        """Parse and add one document, maintaining value indexes."""
+        document = parse_document(text, name=name)
+        self._collection.add(document)
+        for path, index in self._indexes.items():
+            self._index_document(path, index, document)
+
+    def delete_document(self, name: str) -> None:
+        """Detach one document and purge its index entries."""
+        document = self._collection.remove(name)
+        for index in self._indexes.values():
+            for value in list(index):
+                nodes = [node for node in index[value]
+                         if node.root() is not document]
+                if nodes:
+                    index[value] = nodes
+                else:
+                    del index[value]
+
+    def update_value(self, id_path: str, id_value: str, target_tag: str,
+                     new_value: str) -> int:
+        """In-place tree edit of the matched documents' target elements."""
+        anchors = self._match_anchors(id_path, id_value)
+        changed = 0
+        for anchor in anchors:
+            scope = anchor if isinstance(anchor, Element) else None
+            if scope is None:
+                continue
+            targets = [scope] if scope.tag == target_tag else \
+                list(scope.descendant_elements(target_tag))
+            for target in targets:
+                self._retarget_indexes(target, new_value)
+                target.children = []
+                target.append_text(new_value)
+                changed += 1
+        return changed
+
+    def _match_anchors(self, id_path: str, id_value: str) -> list[Node]:
+        """Elements matching ``id_path = id_value`` (via index if built)."""
+        index = self._indexes.get(id_path)
+        if index is not None:
+            return list(index.get(id_value, ()))
+        matches: list[Node] = []
+        scratch: dict[str, list[Node]] = {}
+        for document in self._collection.collection():
+            self._index_document(id_path, scratch, document)
+        return scratch.get(id_value, matches)
+
+    def _retarget_indexes(self, element: Element, new_value: str) -> None:
+        """Move index entries keyed by the element's old text value."""
+        for path, index in self._indexes.items():
+            if "/@" in path or path.split("/")[-1] != element.tag:
+                continue
+            old_value = element.text_content()
+            nodes = index.get(old_value, [])
+            if element in nodes:
+                nodes.remove(element)
+                if not nodes:
+                    index.pop(old_value, None)
+                index.setdefault(new_value, []).append(element)
+
+    # exposed for tests / examples ------------------------------------------
+
+    def documents(self) -> list[Document]:
+        """The loaded documents (for oracle checks)."""
+        return self._collection.collection()
+
+    def run_xquery(self, text: str, params: dict | None = None) -> list:
+        """Run arbitrary XQuery against the loaded database."""
+        context_item = None
+        if self.db_class is not None and self.db_class.single_document:
+            context_item = self._collection.collection()[0]
+        return self._xquery.execute(text, self._collection,
+                                    variables=dict(params or {}),
+                                    context_item=context_item)
+
+
+def normalize_result(items: list) -> list[str]:
+    """Engine-neutral result normalization: nodes serialize, atoms print."""
+    out = []
+    for item in items:
+        if isinstance(item, (Element, Document)):
+            out.append(serialize(item))
+        elif isinstance(item, Attribute):
+            out.append(item.value)
+        elif isinstance(item, Node):
+            out.append(item.string_value())
+        else:
+            out.append(string_value(item))
+    return out

@@ -1,0 +1,250 @@
+"""Generic path evaluation over the edge/interval store.
+
+The classic payoff of interval encoding is that *arbitrary* path
+expressions can run as structural joins without any schema-specific
+translation.  This module compiles the pure-path subset of XQuery
+(parsed by :mod:`repro.xquery.parser`) into operations on an
+:class:`~repro.engines.edge.EdgeStore`:
+
+* ``child::tag`` — one ``parent_pre`` join per input node;
+* ``descendant-or-self::node()/child::tag`` (the ``//`` shorthand) — a
+  tag-index fetch filtered by interval containment;
+* ``*`` wildcards, ``@attr`` final steps and ``text()``;
+* predicates: positional (``[2]``), attribute equality
+  (``[@id = $x]``), child-value equality (``[hw = 'word_1']``) and
+  existence (``[fax]``), plus ``empty(...)``/``not(...)`` over those.
+
+Anything outside the subset raises :class:`UnsupportedPathError`; the
+caller (EdgeEngine) falls back to its handwritten plans.
+"""
+
+from __future__ import annotations
+
+from ..errors import EngineError
+from ..xquery import ast
+from ..xquery.parser import parse_query
+
+
+class UnsupportedPathError(EngineError):
+    """The expression falls outside the compilable pure-path subset."""
+
+
+def compile_path(text: str):
+    """Parse and validate a pure path expression; returns the AST."""
+    expression = parse_query(text)
+    _validate(expression)
+    return expression
+
+
+def _validate(expression) -> None:
+    if not isinstance(expression, ast.PathExpr):
+        raise UnsupportedPathError(
+            f"not a path expression: {type(expression).__name__}")
+    steps = list(expression.steps)
+    if not expression.absolute:
+        first = steps[0]
+        if not (isinstance(first, ast.FunctionCall)
+                and first.name in ("collection", "input")
+                and not first.args):
+            raise UnsupportedPathError(
+                "relative paths must start with collection()")
+        steps = steps[1:]
+    for index, step in enumerate(steps):
+        if not isinstance(step, ast.AxisStep):
+            raise UnsupportedPathError(
+                f"unsupported step {type(step).__name__}")
+        if step.axis not in ("child", "descendant-or-self",
+                             "attribute"):
+            raise UnsupportedPathError(
+                f"unsupported axis {step.axis!r}")
+        if step.axis == "attribute" and index != len(steps) - 1:
+            raise UnsupportedPathError("attribute steps must be final")
+        for predicate in step.predicates:
+            _validate_predicate(predicate)
+
+
+def _validate_predicate(predicate) -> None:
+    if isinstance(predicate, ast.Literal):
+        if isinstance(predicate.value, int):
+            return
+        raise UnsupportedPathError("unsupported literal predicate")
+    if isinstance(predicate, ast.Comparison):
+        if predicate.op not in ("=", "eq"):
+            raise UnsupportedPathError(
+                f"unsupported comparison {predicate.op!r}")
+        _validate_operand(predicate.left)
+        _validate_value(predicate.right)
+        return
+    if isinstance(predicate, ast.FunctionCall) \
+            and predicate.name in ("empty", "exists", "not") \
+            and len(predicate.args) == 1:
+        _validate_operand(predicate.args[0])
+        return
+    if isinstance(predicate, ast.PathExpr):
+        _validate_operand(predicate)
+        return
+    raise UnsupportedPathError(
+        f"unsupported predicate {type(predicate).__name__}")
+
+
+def _validate_operand(operand) -> None:
+    """A one-step relative path: child tag or @attr."""
+    if isinstance(operand, ast.AxisStep):
+        if operand.axis in ("child", "attribute") \
+                and not operand.predicates:
+            return
+    if isinstance(operand, ast.PathExpr) and not operand.absolute \
+            and len(operand.steps) == 1:
+        return _validate_operand(operand.steps[0])
+    raise UnsupportedPathError("predicate operand must be a child "
+                               "element or attribute test")
+
+
+def _validate_value(value) -> None:
+    if isinstance(value, (ast.Literal, ast.VarRef)):
+        return
+    raise UnsupportedPathError(
+        "predicate value must be a literal or variable")
+
+
+# -- execution ---------------------------------------------------------------
+
+def run_path(store, text: str, params: dict | None = None) -> list:
+    """Compile and execute; returns result items.
+
+    Element results come back as node-row dicts; attribute steps yield
+    strings; ``text()`` steps yield the elements' direct text.
+    """
+    expression = compile_path(text)
+    return execute_path(store, expression, params or {})
+
+
+def execute_path(store, expression: ast.PathExpr,
+                 params: dict) -> list:
+    steps = list(expression.steps)
+    if not expression.absolute:
+        steps = steps[1:]                    # drop collection()
+
+    # Roots: every document root element.
+    current = [row for row in store.database.scan("nodes")
+               if row["parent_pre"] is None]
+    current.sort(key=lambda row: row["pre"])
+
+    # The conceptual context is the document node, so the first child
+    # step *filters the root elements* instead of descending into them
+    # (/dictionary selects the dictionary root, not its children).
+    at_document_level = True
+
+    for index, step in enumerate(steps):
+        if at_document_level and step.axis == "child":
+            at_document_level = False
+            matched = [row for row in current
+                       if step.test == "*" or row["tag"] == step.test]
+            current = _apply_predicates(store, matched, step, params)
+            continue
+        at_document_level = False
+        if step.axis == "attribute":
+            if index != len(steps) - 1:
+                raise UnsupportedPathError(
+                    "attribute steps must be final")
+            return _attribute_values(store, current, step, params)
+        if step.test == "text()":
+            if index != len(steps) - 1:
+                raise UnsupportedPathError("text() must be final")
+            return [row["text"] or "" for row in current]
+        if step.axis == "descendant-or-self":
+            # pairs with the following child step ("//tag"); here we
+            # expand to self + all descendants, the next step filters.
+            expanded: list = []
+            seen: set[int] = set()
+            for row in current:
+                if row["pre"] not in seen:
+                    seen.add(row["pre"])
+                    expanded.append(row)
+                for descendant in store.descendants(row):
+                    if descendant["pre"] not in seen:
+                        seen.add(descendant["pre"])
+                        expanded.append(descendant)
+            expanded.sort(key=lambda row: row["pre"])
+            current = expanded
+            continue
+        # child axis
+        next_rows: list = []
+        for row in current:
+            children = store.children(row["pre"],
+                                      None if step.test == "*"
+                                      else step.test)
+            children = _apply_predicates(store, children, step,
+                                         params)
+            next_rows.extend(children)
+        current = _dedupe(next_rows)
+    return current
+
+
+def _dedupe(rows: list) -> list:
+    seen: set[int] = set()
+    out = []
+    for row in rows:
+        if row["pre"] not in seen:
+            seen.add(row["pre"])
+            out.append(row)
+    out.sort(key=lambda row: row["pre"])
+    return out
+
+
+def _attribute_values(store, rows: list, step, params: dict) -> list:
+    out = []
+    for row in rows:
+        for attr in store.attributes_of(row["pre"]):
+            if step.test == "*" or attr["name"] == step.test:
+                out.append(attr["value"])
+    return out
+
+
+def _apply_predicates(store, rows: list, step, params: dict) -> list:
+    current = rows
+    for predicate in step.predicates:
+        if isinstance(predicate, ast.Literal):
+            position = int(predicate.value)
+            current = current[position - 1:position] \
+                if position >= 1 else []
+            continue
+        current = [row for row in current
+                   if _predicate_holds(store, row, predicate, params)]
+    return current
+
+
+def _predicate_holds(store, row: dict, predicate, params: dict) -> bool:
+    if isinstance(predicate, ast.Comparison):
+        values = _operand_values(store, row, predicate.left)
+        wanted = _resolve_value(predicate.right, params)
+        return wanted in values
+    if isinstance(predicate, ast.FunctionCall):
+        inner = _operand_values(store, row, predicate.args[0])
+        if predicate.name in ("empty", "not"):
+            return not inner
+        return bool(inner)                       # exists
+    # bare path predicate: existence
+    return bool(_operand_values(store, row, predicate))
+
+
+def _operand_values(store, row: dict, operand) -> list[str]:
+    if isinstance(operand, ast.PathExpr):
+        operand = operand.steps[0]
+    if operand.axis == "attribute":
+        return [attr["value"] for attr in
+                store.attributes_of(row["pre"])
+                if operand.test == "*" or attr["name"] == operand.test]
+    children = store.children(row["pre"],
+                              None if operand.test == "*"
+                              else operand.test)
+    return [child["text"] or "" for child in children]
+
+
+def _resolve_value(value, params: dict) -> str:
+    if isinstance(value, ast.Literal):
+        return str(value.value)
+    name = value.name
+    if name not in params:
+        raise EngineError(f"unbound path parameter ${name}")
+    return str(params[name])

@@ -1,0 +1,411 @@
+"""Generic DAD/XSD-style shredding of XML documents into relational tables.
+
+A :class:`ShredPlan` is derived mechanically from a class's schema
+description, the way a DB2 XML Extender DAD or an annotated XSD describes
+the mapping:
+
+* every *repeated* element type (and the document root) becomes a table
+  ("record type") with a synthetic ``id``, a ``parent_id`` foreign key to
+  the nearest enclosing record and a ``doc`` column naming the source
+  document;
+* non-repeated descendants fold into their nearest record ancestor as
+  columns named by the element path (``pricing_cost``,
+  ``name_first_name``); attributes become columns too;
+* mixed-content elements contribute a text column — unless the engine
+  cannot map mixed content (the paper's SQL Server problem #3), in which
+  case the text is dropped;
+* recursive element types (TC/MD ``sec``) map to a single table whose
+  ``parent_id`` points at either the enclosing record or the enclosing
+  ``sec`` row.
+
+Shredded stores do **not** record sibling order (the paper's problem #2) —
+but because rows are inserted in document order, order-sensitive queries
+"happen to return correct results ... but they do not guarantee
+correctness", exactly as the paper observes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..relstore.database import Database
+from ..relstore.table import Column
+from ..relstore.types import ColumnType
+from ..xml.nodes import Document, Element, Text
+from ..xml.schema import SchemaElement
+
+#: Reserved bookkeeping columns of every record table.
+RESERVED_COLUMNS = ("id", "parent_id", "doc")
+
+#: Column name for a record element's own (possibly mixed) text content.
+CONTENT_COLUMN = "content"
+
+
+@dataclass
+class RecordType:
+    """One table of the shred plan."""
+
+    table_name: str
+    schema_node: SchemaElement
+    #: data columns in declaration order.
+    columns: list[str] = field(default_factory=list)
+    #: True when this record has its own text content column.
+    has_content: bool = False
+    #: mixed-content column names (dropped by engines without mixed support).
+    mixed_columns: list[str] = field(default_factory=list)
+
+
+@dataclass
+class ShredPlan:
+    """The full mapping for one document type (by root tag)."""
+
+    root_tag: str
+    records: list[RecordType] = field(default_factory=list)
+    #: id(schema_node) -> RecordType
+    by_schema_id: dict = field(default_factory=dict)
+    #: id(schema_node) of folded node -> (RecordType, column_name)
+    column_of: dict = field(default_factory=dict)
+    #: id(schema_node) of folded node attr -> (RecordType, column_name)
+    attr_column_of: dict = field(default_factory=dict)
+
+    def record_for(self, schema_node: SchemaElement) -> RecordType | None:
+        return self.by_schema_id.get(id(schema_node))
+
+
+def build_plan(schema: SchemaElement,
+               used_table_names: set[str] | None = None) -> ShredPlan:
+    """Derive the shred plan from a schema description."""
+    plan = ShredPlan(root_tag=schema.name)
+    used = used_table_names if used_table_names is not None else set()
+
+    def add_record(node: SchemaElement) -> RecordType:
+        table_name = node.name
+        while table_name in used:
+            table_name += "_t"
+        used.add(table_name)
+        record = RecordType(table_name, node)
+        plan.records.append(record)
+        plan.by_schema_id[id(node)] = record
+
+        def add_column(name: str, mixed: bool) -> str:
+            column = name
+            while column in record.columns or column in RESERVED_COLUMNS:
+                column += "_c"
+            record.columns.append(column)
+            if mixed:
+                record.mixed_columns.append(column)
+            return column
+
+        for attr in node.attributes:
+            column = add_column(attr, mixed=False)
+            plan.attr_column_of[(id(node), attr)] = (record, column)
+        if not node.children or node.mixed or node.has_text:
+            column = add_column(CONTENT_COLUMN, mixed=node.mixed)
+            record.has_content = True
+            plan.column_of[id(node)] = (record, column)
+
+        def fold(child: SchemaElement, prefix: str) -> None:
+            if id(child) in plan.by_schema_id:
+                return                       # recursive back-reference
+            if child.repeated:
+                add_record(child)
+                return
+            for attr in child.attributes:
+                column = add_column(f"{prefix}{child.name}_{attr}",
+                                    mixed=False)
+                plan.attr_column_of[(id(child), attr)] = (record, column)
+            if not child.children or child.mixed:
+                column = add_column(f"{prefix}{child.name}",
+                                    mixed=child.mixed)
+                plan.column_of[id(child)] = (record, column)
+            for grandchild in child.children:
+                fold(grandchild, f"{prefix}{child.name}_")
+
+        for child in node.children:
+            fold(child, "")
+        return record
+
+    add_record(schema)
+    return plan
+
+
+class ShreddedStore:
+    """Relational storage produced by shredding a document corpus.
+
+    One store may hold several plans (DC/MD shreds order documents *and*
+    the five flat-translated table documents into one database).
+    """
+
+    def __init__(self, keep_mixed_text: bool = True) -> None:
+        self.database = Database()
+        self.keep_mixed_text = keep_mixed_text
+        self.plans: dict[str, ShredPlan] = {}      # root tag -> plan
+        # Record ids are globally unique across tables so that parent_id is
+        # unambiguous even for recursive record types (sec inside sec);
+        # owner_table maps an id back to the table holding its row.
+        self._next_record_id = 0
+        self.owner_table: dict[int, str] = {}
+        self._table_names: set[str] = set()
+        self.rows_inserted = 0
+        # After build_key_indexes the store is "live": further shredding
+        # maintains indexes incrementally (update workload).
+        self.live = False
+
+    # -- DDL -----------------------------------------------------------------
+
+    def register_schema(self, schema: SchemaElement) -> ShredPlan:
+        """Derive a plan from ``schema`` and create its tables."""
+        plan = build_plan(schema, self._table_names)
+        self.plans[plan.root_tag] = plan
+        for record in plan.records:
+            columns = [Column("id", ColumnType.INTEGER, nullable=False),
+                       Column("parent_id", ColumnType.INTEGER),
+                       Column("doc", ColumnType.TEXT)]
+            columns.extend(Column(name, ColumnType.TEXT)
+                           for name in record.columns)
+            self.database.create_table(record.table_name, columns)
+        return plan
+
+    # -- loading ---------------------------------------------------------------
+
+    def shred_document(self, document: Document) -> int:
+        """Shred one document; returns the number of rows inserted."""
+        root = document.root_element
+        plan = self.plans.get(root.tag)
+        if plan is None:
+            return 0                      # unknown document type: skipped
+        rows_before = self.rows_inserted
+        self._shred_element(root, plan.records[0].schema_node, plan,
+                            parent_id=None, doc_name=document.name)
+        return self.rows_inserted - rows_before
+
+    def _next_id(self, table_name: str) -> int:
+        self._next_record_id += 1
+        self.owner_table[self._next_record_id] = table_name
+        return self._next_record_id
+
+    def _shred_element(self, element: Element, schema_node: SchemaElement,
+                       plan: ShredPlan, parent_id: int | None,
+                       doc_name: str) -> int:
+        """Insert the record row for ``element`` and recurse."""
+        record = plan.by_schema_id[id(schema_node)]
+        row: dict = {"id": self._next_id(record.table_name),
+                     "parent_id": parent_id, "doc": doc_name}
+        self._fill_columns(element, schema_node, plan, record, row, "")
+        if self.live:
+            self.database.insert_row(record.table_name, row)
+        else:
+            self.database.table(record.table_name).insert(row)
+        self.rows_inserted += 1
+        self._recurse_records(element, schema_node, plan, row["id"],
+                              doc_name)
+        return row["id"]
+
+    def _fill_columns(self, element: Element, schema_node: SchemaElement,
+                      plan: ShredPlan, record: RecordType, row: dict,
+                      prefix: str) -> None:
+        """Copy attribute/text values of the folded region into ``row``."""
+        for attr_name, attr in element.attributes.items():
+            mapping = plan.attr_column_of.get((id(schema_node), attr_name))
+            if mapping is not None and mapping[0] is record:
+                row[mapping[1]] = attr.value
+        mapping = plan.column_of.get(id(schema_node))
+        if mapping is not None and mapping[0] is record:
+            __, column = mapping
+            if schema_node.mixed and not self.keep_mixed_text:
+                row[column] = None        # SQL Server: mixed content dropped
+            else:
+                text = element.text_content()
+                row[column] = text if text else ""
+        children_by_name = {child.name: child
+                            for child in schema_node.children}
+        for child in element.child_elements():
+            child_schema = children_by_name.get(child.tag)
+            if child_schema is None:
+                continue                   # loose schema: unmapped element
+            if id(child_schema) in plan.by_schema_id:
+                continue                   # handled by _recurse_records
+            self._fill_columns(child, child_schema, plan, record, row,
+                               f"{prefix}{child.tag}_")
+
+    def _recurse_records(self, element: Element,
+                         schema_node: SchemaElement, plan: ShredPlan,
+                         record_id: int, doc_name: str) -> None:
+        """Find descendant record instances and shred them in order."""
+        children_by_name = {child.name: child
+                            for child in schema_node.children}
+        for child in element.child_elements():
+            child_schema = children_by_name.get(child.tag)
+            if child_schema is None:
+                continue
+            if id(child_schema) in plan.by_schema_id:
+                self._shred_element(child, child_schema, plan,
+                                    parent_id=record_id, doc_name=doc_name)
+            else:
+                self._recurse_records(child, child_schema, plan,
+                                      record_id, doc_name)
+
+    # -- post-load --------------------------------------------------------------
+
+    def build_key_indexes(self) -> None:
+        """Create the pk/fk hash indexes relational DBMSs build at load.
+
+        Also flips the store to *live* mode: subsequent shredding and
+        deletion maintain all indexes incrementally.
+        """
+        for plan in self.plans.values():
+            for record in plan.records:
+                self.database.create_index(record.table_name, "id", "hash")
+                self.database.create_index(record.table_name, "parent_id",
+                                           "hash")
+        self.live = True
+
+    # -- update workload ---------------------------------------------------
+
+    def delete_document(self, doc_name: str) -> int:
+        """Delete every row shredded from ``doc_name``; returns count.
+
+        A relational DELETE ... WHERE doc = ? per table — a scan unless
+        an index on ``doc`` exists, which none of the paper's mappings
+        create.
+        """
+        deleted = 0
+        for plan in self.plans.values():
+            for record in plan.records:
+                table = self.database.table(record.table_name)
+                victims = [row_id for row_id, row in table.scan()
+                           if row[table.offset("doc")] == doc_name]
+                for row_id in victims:
+                    record_id = table.value(row_id, "id")
+                    self.database.delete_row(record.table_name, row_id)
+                    self.owner_table.pop(record_id, None)
+                    deleted += 1
+        return deleted
+
+    # -- reconstruction ------------------------------------------------------
+
+    def reconstruct(self, plan: ShredPlan, record: RecordType,
+                    row: dict) -> Element:
+        """Rebuild the XML subtree of one record row from the relational
+        store — the join-heavy operation behind Q1/Q12/Q16.
+
+        Fidelity limits are those of the mapping itself (the paper's
+        Section 3.1.3): mixed-content markup comes back as flat text,
+        absent optional containers are indistinguishable from containers
+        whose leaves were all NULL, and sibling order across *different*
+        child element types follows the schema, not the original
+        document.
+        """
+        schema_node = record.schema_node
+        element = Element(schema_node.name)
+        self._fill_reconstructed(element, schema_node, plan, record, row)
+        self._attach_child_records(element, schema_node, plan, row["id"])
+        return element
+
+    def _fill_reconstructed(self, element: Element,
+                            schema_node: SchemaElement, plan: ShredPlan,
+                            record: RecordType, row: dict) -> None:
+        for attr in schema_node.attributes:
+            mapping = plan.attr_column_of.get((id(schema_node), attr))
+            if mapping and mapping[0] is record:
+                value = row.get(mapping[1])
+                if value is not None:
+                    element.set_attribute(attr, value)
+        mapping = plan.column_of.get(id(schema_node))
+        if mapping and mapping[0] is record:
+            value = row.get(mapping[1])
+            if value:
+                element.append_text(value)
+
+    def _attach_child_records(self, element: Element,
+                              schema_node: SchemaElement,
+                              plan: ShredPlan, record_id: int) -> None:
+        for child_schema in schema_node.children:
+            child_record = plan.by_schema_id.get(id(child_schema))
+            if child_record is not None:
+                if child_schema is schema_node:
+                    continue           # recursive type: rows attach below
+                for child_row in self.database.lookup(
+                        child_record.table_name, "parent_id", record_id):
+                    element.append(self.reconstruct(plan, child_record,
+                                                    child_row))
+            else:
+                child = self._reconstruct_folded(child_schema, plan,
+                                                 record_id)
+                if child is not None:
+                    element.append(child)
+        # Recursive self-children (TC/MD sec inside sec).
+        self_record = plan.by_schema_id.get(id(schema_node))
+        if self_record is not None and schema_node in schema_node.children:
+            for child_row in self.database.lookup(
+                    self_record.table_name, "parent_id", record_id):
+                element.append(self.reconstruct(plan, self_record,
+                                                child_row))
+
+    def _reconstruct_folded(self, schema_node: SchemaElement,
+                            plan: ShredPlan,
+                            record_id: int) -> Element | None:
+        """Rebuild a folded (non-record) element from its owner's row;
+        returns None when every mapped value is NULL (missing element).
+
+        Pure containers (no mapped columns of their own, e.g.
+        ``authors``) are rebuilt purely from their descendants.
+        """
+        record, row = self._owning_row(plan, schema_node, record_id)
+        element = Element(schema_node.name)
+        present = False
+        for attr in schema_node.attributes:
+            mapping = plan.attr_column_of.get((id(schema_node), attr))
+            if mapping:
+                value = row.get(mapping[1])
+                if value is not None:
+                    element.set_attribute(attr, value)
+                    present = True
+        mapping = plan.column_of.get(id(schema_node))
+        if mapping:
+            value = row.get(mapping[1])
+            if value is not None:
+                if value:
+                    element.append_text(value)
+                present = True
+        for child_schema in schema_node.children:
+            child_record = plan.by_schema_id.get(id(child_schema))
+            if child_record is not None:
+                for child_row in self.database.lookup(
+                        child_record.table_name, "parent_id", record_id):
+                    element.append(self.reconstruct(plan, child_record,
+                                                    child_row))
+                    present = True
+            else:
+                child = self._reconstruct_folded(child_schema, plan,
+                                                 record_id)
+                if child is not None:
+                    element.append(child)
+                    present = True
+        return element if present else None
+
+    def _owning_row(self, plan: ShredPlan, schema_node: SchemaElement,
+                    record_id: int):
+        """The (record, row) pair whose columns hold this folded node."""
+        for attr in schema_node.attributes:
+            mapping = plan.attr_column_of.get((id(schema_node), attr))
+            if mapping:
+                return self._record_row(mapping[0], record_id)
+        mapping = plan.column_of.get(id(schema_node))
+        if mapping:
+            return self._record_row(mapping[0], record_id)
+        # Pure container: synthesize an empty row against no record.
+        return None, {}
+
+    def _record_row(self, record: RecordType, record_id: int):
+        rows = list(self.database.lookup(record.table_name, "id",
+                                         record_id))
+        return (record, rows[0]) if rows else (None, {})
+
+    def table_for_tag(self, root_tag: str, element_tag: str):
+        """The table storing ``element_tag`` records of one plan."""
+        plan = self.plans[root_tag]
+        for record in plan.records:
+            if record.schema_node.name == element_tag:
+                return self.database.table(record.table_name)
+        raise KeyError(element_tag)

@@ -1,0 +1,104 @@
+"""Exception hierarchy shared by every XBench subsystem.
+
+All library errors derive from :class:`ReproError` so applications can catch
+one base class.  Engine-specific "this configuration cannot run" conditions
+(the ``-`` cells in the paper's tables) raise
+:class:`UnsupportedConfiguration`, which the benchmark report layer renders
+as ``-`` exactly like the paper does.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the XBench reproduction."""
+
+
+class XMLError(ReproError):
+    """Base class for XML document-model and parsing errors."""
+
+
+class XMLParseError(XMLError):
+    """Raised when a document is not well-formed.
+
+    Carries the 1-based ``line`` and ``column`` of the offending input.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class XQueryError(ReproError):
+    """Base class for all XQuery engine errors."""
+
+
+class XQuerySyntaxError(XQueryError):
+    """Raised by the XQuery lexer/parser on malformed query text."""
+
+    def __init__(self, message: str, position: int = -1):
+        self.position = position
+        if position >= 0:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+
+
+class XQueryTypeError(XQueryError):
+    """Raised when a value has the wrong type for an operation (err:XPTY)."""
+
+
+class XQueryEvalError(XQueryError):
+    """Raised for dynamic evaluation errors (unknown function, bad cast...)."""
+
+
+class GenerationError(ReproError):
+    """Raised when a ToXgene template cannot be instantiated."""
+
+
+class RelStoreError(ReproError):
+    """Base class for the mini relational engine."""
+
+
+class SchemaError(RelStoreError):
+    """Raised on invalid table/index definitions or constraint violations."""
+
+
+class EngineError(ReproError):
+    """Base class for DBMS engine analogue errors."""
+
+
+class UnsupportedConfiguration(EngineError):
+    """The engine cannot run this (class, scale) combination.
+
+    Mirrors the ``-`` cells of the paper's tables, e.g. DB2 Xcolumn on
+    single-document classes, or DB2 Xcollection beyond the small scale on
+    single-document classes (1024-row decomposition limit).
+    """
+
+
+class LoadError(EngineError):
+    """Raised when bulk loading a document collection fails."""
+
+
+class UnsupportedOperation(EngineError):
+    """The engine does not support this update operation on this class.
+
+    The first XBench version is query-only; the update workload is this
+    reproduction's implementation of the paper's planned extension #2
+    ("update workloads"), and applies to the multi-document classes.
+    """
+
+
+class UnsupportedQuery(EngineError):
+    """The engine has no translation for this workload query.
+
+    The paper hand-translates only the experiment subset (Q5, Q8, Q12,
+    Q14, Q17) to SQL; the relational analogues mirror that scope.
+    """
+
+
+class BenchmarkError(ReproError):
+    """Raised by the benchmark driver for invalid experiment requests."""

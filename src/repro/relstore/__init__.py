@@ -1,0 +1,43 @@
+"""Mini relational engine: typed tables, indexes, iterator operators."""
+
+from .database import Database
+from .index import HashIndex, SortedIndex
+from .operators import (
+    distinct,
+    group_by,
+    hash_join,
+    index_lookup,
+    index_range,
+    left_outer_hash_join,
+    limit,
+    nested_loop_join,
+    order_by,
+    project,
+    select,
+    seq_scan,
+)
+from .table import Column, Table
+from .types import ColumnType, coerce, sort_key
+
+__all__ = [
+    "Database",
+    "HashIndex",
+    "SortedIndex",
+    "distinct",
+    "group_by",
+    "hash_join",
+    "index_lookup",
+    "index_range",
+    "left_outer_hash_join",
+    "limit",
+    "nested_loop_join",
+    "order_by",
+    "project",
+    "select",
+    "seq_scan",
+    "Column",
+    "Table",
+    "ColumnType",
+    "coerce",
+    "sort_key",
+]

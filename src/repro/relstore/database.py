@@ -1,0 +1,136 @@
+"""Database facade: named tables + named indexes + access-path selection."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence
+
+from ..errors import SchemaError
+from .index import HashIndex, SortedIndex
+from .operators import index_lookup, index_range, seq_scan
+from .table import Column, Table
+
+
+class Database:
+    """A catalog of tables and their secondary indexes."""
+
+    def __init__(self, name: str = "db") -> None:
+        self.name = name
+        self.tables: dict[str, Table] = {}
+        # (table, column) -> index
+        self.indexes: dict[tuple[str, str], SortedIndex | HashIndex] = {}
+
+    # -- DDL ---------------------------------------------------------------
+
+    def create_table(self, name: str, columns: Sequence[Column]) -> Table:
+        if name in self.tables:
+            raise SchemaError(f"table {name} already exists")
+        table = Table(name, columns)
+        self.tables[name] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise SchemaError(f"no table {name}") from None
+
+    def create_index(self, table_name: str, column_name: str,
+                     kind: str = "sorted",
+                     unique: bool = False) -> SortedIndex | HashIndex:
+        """Build a secondary index (kind: ``sorted`` or ``hash``)."""
+        table = self.table(table_name)
+        if kind == "sorted":
+            index: SortedIndex | HashIndex = SortedIndex(
+                table, column_name, unique)
+        elif kind == "hash":
+            index = HashIndex(table, column_name, unique)
+        else:
+            raise SchemaError(f"unknown index kind {kind!r}")
+        self.indexes[(table_name, column_name)] = index
+        return index
+
+    def drop_indexes(self) -> None:
+        """Drop every secondary index (for the index-ablation bench)."""
+        self.indexes.clear()
+
+    def index_for(self, table_name: str,
+                  column_name: str) -> Optional[SortedIndex | HashIndex]:
+        return self.indexes.get((table_name, column_name))
+
+    # -- DML with index maintenance (update workload) ------------------------
+
+    def insert_row(self, table_name: str, values: dict) -> int:
+        """Insert a row, maintaining every index on the table."""
+        table = self.table(table_name)
+        row_id = table.insert(values)
+        for (indexed_table, column), index in self.indexes.items():
+            if indexed_table == table_name:
+                index.insert(table.value(row_id, column), row_id)
+        return row_id
+
+    def delete_row(self, table_name: str, row_id: int) -> None:
+        """Tombstone a row, maintaining every index on the table."""
+        table = self.table(table_name)
+        for (indexed_table, column), index in self.indexes.items():
+            if indexed_table == table_name:
+                index.remove(table.value(row_id, column), row_id)
+        table.delete(row_id)
+
+    def update_cell(self, table_name: str, row_id: int, column: str,
+                    value: object) -> None:
+        """Update one cell, maintaining the index on that column."""
+        table = self.table(table_name)
+        previous = table.update(row_id, column, value)
+        index = self.indexes.get((table_name, column))
+        if index is not None:
+            index.remove(previous, row_id)
+            index.insert(table.value(row_id, column), row_id)
+
+    # -- access paths -----------------------------------------------------------
+
+    def lookup(self, table_name: str, column_name: str,
+               value: object) -> Iterator[dict]:
+        """Equality access: via index when one exists, else a scan."""
+        table = self.table(table_name)
+        index = self.index_for(table_name, column_name)
+        if index is not None:
+            return index_lookup(table, index, value)
+        return seq_scan(table,
+                        lambda row: row.get(column_name) == value)
+
+    def range_scan(self, table_name: str, column_name: str,
+                   low: object = None, high: object = None
+                   ) -> Iterator[dict]:
+        """Range access: via a sorted index when available, else a scan."""
+        table = self.table(table_name)
+        index = self.index_for(table_name, column_name)
+        if isinstance(index, SortedIndex):
+            return index_range(table, index, low, high)
+
+        def in_range(row: dict) -> bool:
+            value = row.get(column_name)
+            if value is None:
+                return False
+            if low is not None and value < low:
+                return False
+            if high is not None and value > high:
+                return False
+            return True
+
+        return seq_scan(table, in_range)
+
+    def scan(self, table_name: str) -> Iterator[dict]:
+        """Full scan of a table."""
+        return seq_scan(self.table(table_name))
+
+    # -- stats ----------------------------------------------------------------
+
+    def total_rows(self) -> int:
+        return sum(len(table) for table in self.tables.values())
+
+    def reset_scan_counters(self) -> None:
+        for table in self.tables.values():
+            table.rows_scanned = 0
+
+    def rows_scanned(self) -> int:
+        return sum(table.rows_scanned for table in self.tables.values())

@@ -1,0 +1,158 @@
+"""Secondary indexes: sorted (B-tree-like) and hash.
+
+A :class:`SortedIndex` keeps ``(key, row_id)`` pairs in a sorted list and
+answers point and range lookups by bisection — O(log n) like a B-tree
+without the page machinery.  A :class:`HashIndex` answers equality lookups
+in O(1).  Both index a single column; NULL keys are not indexed (SQL
+semantics: predicates never match NULL).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterator, Optional
+
+from ..errors import SchemaError
+from .table import Table
+from .types import sort_key
+
+
+class SortedIndex:
+    """Ordered index over one column of a table."""
+
+    def __init__(self, table: Table, column_name: str,
+                 unique: bool = False) -> None:
+        self.table = table
+        self.column_name = column_name
+        self.unique = unique
+        offset = table.offset(column_name)
+        entries = []
+        for row_id, row in enumerate(table.rows):
+            if row is None:
+                continue                     # deleted row
+            key = row[offset]
+            if key is None:
+                continue
+            entries.append((sort_key(key), row_id))
+        entries.sort()
+        if unique:
+            for previous, current in zip(entries, entries[1:]):
+                if previous[0] == current[0]:
+                    raise SchemaError(
+                        f"unique index {table.name}.{column_name}: "
+                        f"duplicate key {current[0][1]!r}")
+        self._keys = [entry[0] for entry in entries]
+        self._row_ids = [entry[1] for entry in entries]
+
+    def lookup(self, value: object) -> list[int]:
+        """Row ids whose column equals ``value``."""
+        key = sort_key(value)
+        left = bisect.bisect_left(self._keys, key)
+        right = bisect.bisect_right(self._keys, key)
+        return self._row_ids[left:right]
+
+    def range(self, low: object = None, high: object = None,
+              include_low: bool = True,
+              include_high: bool = True) -> list[int]:
+        """Row ids with column values in the given (closed) range.
+
+        ``None`` bounds are open ends.  NULLs never match.
+        """
+        if low is None:
+            left = 0
+        else:
+            key = sort_key(low)
+            left = (bisect.bisect_left(self._keys, key) if include_low
+                    else bisect.bisect_right(self._keys, key))
+        if high is None:
+            right = len(self._keys)
+        else:
+            key = sort_key(high)
+            right = (bisect.bisect_right(self._keys, key) if include_high
+                     else bisect.bisect_left(self._keys, key))
+        return self._row_ids[left:right]
+
+    def first(self) -> Optional[int]:
+        """Row id of the smallest key, or None if the index is empty."""
+        return self._row_ids[0] if self._row_ids else None
+
+    # -- incremental maintenance (update workload) -------------------------
+
+    def insert(self, value: object, row_id: int) -> None:
+        """Add one entry (B-tree style O(log n) locate + insert)."""
+        if value is None:
+            return
+        key = sort_key(value)
+        position = bisect.bisect_right(self._keys, key)
+        self._keys.insert(position, key)
+        self._row_ids.insert(position, row_id)
+
+    def remove(self, value: object, row_id: int) -> None:
+        """Remove one entry; silently ignores missing entries."""
+        if value is None:
+            return
+        key = sort_key(value)
+        left = bisect.bisect_left(self._keys, key)
+        right = bisect.bisect_right(self._keys, key)
+        for position in range(left, right):
+            if self._row_ids[position] == row_id:
+                del self._keys[position]
+                del self._row_ids[position]
+                return
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+
+class HashIndex:
+    """Equality-only index over one column of a table."""
+
+    def __init__(self, table: Table, column_name: str,
+                 unique: bool = False) -> None:
+        self.table = table
+        self.column_name = column_name
+        self.unique = unique
+        offset = table.offset(column_name)
+        buckets: dict[object, list[int]] = {}
+        for row_id, row in enumerate(table.rows):
+            if row is None:
+                continue                     # deleted row
+            key = row[offset]
+            if key is None:
+                continue
+            bucket = buckets.setdefault(key, [])
+            if unique and bucket:
+                raise SchemaError(
+                    f"unique index {table.name}.{column_name}: "
+                    f"duplicate key {key!r}")
+            bucket.append(row_id)
+        self._buckets = buckets
+
+    def lookup(self, value: object) -> list[int]:
+        """Row ids whose column equals ``value``."""
+        return list(self._buckets.get(value, ()))
+
+    def insert(self, value: object, row_id: int) -> None:
+        """Add one entry."""
+        if value is None:
+            return
+        bucket = self._buckets.setdefault(value, [])
+        if self.unique and bucket:
+            raise SchemaError(
+                f"unique index {self.table.name}.{self.column_name}: "
+                f"duplicate key {value!r}")
+        bucket.append(row_id)
+
+    def remove(self, value: object, row_id: int) -> None:
+        """Remove one entry; silently ignores missing entries."""
+        bucket = self._buckets.get(value)
+        if bucket and row_id in bucket:
+            bucket.remove(row_id)
+            if not bucket:
+                del self._buckets[value]
+
+    def keys(self) -> Iterator[object]:
+        return iter(self._buckets)
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._buckets.values())

@@ -1,0 +1,140 @@
+"""Iterator-style relational operators.
+
+These are the physical operators the engine analogues compose into query
+plans: scans, index lookups, selection, projection, nested-loop and hash
+joins, sorting, grouping and limits.  All operate on (and yield) plain
+dicts keyed by column name, optionally qualified by the caller.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Optional
+
+from .index import HashIndex, SortedIndex
+from .table import Table
+from .types import sort_key
+
+Row = dict
+Predicate = Callable[[Row], bool]
+
+
+def seq_scan(table: Table, predicate: Optional[Predicate] = None
+             ) -> Iterator[Row]:
+    """Full table scan with an optional filter."""
+    for row_id, _ in table.scan():
+        row = table.as_dict(row_id)
+        if predicate is None or predicate(row):
+            yield row
+
+
+def index_lookup(table: Table, index: HashIndex | SortedIndex,
+                 value: object) -> Iterator[Row]:
+    """Point lookup through an index."""
+    for row_id in index.lookup(value):
+        yield table.as_dict(row_id)
+
+
+def index_range(table: Table, index: SortedIndex, low: object = None,
+                high: object = None) -> Iterator[Row]:
+    """Closed-range lookup through a sorted index."""
+    for row_id in index.range(low, high):
+        yield table.as_dict(row_id)
+
+
+def select(rows: Iterable[Row], predicate: Predicate) -> Iterator[Row]:
+    """Filter."""
+    return (row for row in rows if predicate(row))
+
+
+def project(rows: Iterable[Row], columns: list[str]) -> Iterator[Row]:
+    """Keep only ``columns``."""
+    for row in rows:
+        yield {column: row.get(column) for column in columns}
+
+
+def nested_loop_join(outer: Iterable[Row], inner_source: Callable[[], Iterable[Row]],
+                     condition: Callable[[Row, Row], bool]) -> Iterator[Row]:
+    """Naive nested-loop join; ``inner_source`` is re-iterated per outer row."""
+    for outer_row in outer:
+        for inner_row in inner_source():
+            if condition(outer_row, inner_row):
+                yield {**outer_row, **inner_row}
+
+
+def hash_join(left: Iterable[Row], right: Iterable[Row], left_key: str,
+              right_key: str) -> Iterator[Row]:
+    """Equi-join by building a hash table on the left input."""
+    buckets: dict[object, list[Row]] = {}
+    for row in left:
+        key = row.get(left_key)
+        if key is not None:
+            buckets.setdefault(key, []).append(row)
+    for row in right:
+        key = row.get(right_key)
+        if key is None:
+            continue
+        for match in buckets.get(key, ()):
+            yield {**match, **row}
+
+
+def left_outer_hash_join(left: Iterable[Row], right: Iterable[Row],
+                         left_key: str, right_key: str) -> Iterator[Row]:
+    """Left outer equi-join (unmatched left rows pass through)."""
+    buckets: dict[object, list[Row]] = {}
+    right_rows = list(right)
+    for row in right_rows:
+        key = row.get(right_key)
+        if key is not None:
+            buckets.setdefault(key, []).append(row)
+    for row in left:
+        key = row.get(left_key)
+        matches = buckets.get(key, []) if key is not None else []
+        if matches:
+            for match in matches:
+                yield {**row, **match}
+        else:
+            yield dict(row)
+
+
+def order_by(rows: Iterable[Row], keys: list[tuple[str, bool]]) -> list[Row]:
+    """Sort rows by (column, descending) keys; NULLs sort first."""
+    materialized = list(rows)
+    for column, descending in reversed(keys):
+        materialized.sort(key=lambda row: sort_key(row.get(column)),
+                          reverse=descending)
+    return materialized
+
+
+def group_by(rows: Iterable[Row], key_columns: list[str],
+             aggregates: dict[str, Callable[[list[Row]], object]]
+             ) -> Iterator[Row]:
+    """Group rows and compute named aggregates per group."""
+    groups: dict[tuple, list[Row]] = {}
+    for row in rows:
+        key = tuple(row.get(column) for column in key_columns)
+        groups.setdefault(key, []).append(row)
+    for key, members in groups.items():
+        result = dict(zip(key_columns, key))
+        for name, aggregate in aggregates.items():
+            result[name] = aggregate(members)
+        yield result
+
+
+def limit(rows: Iterable[Row], count: int) -> Iterator[Row]:
+    """First ``count`` rows."""
+    iterator = iter(rows)
+    for _ in range(count):
+        try:
+            yield next(iterator)
+        except StopIteration:
+            return
+
+
+def distinct(rows: Iterable[Row], columns: list[str]) -> Iterator[Row]:
+    """Duplicate elimination over the named columns."""
+    seen: set[tuple] = set()
+    for row in rows:
+        key = tuple(row.get(column) for column in columns)
+        if key not in seen:
+            seen.add(key)
+            yield {column: row.get(column) for column in columns}

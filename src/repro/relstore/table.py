@@ -1,0 +1,123 @@
+"""Heap tables with typed columns.
+
+Rows are stored as Python lists in insertion order; a row id is its slot
+index.  The storage model is deliberately simple — the benchmark compares
+architectures (shredded relational vs. native tree), not page layouts —
+but all access paths are mediated by the table so the engine can count
+rows scanned (used by the index-ablation benchmark).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence
+
+from ..errors import SchemaError
+from .types import ColumnType, coerce
+
+
+@dataclass(frozen=True)
+class Column:
+    """One typed column."""
+
+    name: str
+    type: ColumnType
+    nullable: bool = True
+
+
+class Table:
+    """A heap of typed rows."""
+
+    def __init__(self, name: str, columns: Sequence[Column]) -> None:
+        if not columns:
+            raise SchemaError(f"table {name}: no columns")
+        names = [column.name for column in columns]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"table {name}: duplicate column names")
+        self.name = name
+        self.columns = tuple(columns)
+        self.offsets = {column.name: index
+                        for index, column in enumerate(columns)}
+        # Deleted rows become None tombstones so row ids stay stable
+        # (indexes reference row ids); scans skip tombstones.
+        self.rows: list[list | None] = []
+        self.live_rows = 0
+        self.rows_scanned = 0
+
+    def offset(self, column_name: str) -> int:
+        """The slot index of ``column_name``."""
+        try:
+            return self.offsets[column_name]
+        except KeyError:
+            raise SchemaError(
+                f"table {self.name}: no column {column_name!r}") from None
+
+    def insert(self, values: dict) -> int:
+        """Insert a row from a column-name dict; return its row id."""
+        row = []
+        for column in self.columns:
+            value = coerce(values.get(column.name), column.type)
+            if value is None and not column.nullable:
+                raise SchemaError(
+                    f"{self.name}.{column.name} is NOT NULL")
+            row.append(value)
+        self.rows.append(row)
+        self.live_rows += 1
+        return len(self.rows) - 1
+
+    def insert_many(self, rows: Iterator[dict]) -> int:
+        """Bulk insert; returns the number of rows inserted."""
+        count = 0
+        for values in rows:
+            self.insert(values)
+            count += 1
+        return count
+
+    def get(self, row_id: int) -> list:
+        """Fetch one row by id (raises on deleted rows)."""
+        row = self.rows[row_id]
+        if row is None:
+            raise SchemaError(f"{self.name}: row {row_id} was deleted")
+        return row
+
+    def delete(self, row_id: int) -> None:
+        """Tombstone one row (row ids of other rows are unaffected)."""
+        if self.rows[row_id] is not None:
+            self.rows[row_id] = None
+            self.live_rows -= 1
+
+    def update(self, row_id: int, column_name: str,
+               value: object) -> object:
+        """Set one cell; returns the previous value."""
+        offset = self.offset(column_name)
+        column = self.columns[offset]
+        row = self.get(row_id)
+        previous = row[offset]
+        row[offset] = coerce(value, column.type)
+        return previous
+
+    def value(self, row_id: int, column_name: str) -> object:
+        """One cell."""
+        return self.get(row_id)[self.offset(column_name)]
+
+    def scan(self) -> Iterator[tuple[int, list]]:
+        """Full scan yielding (row_id, row); bumps the scan counter.
+
+        Tombstones are skipped but still counted as scanned pages.
+        """
+        for row_id, row in enumerate(self.rows):
+            self.rows_scanned += 1
+            if row is not None:
+                yield row_id, row
+
+    def as_dict(self, row_id: int) -> dict:
+        """A row as a column-name dict (for result assembly)."""
+        row = self.get(row_id)
+        return {column.name: row[index]
+                for index, column in enumerate(self.columns)}
+
+    def __len__(self) -> int:
+        return self.live_rows
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Table {self.name} rows={len(self.rows)}>"

@@ -1,0 +1,58 @@
+"""Column types and value coercion for the mini relational engine."""
+
+from __future__ import annotations
+
+import enum
+
+from ..errors import SchemaError
+
+
+class ColumnType(enum.Enum):
+    """Supported SQL-ish column types."""
+
+    INTEGER = "integer"
+    DECIMAL = "decimal"
+    TEXT = "text"
+    DATE = "date"          # stored as ISO text; compares chronologically
+    CLOB = "clob"          # large text (whole XML documents in Xcolumn)
+
+
+def coerce(value: object, column_type: ColumnType) -> object:
+    """Coerce ``value`` to the Python representation of ``column_type``.
+
+    ``None`` passes through (NULL).  Raises :class:`SchemaError` on values
+    that cannot be represented.
+    """
+    if value is None:
+        return None
+    try:
+        if column_type is ColumnType.INTEGER:
+            if isinstance(value, bool):
+                raise ValueError("boolean is not an integer")
+            if isinstance(value, float) and not value.is_integer():
+                raise ValueError(f"{value!r} is not integral")
+            return int(value)
+        if column_type is ColumnType.DECIMAL:
+            return float(value)
+        if column_type in (ColumnType.TEXT, ColumnType.CLOB):
+            return value if isinstance(value, str) else str(value)
+        if column_type is ColumnType.DATE:
+            text = value if isinstance(value, str) else str(value)
+            parts = text.split("-")
+            if len(parts) != 3 or not all(p.isdigit() for p in parts):
+                raise ValueError(f"{text!r} is not an ISO date")
+            return text
+    except (TypeError, ValueError) as exc:
+        raise SchemaError(
+            f"cannot store {value!r} as {column_type.value}: {exc}"
+        ) from None
+    raise SchemaError(f"unknown column type {column_type!r}")
+
+
+def sort_key(value: object) -> tuple:
+    """A NULL-safe, type-bucketed sort key (NULLs first)."""
+    if value is None:
+        return (0, 0)
+    if isinstance(value, (int, float)):
+        return (1, value)
+    return (2, value)

@@ -1,0 +1,17 @@
+"""Corpus statistics analysis and distribution fitting (Section 2.1.1)."""
+
+from .analyzer import CorpusStats, analyze_corpus, format_table2
+from .fitting import Fit, best_fit, fit_exponential, fit_normal, \
+    fit_uniform, fit_zipf
+
+__all__ = [
+    "CorpusStats",
+    "analyze_corpus",
+    "format_table2",
+    "Fit",
+    "best_fit",
+    "fit_exponential",
+    "fit_normal",
+    "fit_uniform",
+    "fit_zipf",
+]

@@ -1,0 +1,127 @@
+"""Fit standard probability distributions to collected frequencies.
+
+"Based on the statistics, frequency distributions are computed and
+standard probability distributions are fit to the data" (Section 2.1.1).
+Candidates are the distributions the generator itself uses — uniform,
+normal, exponential and Zipf — so a round trip (generate, analyze, fit)
+should recover the generating family; tests assert that it does.
+
+scipy is used when available for maximum-likelihood fits and the
+Kolmogorov-Smirnov statistic; a pure-Python moment-based fallback keeps
+the module importable without scipy.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+try:                                    # pragma: no cover - import guard
+    from scipy import stats as _scipy_stats
+except ImportError:                     # pragma: no cover
+    _scipy_stats = None
+
+
+@dataclass(frozen=True)
+class Fit:
+    """One candidate distribution's fit quality."""
+
+    family: str
+    params: tuple
+    score: float          # lower is better (KS statistic or proxy)
+
+    def __str__(self) -> str:
+        params = ", ".join(f"{p:.3g}" for p in self.params)
+        return f"{self.family}({params}) ks={self.score:.3f}"
+
+
+def _moments(samples: list[float]) -> tuple[float, float]:
+    mean = sum(samples) / len(samples)
+    variance = sum((value - mean) ** 2 for value in samples) / len(samples)
+    return mean, math.sqrt(variance)
+
+
+def _ks_statistic(samples: list[float], cdf) -> float:
+    """Kolmogorov-Smirnov distance between samples and a model CDF."""
+    ordered = sorted(samples)
+    n = len(ordered)
+    worst = 0.0
+    for index, value in enumerate(ordered, start=1):
+        model = cdf(value)
+        worst = max(worst, abs(index / n - model),
+                    abs((index - 1) / n - model))
+    return worst
+
+
+def fit_normal(samples: list[float]) -> Fit:
+    """Gaussian fit by moments; KS scored."""
+    mean, sd = _moments(samples)
+    sd = max(sd, 1e-9)
+    if _scipy_stats is not None:
+        score = float(_scipy_stats.kstest(samples, "norm",
+                                          args=(mean, sd)).statistic)
+    else:
+        def cdf(value: float) -> float:
+            return 0.5 * (1 + math.erf((value - mean) / (sd * math.sqrt(2))))
+        score = _ks_statistic(samples, cdf)
+    return Fit("normal", (mean, sd), score)
+
+
+def fit_exponential(samples: list[float]) -> Fit:
+    """Exponential fit (MLE mean); KS scored.  Requires positive data."""
+    mean = max(sum(samples) / len(samples), 1e-9)
+    if _scipy_stats is not None:
+        score = float(_scipy_stats.kstest(samples, "expon",
+                                          args=(0, mean)).statistic)
+    else:
+        def cdf(value: float) -> float:
+            return 1 - math.exp(-max(value, 0.0) / mean)
+        score = _ks_statistic(samples, cdf)
+    return Fit("exponential", (mean,), score)
+
+
+def fit_uniform(samples: list[float]) -> Fit:
+    """Uniform on the observed range; KS scored."""
+    low, high = min(samples), max(samples)
+    span = max(high - low, 1e-9)
+
+    def cdf(value: float) -> float:
+        return min(max((value - low) / span, 0.0), 1.0)
+
+    return Fit("uniform", (low, high), _ks_statistic(samples, cdf))
+
+
+def fit_zipf(rank_frequencies: list[int]) -> Fit:
+    """Fit a Zipf exponent to rank-ordered frequencies.
+
+    ``rank_frequencies`` must be sorted descending (frequency of rank 1,
+    rank 2, ...).  The exponent is estimated by least squares on the
+    log-log rank/frequency line; the score is the RMS residual.
+    """
+    points = [(math.log(rank), math.log(freq))
+              for rank, freq in enumerate(rank_frequencies, start=1)
+              if freq > 0]
+    if len(points) < 2:
+        return Fit("zipf", (1.0,), float("inf"))
+    n = len(points)
+    sum_x = sum(x for x, _ in points)
+    sum_y = sum(y for _, y in points)
+    sum_xx = sum(x * x for x, _ in points)
+    sum_xy = sum(x * y for x, y in points)
+    denominator = n * sum_xx - sum_x * sum_x
+    slope = (n * sum_xy - sum_x * sum_y) / max(denominator, 1e-12)
+    intercept = (sum_y - slope * sum_x) / n
+    residual = math.sqrt(sum((y - (slope * x + intercept)) ** 2
+                             for x, y in points) / n)
+    return Fit("zipf", (-slope,), residual)
+
+
+def best_fit(samples: list[float]) -> Fit:
+    """The best (lowest-KS) of the continuous candidate families."""
+    if not samples:
+        raise ValueError("cannot fit an empty sample")
+    values = [float(value) for value in samples]
+    candidates = [fit_normal(values), fit_uniform(values)]
+    if min(values) >= 0:
+        candidates.append(fit_exponential(values))
+    return min(candidates, key=lambda fit: fit.score)

@@ -1,0 +1,59 @@
+"""ToXgene-style template-based synthetic XML data generation."""
+
+from .distributions import (
+    Bernoulli,
+    Categorical,
+    Constant,
+    Distribution,
+    Exponential,
+    Normal,
+    Uniform,
+    UniformInt,
+    Zipf,
+)
+from .generator import generate_document, generate_element
+from .template import (
+    AttrTemplate,
+    ChildTemplate,
+    ElementTemplate,
+    GenContext,
+    choice,
+    date_between,
+    decimal_in,
+    fixed,
+    number_in,
+    reference_to,
+    sentences,
+    sequence_id,
+    words,
+)
+from .text import TextPool, make_vocabulary
+
+__all__ = [
+    "Bernoulli",
+    "Categorical",
+    "Constant",
+    "Distribution",
+    "Exponential",
+    "Normal",
+    "Uniform",
+    "UniformInt",
+    "Zipf",
+    "generate_document",
+    "generate_element",
+    "AttrTemplate",
+    "ChildTemplate",
+    "ElementTemplate",
+    "GenContext",
+    "choice",
+    "date_between",
+    "decimal_in",
+    "fixed",
+    "number_in",
+    "reference_to",
+    "sentences",
+    "sequence_id",
+    "words",
+    "TextPool",
+    "make_vocabulary",
+]

@@ -1,0 +1,168 @@
+"""Seeded probability distributions for the data generator.
+
+The paper's database design fits standard probability distributions to the
+statistics of real corpora (Section 2.1.1) and drives the generator from
+them.  Each distribution here is a small immutable object with a
+``sample(rng)`` method; all randomness flows through an explicit
+``random.Random`` so generation is deterministic given a seed.
+
+``minimum``/``maximum`` clamp every draw, mirroring the paper's "for each
+distribution parameter, the minimum and maximum values of that distribution
+are defined in order to generate finite documents".
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Sequence
+
+
+class Distribution:
+    """Base class: a source of clamped numeric samples."""
+
+    def sample(self, rng: random.Random) -> float:
+        raise NotImplementedError
+
+    def sample_int(self, rng: random.Random) -> int:
+        """A rounded integer draw (used for occurrence counts)."""
+        return int(round(self.sample(rng)))
+
+
+@dataclass(frozen=True)
+class Constant(Distribution):
+    """Always ``value`` (degenerate distribution)."""
+
+    value: float
+
+    def sample(self, rng: random.Random) -> float:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Uniform(Distribution):
+    """Uniform on [minimum, maximum]."""
+
+    minimum: float
+    maximum: float
+
+    def __post_init__(self) -> None:
+        if self.minimum > self.maximum:
+            raise ValueError("uniform: minimum > maximum")
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.uniform(self.minimum, self.maximum)
+
+
+@dataclass(frozen=True)
+class UniformInt(Distribution):
+    """Uniform integer on [minimum, maximum] inclusive."""
+
+    minimum: int
+    maximum: int
+
+    def __post_init__(self) -> None:
+        if self.minimum > self.maximum:
+            raise ValueError("uniform-int: minimum > maximum")
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.randint(self.minimum, self.maximum)
+
+
+@dataclass(frozen=True)
+class Normal(Distribution):
+    """Gaussian with clamping."""
+
+    mean: float
+    stddev: float
+    minimum: float = float("-inf")
+    maximum: float = float("inf")
+
+    def sample(self, rng: random.Random) -> float:
+        value = rng.gauss(self.mean, self.stddev)
+        return min(max(value, self.minimum), self.maximum)
+
+
+@dataclass(frozen=True)
+class Exponential(Distribution):
+    """Exponential with the given mean, clamped."""
+
+    mean: float
+    minimum: float = 0.0
+    maximum: float = float("inf")
+
+    def __post_init__(self) -> None:
+        if self.mean <= 0:
+            raise ValueError("exponential: mean must be positive")
+
+    def sample(self, rng: random.Random) -> float:
+        value = rng.expovariate(1.0 / self.mean)
+        return min(max(value, self.minimum), self.maximum)
+
+
+@dataclass(frozen=True)
+class Zipf(Distribution):
+    """Zipf over ranks 1..n with exponent ``skew`` (word frequencies).
+
+    Sampling uses the inverse-CDF over the precomputed normalizer, O(log n)
+    per draw via bisection on the cumulative weights.
+    """
+
+    n: int
+    skew: float = 1.0
+    _cumulative: tuple = field(default=(), compare=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ValueError("zipf: n must be >= 1")
+        weights = [1.0 / math.pow(rank, self.skew)
+                   for rank in range(1, self.n + 1)]
+        total = math.fsum(weights)
+        cumulative = []
+        running = 0.0
+        for weight in weights:
+            running += weight / total
+            cumulative.append(running)
+        object.__setattr__(self, "_cumulative", tuple(cumulative))
+
+    def sample(self, rng: random.Random) -> float:
+        import bisect
+        point = rng.random()
+        rank = bisect.bisect_left(self._cumulative, point) + 1
+        return min(rank, self.n)
+
+
+@dataclass(frozen=True)
+class Bernoulli(Distribution):
+    """1 with probability p, else 0 (optional-element presence)."""
+
+    p: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.p <= 1.0:
+            raise ValueError("bernoulli: p must be in [0, 1]")
+
+    def sample(self, rng: random.Random) -> float:
+        return 1.0 if rng.random() < self.p else 0.0
+
+
+class Categorical:
+    """A weighted choice over arbitrary values (element-value-to-type
+    probability distributions in the paper's parameter list)."""
+
+    def __init__(self, values: Sequence, weights: Sequence[float] | None = None):
+        if not values:
+            raise ValueError("categorical: no values")
+        self.values = list(values)
+        if weights is None:
+            self.weights = None
+        else:
+            if len(weights) != len(values):
+                raise ValueError("categorical: len(weights) != len(values)")
+            self.weights = list(weights)
+
+    def sample(self, rng: random.Random):
+        if self.weights is None:
+            return rng.choice(self.values)
+        return rng.choices(self.values, weights=self.weights, k=1)[0]

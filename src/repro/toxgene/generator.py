@@ -1,0 +1,71 @@
+"""Instantiate templates into XML documents."""
+
+from __future__ import annotations
+
+from ..errors import GenerationError
+from ..xml.nodes import Document, Element
+from .template import ElementTemplate, GenContext
+
+# Hard cap on generated tree depth; a recursive template with a
+# non-terminating occurrence distribution is a template bug, not a reason
+# to hang the benchmark.
+_MAX_DEPTH = 64
+
+
+def generate_element(template: ElementTemplate, context: GenContext,
+                     _depth: int = 0) -> Element:
+    """Generate one element tree from ``template``."""
+    if _depth > _MAX_DEPTH:
+        raise GenerationError(
+            f"template recursion exceeds depth {_MAX_DEPTH} at "
+            f"<{template.tag}>")
+
+    element = Element(template.tag)
+    rng = context.rng
+
+    for attr in template.attrs:
+        if attr.presence >= 1.0 or rng.random() < attr.presence:
+            element.set_attribute(attr.name, attr.value(context))
+
+    if template.empty_probability and rng.random() < template.empty_probability:
+        return element
+
+    if template.mixed and template.children:
+        _generate_mixed(template, element, context, _depth)
+        return element
+
+    if template.text is not None:
+        text = template.text(context)
+        if text:
+            element.append_text(text)
+
+    for child in template.children:
+        count = max(child.occurs.sample_int(rng), 0)
+        for _ in range(count):
+            element.append(
+                generate_element(child.template, context, _depth + 1))
+    return element
+
+
+def _generate_mixed(template: ElementTemplate, element: Element,
+                    context: GenContext, depth: int) -> None:
+    """Interleave text fragments and child elements (mixed content)."""
+    if template.text is None:
+        raise GenerationError(
+            f"mixed element <{template.tag}> needs a text generator")
+    rng = context.rng
+    element.append_text(template.text(context))
+    for child in template.children:
+        count = max(child.occurs.sample_int(rng), 0)
+        for _ in range(count):
+            element.append(
+                generate_element(child.template, context, depth + 1))
+            element.append_text(template.text(context))
+
+
+def generate_document(template: ElementTemplate, context: GenContext,
+                      name: str = "") -> Document:
+    """Generate a full document (root from ``template``) named ``name``."""
+    document = Document(generate_element(template, context), name=name)
+    document.refresh_order()
+    return document

@@ -1,0 +1,167 @@
+"""Template model for the ToXgene-style generator.
+
+A template is a tree of :class:`ElementTemplate` objects mirroring the
+schema diagram of a document class.  Each node carries value generators
+(callables over the :class:`GenContext`) for its attributes and text, and
+occurrence distributions for its children — the same parameter set the
+paper extracts from real corpora: child-occurrence distributions,
+element-value distributions, attribute-value distributions and
+attribute-presence probabilities.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from .distributions import Constant, Distribution
+from .text import TextPool
+
+ValueGen = Callable[["GenContext"], str]
+
+
+class GenContext:
+    """Shared state threaded through one generation run.
+
+    Holds the seeded RNG, the text pool, monotone counters for identifier
+    generation and pools of already-issued identifiers so templates can
+    create *references between entries* (dictionary cross-references,
+    article citations) without dangling targets.
+    """
+
+    def __init__(self, seed: int = 0, pool: Optional[TextPool] = None) -> None:
+        self.rng = random.Random(seed)
+        self.pool = pool or TextPool()
+        self._counters: dict[str, int] = {}
+        self._issued: dict[str, list[str]] = {}
+
+    def next_number(self, key: str) -> int:
+        """The next value of the named counter (1-based)."""
+        value = self._counters.get(key, 0) + 1
+        self._counters[key] = value
+        return value
+
+    def issue_id(self, key: str, prefix: str = "") -> str:
+        """Mint a fresh identifier and remember it for later references."""
+        identifier = f"{prefix}{self.next_number(key)}"
+        self._issued.setdefault(key, []).append(identifier)
+        return identifier
+
+    def reference(self, key: str) -> Optional[str]:
+        """A random already-issued identifier of the given kind, if any."""
+        issued = self._issued.get(key)
+        if not issued:
+            return None
+        return self.rng.choice(issued)
+
+    def issued(self, key: str) -> list[str]:
+        """All identifiers issued under ``key`` so far."""
+        return list(self._issued.get(key, []))
+
+
+@dataclass
+class AttrTemplate:
+    """An attribute with a value generator and a presence probability."""
+
+    name: str
+    value: ValueGen
+    presence: float = 1.0
+
+
+@dataclass
+class ChildTemplate:
+    """A child element type with its occurrence distribution."""
+
+    template: "ElementTemplate"
+    occurs: Distribution = field(default_factory=lambda: Constant(1))
+
+
+@dataclass
+class ElementTemplate:
+    """One element type of a document template.
+
+    ``text`` generates the element's character data; with ``mixed`` True
+    the text is split into fragments interleaved between child elements
+    (dictionary quotation text, article paragraphs with inline markup).
+    ``empty_probability`` produces empty (null-value) instances, the
+    irregularity that Q15 probes.
+    """
+
+    tag: str
+    attrs: list[AttrTemplate] = field(default_factory=list)
+    children: list[ChildTemplate] = field(default_factory=list)
+    text: Optional[ValueGen] = None
+    mixed: bool = False
+    empty_probability: float = 0.0
+
+    def attr(self, name: str, value: ValueGen,
+             presence: float = 1.0) -> "ElementTemplate":
+        """Add an attribute template (chainable)."""
+        self.attrs.append(AttrTemplate(name, value, presence))
+        return self
+
+    def child(self, template: "ElementTemplate",
+              occurs: Optional[Distribution] = None) -> "ElementTemplate":
+        """Add a child element type (chainable)."""
+        self.children.append(ChildTemplate(template, occurs or Constant(1)))
+        return self
+
+
+# -- value generator combinators ------------------------------------------------
+
+def fixed(value: str) -> ValueGen:
+    """Always the same string."""
+    return lambda ctx: value
+
+
+def words(count: Distribution) -> ValueGen:
+    """A run of Zipf words, count drawn from ``count``."""
+    return lambda ctx: " ".join(
+        ctx.pool.words_sample(ctx.rng, max(count.sample_int(ctx.rng), 1)))
+
+
+def sentences(count: Distribution, words_per_sentence: int = 9) -> ValueGen:
+    """A paragraph of sentences."""
+    return lambda ctx: ctx.pool.paragraph(
+        ctx.rng, max(count.sample_int(ctx.rng), 1), words_per_sentence)
+
+
+def number_in(dist: Distribution) -> ValueGen:
+    """A stringified integer draw."""
+    return lambda ctx: str(dist.sample_int(ctx.rng))
+
+
+def decimal_in(dist: Distribution, digits: int = 2) -> ValueGen:
+    """A stringified fixed-point draw."""
+    return lambda ctx: f"{dist.sample(ctx.rng):.{digits}f}"
+
+
+def date_between(first_year: int, last_year: int) -> ValueGen:
+    """An ISO date within the year range."""
+    from .text import random_date
+    return lambda ctx: random_date(ctx.rng, first_year, last_year)
+
+
+def choice(values: list[str],
+           weights: Optional[list[float]] = None) -> ValueGen:
+    """A weighted categorical value."""
+    def gen(ctx: GenContext) -> str:
+        if weights is None:
+            return ctx.rng.choice(values)
+        return ctx.rng.choices(values, weights=weights, k=1)[0]
+    return gen
+
+
+def sequence_id(key: str, prefix: str = "") -> ValueGen:
+    """A fresh identifier from the context counter (also recorded for
+    back-references)."""
+    return lambda ctx: ctx.issue_id(key, prefix)
+
+
+def reference_to(key: str, fallback: str = "") -> ValueGen:
+    """A reference to a previously issued identifier of kind ``key``."""
+    def gen(ctx: GenContext) -> str:
+        target = ctx.reference(key)
+        return target if target is not None else fallback
+    return gen

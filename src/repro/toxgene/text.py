@@ -1,0 +1,149 @@
+"""Synthetic text: a deterministic vocabulary plus sentence generators.
+
+The real XBench corpora (GCIDE, OED, Reuters, Springer) are proprietary, so
+text content is synthesized from a pseudo-word vocabulary whose frequencies
+follow a Zipf law — the same qualitative shape as natural-language word
+frequencies.  The workload's search terms (``word_1``, ``word_2``, ...) are
+planted as ordinary vocabulary entries so text-search queries (Q17/Q18) hit
+a controllable fraction of the data.
+"""
+
+from __future__ import annotations
+
+import random
+
+from .distributions import Zipf
+
+# Syllable inventory used to mint pseudo-words deterministically.
+_ONSETS = ["b", "br", "c", "ch", "d", "dr", "f", "fl", "g", "gr", "h", "j",
+           "k", "l", "m", "n", "p", "pl", "qu", "r", "s", "sh", "st", "t",
+           "th", "tr", "v", "w", "z"]
+_NUCLEI = ["a", "e", "i", "o", "u", "ai", "ea", "ou", "io"]
+_CODAS = ["", "n", "r", "s", "t", "l", "m", "nd", "st", "ck"]
+
+
+def make_vocabulary(size: int) -> list[str]:
+    """Deterministically mint ``size`` distinct pseudo-words.
+
+    Words are enumerated in a fixed syllable order, so the same size always
+    yields the same vocabulary, independent of any RNG.
+    """
+    words: list[str] = []
+    seen: set[str] = set()
+    syllables = [onset + nucleus + coda
+                 for onset in _ONSETS
+                 for nucleus in _NUCLEI
+                 for coda in _CODAS]
+    index = 0
+    while len(words) < size:
+        first = syllables[index % len(syllables)]
+        second = syllables[(index * 7 + index // len(syllables))
+                           % len(syllables)]
+        word = first if index < len(syllables) else first + second
+        index += 1
+        if word not in seen:
+            seen.add(word)
+            words.append(word)
+    return words
+
+
+class TextPool:
+    """Zipf-weighted word sampler with planted search-target words.
+
+    ``target_words`` (``word_1`` .. ``word_k``) are spliced into the middle
+    ranks of the vocabulary: common enough that queries on them return
+    non-trivial results, rare enough that they are selective.
+    """
+
+    def __init__(self, vocabulary_size: int = 2000, target_count: int = 10,
+                 skew: float = 1.05) -> None:
+        base = make_vocabulary(vocabulary_size)
+        self.targets = [f"word_{index}" for index in range(1, target_count + 1)]
+        # Plant targets in the upper-middle ranks (the first quarter of the
+        # vocabulary) so text-search queries are selective but hit at small
+        # scales too.
+        step = max(len(base) // (4 * (target_count + 1)), 1)
+        for position, target in enumerate(self.targets, start=1):
+            slot = min(position * step, len(base) - 1)
+            base.insert(slot, target)
+        self.words = base
+        self._zipf = Zipf(len(self.words), skew)
+
+    def word(self, rng: random.Random) -> str:
+        """One Zipf-distributed word."""
+        rank = int(self._zipf.sample(rng))
+        return self.words[rank - 1]
+
+    def words_sample(self, rng: random.Random, count: int) -> list[str]:
+        return [self.word(rng) for _ in range(count)]
+
+    def sentence(self, rng: random.Random, word_count: int) -> str:
+        """A capitalized, period-terminated sentence."""
+        tokens = self.words_sample(rng, max(word_count, 1))
+        tokens[0] = tokens[0].capitalize()
+        return " ".join(tokens) + "."
+
+    def paragraph(self, rng: random.Random, sentence_count: int,
+                  words_per_sentence: int = 9) -> str:
+        """A paragraph of ``sentence_count`` sentences."""
+        return " ".join(self.sentence(rng, words_per_sentence)
+                        for _ in range(sentence_count))
+
+    def phrase(self, rng: random.Random, length: int = 2) -> str:
+        """An n-gram for phrase search (Q18)."""
+        return " ".join(self.words_sample(rng, length))
+
+
+# Names / titles / places reused across generators so value distributions
+# are consistent between the TC and DC classes.
+FIRST_NAMES = [
+    "alice", "benjamin", "carla", "daniel", "elena", "felix", "grace",
+    "henry", "irene", "jonas", "katrin", "liam", "maria", "nolan",
+    "olivia", "pavel", "quinn", "rosa", "stefan", "tamara", "ulrich",
+    "vera", "walter", "xenia", "yusuf", "zelda",
+]
+LAST_NAMES = [
+    "anders", "brandt", "chen", "dimitrov", "evans", "fischer", "garcia",
+    "hoffman", "ivanov", "jensen", "keller", "lindgren", "moreau",
+    "novak", "olsen", "petrov", "quist", "rossi", "schmidt", "tanaka",
+    "ueda", "varga", "weber", "xu", "yamamoto", "zhang",
+]
+COUNTRIES = [
+    "Canada", "United States", "Germany", "France", "United Kingdom",
+    "Japan", "Brazil", "Australia", "Netherlands", "Sweden", "Italy",
+    "Spain", "China", "India", "Mexico",
+]
+CITIES = [
+    "Waterloo", "Toronto", "Boston", "Berlin", "Lyon", "Cambridge",
+    "Osaka", "Recife", "Sydney", "Utrecht", "Uppsala", "Torino",
+    "Valencia", "Shanghai", "Pune", "Puebla",
+]
+SUBJECTS = [
+    "databases", "networks", "compilers", "algorithms", "graphics",
+    "security", "systems", "learning", "logic", "languages",
+]
+
+
+def person_name(rng: random.Random) -> tuple[str, str]:
+    """A (first, last) name pair, capitalized."""
+    return (rng.choice(FIRST_NAMES).capitalize(),
+            rng.choice(LAST_NAMES).capitalize())
+
+
+def random_date(rng: random.Random, first_year: int = 1990,
+                last_year: int = 2003) -> str:
+    """An ISO ``YYYY-MM-DD`` date within the given years."""
+    year = rng.randint(first_year, last_year)
+    month = rng.randint(1, 12)
+    day = rng.randint(1, 28)
+    return f"{year:04d}-{month:02d}-{day:02d}"
+
+
+def phone_number(rng: random.Random) -> str:
+    return (f"+{rng.randint(1, 99)}-{rng.randint(100, 999)}-"
+            f"{rng.randint(1000000, 9999999)}")
+
+
+def email_address(rng: random.Random, first: str, last: str) -> str:
+    domain = rng.choice(["example.org", "example.com", "mail.example.net"])
+    return f"{first.lower()}.{last.lower()}@{domain}"

@@ -1,0 +1,32 @@
+"""TPC-W substrate: schema, population, relational-to-XML mappings."""
+
+from .mapping import (
+    FLAT_DOCUMENT_NAMES,
+    build_catalog,
+    build_order_documents,
+    flat_documents,
+    flat_translation,
+)
+from .population import Population, populate
+from .schema import (
+    ALL_TABLES,
+    FLAT_TRANSLATION_TABLES,
+    TABLES_BY_NAME,
+    ForeignKey,
+    TableDef,
+)
+
+__all__ = [
+    "FLAT_DOCUMENT_NAMES",
+    "build_catalog",
+    "build_order_documents",
+    "flat_documents",
+    "flat_translation",
+    "Population",
+    "populate",
+    "ALL_TABLES",
+    "FLAT_TRANSLATION_TABLES",
+    "TABLES_BY_NAME",
+    "ForeignKey",
+    "TableDef",
+]

@@ -1,0 +1,240 @@
+"""Relational-to-XML mappings (paper Section 2.1.2).
+
+Two mapping algorithms are implemented exactly as the paper describes:
+
+* **Nested join mapping** (:func:`build_catalog`): pick a main table
+  (ITEM), map it to XML, then recursively insert all matching tuples of
+  joined tables (AUTHOR via ITEM_AUTHOR, AUTHOR_2, ADDRESS, COUNTRY,
+  PUBLISHER) as sub-elements, following foreign keys.  Each join level
+  adds depth — producing the deep ``catalog.xml`` of the DC/SD class.
+
+* **Flat translation** (:func:`flat_translation`): map a relation to an
+  element type, each tuple to an instance, each column to a sub-element.
+  NULL columns are omitted (missing elements).  Used for CUSTOMER, ITEM,
+  AUTHOR, ADDRESS and COUNTRY in the DC/MD class.
+
+ORDERS ⋈ ORDER_LINE ⋈ CC_XACTS is mapped to one document per order
+(:func:`build_order_documents`), each holding exactly one order.
+"""
+
+from __future__ import annotations
+
+from ..xml.nodes import Document, Element
+from .population import Population
+from .schema import TABLES_BY_NAME
+
+
+def _append_value(parent: Element, tag: str, value: object) -> None:
+    """Append ``<tag>value</tag>`` unless the value is NULL."""
+    if value is None:
+        return
+    parent.append_element(tag, text=str(value))
+
+
+# -- nested join mapping: catalog.xml (DC/SD) ---------------------------------
+
+def build_catalog(population: Population) -> Document:
+    """Map ITEM ⋈ ITEM_AUTHOR ⋈ AUTHOR ⋈ AUTHOR_2 ⋈ ADDRESS ⋈ COUNTRY
+    ⋈ PUBLISHER into a single deep ``catalog.xml`` document."""
+    authors = {row["a_id"]: row for row in population.author}
+    author_extra = {row["a2_id"]: row for row in population.author_2}
+    addresses = {row["addr_id"]: row for row in population.address}
+    countries = {row["co_id"]: row for row in population.country}
+    publishers = {row["pub_id"]: row for row in population.publisher}
+    authors_by_item: dict[int, list[dict]] = {}
+    for link in population.item_author:
+        authors_by_item.setdefault(link["ia_i_id"], []).append(link)
+    for links in authors_by_item.values():
+        links.sort(key=lambda link: link["ia_rank"])
+
+    root = Element("catalog")
+    for item in population.item:
+        root.append(_catalog_item(item, authors_by_item, authors,
+                                  author_extra, addresses, countries,
+                                  publishers))
+    document = Document(root, name="catalog.xml")
+    document.refresh_order()
+    return document
+
+
+def _catalog_item(item: dict, authors_by_item: dict, authors: dict,
+                  author_extra: dict, addresses: dict, countries: dict,
+                  publishers: dict) -> Element:
+    element = Element("item", {"id": str(item["i_id"])})
+    _append_value(element, "title", item["i_title"])
+    _append_value(element, "subject", item["i_subject"])
+    _append_value(element, "description", item["i_desc"])
+    _append_value(element, "isbn", item["i_isbn"])
+    _append_value(element, "date_of_release", item["i_pub_date"])
+    _append_value(element, "number_of_pages", item["i_page"])
+    _append_value(element, "backing", item["i_backing"])
+    _append_value(element, "availability_date", item["i_avail"])
+
+    pricing = element.append_element("pricing")
+    _append_value(pricing, "suggested_retail_price", item["i_srp"])
+    _append_value(pricing, "cost", item["i_cost"])
+
+    authors_element = element.append_element("authors")
+    for link in authors_by_item.get(item["i_id"], []):
+        author = authors[link["ia_a_id"]]
+        authors_element.append(
+            _catalog_author(author, author_extra, addresses, countries))
+
+    publisher = publishers[item["i_pub_id"]]
+    publisher_element = element.append_element(
+        "publisher", {"id": str(publisher["pub_id"])})
+    _append_value(publisher_element, "name", publisher["pub_name"])
+    _append_value(publisher_element, "phone", publisher["pub_phone"])
+    _append_value(publisher_element, "fax", publisher["pub_fax"])
+    _append_value(publisher_element, "email", publisher["pub_email"])
+    return element
+
+
+def _catalog_author(author: dict, author_extra: dict, addresses: dict,
+                    countries: dict) -> Element:
+    element = Element("author", {"id": str(author["a_id"])})
+    name = element.append_element("name")
+    _append_value(name, "first_name", author["a_fname"])
+    _append_value(name, "middle_name", author["a_mname"])
+    _append_value(name, "last_name", author["a_lname"])
+    _append_value(element, "date_of_birth", author["a_dob"])
+    _append_value(element, "biography", author["a_bio"])
+
+    extra = author_extra.get(author["a_id"])
+    if extra is None:
+        return element
+    contact = element.append_element("contact_information")
+    address = addresses.get(extra["a2_addr_id"])
+    if address is not None:
+        contact.append(_mailing_address(address, countries))
+    _append_value(contact, "phone", extra["a2_phone"])
+    _append_value(contact, "email", extra["a2_email"])
+    return element
+
+
+def _mailing_address(address: dict, countries: dict) -> Element:
+    element = Element("mailing_address")
+    _append_value(element, "street1", address["addr_street1"])
+    _append_value(element, "street2", address["addr_street2"])
+    _append_value(element, "city", address["addr_city"])
+    _append_value(element, "state", address["addr_state"])
+    _append_value(element, "zip", address["addr_zip"])
+    country = countries.get(address["addr_co_id"])
+    if country is not None:
+        country_element = element.append_element("country")
+        _append_value(country_element, "name", country["co_name"])
+        _append_value(country_element, "currency", country["co_currency"])
+    return element
+
+
+# -- flat translation (DC/MD side documents) -------------------------------------
+
+# Root/row element names for the five flat-translated tables.
+FLAT_DOCUMENT_NAMES = {
+    "CUSTOMER": ("customers", "customer", "customer.xml"),
+    "ITEM": ("items", "item", "item.xml"),
+    "AUTHOR": ("authors", "author", "author.xml"),
+    "ADDRESS": ("addresses", "address", "address.xml"),
+    "COUNTRY": ("countries", "country", "country.xml"),
+}
+
+
+def flat_translation(table_name: str, rows: list[dict]) -> Document:
+    """Flat-translate one table into a single XML document."""
+    root_tag, row_tag, file_name = FLAT_DOCUMENT_NAMES[table_name]
+    table = TABLES_BY_NAME[table_name]
+    root = Element(root_tag)
+    for row in rows:
+        row_element = root.append_element(row_tag)
+        for column in table.columns:
+            _append_value(row_element, column, row.get(column))
+    document = Document(root, name=file_name)
+    document.refresh_order()
+    return document
+
+
+def flat_documents(population: Population) -> list[Document]:
+    """The five flat-translated side documents of the DC/MD class."""
+    return [flat_translation(name, population.rows(name))
+            for name in FLAT_DOCUMENT_NAMES]
+
+
+# -- per-order documents: orderXXX.xml (DC/MD) --------------------------------------
+
+def build_order_documents(population: Population) -> list[Document]:
+    """Join ORDERS ⋈ ORDER_LINE ⋈ CC_XACTS and emit one document per
+    order (``order1.xml`` ... ``orderN.xml``)."""
+    lines_by_order: dict[int, list[dict]] = {}
+    for line in population.order_line:
+        lines_by_order.setdefault(line["ol_o_id"], []).append(line)
+    xact_by_order = {row["cx_o_id"]: row for row in population.cc_xacts}
+    addresses = {row["addr_id"]: row for row in population.address}
+    countries = {row["co_id"]: row for row in population.country}
+
+    documents = []
+    for order in population.orders:
+        documents.append(_order_document(order,
+                                         lines_by_order.get(order["o_id"], []),
+                                         xact_by_order.get(order["o_id"]),
+                                         addresses, countries))
+    return documents
+
+
+def _order_document(order: dict, lines: list[dict], xact: dict | None,
+                    addresses: dict, countries: dict) -> Document:
+    root = Element("order", {"id": str(order["o_id"])})
+    _append_value(root, "customer_id", order["o_c_id"])
+    _append_value(root, "order_date", order["o_date"])
+    _append_value(root, "total", order["o_total"])
+
+    # Q9 relies on the status being nested under intermediate elements
+    # whose names a path query may not know: order/*/*/order_status.
+    shipping = root.append_element("shipping_information")
+    _append_value(shipping, "ship_type", order["o_ship_type"])
+    _append_value(shipping, "ship_date", order["o_ship_date"])
+    delivery = shipping.append_element("delivery")
+    _append_value(delivery, "order_status", order["o_status"])
+    ship_address = addresses.get(order["o_ship_addr_id"])
+    if ship_address is not None:
+        shipping.append(_order_address("shipping_address", ship_address,
+                                       countries))
+
+    billing = root.append_element("billing_information")
+    if xact is not None:
+        card = billing.append_element("credit_card")
+        _append_value(card, "cc_type", xact["cx_type"])
+        _append_value(card, "cc_number", xact["cx_num"])
+        _append_value(card, "cc_name", xact["cx_name"])
+        _append_value(card, "cc_expire", xact["cx_expire"])
+        _append_value(card, "cc_auth_id", xact["cx_auth_id"])
+        _append_value(card, "transaction_amount", xact["cx_xact_amt"])
+        _append_value(card, "transaction_date", xact["cx_xact_date"])
+    bill_address = addresses.get(order["o_bill_addr_id"])
+    if bill_address is not None:
+        billing.append(_order_address("billing_address", bill_address,
+                                      countries))
+
+    lines_element = root.append_element("order_lines")
+    for line in sorted(lines, key=lambda row: row["ol_id"]):
+        line_element = lines_element.append_element(
+            "order_line", {"id": str(line["ol_id"])})
+        _append_value(line_element, "item_id", line["ol_i_id"])
+        _append_value(line_element, "quantity", line["ol_qty"])
+        _append_value(line_element, "discount", line["ol_discount"])
+        _append_value(line_element, "comments", line["ol_comments"])
+
+    document = Document(root, name=f"order{order['o_id']}.xml")
+    document.refresh_order()
+    return document
+
+
+def _order_address(tag: str, address: dict, countries: dict) -> Element:
+    element = Element(tag)
+    _append_value(element, "street1", address["addr_street1"])
+    _append_value(element, "street2", address["addr_street2"])
+    _append_value(element, "city", address["addr_city"])
+    _append_value(element, "zip", address["addr_zip"])
+    country = countries.get(address["addr_co_id"])
+    if country is not None:
+        _append_value(element, "country", country["co_name"])
+    return element

@@ -1,0 +1,242 @@
+"""Deterministic population generator for the TPC-W tables.
+
+Cardinalities scale from two knobs — ``num_items`` (DC/SD driver) and
+``num_orders`` (DC/MD driver) — the way TPC-W scales everything from the
+item count and the number of EBs.  All randomness is seeded.
+
+NULL is represented as ``None``; the mappings drop the corresponding XML
+element entirely (missing element, Q14) or emit an empty element
+(empty value, Q15), matching the irregularity classes the workload probes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..toxgene.text import (
+    CITIES,
+    COUNTRIES,
+    SUBJECTS,
+    TextPool,
+    email_address,
+    person_name,
+    phone_number,
+    random_date,
+)
+
+SHIP_TYPES = ("AIR", "UPS", "FEDEX", "SHIP", "COURIER", "MAIL")
+ORDER_STATUSES = ("PENDING", "PROCESSING", "SHIPPED", "DENIED")
+CC_TYPES = ("VISA", "MASTERCARD", "DISCOVER", "AMEX", "DINERS")
+BACKINGS = ("HARDBACK", "PAPERBACK", "USED", "AUDIO", "LIMITED-EDITION")
+
+# Fraction of publishers without a fax number (drives Q14 selectivity).
+MISSING_FAX_RATE = 0.4
+
+
+@dataclass
+class Population:
+    """All generated rows, one list of dicts per table."""
+
+    country: list[dict] = field(default_factory=list)
+    address: list[dict] = field(default_factory=list)
+    author: list[dict] = field(default_factory=list)
+    author_2: list[dict] = field(default_factory=list)
+    publisher: list[dict] = field(default_factory=list)
+    item: list[dict] = field(default_factory=list)
+    item_author: list[dict] = field(default_factory=list)
+    customer: list[dict] = field(default_factory=list)
+    orders: list[dict] = field(default_factory=list)
+    order_line: list[dict] = field(default_factory=list)
+    cc_xacts: list[dict] = field(default_factory=list)
+
+    def rows(self, table_name: str) -> list[dict]:
+        """Rows of the named table (schema names, e.g. ``ORDER_LINE``)."""
+        return getattr(self, table_name.lower())
+
+
+def populate(num_items: int = 100, num_orders: int = 100,
+             seed: int = 42) -> Population:
+    """Generate a full population.
+
+    Derived cardinalities follow TPC-W's proportions loosely:
+    one author per ~2 items (authors write several books), one customer
+    per ~3 orders, 1-5 order lines per order, exactly one credit-card
+    transaction per order.
+    """
+    rng = random.Random(seed)
+    pool = TextPool()
+    pop = Population()
+
+    _populate_countries(pop)
+    num_authors = max(num_items // 2, 3)
+    num_publishers = max(num_items // 10, 2)
+    num_customers = max(num_orders // 3, 2)
+
+    _populate_addresses(pop, rng,
+                        count=num_authors + num_customers + num_orders // 2)
+    _populate_authors(pop, rng, pool, num_authors)
+    _populate_publishers(pop, rng, num_publishers)
+    _populate_items(pop, rng, pool, num_items)
+    _populate_customers(pop, rng, num_customers)
+    _populate_orders(pop, rng, pool, num_orders)
+    return pop
+
+
+def _populate_countries(pop: Population) -> None:
+    for index, name in enumerate(COUNTRIES, start=1):
+        pop.country.append({
+            "co_id": index,
+            "co_name": name,
+            "co_currency": ["CAD", "USD", "EUR", "GBP", "JPY"][index % 5],
+            "co_exchange": round(0.5 + (index * 0.173) % 2.0, 4),
+        })
+
+
+def _populate_addresses(pop: Population, rng: random.Random,
+                        count: int) -> None:
+    for index in range(1, count + 1):
+        pop.address.append({
+            "addr_id": index,
+            "addr_street1": f"{rng.randint(1, 999)} "
+                            f"{rng.choice(CITIES).lower()} street",
+            "addr_street2": (f"suite {rng.randint(1, 99)}"
+                             if rng.random() < 0.3 else None),
+            "addr_city": rng.choice(CITIES),
+            "addr_state": (f"state-{rng.randint(1, 50)}"
+                           if rng.random() < 0.7 else None),
+            "addr_zip": f"{rng.randint(10000, 99999)}",
+            "addr_co_id": rng.randint(1, len(pop.country)),
+        })
+
+
+def _populate_authors(pop: Population, rng: random.Random, pool: TextPool,
+                      count: int) -> None:
+    for index in range(1, count + 1):
+        first, last = person_name(rng)
+        middle = person_name(rng)[0] if rng.random() < 0.4 else None
+        pop.author.append({
+            "a_id": index,
+            "a_fname": first,
+            "a_mname": middle,
+            "a_lname": last,
+            "a_dob": random_date(rng, 1920, 1980),
+            "a_bio": pool.paragraph(rng, rng.randint(1, 3)),
+        })
+        pop.author_2.append({
+            "a2_id": index,
+            "a2_addr_id": rng.randint(1, len(pop.address)),
+            "a2_phone": phone_number(rng),
+            "a2_email": email_address(rng, first, f"{last}{index}"),
+        })
+
+
+def _populate_publishers(pop: Population, rng: random.Random,
+                         count: int) -> None:
+    for index in range(1, count + 1):
+        name = f"{person_name(rng)[1]} & {person_name(rng)[1]} press"
+        pop.publisher.append({
+            "pub_id": index,
+            "pub_name": name,
+            "pub_phone": phone_number(rng),
+            "pub_fax": (phone_number(rng)
+                        if rng.random() >= MISSING_FAX_RATE else None),
+            "pub_email": f"contact{index}@publisher.example.org",
+        })
+
+
+def _populate_items(pop: Population, rng: random.Random, pool: TextPool,
+                    count: int) -> None:
+    for index in range(1, count + 1):
+        srp = round(rng.uniform(5.0, 120.0), 2)
+        pop.item.append({
+            "i_id": index,
+            "i_title": " ".join(pool.words_sample(rng, rng.randint(2, 6))),
+            "i_pub_id": rng.randint(1, len(pop.publisher)),
+            "i_pub_date": random_date(rng, 1990, 2003),
+            "i_subject": rng.choice(SUBJECTS),
+            "i_desc": pool.paragraph(rng, rng.randint(1, 4)),
+            "i_srp": srp,
+            "i_cost": round(srp * rng.uniform(0.4, 0.9), 2),
+            "i_isbn": f"{rng.randint(0, 9)}-{rng.randint(1000, 9999)}-"
+                      f"{rng.randint(1000, 9999)}-{rng.randint(0, 9)}",
+            "i_page": rng.randint(40, 1400),
+            "i_backing": rng.choice(BACKINGS),
+            "i_avail": random_date(rng, 2000, 2004),
+        })
+        author_count = rng.choices([1, 2, 3], weights=[6, 3, 1], k=1)[0]
+        author_ids = rng.sample(range(1, len(pop.author) + 1),
+                                min(author_count, len(pop.author)))
+        for rank, author_id in enumerate(author_ids, start=1):
+            pop.item_author.append({
+                "ia_i_id": index,
+                "ia_a_id": author_id,
+                "ia_rank": rank,
+            })
+
+
+def _populate_customers(pop: Population, rng: random.Random,
+                        count: int) -> None:
+    for index in range(1, count + 1):
+        first, last = person_name(rng)
+        pop.customer.append({
+            "c_id": index,
+            "c_uname": f"{first.lower()}{last.lower()}{index}",
+            "c_fname": first,
+            "c_lname": last,
+            "c_addr_id": rng.randint(1, len(pop.address)),
+            "c_phone": phone_number(rng),
+            "c_email": email_address(rng, first, f"{last}{index}"),
+            "c_since": random_date(rng, 1996, 2003),
+            "c_discount": round(rng.uniform(0.0, 0.5), 2),
+        })
+
+
+def _populate_orders(pop: Population, rng: random.Random, pool: TextPool,
+                     count: int) -> None:
+    line_id = 0
+    for index in range(1, count + 1):
+        order_date = random_date(rng, 2001, 2003)
+        status = rng.choice(ORDER_STATUSES)
+        line_count = rng.randint(1, 5)
+        lines = []
+        total = 0.0
+        for _ in range(line_count):
+            line_id += 1
+            item_id = rng.randint(1, len(pop.item))
+            quantity = rng.randint(1, 9)
+            total += pop.item[item_id - 1]["i_srp"] * quantity
+            lines.append({
+                "ol_id": line_id,
+                "ol_o_id": index,
+                "ol_i_id": item_id,
+                "ol_qty": quantity,
+                "ol_discount": round(rng.uniform(0.0, 0.3), 2),
+                "ol_comments": (pool.sentence(rng, 6)
+                                if rng.random() < 0.5 else None),
+            })
+        pop.order_line.extend(lines)
+        pop.orders.append({
+            "o_id": index,
+            "o_c_id": rng.randint(1, len(pop.customer)),
+            "o_date": order_date,
+            "o_total": round(total, 2),
+            "o_ship_type": rng.choice(SHIP_TYPES),
+            "o_ship_date": random_date(rng, 2001, 2004),
+            "o_status": status,
+            "o_bill_addr_id": rng.randint(1, len(pop.address)),
+            "o_ship_addr_id": rng.randint(1, len(pop.address)),
+        })
+        first, last = person_name(rng)
+        pop.cc_xacts.append({
+            "cx_o_id": index,
+            "cx_type": rng.choice(CC_TYPES),
+            "cx_num": f"{rng.randint(1000, 9999)}-XXXX-XXXX-"
+                      f"{rng.randint(1000, 9999)}",
+            "cx_name": f"{first} {last}",
+            "cx_expire": random_date(rng, 2004, 2008),
+            "cx_auth_id": f"AUTH{rng.randint(100000, 999999)}",
+            "cx_xact_amt": round(total, 2),
+            "cx_xact_date": order_date,
+            "cx_co_id": rng.randint(1, len(pop.country)),
+        })

@@ -1,0 +1,138 @@
+"""TPC-W relational schema (the paper's data-centric substrate).
+
+The paper takes the eight base TPC-W tables, adds AUTHOR_2 (extra author
+contact information) and PUBLISHER, and maps them to XML two ways (nested
+join mapping for the DC/SD catalog, flat translation for DC/MD).  This
+module declares the table shapes; :mod:`repro.tpcw.population` fills them
+and :mod:`repro.tpcw.mapping` converts them to XML.
+
+Rows are plain dicts keyed by column name; a :class:`TableDef` records the
+column order, primary key and foreign keys so the mini relational engine
+and the mappings can be driven generically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """``column`` references ``table``.``target_column``."""
+
+    column: str
+    table: str
+    target_column: str
+
+
+@dataclass(frozen=True)
+class TableDef:
+    """Shape of one relational table."""
+
+    name: str
+    columns: tuple[str, ...]
+    primary_key: str
+    foreign_keys: tuple[ForeignKey, ...] = field(default_factory=tuple)
+
+
+COUNTRY = TableDef(
+    name="COUNTRY",
+    columns=("co_id", "co_name", "co_currency", "co_exchange"),
+    primary_key="co_id",
+)
+
+ADDRESS = TableDef(
+    name="ADDRESS",
+    columns=("addr_id", "addr_street1", "addr_street2", "addr_city",
+             "addr_state", "addr_zip", "addr_co_id"),
+    primary_key="addr_id",
+    foreign_keys=(ForeignKey("addr_co_id", "COUNTRY", "co_id"),),
+)
+
+AUTHOR = TableDef(
+    name="AUTHOR",
+    columns=("a_id", "a_fname", "a_mname", "a_lname", "a_dob", "a_bio"),
+    primary_key="a_id",
+)
+
+# Added by XBench: supplementary author contact information.
+AUTHOR_2 = TableDef(
+    name="AUTHOR_2",
+    columns=("a2_id", "a2_addr_id", "a2_phone", "a2_email"),
+    primary_key="a2_id",
+    foreign_keys=(ForeignKey("a2_id", "AUTHOR", "a_id"),
+                  ForeignKey("a2_addr_id", "ADDRESS", "addr_id")),
+)
+
+# Added by XBench: publisher name/fax/phone/email (fax may be NULL - Q14).
+PUBLISHER = TableDef(
+    name="PUBLISHER",
+    columns=("pub_id", "pub_name", "pub_phone", "pub_fax", "pub_email"),
+    primary_key="pub_id",
+)
+
+ITEM = TableDef(
+    name="ITEM",
+    columns=("i_id", "i_title", "i_pub_id", "i_pub_date", "i_subject",
+             "i_desc", "i_srp", "i_cost", "i_isbn", "i_page", "i_backing",
+             "i_avail"),
+    primary_key="i_id",
+    foreign_keys=(ForeignKey("i_pub_id", "PUBLISHER", "pub_id"),),
+)
+
+# XBench items may have several authors (Q7 quantifies over them); the
+# association is its own table, as a join of ITEM and AUTHOR.
+ITEM_AUTHOR = TableDef(
+    name="ITEM_AUTHOR",
+    columns=("ia_i_id", "ia_a_id", "ia_rank"),
+    primary_key="ia_i_id",      # composite in spirit; (i_id, rank) unique
+    foreign_keys=(ForeignKey("ia_i_id", "ITEM", "i_id"),
+                  ForeignKey("ia_a_id", "AUTHOR", "a_id")),
+)
+
+CUSTOMER = TableDef(
+    name="CUSTOMER",
+    columns=("c_id", "c_uname", "c_fname", "c_lname", "c_addr_id",
+             "c_phone", "c_email", "c_since", "c_discount"),
+    primary_key="c_id",
+    foreign_keys=(ForeignKey("c_addr_id", "ADDRESS", "addr_id"),),
+)
+
+ORDERS = TableDef(
+    name="ORDERS",
+    columns=("o_id", "o_c_id", "o_date", "o_total", "o_ship_type",
+             "o_ship_date", "o_status", "o_bill_addr_id", "o_ship_addr_id"),
+    primary_key="o_id",
+    foreign_keys=(ForeignKey("o_c_id", "CUSTOMER", "c_id"),
+                  ForeignKey("o_bill_addr_id", "ADDRESS", "addr_id"),
+                  ForeignKey("o_ship_addr_id", "ADDRESS", "addr_id")),
+)
+
+ORDER_LINE = TableDef(
+    name="ORDER_LINE",
+    columns=("ol_id", "ol_o_id", "ol_i_id", "ol_qty", "ol_discount",
+             "ol_comments"),
+    primary_key="ol_id",
+    foreign_keys=(ForeignKey("ol_o_id", "ORDERS", "o_id"),
+                  ForeignKey("ol_i_id", "ITEM", "i_id")),
+)
+
+CC_XACTS = TableDef(
+    name="CC_XACTS",
+    columns=("cx_o_id", "cx_type", "cx_num", "cx_name", "cx_expire",
+             "cx_auth_id", "cx_xact_amt", "cx_xact_date", "cx_co_id"),
+    primary_key="cx_o_id",
+    foreign_keys=(ForeignKey("cx_o_id", "ORDERS", "o_id"),
+                  ForeignKey("cx_co_id", "COUNTRY", "co_id")),
+)
+
+ALL_TABLES: tuple[TableDef, ...] = (
+    COUNTRY, ADDRESS, AUTHOR, AUTHOR_2, PUBLISHER, ITEM, ITEM_AUTHOR,
+    CUSTOMER, ORDERS, ORDER_LINE, CC_XACTS,
+)
+
+TABLES_BY_NAME: dict[str, TableDef] = {t.name: t for t in ALL_TABLES}
+
+# The five tables the paper maps with flat translation to DC/MD documents.
+FLAT_TRANSLATION_TABLES = ("CUSTOMER", "ITEM", "AUTHOR", "ADDRESS",
+                           "COUNTRY")

@@ -1,0 +1,19 @@
+"""The XBench 20-query workload and parameter binding."""
+
+from .params import bind_params
+from .queries import (
+    ALL_QUERIES,
+    EXPERIMENT_QUERIES,
+    QUERIES_BY_ID,
+    WorkloadQuery,
+    workload_for_class,
+)
+
+__all__ = [
+    "bind_params",
+    "ALL_QUERIES",
+    "EXPERIMENT_QUERIES",
+    "QUERIES_BY_ID",
+    "WorkloadQuery",
+    "workload_for_class",
+]

@@ -1,0 +1,60 @@
+"""Parameter binding for workload queries.
+
+Parameters are derived deterministically from the database's unit count so
+every engine answers the same question on the same data: identifiers point
+at mid-range instances (which exist at every scale), search terms are the
+planted ``word_k`` vocabulary targets, and date windows match the
+generators' date ranges.
+"""
+
+from __future__ import annotations
+
+from ..errors import BenchmarkError
+
+# Date windows (inclusive) tuned to each generator's output range.
+_DC_WINDOW = ("2002-01-01", "2002-12-31")        # order dates: 2001-2003
+_DCSD_WINDOW = ("1995-01-01", "1999-12-31")      # release dates: 1990-2003
+_TCMD_WINDOW = ("1998-01-01", "2001-12-31")      # publications: 1995-2003
+
+
+def bind_params(qid: str, class_key: str, units: int) -> dict:
+    """Concrete variable bindings for (query, class, database size)."""
+    mid = str(max(units // 2, 1))
+    bindings: dict[str, object] = {}
+
+    if class_key == "dcsd":
+        bindings.update(id=mid, author="Schmidt", country="Canada",
+                        word="word_3", pages=700,
+                        **dict(zip(("from", "to"), _DCSD_WINDOW)))
+    elif class_key == "dcmd":
+        bindings.update(id=mid, name=f"order{mid}.xml", word="word_3",
+                        **dict(zip(("from", "to"), _DC_WINDOW)))
+    elif class_key == "tcsd":
+        bindings.update(word=_word_for(qid), phrase="word_1 word_2")
+    elif class_key == "tcmd":
+        bindings.update(id=mid, name=f"article{mid}.xml",
+                        author="Schmidt", kw1="word_1", kw2="word_2",
+                        word="word_3", phrase=_tcmd_phrase(),
+                        **dict(zip(("from", "to"), _TCMD_WINDOW)))
+    else:
+        raise BenchmarkError(f"unknown database class {class_key!r}")
+    return bindings
+
+
+def _word_for(qid: str) -> str:
+    """TC/SD word parameter: the paper names word 1 for Q8, word 2 for
+    Q11 and 'word x' for Q17."""
+    return {"Q8": "word_1", "Q11": "word_2", "Q17": "word_3",
+            "Q5": "word_1", "Q12": "word_1"}.get(qid, "word_1")
+
+
+def _tcmd_phrase() -> str:
+    """A bi-gram of the two most frequent vocabulary words (Q18).
+
+    The vocabulary is deterministic, so the two top-ranked (hence most
+    frequent under the Zipf sampler) words form a phrase that actually
+    occurs in generated text at realistic rates.
+    """
+    from ..toxgene.text import make_vocabulary
+    first, second = make_vocabulary(2)
+    return f"{first} {second}"

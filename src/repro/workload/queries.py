@@ -1,0 +1,408 @@
+"""The XBench workload: 20 query types (paper Section 2.2).
+
+Each :class:`WorkloadQuery` carries its functionality class, the paper's
+abstract description, and the concrete XQuery text per database class.
+The paper maps every abstract query to the classes where it makes sense
+and fixes one class per example; the five queries used in the performance
+experiments (Q5, Q8, Q12, Q14, Q17) are mapped to **all four** classes
+here because the paper's result tables report them for every class.
+
+Queries are parameterized with ``$variables`` bound at run time (ids,
+words, date windows) by :mod:`repro.workload.params`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class WorkloadQuery:
+    """One XBench query type."""
+
+    qid: str
+    functionality: str
+    description: str
+    canonical_class: str
+    #: database-class key -> XQuery text.
+    xquery: dict = field(default_factory=dict)
+
+    def text_for(self, class_key: str) -> str:
+        """The XQuery for ``class_key`` (KeyError if not applicable)."""
+        return self.xquery[class_key]
+
+    def applies_to(self, class_key: str) -> bool:
+        return class_key in self.xquery
+
+
+Q1 = WorkloadQuery(
+    "Q1", "exact match (shallow)",
+    "Return the item that has matching item id attribute value X.",
+    "dcsd",
+    {
+        "dcsd": "/catalog/item[@id = $id]",
+        "dcmd": "collection()/order[@id = $id]",
+    },
+)
+
+Q2 = WorkloadQuery(
+    "Q2", "exact match (deep)",
+    "Find the title of the article authored by Y.",
+    "tcmd",
+    {
+        "tcmd": (
+            "for $a in collection()/article "
+            "where $a/prolog/authors/author/name/last_name = $author "
+            "return $a/prolog/title"
+        ),
+        "dcsd": (
+            "for $i in /catalog/item "
+            "where $i/authors/author/name/last_name = $author "
+            "return $i/title"
+        ),
+    },
+)
+
+Q3 = WorkloadQuery(
+    "Q3", "function application (aggregates)",
+    "Group entries by quotation location and count entries per group.",
+    "tcsd",
+    {
+        "tcsd": (
+            "for $loc in distinct-values("
+            "/dictionary/entry/definition/quote/location) "
+            "order by $loc "
+            "return <group><location>{ $loc }</location>"
+            "<total>{ count(/dictionary/entry"
+            "[definition/quote/location = $loc]) }</total></group>"
+        ),
+        "dcmd": (
+            "for $t in distinct-values("
+            "collection()/order/shipping_information/ship_type) "
+            "order by $t "
+            "return <group><ship_type>{ $t }</ship_type>"
+            "<total>{ count(collection()/order"
+            "[shipping_information/ship_type = $t]) }</total></group>"
+        ),
+    },
+)
+
+Q4 = WorkloadQuery(
+    "Q4", "ordered access (relative)",
+    "Find the heading of the section following the section entitled "
+    "'Introduction' in articles written by Y.",
+    "tcmd",
+    {
+        "tcmd": (
+            "for $a in collection()/article "
+            "where $a/prolog/authors/author/name/last_name = $author "
+            "for $s at $p in $a/body/sec "
+            "where $p > 1 and $a/body/sec[$p - 1]/heading = 'Introduction' "
+            "return $s/heading"
+        ),
+    },
+)
+
+Q5 = WorkloadQuery(
+    "Q5", "ordered access (absolute)",
+    "Return the first order line item of a certain order with id "
+    "attribute value X.",
+    "dcmd",
+    {
+        "dcmd": ("collection()/order[@id = $id]"
+                 "/order_lines/order_line[1]/item_id"),
+        "dcsd": ("/catalog/item[@id = $id]"
+                 "/authors/author[1]/name/last_name"),
+        "tcsd": ("/dictionary/entry[hw = $word]"
+                 "/definition[1]/def_text"),
+        "tcmd": ("collection()/article[@id = $id]"
+                 "/body/sec[1]/heading"),
+    },
+)
+
+Q6 = WorkloadQuery(
+    "Q6", "quantification (existential)",
+    "Find titles of articles where two keywords are mentioned in the "
+    "same paragraph.",
+    "tcmd",
+    {
+        "tcmd": (
+            "for $a in collection()/article "
+            "where some $p in $a/body//p satisfies "
+            "(contains($p, $kw1) and contains($p, $kw2)) "
+            "return $a/prolog/title"
+        ),
+    },
+)
+
+Q7 = WorkloadQuery(
+    "Q7", "quantification (universal)",
+    "Return item information where all its authors are from country Z.",
+    "dcsd",
+    {
+        "dcsd": (
+            "for $i in /catalog/item "
+            "where every $a in $i/authors/author satisfies "
+            "$a/contact_information/mailing_address/country/name = $country "
+            "return $i/title"
+        ),
+    },
+)
+
+Q8 = WorkloadQuery(
+    "Q8", "path expression (one unknown element)",
+    "Return quotation text of word 'word 1'.",
+    "tcsd",
+    {
+        "tcsd": "/dictionary/entry[hw = $word]/*/quote/qt",
+        "dcsd": "/catalog/item[@id = $id]/*/suggested_retail_price",
+        "dcmd": "collection()/order[@id = $id]/*/ship_type",
+        "tcmd": "collection()/article[@id = $id]/*/title",
+    },
+)
+
+Q9 = WorkloadQuery(
+    "Q9", "path expression (multiple unknown elements)",
+    "Return the order status of an order with id attribute value X.",
+    "dcmd",
+    {
+        "dcmd": "collection()/order[@id = $id]/*/*/order_status",
+        "tcmd": "collection()/article[@id = $id]//citation",
+    },
+)
+
+Q10 = WorkloadQuery(
+    "Q10", "sorting (string)",
+    "List the orders sorted by ship type, within a certain time period.",
+    "dcmd",
+    {
+        "dcmd": (
+            "for $o in collection()/order "
+            "where $o/order_date >= $from and $o/order_date <= $to "
+            "order by $o/shipping_information/ship_type "
+            "return <order_summary>{ $o/@id }{ $o/order_date }"
+            "{ $o/shipping_information/ship_type }</order_summary>"
+        ),
+    },
+)
+
+Q11 = WorkloadQuery(
+    "Q11", "sorting (non-string)",
+    "List the quotation authors and dates, sorted by date, for word "
+    "'word 2'.",
+    "tcsd",
+    {
+        "tcsd": (
+            "for $q in /dictionary/entry[hw = $word]/definition/quote "
+            "where exists($q/date) "
+            "order by xs:date($q/date) "
+            "return <quotation>{ $q/author }{ $q/date }</quotation>"
+        ),
+    },
+)
+
+Q12 = WorkloadQuery(
+    "Q12", "document construction (structure preserving)",
+    "Get the mailing address of the first author of item with id "
+    "attribute value X.",
+    "dcsd",
+    {
+        "dcsd": (
+            "for $a in /catalog/item[@id = $id]/authors/author[1] "
+            "return <address_info>"
+            "{ $a/contact_information/mailing_address }</address_info>"
+        ),
+        "dcmd": (
+            "for $o in collection()/order[@id = $id] "
+            "return <payment_info>"
+            "{ $o/billing_information/credit_card }</payment_info>"
+        ),
+        "tcsd": (
+            "for $e in /dictionary/entry[hw = $word] "
+            "return <entry_info>{ $e/definition }</entry_info>"
+        ),
+        "tcmd": (
+            "for $a in collection()/article[@id = $id] "
+            "return <article_info>{ $a/prolog/title }"
+            "{ $a/prolog/abstract }</article_info>"
+        ),
+    },
+)
+
+Q13 = WorkloadQuery(
+    "Q13", "document construction (transforming)",
+    "Extract title, first author name, date and abstract of the article "
+    "with matching id.",
+    "tcmd",
+    {
+        "tcmd": (
+            "for $a in collection()/article[@id = $id] "
+            "return <summary id=\"{ $a/@id }\">"
+            "<title>{ string($a/prolog/title) }</title>"
+            "<first_author>{ string(($a/prolog/authors/author)[1]"
+            "/name/last_name) }</first_author>"
+            "<date>{ string($a/prolog/date_of_publication) }</date>"
+            "<abstract>{ string($a/prolog/abstract) }</abstract>"
+            "</summary>"
+        ),
+    },
+)
+
+Q14 = WorkloadQuery(
+    "Q14", "irregular data (missing elements)",
+    "Return the names of publishers who publish books in a given time "
+    "period but do not have a fax number.",
+    "dcsd",
+    {
+        "dcsd": (
+            "distinct-values("
+            "for $i in /catalog/item "
+            "where $i/date_of_release >= $from "
+            "and $i/date_of_release <= $to "
+            "and empty($i/publisher/fax) "
+            "return string($i/publisher/name))"
+        ),
+        "dcmd": (
+            "for $o in collection()/order "
+            "where $o/order_date >= $from and $o/order_date <= $to "
+            "and empty($o/shipping_information/shipping_address/street2) "
+            "return string($o/@id)"
+        ),
+        "tcsd": (
+            "for $e in /dictionary/entry "
+            "where empty($e/etymology) "
+            "return string($e/hw)"
+        ),
+        "tcmd": (
+            "for $a in collection()/article "
+            "where $a/prolog/date_of_publication >= $from "
+            "and $a/prolog/date_of_publication <= $to "
+            "and empty($a/prolog/abstract) "
+            "return string($a/prolog/title)"
+        ),
+    },
+)
+
+Q15 = WorkloadQuery(
+    "Q15", "irregular data (empty values)",
+    "List author names whose contact elements are empty in articles "
+    "published within a certain time period.",
+    "tcmd",
+    {
+        "tcmd": (
+            "for $a in collection()/article "
+            "where $a/prolog/date_of_publication >= $from "
+            "and $a/prolog/date_of_publication <= $to "
+            "for $au in $a/prolog/authors/author "
+            "where exists($au/contact) and empty($au/contact/*) "
+            "return string($au/name/last_name)"
+        ),
+    },
+)
+
+Q16 = WorkloadQuery(
+    "Q16", "retrieval of individual documents",
+    "Retrieve one whole order document with an id attribute value X.",
+    "dcmd",
+    {
+        "dcmd": "doc($name)",
+        "tcmd": "doc($name)",
+    },
+)
+
+Q17 = WorkloadQuery(
+    "Q17", "text search (uni-gram)",
+    "Return the headwords of the entries that contain the word 'word x'.",
+    "tcsd",
+    {
+        "tcsd": (
+            "for $e in /dictionary/entry "
+            "where contains(string($e), $word) "
+            "return string($e/hw)"
+        ),
+        "tcmd": (
+            "for $a in collection()/article "
+            "where contains(string($a/body), $word) "
+            "return string($a/prolog/title)"
+        ),
+        "dcsd": (
+            "for $i in /catalog/item "
+            "where contains(string($i/description), $word) "
+            "return string($i/title)"
+        ),
+        "dcmd": (
+            "for $o in collection()/order "
+            "where some $c in $o/order_lines/order_line/comments "
+            "satisfies contains($c, $word) "
+            "return string($o/@id)"
+        ),
+    },
+)
+
+Q18 = WorkloadQuery(
+    "Q18", "text search (n-gram / phrase)",
+    "List the titles and abstracts of articles that contain a phrase.",
+    "tcmd",
+    {
+        "tcmd": (
+            "for $a in collection()/article "
+            "where contains(string($a/prolog/abstract), $phrase) "
+            "or contains(string($a/body), $phrase) "
+            "return <result>{ $a/prolog/title }"
+            "{ $a/prolog/abstract }</result>"
+        ),
+        "tcsd": (
+            "for $e in /dictionary/entry "
+            "where contains(string($e), $phrase) "
+            "return string($e/hw)"
+        ),
+    },
+)
+
+Q19 = WorkloadQuery(
+    "Q19", "references and joins",
+    "For a particular order, get its customer name and phone, and its "
+    "order status.",
+    "dcmd",
+    {
+        "dcmd": (
+            "for $o in collection()/order[@id = $id] "
+            "for $c in doc('customer.xml')/customers/customer "
+            "where string($c/c_id) = string($o/customer_id) "
+            "return <customer_order>"
+            "<name>{ concat(string($c/c_fname), ' ', "
+            "string($c/c_lname)) }</name>"
+            "<phone>{ string($c/c_phone) }</phone>"
+            "<status>{ string($o//order_status) }</status>"
+            "</customer_order>"
+        ),
+    },
+)
+
+Q20 = WorkloadQuery(
+    "Q20", "datatype casting",
+    "Retrieve the item title whose size is larger than a certain number.",
+    "dcsd",
+    {
+        "dcsd": (
+            "for $i in /catalog/item "
+            "where xs:integer($i/number_of_pages) > $pages "
+            "return string($i/title)"
+        ),
+    },
+)
+
+ALL_QUERIES: tuple[WorkloadQuery, ...] = (
+    Q1, Q2, Q3, Q4, Q5, Q6, Q7, Q8, Q9, Q10,
+    Q11, Q12, Q13, Q14, Q15, Q16, Q17, Q18, Q19, Q20,
+)
+
+QUERIES_BY_ID: dict[str, WorkloadQuery] = {q.qid: q for q in ALL_QUERIES}
+
+#: The subset used in the paper's performance experiments (Section 3.1).
+EXPERIMENT_QUERIES: tuple[str, ...] = ("Q5", "Q8", "Q12", "Q14", "Q17")
+
+
+def workload_for_class(class_key: str) -> list[WorkloadQuery]:
+    """All queries applicable to one database class."""
+    return [query for query in ALL_QUERIES if query.applies_to(class_key)]

@@ -1,0 +1,137 @@
+"""Update workload (the paper's planned extension #2).
+
+The first XBench version covers "queries and bulk loading; workloads
+testing update performance will be included in subsequent versions".
+This module is that subsequent version for the multi-document classes,
+where updates are natural: new documents arrive (orders placed, articles
+published), values inside documents change (an order's status), and old
+documents are archived.
+
+:func:`make_update_stream` produces a deterministic mixed stream of the
+three operation kinds; :func:`run_update_stream` applies it to a loaded
+engine, timing each kind separately.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+
+from ..databases import CLASSES_BY_KEY
+from ..errors import BenchmarkError
+from ..xml.serializer import serialize
+
+#: per class: (id index path, updatable leaf tag, new value to write)
+UPDATE_TARGETS = {
+    "dcmd": ("order/@id", "order_status", "SHIPPED"),
+    "tcmd": ("article/@id", "date_of_publication", "2004-01-01"),
+}
+
+
+@dataclass(frozen=True)
+class UpdateOp:
+    """One operation of the stream."""
+
+    kind: str                      # "insert" | "update" | "delete"
+    name: str = ""                 # document name (insert/delete)
+    text: str = ""                 # document text (insert)
+    id_value: str = ""             # key value (update)
+    target_tag: str = ""
+    new_value: str = ""
+
+
+@dataclass
+class UpdateStats:
+    """Per-kind operation counts and elapsed time."""
+
+    counts: dict = field(default_factory=dict)
+    seconds: dict = field(default_factory=dict)
+
+    def record(self, kind: str, elapsed: float) -> None:
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+        self.seconds[kind] = self.seconds.get(kind, 0.0) + elapsed
+
+    def mean_ms(self, kind: str) -> float:
+        count = self.counts.get(kind, 0)
+        if not count:
+            return 0.0
+        return self.seconds[kind] * 1000.0 / count
+
+
+def make_update_stream(class_key: str, units: int, count: int = 30,
+                       seed: int = 7) -> list[UpdateOp]:
+    """A deterministic stream of inserts/updates/deletes (roughly
+    40/40/20), sized for a database generated with ``units`` units.
+
+    Inserted documents are freshly generated and renumbered past the
+    existing id range, so they never collide; deletes and updates target
+    existing mid-range documents.
+    """
+    if class_key not in UPDATE_TARGETS:
+        raise BenchmarkError(
+            f"update workload is defined for multi-document classes, "
+            f"not {class_key!r}")
+    id_path, target_tag, new_value = UPDATE_TARGETS[class_key]
+    prefix = "order" if class_key == "dcmd" else "article"
+
+    rng = random.Random(seed)
+    insert_budget = max(count * 2 // 5, 1)
+    fresh = _fresh_documents(class_key, units, insert_budget, seed)
+
+    operations: list[UpdateOp] = []
+    inserted = 0
+    deletable = list(range(1, units + 1))
+    rng.shuffle(deletable)
+    for position in range(count):
+        roll = rng.random()
+        if roll < 0.4 and inserted < len(fresh):
+            name, text = fresh[inserted]
+            inserted += 1
+            operations.append(UpdateOp("insert", name=name, text=text))
+        elif roll < 0.8 or not deletable:
+            target_id = str(rng.randint(1, units))
+            operations.append(UpdateOp(
+                "update", id_value=target_id, target_tag=target_tag,
+                new_value=new_value))
+        else:
+            victim = deletable.pop()
+            operations.append(UpdateOp(
+                "delete", name=f"{prefix}{victim}.xml"))
+    return operations
+
+
+def _fresh_documents(class_key: str, units: int, how_many: int,
+                     seed: int) -> list[tuple[str, str]]:
+    """Generate new documents renumbered past the existing id range."""
+    db_class = CLASSES_BY_KEY[class_key]
+    prefix = "order" if class_key == "dcmd" else "article"
+    documents = [doc for doc in db_class.generate(how_many, seed=seed + 1)
+                 if doc.name.startswith(prefix)]
+    fresh = []
+    for offset, document in enumerate(documents[:how_many], start=1):
+        new_id = units + offset
+        document.root_element.set_attribute("id", str(new_id))
+        document.name = f"{prefix}{new_id}.xml"
+        fresh.append((document.name, serialize(document)))
+    return fresh
+
+
+def run_update_stream(engine, class_key: str,
+                      operations: list[UpdateOp]) -> UpdateStats:
+    """Apply a stream to a loaded engine, timing each operation kind."""
+    id_path, __, ___ = UPDATE_TARGETS[class_key]
+    stats = UpdateStats()
+    for op in operations:
+        start = time.perf_counter()
+        if op.kind == "insert":
+            engine.insert_document(op.name, op.text)
+        elif op.kind == "delete":
+            engine.delete_document(op.name)
+        elif op.kind == "update":
+            engine.update_value(id_path, op.id_value, op.target_tag,
+                                op.new_value)
+        else:                      # pragma: no cover - stream is closed
+            raise BenchmarkError(f"unknown operation {op.kind!r}")
+        stats.record(op.kind, time.perf_counter() - start)
+    return stats

@@ -1,0 +1,34 @@
+"""XML substrate: document model, parser, serializer, schema descriptions."""
+
+from .nodes import (
+    Attribute,
+    Comment,
+    Document,
+    Element,
+    Node,
+    Text,
+    document_order,
+)
+from .parser import parse_document, parse_fragment
+from .schema import SchemaElement, conforms, render_diagram
+from .schema_export import to_dtd, to_xsd
+from .serializer import serialize, write_document
+
+__all__ = [
+    "Attribute",
+    "Comment",
+    "Document",
+    "Element",
+    "Node",
+    "Text",
+    "document_order",
+    "parse_document",
+    "parse_fragment",
+    "SchemaElement",
+    "conforms",
+    "render_diagram",
+    "serialize",
+    "write_document",
+    "to_dtd",
+    "to_xsd",
+]

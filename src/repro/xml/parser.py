@@ -1,0 +1,293 @@
+"""A from-scratch, non-validating XML 1.0 parser.
+
+Supports everything the XBench document classes produce: elements,
+attributes, character data, CDATA sections, comments, processing
+instructions (skipped), the XML declaration, the five predefined entities
+and numeric character references.  DOCTYPE declarations are skipped without
+being interpreted (XBench turns validation off during bulk loading, as does
+the paper's experimental setup).
+
+The parser reports well-formedness violations as :class:`XMLParseError`
+with line/column positions.
+"""
+
+from __future__ import annotations
+
+from ..errors import XMLParseError
+from .nodes import Comment, Document, Element, Text
+
+_PREDEFINED_ENTITIES = {
+    "lt": "<",
+    "gt": ">",
+    "amp": "&",
+    "quot": '"',
+    "apos": "'",
+}
+
+_NAME_START = set(
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz_:"
+)
+_NAME_CHARS = _NAME_START | set("0123456789.-")
+_WHITESPACE = set(" \t\r\n")
+
+
+class _Scanner:
+    """Character scanner with line/column tracking."""
+
+    __slots__ = ("text", "pos", "length")
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+        self.length = len(text)
+
+    def location(self, pos: int | None = None) -> tuple[int, int]:
+        """1-based (line, column) of ``pos`` (default: current position)."""
+        if pos is None:
+            pos = self.pos
+        line = self.text.count("\n", 0, pos) + 1
+        last_newline = self.text.rfind("\n", 0, pos)
+        column = pos - last_newline
+        return line, column
+
+    def error(self, message: str, pos: int | None = None) -> XMLParseError:
+        line, column = self.location(pos)
+        return XMLParseError(message, line, column)
+
+    def at_end(self) -> bool:
+        return self.pos >= self.length
+
+    def peek(self) -> str:
+        return self.text[self.pos] if self.pos < self.length else ""
+
+    def advance(self) -> str:
+        char = self.text[self.pos]
+        self.pos += 1
+        return char
+
+    def match(self, literal: str) -> bool:
+        """Consume ``literal`` if it is next; return whether it matched."""
+        if self.text.startswith(literal, self.pos):
+            self.pos += len(literal)
+            return True
+        return False
+
+    def expect(self, literal: str) -> None:
+        if not self.match(literal):
+            raise self.error(f"expected {literal!r}")
+
+    def skip_whitespace(self) -> None:
+        while self.pos < self.length and self.text[self.pos] in _WHITESPACE:
+            self.pos += 1
+
+    def read_until(self, terminator: str) -> str:
+        """Read up to (and consume) ``terminator``."""
+        index = self.text.find(terminator, self.pos)
+        if index < 0:
+            raise self.error(f"unterminated construct, expected {terminator!r}")
+        chunk = self.text[self.pos:index]
+        self.pos = index + len(terminator)
+        return chunk
+
+    def read_name(self) -> str:
+        start = self.pos
+        if self.pos >= self.length or self.text[self.pos] not in _NAME_START:
+            raise self.error("expected a name")
+        self.pos += 1
+        while self.pos < self.length and self.text[self.pos] in _NAME_CHARS:
+            self.pos += 1
+        return self.text[start:self.pos]
+
+
+def _decode_entities(raw: str, scanner: _Scanner, base_pos: int) -> str:
+    """Expand entity and character references in ``raw``."""
+    if "&" not in raw:
+        return raw
+    out: list[str] = []
+    i = 0
+    while i < len(raw):
+        char = raw[i]
+        if char != "&":
+            out.append(char)
+            i += 1
+            continue
+        end = raw.find(";", i + 1)
+        if end < 0:
+            raise scanner.error("unterminated entity reference", base_pos + i)
+        name = raw[i + 1:end]
+        if name.startswith("#x") or name.startswith("#X"):
+            try:
+                out.append(chr(int(name[2:], 16)))
+            except ValueError:
+                raise scanner.error(f"bad character reference &{name};",
+                                    base_pos + i) from None
+        elif name.startswith("#"):
+            try:
+                out.append(chr(int(name[1:])))
+            except ValueError:
+                raise scanner.error(f"bad character reference &{name};",
+                                    base_pos + i) from None
+        elif name in _PREDEFINED_ENTITIES:
+            out.append(_PREDEFINED_ENTITIES[name])
+        else:
+            raise scanner.error(f"unknown entity &{name};", base_pos + i)
+        i = end + 1
+    return "".join(out)
+
+
+def parse_document(text: str, name: str = "") -> Document:
+    """Parse ``text`` into a :class:`Document` named ``name``.
+
+    Raises :class:`XMLParseError` if the input is not well-formed.
+    """
+    scanner = _Scanner(text)
+    document = Document(name=name)
+    _skip_prolog(scanner, document)
+
+    scanner.skip_whitespace()
+    if scanner.at_end() or scanner.peek() != "<":
+        raise scanner.error("expected root element")
+    root = _parse_element(scanner)
+    document.append(root)
+
+    # Trailing misc: whitespace and comments only.
+    while True:
+        scanner.skip_whitespace()
+        if scanner.at_end():
+            break
+        if scanner.match("<!--"):
+            document.append(Comment(scanner.read_until("-->")))
+        elif scanner.match("<?"):
+            scanner.read_until("?>")
+        else:
+            raise scanner.error("content after root element")
+    document.refresh_order()
+    return document
+
+
+def parse_fragment(text: str) -> Element:
+    """Parse a single element (no prolog) and return it detached."""
+    scanner = _Scanner(text)
+    scanner.skip_whitespace()
+    element = _parse_element(scanner)
+    scanner.skip_whitespace()
+    if not scanner.at_end():
+        raise scanner.error("content after fragment element")
+    return element
+
+
+def _skip_prolog(scanner: _Scanner, document: Document) -> None:
+    """Consume XML declaration, DOCTYPE, comments and PIs before the root."""
+    while True:
+        scanner.skip_whitespace()
+        if scanner.match("<?xml"):
+            scanner.read_until("?>")
+        elif scanner.match("<?"):
+            scanner.read_until("?>")
+        elif scanner.match("<!--"):
+            document.append(Comment(scanner.read_until("-->")))
+        elif scanner.match("<!DOCTYPE"):
+            _skip_doctype(scanner)
+        else:
+            return
+
+
+def _skip_doctype(scanner: _Scanner) -> None:
+    """Skip a DOCTYPE declaration, including an internal subset."""
+    depth = 0
+    while not scanner.at_end():
+        char = scanner.advance()
+        if char == "[":
+            depth += 1
+        elif char == "]":
+            depth -= 1
+        elif char == ">" and depth <= 0:
+            return
+    raise scanner.error("unterminated DOCTYPE")
+
+
+def _parse_element(scanner: _Scanner) -> Element:
+    scanner.expect("<")
+    tag = scanner.read_name()
+    element = Element(tag)
+    _parse_attributes(scanner, element)
+
+    if scanner.match("/>"):
+        return element
+    scanner.expect(">")
+    _parse_content(scanner, element)
+    return element
+
+
+def _parse_attributes(scanner: _Scanner, element: Element) -> None:
+    while True:
+        had_space = scanner.peek() in _WHITESPACE
+        scanner.skip_whitespace()
+        next_char = scanner.peek()
+        if next_char in (">", "/") or scanner.at_end():
+            return
+        if not had_space:
+            raise scanner.error("expected whitespace before attribute")
+        name = scanner.read_name()
+        scanner.skip_whitespace()
+        scanner.expect("=")
+        scanner.skip_whitespace()
+        quote = scanner.peek()
+        if quote not in ("'", '"'):
+            raise scanner.error("attribute value must be quoted")
+        scanner.advance()
+        value_start = scanner.pos
+        raw = scanner.read_until(quote)
+        if "<" in raw:
+            raise scanner.error("'<' not allowed in attribute value",
+                                value_start + raw.index("<"))
+        if name in element.attributes:
+            raise scanner.error(f"duplicate attribute {name!r}", value_start)
+        element.set_attribute(name, _decode_entities(raw, scanner, value_start))
+
+
+def _parse_content(scanner: _Scanner, element: Element) -> None:
+    """Parse child content up to and including the matching end tag."""
+    text_start = scanner.pos
+    buffered: list[str] = []
+
+    def flush_text(end_pos: int) -> None:
+        if buffered:
+            element.append(Text("".join(buffered)))
+            buffered.clear()
+
+    while True:
+        if scanner.at_end():
+            raise scanner.error(f"unterminated element <{element.tag}>")
+        char = scanner.peek()
+        if char == "<":
+            if scanner.match("</"):
+                flush_text(scanner.pos)
+                closing = scanner.read_name()
+                if closing != element.tag:
+                    raise scanner.error(
+                        f"mismatched end tag </{closing}>, "
+                        f"expected </{element.tag}>")
+                scanner.skip_whitespace()
+                scanner.expect(">")
+                return
+            if scanner.match("<!--"):
+                flush_text(scanner.pos)
+                element.append(Comment(scanner.read_until("-->")))
+            elif scanner.match("<![CDATA["):
+                buffered.append(scanner.read_until("]]>"))
+            elif scanner.match("<?"):
+                flush_text(scanner.pos)
+                scanner.read_until("?>")
+            else:
+                flush_text(scanner.pos)
+                element.append(_parse_element(scanner))
+            text_start = scanner.pos
+        else:
+            chunk_start = scanner.pos
+            index = scanner.text.find("<", scanner.pos)
+            if index < 0:
+                index = scanner.length
+            raw = scanner.text[chunk_start:index]
+            scanner.pos = index
+            buffered.append(_decode_entities(raw, scanner, chunk_start))

@@ -1,0 +1,175 @@
+"""Lightweight XML schema descriptions.
+
+The paper presents each database class as a schema diagram (Figures 1-4):
+a tree of element types where solid boxes are mandatory and dotted boxes
+optional.  :class:`SchemaElement` captures exactly that information (plus
+repetition, attributes and mixed content) and is used three ways:
+
+* rendering the ASCII schema diagrams that reproduce Figures 1-4,
+* deriving DAD/XSD-style shredding mappings for the relational engines,
+* validating generated documents in tests (:func:`conforms`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from .nodes import Document, Element
+
+
+@dataclass
+class SchemaElement:
+    """One element type in a schema diagram.
+
+    ``optional`` mirrors the paper's dotted boxes, ``repeated`` marks
+    element types that may occur more than once under their parent and
+    ``mixed`` marks mixed-content elements (text interleaved with child
+    elements, e.g. dictionary quotations).
+    """
+
+    name: str
+    optional: bool = False
+    repeated: bool = False
+    mixed: bool = False
+    has_text: bool = False
+    attributes: list[str] = field(default_factory=list)
+    children: list["SchemaElement"] = field(default_factory=list)
+
+    def child(self, name: str, **kwargs) -> "SchemaElement":
+        """Add (and return) a child element type."""
+        node = SchemaElement(name, **kwargs)
+        self.children.append(node)
+        return node
+
+    def find(self, name: str) -> Optional["SchemaElement"]:
+        """Depth-first search for the element type called ``name``."""
+        if self.name == name:
+            return self
+        for child in self.children:
+            found = child.find(name)
+            if found is not None:
+                return found
+        return None
+
+    def walk(self) -> Iterator["SchemaElement"]:
+        """Yield this element type and all its descendants, depth-first.
+
+        Recursive element types (a node reachable from itself, e.g. the
+        TC/MD ``sec``) are yielded once.
+        """
+        seen: set[int] = set()
+
+        def visit(node: "SchemaElement") -> Iterator["SchemaElement"]:
+            if id(node) in seen:
+                return
+            seen.add(id(node))
+            yield node
+            for child in node.children:
+                yield from visit(child)
+
+        yield from visit(self)
+
+    def element_count(self) -> int:
+        """Number of distinct element types in the subtree."""
+        return sum(1 for _ in self.walk())
+
+    def max_depth(self) -> int:
+        """Depth of the schema tree (1 for a leaf); recursion counts once."""
+
+        def depth(node: "SchemaElement", path: set[int]) -> int:
+            if id(node) in path or not node.children:
+                return 1
+            path = path | {id(node)}
+            return 1 + max(depth(child, path) for child in node.children)
+
+        return depth(self, set())
+
+
+def render_diagram(root: SchemaElement, title: str = "") -> str:
+    """Render an ASCII schema diagram equivalent to the paper's figures.
+
+    Mandatory element types print as ``[name]`` (solid boxes in the paper),
+    optional ones as ``(name)`` (dotted boxes).  ``*`` marks repetition,
+    ``~`` mixed content, and attributes are listed as ``@attr``.
+    """
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+
+    def label(node: SchemaElement) -> str:
+        text = f"({node.name})" if node.optional else f"[{node.name}]"
+        if node.repeated:
+            text += "*"
+        if node.mixed:
+            text += "~"
+        if node.attributes:
+            text += " " + " ".join(f"@{a}" for a in node.attributes)
+        return text
+
+    def visit(node: SchemaElement, prefix: str, is_last: bool,
+              is_root: bool, path: frozenset) -> None:
+        recursive = id(node) in path
+        text = label(node) + (" (recursive)" if recursive else "")
+        if is_root:
+            lines.append(text)
+            child_prefix = ""
+        else:
+            connector = "`-- " if is_last else "|-- "
+            lines.append(prefix + connector + text)
+            child_prefix = prefix + ("    " if is_last else "|   ")
+        if recursive:
+            return
+        child_path = path | {id(node)}
+        for index, child in enumerate(node.children):
+            visit(child, child_prefix, index == len(node.children) - 1,
+                  False, child_path)
+
+    visit(root, "", True, True, frozenset())
+    return "\n".join(lines)
+
+
+def conforms(document: Document, schema: SchemaElement) -> list[str]:
+    """Check ``document`` against ``schema``; return a list of violations.
+
+    This is a structural check (the generator's contract), not full XML
+    Schema validation: element names must appear in the schema under their
+    parent type, mandatory non-optional children must be present, and
+    non-repeated children must occur at most once.
+    """
+    violations: list[str] = []
+
+    def visit(element: Element, spec: SchemaElement, path: str) -> None:
+        by_name = {child.name: child for child in spec.children}
+        counts: dict[str, int] = {}
+        for child in element.child_elements():
+            counts[child.tag] = counts.get(child.tag, 0) + 1
+            child_spec = by_name.get(child.tag)
+            if child_spec is None:
+                violations.append(
+                    f"{path}/{child.tag}: element not allowed here")
+                continue
+            visit(child, child_spec, f"{path}/{child.tag}")
+        for child_spec in spec.children:
+            seen = counts.get(child_spec.name, 0)
+            if seen == 0 and not child_spec.optional:
+                violations.append(
+                    f"{path}: missing mandatory child <{child_spec.name}>")
+            if seen > 1 and not child_spec.repeated:
+                violations.append(
+                    f"{path}: <{child_spec.name}> occurs {seen} times "
+                    f"but is not repeatable")
+        for attr_name in element.attributes:
+            if attr_name not in spec.attributes:
+                violations.append(
+                    f"{path}: attribute @{attr_name} not allowed")
+
+    root = document.root_element
+    if root.tag != schema.name:
+        violations.append(
+            f"root element <{root.tag}> does not match schema "
+            f"<{schema.name}>")
+    else:
+        visit(root, schema, root.tag)
+    return violations

@@ -1,0 +1,145 @@
+"""Emit DTD and XML Schema documents from schema descriptions.
+
+The XBench distribution ships "the complete XML Schema and DTD files for
+all database classes" (paper footnote 6).  This module generates both
+artifacts from the same :class:`~repro.xml.schema.SchemaElement` trees
+that drive generation and shredding, so the published schema files can
+never drift from the implementation.
+
+DTD notes: occurrence markers come from ``optional``/``repeated``
+(``?``, ``*``, ``+``), mixed-content types emit the classic
+``(#PCDATA | child | ...)*`` form, and recursive types reference
+themselves.  XSD notes: one global ``xs:element`` per distinct type,
+nested anonymous complex types, ``minOccurs``/``maxOccurs`` from the
+same flags, recursion via ``ref``.
+"""
+
+from __future__ import annotations
+
+from io import StringIO
+
+from .schema import SchemaElement
+
+
+def to_dtd(schema: SchemaElement) -> str:
+    """The DTD for one document class."""
+    out = StringIO()
+    emitted: set[int] = set()
+
+    def occurrence(node: SchemaElement) -> str:
+        if node.repeated:
+            return "*" if node.optional else "+"
+        return "?" if node.optional else ""
+
+    def content_model(node: SchemaElement) -> str:
+        if node.mixed:
+            names = " | ".join(child.name for child in node.children)
+            return f"(#PCDATA | {names})*" if names else "(#PCDATA)"
+        if not node.children:
+            # Leaf element types all carry character data in XBench.
+            return "(#PCDATA)"
+        parts = ", ".join(child.name + occurrence(child)
+                          for child in node.children)
+        return f"({parts})"
+
+    # DTDs have a single global namespace of element names: two schema
+    # types sharing a tag (author/name vs. country/name) cannot both be
+    # declared.  The first declaration wins; conflicting later models
+    # are recorded as comments - the classic DTD limitation that pushed
+    # the field toward XML Schema.
+    declared_models: dict[str, str] = {}
+
+    def visit(node: SchemaElement) -> None:
+        if id(node) in emitted:
+            return
+        emitted.add(id(node))
+        model = content_model(node)
+        previous = declared_models.get(node.name)
+        if previous is None:
+            declared_models[node.name] = model
+            out.write(f"<!ELEMENT {node.name} {model}>\n")
+            for attr in node.attributes:
+                out.write(f"<!ATTLIST {node.name} {attr} CDATA "
+                          f"#REQUIRED>\n")
+        elif previous != model:
+            out.write(f"<!-- {node.name} also occurs with content "
+                      f"{model}; DTDs cannot express context-dependent "
+                      f"content models -->\n")
+        for child in node.children:
+            visit(child)
+
+    visit(schema)
+    return out.getvalue()
+
+
+def to_xsd(schema: SchemaElement) -> str:
+    """The XML Schema (XSD) for one document class."""
+    out = StringIO()
+    out.write('<?xml version="1.0" encoding="UTF-8"?>\n')
+    out.write('<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema" '
+              'elementFormDefault="qualified">\n')
+
+    # Recursive element types need a named global declaration they can
+    # reference; collect them first.
+    recursive: set[int] = set()
+
+    def find_recursive(node: SchemaElement, path: set[int]) -> None:
+        if id(node) in path:
+            recursive.add(id(node))
+            return
+        for child in node.children:
+            find_recursive(child, path | {id(node)})
+
+    find_recursive(schema, set())
+
+    def occurs(node: SchemaElement) -> str:
+        minimum = "0" if node.optional else "1"
+        maximum = "unbounded" if node.repeated else "1"
+        return f' minOccurs="{minimum}" maxOccurs="{maximum}"'
+
+    def write_element(node: SchemaElement, indent: int,
+                      at_top: bool = False,
+                      seen: frozenset = frozenset()) -> None:
+        pad = "  " * indent
+        # Recursive types are declared globally once and referenced
+        # everywhere else (including from inside themselves).
+        if not at_top and (id(node) in seen or id(node) in recursive):
+            out.write(f'{pad}<xs:element ref="{node.name}"'
+                      f'{occurs(node)}/>\n')
+            return
+        seen = seen | {id(node)}
+        occurrence = "" if at_top else occurs(node)
+        if not node.children and not node.attributes:
+            out.write(f'{pad}<xs:element name="{node.name}" '
+                      f'type="xs:string"{occurrence}/>\n')
+            return
+        out.write(f'{pad}<xs:element name="{node.name}"'
+                  f'{occurrence}>\n')
+        mixed = ' mixed="true"' if node.mixed else ""
+        out.write(f"{pad}  <xs:complexType{mixed}>\n")
+        if node.children:
+            out.write(f"{pad}    <xs:sequence>\n")
+            for child in node.children:
+                write_element(child, indent + 3, seen=seen)
+            out.write(f"{pad}    </xs:sequence>\n")
+        for attr in node.attributes:
+            out.write(f'{pad}    <xs:attribute name="{attr}" '
+                      f'type="xs:string" use="required"/>\n')
+        out.write(f"{pad}  </xs:complexType>\n")
+        out.write(f"{pad}</xs:element>\n")
+
+    # Global declarations for recursive types, referenced via ref=.
+    def emit_globals(node: SchemaElement, done: set[int],
+                     path: set[int]) -> None:
+        if id(node) in path:
+            return
+        if id(node) in recursive and id(node) not in done:
+            done.add(id(node))
+            write_element(node, 1, at_top=True)
+        for child in node.children:
+            emit_globals(child, done, path | {id(node)})
+
+    write_element(schema, 1, at_top=True)
+    emit_globals(schema, set(), set())
+    out.write("</xs:schema>\n")
+    return out.getvalue()

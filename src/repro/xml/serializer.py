@@ -1,0 +1,99 @@
+"""Serialize the document model back to XML text.
+
+Used for round-trip testing, CLOB storage in the Xcolumn engine, document
+retrieval queries (Q16) and the on-disk corpus writer.
+"""
+
+from __future__ import annotations
+
+from io import StringIO
+from typing import TextIO
+
+from .nodes import Attribute, Comment, Document, Element, Node, Text
+
+_TEXT_ESCAPES = {"&": "&amp;", "<": "&lt;", ">": "&gt;"}
+_ATTR_ESCAPES = {"&": "&amp;", "<": "&lt;", '"': "&quot;"}
+
+
+def escape_text(value: str) -> str:
+    """Escape character data for element content."""
+    if not any(ch in value for ch in "&<>"):
+        return value
+    for char, entity in _TEXT_ESCAPES.items():
+        value = value.replace(char, entity)
+    return value
+
+
+def escape_attribute(value: str) -> str:
+    """Escape character data for a double-quoted attribute value."""
+    if not any(ch in value for ch in '&<"'):
+        return value
+    for char, entity in _ATTR_ESCAPES.items():
+        value = value.replace(char, entity)
+    return value
+
+
+def serialize(node: Node, indent: int | None = None,
+              xml_declaration: bool = False) -> str:
+    """Serialize ``node`` (document, element, attribute or text) to a string.
+
+    ``indent`` of ``None`` produces compact output that round-trips exactly
+    (no whitespace is inserted); an integer produces pretty-printed output
+    where elements without text children are indented by that many spaces
+    per level.
+    """
+    out = StringIO()
+    if xml_declaration:
+        out.write('<?xml version="1.0" encoding="UTF-8"?>')
+        if indent is not None:
+            out.write("\n")
+    _write(node, out, indent, 0)
+    return out.getvalue()
+
+
+def write_document(document: Document, stream: TextIO,
+                   indent: int | None = None) -> None:
+    """Write ``document`` to an open text stream with an XML declaration."""
+    stream.write('<?xml version="1.0" encoding="UTF-8"?>')
+    if indent is not None:
+        stream.write("\n")
+    _write(document, stream, indent, 0)
+
+
+def _write(node: Node, out: TextIO, indent: int | None, depth: int) -> None:
+    if isinstance(node, Document):
+        for child in node.children:
+            _write(child, out, indent, depth)
+            if indent is not None:
+                out.write("\n")
+    elif isinstance(node, Element):
+        _write_element(node, out, indent, depth)
+    elif isinstance(node, Text):
+        out.write(escape_text(node.text))
+    elif isinstance(node, Comment):
+        out.write(f"<!--{node.text}-->")
+    elif isinstance(node, Attribute):
+        out.write(f'{node.name}="{escape_attribute(node.value)}"')
+    else:  # pragma: no cover - all kinds handled above
+        raise TypeError(f"cannot serialize {type(node).__name__}")
+
+
+def _write_element(element: Element, out: TextIO,
+                   indent: int | None, depth: int) -> None:
+    out.write(f"<{element.tag}")
+    for attr in element.attributes.values():
+        out.write(f' {attr.name}="{escape_attribute(attr.value)}"')
+    if not element.children:
+        out.write("/>")
+        return
+    out.write(">")
+
+    has_text = any(isinstance(child, Text) for child in element.children)
+    pretty = indent is not None and not has_text
+    for child in element.children:
+        if pretty:
+            out.write("\n" + " " * (indent * (depth + 1)))
+        _write(child, out, indent if pretty else None, depth + 1)
+    if pretty:
+        out.write("\n" + " " * (indent * depth))
+    out.write(f"</{element.tag}>")

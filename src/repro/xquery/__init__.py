@@ -1,0 +1,21 @@
+"""XQuery substrate: lexer, parser, evaluator and the engine facade."""
+
+from .context import Context, DocumentProvider, EmptyProvider
+from .engine import CompiledQuery, StaticCollection, XQueryEngine, run_query
+from .items import XSDate, atomize, effective_boolean, string_value
+from .parser import parse_query
+
+__all__ = [
+    "Context",
+    "DocumentProvider",
+    "EmptyProvider",
+    "CompiledQuery",
+    "StaticCollection",
+    "XQueryEngine",
+    "run_query",
+    "XSDate",
+    "atomize",
+    "effective_boolean",
+    "string_value",
+    "parse_query",
+]

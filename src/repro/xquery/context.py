@@ -1,0 +1,76 @@
+"""Dynamic evaluation context for the XQuery engine."""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol
+
+from ..errors import XQueryEvalError
+from ..xml.nodes import Document
+
+
+class DocumentProvider(Protocol):
+    """How the evaluator reaches stored documents.
+
+    Engines implement this to expose their collections to ``fn:doc`` and
+    ``fn:collection``.
+    """
+
+    def doc(self, name: str) -> Document:
+        """Return the document called ``name`` (raise KeyError if absent)."""
+        ...
+
+    def collection(self, name: Optional[str] = None) -> list[Document]:
+        """Return all documents of the (default) collection."""
+        ...
+
+
+class EmptyProvider:
+    """A provider with no documents (pure-expression evaluation)."""
+
+    def doc(self, name: str) -> Document:
+        raise KeyError(name)
+
+    def collection(self, name: Optional[str] = None) -> list[Document]:
+        return []
+
+
+class Context:
+    """Variable bindings + focus (context item, position, size).
+
+    Contexts are immutable from the evaluator's perspective: binding a
+    variable or moving the focus produces a child context, so FLWOR tuple
+    streams never interfere with one another.
+    """
+
+    __slots__ = ("variables", "item", "position", "size", "provider")
+
+    def __init__(self, variables: Optional[dict] = None,
+                 item: object = None, position: int = 1, size: int = 1,
+                 provider: Optional[DocumentProvider] = None) -> None:
+        self.variables: dict[str, list] = variables or {}
+        self.item = item
+        self.position = position
+        self.size = size
+        self.provider: DocumentProvider = provider or EmptyProvider()
+
+    def bind(self, name: str, value: list) -> "Context":
+        """A child context with ``$name`` bound to ``value`` (a sequence)."""
+        variables = dict(self.variables)
+        variables[name] = value
+        return Context(variables, self.item, self.position, self.size,
+                       self.provider)
+
+    def focus(self, item: object, position: int, size: int) -> "Context":
+        """A child context with a new focus (for path steps/predicates)."""
+        return Context(self.variables, item, position, size, self.provider)
+
+    def variable(self, name: str) -> list:
+        try:
+            return self.variables[name]
+        except KeyError:
+            raise XQueryEvalError(f"undefined variable ${name}") from None
+
+    def require_item(self) -> object:
+        if self.item is None:
+            raise XQueryEvalError("context item is undefined")
+        return self.item

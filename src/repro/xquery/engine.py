@@ -1,0 +1,106 @@
+"""Public face of the XQuery engine: compile once, run many times."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..xml.nodes import Document, Node
+from .context import Context, DocumentProvider, EmptyProvider
+from .evaluator import evaluate
+from .parser import parse_query
+
+
+class CompiledQuery:
+    """A parsed query, reusable across contexts and parameter bindings."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.expression = parse_query(text)
+
+    def run(self, provider: Optional[DocumentProvider] = None,
+            variables: Optional[dict] = None,
+            context_item: object = None) -> list:
+        """Evaluate the query and return the result sequence.
+
+        ``variables`` maps variable names (without ``$``) to values; plain
+        Python values are wrapped into one-item sequences, lists pass
+        through as sequences.
+        """
+        bound: dict[str, list] = {}
+        if variables:
+            for name, value in variables.items():
+                bound[name] = value if isinstance(value, list) else [value]
+        context = Context(variables=bound, item=context_item,
+                          provider=provider or EmptyProvider())
+        return evaluate(self.expression, context)
+
+
+class XQueryEngine:
+    """Compile-and-run facade with a small compiled-query cache."""
+
+    def __init__(self, cache_size: int = 256) -> None:
+        self._cache: dict[str, CompiledQuery] = {}
+        self._cache_size = cache_size
+
+    def compile(self, text: str) -> CompiledQuery:
+        """Compile ``text``, reusing the cache when possible."""
+        query = self._cache.get(text)
+        if query is None:
+            query = CompiledQuery(text)
+            if len(self._cache) >= self._cache_size:
+                self._cache.pop(next(iter(self._cache)))
+            self._cache[text] = query
+        return query
+
+    def execute(self, text: str,
+                provider: Optional[DocumentProvider] = None,
+                variables: Optional[dict] = None,
+                context_item: object = None) -> list:
+        """Compile (cached) and evaluate ``text``."""
+        return self.compile(text).run(provider, variables, context_item)
+
+
+class StaticCollection:
+    """An in-memory :class:`DocumentProvider` over a list of documents."""
+
+    def __init__(self, documents: Optional[list[Document]] = None) -> None:
+        self._by_name: dict[str, Document] = {}
+        self._documents: list[Document] = []
+        for document in documents or []:
+            self.add(document)
+
+    def add(self, document: Document) -> None:
+        self._documents.append(document)
+        if document.name:
+            self._by_name[document.name] = document
+
+    def remove(self, name: str) -> Document:
+        """Remove (and return) the document called ``name``."""
+        document = self._by_name.pop(name)
+        self._documents.remove(document)
+        return document
+
+    def doc(self, name: str) -> Document:
+        return self._by_name[name]
+
+    def collection(self, name: Optional[str] = None) -> list[Document]:
+        return list(self._documents)
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+
+def run_query(text: str, documents: Optional[list[Document]] = None,
+              variables: Optional[dict] = None,
+              context_item: object = None) -> list:
+    """One-shot convenience: compile and evaluate ``text``.
+
+    ``documents`` become the default collection (and are addressable by
+    name via ``doc()``); if exactly one document is given and no explicit
+    ``context_item`` is supplied, it becomes the context item so relative
+    and absolute paths work naturally.
+    """
+    provider = StaticCollection(documents or [])
+    if context_item is None and documents and len(documents) == 1:
+        context_item = documents[0]
+    return XQueryEngine().execute(text, provider, variables, context_item)

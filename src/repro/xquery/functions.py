@@ -1,0 +1,543 @@
+"""Built-in function library (the ``fn:`` namespace, prefix optional).
+
+Each implementation receives the dynamic :class:`~repro.xquery.context.Context`
+followed by one evaluated sequence per argument, and returns a sequence.
+Arity is checked by the evaluator against the registry entries.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from ..errors import XQueryEvalError, XQueryTypeError
+from ..xml.nodes import Attribute, Document, Element, Node
+from .context import Context
+from .items import (
+    atomize,
+    atomize_item,
+    effective_boolean,
+    is_numeric,
+    sequence_string,
+    string_value,
+    to_number,
+)
+
+# name -> (callable, min_args, max_args); max_args None means variadic.
+REGISTRY: dict[str, tuple] = {}
+
+
+def register(name: str, min_args: int, max_args: int | None):
+    """Class decorator registering a function implementation."""
+
+    def wrap(func):
+        REGISTRY[name] = (func, min_args, max_args)
+        return func
+
+    return wrap
+
+
+def _single_string(sequence: list, function: str) -> str:
+    """Coerce a 0/1-item sequence to a string argument."""
+    if not sequence:
+        return ""
+    if len(sequence) > 1:
+        raise XQueryTypeError(
+            f"{function}() expects at most one item, got {len(sequence)}")
+    return string_value(sequence[0])
+
+
+def _numeric_items(sequence: list, function: str) -> list[float]:
+    values = []
+    for item in atomize(sequence):
+        number = to_number(item)
+        if math.isnan(number):
+            raise XQueryTypeError(
+                f"{function}(): non-numeric value {item!r}")
+        values.append(number)
+    return values
+
+
+def _as_int(value: float) -> object:
+    """Collapse floats that are whole numbers back to int for clean output."""
+    if isinstance(value, float) and value.is_integer() \
+            and abs(value) < 1e15:
+        return int(value)
+    return value
+
+
+# -- aggregates ------------------------------------------------------------
+
+@register("count", 1, 1)
+def fn_count(context: Context, sequence: list) -> list:
+    return [len(sequence)]
+
+
+@register("sum", 1, 2)
+def fn_sum(context: Context, sequence: list, *zero: list) -> list:
+    if not sequence:
+        return list(zero[0]) if zero else [0]
+    return [_as_int(math.fsum(_numeric_items(sequence, "sum")))]
+
+
+@register("avg", 1, 1)
+def fn_avg(context: Context, sequence: list) -> list:
+    if not sequence:
+        return []
+    values = _numeric_items(sequence, "avg")
+    return [math.fsum(values) / len(values)]
+
+
+@register("min", 1, 1)
+def fn_min(context: Context, sequence: list) -> list:
+    if not sequence:
+        return []
+    atoms = atomize(sequence)
+    if all(isinstance(a, str) for a in atoms):
+        return [min(atoms)]
+    return [_as_int(min(_numeric_items(sequence, "min")))]
+
+
+@register("max", 1, 1)
+def fn_max(context: Context, sequence: list) -> list:
+    if not sequence:
+        return []
+    atoms = atomize(sequence)
+    if all(isinstance(a, str) for a in atoms):
+        return [max(atoms)]
+    return [_as_int(max(_numeric_items(sequence, "max")))]
+
+
+# -- string functions ---------------------------------------------------------
+
+@register("string", 0, 1)
+def fn_string(context: Context, *args: list) -> list:
+    if args:
+        return [_single_string(args[0], "string")]
+    return [string_value(context.require_item())]
+
+
+@register("concat", 2, None)
+def fn_concat(context: Context, *args: list) -> list:
+    return ["".join(_single_string(arg, "concat") for arg in args)]
+
+
+@register("string-join", 1, 2)
+def fn_string_join(context: Context, sequence: list, *sep: list) -> list:
+    separator = _single_string(sep[0], "string-join") if sep else ""
+    return [separator.join(string_value(item) for item in sequence)]
+
+
+@register("string-length", 0, 1)
+def fn_string_length(context: Context, *args: list) -> list:
+    if args:
+        return [len(_single_string(args[0], "string-length"))]
+    return [len(string_value(context.require_item()))]
+
+
+@register("contains", 2, 2)
+def fn_contains(context: Context, haystack: list, needle: list) -> list:
+    return [_single_string(needle, "contains")
+            in _single_string(haystack, "contains")]
+
+
+@register("starts-with", 2, 2)
+def fn_starts_with(context: Context, haystack: list, needle: list) -> list:
+    return [_single_string(haystack, "starts-with")
+            .startswith(_single_string(needle, "starts-with"))]
+
+
+@register("ends-with", 2, 2)
+def fn_ends_with(context: Context, haystack: list, needle: list) -> list:
+    return [_single_string(haystack, "ends-with")
+            .endswith(_single_string(needle, "ends-with"))]
+
+
+@register("substring", 2, 3)
+def fn_substring(context: Context, source: list, start: list,
+                 *length: list) -> list:
+    text = _single_string(source, "substring")
+    begin = round(to_number(atomize(start)[0])) if start else 1
+    if length:
+        count = round(to_number(atomize(length[0])[0]))
+        end = begin + count
+    else:
+        end = len(text) + 1
+    begin = max(begin, 1)
+    return [text[begin - 1:max(end - 1, 0)]]
+
+
+@register("substring-before", 2, 2)
+def fn_substring_before(context: Context, source: list, sep: list) -> list:
+    text = _single_string(source, "substring-before")
+    marker = _single_string(sep, "substring-before")
+    index = text.find(marker) if marker else -1
+    return [text[:index] if index >= 0 else ""]
+
+
+@register("substring-after", 2, 2)
+def fn_substring_after(context: Context, source: list, sep: list) -> list:
+    text = _single_string(source, "substring-after")
+    marker = _single_string(sep, "substring-after")
+    index = text.find(marker) if marker else -1
+    return [text[index + len(marker):] if index >= 0 else ""]
+
+
+@register("normalize-space", 0, 1)
+def fn_normalize_space(context: Context, *args: list) -> list:
+    if args:
+        text = _single_string(args[0], "normalize-space")
+    else:
+        text = string_value(context.require_item())
+    return [" ".join(text.split())]
+
+
+@register("lower-case", 1, 1)
+def fn_lower_case(context: Context, arg: list) -> list:
+    return [_single_string(arg, "lower-case").lower()]
+
+
+@register("upper-case", 1, 1)
+def fn_upper_case(context: Context, arg: list) -> list:
+    return [_single_string(arg, "upper-case").upper()]
+
+
+@register("tokenize", 2, 2)
+def fn_tokenize(context: Context, source: list, pattern: list) -> list:
+    text = _single_string(source, "tokenize")
+    if not text:
+        return []
+    return list(re.split(_single_string(pattern, "tokenize"), text))
+
+
+@register("matches", 2, 2)
+def fn_matches(context: Context, source: list, pattern: list) -> list:
+    return [re.search(_single_string(pattern, "matches"),
+                      _single_string(source, "matches")) is not None]
+
+
+@register("replace", 3, 3)
+def fn_replace(context: Context, source: list, pattern: list,
+               replacement: list) -> list:
+    return [re.sub(_single_string(pattern, "replace"),
+                   _single_string(replacement, "replace"),
+                   _single_string(source, "replace"))]
+
+
+@register("translate", 3, 3)
+def fn_translate(context: Context, source: list, from_chars: list,
+                 to_chars: list) -> list:
+    src = _single_string(from_chars, "translate")
+    dst = _single_string(to_chars, "translate")
+    table = {ord(s): (dst[i] if i < len(dst) else None)
+             for i, s in enumerate(src)}
+    return [_single_string(source, "translate").translate(table)]
+
+
+# -- numeric -----------------------------------------------------------------
+
+@register("number", 0, 1)
+def fn_number(context: Context, *args: list) -> list:
+    if args:
+        if not args[0]:
+            return [float("nan")]
+        return [to_number(atomize_item(args[0][0]))]
+    return [to_number(atomize_item(context.require_item()))]
+
+
+@register("round", 1, 1)
+def fn_round(context: Context, arg: list) -> list:
+    if not arg:
+        return []
+    value = to_number(atomize_item(arg[0]))
+    return [_as_int(math.floor(value + 0.5))]
+
+
+@register("floor", 1, 1)
+def fn_floor(context: Context, arg: list) -> list:
+    if not arg:
+        return []
+    return [_as_int(math.floor(to_number(atomize_item(arg[0]))))]
+
+
+@register("ceiling", 1, 1)
+def fn_ceiling(context: Context, arg: list) -> list:
+    if not arg:
+        return []
+    return [_as_int(math.ceil(to_number(atomize_item(arg[0]))))]
+
+
+@register("abs", 1, 1)
+def fn_abs(context: Context, arg: list) -> list:
+    if not arg:
+        return []
+    return [_as_int(abs(to_number(atomize_item(arg[0]))))]
+
+
+# -- boolean / sequences ---------------------------------------------------------
+
+@register("boolean", 1, 1)
+def fn_boolean(context: Context, arg: list) -> list:
+    return [effective_boolean(arg)]
+
+
+@register("not", 1, 1)
+def fn_not(context: Context, arg: list) -> list:
+    return [not effective_boolean(arg)]
+
+
+@register("true", 0, 0)
+def fn_true(context: Context) -> list:
+    return [True]
+
+
+@register("false", 0, 0)
+def fn_false(context: Context) -> list:
+    return [False]
+
+
+@register("empty", 1, 1)
+def fn_empty(context: Context, arg: list) -> list:
+    return [not arg]
+
+
+@register("exists", 1, 1)
+def fn_exists(context: Context, arg: list) -> list:
+    return [bool(arg)]
+
+
+@register("distinct-values", 1, 1)
+def fn_distinct_values(context: Context, arg: list) -> list:
+    seen: set = set()
+    out: list = []
+    for atom in atomize(arg):
+        key = (type(atom).__name__, atom) if not is_numeric(atom) \
+            else ("num", float(atom))
+        if key not in seen:
+            seen.add(key)
+            out.append(atom)
+    return out
+
+
+@register("reverse", 1, 1)
+def fn_reverse(context: Context, arg: list) -> list:
+    return list(reversed(arg))
+
+
+@register("index-of", 2, 2)
+def fn_index_of(context: Context, sequence: list, target: list) -> list:
+    if len(target) != 1:
+        raise XQueryTypeError("index-of() needs exactly one search item")
+    wanted = atomize_item(target[0])
+    out = []
+    for position, item in enumerate(atomize(sequence), start=1):
+        if is_numeric(item) and is_numeric(wanted):
+            if float(item) == float(wanted):
+                out.append(position)
+        elif item == wanted:
+            out.append(position)
+    return out
+
+
+@register("subsequence", 2, 3)
+def fn_subsequence(context: Context, sequence: list, start: list,
+                   *length: list) -> list:
+    begin = round(to_number(atomize_item(start[0])))
+    if length:
+        count = round(to_number(atomize_item(length[0][0])))
+        return sequence[max(begin - 1, 0):begin - 1 + count]
+    return sequence[max(begin - 1, 0):]
+
+
+@register("zero-or-one", 1, 1)
+def fn_zero_or_one(context: Context, arg: list) -> list:
+    if len(arg) > 1:
+        raise XQueryTypeError("zero-or-one(): more than one item")
+    return arg
+
+
+@register("exactly-one", 1, 1)
+def fn_exactly_one(context: Context, arg: list) -> list:
+    if len(arg) != 1:
+        raise XQueryTypeError(
+            f"exactly-one(): sequence has {len(arg)} items")
+    return arg
+
+
+@register("one-or-more", 1, 1)
+def fn_one_or_more(context: Context, arg: list) -> list:
+    if not arg:
+        raise XQueryTypeError("one-or-more(): empty sequence")
+    return arg
+
+
+@register("data", 1, 1)
+def fn_data(context: Context, arg: list) -> list:
+    return atomize(arg)
+
+
+@register("insert-before", 3, 3)
+def fn_insert_before(context: Context, sequence: list, position: list,
+                     inserts: list) -> list:
+    index = max(int(to_number(atomize_item(position[0]))) - 1, 0)
+    return sequence[:index] + list(inserts) + sequence[index:]
+
+
+@register("remove", 2, 2)
+def fn_remove(context: Context, sequence: list, position: list) -> list:
+    index = int(to_number(atomize_item(position[0])))
+    if index < 1 or index > len(sequence):
+        return list(sequence)
+    return sequence[:index - 1] + sequence[index:]
+
+
+@register("compare", 2, 2)
+def fn_compare(context: Context, left: list, right: list) -> list:
+    if not left or not right:
+        return []
+    first = _single_string(left, "compare")
+    second = _single_string(right, "compare")
+    return [(first > second) - (first < second)]
+
+
+@register("string-to-codepoints", 1, 1)
+def fn_string_to_codepoints(context: Context, arg: list) -> list:
+    return [ord(char) for char in _single_string(arg,
+                                                 "string-to-codepoints")]
+
+
+@register("codepoints-to-string", 1, 1)
+def fn_codepoints_to_string(context: Context, arg: list) -> list:
+    try:
+        return ["".join(chr(int(to_number(atomize_item(item))))
+                        for item in arg)]
+    except (ValueError, OverflowError):
+        raise XQueryEvalError(
+            "codepoints-to-string: invalid codepoint") from None
+
+
+# -- date components (used by windowed workload variants) ------------------------
+
+def _date_of(arg: list, function: str):
+    from .items import XSDate
+    if not arg:
+        return None
+    value = atomize_item(arg[0])
+    if isinstance(value, XSDate):
+        return value
+    return XSDate.parse(str(value))
+
+
+@register("year-from-date", 1, 1)
+def fn_year_from_date(context: Context, arg: list) -> list:
+    date = _date_of(arg, "year-from-date")
+    return [] if date is None else [date.year]
+
+
+@register("month-from-date", 1, 1)
+def fn_month_from_date(context: Context, arg: list) -> list:
+    date = _date_of(arg, "month-from-date")
+    return [] if date is None else [date.month]
+
+
+@register("day-from-date", 1, 1)
+def fn_day_from_date(context: Context, arg: list) -> list:
+    date = _date_of(arg, "day-from-date")
+    return [] if date is None else [date.day]
+
+
+# -- focus / node functions --------------------------------------------------------
+
+@register("position", 0, 0)
+def fn_position(context: Context) -> list:
+    return [context.position]
+
+
+@register("last", 0, 0)
+def fn_last(context: Context) -> list:
+    return [context.size]
+
+
+@register("name", 0, 1)
+def fn_name(context: Context, *args: list) -> list:
+    node = args[0][0] if args and args[0] else (None if args
+                                                else context.require_item())
+    if node is None:
+        return [""]
+    if isinstance(node, Element):
+        return [node.tag]
+    if isinstance(node, Attribute):
+        return [node.name]
+    return [""]
+
+
+@register("local-name", 0, 1)
+def fn_local_name(context: Context, *args: list) -> list:
+    name = fn_name(context, *args)[0]
+    return [name.split(":")[-1] if name else ""]
+
+
+@register("root", 0, 1)
+def fn_root(context: Context, *args: list) -> list:
+    if args:
+        if not args[0]:
+            return []
+        node = args[0][0]
+    else:
+        node = context.require_item()
+    if not isinstance(node, Node):
+        raise XQueryTypeError("root() requires a node")
+    return [node.root()]
+
+
+@register("deep-equal", 2, 2)
+def fn_deep_equal(context: Context, left: list, right: list) -> list:
+    from .items import deep_equal
+    if len(left) != len(right):
+        return [False]
+    return [all(deep_equal(a, b) for a, b in zip(left, right))]
+
+
+# -- document access -----------------------------------------------------------------
+
+@register("doc", 1, 1)
+def fn_doc(context: Context, name: list) -> list:
+    document_name = _single_string(name, "doc")
+    try:
+        return [context.provider.doc(document_name)]
+    except KeyError:
+        raise XQueryEvalError(
+            f"document {document_name!r} not found") from None
+
+
+@register("document", 1, 1)
+def fn_document(context: Context, name: list) -> list:
+    return fn_doc(context, name)
+
+
+@register("collection", 0, 1)
+def fn_collection(context: Context, *name: list) -> list:
+    collection_name = _single_string(name[0], "collection") if name else None
+    return list(context.provider.collection(collection_name))
+
+
+@register("input", 0, 0)
+def fn_input(context: Context) -> list:
+    """XBench queries use input() for 'the database' (Kweelt heritage)."""
+    return list(context.provider.collection(None))
+
+
+def lookup(name: str) -> tuple:
+    """Resolve a function name to (impl, min_args, max_args)."""
+    try:
+        return REGISTRY[name]
+    except KeyError:
+        raise XQueryEvalError(f"unknown function {name}()") from None
+
+
+def _document_or_node(item: object) -> Node:
+    if isinstance(item, Document):
+        return item.root_element
+    if isinstance(item, Node):
+        return item
+    raise XQueryTypeError("expected a node")

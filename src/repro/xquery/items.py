@@ -1,0 +1,243 @@
+"""XDM value model: atomic items, atomization, effective boolean value.
+
+A *sequence* is a plain Python list.  An *item* is either a node from
+:mod:`repro.xml.nodes` or an atomic value: ``str``, ``int``, ``float``,
+``bool`` or :class:`XSDate`.  The helpers here implement the handful of
+XPath/XQuery semantics that everything else builds on: atomization,
+effective boolean value, numeric promotion and value comparison.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import total_ordering
+
+from ..errors import XQueryEvalError, XQueryTypeError
+from ..xml.nodes import Attribute, Document, Element, Node, Text
+
+
+@total_ordering
+@dataclass(frozen=True)
+class XSDate:
+    """An ``xs:date`` value (the workload's non-string sort key, Q11)."""
+
+    year: int
+    month: int
+    day: int
+
+    @classmethod
+    def parse(cls, text: str) -> "XSDate":
+        """Parse ``YYYY-MM-DD`` (leading/trailing whitespace tolerated)."""
+        parts = text.strip().split("-")
+        if len(parts) != 3:
+            raise XQueryEvalError(f"cannot cast {text!r} to xs:date")
+        try:
+            year, month, day = (int(part) for part in parts)
+        except ValueError:
+            raise XQueryEvalError(f"cannot cast {text!r} to xs:date") from None
+        if not (1 <= month <= 12 and 1 <= day <= 31):
+            raise XQueryEvalError(f"invalid xs:date {text!r}")
+        return cls(year, month, day)
+
+    def __str__(self) -> str:
+        return f"{self.year:04d}-{self.month:02d}-{self.day:02d}"
+
+    def __lt__(self, other: "XSDate") -> bool:
+        if not isinstance(other, XSDate):
+            return NotImplemented
+        return ((self.year, self.month, self.day)
+                < (other.year, other.month, other.day))
+
+
+def is_node(item: object) -> bool:
+    """True if ``item`` is an XML node."""
+    return isinstance(item, Node)
+
+
+def atomize_item(item: object) -> object:
+    """Atomize one item: nodes become their (untyped) string value."""
+    if isinstance(item, Node):
+        return item.string_value()
+    return item
+
+
+def atomize(sequence: list) -> list:
+    """Atomize a sequence item-wise."""
+    return [atomize_item(item) for item in sequence]
+
+
+def string_value(item: object) -> str:
+    """The string form of one item (fn:string on a single item)."""
+    if isinstance(item, Node):
+        return item.string_value()
+    if isinstance(item, bool):
+        return "true" if item else "false"
+    if isinstance(item, float):
+        if item == math.floor(item) and abs(item) < 1e15 and not math.isinf(item):
+            return str(int(item))
+        return repr(item)
+    return str(item)
+
+
+def sequence_string(sequence: list, separator: str = " ") -> str:
+    """String form of a whole sequence (used by constructors)."""
+    return separator.join(string_value(item) for item in sequence)
+
+
+def effective_boolean(sequence: list) -> bool:
+    """The effective boolean value of a sequence (XPath 2.0 rules)."""
+    if not sequence:
+        return False
+    first = sequence[0]
+    if isinstance(first, Node):
+        return True
+    if len(sequence) > 1:
+        raise XQueryTypeError(
+            "effective boolean value of a multi-item atomic sequence")
+    if isinstance(first, bool):
+        return first
+    if isinstance(first, str):
+        return len(first) > 0
+    if isinstance(first, (int, float)):
+        return first != 0 and not (isinstance(first, float)
+                                   and math.isnan(first))
+    if isinstance(first, XSDate):
+        raise XQueryTypeError("xs:date has no effective boolean value")
+    raise XQueryTypeError(
+        f"no effective boolean value for {type(first).__name__}")
+
+
+def to_number(value: object) -> float:
+    """Cast an atomic value to xs:double (fn:number semantics)."""
+    if isinstance(value, bool):
+        return 1.0 if value else 0.0
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, Node):
+        value = value.string_value()
+    if isinstance(value, str):
+        try:
+            return float(value.strip())
+        except ValueError:
+            return float("nan")
+    return float("nan")
+
+
+def is_numeric(value: object) -> bool:
+    """True for int/float (bool excluded: it is not an XDM numeric)."""
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def compare_values(op: str, left: object, right: object) -> bool:
+    """Value comparison of two atomic items with weak typing.
+
+    Untyped (string) data is promoted to the other operand's type, per the
+    XQuery rules for untypedAtomic.  Two strings compare as strings by
+    codepoint; dates compare chronologically; numbers numerically.
+    """
+    if isinstance(left, Node):
+        left = left.string_value()
+    if isinstance(right, Node):
+        right = right.string_value()
+
+    if is_numeric(left) or is_numeric(right):
+        left_num, right_num = to_number(left), to_number(right)
+        if math.isnan(left_num) or math.isnan(right_num):
+            return op == "!=" or op == "ne"
+        left, right = left_num, right_num
+    elif isinstance(left, XSDate) or isinstance(right, XSDate):
+        if isinstance(left, str):
+            left = XSDate.parse(left)
+        if isinstance(right, str):
+            right = XSDate.parse(right)
+    elif isinstance(left, bool) or isinstance(right, bool):
+        if isinstance(left, str):
+            left = _parse_boolean(left)
+        if isinstance(right, str):
+            right = _parse_boolean(right)
+
+    if op in ("=", "eq"):
+        return left == right
+    if op in ("!=", "ne"):
+        return left != right
+    if op in ("<", "lt"):
+        return left < right
+    if op in ("<=", "le"):
+        return left <= right
+    if op in (">", "gt"):
+        return left > right
+    if op in (">=", "ge"):
+        return left >= right
+    raise XQueryEvalError(f"unknown comparison operator {op!r}")
+
+
+def _parse_boolean(text: str) -> bool:
+    text = text.strip()
+    if text in ("true", "1"):
+        return True
+    if text in ("false", "0"):
+        return False
+    raise XQueryEvalError(f"cannot cast {text!r} to xs:boolean")
+
+
+def cast_value(value: object, type_name: str) -> object:
+    """Cast one atomic value to the named ``xs:`` type."""
+    if isinstance(value, Node):
+        value = value.string_value()
+    base = type_name.split(":")[-1]
+    try:
+        if base in ("integer", "int", "long", "short"):
+            if isinstance(value, float):
+                return int(value)
+            return int(str(value).strip())
+        if base in ("decimal", "double", "float"):
+            return float(str(value).strip()) if isinstance(value, str) \
+                else float(value)
+        if base == "string":
+            return string_value(value)
+        if base == "boolean":
+            if isinstance(value, bool):
+                return value
+            if isinstance(value, (int, float)):
+                return value != 0
+            return _parse_boolean(str(value))
+        if base == "date":
+            if isinstance(value, XSDate):
+                return value
+            return XSDate.parse(str(value))
+    except (ValueError, XQueryEvalError) as exc:
+        raise XQueryEvalError(
+            f"cannot cast {value!r} to xs:{base}: {exc}") from None
+    raise XQueryEvalError(f"unsupported cast target xs:{base}")
+
+
+def deep_equal(left: object, right: object) -> bool:
+    """Structural equality of two items (fn:deep-equal on single items)."""
+    if isinstance(left, Node) != isinstance(right, Node):
+        return False
+    if not isinstance(left, Node):
+        return compare_values("=", left, right)
+    if isinstance(left, Element) and isinstance(right, Element):
+        if left.tag != right.tag:
+            return False
+        left_attrs = {k: a.value for k, a in left.attributes.items()}
+        right_attrs = {k: a.value for k, a in right.attributes.items()}
+        if left_attrs != right_attrs:
+            return False
+        left_kids = [c for c in left.children if not _ignorable(c)]
+        right_kids = [c for c in right.children if not _ignorable(c)]
+        if len(left_kids) != len(right_kids):
+            return False
+        return all(deep_equal(a, b) for a, b in zip(left_kids, right_kids))
+    if isinstance(left, Text) and isinstance(right, Text):
+        return left.text == right.text
+    if isinstance(left, Attribute) and isinstance(right, Attribute):
+        return left.name == right.name and left.value == right.value
+    if isinstance(left, Document) and isinstance(right, Document):
+        return deep_equal(left.root_element, right.root_element)
+    return False
+
+
+def _ignorable(node: Node) -> bool:
+    return isinstance(node, Text) and not node.text.strip()

@@ -1,0 +1,232 @@
+"""Pull-based lexer for the XQuery subset.
+
+The lexer has two jobs.  In *expression mode* :meth:`Lexer.next` produces
+:class:`Token` objects, skipping whitespace and ``(: ... :)`` comments.  For
+*direct element constructors* the parser takes over character-level control
+through the raw helpers (:meth:`peek_char`, :meth:`take_char`,
+:meth:`match_literal`, :meth:`read_name`), because XQuery constructor
+content is not token-structured.
+
+XQuery keywords are not reserved words, so every name lexes as a NAME
+token; the parser decides contextually whether ``for``/``return``/``div``
+etc. act as keywords.
+
+Whether ``<`` starts a comparison or a direct constructor is decided with
+the standard heuristic: after a token that can end an operand (a literal, a
+name, ``)``, ``]``, ``.``, ``}`` or a variable) ``<`` is the less-than
+operator; anywhere else, if it is immediately followed by a name start
+character, it begins a constructor and the lexer emits TAG_START.
+"""
+
+from __future__ import annotations
+
+from ..errors import XQuerySyntaxError
+from .tokens import (
+    DECIMAL,
+    EOF,
+    INTEGER,
+    NAME,
+    STRING,
+    SYMBOL,
+    SYMBOLS,
+    TAG_START,
+    Token,
+    VARIABLE,
+)
+
+_NAME_START = set("ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz_")
+_NAME_CHARS = _NAME_START | set("0123456789.-")
+_WHITESPACE = set(" \t\r\n")
+
+# Token shapes after which '<' must be the less-than operator.
+_OPERAND_END_KINDS = {NAME, VARIABLE, STRING, INTEGER, DECIMAL}
+_OPERAND_END_SYMBOLS = {")", "]", "}", "."}
+
+# Keyword names after which an expression (hence a constructor) begins.
+# Keywords are not reserved in XQuery, so a NAME normally ends an operand;
+# these are the operator/clause keywords where that cannot be the case.
+_EXPRESSION_FOLLOWS = {
+    "return", "in", "satisfies", "then", "else", "where", "and", "or",
+    "to", "union", "div", "idiv", "mod", "eq", "ne", "lt", "le", "gt",
+    "ge", "is", "by", "if", "some", "every", "for", "let", "order",
+    "stable", "case", "as", "cast",
+}
+
+
+class Lexer:
+    """Tokenizer over a query string; also exposes raw character access."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+        self._previous: Token | None = None
+
+    # -- raw character helpers (used by the constructor parser) -----------
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.text)
+
+    def peek_char(self) -> str:
+        return self.text[self.pos] if self.pos < len(self.text) else ""
+
+    def take_char(self) -> str:
+        if self.pos >= len(self.text):
+            raise self.error("unexpected end of query")
+        char = self.text[self.pos]
+        self.pos += 1
+        return char
+
+    def match_literal(self, literal: str) -> bool:
+        if self.text.startswith(literal, self.pos):
+            self.pos += len(literal)
+            return True
+        return False
+
+    def read_name(self) -> str:
+        """Read a (possibly qualified) name at the current raw position."""
+        start = self.pos
+        if self.pos >= len(self.text) or self.text[self.pos] not in _NAME_START:
+            raise self.error("expected a name")
+        self.pos += 1
+        while self.pos < len(self.text):
+            char = self.text[self.pos]
+            if char in _NAME_CHARS:
+                self.pos += 1
+            elif (char == ":" and self.pos + 1 < len(self.text)
+                  and self.text[self.pos + 1] in _NAME_START
+                  and ":" not in self.text[start:self.pos]):
+                self.pos += 1
+            else:
+                break
+        return self.text[start:self.pos]
+
+    def skip_space(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos] in _WHITESPACE:
+            self.pos += 1
+
+    def error(self, message: str) -> XQuerySyntaxError:
+        return XQuerySyntaxError(message, self.pos)
+
+    # -- expression-mode tokenization --------------------------------------
+
+    def next(self) -> Token:
+        """Return the next token in expression mode."""
+        self._skip_ignorable()
+        start = self.pos
+        if self.pos >= len(self.text):
+            token = Token(EOF, "", start)
+            self._previous = token
+            return token
+
+        char = self.text[self.pos]
+
+        if char == "$":
+            self.pos += 1
+            name = self.read_name()
+            token = Token(VARIABLE, name, start)
+        elif char in "\"'":
+            token = Token(STRING, self._read_string(char), start)
+        elif char.isdigit() or (char == "." and self._digit_follows()):
+            token = self._read_number(start)
+        elif char in _NAME_START:
+            token = Token(NAME, self.read_name(), start)
+        elif char == "<" and self._is_constructor_start():
+            self.pos += 1
+            tag = self.read_name()
+            token = Token(TAG_START, tag, start)
+        else:
+            token = self._read_symbol(start)
+
+        self._previous = token
+        return token
+
+    def _skip_ignorable(self) -> None:
+        while self.pos < len(self.text):
+            char = self.text[self.pos]
+            if char in _WHITESPACE:
+                self.pos += 1
+            elif self.text.startswith("(:", self.pos):
+                self._skip_comment()
+            else:
+                return
+
+    def _skip_comment(self) -> None:
+        depth = 0
+        while self.pos < len(self.text):
+            if self.text.startswith("(:", self.pos):
+                depth += 1
+                self.pos += 2
+            elif self.text.startswith(":)", self.pos):
+                depth -= 1
+                self.pos += 2
+                if depth == 0:
+                    return
+            else:
+                self.pos += 1
+        raise self.error("unterminated comment")
+
+    def _digit_follows(self) -> bool:
+        return (self.pos + 1 < len(self.text)
+                and self.text[self.pos + 1].isdigit())
+
+    def _read_string(self, quote: str) -> str:
+        self.pos += 1
+        parts: list[str] = []
+        while True:
+            index = self.text.find(quote, self.pos)
+            if index < 0:
+                raise self.error("unterminated string literal")
+            parts.append(self.text[self.pos:index])
+            self.pos = index + 1
+            # Doubled quote is an escaped quote character.
+            if self.peek_char() == quote:
+                parts.append(quote)
+                self.pos += 1
+            else:
+                return "".join(parts)
+
+    def _read_number(self, start: int) -> Token:
+        while self.pos < len(self.text) and self.text[self.pos].isdigit():
+            self.pos += 1
+        is_decimal = False
+        if (self.pos < len(self.text) and self.text[self.pos] == "."
+                and not self.text.startswith("..", self.pos)):
+            is_decimal = True
+            self.pos += 1
+            while self.pos < len(self.text) and self.text[self.pos].isdigit():
+                self.pos += 1
+        if self.pos < len(self.text) and self.text[self.pos] in "eE":
+            is_decimal = True
+            self.pos += 1
+            if self.peek_char() in "+-":
+                self.pos += 1
+            if not self.peek_char().isdigit():
+                raise self.error("malformed number literal")
+            while (self.pos < len(self.text)
+                   and self.text[self.pos].isdigit()):
+                self.pos += 1
+        lexeme = self.text[start:self.pos]
+        return Token(DECIMAL if is_decimal else INTEGER, lexeme, start)
+
+    def _is_constructor_start(self) -> bool:
+        follower = (self.text[self.pos + 1]
+                    if self.pos + 1 < len(self.text) else "")
+        if follower not in _NAME_START:
+            return False
+        previous = self._previous
+        if previous is None:
+            return True
+        if previous.kind == NAME:
+            return previous.value in _EXPRESSION_FOLLOWS
+        if previous.kind in _OPERAND_END_KINDS:
+            return False
+        if previous.kind == SYMBOL and previous.value in _OPERAND_END_SYMBOLS:
+            return False
+        return True
+
+    def _read_symbol(self, start: int) -> Token:
+        for symbol in SYMBOLS:
+            if self.text.startswith(symbol, self.pos):
+                self.pos += len(symbol)
+                return Token(SYMBOL, symbol, start)
+        raise self.error(f"unexpected character {self.text[self.pos]!r}")

@@ -1,0 +1,706 @@
+"""Recursive-descent parser producing the XQuery AST.
+
+Grammar (a pragmatic XQuery 1.0 subset covering the XML Query Use Cases
+functionality exercised by XBench):
+
+    Query          ::= Expr
+    Expr           ::= ExprSingle ("," ExprSingle)*
+    ExprSingle     ::= FLWORExpr | QuantifiedExpr | IfExpr | OrExpr
+    FLWORExpr      ::= (ForClause | LetClause)+ ("where" ExprSingle)?
+                       ("order" "by" OrderSpecList)? "return" ExprSingle
+    QuantifiedExpr ::= ("some"|"every") "$v in" ExprSingle
+                       ("," "$v in" ExprSingle)* "satisfies" ExprSingle
+    IfExpr         ::= "if" "(" Expr ")" "then" ExprSingle "else" ExprSingle
+    OrExpr         ::= AndExpr ("or" AndExpr)*
+    AndExpr        ::= ComparisonExpr ("and" ComparisonExpr)*
+    ComparisonExpr ::= RangeExpr ((ValueComp|GeneralComp|NodeComp) RangeExpr)?
+    RangeExpr      ::= AdditiveExpr ("to" AdditiveExpr)?
+    AdditiveExpr   ::= MultiplicativeExpr (("+"|"-") MultiplicativeExpr)*
+    Multiplicative ::= UnionExpr (("*"|"div"|"idiv"|"mod") UnionExpr)*
+    UnionExpr      ::= CastExpr (("union"|"|") CastExpr)*
+    CastExpr       ::= UnaryExpr ("cast" "as" TypeName)?
+    UnaryExpr      ::= ("-"|"+")* PathExpr
+    PathExpr       ::= ("/" RelativePath?) | ("//" RelativePath)
+                     | RelativePath
+    RelativePath   ::= StepExpr (("/"|"//") StepExpr)*
+    StepExpr       ::= FilterExpr | AxisStep
+    AxisStep       ::= (Axis "::")? NodeTest Predicate*
+                     | "@" NodeTest Predicate* | ".."
+    FilterExpr     ::= PrimaryExpr Predicate*
+    PrimaryExpr    ::= Literal | "$" Name | "(" Expr? ")" | "."
+                     | FunctionCall | DirElemConstructor
+
+Direct element constructors (``<r>{...}</r>``) are parsed with the lexer in
+raw-character mode, so arbitrary nested content and enclosed expressions
+work; ``{{``/``}}`` escape literal braces.
+"""
+
+from __future__ import annotations
+
+from ..errors import XQuerySyntaxError
+from . import ast
+from .lexer import Lexer
+from .tokens import (
+    DECIMAL,
+    EOF,
+    INTEGER,
+    NAME,
+    STRING,
+    SYMBOL,
+    TAG_START,
+    Token,
+    VARIABLE,
+)
+
+_GENERAL_COMPARISONS = {"=", "!=", "<", "<=", ">", ">="}
+_VALUE_COMPARISONS = {"eq", "ne", "lt", "le", "gt", "ge"}
+_NODE_COMPARISON_SYMBOLS = {"<<", ">>"}
+_KIND_TESTS = {"text", "node", "element", "comment"}
+_AXES = {
+    "child", "descendant", "descendant-or-self", "attribute", "self",
+    "parent",
+}
+_PREDEFINED_ENTITIES = {
+    "lt": "<", "gt": ">", "amp": "&", "quot": '"', "apos": "'",
+}
+
+
+def parse_query(text: str) -> object:
+    """Parse ``text`` and return the root AST expression."""
+    parser = Parser(text)
+    expression = parser.parse_expr()
+    if parser.tok.kind != EOF:
+        raise parser.error(f"unexpected {parser.tok.value!r} after query")
+    return expression
+
+
+class Parser:
+    """One-token-lookahead recursive-descent parser."""
+
+    def __init__(self, text: str) -> None:
+        self.lexer = Lexer(text)
+        self.tok: Token = self.lexer.next()
+
+    # -- token plumbing ----------------------------------------------------
+
+    def advance(self) -> Token:
+        token = self.tok
+        self.tok = self.lexer.next()
+        return token
+
+    def error(self, message: str) -> XQuerySyntaxError:
+        return XQuerySyntaxError(message, self.tok.position)
+
+    def accept_symbol(self, *lexemes: str) -> Token | None:
+        if self.tok.is_symbol(*lexemes):
+            return self.advance()
+        return None
+
+    def expect_symbol(self, lexeme: str) -> Token:
+        if not self.tok.is_symbol(lexeme):
+            raise self.error(
+                f"expected {lexeme!r}, found {self.tok.value!r}")
+        return self.advance()
+
+    def accept_name(self, *names: str) -> Token | None:
+        if self.tok.is_name(*names):
+            return self.advance()
+        return None
+
+    def expect_name(self, name: str) -> Token:
+        if not self.tok.is_name(name):
+            raise self.error(
+                f"expected keyword {name!r}, found {self.tok.value!r}")
+        return self.advance()
+
+    def _next_raw_char(self) -> str:
+        """Peek the first significant character after the current token."""
+        text, pos = self.lexer.text, self.lexer.pos
+        while pos < len(text):
+            if text[pos] in " \t\r\n":
+                pos += 1
+            elif text.startswith("(:", pos):
+                depth, pos = 1, pos + 2
+                while pos < len(text) and depth:
+                    if text.startswith("(:", pos):
+                        depth, pos = depth + 1, pos + 2
+                    elif text.startswith(":)", pos):
+                        depth, pos = depth - 1, pos + 2
+                    else:
+                        pos += 1
+            else:
+                return text[pos]
+        return ""
+
+    # -- expressions ---------------------------------------------------------
+
+    def parse_expr(self) -> object:
+        items = [self.parse_expr_single()]
+        while self.accept_symbol(","):
+            items.append(self.parse_expr_single())
+        if len(items) == 1:
+            return items[0]
+        return ast.Sequence(items)
+
+    def parse_expr_single(self) -> object:
+        if self.tok.kind == NAME:
+            keyword = self.tok.value
+            follower = self._next_raw_char()
+            if keyword in ("for", "let") and follower == "$":
+                return self.parse_flwor()
+            if keyword in ("some", "every") and follower == "$":
+                return self.parse_quantified()
+            if keyword == "if" and follower == "(":
+                return self.parse_if()
+        return self.parse_or()
+
+    # -- FLWOR ----------------------------------------------------------------
+
+    def parse_flwor(self) -> ast.FLWOR:
+        clauses: list = []
+        where = None
+        while True:
+            if self.tok.kind == NAME and self.tok.value in ("for", "let") \
+                    and self._next_raw_char() == "$":
+                if self.advance().value == "for":
+                    clauses.extend(self._parse_for_bindings())
+                else:
+                    clauses.extend(self._parse_let_bindings())
+            elif self.tok.is_name("where"):
+                self.advance()
+                condition = self.parse_expr_single()
+                # A where followed by more for/let clauses interleaves;
+                # a final where becomes the FLWOR's where slot.
+                if self.tok.kind == NAME \
+                        and self.tok.value in ("for", "let") \
+                        and self._next_raw_char() == "$":
+                    clauses.append(ast.WhereClause(condition))
+                else:
+                    where = condition
+                    break
+            else:
+                break
+
+        order_by: list[ast.OrderSpec] = []
+        if self.tok.is_name("stable"):
+            self.advance()
+            self.expect_name("order")
+            self.expect_name("by")
+            order_by = self._parse_order_specs()
+        elif self.tok.is_name("order"):
+            self.advance()
+            self.expect_name("by")
+            order_by = self._parse_order_specs()
+
+        self.expect_name("return")
+        return_expr = self.parse_expr_single()
+        return ast.FLWOR(clauses, where, order_by, return_expr)
+
+    def _parse_for_bindings(self) -> list[ast.ForClause]:
+        bindings = []
+        while True:
+            var = self._expect_variable()
+            position_var = None
+            if self.accept_name("at"):
+                position_var = self._expect_variable()
+            self.expect_name("in")
+            expr = self.parse_expr_single()
+            bindings.append(ast.ForClause(var, expr, position_var))
+            if not self.accept_symbol(","):
+                return bindings
+
+    def _parse_let_bindings(self) -> list[ast.LetClause]:
+        bindings = []
+        while True:
+            var = self._expect_variable()
+            self.expect_symbol(":=")
+            expr = self.parse_expr_single()
+            bindings.append(ast.LetClause(var, expr))
+            if not self.accept_symbol(","):
+                return bindings
+
+    def _expect_variable(self) -> str:
+        if self.tok.kind != VARIABLE:
+            raise self.error(f"expected a $variable, found {self.tok.value!r}")
+        return self.advance().value
+
+    def _parse_order_specs(self) -> list[ast.OrderSpec]:
+        specs = []
+        while True:
+            expr = self.parse_expr_single()
+            descending = False
+            if self.accept_name("descending"):
+                descending = True
+            else:
+                self.accept_name("ascending")
+            empty_least = True
+            if self.accept_name("empty"):
+                if self.accept_name("greatest"):
+                    empty_least = False
+                else:
+                    self.expect_name("least")
+            specs.append(ast.OrderSpec(expr, descending, empty_least))
+            if not self.accept_symbol(","):
+                return specs
+
+    def parse_quantified(self) -> ast.Quantified:
+        quantifier = self.advance().value
+        bindings = []
+        while True:
+            var = self._expect_variable()
+            self.expect_name("in")
+            expr = self.parse_expr_single()
+            bindings.append((var, expr))
+            if not self.accept_symbol(","):
+                break
+        self.expect_name("satisfies")
+        condition = self.parse_expr_single()
+        return ast.Quantified(quantifier, bindings, condition)
+
+    def parse_if(self) -> ast.IfExpr:
+        self.expect_name("if")
+        self.expect_symbol("(")
+        condition = self.parse_expr()
+        self.expect_symbol(")")
+        self.expect_name("then")
+        then_branch = self.parse_expr_single()
+        self.expect_name("else")
+        else_branch = self.parse_expr_single()
+        return ast.IfExpr(condition, then_branch, else_branch)
+
+    # -- operator precedence chain ---------------------------------------------
+
+    def parse_or(self) -> object:
+        left = self.parse_and()
+        while self.tok.is_name("or"):
+            self.advance()
+            left = ast.AndOr("or", left, self.parse_and())
+        return left
+
+    def parse_and(self) -> object:
+        left = self.parse_comparison()
+        while self.tok.is_name("and"):
+            self.advance()
+            left = ast.AndOr("and", left, self.parse_comparison())
+        return left
+
+    def parse_comparison(self) -> object:
+        left = self.parse_range()
+        op = None
+        if self.tok.kind == SYMBOL and (
+                self.tok.value in _GENERAL_COMPARISONS
+                or self.tok.value in _NODE_COMPARISON_SYMBOLS):
+            op = self.advance().value
+        elif self.tok.kind == NAME and self.tok.value in _VALUE_COMPARISONS:
+            op = self.advance().value
+        elif self.tok.is_name("is"):
+            op = self.advance().value
+        if op is None:
+            return left
+        right = self.parse_range()
+        return ast.Comparison(op, left, right)
+
+    def parse_range(self) -> object:
+        left = self.parse_additive()
+        if self.tok.is_name("to"):
+            self.advance()
+            return ast.RangeExpr(left, self.parse_additive())
+        return left
+
+    def parse_additive(self) -> object:
+        left = self.parse_multiplicative()
+        while self.tok.is_symbol("+", "-"):
+            op = self.advance().value
+            left = ast.BinaryOp(op, left, self.parse_multiplicative())
+        return left
+
+    def parse_multiplicative(self) -> object:
+        left = self.parse_union()
+        while (self.tok.is_symbol("*", "||")
+               or self.tok.is_name("div", "idiv", "mod")):
+            op = self.advance().value
+            left = ast.BinaryOp(op, left, self.parse_union())
+        return left
+
+    def parse_union(self) -> object:
+        left = self.parse_cast()
+        while self.tok.is_symbol("|") or self.tok.is_name("union"):
+            self.advance()
+            left = ast.BinaryOp("union", left, self.parse_cast())
+        return left
+
+    def parse_cast(self) -> object:
+        expr = self.parse_unary()
+        if self.tok.is_name("cast"):
+            self.advance()
+            self.expect_name("as")
+            if self.tok.kind != NAME:
+                raise self.error("expected a type name after 'cast as'")
+            type_name = self.advance().value
+            self.accept_symbol("?")
+            return ast.CastExpr(expr, type_name)
+        return expr
+
+    def parse_unary(self) -> object:
+        if self.tok.is_symbol("-", "+"):
+            op = self.advance().value
+            return ast.UnaryOp(op, self.parse_unary())
+        return self.parse_path()
+
+    # -- paths ------------------------------------------------------------------
+
+    def parse_path(self) -> object:
+        if self.tok.is_symbol("/"):
+            self.advance()
+            if self._starts_step():
+                steps = self._parse_relative_steps()
+            else:
+                steps = []
+            return ast.PathExpr(steps, absolute=True)
+        if self.tok.is_symbol("//"):
+            self.advance()
+            steps: list = [ast.AxisStep("descendant-or-self", "node()")]
+            steps.extend(self._parse_relative_steps())
+            return ast.PathExpr(steps, absolute=True)
+        if not self._starts_step():
+            raise self.error(f"unexpected token {self.tok.value!r}")
+        steps = self._parse_relative_steps()
+        if len(steps) == 1 and not isinstance(steps[0], ast.AxisStep):
+            return steps[0]
+        return ast.PathExpr(steps, absolute=False)
+
+    def _parse_relative_steps(self) -> list:
+        steps = [self.parse_step()]
+        while True:
+            if self.accept_symbol("/"):
+                steps.append(self.parse_step())
+            elif self.accept_symbol("//"):
+                steps.append(ast.AxisStep("descendant-or-self", "node()"))
+                steps.append(self.parse_step())
+            else:
+                return steps
+
+    def _starts_step(self) -> bool:
+        token = self.tok
+        if token.kind in (STRING, INTEGER, DECIMAL, VARIABLE, NAME,
+                          TAG_START):
+            return True
+        return token.is_symbol("(", ".", "..", "@", "*", "$")
+
+    def parse_step(self) -> object:
+        token = self.tok
+
+        # Primary-expression steps (function calls, variables, literals...).
+        if token.kind in (STRING, INTEGER, DECIMAL, VARIABLE, TAG_START) \
+                or token.is_symbol("(", "."):
+            return self._parse_filter()
+        if token.kind == NAME and self._next_raw_char() == "(" \
+                and token.value not in _KIND_TESTS:
+            return self._parse_filter()
+        if token.kind == NAME and token.value in ("element", "attribute",
+                                                  "text"):
+            computed = self._try_computed_constructor(token.value)
+            if computed is not None:
+                predicates = self._parse_predicates()
+                return ast.Filter(computed, predicates) if predicates \
+                    else computed
+
+        # Axis steps.
+        if self.accept_symbol(".."):
+            return ast.AxisStep("parent", "node()",
+                                self._parse_predicates())
+        if self.accept_symbol("@"):
+            test = self._parse_name_test()
+            return ast.AxisStep("attribute", test, self._parse_predicates())
+
+        axis = "child"
+        if token.kind == NAME and token.value in _AXES \
+                and self._next_raw_char() == ":":
+            # Peek for '::' to distinguish axis from a QName like xs:date.
+            saved_pos, saved_tok = self.lexer.pos, self.tok
+            self.advance()
+            if self.tok.is_symbol("::"):
+                axis = saved_tok.value
+                self.advance()
+            else:
+                self.lexer.pos, self.tok = saved_pos, saved_tok
+        test = self._parse_node_test()
+        if axis == "attribute" and test.endswith("()"):
+            raise self.error("attribute axis requires a name test")
+        return ast.AxisStep(axis, test, self._parse_predicates())
+
+    def _parse_node_test(self) -> str:
+        if self.tok.kind == NAME and self.tok.value in _KIND_TESTS \
+                and self._next_raw_char() == "(":
+            kind = self.advance().value
+            self.expect_symbol("(")
+            self.expect_symbol(")")
+            return f"{kind}()"
+        return self._parse_name_test()
+
+    def _parse_name_test(self) -> str:
+        if self.accept_symbol("*"):
+            return "*"
+        if self.tok.kind != NAME:
+            raise self.error(
+                f"expected a name test, found {self.tok.value!r}")
+        return self.advance().value
+
+    def _parse_predicates(self) -> list:
+        predicates = []
+        while self.accept_symbol("["):
+            predicates.append(self.parse_expr())
+            self.expect_symbol("]")
+        return predicates
+
+    def _parse_filter(self) -> object:
+        base = self.parse_primary()
+        predicates = self._parse_predicates()
+        if predicates:
+            return ast.Filter(base, predicates)
+        return base
+
+    # -- primaries -----------------------------------------------------------------
+
+    def parse_primary(self) -> object:
+        token = self.tok
+        if token.kind == STRING:
+            self.advance()
+            return ast.Literal(token.value)
+        if token.kind == INTEGER:
+            self.advance()
+            return ast.Literal(int(token.value))
+        if token.kind == DECIMAL:
+            self.advance()
+            return ast.Literal(float(token.value))
+        if token.kind == VARIABLE:
+            self.advance()
+            return ast.VarRef(token.value)
+        if token.is_symbol("."):
+            self.advance()
+            return ast.ContextItem()
+        if self.accept_symbol("("):
+            if self.accept_symbol(")"):
+                return ast.Sequence([])
+            expression = self.parse_expr()
+            self.expect_symbol(")")
+            return expression
+        if token.kind == TAG_START:
+            return self._parse_direct_constructor()
+        if token.kind == NAME:
+            if token.value in ("element", "attribute", "text"):
+                computed = self._try_computed_constructor(token.value)
+                if computed is not None:
+                    return computed
+            return self._parse_function_call()
+        raise self.error(f"unexpected token {token.value!r}")
+
+    def _try_computed_constructor(self, kind: str):
+        """Parse ``element n {e}`` / ``attribute n {e}`` / ``text {e}``.
+
+        Keywords are not reserved, so this backtracks when the shape
+        does not match (e.g. ``text()`` kind tests, functions named
+        ``element``).
+        """
+        saved_pos, saved_tok = self.lexer.pos, self.tok
+        self.advance()                      # consume the keyword
+
+        name: object | None = None
+        if kind in ("element", "attribute"):
+            if self.tok.kind == NAME and self._next_raw_char() == "{":
+                name = self.advance().value
+            elif self.tok.is_symbol("{"):
+                self.advance()
+                name = self.parse_expr()
+                self.expect_symbol("}")
+            else:
+                self.lexer.pos, self.tok = saved_pos, saved_tok
+                return None
+        if not self.tok.is_symbol("{"):
+            self.lexer.pos, self.tok = saved_pos, saved_tok
+            return None
+        self.advance()
+        content = None
+        if not self.tok.is_symbol("}"):
+            content = self.parse_expr()
+        self.expect_symbol("}")
+
+        if kind == "element":
+            return ast.ComputedElementConstructor(name, content)
+        if kind == "attribute":
+            return ast.ComputedAttributeConstructor(name, content)
+        return ast.TextConstructor(content)
+
+    def _parse_function_call(self) -> object:
+        name = self.advance().value
+        self.expect_symbol("(")
+        args: list = []
+        if not self.tok.is_symbol(")"):
+            args.append(self.parse_expr_single())
+            while self.accept_symbol(","):
+                args.append(self.parse_expr_single())
+        self.expect_symbol(")")
+        if name.startswith("xs:"):
+            if len(args) != 1:
+                raise self.error(
+                    f"type constructor {name} takes exactly one argument")
+            return ast.CastExpr(args[0], name)
+        if name.startswith("fn:"):
+            name = name[3:]
+        return ast.FunctionCall(name, args)
+
+    # -- direct element constructors ---------------------------------------------------
+
+    def _parse_direct_constructor(self) -> ast.ElementConstructor:
+        # self.tok is TAG_START; the raw lexer position is just after the
+        # tag name, which is where _parse_nested_constructor expects it.
+        tag = self.tok.value
+        node = self._parse_nested_constructor(tag)
+        self.tok = self.lexer.next()
+        return node
+
+    def _parse_attr_parts(self, quote: str) -> list:
+        lexer = self.lexer
+        parts: list = []
+        buffer: list[str] = []
+        while True:
+            char = lexer.take_char()
+            if char == quote:
+                if lexer.peek_char() == quote:   # doubled quote escape
+                    lexer.take_char()
+                    buffer.append(quote)
+                    continue
+                if buffer:
+                    parts.append("".join(buffer))
+                return parts
+            if char == "{":
+                if lexer.peek_char() == "{":
+                    lexer.take_char()
+                    buffer.append("{")
+                    continue
+                if buffer:
+                    parts.append("".join(buffer))
+                    buffer = []
+                parts.append(self._parse_enclosed_expr())
+            elif char == "}":
+                if lexer.peek_char() == "}":
+                    lexer.take_char()
+                    buffer.append("}")
+                else:
+                    raise lexer.error("unescaped '}' in attribute value")
+            elif char == "&":
+                buffer.append(self._parse_entity())
+            else:
+                buffer.append(char)
+
+    def _parse_constructor_content(self, tag: str) -> list:
+        lexer = self.lexer
+        parts: list = []
+        buffer: list[str] = []
+
+        def flush() -> None:
+            if buffer:
+                parts.append("".join(buffer))
+                buffer.clear()
+
+        while True:
+            char = lexer.peek_char()
+            if char == "":
+                raise lexer.error(f"unterminated constructor <{tag}>")
+            if char == "<":
+                if lexer.match_literal("</"):
+                    closing = lexer.read_name()
+                    if closing != tag:
+                        raise lexer.error(
+                            f"mismatched </{closing}>, expected </{tag}>")
+                    lexer.skip_space()
+                    if lexer.take_char() != ">":
+                        raise lexer.error("expected '>' in end tag")
+                    flush()
+                    return parts
+                if lexer.match_literal("<!--"):
+                    while not lexer.match_literal("-->"):
+                        lexer.take_char()
+                elif lexer.match_literal("<![CDATA["):
+                    while not lexer.match_literal("]]>"):
+                        buffer.append(lexer.take_char())
+                else:
+                    flush()
+                    lexer.take_char()          # consume '<'
+                    child_tag = lexer.read_name()
+                    parts.append(self._parse_nested_constructor(child_tag))
+            elif char == "{":
+                lexer.take_char()
+                if lexer.peek_char() == "{":
+                    lexer.take_char()
+                    buffer.append("{")
+                    continue
+                flush()
+                parts.append(self._parse_enclosed_expr())
+            elif char == "}":
+                lexer.take_char()
+                if lexer.peek_char() == "}":
+                    lexer.take_char()
+                    buffer.append("}")
+                else:
+                    raise lexer.error("unescaped '}' in element content")
+            elif char == "&":
+                lexer.take_char()
+                buffer.append(self._parse_entity())
+            else:
+                buffer.append(lexer.take_char())
+
+    def _parse_nested_constructor(self, tag: str) -> ast.ElementConstructor:
+        """Parse a nested constructor; raw position is just after the name."""
+        lexer = self.lexer
+        attributes: list = []
+        while True:
+            lexer.skip_space()
+            char = lexer.peek_char()
+            if char == "/":
+                lexer.take_char()
+                if lexer.take_char() != ">":
+                    raise lexer.error("expected '/>'")
+                return ast.ElementConstructor(tag, attributes, [])
+            if char == ">":
+                lexer.take_char()
+                content = self._parse_constructor_content(tag)
+                return ast.ElementConstructor(tag, attributes, content)
+            name = lexer.read_name()
+            lexer.skip_space()
+            if lexer.take_char() != "=":
+                raise lexer.error("expected '=' in attribute")
+            lexer.skip_space()
+            quote = lexer.take_char()
+            if quote not in "\"'":
+                raise lexer.error("attribute value must be quoted")
+            attributes.append((name, self._parse_attr_parts(quote)))
+
+    def _parse_enclosed_expr(self) -> object:
+        """Parse ``Expr`` after an opening ``{`` and consume the ``}``."""
+        self.tok = self.lexer.next()
+        expression = self.parse_expr()
+        if not self.tok.is_symbol("}"):
+            raise self.error("expected '}' to close enclosed expression")
+        # Do not pull the next token: the caller resumes raw-mode scanning
+        # at the lexer position, which is just past the '}'.
+        return expression
+
+    def _parse_entity(self) -> str:
+        lexer = self.lexer
+        name_chars: list[str] = []
+        while True:
+            char = lexer.take_char()
+            if char == ";":
+                break
+            name_chars.append(char)
+            if len(name_chars) > 8:
+                raise lexer.error("malformed entity reference")
+        name = "".join(name_chars)
+        if name.startswith("#x") or name.startswith("#X"):
+            return chr(int(name[2:], 16))
+        if name.startswith("#"):
+            return chr(int(name[1:]))
+        if name in _PREDEFINED_ENTITIES:
+            return _PREDEFINED_ENTITIES[name]
+        raise lexer.error(f"unknown entity &{name};")

@@ -1,0 +1,41 @@
+"""Token kinds for the XQuery lexer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# Token kind constants.  Keywords are not reserved in XQuery, so the lexer
+# emits every name as NAME and the parser interprets keywords contextually.
+NAME = "name"                  # foo, xs:integer, fn:count
+VARIABLE = "variable"          # $x  (value is the name without '$')
+STRING = "string"              # "..."/'...' literal (value is decoded text)
+INTEGER = "integer"
+DECIMAL = "decimal"
+SYMBOL = "symbol"              # punctuation / operator, value is the lexeme
+TAG_START = "tag_start"        # '<name' beginning a direct constructor
+EOF = "eof"
+
+# Multi-character symbols, longest first so the lexer matches greedily.
+SYMBOLS = [
+    "::", "<<", ">>", "!=", "<=", ">=", ":=", "//", "..", "||",
+    "(", ")", "[", "]", "{", "}", ",", ";", "=", "<", ">", "|",
+    "+", "-", "*", "/", "@", "$", ".", "?",
+]
+
+
+@dataclass
+class Token:
+    """A single lexical token with its source offset."""
+
+    kind: str
+    value: str
+    position: int
+
+    def is_symbol(self, *lexemes: str) -> bool:
+        return self.kind == SYMBOL and self.value in lexemes
+
+    def is_name(self, *names: str) -> bool:
+        return self.kind == NAME and self.value in names
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind}, {self.value!r}@{self.position})"

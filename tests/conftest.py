@@ -1,0 +1,45 @@
+"""Shared fixtures: small generated corpora, loaded engines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.databases import CLASSES_BY_KEY
+from repro.xml.parser import parse_document
+from repro.xml.serializer import serialize
+
+CATALOG_XML = """\
+<catalog>
+  <item id="I1"><title>Alpha</title><price>12.5</price>
+    <authors><author><name>Ann</name><country>CA</country></author></authors>
+  </item>
+  <item id="I2"><title>Beta</title><price>7</price>
+    <authors><author><name>Bob</name><country>US</country></author>
+             <author><name>Cid</name><country>US</country></author></authors>
+  </item>
+  <item id="I3"><title>Gamma</title><price>30</price>
+    <authors><author><name>Dee</name><country>CA</country></author></authors>
+  </item>
+</catalog>
+"""
+
+
+@pytest.fixture
+def catalog_doc():
+    """A small hand-written catalog document."""
+    return parse_document(CATALOG_XML, name="catalog.xml")
+
+
+@pytest.fixture(scope="session")
+def small_corpora():
+    """Generated corpora for all four classes (30 units, fixed seed)."""
+    corpora = {}
+    for key, db_class in CLASSES_BY_KEY.items():
+        documents = db_class.generate(30, seed=11)
+        corpora[key] = {
+            "class": db_class,
+            "documents": documents,
+            "texts": [(doc.name, serialize(doc)) for doc in documents],
+            "units": 30,
+        }
+    return corpora

@@ -1,0 +1,194 @@
+"""Benchmark driver, report and figure tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    BenchmarkConfig,
+    XBench,
+    class_by_key,
+    format_suite,
+    format_table,
+    indexes_for,
+    render_all_figures,
+    render_figure,
+)
+from repro.errors import BenchmarkError
+
+
+@pytest.fixture(scope="module")
+def tiny_suite():
+    """A full suite at very small scale (shared across tests)."""
+    config = BenchmarkConfig(scale_divisor=10_000,
+                             scale_names=("small",), seed=3)
+    bench = XBench(config)
+    return bench, bench.run_suite()
+
+
+class TestConfig:
+    def test_defaults(self):
+        config = BenchmarkConfig()
+        assert config.scale_names == ("small", "normal", "large")
+        assert set(config.query_ids) == {"Q5", "Q8", "Q12", "Q14", "Q17"}
+
+    def test_class_by_key(self):
+        assert class_by_key("tcsd").label == "TC/SD"
+        with pytest.raises(BenchmarkError):
+            class_by_key("nope")
+
+    def test_table3_indexes(self):
+        assert indexes_for("dcsd") == ("item/@id", "date_of_release")
+        assert indexes_for("tcsd") == ("hw",)
+        assert indexes_for("unknown") == ()
+
+
+class TestCorpusCache:
+    def test_scenario_cached(self):
+        bench = XBench(BenchmarkConfig(scale_divisor=10_000))
+        first = bench.corpus.scenario("tcmd", "small")
+        second = bench.corpus.scenario("tcmd", "small")
+        assert first is second
+
+    def test_scenario_name_paper_style(self):
+        bench = XBench(BenchmarkConfig(scale_divisor=10_000))
+        assert bench.corpus.scenario("tcsd", "small").name == "TCSDS"
+        assert bench.corpus.scenario("dcmd", "normal").name == "DCMDN"
+
+    def test_scales_differ(self):
+        bench = XBench(BenchmarkConfig(scale_divisor=2_000))
+        small = bench.corpus.scenario("tcmd", "small").bytes
+        normal = bench.corpus.scenario("tcmd", "normal").bytes
+        assert normal > 3 * small
+
+
+class TestSuite:
+    def test_load_cells_populated(self, tiny_suite):
+        __, suite = tiny_suite
+        cell = suite.load.cell("X-Hive", "dcmd", "small")
+        assert cell.seconds is not None and cell.seconds > 0
+
+    def test_unsupported_cells_marked(self, tiny_suite):
+        __, suite = tiny_suite
+        assert suite.load.cell("Xcolumn", "dcsd", "small").seconds is None
+        assert suite.load.cell("Xcolumn", "dcsd",
+                               "small").detail != ""
+
+    def test_query_tables_present(self, tiny_suite):
+        __, suite = tiny_suite
+        assert set(suite.queries) == {"Q5", "Q8", "Q12", "Q14", "Q17"}
+
+    def test_native_marked_correct(self, tiny_suite):
+        __, suite = tiny_suite
+        for qid, result in suite.queries.items():
+            cell = result.cell("X-Hive", "tcmd", "small")
+            assert cell.correct is True
+
+    def test_supported_engines_timed(self, tiny_suite):
+        __, suite = tiny_suite
+        for engine_label in ("Xcollection", "SQL Server", "X-Hive"):
+            cell = suite.queries["Q5"].cell(engine_label, "dcsd", "small")
+            if engine_label == "Xcollection":
+                assert cell.seconds is not None
+            else:
+                assert cell.seconds is not None
+
+    def test_run_single_query(self):
+        bench = XBench(BenchmarkConfig(scale_divisor=10_000,
+                                       scale_names=("small",),
+                                       class_keys=("tcmd",)))
+        result = bench.run_query("Q8")
+        assert result.cell("X-Hive", "tcmd", "small").seconds is not None
+
+
+class TestReport:
+    def test_format_table_layout(self, tiny_suite):
+        __, suite = tiny_suite
+        text = format_table(suite.load, scale_names=("small",))
+        assert "Table 4" in text
+        assert "X-Hive" in text and "SQL Server" in text
+        assert "-" in text            # unsupported cells
+
+    def test_format_suite_contains_all_tables(self, tiny_suite):
+        __, suite = tiny_suite
+        text = format_suite(suite, scale_names=("small",))
+        for table in ("Table 4", "Table 5", "Table 6", "Table 7",
+                      "Table 8", "Table 9"):
+            assert table in text
+
+    def test_units_noted(self, tiny_suite):
+        __, suite = tiny_suite
+        assert "(in Seconds)" in format_table(suite.load,
+                                              scale_names=("small",))
+        assert "(in Milliseconds)" in format_table(
+            suite.queries["Q5"], scale_names=("small",))
+
+
+class TestFigures:
+    def test_four_figures(self):
+        text = render_all_figures()
+        for number in (1, 2, 3, 4):
+            assert f"Figure {number}" in text
+
+    def test_figure_1_dictionary(self):
+        text = render_figure(1)
+        assert "dictionary" in text and "[hw]" in text
+
+    def test_figure_2_recursive_sec(self):
+        text = render_figure(2)
+        assert "(recursive)" in text
+
+    def test_figure_3_catalog_depth(self):
+        text = render_figure(3)
+        assert "mailing_address" in text
+
+    def test_figure_4_order(self):
+        text = render_figure(4)
+        assert "order_line" in text and "@id" in text
+
+
+class TestHugeScale:
+    def test_huge_scale_configurable(self):
+        """The paper's 10 GB 'huge' scale is available behind the same
+        divisor knob (here divided down to stay test-sized)."""
+        from repro.core import BenchmarkConfig, XBench
+        config = BenchmarkConfig(scale_divisor=200_000,
+                                 scale_names=("huge",),
+                                 class_keys=("tcmd",))
+        bench = XBench(config)
+        scenario = bench.corpus.scenario("tcmd", "huge")
+        assert scenario.name == "TCMDH"
+        assert scenario.bytes > 0
+        suite = bench.run_suite(("Q8",))
+        cell = suite.queries["Q8"].cells[("X-Hive", "tcmd", "huge")]
+        assert cell.seconds is not None
+
+
+class TestExportFormats:
+    def test_suite_records_cover_all_cells(self, tiny_suite):
+        from repro.core.report import suite_records
+        __, suite = tiny_suite
+        records = suite_records(suite)
+        tables = {record["table"] for record in records}
+        assert tables == {"load", "Q5", "Q8", "Q12", "Q14", "Q17"}
+        loads = [r for r in records if r["table"] == "load"]
+        assert len(loads) == 16            # 4 engines x 4 classes
+
+    def test_csv_shape(self, tiny_suite):
+        from repro.core.report import format_csv
+        __, suite = tiny_suite
+        csv_text = format_csv(suite)
+        lines = csv_text.splitlines()
+        assert lines[0] == "table,system,class,scale,seconds,correct"
+        assert all(line.count(",") == 5 for line in lines)
+
+    def test_json_round_trips(self, tiny_suite):
+        import json
+        from repro.core.report import format_json
+        __, suite = tiny_suite
+        records = json.loads(format_json(suite))
+        assert isinstance(records, list) and records
+        unsupported = [r for r in records
+                       if r["system"] == "Xcolumn"
+                       and r["class"] == "DC/SD"]
+        assert all(r["seconds"] is None for r in unsupported)

@@ -1,0 +1,75 @@
+"""File-backed corpus tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import BenchmarkConfig, XBench
+from repro.core.corpus_io import FileCorpus, write_corpus
+from repro.engines import NativeEngine, SqlServerEngine
+
+
+class TestFileCorpus:
+    def test_write_and_iterate(self, tmp_path):
+        corpus = write_corpus([("a.xml", "<a/>"), ("b.xml", "<b/>")],
+                              tmp_path)
+        assert len(corpus) == 2
+        assert list(corpus) == [("a.xml", "<a/>"), ("b.xml", "<b/>")]
+
+    def test_indexing_and_slicing(self, tmp_path):
+        corpus = write_corpus([("a.xml", "<a/>"), ("b.xml", "<b/>")],
+                              tmp_path)
+        assert corpus[1] == ("b.xml", "<b/>")
+        assert corpus[0:1] == [("a.xml", "<a/>")]
+
+    def test_total_bytes_from_metadata(self, tmp_path):
+        corpus = write_corpus([("a.xml", "<a/>" * 10)], tmp_path)
+        assert corpus.total_bytes() == 40
+
+    def test_paths_exist(self, tmp_path):
+        corpus = write_corpus([("x.xml", "<x/>")], tmp_path)
+        assert corpus.paths[0].exists()
+
+    def test_lazy_reads_current_file_content(self, tmp_path):
+        corpus = write_corpus([("a.xml", "<a/>")], tmp_path)
+        (tmp_path / "a.xml").write_text("<changed/>", encoding="utf-8")
+        assert list(corpus) == [("a.xml", "<changed/>")]
+
+
+class TestFileBackedBenchmark:
+    def test_scenario_written_to_disk(self, tmp_path):
+        config = BenchmarkConfig(scale_divisor=10_000,
+                                 corpus_dir=str(tmp_path))
+        bench = XBench(config)
+        scenario = bench.corpus.scenario("dcmd", "small")
+        assert isinstance(scenario.texts, FileCorpus)
+        assert (tmp_path / "dcmd_small" / "order1.xml").exists()
+        assert scenario.bytes > 0
+
+    def test_engines_load_from_files(self, tmp_path):
+        config = BenchmarkConfig(scale_divisor=10_000,
+                                 corpus_dir=str(tmp_path))
+        bench = XBench(config)
+        scenario = bench.corpus.scenario("dcmd", "small")
+        for factory in (NativeEngine, SqlServerEngine):
+            engine = factory()
+            stats = engine.timed_load(scenario.db_class, scenario.texts)
+            assert stats.documents == len(scenario.texts)
+            assert stats.bytes == scenario.bytes
+            assert engine.execute(
+                "Q8", {"id": "1"})      # loaded data is queryable
+
+    def test_file_backed_results_match_in_memory(self, tmp_path):
+        memory_bench = XBench(BenchmarkConfig(scale_divisor=10_000))
+        disk_bench = XBench(BenchmarkConfig(scale_divisor=10_000,
+                                            corpus_dir=str(tmp_path)))
+        for bench in (memory_bench, disk_bench):
+            scenario = bench.corpus.scenario("tcmd", "small")
+            engine = NativeEngine()
+            engine.timed_load(scenario.db_class, scenario.texts)
+        memory_docs = [name for name, __ in
+                       memory_bench.corpus.scenario("tcmd",
+                                                    "small").texts]
+        disk_docs = [name for name, __ in
+                     disk_bench.corpus.scenario("tcmd", "small").texts]
+        assert memory_docs == disk_docs

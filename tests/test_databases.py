@@ -1,0 +1,199 @@
+"""Database-class tests: generation, conformance, scaling, planted words."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.databases import (
+    ALL_CLASSES,
+    CLASSES_BY_KEY,
+    LARGE,
+    NORMAL,
+    PAPER_SCALES,
+    SMALL,
+    Scale,
+)
+from repro.xml.schema import conforms
+from repro.xml.serializer import serialize
+
+
+class TestScaleModel:
+    def test_paper_sizes(self):
+        assert SMALL.paper_bytes == 10 * 1024 * 1024
+        assert NORMAL.paper_bytes == 100 * 1024 * 1024
+        assert LARGE.paper_bytes == 1024 * 1024 * 1024
+
+    def test_ratios_preserved_by_divisor(self):
+        ratio = NORMAL.budget(100) / SMALL.budget(100)
+        assert abs(ratio - 10.0) < 0.01
+
+    def test_budget_floor(self):
+        assert Scale("tiny", 1).budget(1000) == 10_000
+
+    def test_four_scales(self):
+        assert [scale.name for scale in PAPER_SCALES] == \
+            ["small", "normal", "large", "huge"]
+
+
+class TestClassRegistry:
+    def test_four_classes_in_paper_order(self):
+        assert [c.label for c in ALL_CLASSES] == \
+            ["DC/SD", "DC/MD", "TC/SD", "TC/MD"]
+
+    def test_keys(self):
+        assert set(CLASSES_BY_KEY) == {"dcsd", "dcmd", "tcsd", "tcmd"}
+
+    def test_single_document_flags(self):
+        assert CLASSES_BY_KEY["dcsd"].single_document
+        assert CLASSES_BY_KEY["tcsd"].single_document
+        assert not CLASSES_BY_KEY["dcmd"].single_document
+        assert not CLASSES_BY_KEY["tcmd"].single_document
+
+    def test_paper_default_units(self):
+        assert CLASSES_BY_KEY["tcsd"].default_units == 7333
+        assert CLASSES_BY_KEY["tcmd"].default_units == 266
+
+    def test_size_parameters(self):
+        assert CLASSES_BY_KEY["tcsd"].size_parameter == "entry_num"
+        assert CLASSES_BY_KEY["tcmd"].size_parameter == "article_num"
+
+
+@pytest.mark.parametrize("key", ["dcsd", "dcmd", "tcsd", "tcmd"])
+class TestGeneration:
+    def test_documents_conform_to_schema(self, key, small_corpora):
+        corpus = small_corpora[key]
+        schemas = {schema.name: schema
+                   for schema in corpus["class"].schemas()}
+        for document in corpus["documents"]:
+            schema = schemas.get(document.root_element.tag)
+            assert schema is not None, document.name
+            assert conforms(document, schema) == []
+
+    def test_generation_deterministic(self, key):
+        db_class = CLASSES_BY_KEY[key]
+        first = db_class.generate(5, seed=3)
+        second = db_class.generate(5, seed=3)
+        assert [serialize(d) for d in first] == \
+            [serialize(d) for d in second]
+
+    def test_single_vs_multi_document_count(self, key, small_corpora):
+        corpus = small_corpora[key]
+        if corpus["class"].single_document:
+            assert len(corpus["documents"]) == 1
+        else:
+            assert len(corpus["documents"]) > 1
+
+    def test_units_scale_size(self, key):
+        db_class = CLASSES_BY_KEY[key]
+        small = sum(len(serialize(d)) for d in db_class.generate(5, seed=2))
+        big = sum(len(serialize(d)) for d in db_class.generate(25, seed=2))
+        assert big > 2 * small
+
+    def test_calibration_hits_budget(self, key):
+        db_class = CLASSES_BY_KEY[key]
+        budget = 80_000
+        units = db_class.units_for_budget(budget, seed=2)
+        actual = sum(len(serialize(d))
+                     for d in db_class.generate(units, seed=2))
+        assert budget / 4 < actual < budget * 4
+
+
+class TestTCSDSpecifics:
+    def test_single_dictionary_document(self, small_corpora):
+        (document,) = small_corpora["tcsd"]["documents"]
+        assert document.name == "dictionary.xml"
+        assert document.root_element.tag == "dictionary"
+
+    def test_entry_count_matches_units(self, small_corpora):
+        (document,) = small_corpora["tcsd"]["documents"]
+        entries = list(document.root_element.child_elements("entry"))
+        assert len(entries) == 30
+
+    def test_planted_headwords(self, small_corpora):
+        (document,) = small_corpora["tcsd"]["documents"]
+        headwords = [e.first_child("hw").text_content()
+                     for e in document.root_element.child_elements("entry")]
+        assert "word_1" in headwords
+        assert "word_2" in headwords
+
+    def test_cross_references_resolve(self, small_corpora):
+        (document,) = small_corpora["tcsd"]["documents"]
+        ids = {e.get("id")
+               for e in document.root_element.child_elements("entry")}
+        for ref in document.root_element.descendant_elements(
+                "cross_reference"):
+            assert ref.get("target") in ids
+
+    def test_mixed_content_qt(self, small_corpora):
+        (document,) = small_corpora["tcsd"]["documents"]
+        qts = list(document.root_element.descendant_elements("qt"))
+        assert qts, "dictionary should contain quotations"
+        mixed = [qt for qt in qts
+                 if qt.has_element_children() and qt.text_content()]
+        assert mixed, "some qt elements should have mixed content"
+
+
+class TestTCMDSpecifics:
+    def test_document_names(self, small_corpora):
+        names = [d.name for d in small_corpora["tcmd"]["documents"]]
+        assert names[0] == "article1.xml"
+        assert len(names) == 30
+
+    def test_first_section_is_introduction(self, small_corpora):
+        document = small_corpora["tcmd"]["documents"][0]
+        heading = document.root_element.find("body/sec/heading")
+        assert heading.text_content() == "Introduction"
+
+    def test_some_articles_have_nested_sections(self, small_corpora):
+        nested = 0
+        for document in small_corpora["tcmd"]["documents"]:
+            for sec in document.root_element.descendant_elements("sec"):
+                if any(child.tag == "sec"
+                       for child in sec.child_elements()):
+                    nested += 1
+        assert nested > 0, "recursive sec elements expected"
+
+    def test_sec_ids_unique(self, small_corpora):
+        seen = set()
+        for document in small_corpora["tcmd"]["documents"]:
+            for sec in document.root_element.descendant_elements("sec"):
+                identifier = sec.get("id")
+                assert identifier not in seen
+                seen.add(identifier)
+
+    def test_some_empty_contacts(self, small_corpora):
+        empty = 0
+        for document in small_corpora["tcmd"]["documents"]:
+            for contact in document.root_element.descendant_elements(
+                    "contact"):
+                if not contact.children:
+                    empty += 1
+        assert empty > 0, "Q15 needs empty contact elements"
+
+    def test_heavy_tailed_sizes(self, small_corpora):
+        sizes = [len(text) for __, text in small_corpora["tcmd"]["texts"]]
+        assert max(sizes) > 3 * min(sizes)
+
+
+class TestDCSpecifics:
+    def test_catalog_root(self, small_corpora):
+        (document,) = small_corpora["dcsd"]["documents"]
+        assert document.root_element.tag == "catalog"
+        assert len(list(document.root_element.child_elements("item"))) == 30
+
+    def test_dcmd_has_flat_side_documents(self, small_corpora):
+        names = {d.name for d in small_corpora["dcmd"]["documents"]}
+        assert "customer.xml" in names
+        assert "order1.xml" in names
+
+    def test_dcmd_schemas_cover_all_roots(self, small_corpora):
+        corpus = small_corpora["dcmd"]
+        roots = {d.root_element.tag for d in corpus["documents"]}
+        schema_roots = {s.name for s in corpus["class"].schemas()}
+        assert roots <= schema_roots
+
+    def test_dc_less_texty_than_tc(self, small_corpora):
+        from repro.stats import analyze_corpus
+        dc = analyze_corpus(small_corpora["dcsd"]["documents"])
+        tc = analyze_corpus(small_corpora["tcsd"]["documents"])
+        assert tc.text_ratio() > dc.text_ratio()

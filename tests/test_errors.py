@@ -1,0 +1,61 @@
+"""Exception hierarchy tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc", [
+        errors.XMLError, errors.XMLParseError, errors.XQueryError,
+        errors.XQuerySyntaxError, errors.XQueryTypeError,
+        errors.XQueryEvalError, errors.GenerationError,
+        errors.RelStoreError, errors.SchemaError, errors.EngineError,
+        errors.UnsupportedConfiguration, errors.LoadError,
+        errors.UnsupportedOperation, errors.UnsupportedQuery,
+        errors.BenchmarkError,
+    ])
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+
+    def test_parse_error_under_xml(self):
+        assert issubclass(errors.XMLParseError, errors.XMLError)
+
+    def test_query_errors_under_xquery(self):
+        for exc in (errors.XQuerySyntaxError, errors.XQueryTypeError,
+                    errors.XQueryEvalError):
+            assert issubclass(exc, errors.XQueryError)
+
+    def test_engine_errors_under_engine(self):
+        for exc in (errors.UnsupportedConfiguration, errors.LoadError,
+                    errors.UnsupportedOperation,
+                    errors.UnsupportedQuery):
+            assert issubclass(exc, errors.EngineError)
+
+    def test_schema_error_under_relstore(self):
+        assert issubclass(errors.SchemaError, errors.RelStoreError)
+
+
+class TestMessages:
+    def test_xml_parse_error_carries_position(self):
+        error = errors.XMLParseError("bad", line=3, column=7)
+        assert error.line == 3 and error.column == 7
+        assert "line 3" in str(error)
+
+    def test_xml_parse_error_without_position(self):
+        error = errors.XMLParseError("bad")
+        assert "line" not in str(error)
+
+    def test_xquery_syntax_error_offset(self):
+        error = errors.XQuerySyntaxError("oops", position=12)
+        assert error.position == 12
+        assert "offset 12" in str(error)
+
+    def test_xquery_syntax_error_no_offset(self):
+        assert "offset" not in str(errors.XQuerySyntaxError("oops"))
+
+    def test_one_base_class_catches_everything(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.UnsupportedQuery("x")

@@ -1,0 +1,128 @@
+"""Golden regression tests: fingerprints of the full workload.
+
+Generation is deterministic (seeded) and the native engine is the
+correctness oracle, so the result of every (class, query) pair at a
+fixed seed is a stable fingerprint.  These tests pin those fingerprints:
+any change to the generators, the XQuery engine or the workload text
+that alters observable results shows up here immediately.
+
+If a change is *intentional* (e.g. a new template feature), regenerate
+the table with::
+
+    python tests/test_golden.py
+
+which prints a fresh GOLDEN dict to paste in.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+
+from repro.core.indexes import indexes_for
+from repro.databases import CLASSES_BY_KEY
+from repro.engines import NativeEngine
+from repro.workload import bind_params, workload_for_class
+from repro.xml.serializer import serialize
+
+SEED = 1234
+UNITS = 25
+
+#: (class, qid) -> (sha256[:16] of results, result count)
+GOLDEN = {
+    ("dcsd", "Q1"): ("9f064a38f1e1c026", 1),
+    ("dcsd", "Q2"): ("e3b0c44298fc1c14", 0),
+    ("dcsd", "Q5"): ("eb519657e213c266", 1),
+    ("dcsd", "Q7"): ("977b1690d5966e94", 4),
+    ("dcsd", "Q8"): ("4881e1349b9765f7", 1),
+    ("dcsd", "Q12"): ("9bc89382d1470497", 1),
+    ("dcsd", "Q14"): ("e3b0c44298fc1c14", 0),
+    ("dcsd", "Q17"): ("e3b0c44298fc1c14", 0),
+    ("dcsd", "Q20"): ("5b2beb106c6b185c", 16),
+    ("dcmd", "Q1"): ("126f22ab279f160a", 1),
+    ("dcmd", "Q3"): ("3fec5c610a177635", 6),
+    ("dcmd", "Q5"): ("315c3cee96a23182", 1),
+    ("dcmd", "Q8"): ("9a9d157fe137e51a", 1),
+    ("dcmd", "Q9"): ("5d932faed5e40da6", 1),
+    ("dcmd", "Q10"): ("36adb6aa1d30f747", 14),
+    ("dcmd", "Q12"): ("52302610cd65c918", 1),
+    ("dcmd", "Q14"): ("3cda8d9f579b4ef1", 6),
+    ("dcmd", "Q16"): ("126f22ab279f160a", 1),
+    ("dcmd", "Q17"): ("e3b0c44298fc1c14", 0),
+    ("dcmd", "Q19"): ("06a0a0b7dda3f188", 1),
+    ("tcsd", "Q3"): ("a064eac461b93d98", 10),
+    ("tcsd", "Q5"): ("220b37b79a48bec6", 1),
+    ("tcsd", "Q8"): ("d31d4af5b346b674", 4),
+    ("tcsd", "Q11"): ("c9f171891096b49f", 2),
+    ("tcsd", "Q12"): ("9627886ded05a086", 1),
+    ("tcsd", "Q14"): ("53fa4a4f77a1e16c", 8),
+    ("tcsd", "Q17"): ("b9b3fcee86cf7a41", 6),
+    ("tcsd", "Q18"): ("e3b0c44298fc1c14", 0),
+    ("tcmd", "Q2"): ("0a4fc8bf20c3159a", 6),
+    ("tcmd", "Q4"): ("0fb5615fe229b02d", 4),
+    ("tcmd", "Q5"): ("7e12e63b05671349", 1),
+    ("tcmd", "Q6"): ("9730e7244f5b9987", 2),
+    ("tcmd", "Q8"): ("dc3dcce13b31a184", 1),
+    ("tcmd", "Q9"): ("54485a8ce1261e96", 22),
+    ("tcmd", "Q12"): ("50a87a49b4502408", 1),
+    ("tcmd", "Q13"): ("f5f997eb4ed46ab9", 1),
+    ("tcmd", "Q14"): ("9a97126bf9ba77d0", 2),
+    ("tcmd", "Q15"): ("0537134b64253942", 9),
+    ("tcmd", "Q16"): ("f5ffe03cc735eeb9", 1),
+    ("tcmd", "Q17"): ("1b30d2236c181fbc", 7),
+    ("tcmd", "Q18"): ("49dd3b217a9366c1", 25),
+}
+
+
+def fingerprint(values: list[str]) -> str:
+    return hashlib.sha256("\x1f".join(values).encode()).hexdigest()[:16]
+
+
+@pytest.fixture(scope="module")
+def golden_engines():
+    engines = {}
+    for key, db_class in CLASSES_BY_KEY.items():
+        documents = db_class.generate(UNITS, seed=SEED)
+        engine = NativeEngine()
+        engine.timed_load(db_class,
+                          [(d.name, serialize(d)) for d in documents])
+        engine.create_indexes(list(indexes_for(key)))
+        engines[key] = engine
+    return engines
+
+
+class TestGoldenWorkload:
+    def test_golden_table_is_complete(self):
+        expected = {(key, query.qid)
+                    for key in CLASSES_BY_KEY
+                    for query in workload_for_class(key)}
+        assert set(GOLDEN) == expected
+
+    @pytest.mark.parametrize("key,qid", sorted(GOLDEN),
+                             ids=[f"{k}-{q}" for k, q in sorted(GOLDEN)])
+    def test_result_fingerprint(self, key, qid, golden_engines):
+        params = bind_params(qid, key, UNITS)
+        values = golden_engines[key].execute(qid, params)
+        digest, count = GOLDEN[(key, qid)]
+        assert len(values) == count, f"{key}/{qid}: count changed"
+        assert fingerprint(values) == digest, \
+            f"{key}/{qid}: result content changed"
+
+
+def _regenerate() -> None:                # pragma: no cover - dev tool
+    for key, db_class in CLASSES_BY_KEY.items():
+        documents = db_class.generate(UNITS, seed=SEED)
+        engine = NativeEngine()
+        engine.timed_load(db_class,
+                          [(d.name, serialize(d)) for d in documents])
+        engine.create_indexes(list(indexes_for(key)))
+        for query in workload_for_class(key):
+            params = bind_params(query.qid, key, UNITS)
+            values = engine.execute(query.qid, params)
+            print(f'    ("{key}", "{query.qid}"): '
+                  f'("{fingerprint(values)}", {len(values)}),')
+
+
+if __name__ == "__main__":                # pragma: no cover
+    _regenerate()

@@ -1,0 +1,78 @@
+"""Multi-user harness tests (extension toward the paper's roadmap)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.indexes import indexes_for
+from repro.core.multiuser import run_multi_user
+from repro.engines import NativeEngine, SqlServerEngine
+from repro.errors import BenchmarkError
+
+
+def load(factory, corpus):
+    engine = factory()
+    engine.timed_load(corpus["class"], corpus["texts"])
+    engine.create_indexes(list(indexes_for(corpus["class"].key)))
+    return engine
+
+
+class TestMultiUser:
+    @pytest.mark.parametrize("mode", ["threads", "interleaved"])
+    def test_all_queries_complete(self, mode, small_corpora):
+        engine = load(NativeEngine, small_corpora["dcmd"])
+        result = run_multi_user(engine, "dcmd", 30, streams=3,
+                                queries_per_stream=5, mode=mode)
+        assert result.total_queries == 15
+        assert all(stream.errors == 0 for stream in result.streams)
+        assert result.throughput_qps > 0
+
+    def test_interleaved_deterministic_counts(self, small_corpora):
+        engine = load(SqlServerEngine, small_corpora["dcmd"])
+        first = run_multi_user(engine, "dcmd", 30, streams=2,
+                               queries_per_stream=4, mode="interleaved")
+        second = run_multi_user(engine, "dcmd", 30, streams=2,
+                                queries_per_stream=4,
+                                mode="interleaved")
+        assert first.total_queries == second.total_queries == 8
+
+    def test_streams_have_distinct_plans(self, small_corpora):
+        from repro.core.multiuser import _stream_plan
+        first = _stream_plan("dcmd", 30, 10, seed=1,
+                             query_ids=("Q5", "Q8"))
+        second = _stream_plan("dcmd", 30, 10, seed=2,
+                              query_ids=("Q5", "Q8"))
+        assert first != second
+
+    def test_latency_statistics(self, small_corpora):
+        engine = load(NativeEngine, small_corpora["tcmd"])
+        result = run_multi_user(engine, "tcmd", 30, streams=2,
+                                queries_per_stream=3,
+                                mode="interleaved")
+        for stream in result.streams:
+            assert stream.mean_latency_ms() > 0
+            assert stream.max_latency_ms() >= stream.mean_latency_ms()
+
+    def test_summary_renders(self, small_corpora):
+        engine = load(NativeEngine, small_corpora["dcmd"])
+        result = run_multi_user(engine, "dcmd", 30, streams=2,
+                                queries_per_stream=2,
+                                mode="interleaved")
+        text = result.summary()
+        assert "2 streams" in text and "q/s" in text
+
+    def test_unknown_mode_rejected(self, small_corpora):
+        engine = load(NativeEngine, small_corpora["dcmd"])
+        with pytest.raises(BenchmarkError):
+            run_multi_user(engine, "dcmd", 30, mode="quantum")
+
+    def test_threaded_matches_interleaved_results(self, small_corpora):
+        """Same plans -> same query counts regardless of mode."""
+        corpus = small_corpora["dcmd"]
+        threaded = run_multi_user(load(NativeEngine, corpus), "dcmd", 30,
+                                  streams=3, queries_per_stream=4,
+                                  seed=5, mode="threads")
+        sequential = run_multi_user(load(NativeEngine, corpus), "dcmd",
+                                    30, streams=3, queries_per_stream=4,
+                                    seed=5, mode="interleaved")
+        assert threaded.total_queries == sequential.total_queries

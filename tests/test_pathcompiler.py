@@ -1,0 +1,152 @@
+"""Generic path compilation over the edge store: structural joins."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engines import NativeEngine
+from repro.engines.edge import EdgeEngine
+from repro.engines.pathcompiler import (
+    UnsupportedPathError,
+    compile_path,
+    run_path,
+)
+from repro.errors import EngineError
+from repro.workload import bind_params
+from repro.xml.serializer import serialize
+
+
+@pytest.fixture(scope="module")
+def edge(small_corpora):
+    corpus = small_corpora["tcsd"]
+    engine = EdgeEngine()
+    engine.timed_load(corpus["class"], corpus["texts"])
+    return engine
+
+
+class TestCompileValidation:
+    @pytest.mark.parametrize("text", [
+        "/dictionary/entry",
+        "/dictionary/entry[@id = 'e1']",
+        "/dictionary/entry[hw = $word]/pos",
+        "//quote[location = 'bath']",
+        "collection()/order[@id = $id]/*/ship_type",
+        "/dictionary/entry[2]/@id",
+        "/dictionary/entry[empty(etymology)]/hw/text()",
+        "/dictionary/entry[exists(cross_reference)]",
+        "/dictionary/entry[cross_reference]",
+    ])
+    def test_supported(self, text):
+        compile_path(text)
+
+    @pytest.mark.parametrize("text", [
+        "for $x in /a return $x",          # FLWOR
+        "1 + 1",                           # arithmetic
+        "/a/b[price > 10]",                # non-equality comparison
+        "/a/..",                           # reverse axis
+        "/a[contains(b, 'x')]",            # unsupported function
+        "doc('x.xml')/a",                  # doc() roots
+        "/a/@id/b",                        # attribute mid-path
+        "/a[b/c = '1']",                   # deep predicate operand
+    ])
+    def test_rejected(self, text):
+        with pytest.raises(UnsupportedPathError):
+            compile_path(text)
+
+
+class TestExecution:
+    def test_root_filter(self, edge):
+        rows = run_path(edge.store, "/dictionary")
+        assert len(rows) == 1 and rows[0]["tag"] == "dictionary"
+
+    def test_wrong_root_name_empty(self, edge):
+        assert run_path(edge.store, "/catalog") == []
+
+    def test_child_chain(self, edge):
+        rows = run_path(edge.store, "/dictionary/entry/hw")
+        assert len(rows) == 30
+
+    def test_results_in_document_order(self, edge):
+        rows = run_path(edge.store, "/dictionary/entry")
+        pres = [row["pre"] for row in rows]
+        assert pres == sorted(pres)
+
+    def test_descendant_shorthand(self, edge):
+        direct = run_path(edge.store, "/dictionary/entry/definition"
+                                      "/quote")
+        via_descendant = run_path(edge.store, "//quote")
+        assert [r["pre"] for r in direct] == \
+            [r["pre"] for r in via_descendant]
+
+    def test_attribute_values(self, edge):
+        values = run_path(edge.store, "/dictionary/entry/@id")
+        assert values[0] == "e1" and len(values) == 30
+
+    def test_text_step(self, edge):
+        texts = run_path(edge.store, "/dictionary/entry[1]/hw/text()")
+        assert texts == ["word_1"]
+
+    def test_positional_predicate(self, edge):
+        rows = run_path(edge.store, "/dictionary/entry[3]")
+        assert len(rows) == 1
+
+    def test_attr_equality_with_variable(self, edge):
+        rows = run_path(edge.store, "/dictionary/entry[@id = $e]",
+                        {"e": "e5"})
+        assert len(rows) == 1
+
+    def test_unbound_variable_raises(self, edge):
+        with pytest.raises(EngineError):
+            run_path(edge.store, "/dictionary/entry[@id = $nope]")
+
+    def test_child_value_equality(self, edge):
+        rows = run_path(edge.store,
+                        "/dictionary/entry[hw = 'word_2']")
+        assert all(
+            any(child["text"] == "word_2" for child in
+                edge.store.children(row["pre"], "hw"))
+            for row in rows)
+        assert rows
+
+    def test_empty_predicate(self, edge):
+        missing = run_path(edge.store,
+                           "/dictionary/entry[empty(etymology)]")
+        present = run_path(edge.store,
+                           "/dictionary/entry[exists(etymology)]")
+        assert len(missing) + len(present) == 30
+        assert missing and present
+
+    def test_bare_existence_predicate(self, edge):
+        bare = run_path(edge.store,
+                        "/dictionary/entry[cross_reference]")
+        explicit = run_path(edge.store,
+                            "/dictionary/entry"
+                            "[exists(cross_reference)]")
+        assert [r["pre"] for r in bare] == [r["pre"] for r in explicit]
+
+    def test_wildcard_step(self, edge):
+        rows = run_path(edge.store, "/dictionary/entry[1]/*")
+        tags = [row["tag"] for row in rows]
+        assert "hw" in tags and "definition" in tags
+
+
+class TestEngineFallback:
+    """Workload path queries run on EdgeEngine with no handwritten plan."""
+
+    @pytest.mark.parametrize("qid,key", [("Q1", "dcsd"), ("Q1", "dcmd"),
+                                         ("Q9", "dcmd")])
+    def test_fallback_matches_native(self, qid, key, small_corpora):
+        corpus = small_corpora[key]
+        from repro.core.indexes import indexes_for
+        native = NativeEngine()
+        native.timed_load(corpus["class"], corpus["texts"])
+        native.create_indexes(list(indexes_for(key)))
+        engine = EdgeEngine()
+        engine.timed_load(corpus["class"], corpus["texts"])
+        params = bind_params(qid, key, corpus["units"])
+        assert engine.execute(qid, params) == \
+            native.execute(qid, params)
+
+    def test_run_path_serializes_elements(self, edge):
+        (value,) = edge.run_path("/dictionary/entry[1]/hw")
+        assert value == "<hw>word_1</hw>"

@@ -1,0 +1,275 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+Strategies generate random XML trees, query fragments and relational
+data; properties assert the invariants everything else relies on:
+parser/serializer round trips, document-order laws, XQuery algebraic
+identities and index-vs-scan agreement.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relstore import Column, ColumnType, SortedIndex, Table
+from repro.toxgene.distributions import Exponential, Normal, Uniform, Zipf
+from repro.xml.nodes import Document, Element, document_order
+from repro.xml.parser import parse_document
+from repro.xml.serializer import serialize
+from repro.xquery import run_query
+
+# -- strategies --------------------------------------------------------------
+
+tag_names = st.text(alphabet="abcdefgh", min_size=1, max_size=6)
+attr_values = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+    max_size=12)
+text_values = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=0x2FF),
+    min_size=1, max_size=20)
+
+
+@st.composite
+def xml_trees(draw, depth: int = 3) -> Element:
+    """Random well-formed element trees."""
+    element = Element(draw(tag_names))
+    for name in draw(st.lists(tag_names, max_size=3, unique=True)):
+        element.set_attribute(name, draw(attr_values))
+    if depth > 0:
+        for __ in range(draw(st.integers(0, 3))):
+            if draw(st.booleans()):
+                element.append(draw(xml_trees(depth=depth - 1)))
+            else:
+                element.append_text(draw(text_values))
+    return element
+
+
+@st.composite
+def xml_documents(draw) -> Document:
+    document = Document(draw(xml_trees()), name="prop.xml")
+    document.refresh_order()
+    return document
+
+
+class TestXmlRoundTrip:
+    @given(xml_documents())
+    @settings(max_examples=60, deadline=None)
+    def test_serialize_parse_serialize_fixed_point(self, document):
+        once = serialize(document)
+        twice = serialize(parse_document(once))
+        assert once == twice
+
+    @given(xml_documents())
+    @settings(max_examples=60, deadline=None)
+    def test_parse_preserves_string_value(self, document):
+        reparsed = parse_document(serialize(document))
+        assert reparsed.root_element.text_content() == \
+            document.root_element.text_content()
+
+    @given(xml_documents())
+    @settings(max_examples=40, deadline=None)
+    def test_pretty_print_preserves_element_count(self, document):
+        pretty = serialize(document, indent=2)
+        reparsed = parse_document(pretty)
+        original_count = sum(
+            1 for __ in document.root_element.descendant_elements())
+        assert sum(1 for __ in
+                   reparsed.root_element.descendant_elements()) == \
+            original_count
+
+
+class TestDocumentOrderLaws:
+    @given(xml_documents(), st.integers(0, 2 ** 32))
+    @settings(max_examples=40, deadline=None)
+    def test_document_order_is_idempotent_and_permutation_invariant(
+            self, document, seed):
+        nodes = list(document.root_element.descendants())
+        shuffled = nodes[:]
+        random.Random(seed).shuffle(shuffled)
+        assert document_order(shuffled) == document_order(nodes)
+
+    @given(xml_documents())
+    @settings(max_examples=40, deadline=None)
+    def test_descendants_already_in_document_order(self, document):
+        nodes = list(document.root_element.descendants())
+        assert document_order(nodes) == nodes
+
+
+class TestXQueryAlgebra:
+    @given(st.lists(st.integers(-50, 50), min_size=0, max_size=8))
+    @settings(max_examples=50, deadline=None)
+    def test_count_matches_python(self, values):
+        literal = "(" + ", ".join(str(v) for v in values) + ")"
+        assert run_query(f"count({literal})") == [len(values)]
+
+    @given(st.lists(st.integers(-50, 50), min_size=1, max_size=8))
+    @settings(max_examples=50, deadline=None)
+    def test_sum_matches_python(self, values):
+        literal = "(" + ", ".join(str(v) for v in values) + ")"
+        assert run_query(f"sum({literal})") == [sum(values)]
+
+    @given(st.lists(st.integers(-20, 20), min_size=1, max_size=6))
+    @settings(max_examples=50, deadline=None)
+    def test_reverse_involution(self, values):
+        literal = "(" + ", ".join(str(v) for v in values) + ")"
+        assert run_query(f"reverse(reverse({literal}))") == values
+
+    @given(st.integers(-10, 10), st.integers(-10, 10))
+    @settings(max_examples=50, deadline=None)
+    def test_range_length(self, low, high):
+        result = run_query(f"count({low} to {high})")
+        assert result == [max(0, high - low + 1)]
+
+    @given(st.lists(st.integers(0, 30), min_size=1, max_size=8))
+    @settings(max_examples=50, deadline=None)
+    def test_order_by_sorts(self, values):
+        literal = "(" + ", ".join(str(v) for v in values) + ")"
+        result = run_query(
+            f"for $x in {literal} order by $x return $x")
+        assert result == sorted(values)
+
+    @given(xml_documents())
+    @settings(max_examples=30, deadline=None)
+    def test_union_self_is_identity(self, document):
+        count = run_query("count(//* | //*)", [document])
+        direct = run_query("count(//*)", [document])
+        assert count == direct
+
+    @given(xml_documents())
+    @settings(max_examples=30, deadline=None)
+    def test_descendant_count_matches_model(self, document):
+        expected = sum(
+            1 for __ in document.root_element.descendant_elements())
+        # //* from the document root includes the root element itself.
+        assert run_query("count(//*)", [document]) == [expected + 1]
+
+
+class TestRelstoreProperties:
+    @given(st.lists(st.integers(-100, 100), min_size=1, max_size=40),
+           st.integers(-100, 100), st.integers(-100, 100))
+    @settings(max_examples=60, deadline=None)
+    def test_index_range_equals_scan(self, values, bound_a, bound_b):
+        low, high = min(bound_a, bound_b), max(bound_a, bound_b)
+        table = Table("t", [Column("v", ColumnType.INTEGER)])
+        for value in values:
+            table.insert({"v": value})
+        index = SortedIndex(table, "v")
+        via_index = sorted(table.value(rid, "v")
+                           for rid in index.range(low, high))
+        via_scan = sorted(v for v in values if low <= v <= high)
+        assert via_index == via_scan
+
+    @given(st.lists(st.integers(-100, 100), min_size=1, max_size=40),
+           st.integers(-100, 100))
+    @settings(max_examples=60, deadline=None)
+    def test_index_lookup_equals_scan(self, values, needle):
+        table = Table("t", [Column("v", ColumnType.INTEGER)])
+        for value in values:
+            table.insert({"v": value})
+        index = SortedIndex(table, "v")
+        assert len(index.lookup(needle)) == values.count(needle)
+
+
+class TestDistributionProperties:
+    @given(st.integers(0, 10 ** 6), st.floats(0.5, 3.0))
+    @settings(max_examples=40, deadline=None)
+    def test_zipf_within_support(self, seed, skew):
+        dist = Zipf(50, skew)
+        rng = random.Random(seed)
+        for __ in range(20):
+            assert 1 <= dist.sample(rng) <= 50
+
+    @given(st.integers(0, 10 ** 6),
+           st.floats(-100, 100), st.floats(0.1, 50))
+    @settings(max_examples=40, deadline=None)
+    def test_normal_clamp_respected(self, seed, mean, spread):
+        dist = Normal(mean, spread, minimum=mean - 1, maximum=mean + 1)
+        rng = random.Random(seed)
+        for __ in range(20):
+            assert mean - 1 <= dist.sample(rng) <= mean + 1
+
+    @given(st.integers(0, 10 ** 6), st.floats(0.1, 100))
+    @settings(max_examples=40, deadline=None)
+    def test_exponential_clamp(self, seed, mean):
+        dist = Exponential(mean, minimum=0.0, maximum=2 * mean)
+        rng = random.Random(seed)
+        for __ in range(20):
+            assert 0.0 <= dist.sample(rng) <= 2 * mean
+
+    @given(st.integers(0, 10 ** 6))
+    @settings(max_examples=40, deadline=None)
+    def test_uniform_bounds(self, seed):
+        dist = Uniform(3.5, 7.25)
+        rng = random.Random(seed)
+        for __ in range(20):
+            assert 3.5 <= dist.sample(rng) <= 7.25
+
+
+class TestShreddingProperties:
+    @given(xml_documents())
+    @settings(max_examples=25, deadline=None)
+    def test_shredding_never_loses_schema_mapped_rows(self, document):
+        """Shred a random document against a trivial schema: the root
+        record count is always exactly one per document."""
+        from repro.engines.shredding import ShreddedStore
+        from repro.xml.schema import SchemaElement
+        schema = SchemaElement(document.root_element.tag)
+        store = ShreddedStore()
+        store.register_schema(schema)
+        rows = store.shred_document(document)
+        assert rows == 1
+
+
+class TestEdgeStoreProperties:
+    @given(xml_documents())
+    @settings(max_examples=25, deadline=None)
+    def test_interval_containment_matches_dom_ancestry(self, document):
+        """pre/post interval containment must agree with the DOM's
+        ancestor relation for every element pair."""
+        from repro.engines.edge import EdgeStore
+        from repro.xml.nodes import Element
+
+        store = EdgeStore()
+        store.load_document(document)
+        rows = sorted(store.database.scan("nodes"),
+                      key=lambda row: row["pre"])
+        elements = [document.root_element]
+        elements.extend(document.root_element.descendant_elements())
+        assert len(rows) == len(elements)
+
+        by_pre = dict(zip((row["pre"] for row in rows), elements))
+        for row in rows:
+            element = by_pre[row["pre"]]
+            for other in rows:
+                if other is row:
+                    continue
+                contained = (row["pre"] < other["pre"]
+                             and other["post"] <= row["post"])
+                is_descendant = any(anc is element for anc in
+                                    by_pre[other["pre"]].ancestors())
+                assert contained == is_descendant
+
+    @given(xml_documents())
+    @settings(max_examples=25, deadline=None)
+    def test_reconstruction_preserves_element_structure(self, document):
+        """Edge reconstruction keeps tags, attributes and child order
+        (text placement may differ for mixed content)."""
+        from repro.engines.edge import EdgeStore
+        from repro.xml.serializer import serialize as ser
+
+        store = EdgeStore()
+        store.load_document(document)
+        root_row = min(store.database.scan("nodes"),
+                       key=lambda row: row["pre"])
+        rebuilt = store.reconstruct(root_row)
+
+        def shape(element):
+            return (element.tag,
+                    tuple(sorted((a.name, a.value) for a in
+                                 element.attributes.values())),
+                    tuple(shape(child) for child in
+                          element.child_elements()))
+
+        assert shape(rebuilt) == shape(document.root_element)

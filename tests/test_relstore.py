@@ -1,0 +1,320 @@
+"""Mini relational engine tests: tables, types, indexes, operators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relstore import (
+    Column,
+    ColumnType,
+    Database,
+    HashIndex,
+    SortedIndex,
+    Table,
+    coerce,
+    distinct,
+    group_by,
+    hash_join,
+    left_outer_hash_join,
+    limit,
+    nested_loop_join,
+    order_by,
+    project,
+    select,
+    seq_scan,
+    sort_key,
+)
+
+
+def people_table() -> Table:
+    table = Table("people", [
+        Column("id", ColumnType.INTEGER, nullable=False),
+        Column("name", ColumnType.TEXT),
+        Column("age", ColumnType.INTEGER),
+        Column("city", ColumnType.TEXT),
+    ])
+    rows = [
+        {"id": 1, "name": "ann", "age": 34, "city": "waterloo"},
+        {"id": 2, "name": "bob", "age": 28, "city": "toronto"},
+        {"id": 3, "name": "cid", "age": None, "city": "waterloo"},
+        {"id": 4, "name": "dee", "age": 41, "city": "boston"},
+    ]
+    table.insert_many(iter(rows))
+    return table
+
+
+class TestTypes:
+    def test_coerce_integer(self):
+        assert coerce("5", ColumnType.INTEGER) == 5
+        assert coerce(5.0, ColumnType.INTEGER) == 5
+
+    def test_coerce_integer_rejects_fraction(self):
+        with pytest.raises(SchemaError):
+            coerce(5.5, ColumnType.INTEGER)
+
+    def test_coerce_integer_rejects_bool(self):
+        with pytest.raises(SchemaError):
+            coerce(True, ColumnType.INTEGER)
+
+    def test_coerce_decimal(self):
+        assert coerce("2.5", ColumnType.DECIMAL) == 2.5
+
+    def test_coerce_text_stringifies(self):
+        assert coerce(7, ColumnType.TEXT) == "7"
+
+    def test_coerce_date_validates(self):
+        assert coerce("2003-01-02", ColumnType.DATE) == "2003-01-02"
+        with pytest.raises(SchemaError):
+            coerce("not a date", ColumnType.DATE)
+
+    def test_null_passes_through(self):
+        assert coerce(None, ColumnType.INTEGER) is None
+
+    def test_sort_key_nulls_first(self):
+        values = ["b", None, "a", None]
+        assert sorted(values, key=sort_key)[:2] == [None, None]
+
+    def test_sort_key_type_buckets(self):
+        values = ["a", 2, None]
+        ordered = sorted(values, key=sort_key)
+        assert ordered == [None, 2, "a"]
+
+
+class TestTable:
+    def test_insert_and_get(self):
+        table = people_table()
+        assert table.value(0, "name") == "ann"
+        assert len(table) == 4
+
+    def test_insert_enforces_not_null(self):
+        table = people_table()
+        with pytest.raises(SchemaError):
+            table.insert({"name": "x"})
+
+    def test_unknown_column_rejected_on_access(self):
+        table = people_table()
+        with pytest.raises(SchemaError):
+            table.offset("nope")
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            Table("t", [Column("a", ColumnType.TEXT),
+                        Column("a", ColumnType.TEXT)])
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(SchemaError):
+            Table("t", [])
+
+    def test_scan_counts_rows(self):
+        table = people_table()
+        list(table.scan())
+        assert table.rows_scanned == 4
+
+    def test_as_dict(self):
+        table = people_table()
+        assert table.as_dict(1)["city"] == "toronto"
+
+
+class TestIndexes:
+    def test_sorted_lookup(self):
+        table = people_table()
+        index = SortedIndex(table, "city")
+        assert sorted(index.lookup("waterloo")) == [0, 2]
+        assert index.lookup("nowhere") == []
+
+    def test_sorted_range(self):
+        table = people_table()
+        index = SortedIndex(table, "age")
+        ids = index.range(30, 45)
+        assert sorted(ids) == [0, 3]
+
+    def test_sorted_range_open_ends(self):
+        table = people_table()
+        index = SortedIndex(table, "age")
+        assert len(index.range(None, None)) == 3   # NULL age not indexed
+
+    def test_sorted_range_exclusive(self):
+        table = people_table()
+        index = SortedIndex(table, "age")
+        assert index.range(28, 41, include_low=False,
+                           include_high=False) == [0]
+
+    def test_nulls_not_indexed(self):
+        table = people_table()
+        index = SortedIndex(table, "age")
+        assert len(index) == 3
+
+    def test_first(self):
+        table = people_table()
+        index = SortedIndex(table, "age")
+        assert table.value(index.first(), "age") == 28
+
+    def test_unique_violation(self):
+        table = people_table()
+        with pytest.raises(SchemaError):
+            SortedIndex(table, "city", unique=True)
+
+    def test_hash_lookup(self):
+        table = people_table()
+        index = HashIndex(table, "name")
+        assert index.lookup("bob") == [1]
+        assert index.lookup("zzz") == []
+
+    def test_hash_unique_violation(self):
+        table = people_table()
+        with pytest.raises(SchemaError):
+            HashIndex(table, "city", unique=True)
+
+    def test_hash_len(self):
+        table = people_table()
+        assert len(HashIndex(table, "city")) == 4
+
+
+class TestOperators:
+    def test_seq_scan_with_predicate(self):
+        table = people_table()
+        rows = list(seq_scan(table, lambda r: r["city"] == "waterloo"))
+        assert [row["id"] for row in rows] == [1, 3]
+
+    def test_select_project(self):
+        table = people_table()
+        rows = project(select(seq_scan(table), lambda r: r["id"] > 2),
+                       ["name"])
+        assert list(rows) == [{"name": "cid"}, {"name": "dee"}]
+
+    def test_order_by_with_nulls_first(self):
+        table = people_table()
+        rows = order_by(seq_scan(table), [("age", False)])
+        assert rows[0]["name"] == "cid"
+
+    def test_order_by_descending(self):
+        table = people_table()
+        rows = order_by(seq_scan(table), [("age", True)])
+        assert rows[0]["age"] == 41
+
+    def test_order_by_two_keys(self):
+        table = people_table()
+        rows = order_by(seq_scan(table), [("city", False), ("id", True)])
+        cities = [row["city"] for row in rows]
+        assert cities == sorted(cities)
+        waterloo = [row["id"] for row in rows
+                    if row["city"] == "waterloo"]
+        assert waterloo == [3, 1]
+
+    def test_hash_join(self):
+        people = people_table()
+        orders = Table("orders", [
+            Column("o_id", ColumnType.INTEGER),
+            Column("person", ColumnType.INTEGER),
+        ])
+        orders.insert({"o_id": 10, "person": 1})
+        orders.insert({"o_id": 11, "person": 1})
+        orders.insert({"o_id": 12, "person": 4})
+        joined = list(hash_join(seq_scan(people), seq_scan(orders),
+                                "id", "person"))
+        assert len(joined) == 3
+        assert {row["name"] for row in joined} == {"ann", "dee"}
+
+    def test_left_outer_join_keeps_unmatched(self):
+        people = people_table()
+        empty = Table("x", [Column("person", ColumnType.INTEGER)])
+        joined = list(left_outer_hash_join(
+            seq_scan(people), seq_scan(empty), "id", "person"))
+        assert len(joined) == 4
+
+    def test_nested_loop_join(self):
+        table = people_table()
+        pairs = list(nested_loop_join(
+            seq_scan(table), lambda: seq_scan(table),
+            lambda a, b: a["id"] == b["id"]))
+        assert len(pairs) == 4
+
+    def test_group_by_aggregates(self):
+        table = people_table()
+        groups = {row["city"]: row["n"] for row in group_by(
+            seq_scan(table), ["city"], {"n": len})}
+        assert groups == {"waterloo": 2, "toronto": 1, "boston": 1}
+
+    def test_limit(self):
+        table = people_table()
+        assert len(list(limit(seq_scan(table), 2))) == 2
+        assert len(list(limit(seq_scan(table), 99))) == 4
+
+    def test_distinct(self):
+        table = people_table()
+        cities = list(distinct(seq_scan(table), ["city"]))
+        assert len(cities) == 3
+
+
+class TestDatabase:
+    def test_create_and_lookup_with_index(self):
+        db = Database()
+        db.create_table("t", [Column("k", ColumnType.TEXT)])
+        db.table("t").insert({"k": "a"})
+        db.table("t").insert({"k": "b"})
+        db.create_index("t", "k", "hash")
+        assert [row["k"] for row in db.lookup("t", "k", "b")] == ["b"]
+
+    def test_lookup_without_index_scans(self):
+        db = Database()
+        db.create_table("t", [Column("k", ColumnType.TEXT)])
+        db.table("t").insert({"k": "a"})
+        assert list(db.lookup("t", "k", "a"))
+        assert db.rows_scanned() == 1
+
+    def test_lookup_with_index_avoids_scan(self):
+        db = Database()
+        db.create_table("t", [Column("k", ColumnType.TEXT)])
+        for value in "abcde":
+            db.table("t").insert({"k": value})
+        db.create_index("t", "k", "sorted")
+        db.reset_scan_counters()
+        list(db.lookup("t", "k", "c"))
+        assert db.rows_scanned() == 0
+
+    def test_range_scan_with_sorted_index(self):
+        db = Database()
+        db.create_table("t", [Column("d", ColumnType.TEXT)])
+        for day in ("2001-01-01", "2002-01-01", "2003-01-01"):
+            db.table("t").insert({"d": day})
+        db.create_index("t", "d", "sorted")
+        rows = list(db.range_scan("t", "d", "2001-06-01", "2002-06-01"))
+        assert [row["d"] for row in rows] == ["2002-01-01"]
+
+    def test_range_scan_fallback(self):
+        db = Database()
+        db.create_table("t", [Column("n", ColumnType.INTEGER)])
+        for n in (1, 5, 9, None):
+            db.table("t").insert({"n": n})
+        rows = list(db.range_scan("t", "n", 2, 9))
+        assert [row["n"] for row in rows] == [5, 9]
+
+    def test_duplicate_table_rejected(self):
+        db = Database()
+        db.create_table("t", [Column("a", ColumnType.TEXT)])
+        with pytest.raises(SchemaError):
+            db.create_table("t", [Column("a", ColumnType.TEXT)])
+
+    def test_missing_table_rejected(self):
+        with pytest.raises(SchemaError):
+            Database().table("nope")
+
+    def test_unknown_index_kind(self):
+        db = Database()
+        db.create_table("t", [Column("a", ColumnType.TEXT)])
+        with pytest.raises(SchemaError):
+            db.create_index("t", "a", "btree2000")
+
+    def test_drop_indexes(self):
+        db = Database()
+        db.create_table("t", [Column("a", ColumnType.TEXT)])
+        db.create_index("t", "a", "hash")
+        db.drop_indexes()
+        assert db.index_for("t", "a") is None
+
+    def test_total_rows(self):
+        db = Database()
+        db.create_table("t", [Column("a", ColumnType.TEXT)])
+        db.table("t").insert({"a": "x"})
+        assert db.total_rows() == 1

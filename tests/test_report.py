@@ -1,0 +1,94 @@
+"""Report-layer tests: cell formatting, shape summary, table selection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.benchmark import Cell, ExperimentResult, SuiteResult
+from repro.core.report import (
+    format_cell,
+    format_suite,
+    format_table,
+    shape_summary,
+)
+
+
+def make_result(unit: str = "ms") -> ExperimentResult:
+    result = ExperimentResult("Test Table", unit=unit)
+    result.cells[("X-Hive", "dcmd", "small")] = Cell(seconds=0.0123,
+                                                     correct=True)
+    result.cells[("SQL Server", "dcmd", "small")] = Cell(seconds=0.5,
+                                                         correct=False)
+    result.cells[("Xcolumn", "dcmd", "small")] = Cell()   # unsupported
+    return result
+
+
+class TestCellFormatting:
+    def test_milliseconds(self):
+        result = make_result("ms")
+        assert format_cell(result, "X-Hive", "dcmd", "small") == "12.3"
+
+    def test_seconds(self):
+        result = make_result("s")
+        assert format_cell(result, "X-Hive", "dcmd", "small") == "0.01"
+
+    def test_incorrect_result_starred(self):
+        result = make_result("ms")
+        assert format_cell(result, "SQL Server", "dcmd",
+                           "small").endswith("*")
+
+    def test_unsupported_dash(self):
+        result = make_result("ms")
+        assert format_cell(result, "Xcolumn", "dcmd", "small") == "-"
+
+    def test_missing_cell_dash(self):
+        result = make_result("ms")
+        assert format_cell(result, "X-Hive", "tcsd", "large") == "-"
+
+    def test_large_values_no_decimals(self):
+        result = ExperimentResult("T", unit="ms")
+        result.cells[("X-Hive", "dcmd", "small")] = Cell(seconds=1.5)
+        assert format_cell(result, "X-Hive", "dcmd", "small") == "1500"
+
+
+class TestTableLayout:
+    def test_only_measured_classes_shown(self):
+        result = make_result()
+        text = format_table(result, scale_names=("small",))
+        assert "DC/MD" in text
+        assert "TC/SD" not in text
+
+    def test_row_order_matches_paper(self):
+        result = make_result()
+        text = format_table(result, scale_names=("small",))
+        lines = text.splitlines()
+        rows = [line.split()[0] for line in lines[3:7]]
+        assert rows == ["Xcolumn", "Xcollection", "SQL", "X-Hive"]
+
+    def test_legend_present(self):
+        text = format_table(make_result(), scale_names=("small",))
+        assert "configuration not supported" in text
+
+    def test_suite_orders_tables_like_paper(self):
+        suite = SuiteResult(load=make_result("s"))
+        for qid in ("Q14", "Q5", "Q17", "Q8", "Q12"):
+            suite.queries[qid] = make_result()
+        text = format_suite(suite, scale_names=("small",))
+        # Paper order after the load table: Q5, Q12, Q17, Q8, Q14.
+        positions = [text.index(title) for title in
+                     ("Test Table (in Seconds)",)]
+        assert positions[0] == 0
+
+
+class TestShapeSummary:
+    def test_statements_generated_when_cells_exist(self):
+        load = ExperimentResult("Table 4", unit="s")
+        load.cells[("X-Hive", "dcmd", "large")] = Cell(seconds=1.0)
+        load.cells[("SQL Server", "dcmd", "large")] = Cell(seconds=2.0)
+        suite = SuiteResult(load=load)
+        statements = shape_summary(suite)
+        assert any("native faster" in s for s in statements)
+
+    def test_empty_suite_no_statements(self):
+        suite = SuiteResult(load=ExperimentResult("T", unit="s"))
+        assert shape_summary(suite) == []

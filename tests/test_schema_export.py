@@ -1,0 +1,103 @@
+"""DTD / XSD emitter tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.databases import CLASSES_BY_KEY
+from repro.xml.parser import parse_document
+from repro.xml.schema import SchemaElement
+from repro.xml.schema_export import to_dtd, to_xsd
+
+
+def library_schema() -> SchemaElement:
+    root = SchemaElement("lib")
+    book = root.child("book", repeated=True)
+    book.attributes.append("id")
+    book.child("title")
+    book.child("year", optional=True)
+    note = book.child("note", optional=True, repeated=True, mixed=True)
+    note.child("em", optional=True, repeated=True)
+    return root
+
+
+class TestDtd:
+    def test_element_declarations(self):
+        dtd = to_dtd(library_schema())
+        assert "<!ELEMENT lib (book+)>" in dtd
+        assert "<!ELEMENT title (#PCDATA)>" in dtd
+
+    def test_occurrence_markers(self):
+        dtd = to_dtd(library_schema())
+        assert "(title, year?, note*)" in dtd
+
+    def test_attribute_declarations(self):
+        dtd = to_dtd(library_schema())
+        assert "<!ATTLIST book id CDATA #REQUIRED>" in dtd
+
+    def test_mixed_content_model(self):
+        dtd = to_dtd(library_schema())
+        assert "<!ELEMENT note (#PCDATA | em)*>" in dtd
+
+    def test_recursive_type_terminates(self):
+        schema = CLASSES_BY_KEY["tcmd"].schema()
+        dtd = to_dtd(schema)
+        assert dtd.count("<!ELEMENT sec ") == 1
+        assert "sec*" in dtd
+
+    def test_every_name_declared_exactly_once(self):
+        """DTD element names are global: one declaration per name even
+        when several schema types share it."""
+        for db_class in CLASSES_BY_KEY.values():
+            dtd = to_dtd(db_class.schema())
+            names = {node.name for node in db_class.schema().walk()}
+            for name in names:
+                assert dtd.count(f"<!ELEMENT {name} ") == 1, \
+                    (db_class.key, name)
+
+    def test_conflicting_models_noted(self):
+        # DC/SD's 'name' appears with both structured and text content.
+        dtd = to_dtd(CLASSES_BY_KEY["dcsd"].schema())
+        assert "name also occurs with content" in dtd
+
+
+class TestXsd:
+    def test_well_formed_xml(self):
+        for db_class in CLASSES_BY_KEY.values():
+            xsd = to_xsd(db_class.schema())
+            document = parse_document(xsd)
+            assert document.root_element.tag == "xs:schema"
+
+    def test_min_max_occurs(self):
+        xsd = to_xsd(library_schema())
+        assert 'name="book" minOccurs="1" maxOccurs="unbounded"' in xsd
+        assert 'name="year" type="xs:string" minOccurs="0"' in xsd
+
+    def test_attribute_declared(self):
+        xsd = to_xsd(library_schema())
+        assert '<xs:attribute name="id" type="xs:string"' in xsd
+
+    def test_mixed_flag(self):
+        xsd = to_xsd(library_schema())
+        assert '<xs:complexType mixed="true">' in xsd
+
+    def test_recursive_type_uses_ref(self):
+        xsd = to_xsd(CLASSES_BY_KEY["tcmd"].schema())
+        assert 'ref="sec"' in xsd
+        assert xsd.count('<xs:element name="sec"') == 1
+
+    def test_leaf_is_simple_string(self):
+        xsd = to_xsd(library_schema())
+        assert 'name="title" type="xs:string"' in xsd
+
+
+class TestCliSchema:
+    @pytest.mark.parametrize("fmt,marker", [
+        ("diagram", "[catalog]"),
+        ("dtd", "<!ELEMENT catalog"),
+        ("xsd", "<xs:schema"),
+    ])
+    def test_formats(self, fmt, marker, capsys):
+        from repro.cli import main
+        assert main(["schema", "dcsd", "--format", fmt]) == 0
+        assert marker in capsys.readouterr().out

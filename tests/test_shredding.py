@@ -1,0 +1,176 @@
+"""Shredding tests: plan derivation, row production, recursion, mixed."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.databases import CLASSES_BY_KEY
+from repro.engines.shredding import ShreddedStore, build_plan
+from repro.xml.parser import parse_document
+from repro.xml.schema import SchemaElement
+
+
+def library_schema() -> SchemaElement:
+    root = SchemaElement("lib")
+    book = root.child("book", repeated=True)
+    book.attributes.append("id")
+    book.child("title")
+    info = book.child("info", optional=True)
+    info.child("year")
+    info.child("publisher", optional=True)
+    note = book.child("note", optional=True, repeated=True, mixed=True)
+    note.child("em", optional=True, repeated=True)
+    return root
+
+
+class TestPlanDerivation:
+    def test_records_are_root_and_repeated(self):
+        plan = build_plan(library_schema())
+        assert [record.table_name for record in plan.records] == \
+            ["lib", "book", "note", "em"]
+
+    def test_folded_columns(self):
+        plan = build_plan(library_schema())
+        book = plan.records[1]
+        assert "title" in book.columns
+        assert "info_year" in book.columns
+        assert "info_publisher" in book.columns
+
+    def test_attribute_column_avoids_reserved_name(self):
+        plan = build_plan(library_schema())
+        book = plan.records[1]
+        # 'id' is reserved for the synthetic key -> attribute becomes id_c.
+        assert "id_c" in book.columns
+
+    def test_mixed_column_tracked(self):
+        plan = build_plan(library_schema())
+        note = plan.records[2]
+        assert note.has_content
+        assert note.mixed_columns == ["content"]
+
+    def test_leaf_record_gets_content_column(self):
+        plan = build_plan(library_schema())
+        em = plan.records[3]
+        assert em.columns == ["content"]
+
+    def test_recursive_schema_single_table(self):
+        schema = CLASSES_BY_KEY["tcmd"].schema()
+        plan = build_plan(schema)
+        sec_tables = [record for record in plan.records
+                      if record.schema_node.name == "sec"]
+        assert len(sec_tables) == 1
+
+    def test_duplicate_tags_get_distinct_tables(self):
+        schema = CLASSES_BY_KEY["tcmd"].schema()
+        plan = build_plan(schema)
+        names = [record.table_name for record in plan.records]
+        assert len(names) == len(set(names))
+        assert "p" in names and "p_t" in names
+
+
+class TestShredding:
+    def shred(self, text: str, keep_mixed: bool = True) -> ShreddedStore:
+        store = ShreddedStore(keep_mixed_text=keep_mixed)
+        store.register_schema(library_schema())
+        store.shred_document(parse_document(text, name="d.xml"))
+        return store
+
+    DOC = ("<lib>"
+           "<book id='b1'><title>T1</title>"
+           "<info><year>2001</year><publisher>P</publisher></info>"
+           "<note>plain <em>bold</em> tail</note></book>"
+           "<book id='b2'><title>T2</title></book>"
+           "</lib>")
+
+    def test_row_counts(self):
+        store = self.shred(self.DOC)
+        assert len(store.database.table("lib")) == 1
+        assert len(store.database.table("book")) == 2
+        assert len(store.database.table("note")) == 1
+        assert len(store.database.table("em")) == 1
+
+    def test_folded_values(self):
+        store = self.shred(self.DOC)
+        rows = [store.database.table("book").as_dict(i) for i in range(2)]
+        assert rows[0]["title"] == "T1"
+        assert rows[0]["info_year"] == "2001"
+        assert rows[1]["info_year"] is None
+        assert rows[0]["id_c"] == "b1"
+
+    def test_parent_links(self):
+        store = self.shred(self.DOC)
+        book = store.database.table("book").as_dict(0)
+        note = store.database.table("note").as_dict(0)
+        assert note["parent_id"] == book["id"]
+        lib = store.database.table("lib").as_dict(0)
+        assert book["parent_id"] == lib["id"]
+
+    def test_doc_column(self):
+        store = self.shred(self.DOC)
+        assert store.database.table("book").as_dict(0)["doc"] == "d.xml"
+
+    def test_global_ids_unique(self):
+        store = self.shred(self.DOC)
+        ids = []
+        for record in store.plans["lib"].records:
+            table = store.database.table(record.table_name)
+            ids.extend(table.as_dict(i)["id"] for i in range(len(table)))
+        assert len(ids) == len(set(ids))
+        assert set(ids) == set(store.owner_table)
+
+    def test_mixed_text_kept(self):
+        store = self.shred(self.DOC, keep_mixed=True)
+        note = store.database.table("note").as_dict(0)
+        assert "plain" in note["content"] and "tail" in note["content"]
+
+    def test_mixed_text_dropped_sqlserver_style(self):
+        store = self.shred(self.DOC, keep_mixed=False)
+        note = store.database.table("note").as_dict(0)
+        assert note["content"] is None
+        # but the em child is still shredded
+        assert store.database.table("em").as_dict(0)["content"] == "bold"
+
+    def test_unknown_elements_skipped(self):
+        store = self.shred(
+            "<lib><book id='b1'><title>T</title><alien/></book></lib>")
+        assert len(store.database.table("book")) == 1
+
+    def test_unknown_document_type_skipped(self):
+        store = ShreddedStore()
+        store.register_schema(library_schema())
+        count = store.shred_document(parse_document("<zzz/>", name="z"))
+        assert count == 0
+
+    def test_key_indexes_built(self):
+        store = self.shred(self.DOC)
+        store.build_key_indexes()
+        assert store.database.index_for("book", "id") is not None
+        assert store.database.index_for("book", "parent_id") is not None
+
+    def test_recursive_sec_shreds_to_one_table(self, small_corpora):
+        store = ShreddedStore()
+        for schema in CLASSES_BY_KEY["tcmd"].schemas():
+            store.register_schema(schema)
+        total = 0
+        for document in small_corpora["tcmd"]["documents"]:
+            total += store.shred_document(document)
+        sec_table = store.database.table("sec")
+        # some secs must be children of other secs (recursion)
+        sec_ids = {sec_table.as_dict(i)["id"]
+                   for i in range(len(sec_table))}
+        nested = [i for i in range(len(sec_table))
+                  if sec_table.as_dict(i)["parent_id"] in sec_ids]
+        assert nested, "expected nested sections"
+        assert total > len(small_corpora["tcmd"]["documents"])
+
+    def test_table_for_tag(self):
+        store = self.shred(self.DOC)
+        assert store.table_for_tag("lib", "book").name == "book"
+        with pytest.raises(KeyError):
+            store.table_for_tag("lib", "nope")
+
+    def test_insertion_preserves_document_order(self):
+        store = self.shred(self.DOC)
+        titles = [store.database.table("book").as_dict(i)["title"]
+                  for i in range(2)]
+        assert titles == ["T1", "T2"]

@@ -1,0 +1,138 @@
+"""Statistics analysis and distribution-fitting tests."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.stats import (
+    analyze_corpus,
+    best_fit,
+    fit_exponential,
+    fit_normal,
+    fit_uniform,
+    fit_zipf,
+    format_table2,
+)
+from repro.xml.parser import parse_document
+
+
+@pytest.fixture(scope="module")
+def tc_stats(small_corpora):
+    return analyze_corpus(small_corpora["tcsd"]["documents"],
+                          source="dictionary")
+
+
+class TestAnalyzer:
+    def test_file_counts(self, small_corpora):
+        stats = analyze_corpus(small_corpora["tcmd"]["documents"],
+                               source="articles")
+        assert stats.files == 30
+        assert len(stats.file_sizes) == 30
+
+    def test_element_counts(self, tc_stats):
+        assert tc_stats.element_counts["entry"] == 30
+        assert tc_stats.element_counts["hw"] == 30
+
+    def test_child_occurrence_samples(self, tc_stats):
+        samples = tc_stats.occurrence_samples("dictionary", "entry")
+        assert samples == [30]
+        definition_counts = tc_stats.occurrence_samples("entry",
+                                                        "definition")
+        assert len(definition_counts) == 30
+        assert all(count >= 1 for count in definition_counts)
+
+    def test_parent_child_pairs(self, tc_stats):
+        assert ("entry", "hw") in tc_stats.parent_child_pairs()
+
+    def test_attribute_counts(self, tc_stats):
+        assert tc_stats.attribute_counts["id"] == 30
+
+    def test_max_depth(self, tc_stats):
+        assert tc_stats.max_depth >= 5
+
+    def test_mixed_tags_detected(self, tc_stats):
+        assert "qt" in tc_stats.mixed_tags
+
+    def test_text_ratio_bounds(self, tc_stats):
+        assert 0.0 < tc_stats.text_ratio() <= 1.0
+
+    def test_file_size_range(self):
+        doc_small = parse_document("<a/>", name="s")
+        doc_big = parse_document("<a>" + "x" * 500 + "</a>", name="b")
+        stats = analyze_corpus([doc_small, doc_big])
+        low, high = stats.file_size_range()
+        assert low < high
+
+    def test_empty_corpus(self):
+        stats = analyze_corpus([])
+        assert stats.file_size_range() == (0, 0)
+        assert stats.text_ratio() == 0.0
+
+    def test_explicit_sizes_honoured(self):
+        doc = parse_document("<a/>")
+        stats = analyze_corpus([doc], sizes=[1234])
+        assert stats.total_bytes == 1234
+
+    def test_format_table2(self, small_corpora):
+        rows = [analyze_corpus(small_corpora["tcsd"]["documents"],
+                               source="dictionary"),
+                analyze_corpus(small_corpora["tcmd"]["documents"],
+                               source="articles")]
+        table = format_table2(rows)
+        assert "dictionary" in table and "articles" in table
+        assert "No. files" in table
+
+
+class TestFitting:
+    def test_normal_recovered(self):
+        rng = random.Random(1)
+        samples = [rng.gauss(50, 5) for __ in range(500)]
+        fit = best_fit(samples)
+        assert fit.family == "normal"
+        assert abs(fit.params[0] - 50) < 1.5
+
+    def test_exponential_recovered(self):
+        rng = random.Random(2)
+        samples = [rng.expovariate(1 / 4.0) for __ in range(500)]
+        fit = best_fit(samples)
+        assert fit.family == "exponential"
+        assert abs(fit.params[0] - 4.0) < 1.0
+
+    def test_uniform_recovered(self):
+        rng = random.Random(3)
+        samples = [rng.uniform(10, 20) for __ in range(500)]
+        assert best_fit(samples).family == "uniform"
+
+    def test_zipf_exponent_estimated(self):
+        frequencies = [int(1000 / rank) for rank in range(1, 50)]
+        fit = fit_zipf(frequencies)
+        assert abs(fit.params[0] - 1.0) < 0.1
+
+    def test_zipf_degenerate(self):
+        assert fit_zipf([5]).score == float("inf")
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError):
+            best_fit([])
+
+    def test_fit_repr(self):
+        fit = fit_normal([1.0, 2.0, 3.0])
+        assert "normal(" in str(fit)
+
+    def test_individual_fits_scored(self):
+        samples = [1.0, 2.0, 3.0, 4.0]
+        for fit in (fit_normal(samples), fit_uniform(samples),
+                    fit_exponential(samples)):
+            assert 0.0 <= fit.score <= 1.0
+
+    def test_generator_roundtrip_occurrences(self, small_corpora):
+        # The TC/SD quote-per-definition counts come from a clamped
+        # Normal(2.0, 1.5); the analyzer + fitter should prefer a
+        # normal-ish fit over exponential for them.
+        stats = analyze_corpus(small_corpora["tcsd"]["documents"])
+        samples = stats.occurrence_samples("definition", "quote")
+        if len(samples) >= 30:
+            fit = best_fit([float(s) for s in samples])
+            assert fit.family in ("normal", "uniform")

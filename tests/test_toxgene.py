@@ -1,0 +1,238 @@
+"""Data generator tests: distributions, text pools, templates."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import GenerationError
+from repro.toxgene import (
+    Bernoulli,
+    Categorical,
+    Constant,
+    ElementTemplate,
+    Exponential,
+    GenContext,
+    Normal,
+    TextPool,
+    Uniform,
+    UniformInt,
+    Zipf,
+    choice,
+    date_between,
+    fixed,
+    generate_document,
+    generate_element,
+    make_vocabulary,
+    sentences,
+    sequence_id,
+    words,
+)
+
+
+class TestDistributions:
+    def rng(self) -> random.Random:
+        return random.Random(7)
+
+    def test_constant(self):
+        assert Constant(4).sample(self.rng()) == 4
+        assert Constant(4).sample_int(self.rng()) == 4
+
+    def test_uniform_bounds(self):
+        dist = Uniform(2.0, 5.0)
+        samples = [dist.sample(self.rng()) for __ in range(50)]
+        assert all(2.0 <= value <= 5.0 for value in samples)
+
+    def test_uniform_invalid(self):
+        with pytest.raises(ValueError):
+            Uniform(5, 2)
+
+    def test_uniform_int_inclusive(self):
+        dist = UniformInt(1, 3)
+        rng = self.rng()
+        values = {dist.sample_int(rng) for __ in range(200)}
+        assert values == {1, 2, 3}
+
+    def test_normal_clamped(self):
+        dist = Normal(0.0, 100.0, minimum=-1.0, maximum=1.0)
+        rng = self.rng()
+        assert all(-1.0 <= dist.sample(rng) <= 1.0 for __ in range(100))
+
+    def test_exponential_positive(self):
+        dist = Exponential(2.0)
+        rng = self.rng()
+        assert all(dist.sample(rng) >= 0 for __ in range(100))
+
+    def test_exponential_invalid_mean(self):
+        with pytest.raises(ValueError):
+            Exponential(0)
+
+    def test_zipf_rank_one_most_common(self):
+        dist = Zipf(100, 1.0)
+        rng = self.rng()
+        counts = {}
+        for __ in range(2000):
+            rank = int(dist.sample(rng))
+            counts[rank] = counts.get(rank, 0) + 1
+        assert counts[1] == max(counts.values())
+        assert max(counts) <= 100
+
+    def test_zipf_invalid(self):
+        with pytest.raises(ValueError):
+            Zipf(0)
+
+    def test_bernoulli(self):
+        rng = self.rng()
+        always = Bernoulli(1.0)
+        never = Bernoulli(0.0)
+        assert all(always.sample(rng) == 1.0 for __ in range(10))
+        assert all(never.sample(rng) == 0.0 for __ in range(10))
+
+    def test_bernoulli_invalid(self):
+        with pytest.raises(ValueError):
+            Bernoulli(1.5)
+
+    def test_categorical_weighted(self):
+        dist = Categorical(["a", "b"], [1.0, 0.0])
+        rng = self.rng()
+        assert all(dist.sample(rng) == "a" for __ in range(20))
+
+    def test_categorical_invalid(self):
+        with pytest.raises(ValueError):
+            Categorical([])
+        with pytest.raises(ValueError):
+            Categorical(["a"], [1.0, 2.0])
+
+    def test_determinism_with_seed(self):
+        dist = Normal(10, 3)
+        first = [dist.sample(random.Random(5)) for __ in range(3)]
+        second = [dist.sample(random.Random(5)) for __ in range(3)]
+        assert first == second
+
+
+class TestTextPool:
+    def test_vocabulary_deterministic(self):
+        assert make_vocabulary(100) == make_vocabulary(100)
+
+    def test_vocabulary_distinct(self):
+        vocabulary = make_vocabulary(500)
+        assert len(set(vocabulary)) == 500
+
+    def test_targets_planted(self):
+        pool = TextPool(target_count=5)
+        for index in range(1, 6):
+            assert f"word_{index}" in pool.words
+
+    def test_word_sampling_deterministic(self):
+        pool = TextPool()
+        first = pool.words_sample(random.Random(3), 10)
+        second = pool.words_sample(random.Random(3), 10)
+        assert first == second
+
+    def test_sentence_shape(self):
+        pool = TextPool()
+        sentence = pool.sentence(random.Random(1), 5)
+        assert sentence.endswith(".")
+        assert sentence[0].isupper()
+
+    def test_paragraph_sentence_count(self):
+        pool = TextPool()
+        paragraph = pool.paragraph(random.Random(1), 4)
+        assert paragraph.count(".") >= 4
+
+    def test_phrase_length(self):
+        pool = TextPool()
+        assert len(pool.phrase(random.Random(1), 3).split()) == 3
+
+
+class TestGenContext:
+    def test_counters_independent(self):
+        context = GenContext()
+        assert context.next_number("a") == 1
+        assert context.next_number("a") == 2
+        assert context.next_number("b") == 1
+
+    def test_issue_and_reference(self):
+        context = GenContext(seed=1)
+        first = context.issue_id("entry", "e")
+        assert first == "e1"
+        assert context.reference("entry") == "e1"
+        assert context.reference("missing") is None
+
+    def test_issued_list(self):
+        context = GenContext()
+        context.issue_id("k")
+        context.issue_id("k")
+        assert context.issued("k") == ["1", "2"]
+
+
+class TestTemplates:
+    def test_fixed_text(self):
+        template = ElementTemplate("a", text=fixed("v"))
+        element = generate_element(template, GenContext())
+        assert element.text_content() == "v"
+
+    def test_attribute_generation(self):
+        template = ElementTemplate("a").attr("id", sequence_id("x", "p"))
+        context = GenContext()
+        first = generate_element(template, context)
+        second = generate_element(template, context)
+        assert first.get("id") == "p1" and second.get("id") == "p2"
+
+    def test_optional_attribute_presence(self):
+        template = ElementTemplate("a").attr("x", fixed("1"), presence=0.0)
+        element = generate_element(template, GenContext())
+        assert element.get("x") is None
+
+    def test_child_occurrence_counts(self):
+        child = ElementTemplate("c")
+        template = ElementTemplate("a").child(child, Constant(3))
+        element = generate_element(template, GenContext())
+        assert len(list(element.child_elements("c"))) == 3
+
+    def test_empty_probability(self):
+        template = ElementTemplate("a", text=fixed("v"),
+                                   empty_probability=1.0)
+        element = generate_element(template, GenContext())
+        assert not element.children
+
+    def test_mixed_content_interleaves(self):
+        inner = ElementTemplate("b", text=fixed("x"))
+        template = ElementTemplate("a", text=fixed("T"), mixed=True)
+        template.child(inner, Constant(2))
+        element = generate_element(template, GenContext())
+        kinds = [type(child).__name__ for child in element.children]
+        assert kinds == ["Text", "Element", "Text", "Element", "Text"]
+
+    def test_mixed_without_text_raises(self):
+        template = ElementTemplate("a", mixed=True)
+        template.child(ElementTemplate("b"), Constant(1))
+        with pytest.raises(GenerationError):
+            generate_element(template, GenContext())
+
+    def test_runaway_recursion_guard(self):
+        template = ElementTemplate("a")
+        template.child(template, Constant(1))      # pathological
+        with pytest.raises(GenerationError):
+            generate_element(template, GenContext())
+
+    def test_generate_document_orders_nodes(self):
+        template = ElementTemplate("r", text=words(Constant(3)))
+        document = generate_document(template, GenContext(), name="d.xml")
+        assert document.name == "d.xml"
+        assert document.root_element.order_key >= 0
+
+    def test_value_generators(self):
+        context = GenContext(seed=3)
+        assert len(words(Constant(4))(context).split()) == 4
+        assert sentences(Constant(2))(context).count(".") >= 2
+        date = date_between(2000, 2001)(context)
+        assert date[:3] in ("200",)
+        assert choice(["only"])(context) == "only"
+
+    def test_generation_deterministic(self):
+        template = ElementTemplate("a", text=words(UniformInt(3, 8)))
+        first = generate_element(template, GenContext(seed=9))
+        second = generate_element(template, GenContext(seed=9))
+        assert first.text_content() == second.text_content()

@@ -1,0 +1,200 @@
+"""TPC-W substrate tests: population invariants and XML mappings."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.tpcw import (
+    ALL_TABLES,
+    TABLES_BY_NAME,
+    build_catalog,
+    build_order_documents,
+    flat_documents,
+    flat_translation,
+    populate,
+)
+from repro.xml.serializer import serialize
+
+
+@pytest.fixture(scope="module")
+def population():
+    return populate(num_items=40, num_orders=60, seed=5)
+
+
+class TestSchema:
+    def test_all_tables_present(self):
+        names = {table.name for table in ALL_TABLES}
+        assert {"ITEM", "AUTHOR", "AUTHOR_2", "PUBLISHER", "ADDRESS",
+                "COUNTRY", "CUSTOMER", "ORDERS", "ORDER_LINE",
+                "CC_XACTS", "ITEM_AUTHOR"} == names
+
+    def test_primary_keys_in_columns(self):
+        for table in ALL_TABLES:
+            assert table.primary_key in table.columns
+
+    def test_foreign_keys_reference_real_tables(self):
+        for table in ALL_TABLES:
+            for fk in table.foreign_keys:
+                assert fk.column in table.columns
+                target = TABLES_BY_NAME[fk.table]
+                assert fk.target_column in target.columns
+
+
+class TestPopulation:
+    def test_cardinalities(self, population):
+        assert len(population.item) == 40
+        assert len(population.orders) == 60
+        assert len(population.cc_xacts) == 60
+
+    def test_ids_sequential(self, population):
+        assert [row["i_id"] for row in population.item] == \
+            list(range(1, 41))
+
+    def test_every_item_has_authors(self, population):
+        linked = {link["ia_i_id"] for link in population.item_author}
+        assert linked == set(range(1, 41))
+
+    def test_foreign_keys_resolve(self, population):
+        author_ids = {row["a_id"] for row in population.author}
+        for link in population.item_author:
+            assert link["ia_a_id"] in author_ids
+        address_ids = {row["addr_id"] for row in population.address}
+        for customer in population.customer:
+            assert customer["c_addr_id"] in address_ids
+
+    def test_order_lines_cover_all_orders(self, population):
+        orders_with_lines = {line["ol_o_id"]
+                             for line in population.order_line}
+        assert orders_with_lines == set(range(1, 61))
+
+    def test_one_cc_xact_per_order(self, population):
+        assert sorted(x["cx_o_id"] for x in population.cc_xacts) == \
+            list(range(1, 61))
+
+    def test_some_publishers_missing_fax(self, population):
+        faxes = [row["pub_fax"] for row in population.publisher]
+        assert any(fax is None for fax in faxes)
+
+    def test_deterministic(self):
+        assert populate(num_items=10, num_orders=10, seed=3).item == \
+            populate(num_items=10, num_orders=10, seed=3).item
+
+    def test_seed_changes_data(self):
+        first = populate(num_items=10, num_orders=10, seed=3)
+        second = populate(num_items=10, num_orders=10, seed=4)
+        assert first.item != second.item
+
+    def test_rows_accessor(self, population):
+        assert population.rows("ORDER_LINE") is population.order_line
+
+
+class TestCatalogMapping:
+    def test_one_item_element_per_item(self, population):
+        catalog = build_catalog(population)
+        items = list(catalog.root_element.child_elements("item"))
+        assert len(items) == 40
+
+    def test_item_attributes_and_depth(self, population):
+        catalog = build_catalog(population)
+        item = catalog.root_element.first_child("item")
+        assert item.get("id") == "1"
+        # nested join mapping adds depth: item/authors/author/
+        # contact_information/mailing_address/country/name
+        country_name = item.find(
+            "authors/author/contact_information/mailing_address/"
+            "country/name")
+        assert country_name is not None
+
+    def test_publisher_folded_into_item(self, population):
+        catalog = build_catalog(population)
+        item = catalog.root_element.first_child("item")
+        publisher = item.first_child("publisher")
+        assert publisher.first_child("name") is not None
+
+    def test_null_columns_omitted(self, population):
+        catalog = build_catalog(population)
+        faxes = list(catalog.root_element.descendant_elements("fax"))
+        publishers = list(
+            catalog.root_element.descendant_elements("publisher"))
+        assert len(faxes) < len(publishers)
+
+    def test_authors_in_rank_order(self, population):
+        catalog = build_catalog(population)
+        by_item = {}
+        for link in population.item_author:
+            by_item.setdefault(link["ia_i_id"], []).append(link)
+        for item in catalog.root_element.child_elements("item"):
+            links = sorted(by_item[int(item.get("id"))],
+                           key=lambda l: l["ia_rank"])
+            ids = [author.get("id") for author in
+                   item.find_all("authors/author")]
+            assert ids == [str(l["ia_a_id"]) for l in links]
+
+    def test_document_named_catalog(self, population):
+        assert build_catalog(population).name == "catalog.xml"
+
+
+class TestFlatTranslation:
+    def test_row_per_tuple(self, population):
+        document = flat_translation("CUSTOMER", population.customer)
+        rows = list(document.root_element.child_elements("customer"))
+        assert len(rows) == len(population.customer)
+
+    def test_columns_become_elements(self, population):
+        document = flat_translation("COUNTRY", population.country)
+        row = document.root_element.first_child("country")
+        assert row.first_child("co_name") is not None
+
+    def test_flat_structure_is_flat(self, population):
+        document = flat_translation("ADDRESS", population.address)
+        row = document.root_element.first_child("address")
+        assert all(not child.has_element_children()
+                   for child in row.child_elements())
+
+    def test_null_column_omitted(self, population):
+        document = flat_translation("ADDRESS", population.address)
+        rows = list(document.root_element.child_elements("address"))
+        street2_counts = [len(list(row.child_elements("addr_street2")))
+                          for row in rows]
+        assert 0 in street2_counts      # some NULL street2 rows
+
+    def test_flat_documents_bundle(self, population):
+        documents = flat_documents(population)
+        assert {doc.name for doc in documents} == {
+            "customer.xml", "item.xml", "author.xml", "address.xml",
+            "country.xml"}
+
+
+class TestOrderDocuments:
+    def test_one_document_per_order(self, population):
+        documents = build_order_documents(population)
+        assert len(documents) == 60
+        assert documents[0].name == "order1.xml"
+
+    def test_order_contains_lines_in_order(self, population):
+        documents = build_order_documents(population)
+        document = documents[4]
+        ids = [line.get("id") for line in document.root_element.find_all(
+            "order_lines/order_line")]
+        assert ids == sorted(ids, key=int)
+        assert len(ids) >= 1
+
+    def test_status_nested_two_levels(self, population):
+        document = build_order_documents(population)[0]
+        status = document.root_element.find(
+            "shipping_information/delivery/order_status")
+        assert status is not None
+
+    def test_credit_card_embedded(self, population):
+        document = build_order_documents(population)[0]
+        card = document.root_element.find(
+            "billing_information/credit_card")
+        assert card.first_child("cc_number") is not None
+        assert "XXXX" in card.first_child("cc_number").text_content()
+
+    def test_serializes_well_formed(self, population):
+        from repro.xml.parser import parse_document
+        document = build_order_documents(population)[7]
+        text = serialize(document)
+        assert parse_document(text).root_element.get("id") == \
+            document.root_element.get("id")

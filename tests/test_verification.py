@@ -1,0 +1,69 @@
+"""Verification-matrix tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import BenchmarkConfig, XBench
+from repro.core.verification import verify_scenario
+
+
+@pytest.fixture(scope="module")
+def reports():
+    bench = XBench(BenchmarkConfig(scale_divisor=1000))
+    return {key: verify_scenario(bench, key, "small")
+            for key in ("dcsd", "dcmd", "tcsd", "tcmd")}
+
+
+class TestVerification:
+    def test_native_always_ok(self, reports):
+        for report in reports.values():
+            for qid in report.query_ids:
+                assert report.status("X-Hive", qid) == "ok"
+
+    def test_unsupported_engine_all_dashes(self, reports):
+        report = reports["dcsd"]
+        for qid in report.query_ids:
+            assert report.status("Xcolumn", qid) == "-"
+
+    def test_untranslated_queries_dashes(self, reports):
+        # Q15 (empty vs. missing contact) is genuinely untranslatable:
+        # shredded columns cannot represent an empty container.
+        report = reports["tcmd"]
+        assert report.status("SQL Server", "Q15") == "-"
+        assert report.status("Xcollection", "Q15") == "-"
+
+    def test_experiment_queries_present_everywhere(self, reports):
+        for key, report in reports.items():
+            for qid in ("Q5", "Q8", "Q12", "Q14", "Q17"):
+                assert qid in report.query_ids
+                assert report.status("SQL Server", qid) in ("ok",
+                                                            "differs")
+
+    def test_mismatches_only_on_known_infidelities(self, reports):
+        allowed = {
+            ("tcsd", "SQL Server", "Q8"),
+            ("tcsd", "SQL Server", "Q12"),
+            ("tcsd", "SQL Server", "Q17"),
+            ("tcsd", "Xcollection", "Q8"),
+            ("tcsd", "Xcollection", "Q12"),
+            ("tcmd", "SQL Server", "Q6"),
+            ("tcmd", "SQL Server", "Q17"),
+            ("tcmd", "SQL Server", "Q18"),
+        }
+        for key, report in reports.items():
+            for label, qid in report.mismatches():
+                assert (key, label, qid) in allowed, (key, label, qid)
+
+    def test_format_renders(self, reports):
+        text = reports["dcmd"].format()
+        assert "Verification matrix" in text
+        assert "X-Hive" in text and "Q19" in text
+
+    def test_sql_server_mixed_content_flagged_at_scale(self):
+        """At a scale where word_1 entries carry inline markup, the
+        SQL Server TC/SD cells must show 'differs'."""
+        bench = XBench(BenchmarkConfig(scale_divisor=500))
+        report = verify_scenario(bench, "tcsd", "normal")
+        assert report.status("SQL Server", "Q17") == "differs"
+        assert report.status("X-Hive", "Q17") == "ok"

@@ -1,0 +1,107 @@
+"""Workload tests: the 20 query types, applicability, parameters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import BenchmarkError
+from repro.workload import (
+    ALL_QUERIES,
+    EXPERIMENT_QUERIES,
+    QUERIES_BY_ID,
+    bind_params,
+    workload_for_class,
+)
+from repro.xquery.parser import parse_query
+
+
+class TestQuerySet:
+    def test_twenty_query_types(self):
+        assert len(ALL_QUERIES) == 20
+        assert [query.qid for query in ALL_QUERIES] == \
+            [f"Q{i}" for i in range(1, 21)]
+
+    def test_experiment_subset_matches_paper(self):
+        assert set(EXPERIMENT_QUERIES) == {"Q5", "Q8", "Q12", "Q14",
+                                           "Q17"}
+
+    def test_canonical_classes_match_paper_examples(self):
+        expected = {
+            "Q1": "dcsd", "Q2": "tcmd", "Q3": "tcsd", "Q4": "tcmd",
+            "Q5": "dcmd", "Q6": "tcmd", "Q7": "dcsd", "Q8": "tcsd",
+            "Q9": "dcmd", "Q10": "dcmd", "Q11": "tcsd", "Q12": "dcsd",
+            "Q13": "tcmd", "Q14": "dcsd", "Q15": "tcmd", "Q16": "dcmd",
+            "Q17": "tcsd", "Q18": "tcmd", "Q19": "dcmd", "Q20": "dcsd",
+        }
+        for query in ALL_QUERIES:
+            assert query.canonical_class == expected[query.qid]
+
+    def test_canonical_class_always_applicable(self):
+        for query in ALL_QUERIES:
+            assert query.applies_to(query.canonical_class)
+
+    def test_experiment_queries_cover_all_classes(self):
+        for qid in EXPERIMENT_QUERIES:
+            query = QUERIES_BY_ID[qid]
+            for class_key in ("dcsd", "dcmd", "tcsd", "tcmd"):
+                assert query.applies_to(class_key), (qid, class_key)
+
+    def test_every_query_text_parses(self):
+        for query in ALL_QUERIES:
+            for class_key, text in query.xquery.items():
+                parse_query(text)        # must not raise
+
+    def test_text_for_unknown_class_raises(self):
+        with pytest.raises(KeyError):
+            QUERIES_BY_ID["Q4"].text_for("dcsd")
+
+    def test_workload_for_class_nonempty(self):
+        for class_key in ("dcsd", "dcmd", "tcsd", "tcmd"):
+            queries = workload_for_class(class_key)
+            assert len(queries) >= 8
+
+    def test_functionality_labels_distinct_enough(self):
+        functionality = {query.functionality for query in ALL_QUERIES}
+        assert len(functionality) == 20
+
+
+class TestParams:
+    def test_all_required_variables_bound(self):
+        import re
+        for query in ALL_QUERIES:
+            for class_key, text in query.xquery.items():
+                params = bind_params(query.qid, class_key, units=50)
+                for variable in set(re.findall(r"\$([a-z_][a-z0-9_]*)",
+                                               text)):
+                    # skip FLWOR-bound locals (single letters + known)
+                    if variable in ("i", "a", "o", "e", "q", "x", "c",
+                                    "p", "s", "t", "au", "loc", "d"):
+                        continue
+                    assert variable in params, \
+                        f"{query.qid}/{class_key}: ${variable} unbound"
+
+    def test_mid_range_id(self):
+        assert bind_params("Q1", "dcsd", 100)["id"] == "50"
+        assert bind_params("Q1", "dcsd", 1)["id"] == "1"
+
+    def test_tcsd_word_selection(self):
+        assert bind_params("Q8", "tcsd", 10)["word"] == "word_1"
+        assert bind_params("Q11", "tcsd", 10)["word"] == "word_2"
+        assert bind_params("Q17", "tcsd", 10)["word"] == "word_3"
+
+    def test_doc_name_derived_from_id(self):
+        params = bind_params("Q16", "dcmd", 40)
+        assert params["name"] == f"order{params['id']}.xml"
+
+    def test_unknown_class_raises(self):
+        with pytest.raises(BenchmarkError):
+            bind_params("Q1", "zzz", 10)
+
+    def test_deterministic(self):
+        assert bind_params("Q5", "dcmd", 30) == \
+            bind_params("Q5", "dcmd", 30)
+
+    def test_date_windows_are_iso(self):
+        params = bind_params("Q14", "dcsd", 30)
+        assert params["from"] < params["to"]
+        assert len(params["from"]) == 10

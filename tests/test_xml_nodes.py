@@ -1,0 +1,208 @@
+"""Document model tests: navigation, mutation, ordering, string values."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.xml.nodes import (
+    Attribute,
+    Comment,
+    Document,
+    Element,
+    Text,
+    document_order,
+)
+
+
+def build_tree() -> Document:
+    root = Element("root")
+    first = root.append_element("a", {"x": "1"}, text="alpha")
+    second = root.append_element("b")
+    second.append_element("c", text="gamma")
+    document = Document(root, name="t.xml")
+    document.refresh_order()
+    return document
+
+
+class TestElementBasics:
+    def test_append_sets_parent(self):
+        parent = Element("p")
+        child = Element("c")
+        parent.append(child)
+        assert child.parent is parent
+
+    def test_append_text_creates_text_node(self):
+        element = Element("e")
+        node = element.append_text("hi")
+        assert isinstance(node, Text)
+        assert node.parent is element
+
+    def test_append_element_with_text(self):
+        element = Element("e")
+        child = element.append_element("c", {"k": "v"}, text="t")
+        assert child.get("k") == "v"
+        assert child.text_content() == "t"
+
+    def test_set_attribute_stringifies(self):
+        element = Element("e")
+        element.set_attribute("n", 42)
+        assert element.get("n") == "42"
+
+    def test_get_returns_default_for_missing(self):
+        assert Element("e").get("nope", "dflt") == "dflt"
+
+    def test_remove_detaches_child(self):
+        parent = Element("p")
+        child = parent.append_element("c")
+        parent.remove(child)
+        assert child.parent is None
+        assert not parent.children
+
+    def test_constructor_with_children(self):
+        element = Element("e", children=[Element("a"), Text("x")])
+        assert len(element.children) == 2
+        assert all(child.parent is element for child in element.children)
+
+
+class TestNavigation:
+    def test_child_elements_filters_by_tag(self):
+        doc = build_tree()
+        assert [e.tag for e in doc.root_element.child_elements("a")] == ["a"]
+
+    def test_child_elements_unfiltered(self):
+        doc = build_tree()
+        assert [e.tag for e in doc.root_element.child_elements()] == \
+            ["a", "b"]
+
+    def test_first_child(self):
+        doc = build_tree()
+        assert doc.root_element.first_child("b").tag == "b"
+        assert doc.root_element.first_child("zzz") is None
+
+    def test_find_path(self):
+        doc = build_tree()
+        assert doc.root_element.find("b/c").text_content() == "gamma"
+
+    def test_find_all_multiple(self, catalog_doc):
+        items = list(catalog_doc.root_element.find_all("item"))
+        assert len(items) == 3
+
+    def test_find_all_deep_path(self, catalog_doc):
+        names = list(catalog_doc.root_element.find_all(
+            "item/authors/author/name"))
+        assert len(names) == 4
+
+    def test_descendants_document_order(self):
+        doc = build_tree()
+        tags = [node.tag for node in doc.root_element.descendants()
+                if isinstance(node, Element)]
+        assert tags == ["a", "b", "c"]
+
+    def test_descendant_elements_by_tag(self, catalog_doc):
+        assert len(list(
+            catalog_doc.root_element.descendant_elements("author"))) == 4
+
+    def test_ancestors(self):
+        doc = build_tree()
+        c = doc.root_element.find("b/c")
+        tags = [getattr(node, "tag", "#doc") for node in c.ancestors()]
+        assert tags == ["b", "root", "#doc"]
+
+    def test_root(self):
+        doc = build_tree()
+        c = doc.root_element.find("b/c")
+        assert c.root() is doc
+
+    def test_document_property(self):
+        doc = build_tree()
+        c = doc.root_element.find("b/c")
+        assert c.document is doc
+
+    def test_document_property_detached(self):
+        assert Element("loose").document is None
+
+
+class TestStringValues:
+    def test_text_content_concatenates(self):
+        element = Element("e")
+        element.append_text("a")
+        element.append_element("x", text="b")
+        element.append_text("c")
+        assert element.text_content() == "abc"
+
+    def test_attribute_string_value(self):
+        assert Attribute("n", "v").string_value() == "v"
+
+    def test_comment_string_value(self):
+        assert Comment("note").string_value() == "note"
+
+    def test_document_string_value(self):
+        doc = build_tree()
+        assert doc.string_value() == "alphagamma"
+
+    def test_has_element_children(self):
+        doc = build_tree()
+        assert doc.root_element.has_element_children()
+        assert not doc.root_element.find("a").has_element_children()
+
+
+class TestDocumentOrder:
+    def test_refresh_order_assigns_monotone_keys(self):
+        doc = build_tree()
+        keys = [node.order_key for node in doc.root_element.descendants()]
+        assert keys == sorted(keys)
+        assert len(set(keys)) == len(keys)
+
+    def test_attribute_ordered_after_owner_before_children(self):
+        doc = build_tree()
+        a = doc.root_element.find("a")
+        attr = a.attributes["x"]
+        assert a.order_key < attr.order_key
+        assert attr.order_key < a.children[0].order_key
+
+    def test_document_order_sorts(self):
+        doc = build_tree()
+        a = doc.root_element.find("a")
+        c = doc.root_element.find("b/c")
+        assert document_order([c, a]) == [a, c]
+
+    def test_document_order_dedupes_by_identity(self):
+        doc = build_tree()
+        a = doc.root_element.find("a")
+        assert document_order([a, a, a]) == [a]
+
+    def test_cross_document_order_is_creation_order(self):
+        first = build_tree()
+        second = build_tree()
+        nodes = [second.root_element, first.root_element]
+        ordered = document_order(nodes)
+        assert ordered[0].root() is first
+
+    def test_serial_monotonic(self):
+        first = Document(Element("a"))
+        second = Document(Element("b"))
+        assert second.serial > first.serial
+
+    def test_refresh_order_counts_nodes(self):
+        doc = build_tree()
+        # document + root + a + @x + text + b + c + text = 8
+        assert doc.refresh_order() == 8
+
+
+class TestDocument:
+    def test_root_element(self):
+        doc = build_tree()
+        assert doc.root_element.tag == "root"
+
+    def test_root_element_missing_raises(self):
+        with pytest.raises(ValueError):
+            Document().root_element
+
+    def test_name(self):
+        assert build_tree().name == "t.xml"
+
+    def test_comment_children_allowed(self):
+        doc = Document()
+        doc.append(Comment("hello"))
+        doc.append(Element("r"))
+        assert doc.root_element.tag == "r"

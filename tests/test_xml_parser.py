@@ -1,0 +1,197 @@
+"""XML parser tests: well-formed input, entities, errors, round trips."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import XMLParseError
+from repro.xml.nodes import Comment, Element, Text
+from repro.xml.parser import parse_document, parse_fragment
+from repro.xml.serializer import serialize
+
+
+class TestBasicParsing:
+    def test_single_element(self):
+        doc = parse_document("<a/>")
+        assert doc.root_element.tag == "a"
+        assert not doc.root_element.children
+
+    def test_nested_elements(self):
+        doc = parse_document("<a><b><c/></b></a>")
+        assert doc.root_element.find("b/c") is not None
+
+    def test_text_content(self):
+        doc = parse_document("<a>hello</a>")
+        assert doc.root_element.text_content() == "hello"
+
+    def test_mixed_content_order(self):
+        doc = parse_document("<a>x<b/>y<c/>z</a>")
+        kinds = [type(child).__name__
+                 for child in doc.root_element.children]
+        assert kinds == ["Text", "Element", "Text", "Element", "Text"]
+
+    def test_attributes(self):
+        doc = parse_document('<a x="1" y="two"/>')
+        assert doc.root_element.get("x") == "1"
+        assert doc.root_element.get("y") == "two"
+
+    def test_single_quoted_attribute(self):
+        doc = parse_document("<a x='v'/>")
+        assert doc.root_element.get("x") == "v"
+
+    def test_attribute_order_preserved(self):
+        doc = parse_document('<a b="1" a="2" c="3"/>')
+        assert list(doc.root_element.attributes) == ["b", "a", "c"]
+
+    def test_whitespace_in_tags(self):
+        doc = parse_document('<a  x="1"\n  y="2"\t></a>')
+        assert doc.root_element.get("y") == "2"
+
+    def test_document_name(self):
+        doc = parse_document("<a/>", name="n.xml")
+        assert doc.name == "n.xml"
+
+    def test_order_keys_assigned(self):
+        doc = parse_document("<a><b/><c/></a>")
+        b, c = doc.root_element.children
+        assert 0 <= doc.order_key < b.order_key < c.order_key
+
+
+class TestProlog:
+    def test_xml_declaration(self):
+        doc = parse_document('<?xml version="1.0" encoding="UTF-8"?><a/>')
+        assert doc.root_element.tag == "a"
+
+    def test_doctype_skipped(self):
+        doc = parse_document('<!DOCTYPE a SYSTEM "a.dtd"><a/>')
+        assert doc.root_element.tag == "a"
+
+    def test_doctype_with_internal_subset(self):
+        doc = parse_document(
+            "<!DOCTYPE a [<!ELEMENT a (#PCDATA)>]><a>x</a>")
+        assert doc.root_element.text_content() == "x"
+
+    def test_leading_comment_kept(self):
+        doc = parse_document("<!-- hi --><a/>")
+        assert isinstance(doc.children[0], Comment)
+
+    def test_processing_instruction_skipped(self):
+        doc = parse_document('<?pi data?><a/>')
+        assert doc.root_element.tag == "a"
+
+    def test_trailing_comment_allowed(self):
+        doc = parse_document("<a/><!-- bye -->")
+        assert any(isinstance(child, Comment) for child in doc.children)
+
+
+class TestEntities:
+    def test_predefined_entities(self):
+        doc = parse_document("<a>&lt;&gt;&amp;&quot;&apos;</a>")
+        assert doc.root_element.text_content() == "<>&\"'"
+
+    def test_decimal_char_reference(self):
+        doc = parse_document("<a>&#65;</a>")
+        assert doc.root_element.text_content() == "A"
+
+    def test_hex_char_reference(self):
+        doc = parse_document("<a>&#x41;&#x20AC;</a>")
+        assert doc.root_element.text_content() == "A€"
+
+    def test_entity_in_attribute(self):
+        doc = parse_document('<a x="a&amp;b"/>')
+        assert doc.root_element.get("x") == "a&b"
+
+    def test_unknown_entity_rejected(self):
+        with pytest.raises(XMLParseError):
+            parse_document("<a>&nope;</a>")
+
+    def test_unterminated_entity_rejected(self):
+        with pytest.raises(XMLParseError):
+            parse_document("<a>&amp</a>")
+
+
+class TestCData:
+    def test_cdata_preserved_verbatim(self):
+        doc = parse_document("<a><![CDATA[<not> & markup]]></a>")
+        assert doc.root_element.text_content() == "<not> & markup"
+
+    def test_cdata_merges_with_text(self):
+        doc = parse_document("<a>x<![CDATA[y]]>z</a>")
+        texts = [child for child in doc.root_element.children
+                 if isinstance(child, Text)]
+        assert "".join(t.text for t in texts) == "xyz"
+
+
+class TestComments:
+    def test_inline_comment_node(self):
+        doc = parse_document("<a>x<!-- note -->y</a>")
+        kinds = [type(child).__name__
+                 for child in doc.root_element.children]
+        assert "Comment" in kinds
+
+    def test_comment_splits_text(self):
+        doc = parse_document("<a>x<!--c-->y</a>")
+        texts = [child.text for child in doc.root_element.children
+                 if isinstance(child, Text)]
+        assert texts == ["x", "y"]
+
+
+class TestErrors:
+    @pytest.mark.parametrize("bad", [
+        "",                                # no root
+        "<a>",                             # unterminated
+        "<a></b>",                         # mismatched tags
+        "<a/><b/>",                        # two roots
+        "<a x=1/>",                        # unquoted attribute
+        '<a x="1" x="2"/>',                # duplicate attribute
+        "<a><b></a></b>",                  # interleaved
+        "text only",                       # no element
+        "<a b></a>",                       # attribute without value
+        '<a x="<"/>',                      # raw < in attribute
+        "<a>&#xZZ;</a>",                   # bad char ref
+        "<1tag/>",                         # bad name start
+    ])
+    def test_rejected(self, bad):
+        with pytest.raises(XMLParseError):
+            parse_document(bad)
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(XMLParseError) as info:
+            parse_document("<a>\n\n<b></a>")
+        assert info.value.line == 3
+
+    def test_content_after_root_rejected(self):
+        with pytest.raises(XMLParseError):
+            parse_document("<a/>junk")
+
+
+class TestFragment:
+    def test_parse_fragment(self):
+        element = parse_fragment("<x a='1'><y/></x>")
+        assert isinstance(element, Element)
+        assert element.parent is None
+
+    def test_fragment_trailing_junk_rejected(self):
+        with pytest.raises(XMLParseError):
+            parse_fragment("<x/><y/>")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("text", [
+        "<a/>",
+        '<a x="1"/>',
+        "<a>text</a>",
+        "<a>x<b>y</b>z</a>",
+        "<a>&lt;escaped&amp;&gt;</a>",
+        '<a x="&quot;q&amp;"/>',
+        "<a><b/><b/><b/></a>",
+    ])
+    def test_serialize_parse_identity(self, text):
+        doc = parse_document(text)
+        assert serialize(doc) == text
+
+    def test_generated_corpus_round_trips(self, small_corpora):
+        for corpus in small_corpora.values():
+            for name, text in corpus["texts"][:3]:
+                reparsed = parse_document(text, name=name)
+                assert serialize(reparsed) == text

@@ -1,0 +1,117 @@
+"""Schema description tests: structure, diagrams, conformance checks."""
+
+from __future__ import annotations
+
+from repro.xml.parser import parse_document
+from repro.xml.schema import SchemaElement, conforms, render_diagram
+
+
+def sample_schema() -> SchemaElement:
+    root = SchemaElement("lib")
+    book = root.child("book", repeated=True)
+    book.attributes.append("id")
+    book.child("title")
+    book.child("year", optional=True)
+    return root
+
+
+class TestSchemaElement:
+    def test_child_returns_new_node(self):
+        root = SchemaElement("r")
+        child = root.child("c", optional=True)
+        assert child.optional
+        assert root.children == [child]
+
+    def test_find_depth_first(self):
+        schema = sample_schema()
+        assert schema.find("title").name == "title"
+        assert schema.find("nope") is None
+
+    def test_walk_yields_all_types(self):
+        names = [node.name for node in sample_schema().walk()]
+        assert names == ["lib", "book", "title", "year"]
+
+    def test_element_count(self):
+        assert sample_schema().element_count() == 4
+
+    def test_max_depth(self):
+        assert sample_schema().max_depth() == 3
+
+    def test_recursive_schema_walk_terminates(self):
+        root = SchemaElement("sec")
+        root.children.append(root)
+        assert [n.name for n in root.walk()] == ["sec"]
+
+    def test_recursive_schema_depth_terminates(self):
+        root = SchemaElement("sec")
+        root.children.append(root)
+        assert root.max_depth() >= 1
+
+
+class TestRenderDiagram:
+    def test_mandatory_brackets_optional_parens(self):
+        diagram = render_diagram(sample_schema())
+        assert "[title]" in diagram
+        assert "(year)" in diagram
+
+    def test_repeated_star_and_attributes(self):
+        diagram = render_diagram(sample_schema())
+        assert "[book]* @id" in diagram
+
+    def test_title_header(self):
+        diagram = render_diagram(sample_schema(), "Figure X")
+        assert diagram.startswith("Figure X\n========")
+
+    def test_recursion_marker(self):
+        root = SchemaElement("sec")
+        root.children.append(root)
+        assert "(recursive)" in render_diagram(root)
+
+    def test_mixed_marker(self):
+        root = SchemaElement("p", mixed=True)
+        assert "~" in render_diagram(root)
+
+
+class TestConforms:
+    def test_valid_document(self):
+        doc = parse_document(
+            '<lib><book id="1"><title>t</title></book></lib>')
+        assert conforms(doc, sample_schema()) == []
+
+    def test_wrong_root(self):
+        doc = parse_document("<shop/>")
+        violations = conforms(doc, sample_schema())
+        assert any("root element" in v for v in violations)
+
+    def test_unknown_element(self):
+        doc = parse_document(
+            '<lib><book id="1"><title>t</title><isbn/></book></lib>')
+        assert any("isbn" in v for v in conforms(doc, sample_schema()))
+
+    def test_missing_mandatory_child(self):
+        doc = parse_document('<lib><book id="1"/></lib>')
+        assert any("missing mandatory" in v
+                   for v in conforms(doc, sample_schema()))
+
+    def test_optional_child_may_be_absent(self):
+        doc = parse_document(
+            '<lib><book id="1"><title>t</title></book></lib>')
+        assert conforms(doc, sample_schema()) == []
+
+    def test_repetition_of_nonrepeated_flagged(self):
+        doc = parse_document(
+            '<lib><book id="1"><title>a</title><title>b</title>'
+            "</book></lib>")
+        assert any("occurs 2 times" in v
+                   for v in conforms(doc, sample_schema()))
+
+    def test_unknown_attribute_flagged(self):
+        doc = parse_document(
+            '<lib><book id="1" zz="9"><title>t</title></book></lib>')
+        assert any("@zz" in v for v in conforms(doc, sample_schema()))
+
+    def test_repeated_child_allowed(self):
+        doc = parse_document(
+            '<lib><book id="1"><title>a</title></book>'
+            '<book id="2"><title>b</title></book></lib>')
+        assert conforms(doc, sample_schema()) == []

@@ -1,0 +1,78 @@
+"""Serializer tests: escaping, pretty printing, node kinds."""
+
+from __future__ import annotations
+
+from io import StringIO
+
+from repro.xml.nodes import Attribute, Comment, Document, Element, Text
+from repro.xml.parser import parse_document
+from repro.xml.serializer import (
+    escape_attribute,
+    escape_text,
+    serialize,
+    write_document,
+)
+
+
+class TestEscaping:
+    def test_escape_text(self):
+        assert escape_text("a<b>&c") == "a&lt;b&gt;&amp;c"
+
+    def test_escape_text_noop(self):
+        assert escape_text("plain") == "plain"
+
+    def test_escape_attribute(self):
+        assert escape_attribute('a"b&c<d') == "a&quot;b&amp;c&lt;d"
+
+    def test_escape_attribute_keeps_gt(self):
+        assert escape_attribute("a>b") == "a>b"
+
+
+class TestSerialize:
+    def test_empty_element_self_closes(self):
+        assert serialize(Element("a")) == "<a/>"
+
+    def test_attributes_in_order(self):
+        element = Element("a", {"b": "1", "a": "2"})
+        assert serialize(element) == '<a b="1" a="2"/>'
+
+    def test_text_node(self):
+        assert serialize(Text("x<y")) == "x&lt;y"
+
+    def test_comment_node(self):
+        assert serialize(Comment(" hi ")) == "<!-- hi -->"
+
+    def test_attribute_node(self):
+        assert serialize(Attribute("n", 'v"w')) == 'n="v&quot;w"'
+
+    def test_document_with_root(self):
+        doc = Document(Element("r"))
+        assert serialize(doc) == "<r/>"
+
+    def test_xml_declaration(self):
+        doc = Document(Element("r"))
+        assert serialize(doc, xml_declaration=True) == \
+            '<?xml version="1.0" encoding="UTF-8"?><r/>'
+
+    def test_write_document_stream(self):
+        doc = Document(Element("r"))
+        out = StringIO()
+        write_document(doc, out)
+        assert out.getvalue().endswith("<r/>")
+
+
+class TestPrettyPrint:
+    def test_indents_element_only_content(self):
+        doc = parse_document("<a><b><c/></b></a>")
+        pretty = serialize(doc, indent=2)
+        assert "<a>\n  <b>\n    <c/>\n  </b>\n</a>" in pretty
+
+    def test_does_not_indent_text_content(self):
+        doc = parse_document("<a><b>keep me intact</b></a>")
+        pretty = serialize(doc, indent=2)
+        assert "<b>keep me intact</b>" in pretty
+
+    def test_pretty_round_trip_preserves_text(self):
+        doc = parse_document("<a><b>x y  z</b><c/></a>")
+        reparsed = parse_document(serialize(doc, indent=2))
+        assert reparsed.root_element.find("b").text_content() == "x y  z"

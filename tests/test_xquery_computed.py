@@ -1,0 +1,120 @@
+"""Computed constructor tests (element/attribute/text { ... })."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import XQuerySyntaxError, XQueryTypeError
+from repro.xml.parser import parse_document
+from repro.xml.serializer import serialize
+from repro.xquery import run_query
+
+
+class TestComputedElement:
+    def test_fixed_name(self):
+        (result,) = run_query("element r { 'body' }")
+        assert serialize(result) == "<r>body</r>"
+
+    def test_computed_name(self):
+        (result,) = run_query("element { concat('a', 'b') } { 1 }")
+        assert result.tag == "ab"
+
+    def test_empty_content(self):
+        (result,) = run_query("element r {}")
+        assert serialize(result) == "<r/>"
+
+    def test_nested_computed(self):
+        (result,) = run_query(
+            "element outer { element inner { 'x' } }")
+        assert serialize(result) == "<outer><inner>x</inner></outer>"
+
+    def test_sequence_content(self):
+        (result,) = run_query("element r { 1, 2, 3 }")
+        assert result.text_content() == "1 2 3"
+
+    def test_node_content_copied(self, catalog_doc):
+        (result,) = run_query(
+            "element wrap { /catalog/item[1]/title }", [catalog_doc])
+        assert serialize(result) == "<wrap><title>Alpha</title></wrap>"
+
+    def test_multi_item_name_rejected(self):
+        with pytest.raises(XQueryTypeError):
+            run_query("element { ('a', 'b') } { 1 }")
+
+    def test_constructed_tree_navigable(self):
+        result = run_query("element r { element c { 5 } }/c")
+        assert result[0].text_content() == "5"
+
+    def test_in_flwor_return(self):
+        results = run_query(
+            "for $i in 1 to 3 return element n { $i * 10 }")
+        assert [r.text_content() for r in results] == ["10", "20", "30"]
+
+
+class TestComputedAttribute:
+    def test_attribute_in_element(self):
+        (result,) = run_query(
+            "element r { attribute id { 42 }, 'body' }")
+        assert result.get("id") == "42"
+        assert result.text_content() == "body"
+
+    def test_computed_attribute_name(self):
+        (result,) = run_query(
+            "element r { attribute { concat('a','b') } { 'v' } }")
+        assert result.get("ab") == "v"
+
+    def test_standalone_attribute_node(self):
+        (attr,) = run_query("attribute n { 'v' }")
+        assert attr.name == "n" and attr.value == "v"
+
+    def test_sequence_value_space_joined(self):
+        (result,) = run_query(
+            "element r { attribute ks { (1, 2) } }")
+        assert result.get("ks") == "1 2"
+
+    def test_empty_value(self):
+        (result,) = run_query("element r { attribute x {} }")
+        assert result.get("x") == ""
+
+
+class TestTextConstructor:
+    def test_simple(self):
+        (node,) = run_query("text { 'abc' }")
+        assert node.text == "abc"
+
+    def test_numeric_content(self):
+        (node,) = run_query("text { 6 * 7 }")
+        assert node.text == "42"
+
+    def test_empty_yields_empty_sequence(self):
+        assert run_query("text {()}") == []
+        assert run_query("text {}") == []
+
+    def test_inside_element(self):
+        (result,) = run_query("element r { text { 'x' } }")
+        assert serialize(result) == "<r>x</r>"
+
+
+class TestNoRegressions:
+    """Keywords stay usable as element names and kind tests."""
+
+    def test_element_named_text(self):
+        doc = parse_document("<a><text>t</text></a>")
+        assert run_query("string(/a/text)", [doc]) == ["t"]
+
+    def test_text_kind_test_still_works(self):
+        doc = parse_document("<a>raw<b/></a>")
+        nodes = run_query("/a/text()", [doc])
+        assert nodes[0].text == "raw"
+
+    def test_element_named_element(self):
+        doc = parse_document("<a><element>e</element></a>")
+        assert run_query("string(/a/element)", [doc]) == ["e"]
+
+    def test_attribute_step_unaffected(self, catalog_doc):
+        values = run_query("/catalog/item/@id", [catalog_doc])
+        assert len(values) == 3
+
+    def test_element_keyword_without_braces_is_path(self):
+        doc = parse_document("<element><x>1</x></element>")
+        assert run_query("count(/element/x)", [doc]) == [1]

@@ -1,0 +1,120 @@
+"""XQuery engine facade tests: compilation cache, collections, context."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import XQueryEvalError
+from repro.xml.parser import parse_document
+from repro.xquery.context import Context, EmptyProvider
+from repro.xquery.engine import (
+    CompiledQuery,
+    StaticCollection,
+    XQueryEngine,
+    run_query,
+)
+
+
+class TestCompiledQuery:
+    def test_compile_once_run_many(self):
+        query = CompiledQuery("1 + $x")
+        assert query.run(variables={"x": 1}) == [2]
+        assert query.run(variables={"x": 41}) == [42]
+
+    def test_plain_value_wrapped_as_sequence(self):
+        query = CompiledQuery("count($s)")
+        assert query.run(variables={"s": "one"}) == [1]
+        assert query.run(variables={"s": ["a", "b"]}) == [2]
+
+    def test_context_item(self):
+        doc = parse_document("<a><b>x</b></a>")
+        query = CompiledQuery("string(b)")
+        assert query.run(context_item=doc.root_element) == ["x"]
+
+
+class TestEngineCache:
+    def test_same_text_reuses_compilation(self):
+        engine = XQueryEngine()
+        first = engine.compile("1 + 1")
+        second = engine.compile("1 + 1")
+        assert first is second
+
+    def test_cache_eviction(self):
+        engine = XQueryEngine(cache_size=2)
+        first = engine.compile("1")
+        engine.compile("2")
+        engine.compile("3")          # evicts "1"
+        assert engine.compile("1") is not first
+
+    def test_execute_shortcut(self):
+        assert XQueryEngine().execute("2 * 3") == [6]
+
+
+class TestStaticCollection:
+    def test_doc_lookup_by_name(self):
+        doc = parse_document("<a/>", name="x.xml")
+        collection = StaticCollection([doc])
+        assert collection.doc("x.xml") is doc
+        with pytest.raises(KeyError):
+            collection.doc("missing.xml")
+
+    def test_collection_lists_all(self):
+        docs = [parse_document(f"<d{i}/>", name=f"{i}.xml")
+                for i in range(3)]
+        collection = StaticCollection(docs)
+        assert collection.collection() == docs
+        assert len(collection) == 3
+
+    def test_remove(self):
+        doc = parse_document("<a/>", name="x.xml")
+        collection = StaticCollection([doc])
+        assert collection.remove("x.xml") is doc
+        assert len(collection) == 0
+        with pytest.raises(KeyError):
+            collection.doc("x.xml")
+
+    def test_unnamed_documents_not_addressable(self):
+        doc = parse_document("<a/>")
+        collection = StaticCollection([doc])
+        assert len(collection) == 1
+        with pytest.raises(KeyError):
+            collection.doc("")
+
+
+class TestRunQueryConvenience:
+    def test_single_document_becomes_context(self):
+        doc = parse_document("<a><b/></a>")
+        assert run_query("count(/a/b)", [doc]) == [1]
+
+    def test_multi_document_requires_collection(self):
+        docs = [parse_document("<a/>", name="1"),
+                parse_document("<a/>", name="2")]
+        assert run_query("count(collection())", docs) == [2]
+        with pytest.raises(XQueryEvalError):
+            run_query("/a", docs)       # no context item with 2 docs
+
+
+class TestContext:
+    def test_bind_is_persistent_style(self):
+        context = Context()
+        child = context.bind("x", [1])
+        assert child.variable("x") == [1]
+        with pytest.raises(XQueryEvalError):
+            context.variable("x")
+
+    def test_focus_creates_child(self):
+        context = Context()
+        focused = context.focus("item", 2, 5)
+        assert (focused.item, focused.position, focused.size) == \
+            ("item", 2, 5)
+        assert context.item is None
+
+    def test_require_item_raises_when_absent(self):
+        with pytest.raises(XQueryEvalError):
+            Context().require_item()
+
+    def test_empty_provider(self):
+        provider = EmptyProvider()
+        assert provider.collection() == []
+        with pytest.raises(KeyError):
+            provider.doc("x")

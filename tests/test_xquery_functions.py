@@ -1,0 +1,263 @@
+"""Built-in function library tests (evaluated through full queries)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import XQueryEvalError, XQueryTypeError
+from repro.xml.parser import parse_document
+from repro.xquery import run_query
+
+
+def q(text: str, **variables):
+    return run_query(text, variables=variables or None)
+
+
+class TestAggregates:
+    def test_count(self):
+        assert q("count((1,2,3))") == [3]
+        assert q("count(())") == [0]
+
+    def test_sum(self):
+        assert q("sum((1,2,3))") == [6]
+        assert q("sum(())") == [0]
+
+    def test_sum_with_zero_arg(self):
+        assert q("sum((), 99)") == [99]
+
+    def test_avg(self):
+        assert q("avg((2, 4))") == [3.0]
+        assert q("avg(())") == []
+
+    def test_min_max_numeric(self):
+        assert q("min((3,1,2))") == [1]
+        assert q("max((3,1,2))") == [3]
+
+    def test_min_max_strings(self):
+        assert q("min(('b','a'))") == ["a"]
+        assert q("max(('b','a'))") == ["b"]
+
+    def test_sum_non_numeric_raises(self):
+        with pytest.raises(XQueryTypeError):
+            q("sum(('a','b'))")
+
+
+class TestStrings:
+    def test_concat(self):
+        assert q("concat('a', 'b', 'c')") == ["abc"]
+
+    def test_string_join(self):
+        assert q("string-join(('a','b'), '-')") == ["a-b"]
+        assert q("string-join(('a','b'))") == ["ab"]
+
+    def test_string_length(self):
+        assert q("string-length('abcd')") == [4]
+
+    def test_contains(self):
+        assert q("contains('hello world', 'lo w')") == [True]
+        assert q("contains('x', 'y')") == [False]
+
+    def test_starts_ends_with(self):
+        assert q("starts-with('abc', 'ab')") == [True]
+        assert q("ends-with('abc', 'bc')") == [True]
+
+    def test_substring(self):
+        assert q("substring('hello', 2)") == ["ello"]
+        assert q("substring('hello', 2, 3)") == ["ell"]
+
+    def test_substring_before_after(self):
+        assert q("substring-before('a=b', '=')") == ["a"]
+        assert q("substring-after('a=b', '=')") == ["b"]
+        assert q("substring-before('ab', 'z')") == [""]
+
+    def test_normalize_space(self):
+        assert q("normalize-space('  a   b  ')") == ["a b"]
+
+    def test_case_functions(self):
+        assert q("lower-case('AbC')") == ["abc"]
+        assert q("upper-case('AbC')") == ["ABC"]
+
+    def test_tokenize(self):
+        assert q("tokenize('a,b,,c', ',')") == ["a", "b", "", "c"]
+        assert q("tokenize('', ',')") == []
+
+    def test_matches_replace(self):
+        assert q("matches('abc123', '[0-9]+')") == [True]
+        assert q("replace('a1b2', '[0-9]', '#')") == ["a#b#"]
+
+    def test_translate(self):
+        assert q("translate('abcа', 'abc', 'xy')") == ["xyа"]
+
+    def test_string_of_number(self):
+        assert q("string(3.0)") == ["3"]
+
+
+class TestNumerics:
+    def test_number(self):
+        assert q("number('4')") == [4.0]
+
+    def test_round_floor_ceiling_abs(self):
+        assert q("round(2.5)") == [3]
+        assert q("floor(2.9)") == [2]
+        assert q("ceiling(2.1)") == [3]
+        assert q("abs(-7)") == [7]
+
+    def test_empty_propagates(self):
+        assert q("round(())") == []
+
+
+class TestBooleansSequences:
+    def test_not(self):
+        assert q("not(1)") == [False]
+        assert q("not(())") == [True]
+
+    def test_true_false(self):
+        assert q("true()") == [True]
+        assert q("false()") == [False]
+
+    def test_empty_exists(self):
+        assert q("empty(())") == [True]
+        assert q("exists((1))") == [True]
+
+    def test_boolean_function(self):
+        assert q("boolean('x')") == [True]
+        assert q("boolean(0)") == [False]
+
+    def test_distinct_values(self):
+        # Numbers dedupe numerically; strings stay distinct from numbers
+        # (untyped '2' is compared as a string per the XQuery rules).
+        assert q("distinct-values((1, 2, 1, '2', 'a'))") == [1, 2, "2", "a"]
+        assert q("distinct-values((1, 1.0))") == [1]
+
+    def test_reverse(self):
+        assert q("reverse((1,2,3))") == [3, 2, 1]
+
+    def test_index_of(self):
+        assert q("index-of((10, 20, 10), 10)") == [1, 3]
+
+    def test_subsequence(self):
+        assert q("subsequence((1,2,3,4), 2, 2)") == [2, 3]
+        assert q("subsequence((1,2,3,4), 3)") == [3, 4]
+
+    def test_cardinality_checks(self):
+        assert q("zero-or-one(())") == []
+        assert q("exactly-one((5))") == [5]
+        assert q("one-or-more((1,2))") == [1, 2]
+        with pytest.raises(XQueryTypeError):
+            q("exactly-one((1,2))")
+        with pytest.raises(XQueryTypeError):
+            q("one-or-more(())")
+
+    def test_data(self):
+        doc = parse_document("<a>5</a>")
+        assert run_query("data(/a)", [doc]) == ["5"]
+
+
+class TestNodeFunctions:
+    def test_name_and_local_name(self):
+        doc = parse_document("<a><b:c xmlns:b='u'/></a>") if False else \
+            parse_document("<a><c/></a>")
+        assert run_query("name(/a/c)", [doc]) == ["c"]
+        assert run_query("local-name(/a/c)", [doc]) == ["c"]
+
+    def test_root_function(self):
+        doc = parse_document("<a><b/></a>")
+        result = run_query("root(/a/b)", [doc])
+        assert result == [doc]
+
+    def test_deep_equal_function(self):
+        doc = parse_document("<a><b>x</b><b>x</b><b>y</b></a>")
+        assert run_query("deep-equal(/a/b[1], /a/b[2])", [doc]) == [True]
+        assert run_query("deep-equal(/a/b[1], /a/b[3])", [doc]) == [False]
+
+
+class TestDocumentAccess:
+    def test_doc_by_name(self):
+        doc = parse_document("<a/>", name="one.xml")
+        assert run_query("doc('one.xml')", [doc]) == [doc]
+
+    def test_doc_missing_raises(self):
+        with pytest.raises(XQueryEvalError):
+            run_query("doc('missing.xml')", [])
+
+    def test_collection(self):
+        docs = [parse_document("<a/>", name="1"),
+                parse_document("<b/>", name="2")]
+        assert run_query("count(collection())", docs) == [2]
+
+    def test_input_alias(self):
+        docs = [parse_document("<a/>", name="1")]
+        assert run_query("count(input())", docs) == [1]
+
+
+class TestArityChecks:
+    def test_too_few_arguments(self):
+        with pytest.raises(XQueryEvalError):
+            q("contains('x')")
+
+    def test_too_many_arguments(self):
+        with pytest.raises(XQueryEvalError):
+            q("not(1, 2)")
+
+    def test_unknown_function(self):
+        with pytest.raises(XQueryEvalError):
+            q("no-such-function()")
+
+    def test_variadic_concat(self):
+        assert q("concat('a','b','c','d','e')") == ["abcde"]
+
+
+class TestSequenceEditing:
+    def test_insert_before(self):
+        assert q("insert-before((1,2,3), 2, (9,9))") == [1, 9, 9, 2, 3]
+        assert q("insert-before((1,2), 99, 5)") == [1, 2, 5]
+        assert q("insert-before((1,2), 0, 5)") == [5, 1, 2]
+
+    def test_remove(self):
+        assert q("remove((1,2,3), 2)") == [1, 3]
+        assert q("remove((1,2,3), 99)") == [1, 2, 3]
+        assert q("remove((1,2,3), 0)") == [1, 2, 3]
+
+
+class TestStringCodepoints:
+    def test_compare(self):
+        assert q("compare('a', 'b')") == [-1]
+        assert q("compare('b', 'a')") == [1]
+        assert q("compare('a', 'a')") == [0]
+        assert q("compare((), 'a')") == []
+
+    def test_string_to_codepoints(self):
+        assert q("string-to-codepoints('AB')") == [65, 66]
+        assert q("string-to-codepoints('')") == []
+
+    def test_codepoints_to_string(self):
+        assert q("codepoints-to-string((72, 105))") == ["Hi"]
+        with pytest.raises(XQueryEvalError):
+            q("codepoints-to-string(-5)")
+
+    def test_roundtrip(self):
+        assert q("codepoints-to-string("
+                 "string-to-codepoints('xyz'))") == ["xyz"]
+
+
+class TestDateComponents:
+    def test_components_from_string(self):
+        assert q("year-from-date('2003-05-09')") == [2003]
+        assert q("month-from-date('2003-05-09')") == [5]
+        assert q("day-from-date('2003-05-09')") == [9]
+
+    def test_components_from_cast_date(self):
+        assert q("year-from-date(xs:date('1999-12-31'))") == [1999]
+
+    def test_empty_propagates(self):
+        assert q("year-from-date(())") == []
+
+    def test_invalid_date_raises(self):
+        with pytest.raises(XQueryEvalError):
+            q("year-from-date('not-a-date')")
+
+    def test_windowing_by_year(self):
+        doc = parse_document(
+            "<r><d>2001-03-04</d><d>2002-05-06</d><d>2001-09-09</d></r>")
+        assert run_query(
+            "count(/r/d[year-from-date(.) = 2001])", [doc]) == [2]

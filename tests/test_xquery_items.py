@@ -1,0 +1,203 @@
+"""XDM value-model tests: atomization, EBV, comparisons, casts, dates."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import XQueryEvalError, XQueryTypeError
+from repro.xml.nodes import Element, Text
+from repro.xquery.items import (
+    XSDate,
+    atomize,
+    cast_value,
+    compare_values,
+    deep_equal,
+    effective_boolean,
+    is_numeric,
+    string_value,
+    to_number,
+)
+
+
+class TestXSDate:
+    def test_parse(self):
+        date = XSDate.parse("2003-05-09")
+        assert (date.year, date.month, date.day) == (2003, 5, 9)
+
+    def test_str_zero_pads(self):
+        assert str(XSDate(50, 1, 2)) == "0050-01-02"
+
+    def test_ordering(self):
+        assert XSDate.parse("2003-05-09") < XSDate.parse("2003-06-01")
+        assert XSDate.parse("2004-01-01") > XSDate.parse("2003-12-31")
+
+    def test_equality(self):
+        assert XSDate.parse("2001-01-01") == XSDate(2001, 1, 1)
+
+    @pytest.mark.parametrize("bad", ["2003", "a-b-c", "2003-13-01",
+                                     "2003-00-10", "2003-01-45"])
+    def test_invalid(self, bad):
+        with pytest.raises(XQueryEvalError):
+            XSDate.parse(bad)
+
+    def test_whitespace_tolerated(self):
+        assert XSDate.parse(" 2001-02-03 ") == XSDate(2001, 2, 3)
+
+
+class TestAtomization:
+    def test_node_atomizes_to_string_value(self):
+        element = Element("e")
+        element.append_text("v")
+        assert atomize([element]) == ["v"]
+
+    def test_atoms_pass_through(self):
+        assert atomize([1, "a", True]) == [1, "a", True]
+
+
+class TestStringValue:
+    def test_boolean(self):
+        assert string_value(True) == "true"
+        assert string_value(False) == "false"
+
+    def test_whole_float_prints_as_int(self):
+        assert string_value(3.0) == "3"
+
+    def test_fractional_float(self):
+        assert string_value(2.5) == "2.5"
+
+    def test_node(self):
+        assert string_value(Text("t")) == "t"
+
+
+class TestEffectiveBoolean:
+    def test_empty_is_false(self):
+        assert effective_boolean([]) is False
+
+    def test_node_is_true(self):
+        assert effective_boolean([Element("e")]) is True
+
+    def test_boolean_passthrough(self):
+        assert effective_boolean([False]) is False
+
+    def test_nonempty_string_true(self):
+        assert effective_boolean(["x"]) is True
+        assert effective_boolean([""]) is False
+
+    def test_zero_false_nan_false(self):
+        assert effective_boolean([0]) is False
+        assert effective_boolean([float("nan")]) is False
+        assert effective_boolean([2]) is True
+
+    def test_multi_atomic_raises(self):
+        with pytest.raises(XQueryTypeError):
+            effective_boolean([1, 2])
+
+
+class TestToNumber:
+    def test_string(self):
+        assert to_number(" 42 ") == 42.0
+
+    def test_bad_string_is_nan(self):
+        assert math.isnan(to_number("xyz"))
+
+    def test_boolean(self):
+        assert to_number(True) == 1.0
+
+    def test_node(self):
+        assert to_number(Text("7")) == 7.0
+
+    def test_is_numeric_excludes_bool(self):
+        assert is_numeric(1) and is_numeric(1.5)
+        assert not is_numeric(True)
+        assert not is_numeric("1")
+
+
+class TestCompareValues:
+    def test_string_equality(self):
+        assert compare_values("=", "a", "a")
+        assert not compare_values("=", "a", "b")
+
+    def test_numeric_promotion(self):
+        assert compare_values("=", "5", 5)
+        assert compare_values("<", 4, "5")
+
+    def test_nan_never_equal(self):
+        assert not compare_values("=", float("nan"), float("nan"))
+        assert compare_values("!=", float("nan"), 1)
+
+    def test_date_promotion(self):
+        assert compare_values("<", "2001-01-01",
+                              XSDate.parse("2002-01-01"))
+
+    def test_boolean_promotion(self):
+        assert compare_values("=", True, "true")
+
+    def test_value_comparison_names(self):
+        assert compare_values("le", 3, 3)
+        assert compare_values("gt", 4, 3)
+        assert compare_values("ne", "a", "b")
+
+    def test_unknown_operator(self):
+        with pytest.raises(XQueryEvalError):
+            compare_values("??", 1, 1)
+
+
+class TestCast:
+    def test_integer(self):
+        assert cast_value("12", "xs:integer") == 12
+        assert cast_value(3.9, "xs:integer") == 3
+
+    def test_decimal(self):
+        assert cast_value("2.5", "xs:decimal") == 2.5
+
+    def test_string(self):
+        assert cast_value(4.0, "xs:string") == "4"
+
+    def test_boolean(self):
+        assert cast_value("true", "xs:boolean") is True
+        assert cast_value("0", "xs:boolean") is False
+        assert cast_value(2, "xs:boolean") is True
+
+    def test_date(self):
+        assert cast_value("2003-01-02", "xs:date") == XSDate(2003, 1, 2)
+
+    def test_node_atomized_first(self):
+        element = Element("e")
+        element.append_text("8")
+        assert cast_value(element, "xs:integer") == 8
+
+    def test_bad_cast_raises(self):
+        with pytest.raises(XQueryEvalError):
+            cast_value("abc", "xs:integer")
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(XQueryEvalError):
+            cast_value("x", "xs:duration")
+
+
+class TestDeepEqual:
+    def make(self, text: str) -> Element:
+        from repro.xml.parser import parse_fragment
+        return parse_fragment(text)
+
+    def test_equal_trees(self):
+        assert deep_equal(self.make("<a x='1'><b>t</b></a>"),
+                          self.make("<a x='1'><b>t</b></a>"))
+
+    def test_different_attribute(self):
+        assert not deep_equal(self.make("<a x='1'/>"),
+                              self.make("<a x='2'/>"))
+
+    def test_different_children(self):
+        assert not deep_equal(self.make("<a><b/></a>"),
+                              self.make("<a><c/></a>"))
+
+    def test_whitespace_only_text_ignored(self):
+        assert deep_equal(self.make("<a> <b/> </a>"),
+                          self.make("<a><b/></a>"))
+
+    def test_atomic_comparison(self):
+        assert deep_equal(1, "1")
+        assert not deep_equal("a", "b")

@@ -1,0 +1,139 @@
+"""Lexer tests: token kinds, the '<' constructor heuristic, comments."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import XQuerySyntaxError
+from repro.xquery.lexer import Lexer
+from repro.xquery.tokens import (
+    DECIMAL,
+    EOF,
+    INTEGER,
+    NAME,
+    STRING,
+    SYMBOL,
+    TAG_START,
+    VARIABLE,
+)
+
+
+def all_tokens(text: str) -> list:
+    lexer = Lexer(text)
+    tokens = []
+    while True:
+        token = lexer.next()
+        if token.kind == EOF:
+            return tokens
+        tokens.append(token)
+
+
+class TestBasicTokens:
+    def test_name(self):
+        (token,) = all_tokens("foo")
+        assert token.kind == NAME and token.value == "foo"
+
+    def test_qualified_name(self):
+        (token,) = all_tokens("xs:integer")
+        assert token.value == "xs:integer"
+
+    def test_name_with_hyphen(self):
+        (token,) = all_tokens("distinct-values")
+        assert token.value == "distinct-values"
+
+    def test_variable(self):
+        (token,) = all_tokens("$var")
+        assert token.kind == VARIABLE and token.value == "var"
+
+    def test_integer(self):
+        (token,) = all_tokens("123")
+        assert token.kind == INTEGER and token.value == "123"
+
+    def test_decimal(self):
+        (token,) = all_tokens("1.5")
+        assert token.kind == DECIMAL
+
+    def test_scientific(self):
+        (token,) = all_tokens("1e3")
+        assert token.kind == DECIMAL
+
+    def test_string_double(self):
+        (token,) = all_tokens('"hi"')
+        assert token.kind == STRING and token.value == "hi"
+
+    def test_string_single(self):
+        (token,) = all_tokens("'hi'")
+        assert token.value == "hi"
+
+    def test_string_doubled_quote_escape(self):
+        (token,) = all_tokens('"a""b"')
+        assert token.value == 'a"b'
+
+    def test_unterminated_string(self):
+        with pytest.raises(XQuerySyntaxError):
+            all_tokens('"oops')
+
+    def test_positions_recorded(self):
+        tokens = all_tokens("a  b")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 3
+
+
+class TestSymbols:
+    @pytest.mark.parametrize("symbol", [
+        "(", ")", "[", "]", ",", "=", "!=", "<=", ">=", ":=", "//",
+        "..", "::", "|", "+", "-", "*", "/", "@",
+    ])
+    def test_symbol(self, symbol):
+        (token,) = all_tokens(symbol)
+        assert token.kind == SYMBOL and token.value == symbol
+
+    def test_double_slash_vs_slash(self):
+        tokens = all_tokens("a//b")
+        assert [t.value for t in tokens] == ["a", "//", "b"]
+
+    def test_range_dots_not_decimal(self):
+        tokens = all_tokens("a/..")
+        assert tokens[-1].value == ".."
+
+
+class TestComments:
+    def test_comment_skipped(self):
+        tokens = all_tokens("a (: comment :) b")
+        assert [t.value for t in tokens] == ["a", "b"]
+
+    def test_nested_comment(self):
+        tokens = all_tokens("a (: outer (: inner :) :) b")
+        assert len(tokens) == 2
+
+    def test_unterminated_comment(self):
+        with pytest.raises(XQuerySyntaxError):
+            all_tokens("a (: oops")
+
+
+class TestConstructorHeuristic:
+    def test_lt_after_operand_is_comparison(self):
+        tokens = all_tokens("price < 10")
+        assert tokens[1].kind == SYMBOL and tokens[1].value == "<"
+
+    def test_lt_at_start_is_constructor(self):
+        tokens = all_tokens("<tag")
+        assert tokens[0].kind == TAG_START and tokens[0].value == "tag"
+
+    def test_lt_after_return_is_constructor(self):
+        lexer = Lexer("return <r")
+        assert lexer.next().value == "return"
+        assert lexer.next().kind == TAG_START
+
+    def test_lt_after_paren_close_is_comparison(self):
+        tokens = all_tokens("(1) < 2")
+        assert any(t.kind == SYMBOL and t.value == "<" for t in tokens)
+
+    def test_lt_after_comma_is_constructor(self):
+        lexer = Lexer(", <x")
+        lexer.next()
+        assert lexer.next().kind == TAG_START
+
+    def test_lt_before_nonname_is_comparison(self):
+        tokens = all_tokens("< 5")
+        assert tokens[0].kind == SYMBOL

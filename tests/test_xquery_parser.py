@@ -1,0 +1,273 @@
+"""Parser tests: AST shapes, precedence, constructors, error cases."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import XQuerySyntaxError
+from repro.xquery import ast
+from repro.xquery.parser import parse_query
+
+
+class TestLiteralsAndPrimaries:
+    def test_integer_literal(self):
+        node = parse_query("42")
+        assert isinstance(node, ast.Literal) and node.value == 42
+
+    def test_decimal_literal(self):
+        node = parse_query("4.5")
+        assert node.value == 4.5
+
+    def test_string_literal(self):
+        node = parse_query("'hi'")
+        assert node.value == "hi"
+
+    def test_variable(self):
+        node = parse_query("$x")
+        assert isinstance(node, ast.VarRef) and node.name == "x"
+
+    def test_context_item(self):
+        assert isinstance(parse_query("."), ast.ContextItem)
+
+    def test_empty_sequence(self):
+        node = parse_query("()")
+        assert isinstance(node, ast.Sequence) and node.items == []
+
+    def test_comma_sequence(self):
+        node = parse_query("1, 2, 3")
+        assert isinstance(node, ast.Sequence) and len(node.items) == 3
+
+    def test_parenthesized_single(self):
+        assert isinstance(parse_query("(1)"), ast.Literal)
+
+
+class TestOperators:
+    def test_precedence_mul_over_add(self):
+        node = parse_query("1 + 2 * 3")
+        assert node.op == "+"
+        assert node.right.op == "*"
+
+    def test_comparison_lower_than_arithmetic(self):
+        node = parse_query("1 + 1 = 2")
+        assert isinstance(node, ast.Comparison)
+
+    def test_and_binds_tighter_than_or(self):
+        node = parse_query("1 or 2 and 3")
+        assert node.op == "or"
+        assert node.right.op == "and"
+
+    def test_value_comparison(self):
+        node = parse_query("$a eq $b")
+        assert node.op == "eq"
+
+    def test_node_is_comparison(self):
+        node = parse_query("$a is $b")
+        assert node.op == "is"
+
+    def test_range(self):
+        node = parse_query("1 to 5")
+        assert isinstance(node, ast.RangeExpr)
+
+    def test_unary_minus(self):
+        node = parse_query("-3")
+        assert isinstance(node, ast.UnaryOp) and node.op == "-"
+
+    def test_union(self):
+        node = parse_query("$a | $b")
+        assert node.op == "union"
+
+    def test_idiv_mod(self):
+        node = parse_query("7 idiv 2 mod 3")
+        assert node.op == "mod"
+
+    def test_cast_as(self):
+        node = parse_query("$x cast as xs:integer")
+        assert isinstance(node, ast.CastExpr)
+        assert node.type_name == "xs:integer"
+
+    def test_xs_constructor_function(self):
+        node = parse_query("xs:date('2003-01-01')")
+        assert isinstance(node, ast.CastExpr)
+        assert node.type_name == "xs:date"
+
+
+class TestPaths:
+    def test_absolute_path(self):
+        node = parse_query("/a/b")
+        assert isinstance(node, ast.PathExpr) and node.absolute
+        assert [step.test for step in node.steps] == ["a", "b"]
+
+    def test_descendant_shortcut(self):
+        node = parse_query("//a")
+        assert node.steps[0].axis == "descendant-or-self"
+
+    def test_relative_path(self):
+        node = parse_query("a/b/c")
+        assert not node.absolute and len(node.steps) == 3
+
+    def test_attribute_step(self):
+        node = parse_query("a/@id")
+        assert node.steps[1].axis == "attribute"
+        assert node.steps[1].test == "id"
+
+    def test_wildcard(self):
+        node = parse_query("a/*")
+        assert node.steps[1].test == "*"
+
+    def test_text_kind_test(self):
+        node = parse_query("a/text()")
+        assert node.steps[1].test == "text()"
+
+    def test_parent_step(self):
+        node = parse_query("a/..")
+        assert node.steps[1].axis == "parent"
+
+    def test_explicit_axis(self):
+        node = parse_query("descendant::b")
+        assert node.steps[0].axis == "descendant"
+
+    def test_predicates(self):
+        node = parse_query("a[1][@x = 'y']")
+        assert len(node.steps[0].predicates) == 2
+
+    def test_variable_rooted_path(self):
+        node = parse_query("$doc/a")
+        assert isinstance(node.steps[0], ast.VarRef)
+
+    def test_filter_on_parenthesized(self):
+        node = parse_query("($a/b)[1]")
+        assert isinstance(node, ast.Filter)
+
+    def test_function_step(self):
+        node = parse_query("doc('x')/a")
+        assert isinstance(node.steps[0], ast.FunctionCall)
+
+
+class TestFLWOR:
+    def test_simple_for(self):
+        node = parse_query("for $x in (1,2) return $x")
+        assert isinstance(node, ast.FLWOR)
+        assert isinstance(node.clauses[0], ast.ForClause)
+
+    def test_let(self):
+        node = parse_query("let $x := 1 return $x")
+        assert isinstance(node.clauses[0], ast.LetClause)
+
+    def test_for_at_position(self):
+        node = parse_query("for $x at $i in (1,2) return $i")
+        assert node.clauses[0].position_var == "i"
+
+    def test_multiple_bindings(self):
+        node = parse_query("for $a in 1, $b in 2 return $a")
+        assert len(node.clauses) == 2
+
+    def test_where(self):
+        node = parse_query("for $x in (1,2) where $x = 1 return $x")
+        assert node.where is not None
+
+    def test_order_by_modifiers(self):
+        node = parse_query(
+            "for $x in (1,2) order by $x descending empty greatest "
+            "return $x")
+        spec = node.order_by[0]
+        assert spec.descending and not spec.empty_least
+
+    def test_stable_order_by(self):
+        node = parse_query("for $x in (1,2) stable order by $x return $x")
+        assert node.order_by
+
+    def test_interleaved_where_for(self):
+        node = parse_query(
+            "for $a in (1,2) where $a = 1 for $b in (3,4) "
+            "where $b = 3 return $b")
+        kinds = [type(clause).__name__ for clause in node.clauses]
+        assert kinds == ["ForClause", "WhereClause", "ForClause"]
+        assert node.where is not None
+
+    def test_name_for_as_path_still_works(self):
+        # 'for' not followed by '$' is an ordinary name test.
+        node = parse_query("for")
+        assert isinstance(node, ast.PathExpr) or \
+            isinstance(node, ast.AxisStep)
+
+
+class TestQuantifiedAndIf:
+    def test_some(self):
+        node = parse_query("some $x in (1,2) satisfies $x = 2")
+        assert node.quantifier == "some"
+
+    def test_every_multi_binding(self):
+        node = parse_query(
+            "every $x in (1,2), $y in (3,4) satisfies $x < $y")
+        assert len(node.bindings) == 2
+
+    def test_if_then_else(self):
+        node = parse_query("if (1) then 'a' else 'b'")
+        assert isinstance(node, ast.IfExpr)
+
+    def test_if_requires_else(self):
+        with pytest.raises(XQuerySyntaxError):
+            parse_query("if (1) then 'a'")
+
+
+class TestConstructors:
+    def test_empty_element(self):
+        node = parse_query("<a/>")
+        assert isinstance(node, ast.ElementConstructor)
+        assert node.tag == "a" and node.content == []
+
+    def test_fixed_content(self):
+        node = parse_query("<a>text</a>")
+        assert node.content == ["text"]
+
+    def test_enclosed_expression(self):
+        node = parse_query("<a>{ 1 + 1 }</a>")
+        assert isinstance(node.content[0], ast.BinaryOp)
+
+    def test_nested_constructor(self):
+        node = parse_query("<a><b>x</b></a>")
+        assert isinstance(node.content[0], ast.ElementConstructor)
+
+    def test_attribute_with_enclosed_expr(self):
+        node = parse_query('<a id="{ $x }"/>')
+        name, parts = node.attributes[0]
+        assert name == "id"
+        assert isinstance(parts[0], ast.VarRef)
+
+    def test_mixed_fixed_and_enclosed_attr(self):
+        node = parse_query('<a id="v{ $x }w"/>')
+        __, parts = node.attributes[0]
+        assert parts[0] == "v" and parts[2] == "w"
+
+    def test_brace_escapes(self):
+        node = parse_query("<a>{{literal}}</a>")
+        assert node.content == ["{literal}"]
+
+    def test_entity_in_content(self):
+        node = parse_query("<a>&amp;</a>")
+        assert node.content == ["&"]
+
+    def test_mismatched_close_tag(self):
+        with pytest.raises(XQuerySyntaxError):
+            parse_query("<a></b>")
+
+    def test_constructor_inside_flwor(self):
+        node = parse_query(
+            "for $x in (1,2) return <r v=\"{ $x }\">{ $x }</r>")
+        assert isinstance(node.return_expr, ast.ElementConstructor)
+
+
+class TestErrors:
+    @pytest.mark.parametrize("bad", [
+        "for $x in",                 # incomplete FLWOR
+        "1 +",                       # dangling operator
+        "(1",                        # unclosed paren
+        "a[1",                       # unclosed predicate
+        "some $x in 1",              # missing satisfies
+        "$",                         # bare dollar
+        "1 2",                       # junk after query
+        "<a>{1}</a>}",               # junk after constructor
+    ])
+    def test_syntax_error(self, bad):
+        with pytest.raises(XQuerySyntaxError):
+            parse_query(bad)
