@@ -14,6 +14,8 @@ Commands
 ``workload``  list the 20 query types and their class applicability
 ``updates``   run the update-workload extension on one engine
 ``multiuser`` multi-user throughput harness
+``profile``   observed benchmark run: spans, counters, latency
+              percentiles and a ``BENCH_<name>.json`` artifact
 """
 
 from __future__ import annotations
@@ -52,6 +54,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "(sequential-scan baseline)")
     suite.add_argument("--format", default="tables",
                        choices=["tables", "csv", "json"])
+    suite.add_argument("--repeats", type=int, default=1,
+                       help="executions per query cell (first run is "
+                            "the cold time; extras feed warm stats)")
+    suite.add_argument("--obs-out", default=None, metavar="DIR",
+                       help="observe the run and write "
+                            "BENCH_suite.json under DIR")
 
     generate = sub.add_parser("generate", help="write a corpus to disk")
     generate.add_argument("class_key", choices=sorted(CLASSES_BY_KEY))
@@ -126,6 +134,33 @@ def build_parser() -> argparse.ArgumentParser:
     multiuser.add_argument("--units", type=int, default=60)
     multiuser.add_argument("--mode", default="threads",
                            choices=["threads", "interleaved"])
+    multiuser.add_argument("--obs-out", default=None, metavar="DIR",
+                           help="observe the run and write "
+                                "BENCH_multiuser.json under DIR")
+
+    profile = sub.add_parser(
+        "profile", help="observed benchmark run (obs subsystem): "
+                        "phase spans, counters, latency percentiles "
+                        "and a BENCH_<name>.json artifact")
+    profile.add_argument("--divisor", type=int, default=2000)
+    profile.add_argument("--scales", default="small")
+    profile.add_argument("--classes", default="dcsd,tcsd")
+    profile.add_argument("--engines", default=None,
+                         help="comma list of engine keys "
+                              "(native,xcolumn,xcollection,sqlserver; "
+                              "default: all)")
+    profile.add_argument("--queries", default=None,
+                         help="comma list of query ids "
+                              "(default: the experiment five)")
+    profile.add_argument("--repeats", type=int, default=3,
+                         help="executions per query cell (cold + "
+                              "warm; feeds the latency histograms)")
+    profile.add_argument("--name", default="profile",
+                         help="artifact name (BENCH_<name>.json)")
+    profile.add_argument("--obs-out", default=".", metavar="DIR",
+                         help="directory for the BENCH artifact")
+    profile.add_argument("--spans", default=None, metavar="PATH",
+                         help="also write the NDJSON span log here")
     return parser
 
 
@@ -168,6 +203,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_multiuser(args)
     elif args.command == "path":
         return _cmd_path(args)
+    elif args.command == "profile":
+        return _cmd_profile(args)
     return 0
 
 
@@ -195,12 +232,59 @@ def _cmd_path(args: argparse.Namespace) -> int:
 
 def _cmd_multiuser(args: argparse.Namespace) -> int:
     from .core.multiuser import run_multi_user
+    from .obs import Recorder, bench_summary, observing, \
+        write_bench_artifact
     engine = _load_engine(args.engine, args.class_key, args.units, 42)
-    result = run_multi_user(engine, args.class_key, args.units,
-                            streams=args.streams,
-                            queries_per_stream=args.queries,
-                            mode=args.mode)
+    recorder = Recorder(name="multiuser") if args.obs_out else None
+    if recorder is not None:
+        with observing(recorder):
+            result = run_multi_user(engine, args.class_key, args.units,
+                                    streams=args.streams,
+                                    queries_per_stream=args.queries,
+                                    mode=args.mode)
+    else:
+        result = run_multi_user(engine, args.class_key, args.units,
+                                streams=args.streams,
+                                queries_per_stream=args.queries,
+                                mode=args.mode)
     print(result.summary())
+    if recorder is not None:
+        summary = bench_summary(
+            "multiuser", recorder=recorder,
+            config={"engine": args.engine, "class": args.class_key,
+                    "streams": args.streams, "queries": args.queries,
+                    "units": args.units, "mode": args.mode},
+            extra={"multiuser": result.record()})
+        path = write_bench_artifact(summary, args.obs_out)
+        print(f"wrote {path}")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from .obs import bench_summary, format_profile, write_bench_artifact, \
+        write_ndjson
+    config = BenchmarkConfig(
+        scale_divisor=args.divisor,
+        scale_names=tuple(args.scales.split(",")),
+        class_keys=tuple(args.classes.split(",")),
+        engine_keys=(tuple(args.engines.split(","))
+                     if args.engines else None),
+        repeats=args.repeats,
+        observe=True)
+    if args.queries:
+        config.query_ids = tuple(qid.upper()
+                                 for qid in args.queries.split(","))
+    bench = XBench(config)
+    suite = bench.run_suite()
+    recorder = bench.recorder
+    print(format_profile(recorder, title=args.name))
+    summary = bench_summary(args.name, suite=suite, recorder=recorder,
+                            config=config.record())
+    path = write_bench_artifact(summary, args.obs_out)
+    print(f"\nwrote {path}")
+    if args.spans:
+        spans_path = write_ndjson(recorder.spans, args.spans)
+        print(f"wrote {spans_path}")
     return 0
 
 
@@ -239,8 +323,11 @@ def _cmd_suite(args: argparse.Namespace) -> int:
     config = BenchmarkConfig(scale_divisor=args.divisor,
                              scale_names=scales,
                              class_keys=tuple(args.classes.split(",")),
-                             with_indexes=not args.no_indexes)
-    suite = XBench(config).run_suite()
+                             with_indexes=not args.no_indexes,
+                             repeats=args.repeats,
+                             observe=args.obs_out is not None)
+    bench = XBench(config)
+    suite = bench.run_suite()
     if args.format == "csv":
         from .core.report import format_csv
         print(format_csv(suite))
@@ -249,6 +336,13 @@ def _cmd_suite(args: argparse.Namespace) -> int:
         print(format_json(suite))
     else:
         print(format_suite(suite, scale_names=scales))
+    if args.obs_out is not None:
+        from .obs import bench_summary, write_bench_artifact
+        summary = bench_summary("suite", suite=suite,
+                                recorder=bench.recorder,
+                                config=config.record())
+        path = write_bench_artifact(summary, args.obs_out)
+        print(f"wrote {path}")
     return 0
 
 

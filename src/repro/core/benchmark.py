@@ -16,7 +16,9 @@ report their performance".
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import statistics
+from contextlib import nullcontext
+from dataclasses import asdict, dataclass, field
 
 from ..databases import ALL_CLASSES, SCALES_BY_NAME
 from ..databases.base import DatabaseClass, Scale
@@ -24,6 +26,8 @@ from ..engines import Engine, make_engines
 from ..engines.native import NativeEngine
 from ..errors import BenchmarkError, UnsupportedConfiguration, \
     UnsupportedQuery
+from ..obs import Recorder, observing
+from ..obs import recorder as obs_hooks
 from ..workload import bind_params
 from ..workload.queries import EXPERIMENT_QUERIES
 from ..xml.serializer import serialize
@@ -54,15 +58,35 @@ class BenchmarkConfig:
     #: engines bulk-load by *reading the files* (the paper loads files;
     #: per-file I/O is what makes DC/MD loading dominate Experiment 1).
     corpus_dir: str | None = None
+    #: restrict the run to these engine keys (None = all four).
+    engine_keys: tuple[str, ...] | None = None
+    #: executions per query cell.  The first (cold) run is the paper's
+    #: Table 4-9 number; extra runs feed warm min/median stats and the
+    #: latency histograms instead of being discarded.
+    repeats: int = 1
+    #: record spans/counters/histograms into an obs Recorder.
+    observe: bool = False
+
+    def record(self) -> dict:
+        """The config as a JSON-ready dict (for BENCH_* artifacts)."""
+        return asdict(self)
 
 
 @dataclass
 class Cell:
-    """One (engine, class, scale) measurement."""
+    """One (engine, class, scale) measurement.
+
+    ``seconds`` stays the paper-faithful cold-run number; ``warm`` (set
+    when ``repeats > 1``) carries min/median of the extra runs, and
+    ``counters`` the per-operation obs counter deltas (set when a
+    recorder is installed).
+    """
 
     seconds: float | None = None        # None = unsupported ("-")
     correct: bool | None = None         # None = not checked / no oracle
     detail: str = ""
+    warm: dict | None = None
+    counters: dict | None = None
 
 
 @dataclass
@@ -162,14 +186,29 @@ QUERY_TABLE_TITLES = {
 class XBench:
     """Top-level benchmark driver."""
 
-    def __init__(self, config: BenchmarkConfig | None = None) -> None:
+    def __init__(self, config: BenchmarkConfig | None = None,
+                 recorder: Recorder | None = None) -> None:
         self.config = config or BenchmarkConfig()
         self.corpus = CorpusCache(self.config)
+        if recorder is None and self.config.observe:
+            recorder = Recorder(name="xbench")
+        #: obs Recorder of this driver (None = observability off).
+        self.recorder = recorder
 
     # -- engine preparation -----------------------------------------------------
 
     def _engines_oracle_first(self) -> list[Engine]:
         engines = make_engines()
+        if self.config.engine_keys is not None:
+            known = {engine.key for engine in engines}
+            unknown = [key for key in self.config.engine_keys
+                       if key not in known]
+            if unknown:
+                raise BenchmarkError(
+                    f"unknown engine key(s) {', '.join(sorted(unknown))!s}; "
+                    f"choose from {', '.join(sorted(known))}")
+            engines = [engine for engine in engines
+                       if engine.key in self.config.engine_keys]
         engines.sort(key=lambda e: not isinstance(e, NativeEngine))
         return engines
 
@@ -178,10 +217,27 @@ class XBench:
         """Load one engine with one scenario; returns (scenario, stats)."""
         scenario = self.corpus.scenario(class_key, scale_name)
         engine.check_supported(scenario.db_class, scale_name)
-        stats = engine.timed_load(scenario.db_class, scenario.texts)
-        if self.config.with_indexes:
-            engine.create_indexes(list(indexes_for(class_key)))
+        stats, __ = self._load_and_index(engine, scenario, scale_name)
         return scenario, stats
+
+    def _load_and_index(self, engine: Engine, scenario: Scenario,
+                        scale_name: str):
+        """Timed bulk load plus the Table 3 value indexes.
+
+        The single load/index path (shared by :meth:`load_engine` and
+        :meth:`_run_scenario`), and therefore the single place carrying
+        the phase spans; returns ``(stats, counter_delta)``.
+        """
+        class_key = scenario.db_class.key
+        attrs = {"engine": engine.key, "class": class_key,
+                 "scale": scale_name}
+        before = obs_hooks.counters_snapshot()
+        with obs_hooks.span("load", **attrs):
+            stats = engine.timed_load(scenario.db_class, scenario.texts)
+        if self.config.with_indexes:
+            with obs_hooks.span("index", **attrs):
+                engine.create_indexes(list(indexes_for(class_key)))
+        return stats, obs_hooks.counters_delta(before)
 
     # -- experiments ----------------------------------------------------------------
 
@@ -203,17 +259,33 @@ class XBench:
                     qid, f"Query {qid} Execution Time"), unit="ms")
             for qid in query_ids}
 
-        for class_key in self.config.class_keys:
-            for scale_name in self.config.scale_names:
-                self._run_scenario(class_key, scale_name, query_ids,
-                                   load_result, query_results)
+        scope = (observing(self.recorder) if self.recorder is not None
+                 else nullcontext())
+        with scope:
+            for class_key in self.config.class_keys:
+                for scale_name in self.config.scale_names:
+                    self._run_scenario(class_key, scale_name, query_ids,
+                                       load_result, query_results)
         return SuiteResult(load_result, query_results)
 
     def _run_scenario(self, class_key: str, scale_name: str,
                       query_ids: tuple[str, ...],
                       load_result: ExperimentResult,
                       query_results: dict) -> None:
-        scenario = self.corpus.scenario(class_key, scale_name)
+        # One umbrella span per scenario; the generate/load/index/query
+        # phase spans nest under it in the trace.
+        with obs_hooks.span("scenario", **{"class": class_key,
+                                           "scale": scale_name}):
+            self._run_scenario_inner(class_key, scale_name, query_ids,
+                                     load_result, query_results)
+
+    def _run_scenario_inner(self, class_key: str, scale_name: str,
+                            query_ids: tuple[str, ...],
+                            load_result: ExperimentResult,
+                            query_results: dict) -> None:
+        with obs_hooks.span("generate", **{"class": class_key,
+                                           "scale": scale_name}):
+            scenario = self.corpus.scenario(class_key, scale_name)
         oracles: dict[str, list[str]] = {}
 
         for engine in self._engines_oracle_first():
@@ -228,21 +300,29 @@ class XBench:
                                             scale_name).detail = str(exc)
                 continue
 
-            stats = engine.timed_load(scenario.db_class, scenario.texts)
-            if self.config.with_indexes:
-                engine.create_indexes(list(indexes_for(class_key)))
+            stats, load_counters = self._load_and_index(engine, scenario,
+                                                        scale_name)
             load_cell.seconds = stats.seconds
+            if load_counters:
+                load_cell.counters = load_counters
 
             for qid in query_ids:
                 cell = query_results[qid].cell(engine.row_label,
                                                class_key, scale_name)
                 params = bind_params(qid, class_key, scenario.units)
+                attrs = {"engine": engine.key, "class": class_key,
+                         "scale": scale_name, "qid": qid}
                 try:
-                    outcome = engine.timed_execute(qid, params)
+                    with obs_hooks.span("query", **attrs):
+                        outcome = engine.timed_execute(qid, params)
                 except UnsupportedQuery as exc:
                     cell.detail = str(exc)
                     continue
                 cell.seconds = outcome.seconds
+                if outcome.counters:
+                    cell.counters = outcome.counters
+                self._warm_runs(engine, qid, params, attrs, cell,
+                                outcome.seconds)
                 if not self.config.check_correctness:
                     continue
                 if isinstance(engine, NativeEngine):
@@ -251,8 +331,37 @@ class XBench:
                 elif qid in oracles:
                     cell.correct = outcome.values == oracles[qid]
                     if not cell.correct:
-                        cell.detail = ("result differs from native "
-                                       "oracle (mapping infidelity)")
+                        detail = ("result differs from native "
+                                  "oracle (mapping infidelity)")
+                        cell.detail = (f"{detail}; {cell.detail}"
+                                       if cell.detail else detail)
+
+    def _warm_runs(self, engine: Engine, qid: str, params: dict,
+                   attrs: dict, cell: Cell, cold_seconds: float) -> None:
+        """Extra (warm) executions behind ``repeats``.
+
+        The cold time stays the cell value (paper-faithful); the warm
+        min/median land in ``cell.warm``/``detail`` and every run feeds
+        the per-cell latency histogram.
+        """
+        key = (f"query/{qid}/{attrs['engine']}/"
+               f"{attrs['class']}/{attrs['scale']}")
+        obs_hooks.record_latency(key, cold_seconds)
+        if self.config.repeats <= 1:
+            return
+        samples: list[float] = []
+        for __ in range(self.config.repeats - 1):
+            with obs_hooks.span("query", warm=True, **attrs):
+                repeat = engine.timed_execute(qid, params)
+            samples.append(repeat.seconds)
+            obs_hooks.record_latency(key, repeat.seconds)
+        cell.warm = {"runs": len(samples),
+                     "min_seconds": min(samples),
+                     "median_seconds": statistics.median(samples)}
+        note = (f"warm min {min(samples) * 1000:.2f} ms, "
+                f"median {statistics.median(samples) * 1000:.2f} ms "
+                f"over {len(samples)} run(s)")
+        cell.detail = f"{cell.detail}; {note}" if cell.detail else note
 
     def run_bulk_load(self) -> ExperimentResult:
         """Experiment 1 only (Table 4)."""

@@ -22,23 +22,42 @@ import time
 from dataclasses import dataclass, field
 
 from ..errors import BenchmarkError, UnsupportedQuery
+from ..obs import LatencyHistogram
+from ..obs import recorder as obs_hooks
 from ..workload import bind_params
 from ..workload.queries import EXPERIMENT_QUERIES, QUERIES_BY_ID
 
 
 @dataclass
 class StreamResult:
-    """One client stream's outcome."""
+    """One client stream's outcome.
+
+    Latency statistics are backed by
+    :class:`~repro.obs.histogram.LatencyHistogram` — mean-only latency
+    hides tail behaviour, so the percentiles are first-class here.
+    """
 
     stream_id: int
     queries: int = 0
     errors: int = 0
     latencies: list = field(default_factory=list)
 
+    def latency_histogram(self) -> LatencyHistogram:
+        return LatencyHistogram(self.latencies)
+
     def mean_latency_ms(self) -> float:
         if not self.latencies:
             return 0.0
         return sum(self.latencies) * 1000.0 / len(self.latencies)
+
+    def p50_latency_ms(self) -> float:
+        return self.latency_histogram().p50 * 1000.0
+
+    def p95_latency_ms(self) -> float:
+        return self.latency_histogram().p95 * 1000.0
+
+    def p99_latency_ms(self) -> float:
+        return self.latency_histogram().p99 * 1000.0
 
     def max_latency_ms(self) -> float:
         return max(self.latencies, default=0.0) * 1000.0
@@ -61,17 +80,43 @@ class MultiUserResult:
             return 0.0
         return self.total_queries / self.wall_seconds
 
+    def latency_histogram(self) -> LatencyHistogram:
+        """All streams' latencies merged into one histogram."""
+        return LatencyHistogram.merged(
+            stream.latency_histogram() for stream in self.streams)
+
     def summary(self) -> str:
+        overall = self.latency_histogram()
         lines = [f"{len(self.streams)} streams, "
                  f"{self.total_queries} queries in "
                  f"{self.wall_seconds:.2f}s -> "
-                 f"{self.throughput_qps:.1f} q/s"]
+                 f"{self.throughput_qps:.1f} q/s",
+                 f"  overall: p50 {overall.p50 * 1000:.2f} ms, "
+                 f"p95 {overall.p95 * 1000:.2f} ms, "
+                 f"p99 {overall.p99 * 1000:.2f} ms, "
+                 f"max {overall.max * 1000:.2f} ms"]
         for stream in self.streams:
             lines.append(
                 f"  stream {stream.stream_id}: {stream.queries} queries, "
                 f"mean {stream.mean_latency_ms():.2f} ms, "
+                f"p50 {stream.p50_latency_ms():.2f} ms, "
+                f"p95 {stream.p95_latency_ms():.2f} ms, "
+                f"p99 {stream.p99_latency_ms():.2f} ms, "
                 f"max {stream.max_latency_ms():.2f} ms")
         return "\n".join(lines)
+
+    def record(self) -> dict:
+        """JSON-ready summary (for BENCH_* artifacts)."""
+        return {
+            "streams": len(self.streams),
+            "total_queries": self.total_queries,
+            "errors": sum(stream.errors for stream in self.streams),
+            "wall_seconds": self.wall_seconds,
+            "throughput_qps": self.throughput_qps,
+            "latency": self.latency_histogram().summary(),
+            "per_stream": [stream.latency_histogram().summary()
+                           for stream in self.streams],
+        }
 
 
 def _stream_plan(class_key: str, units: int, queries_per_stream: int,
@@ -110,16 +155,21 @@ def run_multi_user(engine, class_key: str, units: int,
     results = [StreamResult(index) for index in range(streams)]
 
     def run_one(index: int) -> None:
-        for qid, params in plans[index]:
-            start = time.perf_counter()
-            try:
-                engine.execute(qid, params)
-            except UnsupportedQuery:
-                results[index].errors += 1
-                continue
-            results[index].latencies.append(
-                time.perf_counter() - start)
-            results[index].queries += 1
+        # The span stack is thread-local, so each stream's span tree is
+        # independent of its siblings.
+        with obs_hooks.span("multiuser.stream", stream=index):
+            for qid, params in plans[index]:
+                start = time.perf_counter()
+                try:
+                    engine.execute(qid, params)
+                except UnsupportedQuery:
+                    results[index].errors += 1
+                    continue
+                elapsed = time.perf_counter() - start
+                results[index].latencies.append(elapsed)
+                results[index].queries += 1
+                obs_hooks.record_latency("multiuser.query", elapsed)
+                obs_hooks.count("multiuser.queries")
 
     wall_start = time.perf_counter()
     if mode == "threads":
@@ -145,9 +195,11 @@ def run_multi_user(engine, class_key: str, units: int,
                 except UnsupportedQuery:
                     results[index].errors += 1
                     continue
-                results[index].latencies.append(
-                    time.perf_counter() - start)
+                elapsed = time.perf_counter() - start
+                results[index].latencies.append(elapsed)
                 results[index].queries += 1
+                obs_hooks.record_latency("multiuser.query", elapsed)
+                obs_hooks.count("multiuser.queries")
     else:
         raise BenchmarkError(f"unknown multi-user mode {mode!r}")
 

@@ -96,21 +96,28 @@ def suite_records(suite: SuiteResult) -> list[dict]:
 
     One dict per measured (or unsupported) cell with keys: ``table``
     (load or query id), ``system``, ``class``, ``scale``, ``seconds``
-    (None for ``-`` cells) and ``correct``.
+    (None for ``-`` cells) and ``correct``.  Cells carrying warm-run
+    stats or obs counters (``repeats > 1`` / ``observe=True``) include
+    them under ``warm`` and ``counters``.
     """
     records = []
 
     def add(table: str, result: ExperimentResult) -> None:
         for (row_label, class_key, scale_name), cell in \
                 sorted(result.cells.items()):
-            records.append({
+            record = {
                 "table": table,
                 "system": row_label,
                 "class": CLASSES_BY_KEY[class_key].label,
                 "scale": scale_name,
                 "seconds": cell.seconds,
                 "correct": cell.correct,
-            })
+            }
+            if cell.warm:
+                record["warm"] = dict(cell.warm)
+            if cell.counters:
+                record["counters"] = dict(cell.counters)
+            records.append(record)
 
     add("load", suite.load)
     for qid, result in suite.queries.items():

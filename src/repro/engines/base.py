@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 
 from ..databases.base import DatabaseClass
 from ..errors import BenchmarkError, UnsupportedOperation
+from ..obs import recorder as _obs
 
 
 @dataclass
@@ -41,12 +42,15 @@ class QueryResult:
     ``rows_scanned`` counts relational rows touched by sequential scans
     (0 for fully indexed plans; None for engines without a relational
     substrate) — the observability hook behind the index ablation.
+    ``counters`` holds the per-query delta of every obs counter that
+    moved during execution (None unless a recorder is installed).
     """
 
     qid: str
     values: list[str]
     seconds: float
     rows_scanned: int | None = None
+    counters: dict | None = None
 
 
 class Engine(ABC):
@@ -127,12 +131,16 @@ class Engine(ABC):
         database = self.relational_database()
         if database is not None:
             database.reset_scan_counters()
+        before = _obs.counters_snapshot()
         start = time.perf_counter()
         values = self.execute(qid, params)
         elapsed = time.perf_counter() - start
         rows_scanned = (database.rows_scanned()
                         if database is not None else None)
-        return QueryResult(qid, values, elapsed, rows_scanned)
+        if rows_scanned:
+            _obs.count("relstore.rows_scanned", rows_scanned)
+        counters = _obs.counters_delta(before)
+        return QueryResult(qid, values, elapsed, rows_scanned, counters)
 
     def timed_load(self, db_class: DatabaseClass,
                    texts) -> LoadStats:
@@ -154,6 +162,13 @@ class Engine(ABC):
             stats.bytes = sum(len(text) for _, text in texts)
         self.db_class = db_class
         self.loaded = True
+        # Generic load counters — every engine parses its documents and
+        # LoadStats.rows already reports its architecture's side work
+        # (shredded rows / side-table inserts), so the hooks stay here
+        # rather than inside each engine's bulk_load.
+        _obs.count("engine.documents_parsed", stats.documents)
+        if stats.rows:
+            _obs.count("engine.rows_shredded", stats.rows)
         return stats
 
     def _require_loaded(self) -> None:

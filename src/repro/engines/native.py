@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from ..databases.base import DatabaseClass
 from ..errors import XQueryEvalError
+from ..obs.recorder import count as _obs_count
 from ..workload.queries import QUERIES_BY_ID
 from ..xml.nodes import Attribute, Document, Element, Node
 from ..xml.parser import parse_document
@@ -128,9 +129,12 @@ class NativeEngine(Engine):
             path, param_name, relative_query = plan
             index = self._indexes.get(path)
             if index is not None:
+                _obs_count("native.index_hits")
                 return self._run_accelerated(index, str(params[param_name]),
                                              relative_query, params)
 
+        _obs_count("native.collection_scans")
+        _obs_count("native.documents_visited", len(self._collection))
         query = QUERIES_BY_ID[qid]
         text = query.text_for(class_key)
         context_item = None

@@ -1,0 +1,73 @@
+"""repro.obs — the observability subsystem.
+
+Four pieces, one import surface:
+
+* :mod:`~repro.obs.tracer` — hierarchical wall-clock spans with a
+  thread-local span stack (multiuser streams trace independently);
+* :mod:`~repro.obs.metrics` — named counters and gauges;
+* :mod:`~repro.obs.histogram` — latency histograms with P50/P95/P99;
+* :mod:`~repro.obs.export` / :mod:`~repro.obs.profile` — NDJSON span
+  logs, ``BENCH_<name>.json`` artifacts and the text profile report.
+
+Instrumented layers call the hook functions (``span``, ``count``,
+``gauge``, ``record_latency``) from :mod:`~repro.obs.recorder`; all of
+them are no-ops until a :class:`Recorder` is installed, so the default
+benchmark path is observation-free.
+"""
+
+from .export import (
+    PHASE_SPANS,
+    SCHEMA,
+    bench_summary,
+    read_ndjson,
+    span_record,
+    suite_cells,
+    write_bench_artifact,
+    write_ndjson,
+)
+from .histogram import LatencyHistogram
+from .metrics import CounterSet, GaugeSet
+from .profile import format_profile
+from .recorder import (
+    Recorder,
+    active,
+    count,
+    counters_delta,
+    counters_snapshot,
+    gauge,
+    install,
+    observing,
+    record_latency,
+    span,
+    uninstall,
+)
+from .tracer import NULL_SPAN, Span, Tracer
+
+__all__ = [
+    "PHASE_SPANS",
+    "SCHEMA",
+    "bench_summary",
+    "read_ndjson",
+    "span_record",
+    "suite_cells",
+    "write_bench_artifact",
+    "write_ndjson",
+    "LatencyHistogram",
+    "CounterSet",
+    "GaugeSet",
+    "format_profile",
+    "Recorder",
+    "active",
+    "count",
+    "counters_delta",
+    "counters_snapshot",
+    "gauge",
+    "install",
+    "observing",
+    "record_latency",
+    "span",
+    "uninstall",
+    "NULL_SPAN",
+    "Span",
+    "Tracer",
+]

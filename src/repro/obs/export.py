@@ -1,0 +1,149 @@
+"""Machine-readable benchmark artifacts.
+
+Two formats:
+
+* **NDJSON span logs** — one JSON object per finished span, in
+  completion order; greppable and streamable.
+* **``BENCH_<name>.json``** — one summary document per benchmark run:
+  per-cell timings (cold + warm), per-phase spans (generate / load /
+  index / query), aggregate counters and gauges, and latency-histogram
+  percentiles.  This is the artifact CI uploads so the performance
+  trajectory accumulates across PRs.
+
+This module deliberately imports nothing from :mod:`repro.core` or
+:mod:`repro.engines` (they import the obs hooks); suite results are
+flattened by duck typing.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+from .recorder import Recorder
+from .tracer import Span
+
+#: Artifact schema identifier (bump on incompatible changes).
+SCHEMA = "xbench-obs/1"
+
+#: Span names that constitute the benchmark phases.
+PHASE_SPANS = ("generate", "load", "index", "query")
+
+
+# -- NDJSON span logs --------------------------------------------------------
+
+def span_record(span: Span) -> dict:
+    """One span as a flat JSON-ready dict."""
+    return {
+        "span_id": span.span_id,
+        "parent_id": span.parent_id,
+        "name": span.name,
+        "start": span.start,
+        "seconds": span.seconds,
+        "thread": span.thread,
+        "attrs": dict(span.attrs),
+    }
+
+
+def write_ndjson(spans: list[Span], path: str | pathlib.Path) -> pathlib.Path:
+    """Write spans as NDJSON (one object per line)."""
+    target = pathlib.Path(path)
+    with target.open("w", encoding="utf-8") as handle:
+        for span in spans:
+            handle.write(json.dumps(span_record(span)) + "\n")
+    return target
+
+
+def read_ndjson(path: str | pathlib.Path) -> list[dict]:
+    """Read an NDJSON span log back into dicts."""
+    records = []
+    with pathlib.Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+# -- BENCH_<name>.json summaries ---------------------------------------------
+
+def suite_cells(suite) -> list[dict]:
+    """Flatten a :class:`~repro.core.benchmark.SuiteResult` (duck-typed)
+    into one record per cell, including warm-run stats and counters."""
+    records: list[dict] = []
+
+    def add(table: str, result) -> None:
+        for (row_label, class_key, scale_name), cell in \
+                sorted(result.cells.items()):
+            record = {
+                "table": table,
+                "system": row_label,
+                "class": class_key,
+                "scale": scale_name,
+                "seconds": cell.seconds,
+                "correct": cell.correct,
+                "detail": cell.detail,
+            }
+            warm = getattr(cell, "warm", None)
+            if warm:
+                record["warm"] = dict(warm)
+            counters = getattr(cell, "counters", None)
+            if counters:
+                record["counters"] = dict(counters)
+            records.append(record)
+
+    add("load", suite.load)
+    for qid, result in suite.queries.items():
+        add(qid, result)
+    return records
+
+
+def phase_records(recorder: Recorder) -> list[dict]:
+    """Per-phase timings extracted from the recorded spans."""
+    records = []
+    for span in recorder.tracer.spans:
+        if span.name in PHASE_SPANS:
+            record = {"phase": span.name, "seconds": span.seconds}
+            record.update(span.attrs)
+            records.append(record)
+    return records
+
+
+def bench_summary(name: str, suite=None, recorder: Recorder | None = None,
+                  config: dict | None = None,
+                  extra: dict | None = None) -> dict:
+    """Build the ``BENCH_<name>.json`` document."""
+    summary: dict = {
+        "schema": SCHEMA,
+        "name": name,
+        "created_unix": time.time(),
+        "config": dict(config or {}),
+    }
+    if suite is not None:
+        summary["cells"] = suite_cells(suite)
+    if recorder is not None:
+        summary["phases"] = phase_records(recorder)
+        summary["counters"] = recorder.counters.snapshot()
+        summary["gauges"] = recorder.gauges.snapshot()
+        summary["histograms"] = {
+            hist_name: histogram.summary()
+            for hist_name, histogram in sorted(recorder.histograms.items())}
+        summary["spans_recorded"] = len(recorder.tracer.spans)
+    if extra:
+        summary.update(extra)
+    return summary
+
+
+def write_bench_artifact(summary: dict,
+                         directory: str | pathlib.Path = "."
+                         ) -> pathlib.Path:
+    """Write ``BENCH_<name>.json`` under ``directory``; returns the path."""
+    target_dir = pathlib.Path(directory)
+    target_dir.mkdir(parents=True, exist_ok=True)
+    safe_name = "".join(ch if ch.isalnum() or ch in "-_" else "_"
+                        for ch in summary.get("name", "run"))
+    path = target_dir / f"BENCH_{safe_name}.json"
+    path.write_text(json.dumps(summary, indent=2, sort_keys=False) + "\n",
+                    encoding="utf-8")
+    return path

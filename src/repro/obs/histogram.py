@@ -1,0 +1,102 @@
+"""Latency histograms with percentile statistics.
+
+Benchmark runs are small (hundreds to thousands of samples), so the
+histogram keeps the raw samples and computes exact percentiles by
+linear interpolation over the sorted data — the same definition as
+``numpy.percentile(..., method="linear")``.  Samples are stored in
+seconds; the ``summary`` view scales to milliseconds, the unit the
+paper's query tables use.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+
+class LatencyHistogram:
+    """Raw-sample reservoir with P50/P95/P99/max statistics."""
+
+    def __init__(self, samples: Iterable[float] | None = None) -> None:
+        self.samples: list[float] = list(samples or [])
+
+    def add(self, seconds: float) -> None:
+        self.samples.append(seconds)
+
+    def extend(self, seconds: Iterable[float]) -> None:
+        self.samples.extend(seconds)
+
+    def merge(self, other: "LatencyHistogram") -> "LatencyHistogram":
+        """Fold another histogram's samples into this one."""
+        self.samples.extend(other.samples)
+        return self
+
+    @classmethod
+    def merged(cls, histograms: Iterable["LatencyHistogram"]
+               ) -> "LatencyHistogram":
+        out = cls()
+        for histogram in histograms:
+            out.samples.extend(histogram.samples)
+        return out
+
+    # -- statistics ----------------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def max(self) -> float:
+        return max(self.samples, default=0.0)
+
+    @property
+    def mean(self) -> float:
+        if not self.samples:
+            return 0.0
+        return sum(self.samples) / len(self.samples)
+
+    def percentile(self, p: float) -> float:
+        """The p-th percentile (0..100), linear interpolation."""
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = (len(ordered) - 1) * (p / 100.0)
+        low = math.floor(rank)
+        high = math.ceil(rank)
+        if low == high:
+            return ordered[low]
+        fraction = rank - low
+        return ordered[low] + fraction * (ordered[high] - ordered[low])
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99)
+
+    def summary(self) -> dict:
+        """Percentile summary in milliseconds (artifact schema)."""
+        scale = 1000.0
+        return {
+            "count": self.count,
+            "mean_ms": self.mean * scale,
+            "p50_ms": self.p50 * scale,
+            "p95_ms": self.p95 * scale,
+            "p99_ms": self.p99 * scale,
+            "max_ms": self.max * scale,
+        }
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<LatencyHistogram n={self.count} "
+                f"p50={self.p50 * 1000:.2f}ms>")

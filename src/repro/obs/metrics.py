@@ -1,0 +1,71 @@
+"""Counters and gauges.
+
+A :class:`CounterSet` is a thread-safe name -> integer map.  The hot
+layers never touch it directly; they call the hook functions in
+:mod:`repro.obs.recorder`, which are no-ops until a recorder is
+installed.  ``snapshot``/``delta`` support per-query attribution: the
+driver snapshots before a timed execution and stores the difference in
+the result cell.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class CounterSet:
+    """Monotonic named counters."""
+
+    def __init__(self) -> None:
+        self._counts: dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    def add(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counts[name] = self._counts.get(name, 0) + amount
+
+    def get(self, name: str) -> int:
+        return self._counts.get(name, 0)
+
+    def snapshot(self) -> dict[str, int]:
+        """A point-in-time copy of every counter."""
+        with self._lock:
+            return dict(self._counts)
+
+    def delta(self, before: dict[str, int]) -> dict[str, int]:
+        """Counters that moved since ``before`` (a snapshot)."""
+        current = self.snapshot()
+        changed = {}
+        for name, value in current.items():
+            difference = value - before.get(name, 0)
+            if difference:
+                changed[name] = difference
+        return changed
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __bool__(self) -> bool:
+        return bool(self._counts)
+
+
+class GaugeSet:
+    """Last-value-wins named gauges (corpus sizes, row totals, ...)."""
+
+    def __init__(self) -> None:
+        self._values: dict[str, float] = {}
+        self._lock = threading.Lock()
+
+    def set(self, name: str, value: float) -> None:
+        with self._lock:
+            self._values[name] = value
+
+    def get(self, name: str, default: float = 0.0) -> float:
+        return self._values.get(name, default)
+
+    def snapshot(self) -> dict[str, float]:
+        with self._lock:
+            return dict(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)

@@ -1,0 +1,107 @@
+"""Text profile report renderer (in the style of ``core/report.py``).
+
+Turns one :class:`~repro.obs.recorder.Recorder` into the human-readable
+companion of the ``BENCH_<name>.json`` artifact: per-phase timings
+aggregated from the spans, counter totals, gauges and latency
+percentiles, each as a right-justified ASCII table.
+"""
+
+from __future__ import annotations
+
+from .export import PHASE_SPANS
+from .recorder import Recorder
+
+
+def _format_table(headers: list[str], rows: list[list[str]]) -> str:
+    widths = [max(len(row[index]) for row in [headers] + rows)
+              for index in range(len(headers))]
+
+    def format_row(row: list[str]) -> str:
+        cells = [row[0].ljust(widths[0])]
+        cells.extend(value.rjust(width)
+                     for value, width in zip(row[1:], widths[1:]))
+        return "  ".join(cells).rstrip()
+
+    lines = [format_row(headers),
+             "-" * (sum(widths) + 2 * (len(widths) - 1))]
+    lines.extend(format_row(row) for row in rows)
+    return "\n".join(lines)
+
+
+def _phase_table(recorder: Recorder) -> str:
+    # Aggregate spans by (phase, engine, class, scale, qid): the driver
+    # emits one span per phase per engine per scenario, but repeated
+    # queries produce several, hence the calls column.
+    totals: dict[tuple, list[float]] = {}
+    for span in recorder.tracer.spans:
+        if span.name not in PHASE_SPANS:
+            continue
+        key = (span.name,
+               str(span.attrs.get("engine", "")),
+               str(span.attrs.get("class", "")),
+               str(span.attrs.get("scale", "")),
+               str(span.attrs.get("qid", "")))
+        totals.setdefault(key, []).append(span.seconds)
+
+    order = {name: index for index, name in enumerate(PHASE_SPANS)}
+    rows = []
+    for key in sorted(totals, key=lambda k: (k[2], k[3], k[1],
+                                             order.get(k[0], 99), k[4])):
+        samples = totals[key]
+        phase, engine, class_key, scale, qid = key
+        rows.append([f"{class_key}/{scale}" if class_key else "-",
+                     engine or "-", phase, qid or "-",
+                     str(len(samples)),
+                     f"{sum(samples):.4f}"])
+    if not rows:
+        return "Phase timings: no phase spans recorded"
+    return ("Phase timings (in Seconds)\n"
+            + _format_table(["scenario", "engine", "phase", "qid",
+                             "calls", "seconds"], rows))
+
+
+def _counter_table(recorder: Recorder) -> str:
+    counters = recorder.counters.snapshot()
+    if not counters:
+        return "Counters: none recorded"
+    rows = [[name, str(value)]
+            for name, value in sorted(counters.items())]
+    return "Counters\n" + _format_table(["counter", "value"], rows)
+
+
+def _gauge_table(recorder: Recorder) -> str:
+    gauges = recorder.gauges.snapshot()
+    if not gauges:
+        return ""
+    rows = [[name, f"{value:g}"]
+            for name, value in sorted(gauges.items())]
+    return "Gauges\n" + _format_table(["gauge", "value"], rows)
+
+
+def _histogram_table(recorder: Recorder) -> str:
+    if not recorder.histograms:
+        return "Latency percentiles: no repeated runs recorded"
+    rows = []
+    for name, histogram in sorted(recorder.histograms.items()):
+        summary = histogram.summary()
+        rows.append([name, str(summary["count"]),
+                     f"{summary['p50_ms']:.2f}",
+                     f"{summary['p95_ms']:.2f}",
+                     f"{summary['p99_ms']:.2f}",
+                     f"{summary['max_ms']:.2f}"])
+    return ("Latency percentiles (in Milliseconds)\n"
+            + _format_table(["histogram", "count", "p50", "p95", "p99",
+                             "max"], rows))
+
+
+def format_profile(recorder: Recorder, title: str = "") -> str:
+    """The full profile report for one recorded session."""
+    parts = [f"Profile Report: {title or recorder.name}",
+             _phase_table(recorder),
+             _counter_table(recorder)]
+    gauges = _gauge_table(recorder)
+    if gauges:
+        parts.append(gauges)
+    parts.append(_histogram_table(recorder))
+    parts.append(f"{len(recorder.tracer.spans)} span(s) recorded")
+    return "\n\n".join(parts)

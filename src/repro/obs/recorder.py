@@ -1,0 +1,131 @@
+"""The recorder: one observation session, plus the global hook API.
+
+Instrumented layers (the XQuery evaluator, the relstore, the engines)
+never import a concrete recorder; they call the module-level hook
+functions below.  While no recorder is installed — the default — every
+hook is a single global read plus a ``None`` check, so observability
+costs effectively nothing when off and the engines' core logic stays
+free of bookkeeping.
+
+Usage::
+
+    recorder = Recorder()
+    with observing(recorder):
+        ...                      # spans/counters/latencies accumulate
+    recorder.tracer.spans        # the trace
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+from .histogram import LatencyHistogram
+from .metrics import CounterSet, GaugeSet
+from .tracer import NULL_SPAN, Span, Tracer
+
+
+class Recorder:
+    """Spans + counters + gauges + latency histograms of one session."""
+
+    def __init__(self, name: str = "obs") -> None:
+        self.name = name
+        self.tracer = Tracer()
+        self.counters = CounterSet()
+        self.gauges = GaugeSet()
+        self.histograms: dict[str, LatencyHistogram] = {}
+        self._lock = threading.Lock()
+
+    def histogram(self, name: str) -> LatencyHistogram:
+        """The named histogram, created on first use."""
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            with self._lock:
+                histogram = self.histograms.setdefault(
+                    name, LatencyHistogram())
+        return histogram
+
+    @property
+    def spans(self) -> list[Span]:
+        return self.tracer.spans
+
+
+#: The installed recorder; ``None`` means observability is off.
+_active: Recorder | None = None
+
+
+def install(recorder: Recorder) -> None:
+    """Route the hook API into ``recorder``."""
+    global _active
+    _active = recorder
+
+
+def uninstall() -> None:
+    """Disable observability (hooks become no-ops again)."""
+    global _active
+    _active = None
+
+
+def active() -> Recorder | None:
+    """The installed recorder, if any."""
+    return _active
+
+
+@contextmanager
+def observing(recorder: Recorder):
+    """Install ``recorder`` for the duration of a block, then restore
+    whatever was installed before (sessions may nest)."""
+    global _active
+    previous = _active
+    _active = recorder
+    try:
+        yield recorder
+    finally:
+        _active = previous
+
+
+# -- hook API (what the instrumented layers call) ---------------------------
+
+def span(name: str, **attrs):
+    """A tracing span; the shared no-op when no recorder is installed."""
+    recorder = _active
+    if recorder is None:
+        return NULL_SPAN
+    return recorder.tracer.span(name, **attrs)
+
+
+def count(name: str, amount: int = 1) -> None:
+    """Bump a counter; no-op when no recorder is installed."""
+    recorder = _active
+    if recorder is not None:
+        recorder.counters.add(name, amount)
+
+
+def gauge(name: str, value: float) -> None:
+    """Set a gauge; no-op when no recorder is installed."""
+    recorder = _active
+    if recorder is not None:
+        recorder.gauges.set(name, value)
+
+
+def record_latency(name: str, seconds: float) -> None:
+    """Add one sample to a latency histogram; no-op when disabled."""
+    recorder = _active
+    if recorder is not None:
+        recorder.histogram(name).add(seconds)
+
+
+def counters_snapshot() -> dict[str, int] | None:
+    """Snapshot for per-operation attribution; None when disabled."""
+    recorder = _active
+    if recorder is None:
+        return None
+    return recorder.counters.snapshot()
+
+
+def counters_delta(before: dict[str, int] | None) -> dict[str, int] | None:
+    """Counters moved since ``before``; None when disabled."""
+    recorder = _active
+    if recorder is None or before is None:
+        return None
+    return recorder.counters.delta(before)

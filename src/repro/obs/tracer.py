@@ -1,0 +1,142 @@
+"""Hierarchical tracing spans.
+
+A :class:`Tracer` records wall-clock spans ("parse", "xquery.eval", ...)
+as a tree: each thread keeps its own stack of open spans, so concurrent
+multiuser streams trace independently without interleaving each other's
+parent/child links.  Finished spans land in one flat, lock-protected
+list in completion order; the tree structure survives in ``parent_id``.
+
+The module is written for near-zero disabled cost: callers go through
+:func:`repro.obs.recorder.span`, which returns the shared
+:data:`NULL_SPAN` singleton when no recorder is installed — one global
+read and a ``None`` check, no allocation.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Span:
+    """One finished (or open) span."""
+
+    span_id: int
+    parent_id: int | None
+    name: str
+    start: float
+    end: float | None = None
+    attrs: dict = field(default_factory=dict)
+    thread: str = ""
+
+    @property
+    def seconds(self) -> float:
+        """Duration (0.0 while the span is still open)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+
+class _NullSpan:
+    """The do-nothing span returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set(self, **attrs) -> "_NullSpan":
+        return self
+
+
+#: Shared no-op span — identity-comparable so tests can assert the
+#: disabled path short-circuits.
+NULL_SPAN = _NullSpan()
+
+
+class _LiveSpan:
+    """Context manager recording one span into a tracer."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict) -> None:
+        self._tracer = tracer
+        self._span = Span(span_id=next(tracer._ids),
+                          parent_id=tracer._current_id(),
+                          name=name,
+                          start=time.perf_counter(),
+                          attrs=attrs,
+                          thread=threading.current_thread().name)
+
+    def set(self, **attrs) -> "_LiveSpan":
+        """Attach attributes to the open span."""
+        self._span.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "_LiveSpan":
+        self._tracer._push(self._span.span_id)
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self._span.end = time.perf_counter()
+        self._tracer._pop()
+        self._tracer._finish(self._span)
+        return False
+
+
+class Tracer:
+    """Thread-safe span recorder with per-thread span stacks."""
+
+    def __init__(self) -> None:
+        self.spans: list[Span] = []
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._stacks = threading.local()
+
+    def span(self, name: str, **attrs) -> _LiveSpan:
+        """Open a span; use as a context manager."""
+        return _LiveSpan(self, name, attrs)
+
+    # -- per-thread stack ----------------------------------------------------
+
+    def _stack(self) -> list[int]:
+        stack = getattr(self._stacks, "stack", None)
+        if stack is None:
+            stack = self._stacks.stack = []
+        return stack
+
+    def _current_id(self) -> int | None:
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def _push(self, span_id: int) -> None:
+        self._stack().append(span_id)
+
+    def _pop(self) -> None:
+        stack = self._stack()
+        if stack:
+            stack.pop()
+
+    def _finish(self, span: Span) -> None:
+        with self._lock:
+            self.spans.append(span)
+
+    # -- queries ------------------------------------------------------------
+
+    def named(self, name: str) -> list[Span]:
+        """Finished spans with the given name."""
+        return [span for span in self.spans if span.name == name]
+
+    def children_of(self, span: Span) -> list[Span]:
+        """Finished direct children of ``span``."""
+        return [child for child in self.spans
+                if child.parent_id == span.span_id]
+
+    def __len__(self) -> int:
+        return len(self.spans)

@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Iterator, Optional, Sequence
 
 from ..errors import SchemaError
+from ..obs.recorder import count as _obs_count
 from .index import HashIndex, SortedIndex
 from .operators import index_lookup, index_range, seq_scan
 from .table import Column, Table
@@ -94,7 +95,9 @@ class Database:
         table = self.table(table_name)
         index = self.index_for(table_name, column_name)
         if index is not None:
+            _obs_count("relstore.index_lookups")
             return index_lookup(table, index, value)
+        _obs_count("relstore.seq_scans")
         return seq_scan(table,
                         lambda row: row.get(column_name) == value)
 
@@ -105,7 +108,9 @@ class Database:
         table = self.table(table_name)
         index = self.index_for(table_name, column_name)
         if isinstance(index, SortedIndex):
+            _obs_count("relstore.index_range_scans")
             return index_range(table, index, low, high)
+        _obs_count("relstore.seq_scans")
 
         def in_range(row: dict) -> bool:
             value = row.get(column_name)
@@ -121,6 +126,7 @@ class Database:
 
     def scan(self, table_name: str) -> Iterator[dict]:
         """Full scan of a table."""
+        _obs_count("relstore.table_scans")
         return seq_scan(self.table(table_name))
 
     # -- stats ----------------------------------------------------------------

@@ -12,6 +12,7 @@ import functools
 import math
 
 from ..errors import XQueryEvalError, XQueryTypeError
+from ..obs.recorder import count as _obs_count
 from ..xml.nodes import (
     Attribute,
     Comment,
@@ -363,6 +364,7 @@ def _eval_step(step: object, input_sequence: list, context: Context,
 
 def _apply_step_predicates(nodes: list, step: ast.AxisStep,
                            context: Context) -> list:
+    _obs_count("xquery.nodes_visited", len(nodes))
     current = nodes
     for predicate in step.predicates:
         current = _filter_by_predicate(current, predicate, context)
@@ -371,6 +373,7 @@ def _apply_step_predicates(nodes: list, step: ast.AxisStep,
 
 def _filter_by_predicate(sequence: list, predicate: object,
                          context: Context) -> list:
+    _obs_count("xquery.predicate_evals", len(sequence))
     kept: list = []
     size = len(sequence)
     for position, item in enumerate(sequence, start=1):

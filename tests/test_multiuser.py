@@ -53,6 +53,21 @@ class TestMultiUser:
             assert stream.mean_latency_ms() > 0
             assert stream.max_latency_ms() >= stream.mean_latency_ms()
 
+    def test_latency_percentiles(self, small_corpora):
+        """Tail latency is first-class: P50/P95/P99 per stream and
+        merged across streams, ordered as percentiles must be."""
+        engine = load(NativeEngine, small_corpora["tcmd"])
+        result = run_multi_user(engine, "tcmd", 30, streams=2,
+                                queries_per_stream=5,
+                                mode="interleaved")
+        for stream in result.streams:
+            p50, p95 = stream.p50_latency_ms(), stream.p95_latency_ms()
+            p99, top = stream.p99_latency_ms(), stream.max_latency_ms()
+            assert 0 < p50 <= p95 <= p99 <= top
+        overall = result.latency_histogram()
+        assert overall.count == result.total_queries
+        assert overall.p50 <= overall.p99 <= overall.max
+
     def test_summary_renders(self, small_corpora):
         engine = load(NativeEngine, small_corpora["dcmd"])
         result = run_multi_user(engine, "dcmd", 30, streams=2,
@@ -60,6 +75,18 @@ class TestMultiUser:
                                 mode="interleaved")
         text = result.summary()
         assert "2 streams" in text and "q/s" in text
+        assert "p50" in text and "p95" in text and "p99" in text
+
+    def test_record_is_json_ready(self, small_corpora):
+        import json
+        engine = load(NativeEngine, small_corpora["dcmd"])
+        result = run_multi_user(engine, "dcmd", 30, streams=2,
+                                queries_per_stream=2,
+                                mode="interleaved")
+        record = json.loads(json.dumps(result.record()))
+        assert record["total_queries"] == 4
+        assert record["latency"]["count"] == 4
+        assert len(record["per_stream"]) == 2
 
     def test_unknown_mode_rejected(self, small_corpora):
         engine = load(NativeEngine, small_corpora["dcmd"])

@@ -1,0 +1,336 @@
+"""Observability subsystem tests: tracer, histograms, export, driver."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro import obs
+from repro.core import BenchmarkConfig, XBench
+from repro.obs import (
+    NULL_SPAN,
+    LatencyHistogram,
+    Recorder,
+    bench_summary,
+    format_profile,
+    observing,
+    read_ndjson,
+    write_bench_artifact,
+    write_ndjson,
+)
+from repro.obs import recorder as hooks
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_recorder():
+    """Every test starts and ends with observability off."""
+    assert hooks.active() is None
+    yield
+    hooks.uninstall()
+
+
+class TestTracer:
+    def test_span_nesting(self):
+        recorder = Recorder()
+        with observing(recorder):
+            with obs.span("outer"):
+                with obs.span("inner"):
+                    pass
+                with obs.span("sibling"):
+                    pass
+        spans = {span.name: span for span in recorder.spans}
+        assert set(spans) == {"outer", "inner", "sibling"}
+        assert spans["outer"].parent_id is None
+        assert spans["inner"].parent_id == spans["outer"].span_id
+        assert spans["sibling"].parent_id == spans["outer"].span_id
+        assert spans["outer"].seconds >= spans["inner"].seconds
+
+    def test_span_attrs_and_set(self):
+        recorder = Recorder()
+        with observing(recorder):
+            with obs.span("load", engine="native") as span:
+                span.set(documents=7)
+        [span] = recorder.spans
+        assert span.attrs == {"engine": "native", "documents": 7}
+
+    def test_thread_local_stacks(self):
+        """Concurrent streams build independent span trees."""
+        recorder = Recorder()
+
+        def stream(index: int) -> None:
+            with obs.span("stream", stream=index):
+                with obs.span("query", stream=index):
+                    pass
+
+        with observing(recorder):
+            workers = [threading.Thread(target=stream, args=(i,))
+                       for i in range(4)]
+            for worker in workers:
+                worker.start()
+            for worker in workers:
+                worker.join()
+
+        streams = {span.attrs["stream"]: span
+                   for span in recorder.tracer.named("stream")}
+        for query in recorder.tracer.named("query"):
+            parent = streams[query.attrs["stream"]]
+            assert query.parent_id == parent.span_id
+            assert query.thread == parent.thread
+
+    def test_exception_still_closes_span(self):
+        recorder = Recorder()
+        with observing(recorder):
+            with pytest.raises(ValueError):
+                with obs.span("boom"):
+                    raise ValueError("x")
+        [span] = recorder.spans
+        assert span.name == "boom" and span.end is not None
+
+
+class TestDisabledMode:
+    def test_span_short_circuits_to_shared_noop(self):
+        assert obs.span("anything") is NULL_SPAN
+        assert obs.span("other", key="value") is NULL_SPAN
+        with obs.span("nested") as span:
+            assert span is NULL_SPAN
+            span.set(attr=1)
+
+    def test_hooks_are_noops(self):
+        hooks.count("x", 5)
+        hooks.gauge("g", 1.0)
+        hooks.record_latency("h", 0.1)
+        assert hooks.counters_snapshot() is None
+        assert hooks.counters_delta(None) is None
+        assert hooks.active() is None
+
+    def test_uninstalled_after_observing_block(self):
+        recorder = Recorder()
+        with observing(recorder):
+            assert hooks.active() is recorder
+        assert hooks.active() is None
+
+    def test_observing_nests(self):
+        outer, inner = Recorder(), Recorder()
+        with observing(outer):
+            with observing(inner):
+                hooks.count("x")
+            hooks.count("y")
+        assert inner.counters.get("x") == 1
+        assert outer.counters.get("x") == 0
+        assert outer.counters.get("y") == 1
+
+
+class TestHistogram:
+    def test_percentiles_known_inputs(self):
+        histogram = LatencyHistogram(float(i) for i in range(1, 101))
+        assert histogram.p50 == pytest.approx(50.5)
+        assert histogram.p95 == pytest.approx(95.05)
+        assert histogram.p99 == pytest.approx(99.01)
+        assert histogram.max == 100.0
+        assert histogram.mean == pytest.approx(50.5)
+        assert histogram.percentile(0) == 1.0
+        assert histogram.percentile(100) == 100.0
+
+    def test_small_samples(self):
+        assert LatencyHistogram().p99 == 0.0
+        assert LatencyHistogram([2.0]).p50 == 2.0
+        histogram = LatencyHistogram([1.0, 3.0])
+        assert histogram.p50 == pytest.approx(2.0)
+
+    def test_merge(self):
+        merged = LatencyHistogram.merged(
+            [LatencyHistogram([1.0]), LatencyHistogram([3.0, 5.0])])
+        assert merged.count == 3 and merged.max == 5.0
+
+    def test_summary_in_milliseconds(self):
+        summary = LatencyHistogram([0.010, 0.020]).summary()
+        assert summary["count"] == 2
+        assert summary["p50_ms"] == pytest.approx(15.0)
+        assert summary["max_ms"] == pytest.approx(20.0)
+
+
+class TestCounters:
+    def test_snapshot_delta(self):
+        recorder = Recorder()
+        with observing(recorder):
+            hooks.count("a", 2)
+            before = hooks.counters_snapshot()
+            hooks.count("a", 3)
+            hooks.count("b")
+            delta = hooks.counters_delta(before)
+        assert delta == {"a": 3, "b": 1}
+        assert recorder.counters.get("a") == 5
+
+    def test_gauges(self):
+        recorder = Recorder()
+        with observing(recorder):
+            hooks.gauge("rows", 10)
+            hooks.gauge("rows", 20)
+        assert recorder.gauges.get("rows") == 20
+
+
+class TestExport:
+    def test_ndjson_round_trip(self, tmp_path):
+        recorder = Recorder()
+        with observing(recorder):
+            with obs.span("load", engine="native"):
+                with obs.span("parse"):
+                    pass
+        path = write_ndjson(recorder.spans, tmp_path / "spans.ndjson")
+        records = read_ndjson(path)
+        assert len(records) == len(recorder.spans) == 2
+        by_name = {record["name"]: record for record in records}
+        assert by_name["parse"]["parent_id"] == by_name["load"]["span_id"]
+        assert by_name["load"]["attrs"] == {"engine": "native"}
+        assert all(record["seconds"] >= 0 for record in records)
+
+    def test_bench_summary_round_trip(self, tmp_path):
+        recorder = Recorder()
+        with observing(recorder):
+            hooks.count("xquery.nodes_visited", 7)
+            hooks.record_latency("query/Q5", 0.002)
+            with obs.span("load", engine="native"):
+                pass
+        summary = bench_summary("unit", recorder=recorder,
+                                config={"divisor": 1000})
+        path = write_bench_artifact(summary, tmp_path)
+        assert path.name == "BENCH_unit.json"
+        loaded = json.loads(path.read_text())
+        assert loaded["schema"] == obs.SCHEMA
+        assert loaded["config"] == {"divisor": 1000}
+        assert loaded["counters"] == {"xquery.nodes_visited": 7}
+        assert loaded["phases"][0]["phase"] == "load"
+        assert loaded["histograms"]["query/Q5"]["count"] == 1
+
+    def test_artifact_name_sanitized(self, tmp_path):
+        path = write_bench_artifact({"name": "a b/c"}, tmp_path)
+        assert path.name == "BENCH_a_b_c.json"
+
+
+def _observed_bench(**overrides):
+    defaults = dict(scale_divisor=10_000, scale_names=("small",),
+                    class_keys=("dcsd",), seed=3, observe=True,
+                    repeats=3)
+    defaults.update(overrides)
+    return XBench(BenchmarkConfig(**defaults))
+
+
+class TestDriverIntegration:
+    @pytest.fixture(scope="class")
+    def observed_run(self):
+        bench = _observed_bench()
+        suite = bench.run_suite(("Q5", "Q8"))
+        return bench, suite
+
+    def test_artifact_schema(self, observed_run, tmp_path):
+        """A suite run emits a well-formed BENCH_*.json: per-phase
+        timings, >= 3 distinct counters, and query percentiles."""
+        bench, suite = observed_run
+        summary = bench_summary("itest", suite=suite,
+                                recorder=bench.recorder,
+                                config=bench.config.record())
+        path = write_bench_artifact(summary, tmp_path)
+        loaded = json.loads(path.read_text())
+
+        # Per-phase timings for the native engine on dcsd/small.
+        native_phases = {record["phase"] for record in loaded["phases"]
+                         if record.get("engine") == "native"
+                         and record.get("class") == "dcsd"
+                         and record.get("scale") == "small"}
+        assert {"load", "index", "query"} <= native_phases
+
+        # At least three distinct evaluator/storage counters.
+        interesting = {name for name in loaded["counters"]
+                       if name.startswith(("xquery.", "native.",
+                                           "relstore.", "engine."))}
+        assert len(interesting) >= 3
+
+        # P50/P95/P99 for a repeated query, with all repeats counted.
+        key = "query/Q5/native/dcsd/small"
+        assert key in loaded["histograms"]
+        histogram = loaded["histograms"][key]
+        assert histogram["count"] == 3
+        for field in ("p50_ms", "p95_ms", "p99_ms", "max_ms"):
+            assert histogram[field] > 0
+
+    def test_cold_and_warm_reported(self, observed_run):
+        bench, suite = observed_run
+        cell = suite.queries["Q5"].cell("X-Hive", "dcsd", "small")
+        assert cell.seconds is not None
+        assert cell.warm is not None and cell.warm["runs"] == 2
+        assert cell.warm["min_seconds"] <= cell.warm["median_seconds"]
+        assert "warm min" in cell.detail
+        assert cell.correct is True        # oracle uses the cold run
+
+    def test_per_cell_counters(self, observed_run):
+        bench, suite = observed_run
+        query_cell = suite.queries["Q5"].cell("X-Hive", "dcsd", "small")
+        assert query_cell.counters
+        assert any(name.startswith(("xquery.", "native."))
+                   for name in query_cell.counters)
+        load_cell = suite.load.cell("SQL Server", "dcsd", "small")
+        assert load_cell.counters
+        assert load_cell.counters.get("engine.documents_parsed", 0) > 0
+
+    def test_profile_report_renders(self, observed_run):
+        bench, __ = observed_run
+        text = format_profile(bench.recorder, title="itest")
+        assert "Profile Report: itest" in text
+        assert "Phase timings (in Seconds)" in text
+        assert "Counters" in text
+        assert "Latency percentiles (in Milliseconds)" in text
+        assert "query" in text and "load" in text
+
+    def test_engine_filter(self):
+        bench = _observed_bench(engine_keys=("native",), repeats=1)
+        suite = bench.run_suite(("Q5",))
+        rows = {row for row, __, __ in suite.load.cells}
+        assert rows == {"X-Hive"}
+
+    def test_unknown_engine_key_rejected(self):
+        from repro.errors import BenchmarkError
+        bench = _observed_bench(engine_keys=("native", "bogus"))
+        with pytest.raises(BenchmarkError, match="bogus"):
+            bench.run_suite(("Q5",))
+
+    def test_span_tree_shape(self, observed_run):
+        bench, __ = observed_run
+        tracer = bench.recorder.tracer
+        [scenario] = tracer.named("scenario")
+        children = {span.name for span in tracer.children_of(scenario)}
+        assert {"generate", "load", "query"} <= children
+
+
+class TestDisabledDriver:
+    def test_default_run_records_nothing(self):
+        """Observability off (the default): zero spans, no recorder,
+        and cells carry only the seed-era fields."""
+        config = BenchmarkConfig(scale_divisor=10_000,
+                                 scale_names=("small",),
+                                 class_keys=("dcsd",), seed=3)
+        assert config.observe is False and config.repeats == 1
+        bench = XBench(config)
+        assert bench.recorder is None
+        suite = bench.run_suite(("Q5",))
+        assert hooks.active() is None
+        cell = suite.queries["Q5"].cell("X-Hive", "dcsd", "small")
+        assert cell.seconds is not None and cell.seconds > 0
+        assert cell.warm is None and cell.counters is None
+        load_cell = suite.load.cell("X-Hive", "dcsd", "small")
+        assert load_cell.seconds is not None
+        assert load_cell.counters is None
+
+    def test_load_engine_shares_instrumented_path(self, small_corpora):
+        """load_engine and _run_scenario go through one load+index
+        helper, so spans appear in exactly one place."""
+        from repro.engines import NativeEngine
+        recorder = Recorder()
+        bench = XBench(BenchmarkConfig(scale_divisor=10_000), recorder)
+        with observing(recorder):
+            scenario, stats = bench.load_engine(NativeEngine(), "dcsd",
+                                                "small")
+        assert stats.seconds > 0
+        names = [span.name for span in recorder.spans]
+        assert names.count("load") == 1 and names.count("index") == 1
