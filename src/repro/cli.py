@@ -16,6 +16,10 @@ Commands
 ``multiuser`` multi-user throughput harness
 ``profile``   observed benchmark run: spans, counters, latency
               percentiles and a ``BENCH_<name>.json`` artifact
+``explain``   EXPLAIN ANALYZE one query: annotated operator plan
+              trees (rows, calls, wall-time) per engine
+``obs``       artifact tooling; ``obs diff A B`` compares two BENCH
+              artifacts and gates on cold-time regressions
 """
 
 from __future__ import annotations
@@ -161,6 +165,53 @@ def build_parser() -> argparse.ArgumentParser:
                          help="directory for the BENCH artifact")
     profile.add_argument("--spans", default=None, metavar="PATH",
                          help="also write the NDJSON span log here")
+    profile.add_argument("--explain", action="store_true",
+                         help="attach the plan profiler: per-cell "
+                              "operator plan trees land in the "
+                              "artifact (schema xbench-obs/2)")
+    profile.add_argument("--format", default="text",
+                         choices=["text", "json"],
+                         help="text report (default) or the artifact "
+                              "JSON on stdout")
+
+    explain = sub.add_parser(
+        "explain", help="EXPLAIN ANALYZE one workload query: run it "
+                        "and print the annotated operator plan tree")
+    explain.add_argument("class_key",
+                         help="database class (dcsd/dcmd/tcsd/tcmd; "
+                              "dc_sd-style spellings accepted)")
+    explain.add_argument("qid", help="query id, e.g. Q5")
+    explain.add_argument("--engine", action="append", default=None,
+                         metavar="KEY",
+                         help="engine key (repeatable; "
+                              "native,xcolumn,xcollection,sqlserver,"
+                              "edge; default: native)")
+    explain.add_argument("--units", type=int, default=50)
+    explain.add_argument("--seed", type=int, default=42)
+    explain.add_argument("--format", default="text",
+                         choices=["text", "json"])
+
+    obs = sub.add_parser(
+        "obs", help="BENCH artifact tooling (cross-run regression "
+                    "diffing)")
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    obs_diff = obs_sub.add_parser(
+        "diff", help="compare two BENCH_*.json artifacts; non-zero "
+                     "exit past the regression threshold")
+    obs_diff.add_argument("artifact_a", help="baseline artifact")
+    obs_diff.add_argument("artifact_b", help="candidate artifact")
+    obs_diff.add_argument("--threshold", type=float, default=None,
+                          metavar="FRACTION",
+                          help="cold-time regression threshold "
+                               "(default 0.25 = +25%%)")
+    obs_diff.add_argument("--min-ms", type=float, default=None,
+                          metavar="MS",
+                          help="noise floor: cells faster than this in "
+                               "both runs never gate (default 1 ms)")
+    obs_diff.add_argument("--format", default="text",
+                          choices=["text", "json"])
+    obs_diff.add_argument("--verbose", action="store_true",
+                          help="list unchanged cells too")
     return parser
 
 
@@ -205,6 +256,10 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_path(args)
     elif args.command == "profile":
         return _cmd_profile(args)
+    elif args.command == "explain":
+        return _cmd_explain(args)
+    elif args.command == "obs":
+        return _cmd_obs(args)
     return 0
 
 
@@ -261,6 +316,7 @@ def _cmd_multiuser(args: argparse.Namespace) -> int:
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
+    import json
     from .obs import bench_summary, format_profile, write_bench_artifact, \
         write_ndjson
     config = BenchmarkConfig(
@@ -270,22 +326,145 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         engine_keys=(tuple(args.engines.split(","))
                      if args.engines else None),
         repeats=args.repeats,
-        observe=True)
+        observe=True,
+        explain=args.explain)
     if args.queries:
         config.query_ids = tuple(qid.upper()
                                  for qid in args.queries.split(","))
     bench = XBench(config)
     suite = bench.run_suite()
     recorder = bench.recorder
-    print(format_profile(recorder, title=args.name))
     summary = bench_summary(args.name, suite=suite, recorder=recorder,
                             config=config.record())
+    json_mode = args.format == "json"
+    if json_mode:
+        # The artifact document itself goes to stdout (pipeable);
+        # progress chatter moves to stderr.
+        print(json.dumps(summary, indent=2))
+    else:
+        print(format_profile(recorder, title=args.name))
     path = write_bench_artifact(summary, args.obs_out)
-    print(f"\nwrote {path}")
+    print(("" if json_mode else "\n") + f"wrote {path}",
+          file=sys.stderr if json_mode else sys.stdout)
     if args.spans:
         spans_path = write_ndjson(recorder.spans, args.spans)
-        print(f"wrote {spans_path}")
+        print(f"wrote {spans_path}",
+              file=sys.stderr if json_mode else sys.stdout)
     return 0
+
+
+def _normalize_class_key(raw: str) -> str:
+    """Accept ``dc_sd``/``DC-SD``-style spellings for class keys."""
+    return raw.lower().replace("_", "").replace("-", "")
+
+
+def _make_engine(engine_key: str):
+    """One engine instance by key, including the edge store (which
+    ``make_engines()`` deliberately excludes from the paper's four)."""
+    if engine_key == "edge":
+        from .engines.edge import EdgeEngine
+        return EdgeEngine()
+    for engine in make_engines():
+        if engine.key == engine_key:
+            return engine
+    raise ReproError(
+        f"unknown engine key {engine_key!r}; choose from "
+        "native, xcolumn, xcollection, sqlserver, edge")
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    import json
+    from .errors import UnsupportedConfiguration, UnsupportedQuery
+    from .obs import PlanProfiler, Recorder, observing, render_plan
+    from .xml.serializer import serialize
+
+    class_key = _normalize_class_key(args.class_key)
+    if class_key not in CLASSES_BY_KEY:
+        print(f"error: unknown database class {args.class_key!r} "
+              f"(choose from {', '.join(sorted(CLASSES_BY_KEY))})",
+              file=sys.stderr)
+        return 1
+    qid = args.qid.upper()
+    query = QUERIES_BY_ID.get(qid)
+    if query is None or not query.applies_to(class_key):
+        print(f"error: {qid} is not defined for {class_key}",
+              file=sys.stderr)
+        return 1
+
+    db_class = CLASSES_BY_KEY[class_key]
+    documents = db_class.generate(args.units, seed=args.seed)
+    texts = [(d.name, serialize(d)) for d in documents]
+    engine_keys = args.engine or ["native"]
+
+    sections: list[dict] = []
+    for engine_key in engine_keys:
+        engine = _make_engine(engine_key)
+        section: dict = {"engine": engine_key,
+                         "system": engine.row_label, "qid": qid,
+                         "class": class_key}
+        try:
+            engine.check_supported(db_class, "small")
+            engine.timed_load(db_class, texts)
+            engine.create_indexes(list(indexes_for(class_key)))
+            params = bind_params(qid, class_key, args.units)
+            recorder = Recorder(name="explain", plan=PlanProfiler())
+            with observing(recorder):
+                outcome = engine.timed_execute(qid, params)
+        except (UnsupportedConfiguration, UnsupportedQuery) as exc:
+            section["unsupported"] = str(exc)
+            sections.append(section)
+            continue
+        section["seconds"] = outcome.seconds
+        section["rows"] = len(outcome.values)
+        section["params"] = dict(params)
+        section["plans"] = recorder.plan.tree_records()
+        section["trees"] = recorder.plan.trees()
+        sections.append(section)
+
+    if args.format == "json":
+        payload = [{key: value for key, value in section.items()
+                    if key != "trees"} for section in sections]
+        print(json.dumps(payload, indent=2))
+    else:
+        for section in sections:
+            header = (f"== {section['qid']} on {section['class']} via "
+                      f"{section['system']} ({section['engine']}) ==")
+            print(header)
+            if "unsupported" in section:
+                print(f"  unsupported: {section['unsupported']}\n")
+                continue
+            print(f"  {section['rows']} row(s) in "
+                  f"{section['seconds'] * 1000:.2f} ms "
+                  f"(params {section['params']})")
+            for tree in section["trees"]:
+                print(render_plan(tree))
+            print()
+    return 0 if any("unsupported" not in section
+                    for section in sections) else 1
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    import json
+    from .obs import diff_paths
+    from .obs.diff import DEFAULT_MIN_SECONDS, DEFAULT_THRESHOLD
+    if args.obs_command != "diff":      # pragma: no cover - argparse gates
+        return 1
+    threshold = (args.threshold if args.threshold is not None
+                 else DEFAULT_THRESHOLD)
+    min_seconds = (args.min_ms / 1000.0 if args.min_ms is not None
+                   else DEFAULT_MIN_SECONDS)
+    try:
+        report = diff_paths(args.artifact_a, args.artifact_b,
+                            threshold=threshold,
+                            min_seconds=min_seconds)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(json.dumps(report.to_record(), indent=2))
+    else:
+        print(report.format_text(verbose=args.verbose))
+    return report.exit_code()
 
 
 def _cmd_schema(args: argparse.Namespace) -> int:

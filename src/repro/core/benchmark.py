@@ -66,6 +66,10 @@ class BenchmarkConfig:
     repeats: int = 1
     #: record spans/counters/histograms into an obs Recorder.
     observe: bool = False
+    #: attach a PlanProfiler (EXPLAIN ANALYZE): per-cell operator plan
+    #: trees embedded in the BENCH artifact.  Implies nothing unless
+    #: ``observe`` is also on (the profiler rides the recorder).
+    explain: bool = False
 
     def record(self) -> dict:
         """The config as a JSON-ready dict (for BENCH_* artifacts)."""
@@ -191,7 +195,10 @@ class XBench:
         self.config = config or BenchmarkConfig()
         self.corpus = CorpusCache(self.config)
         if recorder is None and self.config.observe:
-            recorder = Recorder(name="xbench")
+            from ..obs import PlanProfiler
+            recorder = Recorder(
+                name="xbench",
+                plan=PlanProfiler() if self.config.explain else None)
         #: obs Recorder of this driver (None = observability off).
         self.recorder = recorder
 
@@ -275,7 +282,8 @@ class XBench:
         # One umbrella span per scenario; the generate/load/index/query
         # phase spans nest under it in the trace.
         with obs_hooks.span("scenario", **{"class": class_key,
-                                           "scale": scale_name}):
+                                           "scale": scale_name}), \
+                obs_hooks.plan_scope(scale=scale_name):
             self._run_scenario_inner(class_key, scale_name, query_ids,
                                      load_result, query_results)
 

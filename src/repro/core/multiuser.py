@@ -161,7 +161,11 @@ def run_multi_user(engine, class_key: str, units: int,
             for qid, params in plans[index]:
                 start = time.perf_counter()
                 try:
-                    engine.execute(qid, params)
+                    # Plan trees are keyed per stream (and built on a
+                    # thread-local stack), so concurrent streams never
+                    # cross-link operator nodes.
+                    with obs_hooks.plan_tree(qid=qid, stream=index):
+                        engine.execute(qid, params)
                 except UnsupportedQuery:
                     results[index].errors += 1
                     continue
@@ -191,7 +195,8 @@ def run_multi_user(engine, class_key: str, units: int,
                     continue
                 start = time.perf_counter()
                 try:
-                    engine.execute(qid, params)
+                    with obs_hooks.plan_tree(qid=qid, stream=index):
+                        engine.execute(qid, params)
                 except UnsupportedQuery:
                     results[index].errors += 1
                     continue

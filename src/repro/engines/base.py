@@ -132,8 +132,14 @@ class Engine(ABC):
         if database is not None:
             database.reset_scan_counters()
         before = _obs.counters_snapshot()
+        tree_attrs = {"qid": qid, "engine": self.key,
+                      "system": self.row_label}
+        if self.db_class is not None:
+            tree_attrs["class"] = self.db_class.key
         start = time.perf_counter()
-        values = self.execute(qid, params)
+        with _obs.plan_tree(**tree_attrs) as plan:
+            values = self.execute(qid, params)
+            plan.add(rows_out=len(values))
         elapsed = time.perf_counter() - start
         rows_scanned = (database.rows_scanned()
                         if database is not None else None)

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from ..databases.base import DatabaseClass
 from ..errors import UnsupportedQuery
+from ..obs.recorder import plan_node as _obs_plan_node
 from ..relstore.database import Database
 from ..relstore.table import Column
 from ..relstore.types import ColumnType
@@ -245,7 +246,11 @@ class EdgeEngine(Engine):
         handler = getattr(self, f"_{qid.lower()}_{self.db_class.key}",
                           None)
         if handler is not None:
-            return handler(params)
+            with _obs_plan_node("edge.handwritten_plan",
+                                handler=handler.__name__) as plan_node:
+                values = handler(params)
+                plan_node.add(rows_out=len(values))
+            return values
         # No handwritten plan: pure path queries compile generically
         # into structural joins (the edge encoding's signature ability).
         from ..workload.queries import QUERIES_BY_ID
@@ -253,8 +258,12 @@ class EdgeEngine(Engine):
         query = QUERIES_BY_ID.get(qid)
         if query is not None and query.applies_to(self.db_class.key):
             try:
-                return self.run_path(query.text_for(self.db_class.key),
-                                     params)
+                with _obs_plan_node("edge.pathcompiler_plan",
+                                    qid=qid) as plan_node:
+                    values = self.run_path(
+                        query.text_for(self.db_class.key), params)
+                    plan_node.add(rows_out=len(values))
+                return values
             except UnsupportedPathError:
                 pass
         raise UnsupportedQuery(

@@ -28,6 +28,7 @@ from __future__ import annotations
 from ..databases.base import DatabaseClass
 from ..errors import XQueryEvalError
 from ..obs.recorder import count as _obs_count
+from ..obs.recorder import plan_node as _obs_plan_node
 from ..workload.queries import QUERIES_BY_ID
 from ..xml.nodes import Attribute, Document, Element, Node
 from ..xml.parser import parse_document
@@ -130,8 +131,15 @@ class NativeEngine(Engine):
             index = self._indexes.get(path)
             if index is not None:
                 _obs_count("native.index_hits")
-                return self._run_accelerated(index, str(params[param_name]),
-                                             relative_query, params)
+                value = str(params[param_name])
+                with _obs_plan_node("native.index_lookup",
+                                    path=path) as plan_node:
+                    matches = index.get(value, [])
+                    out = self._run_accelerated(index, value,
+                                                relative_query, params)
+                    plan_node.add(rows_in=len(matches),
+                                  rows_out=len(out))
+                return out
 
         _obs_count("native.collection_scans")
         _obs_count("native.documents_visited", len(self._collection))
@@ -143,10 +151,15 @@ class NativeEngine(Engine):
             if not documents:
                 raise XQueryEvalError("collection is empty")
             context_item = documents[0]
-        result = self._xquery.execute(text, self._collection,
-                                      variables=dict(params),
-                                      context_item=context_item)
-        return normalize_result(result)
+        with _obs_plan_node("native.collection_scan",
+                            documents=len(self._collection)) as plan_node:
+            result = self._xquery.execute(text, self._collection,
+                                          variables=dict(params),
+                                          context_item=context_item)
+            out = normalize_result(result)
+            plan_node.add(rows_in=len(self._collection),
+                          rows_out=len(out))
+        return out
 
     def _run_accelerated(self, index: dict[str, list[Node]], value: str,
                          relative_query: str, params: dict) -> list[str]:

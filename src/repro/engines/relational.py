@@ -23,6 +23,7 @@ from __future__ import annotations
 from ..databases.base import DatabaseClass
 from ..errors import UnsupportedConfiguration, UnsupportedOperation, \
     UnsupportedQuery
+from ..obs.recorder import plan_node as _obs_plan_node
 from ..xml.nodes import Element
 from ..xml.parser import parse_document
 from .base import Engine, LoadStats
@@ -109,7 +110,11 @@ class ShreddedEngine(Engine):
             raise UnsupportedQuery(
                 f"{self.row_label}: no SQL translation for {qid} "
                 f"on {class_key}")
-        return run_plan(self.store, qid, class_key, params)
+        with _obs_plan_node("relational.translated_plan",
+                            qid=qid) as plan_node:
+            values = run_plan(self.store, qid, class_key, params)
+            plan_node.add(rows_out=len(values))
+        return values
 
     # -- update workload --------------------------------------------------------
 

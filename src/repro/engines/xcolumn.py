@@ -21,6 +21,8 @@ from dataclasses import dataclass
 
 from ..databases.base import DatabaseClass
 from ..errors import UnsupportedConfiguration, UnsupportedQuery
+from ..obs.recorder import plan as _obs_plan
+from ..obs.recorder import plan_node as _obs_plan_node
 from ..relstore.database import Database
 from ..relstore.table import Column
 from ..relstore.types import ColumnType
@@ -184,7 +186,11 @@ class XColumnEngine(Engine):
         if handler is None:
             raise UnsupportedQuery(
                 f"Xcolumn: no plan for {qid} on {self.db_class.key}")
-        return handler(params)
+        with _obs_plan_node("xcolumn.side_table_plan",
+                            handler=handler.__name__) as plan_node:
+            values = handler(params)
+            plan_node.add(rows_out=len(values))
+        return values
 
     def _docs_with(self, side_table: str, value: str) -> list[str]:
         return [row["doc"] for row in
@@ -197,6 +203,9 @@ class XColumnEngine(Engine):
 
     def _parse_clob(self, name: str) -> Document:
         row = next(iter(self.database.lookup("documents", "name", name)))
+        profiler = _obs_plan()
+        if profiler is not None:
+            profiler.leaf("xcolumn.clob_parse", rows_in=1, rows_out=1)
         return parse_document(row["content"], name=name)
 
     def _evaluate_on_docs(self, qid: str, doc_names: list[str],

@@ -6,8 +6,12 @@ Four pieces, one import surface:
   thread-local span stack (multiuser streams trace independently);
 * :mod:`~repro.obs.metrics` — named counters and gauges;
 * :mod:`~repro.obs.histogram` — latency histograms with P50/P95/P99;
+* :mod:`~repro.obs.plan` — EXPLAIN ANALYZE plan trees (per-operator
+  wall-time and rows-in/rows-out cardinalities);
 * :mod:`~repro.obs.export` / :mod:`~repro.obs.profile` — NDJSON span
-  logs, ``BENCH_<name>.json`` artifacts and the text profile report.
+  logs, ``BENCH_<name>.json`` artifacts and the text profile report;
+* :mod:`~repro.obs.diff` — cross-run artifact comparison with a
+  regression gate (``repro obs diff``).
 
 Instrumented layers call the hook functions (``span``, ``count``,
 ``gauge``, ``record_latency``) from :mod:`~repro.obs.recorder`; all of
@@ -15,6 +19,14 @@ them are no-ops until a :class:`Recorder` is installed, so the default
 benchmark path is observation-free.
 """
 
+from .diff import (
+    ArtifactError,
+    CellDiff,
+    DiffReport,
+    diff_artifacts,
+    diff_paths,
+    load_artifact,
+)
 from .export import (
     PHASE_SPANS,
     SCHEMA,
@@ -27,6 +39,14 @@ from .export import (
 )
 from .histogram import LatencyHistogram
 from .metrics import CounterSet, GaugeSet
+from .plan import (
+    NULL_PLAN_NODE,
+    PlanNode,
+    PlanProfiler,
+    PlanTree,
+    plan_cell_summary,
+    render_plan,
+)
 from .profile import format_profile
 from .recorder import (
     Recorder,
@@ -37,6 +57,10 @@ from .recorder import (
     gauge,
     install,
     observing,
+    plan,
+    plan_node,
+    plan_scope,
+    plan_tree,
     record_latency,
     span,
     uninstall,
@@ -46,6 +70,12 @@ from .tracer import NULL_SPAN, Span, Tracer
 __all__ = [
     "PHASE_SPANS",
     "SCHEMA",
+    "ArtifactError",
+    "CellDiff",
+    "DiffReport",
+    "diff_artifacts",
+    "diff_paths",
+    "load_artifact",
     "bench_summary",
     "read_ndjson",
     "span_record",
@@ -55,6 +85,12 @@ __all__ = [
     "LatencyHistogram",
     "CounterSet",
     "GaugeSet",
+    "NULL_PLAN_NODE",
+    "PlanNode",
+    "PlanProfiler",
+    "PlanTree",
+    "plan_cell_summary",
+    "render_plan",
     "format_profile",
     "Recorder",
     "active",
@@ -64,6 +100,10 @@ __all__ = [
     "gauge",
     "install",
     "observing",
+    "plan",
+    "plan_node",
+    "plan_scope",
+    "plan_tree",
     "record_latency",
     "span",
     "uninstall",

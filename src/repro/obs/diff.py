@@ -1,0 +1,272 @@
+"""Cross-run regression diffing of ``BENCH_<name>.json`` artifacts.
+
+``repro obs diff A.json B.json`` pairs cells across two artifacts by
+``(table, system, class, scale)`` and reports, per cell, the cold-time
+delta, the warm-median delta and every counter that drifted.  A cell
+whose cold time regressed beyond a configurable threshold (and whose
+times are above a noise floor) fails the comparison — the exit status is
+what CI gates on, so the ``BENCH_*`` trajectory accumulates instead of
+being upload-and-forget.
+
+Both ``xbench-obs/1`` (PR 1) and ``xbench-obs/2`` artifacts are
+accepted: the v2 additions (per-cell ``plan`` summaries, top-level
+``plans``) are purely additive.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+
+from ..errors import ReproError
+
+#: Accepted artifact schema lineage.
+SCHEMA_PREFIX = "xbench-obs/"
+
+#: Default regression threshold: fail past +25% cold time.
+DEFAULT_THRESHOLD = 0.25
+
+#: Default noise floor: cells where both runs are faster than this many
+#: seconds are too jittery to gate on (they still appear in the report).
+DEFAULT_MIN_SECONDS = 0.001
+
+
+class ArtifactError(ReproError):
+    """An artifact is missing, unparsable, or not a BENCH document."""
+
+
+def load_artifact(path: str | pathlib.Path) -> dict:
+    """Read and validate one ``BENCH_*.json`` artifact."""
+    target = pathlib.Path(path)
+    try:
+        document = json.loads(target.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise ArtifactError(f"cannot read artifact {target}: {exc}") \
+            from exc
+    except json.JSONDecodeError as exc:
+        raise ArtifactError(
+            f"artifact {target} is not valid JSON ({exc}); was the "
+            "writing run interrupted?") from exc
+    schema = document.get("schema", "")
+    if not isinstance(schema, str) or \
+            not schema.startswith(SCHEMA_PREFIX):
+        raise ArtifactError(
+            f"artifact {target} has schema {schema!r}, expected "
+            f"{SCHEMA_PREFIX}*")
+    return document
+
+
+def _cells_by_key(artifact: dict) -> dict[tuple, dict]:
+    cells = {}
+    for cell in artifact.get("cells", ()):
+        key = (cell.get("table"), cell.get("system"),
+               cell.get("class"), cell.get("scale"))
+        cells[key] = cell
+    return cells
+
+
+@dataclass
+class CellDiff:
+    """One paired cell's comparison."""
+
+    table: str
+    system: str
+    class_key: str
+    scale: str
+    a_seconds: float | None = None
+    b_seconds: float | None = None
+    a_warm_median: float | None = None
+    b_warm_median: float | None = None
+    counter_drift: dict = field(default_factory=dict)
+    status: str = "ok"        # ok | regression | improved | added | removed
+
+    @property
+    def key(self) -> tuple:
+        return (self.table, self.system, self.class_key, self.scale)
+
+    @property
+    def delta_pct(self) -> float | None:
+        """Cold-time change in percent (positive = slower in B)."""
+        if not self.a_seconds or self.b_seconds is None:
+            return None
+        return (self.b_seconds - self.a_seconds) / self.a_seconds * 100.0
+
+    def to_record(self) -> dict:
+        record = {
+            "table": self.table, "system": self.system,
+            "class": self.class_key, "scale": self.scale,
+            "a_seconds": self.a_seconds, "b_seconds": self.b_seconds,
+            "delta_pct": self.delta_pct, "status": self.status,
+        }
+        if self.a_warm_median is not None or \
+                self.b_warm_median is not None:
+            record["a_warm_median"] = self.a_warm_median
+            record["b_warm_median"] = self.b_warm_median
+        if self.counter_drift:
+            record["counter_drift"] = dict(self.counter_drift)
+        return record
+
+
+@dataclass
+class DiffReport:
+    """Everything one artifact comparison produced."""
+
+    a_name: str
+    b_name: str
+    threshold: float
+    min_seconds: float
+    cells: list = field(default_factory=list)
+    aggregate_counter_drift: dict = field(default_factory=dict)
+
+    def regressions(self) -> list[CellDiff]:
+        return [cell for cell in self.cells
+                if cell.status == "regression"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions()
+
+    def exit_code(self) -> int:
+        return 0 if self.ok else 1
+
+    def to_record(self) -> dict:
+        return {
+            "a": self.a_name, "b": self.b_name,
+            "threshold": self.threshold,
+            "min_seconds": self.min_seconds,
+            "compared": len(self.cells),
+            "regressions": len(self.regressions()),
+            "ok": self.ok,
+            "cells": [cell.to_record() for cell in self.cells],
+            "aggregate_counter_drift": dict(
+                self.aggregate_counter_drift),
+        }
+
+    # -- rendering -----------------------------------------------------------
+
+    def format_text(self, verbose: bool = False) -> str:
+        lines = [f"obs diff: {self.a_name} -> {self.b_name} "
+                 f"(threshold +{self.threshold * 100:.0f}%, floor "
+                 f"{self.min_seconds * 1000:.1f} ms)"]
+        flagged = [cell for cell in self.cells
+                   if cell.status != "ok" or verbose]
+        for cell in flagged:
+            label = (f"{cell.table}/{cell.system}/"
+                     f"{cell.class_key}/{cell.scale}")
+            if cell.status == "added":
+                lines.append(f"  + {label}: new cell "
+                             f"({_ms(cell.b_seconds)})")
+                continue
+            if cell.status == "removed":
+                lines.append(f"  - {label}: cell disappeared "
+                             f"(was {_ms(cell.a_seconds)})")
+                continue
+            marker = {"regression": "!", "improved": "<"}.get(
+                cell.status, " ")
+            delta = cell.delta_pct
+            delta_text = (f"{delta:+.1f}%" if delta is not None
+                          else "n/a")
+            line = (f"  {marker} {label}: {_ms(cell.a_seconds)} -> "
+                    f"{_ms(cell.b_seconds)} ({delta_text})")
+            if cell.counter_drift:
+                drift = ", ".join(
+                    f"{name} {pair[0]}->{pair[1]}"
+                    for name, pair in sorted(
+                        cell.counter_drift.items()))
+                line += f"  counters: {drift}"
+            lines.append(line)
+        if not flagged:
+            lines.append("  (no per-cell changes to report)")
+        lines.append(
+            f"{len(self.cells)} cell(s) compared, "
+            f"{len(self.regressions())} regression(s)"
+            + ("" if self.ok else " — FAIL"))
+        return "\n".join(lines)
+
+
+def _ms(seconds: float | None) -> str:
+    if seconds is None:
+        return "-"
+    return f"{seconds * 1000:.2f} ms"
+
+
+def _warm_median(cell: dict) -> float | None:
+    warm = cell.get("warm")
+    if not warm:
+        return None
+    return warm.get("median_seconds")
+
+
+def _counter_drift(a_cell: dict, b_cell: dict) -> dict:
+    a_counters = a_cell.get("counters") or {}
+    b_counters = b_cell.get("counters") or {}
+    drift = {}
+    for name in sorted(set(a_counters) | set(b_counters)):
+        a_value = a_counters.get(name, 0)
+        b_value = b_counters.get(name, 0)
+        if a_value != b_value:
+            drift[name] = (a_value, b_value)
+    return drift
+
+
+def diff_artifacts(a: dict, b: dict,
+                   threshold: float = DEFAULT_THRESHOLD,
+                   min_seconds: float = DEFAULT_MIN_SECONDS
+                   ) -> DiffReport:
+    """Compare two loaded artifacts; see the module docstring."""
+    report = DiffReport(a_name=a.get("name", "A"),
+                        b_name=b.get("name", "B"),
+                        threshold=threshold, min_seconds=min_seconds)
+    a_cells = _cells_by_key(a)
+    b_cells = _cells_by_key(b)
+    for key in sorted(set(a_cells) | set(b_cells),
+                      key=lambda item: tuple(str(part)
+                                             for part in item)):
+        table, system, class_key, scale = key
+        diff = CellDiff(table=table, system=system,
+                        class_key=class_key, scale=scale)
+        a_cell = a_cells.get(key)
+        b_cell = b_cells.get(key)
+        if a_cell is None:
+            diff.b_seconds = b_cell.get("seconds")
+            diff.status = "added"
+            report.cells.append(diff)
+            continue
+        if b_cell is None:
+            diff.a_seconds = a_cell.get("seconds")
+            diff.status = "removed"
+            report.cells.append(diff)
+            continue
+        diff.a_seconds = a_cell.get("seconds")
+        diff.b_seconds = b_cell.get("seconds")
+        diff.a_warm_median = _warm_median(a_cell)
+        diff.b_warm_median = _warm_median(b_cell)
+        diff.counter_drift = _counter_drift(a_cell, b_cell)
+        if diff.a_seconds and diff.b_seconds is not None:
+            above_floor = (diff.a_seconds >= min_seconds
+                           or diff.b_seconds >= min_seconds)
+            ratio = diff.b_seconds / diff.a_seconds
+            if above_floor and ratio > 1.0 + threshold:
+                diff.status = "regression"
+            elif above_floor and ratio < 1.0 / (1.0 + threshold):
+                diff.status = "improved"
+        report.cells.append(diff)
+
+    # Aggregate counter totals: informational drift, never gating.
+    a_totals = a.get("counters") or {}
+    b_totals = b.get("counters") or {}
+    for name in sorted(set(a_totals) | set(b_totals)):
+        a_value = a_totals.get(name, 0)
+        b_value = b_totals.get(name, 0)
+        if a_value != b_value:
+            report.aggregate_counter_drift[name] = (a_value, b_value)
+    return report
+
+
+def diff_paths(a_path: str | pathlib.Path, b_path: str | pathlib.Path,
+               threshold: float = DEFAULT_THRESHOLD,
+               min_seconds: float = DEFAULT_MIN_SECONDS) -> DiffReport:
+    """Load two artifacts from disk and compare them."""
+    return diff_artifacts(load_artifact(a_path), load_artifact(b_path),
+                          threshold=threshold, min_seconds=min_seconds)

@@ -18,14 +18,21 @@ flattened by duck typing.
 from __future__ import annotations
 
 import json
+import os
 import pathlib
+import tempfile
 import time
 
+from .plan import plan_cell_summary
 from .recorder import Recorder
 from .tracer import Span
 
-#: Artifact schema identifier (bump on incompatible changes).
-SCHEMA = "xbench-obs/1"
+#: Artifact schema identifier.  v2 adds plan-profiling data on top of
+#: v1, strictly additively: a top-level ``plans`` list (one record per
+#: merged plan tree) and an optional per-cell ``plan`` summary.  v1
+#: readers that ignore unknown keys keep working; ``repro obs diff``
+#: accepts the whole ``xbench-obs/*`` lineage.
+SCHEMA = "xbench-obs/2"
 
 #: Span names that constitute the benchmark phases.
 PHASE_SPANS = ("generate", "load", "index", "query")
@@ -46,12 +53,30 @@ def span_record(span: Span) -> dict:
     }
 
 
+def _write_text_atomic(target: pathlib.Path, text: str) -> None:
+    """Write via a temp file in the target directory + ``os.replace``,
+    so a crashed or interrupted run can never leave a truncated file
+    for ``obs diff``/CI to choke on."""
+    target.parent.mkdir(parents=True, exist_ok=True)
+    descriptor, temp_name = tempfile.mkstemp(
+        dir=str(target.parent), prefix=target.name + ".", suffix=".tmp")
+    try:
+        with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        os.replace(temp_name, target)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
+
+
 def write_ndjson(spans: list[Span], path: str | pathlib.Path) -> pathlib.Path:
-    """Write spans as NDJSON (one object per line)."""
+    """Write spans as NDJSON (one object per line); atomic."""
     target = pathlib.Path(path)
-    with target.open("w", encoding="utf-8") as handle:
-        for span in spans:
-            handle.write(json.dumps(span_record(span)) + "\n")
+    _write_text_atomic(target, "".join(
+        json.dumps(span_record(span)) + "\n" for span in spans))
     return target
 
 
@@ -130,20 +155,50 @@ def bench_summary(name: str, suite=None, recorder: Recorder | None = None,
             hist_name: histogram.summary()
             for hist_name, histogram in sorted(recorder.histograms.items())}
         summary["spans_recorded"] = len(recorder.tracer.spans)
+        if recorder.plan is not None:
+            _embed_plans(summary, recorder.plan.tree_records())
     if extra:
         summary.update(extra)
     return summary
 
 
+def _embed_plans(summary: dict, plans: list[dict]) -> None:
+    """Attach the plan trees (top-level) and per-cell plan summaries.
+
+    Trees are paired with cells by the (qid, system, class, scale)
+    attributes the driver stamps on each tree.
+    """
+    summary["plans"] = plans
+    cells = summary.get("cells")
+    if not cells:
+        return
+    by_key = {}
+    for plan in plans:
+        attrs = plan.get("attrs", {})
+        key = (attrs.get("qid"), attrs.get("system"),
+               attrs.get("class"), attrs.get("scale"))
+        by_key[key] = plan
+    for cell in cells:
+        plan = by_key.get((cell.get("table"), cell.get("system"),
+                           cell.get("class"), cell.get("scale")))
+        if plan is not None:
+            cell["plan"] = plan_cell_summary(plan)
+
+
 def write_bench_artifact(summary: dict,
                          directory: str | pathlib.Path = "."
                          ) -> pathlib.Path:
-    """Write ``BENCH_<name>.json`` under ``directory``; returns the path."""
+    """Write ``BENCH_<name>.json`` under ``directory``; atomic.
+
+    Returns the path.  An empty (or all-punctuation) name falls back to
+    ``"run"`` rather than producing ``BENCH_.json``.
+    """
     target_dir = pathlib.Path(directory)
-    target_dir.mkdir(parents=True, exist_ok=True)
     safe_name = "".join(ch if ch.isalnum() or ch in "-_" else "_"
                         for ch in summary.get("name", "run"))
+    if not safe_name.strip("-_"):
+        safe_name = "run"
     path = target_dir / f"BENCH_{safe_name}.json"
-    path.write_text(json.dumps(summary, indent=2, sort_keys=False) + "\n",
-                    encoding="utf-8")
+    _write_text_atomic(
+        path, json.dumps(summary, indent=2, sort_keys=False) + "\n")
     return path

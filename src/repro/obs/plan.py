@@ -1,0 +1,426 @@
+"""EXPLAIN ANALYZE: operator-level query-plan profiling.
+
+A :class:`PlanProfiler` records, per query execution, a tree of operator
+nodes — "seq_scan", "hash_join", "xquery.PathExpr", "native.index_lookup"
+— each carrying wall-time, rows-in/rows-out cardinalities, call counts
+and access-path attributes.  It is the paper-analysis layer the aggregate
+counters cannot provide: *which* access path answered Q5, how many rows
+the side-table scan touched before the anti-join, whether the native
+engine hit an index or fell back to a collection scan.
+
+Structure mirrors PostgreSQL's ``EXPLAIN ANALYZE`` conventions:
+
+* operator times are **inclusive** (an operator's time contains the time
+  spent pulling rows from its inputs), so any single operator's time is
+  bounded by the query total;
+* repeated executions of the same shape **merge**: node identity is
+  ``(parent, op, attrs)``, and ``calls`` counts how often it ran — warm
+  repeats and per-document re-evaluation fold into one readable tree
+  instead of thousands of nodes.
+
+Trees are grouped by attribute signature (``qid``/``engine``/``class``/
+``scale``/``stream``…): one merged tree per benchmark cell or per
+multiuser stream.  The per-thread stack of open nodes is thread-local,
+so concurrent streams can never cross-link parents.
+
+Like the rest of :mod:`repro.obs`, nothing here is imported by the
+instrumented layers directly — they go through the hook functions in
+:mod:`repro.obs.recorder` (``plan``, ``plan_node``, ``plan_tree``,
+``plan_scope``), which cost one global read when observability is off.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+
+def _attr_key(attrs: dict) -> tuple:
+    """Canonical, hashable identity of an attribute dict."""
+    return tuple(sorted((name, str(value))
+                        for name, value in attrs.items()))
+
+
+class PlanNode:
+    """One merged operator node of a plan tree."""
+
+    __slots__ = ("op", "attrs", "calls", "seconds", "rows_in",
+                 "rows_out", "children", "_child_index")
+
+    def __init__(self, op: str, attrs: dict | None = None) -> None:
+        self.op = op
+        self.attrs = dict(attrs or {})
+        self.calls = 0
+        self.seconds = 0.0
+        self.rows_in = 0
+        self.rows_out = 0
+        self.children: list[PlanNode] = []
+        self._child_index: dict[tuple, PlanNode] = {}
+
+    def child(self, op: str, attrs: dict) -> "PlanNode":
+        """The merged child for ``(op, attrs)``, created on first use."""
+        key = (op, _attr_key(attrs))
+        node = self._child_index.get(key)
+        if node is None:
+            node = PlanNode(op, attrs)
+            self._child_index[key] = node
+            self.children.append(node)
+        return node
+
+    def add(self, calls: int = 0, seconds: float = 0.0,
+            rows_in: int = 0, rows_out: int = 0) -> None:
+        self.calls += calls
+        self.seconds += seconds
+        self.rows_in += rows_in
+        self.rows_out += rows_out
+
+    def total_nodes(self) -> int:
+        return 1 + sum(child.total_nodes() for child in self.children)
+
+    def walk(self):
+        """This node and every descendant, pre-order."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def to_record(self) -> dict:
+        """Nested JSON-ready dict."""
+        record = {"op": self.op, "calls": self.calls,
+                  "seconds": self.seconds, "rows_in": self.rows_in,
+                  "rows_out": self.rows_out}
+        if self.attrs:
+            record["attrs"] = dict(self.attrs)
+        if self.children:
+            record["children"] = [child.to_record()
+                                  for child in self.children]
+        return record
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<PlanNode {self.op} calls={self.calls} "
+                f"out={self.rows_out}>")
+
+
+class PlanTree:
+    """One merged plan tree, labeled by its attribute signature."""
+
+    __slots__ = ("attrs", "root")
+
+    def __init__(self, attrs: dict) -> None:
+        self.attrs = dict(attrs)
+        self.root = PlanNode("query", {})
+
+    def to_record(self) -> dict:
+        return {"attrs": dict(self.attrs), "root": self.root.to_record()}
+
+
+class _NullPlanNode:
+    """Shared do-nothing node handle while plan profiling is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullPlanNode":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def add(self, rows_in: int = 0, rows_out: int = 0) -> "_NullPlanNode":
+        return self
+
+    def set(self, **attrs) -> "_NullPlanNode":
+        return self
+
+
+#: Shared no-op handle — identity-comparable so tests can assert the
+#: disabled path short-circuits without allocating.
+NULL_PLAN_NODE = _NullPlanNode()
+
+
+class _OpStats:
+    """Deferred-stats handle for iterator operators.
+
+    ``open()`` binds the merged node at *call* time (capturing the right
+    parent), the operator records once when its iterator finishes.
+    """
+
+    __slots__ = ("_profiler", "_node")
+
+    def __init__(self, profiler: "PlanProfiler", node: PlanNode) -> None:
+        self._profiler = profiler
+        self._node = node
+
+    def record(self, seconds: float = 0.0, rows_in: int = 0,
+               rows_out: int = 0, calls: int = 1) -> None:
+        with self._profiler._lock:
+            self._node.add(calls=calls, seconds=seconds,
+                           rows_in=rows_in, rows_out=rows_out)
+
+
+class _NodeHandle:
+    """Context manager for structural nodes (pushed on the stack)."""
+
+    __slots__ = ("_profiler", "_op", "_attrs", "_node", "_start",
+                 "_rows_in", "_rows_out")
+
+    def __init__(self, profiler: "PlanProfiler", op: str,
+                 attrs: dict) -> None:
+        self._profiler = profiler
+        self._op = op
+        self._attrs = attrs
+        self._node: PlanNode | None = None
+        self._start = 0.0
+        self._rows_in = 0
+        self._rows_out = 0
+
+    def add(self, rows_in: int = 0, rows_out: int = 0) -> "_NodeHandle":
+        self._rows_in += rows_in
+        self._rows_out += rows_out
+        return self
+
+    def __enter__(self) -> "_NodeHandle":
+        profiler = self._profiler
+        parent = profiler._current_parent()
+        with profiler._lock:
+            self._node = parent.child(self._op, self._attrs)
+        profiler._stack().append(self._node)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        elapsed = time.perf_counter() - self._start
+        profiler = self._profiler
+        stack = profiler._stack()
+        if stack and stack[-1] is self._node:
+            stack.pop()
+        with profiler._lock:
+            self._node.add(calls=1, seconds=elapsed,
+                           rows_in=self._rows_in,
+                           rows_out=self._rows_out)
+        return False
+
+
+class _TreeHandle:
+    """Context manager that makes one tree current for a block."""
+
+    __slots__ = ("_profiler", "_attrs", "_tree", "_prev_stack", "_start",
+                 "_rows_out")
+
+    def __init__(self, profiler: "PlanProfiler", attrs: dict) -> None:
+        self._profiler = profiler
+        self._attrs = attrs
+        self._tree: PlanTree | None = None
+        self._prev_stack: list | None = None
+        self._start = 0.0
+        self._rows_out = 0
+
+    def add(self, rows_in: int = 0, rows_out: int = 0) -> "_TreeHandle":
+        self._rows_out += rows_out
+        return self
+
+    def __enter__(self) -> "_TreeHandle":
+        profiler = self._profiler
+        merged = dict(profiler._ambient())
+        merged.update(self._attrs)
+        self._tree = profiler._tree_for(merged)
+        local = profiler._local
+        self._prev_stack = getattr(local, "stack", None)
+        local.stack = [self._tree.root]
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        elapsed = time.perf_counter() - self._start
+        profiler = self._profiler
+        with profiler._lock:
+            self._tree.root.add(calls=1, seconds=elapsed,
+                                rows_out=self._rows_out)
+        profiler._local.stack = self._prev_stack
+        return False
+
+
+class _ScopeHandle:
+    """Context manager pushing ambient attrs (e.g. the driver's scale)."""
+
+    __slots__ = ("_profiler", "_attrs")
+
+    def __init__(self, profiler: "PlanProfiler", attrs: dict) -> None:
+        self._profiler = profiler
+        self._attrs = attrs
+
+    def __enter__(self) -> "_ScopeHandle":
+        self._profiler._scopes().append(self._attrs)
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        scopes = self._profiler._scopes()
+        if scopes and scopes[-1] is self._attrs:
+            scopes.pop()
+        return False
+
+
+class PlanProfiler:
+    """Collects merged plan trees across an observation session."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._trees: dict[tuple, PlanTree] = {}
+        self._local = threading.local()
+
+    # -- thread state --------------------------------------------------------
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _scopes(self) -> list:
+        scopes = getattr(self._local, "scopes", None)
+        if scopes is None:
+            scopes = self._local.scopes = []
+        return scopes
+
+    def _ambient(self) -> dict:
+        merged: dict = {}
+        for scope in self._scopes():
+            merged.update(scope)
+        return merged
+
+    def _tree_for(self, attrs: dict) -> PlanTree:
+        key = _attr_key(attrs)
+        with self._lock:
+            tree = self._trees.get(key)
+            if tree is None:
+                tree = self._trees[key] = PlanTree(attrs)
+        return tree
+
+    def _current_parent(self) -> PlanNode:
+        """The open node nodes attach to; an implicit ambient tree when
+        nothing opened one (keeps stray nodes from being lost)."""
+        stack = self._stack()
+        if not stack:
+            stack.append(self._tree_for(self._ambient()).root)
+        return stack[-1]
+
+    # -- recording API -------------------------------------------------------
+
+    def tree(self, **attrs) -> _TreeHandle:
+        """Make the tree for ``attrs`` (plus ambient scope) current."""
+        return _TreeHandle(self, attrs)
+
+    def scope(self, **attrs) -> _ScopeHandle:
+        """Ambient attrs merged into every tree opened in the block."""
+        return _ScopeHandle(self, attrs)
+
+    def node(self, op: str, **attrs) -> _NodeHandle:
+        """A structural operator node; use as a context manager."""
+        return _NodeHandle(self, op, attrs)
+
+    def open(self, op: str, **attrs) -> _OpStats:
+        """Bind an iterator operator's merged node at call time; the
+        operator reports once via :meth:`_OpStats.record`."""
+        parent = self._current_parent()
+        with self._lock:
+            node = parent.child(op, attrs)
+        return _OpStats(self, node)
+
+    def leaf(self, op: str, seconds: float = 0.0, rows_in: int = 0,
+             rows_out: int = 0, **attrs) -> None:
+        """One-shot record of a leaf operator under the current node."""
+        parent = self._current_parent()
+        with self._lock:
+            parent.child(op, attrs).add(calls=1, seconds=seconds,
+                                        rows_in=rows_in,
+                                        rows_out=rows_out)
+
+    # -- queries -------------------------------------------------------------
+
+    def trees(self) -> list[PlanTree]:
+        """Every recorded tree, in first-opened order."""
+        with self._lock:
+            return list(self._trees.values())
+
+    def find_trees(self, **attrs) -> list[PlanTree]:
+        """Trees whose attrs contain every given (key, value) pair."""
+        wanted = {name: str(value) for name, value in attrs.items()}
+        return [tree for tree in self.trees()
+                if all(str(tree.attrs.get(name)) == value
+                       for name, value in wanted.items())]
+
+    def tree_records(self) -> list[dict]:
+        """All trees as JSON-ready dicts (the artifact ``plans`` list)."""
+        return [tree.to_record() for tree in self.trees()]
+
+    def total_nodes(self) -> int:
+        return sum(tree.root.total_nodes() - 1 for tree in self.trees())
+
+    def __len__(self) -> int:
+        return len(self._trees)
+
+
+# -- rendering ---------------------------------------------------------------
+
+def _format_stats(node: PlanNode) -> str:
+    parts = [f"calls={node.calls}"]
+    if node.rows_in:
+        parts.append(f"rows_in={node.rows_in}")
+    parts.append(f"rows_out={node.rows_out}")
+    parts.append(f"time={node.seconds * 1000:.3f}ms")
+    return "  (" + " ".join(parts) + ")"
+
+
+def _format_op(node: PlanNode) -> str:
+    label = node.op
+    if node.attrs:
+        label += " " + " ".join(f"{name}={value}" for name, value
+                                in sorted(node.attrs.items()))
+    return label
+
+
+def render_plan(tree: PlanTree, title: str | None = None) -> str:
+    """One tree as an annotated ASCII plan (EXPLAIN ANALYZE style)."""
+    if title is None:
+        title = " ".join(f"{name}={value}" for name, value
+                         in sorted(tree.attrs.items())) or "(untracked)"
+    lines = [f"plan {title}{_format_stats(tree.root)}"]
+
+    def visit(node: PlanNode, prefix: str, last: bool) -> None:
+        branch = "`- " if last else "|- "
+        lines.append(prefix + branch + _format_op(node)
+                     + _format_stats(node))
+        child_prefix = prefix + ("   " if last else "|  ")
+        for index, child in enumerate(node.children):
+            visit(child, child_prefix, index == len(node.children) - 1)
+
+    for index, child in enumerate(tree.root.children):
+        visit(child, "", index == len(tree.root.children) - 1)
+    if not tree.root.children:
+        lines.append("`- (no operator nodes recorded)")
+    return "\n".join(lines)
+
+
+def plan_cell_summary(tree_record: dict) -> dict:
+    """Compact per-cell summary of one tree record (for BENCH cells):
+    node count plus per-operator aggregate rows/calls/time."""
+    totals: dict[str, dict] = {}
+    nodes = 0
+
+    def visit(record: dict) -> None:
+        nonlocal nodes
+        nodes += 1
+        entry = totals.setdefault(record["op"], {
+            "calls": 0, "rows_in": 0, "rows_out": 0, "ms": 0.0})
+        entry["calls"] += record.get("calls", 0)
+        entry["rows_in"] += record.get("rows_in", 0)
+        entry["rows_out"] += record.get("rows_out", 0)
+        entry["ms"] += record.get("seconds", 0.0) * 1000.0
+        for child in record.get("children", ()):
+            visit(child)
+
+    for child in tree_record["root"].get("children", ()):
+        visit(child)
+    operators = [{"op": op, **{k: (round(v, 4) if k == "ms" else v)
+                               for k, v in entry.items()}}
+                 for op, entry in totals.items()]
+    operators.sort(key=lambda entry: -entry["ms"])
+    return {"nodes": nodes, "operators": operators}

@@ -22,18 +22,27 @@ from contextlib import contextmanager
 
 from .histogram import LatencyHistogram
 from .metrics import CounterSet, GaugeSet
+from .plan import NULL_PLAN_NODE, PlanProfiler
 from .tracer import NULL_SPAN, Span, Tracer
 
 
 class Recorder:
-    """Spans + counters + gauges + latency histograms of one session."""
+    """Spans + counters + gauges + latency histograms of one session.
 
-    def __init__(self, name: str = "obs") -> None:
+    ``plan`` is the optional EXPLAIN ANALYZE channel: attach a
+    :class:`~repro.obs.plan.PlanProfiler` and the ``plan_*`` hooks below
+    record operator-level plan trees through the same recorder — there
+    is no second instrumentation channel into the engines.
+    """
+
+    def __init__(self, name: str = "obs",
+                 plan: PlanProfiler | None = None) -> None:
         self.name = name
         self.tracer = Tracer()
         self.counters = CounterSet()
         self.gauges = GaugeSet()
         self.histograms: dict[str, LatencyHistogram] = {}
+        self.plan = plan
         self._lock = threading.Lock()
 
     def histogram(self, name: str) -> LatencyHistogram:
@@ -129,3 +138,45 @@ def counters_delta(before: dict[str, int] | None) -> dict[str, int] | None:
     if recorder is None or before is None:
         return None
     return recorder.counters.delta(before)
+
+
+# -- plan-profiling hooks (EXPLAIN ANALYZE) ----------------------------------
+#
+# These piggyback on the installed recorder: no recorder, or a recorder
+# without a PlanProfiler attached, and every hook is a global read plus
+# None checks returning a shared no-op — the benchmark's default path
+# records no plan nodes and pays effectively nothing.
+
+def plan() -> PlanProfiler | None:
+    """The active plan profiler, if any (None disables profiling)."""
+    recorder = _active
+    if recorder is None:
+        return None
+    return recorder.plan
+
+
+def plan_tree(**attrs):
+    """Open (or merge into) the plan tree for ``attrs``; no-op handle
+    when plan profiling is disabled."""
+    recorder = _active
+    if recorder is None or recorder.plan is None:
+        return NULL_PLAN_NODE
+    return recorder.plan.tree(**attrs)
+
+
+def plan_scope(**attrs):
+    """Ambient attrs (e.g. the driver's scale) merged into every tree
+    opened inside the block; no-op handle when disabled."""
+    recorder = _active
+    if recorder is None or recorder.plan is None:
+        return NULL_PLAN_NODE
+    return recorder.plan.scope(**attrs)
+
+
+def plan_node(op: str, **attrs):
+    """A structural plan node under the current tree; no-op handle when
+    plan profiling is disabled."""
+    recorder = _active
+    if recorder is None or recorder.plan is None:
+        return NULL_PLAN_NODE
+    return recorder.plan.node(op, **attrs)

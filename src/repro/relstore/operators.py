@@ -4,12 +4,21 @@ These are the physical operators the engine analogues compose into query
 plans: scans, index lookups, selection, projection, nested-loop and hash
 joins, sorting, grouping and limits.  All operate on (and yield) plain
 dicts keyed by column name, optionally qualified by the caller.
+
+Every public operator is plan-profiled: when a
+:class:`~repro.obs.plan.PlanProfiler` is installed (EXPLAIN ANALYZE
+mode), the operator reports rows pulled from its inputs (``rows_in``),
+rows emitted (``rows_out``) and the wall-time spent while its iterator
+was live.  The check is one global read at call time; without a
+profiler, the original generators run untouched.
 """
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Iterable, Iterator, Optional
 
+from ..obs.recorder import plan as _plan
 from .index import HashIndex, SortedIndex
 from .table import Table
 from .types import sort_key
@@ -18,52 +27,179 @@ Row = dict
 Predicate = Callable[[Row], bool]
 
 
-def seq_scan(table: Table, predicate: Optional[Predicate] = None
-             ) -> Iterator[Row]:
-    """Full table scan with an optional filter."""
+# -- profiling plumbing ------------------------------------------------------
+
+class _Tally:
+    """Mutable rows-in counter shared with input-counting wrappers."""
+
+    __slots__ = ("count",)
+
+    def __init__(self) -> None:
+        self.count = 0
+
+
+def _tallied(rows: Iterable[Row], tally: _Tally) -> Iterator[Row]:
+    """Count rows pulled from an operator input."""
+    for row in rows:
+        tally.count += 1
+        yield row
+
+
+def _instrumented(stats, rows: Iterator[Row],
+                  tally: _Tally) -> Iterator[Row]:
+    """Drive ``rows``, timing the live (non-suspended) slices and
+    counting emitted rows; records once when the iterator finishes, is
+    closed early, or raises.  Times are inclusive of the inputs
+    (Postgres EXPLAIN ANALYZE convention)."""
+    rows_out = 0
+    active = 0.0
+    resume: float | None = time.perf_counter()
+    try:
+        for row in rows:
+            rows_out += 1
+            active += time.perf_counter() - resume
+            resume = None
+            yield row
+            resume = time.perf_counter()
+        active += time.perf_counter() - resume
+        resume = None
+    finally:
+        if resume is not None:
+            active += time.perf_counter() - resume
+        stats.record(seconds=active, rows_in=tally.count,
+                     rows_out=rows_out)
+
+
+# -- scans and index access --------------------------------------------------
+
+def _seq_scan(table: Table, predicate: Optional[Predicate]
+              ) -> Iterator[Row]:
     for row_id, _ in table.scan():
         row = table.as_dict(row_id)
         if predicate is None or predicate(row):
             yield row
 
 
+def _seq_scan_tallied(table: Table, predicate: Optional[Predicate],
+                      tally: _Tally) -> Iterator[Row]:
+    for row_id, _ in table.scan():
+        tally.count += 1
+        row = table.as_dict(row_id)
+        if predicate is None or predicate(row):
+            yield row
+
+
+def seq_scan(table: Table, predicate: Optional[Predicate] = None
+             ) -> Iterator[Row]:
+    """Full table scan with an optional filter."""
+    profiler = _plan()
+    if profiler is None:
+        return _seq_scan(table, predicate)
+    stats = profiler.open("seq_scan", table=table.name,
+                          filtered=predicate is not None)
+    tally = _Tally()
+    return _instrumented(stats,
+                         _seq_scan_tallied(table, predicate, tally),
+                         tally)
+
+
+def _fetch_rows(table: Table, row_ids: Iterable[int]) -> Iterator[Row]:
+    for row_id in row_ids:
+        yield table.as_dict(row_id)
+
+
 def index_lookup(table: Table, index: HashIndex | SortedIndex,
                  value: object) -> Iterator[Row]:
     """Point lookup through an index."""
-    for row_id in index.lookup(value):
-        yield table.as_dict(row_id)
+    profiler = _plan()
+    if profiler is None:
+        return _fetch_rows(table, index.lookup(value))
+    stats = profiler.open("index_lookup", table=table.name,
+                          column=index.column_name)
+    tally = _Tally()
+    return _instrumented(
+        stats, _fetch_rows(table, _tallied(index.lookup(value), tally)),
+        tally)
 
 
 def index_range(table: Table, index: SortedIndex, low: object = None,
                 high: object = None) -> Iterator[Row]:
     """Closed-range lookup through a sorted index."""
-    for row_id in index.range(low, high):
-        yield table.as_dict(row_id)
+    profiler = _plan()
+    if profiler is None:
+        return _fetch_rows(table, index.range(low, high))
+    stats = profiler.open("index_range", table=table.name,
+                          column=index.column_name)
+    tally = _Tally()
+    return _instrumented(
+        stats,
+        _fetch_rows(table, _tallied(index.range(low, high), tally)),
+        tally)
+
+
+# -- tuple-at-a-time operators -----------------------------------------------
+
+def _select(rows: Iterable[Row], predicate: Predicate) -> Iterator[Row]:
+    return (row for row in rows if predicate(row))
 
 
 def select(rows: Iterable[Row], predicate: Predicate) -> Iterator[Row]:
     """Filter."""
-    return (row for row in rows if predicate(row))
+    profiler = _plan()
+    if profiler is None:
+        return _select(rows, predicate)
+    stats = profiler.open("select")
+    tally = _Tally()
+    return _instrumented(stats, _select(_tallied(rows, tally),
+                                        predicate), tally)
 
 
-def project(rows: Iterable[Row], columns: list[str]) -> Iterator[Row]:
-    """Keep only ``columns``."""
+def _project(rows: Iterable[Row], columns: list[str]) -> Iterator[Row]:
     for row in rows:
         yield {column: row.get(column) for column in columns}
 
 
-def nested_loop_join(outer: Iterable[Row], inner_source: Callable[[], Iterable[Row]],
-                     condition: Callable[[Row, Row], bool]) -> Iterator[Row]:
-    """Naive nested-loop join; ``inner_source`` is re-iterated per outer row."""
+def project(rows: Iterable[Row], columns: list[str]) -> Iterator[Row]:
+    """Keep only ``columns``."""
+    profiler = _plan()
+    if profiler is None:
+        return _project(rows, columns)
+    stats = profiler.open("project", columns=",".join(columns))
+    tally = _Tally()
+    return _instrumented(stats, _project(_tallied(rows, tally),
+                                         columns), tally)
+
+
+# -- joins -------------------------------------------------------------------
+
+def _nested_loop_join(outer: Iterable[Row],
+                      inner_source: Callable[[], Iterable[Row]],
+                      condition: Callable[[Row, Row], bool]
+                      ) -> Iterator[Row]:
     for outer_row in outer:
         for inner_row in inner_source():
             if condition(outer_row, inner_row):
                 yield {**outer_row, **inner_row}
 
 
-def hash_join(left: Iterable[Row], right: Iterable[Row], left_key: str,
-              right_key: str) -> Iterator[Row]:
-    """Equi-join by building a hash table on the left input."""
+def nested_loop_join(outer: Iterable[Row], inner_source: Callable[[], Iterable[Row]],
+                     condition: Callable[[Row, Row], bool]) -> Iterator[Row]:
+    """Naive nested-loop join; ``inner_source`` is re-iterated per outer row."""
+    profiler = _plan()
+    if profiler is None:
+        return _nested_loop_join(outer, inner_source, condition)
+    stats = profiler.open("nested_loop_join")
+    tally = _Tally()
+    return _instrumented(
+        stats,
+        _nested_loop_join(_tallied(outer, tally),
+                          lambda: _tallied(inner_source(), tally),
+                          condition),
+        tally)
+
+
+def _hash_join(left: Iterable[Row], right: Iterable[Row], left_key: str,
+               right_key: str) -> Iterator[Row]:
     buckets: dict[object, list[Row]] = {}
     for row in left:
         key = row.get(left_key)
@@ -77,9 +213,23 @@ def hash_join(left: Iterable[Row], right: Iterable[Row], left_key: str,
             yield {**match, **row}
 
 
-def left_outer_hash_join(left: Iterable[Row], right: Iterable[Row],
-                         left_key: str, right_key: str) -> Iterator[Row]:
-    """Left outer equi-join (unmatched left rows pass through)."""
+def hash_join(left: Iterable[Row], right: Iterable[Row], left_key: str,
+              right_key: str) -> Iterator[Row]:
+    """Equi-join by building a hash table on the left input."""
+    profiler = _plan()
+    if profiler is None:
+        return _hash_join(left, right, left_key, right_key)
+    stats = profiler.open("hash_join", left_key=left_key,
+                          right_key=right_key)
+    tally = _Tally()
+    return _instrumented(
+        stats, _hash_join(_tallied(left, tally), _tallied(right, tally),
+                          left_key, right_key),
+        tally)
+
+
+def _left_outer_hash_join(left: Iterable[Row], right: Iterable[Row],
+                          left_key: str, right_key: str) -> Iterator[Row]:
     buckets: dict[object, list[Row]] = {}
     right_rows = list(right)
     for row in right_rows:
@@ -96,8 +246,27 @@ def left_outer_hash_join(left: Iterable[Row], right: Iterable[Row],
             yield dict(row)
 
 
-def order_by(rows: Iterable[Row], keys: list[tuple[str, bool]]) -> list[Row]:
-    """Sort rows by (column, descending) keys; NULLs sort first."""
+def left_outer_hash_join(left: Iterable[Row], right: Iterable[Row],
+                         left_key: str, right_key: str) -> Iterator[Row]:
+    """Left outer equi-join (unmatched left rows pass through)."""
+    profiler = _plan()
+    if profiler is None:
+        return _left_outer_hash_join(left, right, left_key, right_key)
+    stats = profiler.open("left_outer_hash_join", left_key=left_key,
+                          right_key=right_key)
+    tally = _Tally()
+    return _instrumented(
+        stats,
+        _left_outer_hash_join(_tallied(left, tally),
+                              _tallied(right, tally),
+                              left_key, right_key),
+        tally)
+
+
+# -- sort / group / limit / distinct -----------------------------------------
+
+def _order_by(rows: Iterable[Row],
+              keys: list[tuple[str, bool]]) -> list[Row]:
     materialized = list(rows)
     for column, descending in reversed(keys):
         materialized.sort(key=lambda row: sort_key(row.get(column)),
@@ -105,10 +274,25 @@ def order_by(rows: Iterable[Row], keys: list[tuple[str, bool]]) -> list[Row]:
     return materialized
 
 
-def group_by(rows: Iterable[Row], key_columns: list[str],
-             aggregates: dict[str, Callable[[list[Row]], object]]
-             ) -> Iterator[Row]:
-    """Group rows and compute named aggregates per group."""
+def order_by(rows: Iterable[Row], keys: list[tuple[str, bool]]) -> list[Row]:
+    """Sort rows by (column, descending) keys; NULLs sort first."""
+    profiler = _plan()
+    if profiler is None:
+        return _order_by(rows, keys)
+    stats = profiler.open(
+        "sort", keys=",".join(column + (" desc" if descending else "")
+                              for column, descending in keys))
+    start = time.perf_counter()
+    materialized = _order_by(rows, keys)
+    stats.record(seconds=time.perf_counter() - start,
+                 rows_in=len(materialized),
+                 rows_out=len(materialized))
+    return materialized
+
+
+def _group_by(rows: Iterable[Row], key_columns: list[str],
+              aggregates: dict[str, Callable[[list[Row]], object]]
+              ) -> Iterator[Row]:
     groups: dict[tuple, list[Row]] = {}
     for row in rows:
         key = tuple(row.get(column) for column in key_columns)
@@ -120,8 +304,21 @@ def group_by(rows: Iterable[Row], key_columns: list[str],
         yield result
 
 
-def limit(rows: Iterable[Row], count: int) -> Iterator[Row]:
-    """First ``count`` rows."""
+def group_by(rows: Iterable[Row], key_columns: list[str],
+             aggregates: dict[str, Callable[[list[Row]], object]]
+             ) -> Iterator[Row]:
+    """Group rows and compute named aggregates per group."""
+    profiler = _plan()
+    if profiler is None:
+        return _group_by(rows, key_columns, aggregates)
+    stats = profiler.open("group", keys=",".join(key_columns))
+    tally = _Tally()
+    return _instrumented(stats, _group_by(_tallied(rows, tally),
+                                          key_columns, aggregates),
+                         tally)
+
+
+def _limit(rows: Iterable[Row], count: int) -> Iterator[Row]:
     iterator = iter(rows)
     for _ in range(count):
         try:
@@ -130,11 +327,32 @@ def limit(rows: Iterable[Row], count: int) -> Iterator[Row]:
             return
 
 
-def distinct(rows: Iterable[Row], columns: list[str]) -> Iterator[Row]:
-    """Duplicate elimination over the named columns."""
+def limit(rows: Iterable[Row], count: int) -> Iterator[Row]:
+    """First ``count`` rows."""
+    profiler = _plan()
+    if profiler is None:
+        return _limit(rows, count)
+    stats = profiler.open("limit", count=count)
+    tally = _Tally()
+    return _instrumented(stats, _limit(_tallied(rows, tally), count),
+                         tally)
+
+
+def _distinct(rows: Iterable[Row], columns: list[str]) -> Iterator[Row]:
     seen: set[tuple] = set()
     for row in rows:
         key = tuple(row.get(column) for column in columns)
         if key not in seen:
             seen.add(key)
             yield {column: row.get(column) for column in columns}
+
+
+def distinct(rows: Iterable[Row], columns: list[str]) -> Iterator[Row]:
+    """Duplicate elimination over the named columns."""
+    profiler = _plan()
+    if profiler is None:
+        return _distinct(rows, columns)
+    stats = profiler.open("distinct", columns=",".join(columns))
+    tally = _Tally()
+    return _instrumented(stats, _distinct(_tallied(rows, tally),
+                                          columns), tally)

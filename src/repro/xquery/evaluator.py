@@ -13,6 +13,7 @@ import math
 
 from ..errors import XQueryEvalError, XQueryTypeError
 from ..obs.recorder import count as _obs_count
+from ..obs.recorder import plan as _obs_plan
 from ..xml.nodes import (
     Attribute,
     Comment,
@@ -39,12 +40,24 @@ from .items import (
 
 
 def evaluate(expression: object, context: Context) -> list:
-    """Evaluate ``expression`` in ``context``, returning a sequence."""
-    handler = _HANDLERS.get(type(expression))
+    """Evaluate ``expression`` in ``context``, returning a sequence.
+
+    Under EXPLAIN ANALYZE each AST-node evaluation becomes a merged plan
+    node (``xquery.FLWOR``, ``xquery.PathExpr``, …) carrying inclusive
+    wall-time, call counts and output cardinality; without a profiler
+    the dispatch is untouched.
+    """
+    node_type = type(expression)
+    handler = _HANDLERS.get(node_type)
     if handler is None:
-        raise XQueryEvalError(
-            f"no evaluator for {type(expression).__name__}")
-    return handler(expression, context)
+        raise XQueryEvalError(f"no evaluator for {node_type.__name__}")
+    profiler = _obs_plan()
+    if profiler is None:
+        return handler(expression, context)
+    with profiler.node("xquery." + node_type.__name__) as plan_node:
+        result = handler(expression, context)
+        plan_node.add(rows_out=len(result))
+    return result
 
 
 # -- primaries -------------------------------------------------------------
@@ -368,6 +381,11 @@ def _apply_step_predicates(nodes: list, step: ast.AxisStep,
     current = nodes
     for predicate in step.predicates:
         current = _filter_by_predicate(current, predicate, context)
+    profiler = _obs_plan()
+    if profiler is not None:
+        profiler.leaf("xquery.step", rows_in=len(nodes),
+                      rows_out=len(current), axis=step.axis,
+                      test=step.test)
     return current
 
 

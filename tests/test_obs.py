@@ -105,6 +105,29 @@ class TestDisabledMode:
         assert hooks.counters_delta(None) is None
         assert hooks.active() is None
 
+    def test_plan_hooks_short_circuit_to_shared_noop(self):
+        """Plan profiling disabled: one global read, the shared no-op
+        handle, zero allocation per call."""
+        from repro.obs import NULL_PLAN_NODE
+        assert hooks.plan() is None
+        assert hooks.plan_tree(qid="Q5") is NULL_PLAN_NODE
+        assert hooks.plan_scope(scale="small") is NULL_PLAN_NODE
+        assert hooks.plan_node("seq_scan", table="t") is NULL_PLAN_NODE
+        with hooks.plan_tree(qid="Q5") as handle:
+            assert handle is NULL_PLAN_NODE
+            handle.add(rows_out=3).set(attr=1)
+
+    def test_recorder_without_profiler_records_no_plans(self):
+        """A plain Recorder (observe on, explain off) keeps the plan
+        channel dark: hooks still no-op, no trees materialize."""
+        from repro.obs import NULL_PLAN_NODE
+        recorder = Recorder()
+        assert recorder.plan is None
+        with observing(recorder):
+            assert hooks.plan() is None
+            assert hooks.plan_tree(qid="Q1") is NULL_PLAN_NODE
+            assert hooks.plan_node("seq_scan") is NULL_PLAN_NODE
+
     def test_uninstalled_after_observing_block(self):
         recorder = Recorder()
         with observing(recorder):
@@ -294,6 +317,17 @@ class TestDriverIntegration:
         bench = _observed_bench(engine_keys=("native", "bogus"))
         with pytest.raises(BenchmarkError, match="bogus"):
             bench.run_suite(("Q5",))
+
+    def test_observe_without_explain_stays_plan_free(self, observed_run,
+                                                     tmp_path):
+        """The default observed run (explain off) records zero plan
+        trees and its artifact carries no plans section."""
+        bench, suite = observed_run
+        assert bench.recorder.plan is None
+        summary = bench_summary("noplan", suite=suite,
+                                recorder=bench.recorder)
+        assert "plans" not in summary
+        assert all("plan" not in cell for cell in summary["cells"])
 
     def test_span_tree_shape(self, observed_run):
         bench, __ = observed_run

@@ -1,0 +1,644 @@
+"""EXPLAIN ANALYZE tests: PlanProfiler, instrumented layers, the
+explain CLI, artifact plan embedding, and obs diff regression gating."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.core import BenchmarkConfig, XBench
+from repro.obs import (
+    ArtifactError,
+    PlanProfiler,
+    Recorder,
+    bench_summary,
+    diff_artifacts,
+    diff_paths,
+    load_artifact,
+    observing,
+    plan_cell_summary,
+    render_plan,
+    write_bench_artifact,
+)
+from repro.obs import recorder as hooks
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_recorder():
+    assert hooks.active() is None
+    yield
+    hooks.uninstall()
+
+
+def _profiled_recorder() -> Recorder:
+    return Recorder(name="plan-test", plan=PlanProfiler())
+
+
+class TestPlanProfiler:
+    def test_merged_node_identity(self):
+        """Same (parent, op, attrs) merges: calls accumulate instead of
+        the tree exploding per repeat."""
+        profiler = PlanProfiler()
+        with profiler.tree(qid="Q1"):
+            for _ in range(5):
+                with profiler.node("seq_scan", table="item") as node:
+                    node.add(rows_in=10, rows_out=2)
+            with profiler.node("seq_scan", table="other"):
+                pass
+        [tree] = profiler.trees()
+        scans = {node.attrs.get("table"): node
+                 for node in tree.root.children}
+        assert set(scans) == {"item", "other"}
+        assert scans["item"].calls == 5
+        assert scans["item"].rows_in == 50
+        assert scans["item"].rows_out == 10
+        assert scans["other"].calls == 1
+        assert tree.root.calls == 1
+
+    def test_nesting_builds_tree(self):
+        profiler = PlanProfiler()
+        with profiler.tree(qid="Q2"):
+            with profiler.node("hash_join"):
+                with profiler.node("seq_scan", table="a"):
+                    pass
+                with profiler.node("seq_scan", table="b"):
+                    pass
+        [tree] = profiler.trees()
+        [join] = tree.root.children
+        assert join.op == "hash_join"
+        assert {child.attrs["table"] for child in join.children} \
+            == {"a", "b"}
+        assert tree.root.total_nodes() == 4
+
+    def test_trees_keyed_by_attrs_and_scope_merges(self):
+        """scope() attrs (the driver's scale) become part of every tree
+        signature opened inside the block."""
+        profiler = PlanProfiler()
+        with profiler.scope(scale="small"):
+            with profiler.tree(qid="Q1"):
+                profiler.leaf("op_a")
+            with profiler.tree(qid="Q2"):
+                profiler.leaf("op_b")
+        with profiler.scope(scale="large"):
+            with profiler.tree(qid="Q1"):
+                profiler.leaf("op_a")
+        assert len(profiler) == 3
+        small_q1 = profiler.find_trees(qid="Q1", scale="small")
+        assert len(small_q1) == 1
+        assert small_q1[0].attrs == {"qid": "Q1", "scale": "small"}
+
+    def test_open_binds_parent_at_call_time(self):
+        """Iterator operators: open() under one parent, record later —
+        the stats land under the original parent even if recorded after
+        the node closed (generators drain late)."""
+        profiler = PlanProfiler()
+        with profiler.tree(qid="Q3"):
+            with profiler.node("sort"):
+                stats = profiler.open("seq_scan", table="t")
+        stats.record(seconds=0.25, rows_in=100, rows_out=40)
+        [tree] = profiler.trees()
+        [sort] = tree.root.children
+        [scan] = sort.children
+        assert scan.op == "seq_scan"
+        assert scan.rows_in == 100 and scan.rows_out == 40
+        assert scan.seconds == pytest.approx(0.25)
+
+    def test_thread_local_stacks_keep_trees_separate(self):
+        """Plan trees from concurrent streams never cross-link: every
+        node of stream N's tree lives only under stream N's root."""
+        profiler = PlanProfiler()
+        errors: list[Exception] = []
+
+        def stream(index: int) -> None:
+            try:
+                for _ in range(20):
+                    with profiler.tree(qid="Q1", stream=index):
+                        with profiler.node("outer", stream=index):
+                            with profiler.node("inner", stream=index):
+                                pass
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        workers = [threading.Thread(target=stream, args=(i,))
+                   for i in range(4)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert not errors
+        assert len(profiler) == 4
+        for tree in profiler.trees():
+            stream_id = tree.attrs["stream"]
+            [outer] = tree.root.children
+            assert outer.attrs == {"stream": stream_id}
+            [inner] = outer.children
+            assert inner.attrs == {"stream": stream_id}
+            assert outer.calls == 20 and inner.calls == 20
+
+    def test_render_plan_text(self):
+        profiler = PlanProfiler()
+        with profiler.tree(qid="Q5", engine="native"):
+            with profiler.node("scan", table="item") as node:
+                node.add(rows_in=30, rows_out=3)
+        [tree] = profiler.trees()
+        text = render_plan(tree)
+        assert "engine=native" in text and "qid=Q5" in text
+        assert "scan table=item" in text
+        assert "rows_in=30" in text and "rows_out=3" in text
+        assert "calls=1" in text and "time=" in text
+
+    def test_cell_summary_aggregates_operators(self):
+        profiler = PlanProfiler()
+        with profiler.tree(qid="Q5"):
+            with profiler.node("join"):
+                with profiler.node("scan", table="a") as node:
+                    node.add(rows_out=5)
+                with profiler.node("scan", table="b") as node:
+                    node.add(rows_out=7)
+        [record] = profiler.tree_records()
+        summary = plan_cell_summary(record)
+        assert summary["nodes"] == 3
+        by_op = {entry["op"]: entry for entry in summary["operators"]}
+        assert by_op["scan"]["calls"] == 2
+        assert by_op["scan"]["rows_out"] == 12
+        assert by_op["join"]["calls"] == 1
+
+
+class TestInstrumentedOperators:
+    def _table(self):
+        from repro.relstore.database import Database
+        from repro.relstore.table import Column
+        from repro.relstore.types import ColumnType
+        database = Database()
+        table = database.create_table(
+            "items", [Column("id", ColumnType.INTEGER),
+                      Column("name", ColumnType.TEXT)])
+        for index in range(10):
+            table.insert({"id": index, "name": f"n{index}"})
+        database.create_index("items", "id", "sorted")
+        return database, table
+
+    def test_seq_scan_reports_scanned_vs_emitted(self):
+        from repro.relstore import operators as ops
+        database, table = self._table()
+        recorder = _profiled_recorder()
+        with observing(recorder):
+            with recorder.plan.tree(qid="scan-test"):
+                rows = list(ops.seq_scan(
+                    table, lambda row: row["id"] < 3))
+        assert len(rows) == 3
+        [tree] = recorder.plan.trees()
+        [scan] = tree.root.children
+        assert scan.op == "seq_scan"
+        assert scan.attrs["table"] == "items"
+        assert scan.rows_in == 10          # rows scanned
+        assert scan.rows_out == 3          # rows surviving the filter
+        assert scan.calls == 1
+        assert scan.seconds >= 0.0
+
+    def test_index_lookup_and_composed_pipeline(self):
+        from repro.relstore import operators as ops
+        database, table = self._table()
+        index = database.index_for("items", "id")
+        recorder = _profiled_recorder()
+        with observing(recorder):
+            with recorder.plan.tree(qid="pipe-test"):
+                rows = list(ops.project(
+                    ops.index_lookup(table, index, 4), ["name"]))
+        assert rows == [{"name": "n4"}]
+        [tree] = recorder.plan.trees()
+        by_op = {node.op: node for node in tree.root.children}
+        assert by_op["index_lookup"].rows_out == 1
+        assert by_op["index_lookup"].attrs["column"] == "id"
+        assert by_op["project"].rows_in == 1
+        assert by_op["project"].rows_out == 1
+
+    def test_sort_group_limit_record(self):
+        from repro.relstore import operators as ops
+        database, table = self._table()
+        recorder = _profiled_recorder()
+        with observing(recorder):
+            with recorder.plan.tree(qid="sort-test"):
+                ordered = ops.order_by(ops.seq_scan(table),
+                                       [("id", True)])
+                top = list(ops.limit(iter(ordered), 4))
+                grouped = list(ops.group_by(
+                    iter(top), ["name"], {"n": len}))
+        assert len(top) == 4 and len(grouped) == 4
+        [tree] = recorder.plan.trees()
+        by_op = {node.op: node for node in tree.root.children}
+        assert by_op["sort"].rows_in == 10
+        assert by_op["sort"].rows_out == 10
+        assert by_op["limit"].rows_out == 4
+        assert by_op["group"].rows_in == 4
+
+    def test_operators_untouched_without_profiler(self):
+        """Disabled path: operators return plain generators, and a
+        whole scan records zero plan state anywhere."""
+        from repro.relstore import operators as ops
+        database, table = self._table()
+        assert hooks.plan() is None
+        rows = list(ops.seq_scan(table))
+        assert len(rows) == 10
+        recorder = Recorder()          # no profiler attached
+        with observing(recorder):
+            rows = list(ops.hash_join(
+                ops.seq_scan(table), ops.seq_scan(table), "id", "id"))
+        assert len(rows) == 10
+        assert recorder.plan is None
+
+
+class TestEngineExplain:
+    @pytest.fixture(scope="class")
+    def native_explained(self, small_corpora):
+        """Q5 on dcsd via the native engine, explain on."""
+        from repro.core.indexes import indexes_for
+        from repro.engines import NativeEngine
+        from repro.workload import bind_params
+        corpus = small_corpora["dcsd"]
+        engine = NativeEngine()
+        engine.timed_load(corpus["class"], corpus["texts"])
+        engine.create_indexes(list(indexes_for("dcsd")))
+        params = bind_params("Q5", "dcsd", corpus["units"])
+        recorder = _profiled_recorder()
+        with observing(recorder):
+            outcome = engine.timed_execute("Q5", params)
+        return recorder, outcome
+
+    def test_tree_attrs_label_the_cell(self, native_explained):
+        recorder, outcome = native_explained
+        [tree] = recorder.plan.find_trees(qid="Q5", engine="native")
+        assert tree.attrs["system"] == "X-Hive"
+        assert tree.attrs["class"] == "dcsd"
+
+    def test_access_path_and_cardinality_consistency(self,
+                                                     native_explained):
+        """The accelerated plan shows as an index lookup whose output
+        cardinality matches the query result, and the root time bounds
+        (and roughly matches) the measured cell time."""
+        recorder, outcome = native_explained
+        [tree] = recorder.plan.find_trees(qid="Q5")
+        [access] = tree.root.children
+        assert access.op == "native.index_lookup"
+        assert access.attrs["path"] == "item/@id"
+        assert access.rows_out == len(outcome.values)
+        assert tree.root.rows_out == len(outcome.values)
+        # Inclusive timing: every node's time fits inside the root's,
+        # and the root's fits inside the timed_execute wall clock.
+        for node in tree.root.walk():
+            assert node.seconds <= tree.root.seconds + 1e-9
+        assert tree.root.seconds <= outcome.seconds + 1e-9
+
+    def test_collection_scan_path_on_multidoc(self, small_corpora):
+        """Without an applicable index the native engine reports a
+        collection scan over every document (the paper's DC/MD cost)."""
+        from repro.engines import NativeEngine
+        from repro.workload import bind_params
+        corpus = small_corpora["dcmd"]
+        engine = NativeEngine()
+        engine.timed_load(corpus["class"], corpus["texts"])
+        params = bind_params("Q1", "dcmd", corpus["units"])
+        recorder = _profiled_recorder()
+        with observing(recorder):
+            engine.timed_execute("Q1", params)
+        [tree] = recorder.plan.find_trees(qid="Q1")
+        [access] = tree.root.children
+        assert access.op == "native.collection_scan"
+        assert access.rows_in == len(corpus["documents"])
+
+    def test_shredded_engine_plans_show_relational_operators(
+            self, small_corpora):
+        from repro.core.indexes import indexes_for
+        from repro.engines.relational import XCollectionEngine
+        from repro.workload import bind_params
+        corpus = small_corpora["dcsd"]
+        engine = XCollectionEngine()
+        engine.timed_load(corpus["class"], corpus["texts"])
+        engine.create_indexes(list(indexes_for("dcsd")))
+        params = bind_params("Q5", "dcsd", corpus["units"])
+        recorder = _profiled_recorder()
+        with observing(recorder):
+            engine.timed_execute("Q5", params)
+        [tree] = recorder.plan.find_trees(qid="Q5",
+                                          engine="xcollection")
+        [translated] = tree.root.children
+        assert translated.op == "relational.translated_plan"
+        ops = {node.op for node in translated.walk()}
+        assert ops & {"seq_scan", "index_lookup", "index_range",
+                      "hash_join", "nested_loop_join"}
+
+
+class TestMultiUserPlans:
+    def test_per_stream_trees_stay_separate(self, small_corpora):
+        """A threaded multiuser run with the profiler installed keeps
+        one tree per (qid, stream) and no cross-thread parent links."""
+        from repro.core.multiuser import run_multi_user
+        from repro.engines import NativeEngine
+        corpus = small_corpora["dcsd"]
+        engine = NativeEngine()
+        engine.timed_load(corpus["class"], corpus["texts"])
+        recorder = _profiled_recorder()
+        with observing(recorder):
+            result = run_multi_user(engine, "dcsd", corpus["units"],
+                                    streams=3, queries_per_stream=5,
+                                    seed=7, query_ids=("Q1", "Q5"),
+                                    mode="threads")
+        assert result.total_queries == 15
+        trees = recorder.plan.trees()
+        assert trees
+        seen_streams = set()
+        for tree in trees:
+            assert "stream" in tree.attrs
+            seen_streams.add(tree.attrs["stream"])
+            # Total executions under one root equal its call count:
+            # no other stream's nodes leaked in.
+            assert tree.root.calls >= 1
+        assert seen_streams == {0, 1, 2}
+        per_stream_calls = {}
+        for tree in trees:
+            stream = tree.attrs["stream"]
+            per_stream_calls[stream] = \
+                per_stream_calls.get(stream, 0) + tree.root.calls
+        assert all(count == 5 for count in per_stream_calls.values())
+
+
+class TestArtifactPlans:
+    @pytest.fixture(scope="class")
+    def explained_suite(self):
+        config = BenchmarkConfig(scale_divisor=10_000,
+                                 scale_names=("small",),
+                                 class_keys=("dcsd",), seed=3,
+                                 engine_keys=("native",),
+                                 observe=True, explain=True)
+        bench = XBench(config)
+        suite = bench.run_suite(("Q5",))
+        return bench, suite
+
+    def test_schema_v2_with_plans(self, explained_suite, tmp_path):
+        bench, suite = explained_suite
+        summary = bench_summary("planned", suite=suite,
+                                recorder=bench.recorder,
+                                config=bench.config.record())
+        path = write_bench_artifact(summary, tmp_path)
+        loaded = json.loads(path.read_text())
+        assert loaded["schema"] == "xbench-obs/2"
+        assert loaded["plans"]
+        plan_attrs = [plan["attrs"] for plan in loaded["plans"]]
+        assert any(attrs.get("qid") == "Q5"
+                   and attrs.get("scale") == "small"
+                   for attrs in plan_attrs)
+
+    def test_per_cell_plan_summary_paired(self, explained_suite,
+                                          tmp_path):
+        bench, suite = explained_suite
+        summary = bench_summary("planned", suite=suite,
+                                recorder=bench.recorder)
+        cells = {(cell["table"], cell["system"], cell["scale"]): cell
+                 for cell in summary["cells"]}
+        query_cell = cells[("Q5", "X-Hive", "small")]
+        assert "plan" in query_cell
+        assert query_cell["plan"]["nodes"] >= 1
+        ops = {entry["op"] for entry in query_cell["plan"]["operators"]}
+        assert "native.index_lookup" in ops
+        # Load cells have no matching tree -> no plan block.
+        assert "plan" not in cells[("load", "X-Hive", "small")]
+
+    def test_v1_reader_compat(self, explained_suite, tmp_path):
+        """The v2 additions are strictly additive: every v1 field is
+        still present and the artifact still loads for diffing."""
+        bench, suite = explained_suite
+        summary = bench_summary("planned", suite=suite,
+                                recorder=bench.recorder,
+                                config=bench.config.record())
+        path = write_bench_artifact(summary, tmp_path)
+        loaded = load_artifact(path)
+        for field in ("name", "created_unix", "config", "cells",
+                      "phases", "counters", "histograms"):
+            assert field in loaded
+
+
+class TestAtomicExport:
+    def test_artifact_write_is_atomic(self, tmp_path, monkeypatch):
+        """A crash mid-serialization leaves no partial target file and
+        no stray temp files."""
+        import repro.obs.export as export
+
+        class Boom(RuntimeError):
+            pass
+
+        real_replace = export.os.replace
+
+        def exploding_replace(src, dst):
+            raise Boom("interrupted")
+
+        monkeypatch.setattr(export.os, "replace", exploding_replace)
+        with pytest.raises(Boom):
+            write_bench_artifact({"name": "x", "schema": "s"}, tmp_path)
+        monkeypatch.setattr(export.os, "replace", real_replace)
+        assert list(tmp_path.iterdir()) == []
+
+    def test_overwrite_keeps_old_content_until_replace(self, tmp_path):
+        path = write_bench_artifact({"name": "x", "v": 1}, tmp_path)
+        again = write_bench_artifact({"name": "x", "v": 2}, tmp_path)
+        assert path == again
+        assert json.loads(path.read_text())["v"] == 2
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_empty_name_falls_back_to_run(self, tmp_path):
+        assert write_bench_artifact({"name": ""}, tmp_path).name \
+            == "BENCH_run.json"
+        assert write_bench_artifact({"name": "/// "}, tmp_path).name \
+            == "BENCH_run.json"
+        assert write_bench_artifact({}, tmp_path).name \
+            == "BENCH_run.json"
+
+    def test_ndjson_write_is_atomic(self, tmp_path):
+        from repro.obs import write_ndjson
+        target = tmp_path / "deep" / "spans.ndjson"
+        path = write_ndjson([], target)
+        assert path.exists() and path.read_text() == ""
+        assert list((tmp_path / "deep").iterdir()) == [path]
+
+
+def _write_artifact(tmp_path, name, cells, counters=None):
+    summary = {"schema": "xbench-obs/2", "name": name, "cells": cells}
+    if counters:
+        summary["counters"] = counters
+    return write_bench_artifact(summary, tmp_path)
+
+
+def _cell(table, seconds, system="X-Hive", class_key="dcsd",
+          scale="small", **extra):
+    cell = {"table": table, "system": system, "class": class_key,
+            "scale": scale, "seconds": seconds}
+    cell.update(extra)
+    return cell
+
+
+class TestDiff:
+    def test_same_artifact_is_clean(self, tmp_path):
+        path = _write_artifact(tmp_path, "a",
+                               [_cell("Q5", 0.010), _cell("load", 0.5)])
+        report = diff_paths(path, path)
+        assert report.ok and report.exit_code() == 0
+        assert all(cell.status == "ok" for cell in report.cells)
+
+    def test_synthetic_slowdown_fails(self, tmp_path):
+        a = _write_artifact(tmp_path, "a", [_cell("Q5", 0.010)])
+        b = _write_artifact(tmp_path / "b", "b", [_cell("Q5", 0.020)])
+        report = diff_paths(a, b)
+        assert not report.ok and report.exit_code() == 1
+        [cell] = report.regressions()
+        assert cell.delta_pct == pytest.approx(100.0)
+        assert "FAIL" in report.format_text()
+
+    def test_threshold_and_noise_floor(self, tmp_path):
+        a = _write_artifact(tmp_path, "a",
+                            [_cell("Q5", 0.010),
+                             _cell("Q8", 0.0001, system="Edge")])
+        b = _write_artifact(tmp_path / "b", "b",
+                            [_cell("Q5", 0.012),
+                             _cell("Q8", 0.0005, system="Edge")])
+        # +20% is inside the default 25% threshold; the 5x jump on Q8
+        # sits below the noise floor in both runs.
+        report = diff_artifacts(load_artifact(a), load_artifact(b),
+                                min_seconds=0.001)
+        assert report.ok
+        # Tighten the threshold and Q5's +20% gates.
+        report = diff_artifacts(load_artifact(a), load_artifact(b),
+                                threshold=0.10, min_seconds=0.001)
+        assert [cell.table for cell in report.regressions()] == ["Q5"]
+
+    def test_improvement_added_removed(self, tmp_path):
+        a = _write_artifact(tmp_path, "a",
+                            [_cell("Q5", 0.020), _cell("Q8", 0.010)])
+        b = _write_artifact(tmp_path / "b", "b",
+                            [_cell("Q5", 0.005), _cell("Q12", 0.010)])
+        report = diff_paths(a, b)
+        statuses = {cell.table: cell.status for cell in report.cells}
+        assert statuses == {"Q5": "improved", "Q8": "removed",
+                            "Q12": "added"}
+        assert report.ok          # none of these gate
+
+    def test_counter_drift_reported_not_gating(self, tmp_path):
+        a = _write_artifact(
+            tmp_path, "a",
+            [_cell("Q5", 0.010, counters={"native.index_hits": 1})],
+            counters={"xquery.nodes_visited": 100})
+        b = _write_artifact(
+            tmp_path / "b", "b",
+            [_cell("Q5", 0.010,
+                   counters={"native.collection_scans": 1})],
+            counters={"xquery.nodes_visited": 220})
+        report = diff_paths(a, b)
+        assert report.ok
+        [cell] = report.cells
+        assert cell.counter_drift["native.index_hits"] == (1, 0)
+        assert cell.counter_drift["native.collection_scans"] == (0, 1)
+        assert report.aggregate_counter_drift["xquery.nodes_visited"] \
+            == (100, 220)
+
+    def test_bad_artifacts_raise(self, tmp_path):
+        with pytest.raises(ArtifactError, match="cannot read"):
+            load_artifact(tmp_path / "missing.json")
+        truncated = tmp_path / "trunc.json"
+        truncated.write_text('{"schema": "xbench-obs/2", "cells": [')
+        with pytest.raises(ArtifactError, match="not valid JSON"):
+            load_artifact(truncated)
+        wrong = tmp_path / "wrong.json"
+        wrong.write_text('{"schema": "other/1"}')
+        with pytest.raises(ArtifactError, match="expected xbench-obs/"):
+            load_artifact(wrong)
+
+    def test_accepts_v1_artifacts(self, tmp_path):
+        v1 = tmp_path / "old.json"
+        v1.write_text(json.dumps(
+            {"schema": "xbench-obs/1", "name": "old",
+             "cells": [_cell("Q5", 0.010)]}))
+        report = diff_paths(v1, v1)
+        assert report.ok and len(report.cells) == 1
+
+
+class TestCli:
+    def test_explain_text_normalizes_class_spelling(self, capsys):
+        code = cli_main(["explain", "dc_sd", "Q5", "--engine", "native",
+                        "--units", "20"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Q5 on dcsd via X-Hive (native)" in out
+        assert "native.index_lookup" in out
+        assert "rows_out=" in out and "time=" in out
+        assert hooks.active() is None
+
+    def test_explain_multiple_engines_with_unsupported(self, capsys):
+        """dcsd supports native but not xcolumn: one plan plus one
+        honest unsupported section still exits 0."""
+        code = cli_main(["explain", "dc_sd", "Q5", "--engine", "native",
+                        "--engine", "xcolumn", "--units", "20"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "via X-Hive (native)" in out
+        assert "via Xcolumn (xcolumn)" in out
+        assert "unsupported:" in out
+
+    def test_explain_json(self, capsys):
+        code = cli_main(["explain", "dcmd", "Q5", "--engine", "xcolumn",
+                        "--units", "20", "--format", "json"])
+        out = capsys.readouterr().out
+        assert code == 0
+        [section] = json.loads(out)
+        assert section["engine"] == "xcolumn"
+        assert section["rows"] >= 1
+        [plan] = section["plans"]
+        assert plan["attrs"]["qid"] == "Q5"
+        ops = {plan["root"]["op"]}
+        for child in plan["root"].get("children", ()):
+            ops.add(child["op"])
+        assert "xcolumn.side_table_plan" in ops
+
+    def test_explain_rejects_unknown_inputs(self, capsys):
+        assert cli_main(["explain", "bogus", "Q5"]) == 1
+        assert "unknown database class" in capsys.readouterr().err
+        assert cli_main(["explain", "dcsd", "Q99"]) == 1
+        assert "not defined" in capsys.readouterr().err
+
+    def test_profile_json_format(self, capsys, tmp_path):
+        code = cli_main(["profile", "--divisor", "20000",
+                        "--classes", "dcsd", "--engines", "native",
+                        "--queries", "Q1", "--repeats", "1",
+                        "--explain", "--name", "cli-json",
+                        "--obs-out", str(tmp_path),
+                        "--format", "json"])
+        captured = capsys.readouterr()
+        assert code == 0
+        document = json.loads(captured.out)
+        assert document["schema"] == "xbench-obs/2"
+        assert document["plans"]
+        # Progress chatter goes to stderr so stdout stays pipeable.
+        assert "wrote" in captured.err
+        assert (tmp_path / "BENCH_cli-json.json").exists()
+
+    def test_obs_diff_cli_gate(self, capsys, tmp_path):
+        a = _write_artifact(tmp_path, "a", [_cell("Q5", 0.010)])
+        b = _write_artifact(tmp_path / "b", "b", [_cell("Q5", 0.030)])
+        assert cli_main(["obs", "diff", str(a), str(a)]) == 0
+        capsys.readouterr()
+        assert cli_main(["obs", "diff", str(a), str(b)]) == 1
+        assert "FAIL" in capsys.readouterr().out
+        # --min-ms above both cells damps the gate.
+        assert cli_main(["obs", "diff", str(a), str(b),
+                        "--min-ms", "50"]) == 0
+        capsys.readouterr()
+        code = cli_main(["obs", "diff", str(a), str(b),
+                        "--format", "json"])
+        record = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert record["regressions"] == 1
+
+    def test_obs_diff_bad_artifact_exits_2(self, capsys, tmp_path):
+        missing = tmp_path / "nope.json"
+        assert cli_main(["obs", "diff", str(missing), str(missing)]) == 2
+        assert "error:" in capsys.readouterr().err
