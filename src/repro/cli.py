@@ -159,6 +159,9 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--repeats", type=int, default=3,
                          help="executions per query cell (cold + "
                               "warm; feeds the latency histograms)")
+    profile.add_argument("--no-indexes", action="store_true",
+                         help="skip Table 3 index creation (for "
+                              "indexed-vs-unindexed A/B runs)")
     profile.add_argument("--name", default="profile",
                          help="artifact name (BENCH_<name>.json)")
     profile.add_argument("--obs-out", default=".", metavar="DIR",
@@ -326,6 +329,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         engine_keys=(tuple(args.engines.split(","))
                      if args.engines else None),
         repeats=args.repeats,
+        with_indexes=not args.no_indexes,
         observe=True,
         explain=args.explain)
     if args.queries:

@@ -132,6 +132,13 @@ class EdgeStore:
     def node(self, pre: int) -> dict:
         return next(iter(self.database.lookup("nodes", "pre", pre)))
 
+    def by_tag(self, tag: str) -> list[dict]:
+        """All element rows with ``tag`` (tag hash index when built)."""
+        if self.database.index_for("nodes", "tag") is not None:
+            return list(self.database.lookup("nodes", "tag", tag))
+        return [row for row in self.database.scan("nodes")
+                if row["tag"] == tag]
+
     def children(self, pre: int, tag: str | None = None) -> list[dict]:
         """Child elements in document order (one parent_pre self-join)."""
         rows = [row for row in

@@ -33,15 +33,23 @@ from ..workload.queries import QUERIES_BY_ID
 from ..xml.nodes import Attribute, Document, Element, Node
 from ..xml.parser import parse_document
 from ..xml.serializer import serialize
+from ..xquery.context import Context
 from ..xquery.engine import StaticCollection, XQueryEngine
+from ..xquery.evaluator import evaluate as _evaluate
 from ..xquery.items import string_value
 from .base import Engine, LoadStats
+from .planner import IndexProbePlan, QueryPlanner, ScanPlan
 
-# Accelerated plans for single-document classes: (qid, class) ->
-# (index path, parameter name, XQuery relative to each indexed node).
-# Element-value indexes (e.g. "hw") yield the value-carrying element, so
-# relative queries step up with "..".  The multi-document classes have no
-# entries: collection() iteration is the architectural cost being modeled.
+# Legacy override/fallback table, fully subsumed by the generic planner
+# (tests/test_planner.py asserts every entry is re-derived from the AST
+# without consulting this dict).  Kept only as a safety net: if the
+# planner ever declines a query the table still covers, the engine falls
+# back here and counts ``planner.fallback_overrides``.
+# (qid, class) -> (index path, parameter name, XQuery relative to each
+# indexed node).  Element-value indexes (e.g. "hw") yield the
+# value-carrying element, so relative queries step up with "..".  The
+# multi-document classes have no entries: collection() iteration is the
+# architectural cost being modeled.
 _ACCELERATED: dict[tuple[str, str], tuple[str, str, str]] = {
     ("Q1", "dcsd"): ("item/@id", "id", "."),
     ("Q5", "dcsd"): ("item/@id", "id", "authors/author[1]/name/last_name"),
@@ -75,11 +83,15 @@ class NativeEngine(Engine):
         self._xquery = XQueryEngine()
         # index path -> {value: [nodes]}
         self._indexes: dict[str, dict[str, list[Node]]] = {}
+        # query text -> IndexProbePlan | ScanPlan; cleared whenever the
+        # collection or the declared indexes change.
+        self._plan_cache: dict[str, IndexProbePlan | ScanPlan] = {}
 
     def bulk_load(self, db_class: DatabaseClass,
                   texts: list[tuple[str, str]]) -> LoadStats:
         self._collection = StaticCollection()
         self._indexes.clear()
+        self._plan_cache.clear()
         for name, text in texts:
             self._collection.add(parse_document(text, name=name))
         return LoadStats(rows=0, notes=["parsed into trees"])
@@ -87,9 +99,11 @@ class NativeEngine(Engine):
     def create_indexes(self, paths: list[str]) -> None:
         for path in paths:
             self._indexes[path] = self._build_index(path)
+        self._plan_cache.clear()
 
     def drop_indexes(self) -> None:
         self._indexes.clear()
+        self._plan_cache.clear()
 
     def _build_index(self, path: str) -> dict[str, list[Node]]:
         """Index every document: value -> value-carrying nodes.
@@ -105,35 +119,51 @@ class NativeEngine(Engine):
     @staticmethod
     def _index_document(path: str, index: dict,
                         document: Document) -> None:
-        root = document.root_element
+        """Add one document's entries for the value index at ``path``.
+
+        Paths resolve through the document's structural summary: a bare
+        tag (or ``tag/@attr``) matches that tag anywhere, while slashed
+        element parts match their full relative path — two same-named
+        tags at different paths index independently.
+        """
+        summary = document.structural_summary()
         if "/@" in path:
-            tag, __, attr_name = path.partition("/@")
-            # The root element itself may carry the indexed attribute
-            # (order/@id: the root *is* the order element).
-            candidates = [root] if root.tag == tag else []
-            candidates.extend(root.descendant_elements(tag))
-            for element in candidates:
+            element_path, __, attr_name = path.partition("/@")
+            for element in summary.elements_matching(element_path):
                 value = element.get(attr_name)
                 if value is not None:
                     index.setdefault(value, []).append(element)
         else:
-            for element in root.descendant_elements(path.split("/")[-1]):
+            for element in summary.elements_matching(path):
                 index.setdefault(element.text_content(),
                                  []).append(element)
 
     def execute(self, qid: str, params: dict) -> list[str]:
         assert self.db_class is not None
         class_key = self.db_class.key
+        text = QUERIES_BY_ID[qid].text_for(class_key)
+        plan = self._plan_for(text)
 
-        plan = _ACCELERATED.get((qid, class_key))
-        if plan is not None:
-            path, param_name, relative_query = plan
-            index = self._indexes.get(path)
+        if isinstance(plan, IndexProbePlan):
+            index = self._indexes.get(plan.index_path)
             if index is not None:
+                return self._run_index_plan(plan, index, params)
+            scan_reason = f"index {plan.index_path} not built"
+        else:
+            scan_reason = plan.reason
+
+        # Safety net: the planner should subsume every override entry;
+        # reaching this branch means it declined one the table covers.
+        legacy = _ACCELERATED.get((qid, class_key))
+        if legacy is not None:
+            path, param_name, relative_query = legacy
+            index = self._indexes.get(path)
+            if index is not None and not isinstance(plan, IndexProbePlan):
                 _obs_count("native.index_hits")
+                _obs_count("planner.fallback_overrides")
                 value = str(params[param_name])
-                with _obs_plan_node("native.index_lookup",
-                                    path=path) as plan_node:
+                with _obs_plan_node("native.index_lookup", path=path,
+                                    source="override") as plan_node:
                     matches = index.get(value, [])
                     out = self._run_accelerated(index, value,
                                                 relative_query, params)
@@ -143,8 +173,6 @@ class NativeEngine(Engine):
 
         _obs_count("native.collection_scans")
         _obs_count("native.documents_visited", len(self._collection))
-        query = QUERIES_BY_ID[qid]
-        text = query.text_for(class_key)
         context_item = None
         if self.db_class.single_document:
             documents = self._collection.collection()
@@ -152,13 +180,58 @@ class NativeEngine(Engine):
                 raise XQueryEvalError("collection is empty")
             context_item = documents[0]
         with _obs_plan_node("native.collection_scan",
-                            documents=len(self._collection)) as plan_node:
+                            documents=len(self._collection),
+                            reason=scan_reason) as plan_node:
             result = self._xquery.execute(text, self._collection,
                                           variables=dict(params),
                                           context_item=context_item)
             out = normalize_result(result)
             plan_node.add(rows_in=len(self._collection),
                           rows_out=len(out))
+        return out
+
+    def _plan_for(self, text: str) -> IndexProbePlan | ScanPlan:
+        """Plan ``text`` (cached per collection/index generation)."""
+        plan = self._plan_cache.get(text)
+        if plan is None:
+            compiled = self._xquery.compile(text)
+            planner = QueryPlanner(
+                self._indexes.keys(),
+                lambda: [document.structural_summary()
+                         for document in self._collection.collection()])
+            plan = planner.plan(compiled.expression)
+            self._plan_cache[text] = plan
+            if isinstance(plan, IndexProbePlan):
+                _obs_count("planner.index_plans")
+            else:
+                _obs_count("planner.scan_plans")
+        return plan
+
+    def _run_index_plan(self, plan: IndexProbePlan, index: dict,
+                        params: dict) -> list[str]:
+        """Probe the index, evaluate the residual per matched node."""
+        _obs_count("native.index_hits")
+        if plan.param is not None:
+            value = str(params[plan.param])
+        else:
+            value = str(plan.literal)
+        entries = sum(len(nodes) for nodes in index.values())
+        estimated = max(1, round(entries / len(index))) if index else 0
+        bound = {name: val if isinstance(val, list) else [val]
+                 for name, val in params.items()}
+        with _obs_plan_node("native.index_lookup", path=plan.index_path,
+                            source="planner", probe=plan.probe_desc,
+                            residual=plan.residual_desc,
+                            why=plan.reason,
+                            estimated_rows=estimated) as plan_node:
+            matches = index.get(value, [])
+            out: list[str] = []
+            for node in matches:
+                context = Context(variables=dict(bound), item=node,
+                                  provider=self._collection)
+                out.extend(normalize_result(
+                    _evaluate(plan.residual, context)))
+            plan_node.add(rows_in=len(matches), rows_out=len(out))
         return out
 
     def _run_accelerated(self, index: dict[str, list[Node]], value: str,
@@ -177,12 +250,14 @@ class NativeEngine(Engine):
         """Parse and add one document, maintaining value indexes."""
         document = parse_document(text, name=name)
         self._collection.add(document)
+        self._plan_cache.clear()
         for path, index in self._indexes.items():
             self._index_document(path, index, document)
 
     def delete_document(self, name: str) -> None:
         """Detach one document and purge its index entries."""
         document = self._collection.remove(name)
+        self._plan_cache.clear()
         for index in self._indexes.values():
             for value in list(index):
                 nodes = [node for node in index[value]
@@ -205,9 +280,17 @@ class NativeEngine(Engine):
                 list(scope.descendant_elements(target_tag))
             for target in targets:
                 self._retarget_indexes(target, new_value)
+                had_elements = target.has_element_children()
                 target.children = []
                 target.append_text(new_value)
                 changed += 1
+                if had_elements:
+                    # Elements were removed: the cached structural
+                    # summary (and any plan derived from it) is stale.
+                    document = target.document
+                    if document is not None:
+                        document.invalidate_summary()
+                    self._plan_cache.clear()
         return changed
 
     def _match_anchors(self, id_path: str, id_value: str) -> list[Node]:

@@ -20,7 +20,10 @@ caller (EdgeEngine) falls back to its handwritten plans.
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
+
 from ..errors import EngineError
+from ..obs.recorder import count as _obs_count
 from ..xquery import ast
 from ..xquery.parser import parse_query
 
@@ -135,26 +138,49 @@ def execute_path(store, expression: ast.PathExpr,
     # (/dictionary selects the dictionary root, not its children).
     at_document_level = True
 
-    for index, step in enumerate(steps):
+    index = 0
+    total = len(steps)
+    while index < total:
+        step = steps[index]
         if at_document_level and step.axis == "child":
             at_document_level = False
             matched = [row for row in current
                        if step.test == "*" or row["tag"] == step.test]
             current = _apply_predicates(store, matched, step, params)
+            index += 1
             continue
-        at_document_level = False
         if step.axis == "attribute":
-            if index != len(steps) - 1:
+            if index != total - 1:
                 raise UnsupportedPathError(
                     "attribute steps must be final")
             return _attribute_values(store, current, step, params)
         if step.test == "text()":
-            if index != len(steps) - 1:
+            if index != total - 1:
                 raise UnsupportedPathError("text() must be final")
             return [row["text"] or "" for row in current]
         if step.axis == "descendant-or-self":
-            # pairs with the following child step ("//tag"); here we
-            # expand to self + all descendants, the next step filters.
+            next_step = steps[index + 1] if index + 1 < total else None
+            if (isinstance(next_step, ast.AxisStep)
+                    and next_step.axis == "child"
+                    and next_step.test != "*"
+                    and not next_step.test.endswith(")")):
+                # "//tag": fetch candidates straight from the tag index
+                # and keep those inside a context interval, instead of
+                # materializing every descendant.  At document level the
+                # context is the document node, so a root element with
+                # the tag qualifies too (pre == context pre).
+                _obs_count("edge.tagindex_probes")
+                candidates = store.by_tag(next_step.test)
+                contained = _contained_in(candidates, current,
+                                          include_self=at_document_level)
+                current = _apply_predicates(store, contained, next_step,
+                                            params)
+                at_document_level = False
+                index += 2
+                continue
+            at_document_level = False
+            # generic fallback ("//*", "//text()"): expand to self +
+            # all descendants, the next step filters.
             expanded: list = []
             seen: set[int] = set()
             for row in current:
@@ -167,7 +193,9 @@ def execute_path(store, expression: ast.PathExpr,
                         expanded.append(descendant)
             expanded.sort(key=lambda row: row["pre"])
             current = expanded
+            index += 1
             continue
+        at_document_level = False
         # child axis
         next_rows: list = []
         for row in current:
@@ -178,7 +206,38 @@ def execute_path(store, expression: ast.PathExpr,
                                          params)
             next_rows.extend(children)
         current = _dedupe(next_rows)
+        index += 1
     return current
+
+
+def _contained_in(candidates: list, context_rows: list,
+                  include_self: bool) -> list:
+    """Candidate rows inside any context interval, in pre order.
+
+    Subtree intervals are disjoint or nested, so for each candidate it
+    suffices to look at the context interval with the largest ``post``
+    among those starting at or before the candidate's ``pre`` (a prefix
+    maximum over intervals sorted by ``pre``).  A candidate with
+    ``cpre < pre < cpost`` is a strict descendant; ``include_self``
+    additionally admits ``pre == cpre``.
+    """
+    if not context_rows or not candidates:
+        return []
+    intervals = sorted((row["pre"], row["post"]) for row in context_rows)
+    pres = [pre for pre, _ in intervals]
+    prefix_max_post: list[int] = []
+    best = 0
+    for _, post in intervals:
+        best = max(best, post)
+        prefix_max_post.append(best)
+    out = []
+    for row in sorted(candidates, key=lambda r: r["pre"]):
+        pre = row["pre"]
+        last = (bisect_right(pres, pre) if include_self
+                else bisect_left(pres, pre)) - 1
+        if last >= 0 and prefix_max_post[last] > pre:
+            out.append(row)
+    return out
 
 
 def _dedupe(rows: list) -> list:

@@ -1,0 +1,284 @@
+"""Index-aware query planning for the native engine.
+
+Replaces the hand-written per-query acceleration table: given a compiled
+query's AST, the engine's declared value indexes (Table 3 paths) and the
+collection's structural path summaries, :class:`QueryPlanner` derives an
+:class:`IndexProbePlan` — "probe index X with $param, then evaluate this
+residual expression from each probed node" — for *any* eligible query,
+or a :class:`ScanPlan` carrying the human-readable reason it declined.
+
+Eligibility rules (see ``docs/indexing.md``):
+
+1. The query is an absolute path, or a FLWOR whose first clause binds a
+   variable over an absolute path.  ``collection()``-anchored queries
+   are never eligible: visiting every document is the architectural
+   cost the multi-document classes are supposed to pay.
+2. The steps before the anchor are plain child steps with literal name
+   tests and no predicates.
+3. The anchor step carries exactly one equality predicate comparing a
+   child element or attribute against a variable or literal, and a
+   declared value index covers that element/attribute path.
+4. The path summary confirms the probed tag occurs *only* at the
+   query's prefix path — otherwise an index probe would return nodes
+   the path expression would never have reached.
+
+The residual is spliced together from the original AST (never unparsed
+text): the steps after the anchor become a relative path evaluated with
+each probed node as the context item; element-value indexes yield the
+value-carrying child, so their residuals start with a parent step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional, Union
+
+from ..xquery import ast
+
+
+@dataclass
+class IndexProbePlan:
+    """Probe a value index, then run a residual expression per node."""
+
+    index_path: str               # declared index, e.g. "item/@id" or "hw"
+    param: Optional[str]          # $param supplying the probe value, or ...
+    literal: Optional[object]     # ... a literal probe value
+    residual: object              # AST run with each probed node as context
+    residual_desc: str            # rendering of the residual, for explain
+    anchor_path: str              # root-relative path of the anchored nodes
+    reason: str                   # why the planner chose this index
+
+    @property
+    def probe_desc(self) -> str:
+        source = f"${self.param}" if self.param is not None \
+            else repr(self.literal)
+        return f"{self.index_path} = {source}"
+
+
+@dataclass
+class ScanPlan:
+    """No index applies; fall back to full (collection) evaluation."""
+
+    reason: str
+
+
+Plan = Union[IndexProbePlan, ScanPlan]
+
+
+@dataclass
+class _Probe:
+    """Internal: a matched anchor before residual construction."""
+
+    index_path: str
+    param: Optional[str]
+    literal: Optional[object]
+    residual_steps: list
+    anchor_path: str
+    reason: str
+
+
+class QueryPlanner:
+    """Derives index-probe plans from query ASTs.
+
+    ``summaries`` is a zero-argument callable returning the structural
+    summaries of the loaded documents; it is only invoked once a
+    candidate index has been found (so ``collection()`` queries never
+    pay for summary construction).
+    """
+
+    def __init__(self, index_paths: Iterable[str],
+                 summaries: Callable[[], list]) -> None:
+        self._index_paths = list(index_paths)
+        self._summaries = summaries
+
+    def plan(self, expression: object) -> Plan:
+        if isinstance(expression, ast.FLWOR):
+            return self._plan_flwor(expression)
+        if isinstance(expression, ast.PathExpr):
+            probe = self._find_probe(expression)
+            if isinstance(probe, ScanPlan):
+                return probe
+            residual, desc = _residual_expression(probe.residual_steps)
+            return IndexProbePlan(
+                index_path=probe.index_path, param=probe.param,
+                literal=probe.literal, residual=residual,
+                residual_desc=desc, anchor_path=probe.anchor_path,
+                reason=probe.reason)
+        return ScanPlan("not a path or FLWOR expression")
+
+    def _plan_flwor(self, flwor: ast.FLWOR) -> Plan:
+        if not flwor.clauses or not isinstance(flwor.clauses[0],
+                                               ast.ForClause):
+            return ScanPlan("FLWOR does not start with a for clause")
+        first = flwor.clauses[0]
+        if not isinstance(first.expr, ast.PathExpr):
+            return ScanPlan("first for clause is not bound to a path")
+        probe = self._find_probe(first.expr)
+        if isinstance(probe, ScanPlan):
+            return probe
+        residual, desc = _residual_expression(probe.residual_steps)
+        rewritten = ast.FLWOR(
+            clauses=[ast.ForClause(first.var, residual,
+                                   first.position_var)]
+            + list(flwor.clauses[1:]),
+            where=flwor.where, order_by=flwor.order_by,
+            return_expr=flwor.return_expr)
+        return IndexProbePlan(
+            index_path=probe.index_path, param=probe.param,
+            literal=probe.literal, residual=rewritten,
+            residual_desc=f"for ${first.var} in {desc} ...",
+            anchor_path=probe.anchor_path, reason=probe.reason)
+
+    # -- anchor detection -------------------------------------------------
+
+    def _find_probe(self, path: ast.PathExpr) -> Union[_Probe, ScanPlan]:
+        if not path.absolute:
+            first = path.steps[0] if path.steps else None
+            if isinstance(first, ast.FunctionCall) \
+                    and first.name in ("collection", "input"):
+                return ScanPlan("collection() query: every document "
+                                "must be visited")
+            return ScanPlan("relative path: no stable root anchor")
+        prefix: list[str] = []
+        for position, step in enumerate(path.steps):
+            if not isinstance(step, ast.AxisStep):
+                return ScanPlan("non-step expression in path prefix")
+            if step.axis != "child":
+                return ScanPlan(f"{step.axis} axis before any "
+                                "indexable predicate")
+            if step.test == "*" or step.test.endswith(")"):
+                return ScanPlan("wildcard or kind test before any "
+                                "indexable predicate")
+            prefix.append(step.test)
+            if step.predicates:
+                return self._match_anchor(step, prefix,
+                                          path.steps[position + 1:])
+        return ScanPlan("no predicate to probe an index with")
+
+    def _match_anchor(self, step: ast.AxisStep, prefix: list[str],
+                      rest: list) -> Union[_Probe, ScanPlan]:
+        if len(step.predicates) != 1:
+            return ScanPlan("anchor step has multiple predicates")
+        predicate = step.predicates[0]
+        if not isinstance(predicate, ast.Comparison):
+            return ScanPlan("anchor predicate is not a comparison")
+        if predicate.op in ("<", "<=", ">", ">=", "lt", "le", "gt",
+                            "ge"):
+            return ScanPlan("range predicate: value indexes are hash "
+                            "maps with no key order")
+        if predicate.op not in ("=", "eq"):
+            return ScanPlan(
+                f"unsupported comparison {predicate.op!r}")
+        if not isinstance(predicate.right, (ast.VarRef, ast.Literal)):
+            return ScanPlan("probe value is neither a parameter nor "
+                            "a literal")
+        operand = _unwrap_operand(predicate.left)
+        if operand is None:
+            return ScanPlan("predicate operand is not a one-step "
+                            "child or attribute path")
+        param = predicate.right.name \
+            if isinstance(predicate.right, ast.VarRef) else None
+        literal = predicate.right.value \
+            if isinstance(predicate.right, ast.Literal) else None
+        anchor_path = "/".join(prefix)
+
+        if operand.axis == "attribute":
+            index_path = f"{step.test}/@{operand.test}"
+            if index_path not in self._index_paths:
+                return ScanPlan(f"no declared index on {index_path}")
+            exclusive = self._paths_exclusive(step.test, anchor_path)
+            if exclusive is not None:
+                return exclusive
+            return _Probe(
+                index_path=index_path, param=param, literal=literal,
+                residual_steps=list(rest), anchor_path=anchor_path,
+                reason=f"equality on @{operand.test} of "
+                       f"/{anchor_path} matches index {index_path}")
+
+        # Element-value predicate ([hw = $word]): the index holds the
+        # value-carrying child; the residual steps up to the anchor.
+        child_tag = operand.test
+        value_path = anchor_path + "/" + child_tag
+        index_path = self._element_index_for(child_tag, value_path)
+        if index_path is None:
+            return ScanPlan(f"no declared index on {value_path}")
+        exclusive = self._paths_exclusive(child_tag, value_path)
+        if exclusive is not None:
+            return exclusive
+        residual_steps = [ast.AxisStep("parent", "node()")] + list(rest)
+        return _Probe(
+            index_path=index_path, param=param, literal=literal,
+            residual_steps=residual_steps, anchor_path=anchor_path,
+            reason=f"equality on child {child_tag} of /{anchor_path} "
+                   f"matches index {index_path}")
+
+    def _element_index_for(self, tag: str,
+                           value_path: str) -> Optional[str]:
+        """A declared element-value index covering ``value_path``."""
+        value_segments = value_path.split("/")
+        for declared in self._index_paths:
+            if "/@" in declared:
+                continue
+            if "/" not in declared:
+                if declared == tag:
+                    return declared
+                continue
+            segments = declared.split("/")
+            if len(value_segments) >= len(segments) \
+                    and value_segments[-len(segments):] == segments:
+                return declared
+        return None
+
+    def _paths_exclusive(self, tag: str,
+                         path: str) -> Optional[ScanPlan]:
+        """None if ``tag`` occurs only at ``path`` across the collection,
+        else a ScanPlan explaining the over-match risk."""
+        summaries = self._summaries()
+        if not summaries:
+            return ScanPlan("empty collection: nothing to probe")
+        occurrences: set[str] = set()
+        for summary in summaries:
+            occurrences.update(summary.paths_of(tag))
+        if not occurrences:
+            return ScanPlan(f"tag {tag} does not occur in the "
+                            "collection")
+        strays = occurrences - {path}
+        if strays:
+            return ScanPlan(
+                f"tag {tag} also occurs at {sorted(strays)}: an index "
+                "probe would over-match the path")
+        return None
+
+
+# -- residual construction -------------------------------------------------
+
+def _unwrap_operand(operand: object) -> Optional[ast.AxisStep]:
+    """The single child/attribute AxisStep of a predicate operand."""
+    if isinstance(operand, ast.PathExpr) and not operand.absolute \
+            and len(operand.steps) == 1:
+        operand = operand.steps[0]
+    if isinstance(operand, ast.AxisStep) and not operand.predicates \
+            and operand.axis in ("child", "attribute") \
+            and operand.test != "*" and not operand.test.endswith(")"):
+        return operand
+    return None
+
+
+def _residual_expression(steps: list) -> tuple[object, str]:
+    """Relative AST (plus a rendering) for the post-anchor steps."""
+    if not steps:
+        return ast.ContextItem(), "."
+    return ast.PathExpr(list(steps), absolute=False), \
+        "/".join(_render_step(step) for step in steps)
+
+
+def _render_step(step: object) -> str:
+    if not isinstance(step, ast.AxisStep):
+        return "<expr>"
+    if step.axis == "parent" and step.test == "node()":
+        return ".."
+    prefix = "@" if step.axis == "attribute" else ""
+    suffix = "[...]" * len(step.predicates)
+    if step.axis == "descendant-or-self" and step.test == "node()":
+        return ""        # renders "//" via the joining slash
+    return f"{prefix}{step.test}{suffix}"

@@ -267,11 +267,14 @@ class XColumnEngine(Engine):
         changed = 0
         for name in self._docs_with(side_table, str(id_value)):
             document = self._parse_clob(name)
-            for element in document.root_element.descendant_elements(
-                    target_tag):
+            for element in list(document.root_element.descendant_elements(
+                    target_tag)):
                 element.children = []
                 element.append_text(new_value)
                 changed += 1
+            # The edits may have removed elements; the side-row refresh
+            # below must not reuse a stale structural summary.
+            document.invalidate_summary()
             # Rewrite the CLOB and refresh this document's side rows.
             from ..xml.serializer import serialize
             new_text = serialize(document)
@@ -425,6 +428,22 @@ def _extract_values(root: Element, spec: SideSpec) -> list[str]:
         return [value] if value is not None else []
     if "/@" in path:
         element_path, __, attr = path.partition("/@")
-        return [element.get(attr) for element in root.find_all(element_path)
+        return [element.get(attr)
+                for element in _elements_at(root, element_path)
                 if element.get(attr) is not None]
-    return [element.text_content() for element in root.find_all(path)]
+    return [element.text_content()
+            for element in _elements_at(root, path)]
+
+
+def _elements_at(root: Element, path: str) -> list[Element]:
+    """Elements at the root-relative child ``path``.
+
+    Attached documents answer from the structural summary's path map
+    (one dict lookup per spec instead of a per-level frontier walk);
+    detached roots fall back to ``find_all``.
+    """
+    document = root.parent
+    if isinstance(document, Document):
+        return document.structural_summary().elements_at_path(
+            f"{root.tag}/{path}")
+    return list(root.find_all(path))

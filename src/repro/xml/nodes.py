@@ -214,7 +214,22 @@ class Element(Node):
 
     def descendant_elements(self,
                             tag: Optional[str] = None) -> Iterator["Element"]:
-        """Yield descendant elements in document order, optionally by tag."""
+        """Descendant elements in document order, optionally by tag.
+
+        When a ``tag`` is given and the element belongs to a document,
+        the answer comes from the document's structural summary
+        (O(matches) tag-map lookup); detached trees and tag-less calls
+        fall back to a full subtree walk.
+        """
+        if tag is not None:
+            document = self.document
+            if document is not None:
+                return iter(document.structural_summary()
+                            .descendants_with_tag(self, tag))
+        return self._walk_descendant_elements(tag)
+
+    def _walk_descendant_elements(
+            self, tag: Optional[str]) -> Iterator["Element"]:
         for node in self.descendants():
             if isinstance(node, Element) and (tag is None or node.tag == tag):
                 yield node
@@ -242,7 +257,7 @@ class Document(Node):
     top-level comments, ``name`` is the document's logical file name inside
     a collection (e.g. ``article042.xml``)."""
 
-    __slots__ = ("children", "name", "serial")
+    __slots__ = ("children", "name", "serial", "_summary")
 
     kind = "document"
 
@@ -252,6 +267,7 @@ class Document(Node):
         super().__init__()
         self.children: list[Node] = []
         self.name = name
+        self._summary = None
         # Creation serial: gives documents a stable, deterministic
         # inter-document order (XQuery leaves it implementation-defined;
         # we define it as creation/parse order).
@@ -259,6 +275,20 @@ class Document(Node):
         self.serial = Document._next_serial
         if root is not None:
             self.append(root)
+
+    def structural_summary(self):
+        """The document's :class:`~repro.xml.summary.StructuralSummary`,
+        built lazily on first use and cached until invalidated."""
+        summary = self._summary
+        if summary is None:
+            from .summary import StructuralSummary
+            summary = self._summary = StructuralSummary.build(self)
+        return summary
+
+    def invalidate_summary(self) -> None:
+        """Drop the cached summary.  Must be called after any mutation
+        that adds or removes *elements* (text edits don't need it)."""
+        self._summary = None
 
     @property
     def root_element(self) -> Element:

@@ -13,8 +13,14 @@ with line/column positions.
 
 from __future__ import annotations
 
+from sys import intern as _intern
+
 from ..errors import XMLParseError
 from .nodes import Comment, Document, Element, Text
+
+# Attribute values longer than this are unlikely to repeat; interning
+# them would grow the intern table for no sharing benefit.
+_INTERN_VALUE_LIMIT = 64
 
 _PREDEFINED_ENTITIES = {
     "lt": "<",
@@ -208,7 +214,9 @@ def _skip_doctype(scanner: _Scanner) -> None:
 
 def _parse_element(scanner: _Scanner) -> Element:
     scanner.expect("<")
-    tag = scanner.read_name()
+    # Interned tag names make tag-map keys and the evaluator's name-test
+    # comparisons hit CPython's pointer-equality fast path.
+    tag = _intern(scanner.read_name())
     element = Element(tag)
     _parse_attributes(scanner, element)
 
@@ -228,7 +236,7 @@ def _parse_attributes(scanner: _Scanner, element: Element) -> None:
             return
         if not had_space:
             raise scanner.error("expected whitespace before attribute")
-        name = scanner.read_name()
+        name = _intern(scanner.read_name())
         scanner.skip_whitespace()
         scanner.expect("=")
         scanner.skip_whitespace()
@@ -243,7 +251,12 @@ def _parse_attributes(scanner: _Scanner, element: Element) -> None:
                                 value_start + raw.index("<"))
         if name in element.attributes:
             raise scanner.error(f"duplicate attribute {name!r}", value_start)
-        element.set_attribute(name, _decode_entities(raw, scanner, value_start))
+        value = _decode_entities(raw, scanner, value_start)
+        if len(value) <= _INTERN_VALUE_LIMIT:
+            # Short attribute values (ids, enumerations) repeat heavily
+            # across XBench documents; share one string object each.
+            value = _intern(value)
+        element.set_attribute(name, value)
 
 
 def _parse_content(scanner: _Scanner, element: Element) -> None:

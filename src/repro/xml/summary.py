@@ -1,0 +1,170 @@
+"""Structural path summaries for parsed documents.
+
+A :class:`StructuralSummary` is a DataGuide-style index of one document's
+element structure, built in a single DFS over the tree:
+
+* ``tag_map`` partitions every element by tag, in document order, so
+  "all descendants named *t*" is a dictionary lookup plus (for non-root
+  origins) an ancestor check — O(matches) instead of a full-tree walk;
+* ``path_map`` groups elements by their *root-relative path* (e.g.
+  ``catalog/item/title``), which is what value-index builders and the
+  DAD side-table extractors navigate by;
+* ``paths_by_tag`` records the distinct paths each tag occurs at — the
+  planner's eligibility oracle ("does ``item`` occur anywhere other
+  than ``catalog/item``?").
+
+Summaries are cached on :class:`~repro.xml.nodes.Document` and built
+lazily on first use (:meth:`Document.structural_summary`).  They index
+*elements only*; text-level edits (the common update-workload case) do
+not invalidate them, but any mutation that adds or removes elements
+must call :meth:`Document.invalidate_summary` — the engines' update
+hooks do.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from .nodes import Document, Element, Node, document_order
+
+
+class StructuralSummary:
+    """Tag-partitioned element maps plus a path summary for one document."""
+
+    __slots__ = ("tag_map", "path_map", "paths_by_tag")
+
+    def __init__(self) -> None:
+        # tag -> elements with that tag, in document order
+        self.tag_map: dict[str, list[Element]] = {}
+        # root-relative path ("catalog/item") -> elements, in document order
+        self.path_map: dict[str, list[Element]] = {}
+        # tag -> distinct root-relative paths it occurs at (discovery order)
+        self.paths_by_tag: dict[str, list[str]] = {}
+
+    @classmethod
+    def build(cls, document: Document) -> "StructuralSummary":
+        """One DFS over ``document``; empty documents yield an empty summary."""
+        summary = cls()
+        tag_map = summary.tag_map
+        path_map = summary.path_map
+        paths_by_tag = summary.paths_by_tag
+        try:
+            root = document.root_element
+        except ValueError:
+            return summary
+
+        # Sibling runs share path strings; memoize per (parent path, tag).
+        child_paths: dict[tuple[str, str], str] = {}
+
+        def visit(element: Element, path: str) -> None:
+            bucket = tag_map.get(element.tag)
+            if bucket is None:
+                tag_map[element.tag] = bucket = []
+            bucket.append(element)
+            rows = path_map.get(path)
+            if rows is None:
+                path_map[path] = rows = []
+                paths_by_tag.setdefault(element.tag, []).append(path)
+            rows.append(element)
+            for child in element.children:
+                if isinstance(child, Element):
+                    key = (path, child.tag)
+                    child_path = child_paths.get(key)
+                    if child_path is None:
+                        child_paths[key] = child_path = \
+                            path + "/" + child.tag
+                    visit(child, child_path)
+
+        visit(root, root.tag)
+        return summary
+
+    # -- lookups ---------------------------------------------------------
+
+    def elements_with_tag(self, tag: str) -> list[Element]:
+        """All elements named ``tag`` (document order; root included)."""
+        return list(self.tag_map.get(tag, ()))
+
+    def elements_at_path(self, path: str) -> list[Element]:
+        """Elements at exactly the root-relative ``path``."""
+        return list(self.path_map.get(path, ()))
+
+    def elements_matching(self, path: str) -> list[Element]:
+        """Elements matching an index path.
+
+        A bare tag matches anywhere in the document; a slashed path
+        (``a/b``) matches elements whose root-relative path *ends with*
+        those segments — so two same-named tags at different paths are
+        kept apart.
+        """
+        if "/" not in path:
+            return self.elements_with_tag(path)
+        suffix = tuple(segment for segment in path.split("/") if segment)
+        matched: list[Element] = []
+        hits = 0
+        for full_path, elements in self.path_map.items():
+            segments = tuple(full_path.split("/"))
+            if len(segments) >= len(suffix) \
+                    and segments[-len(suffix):] == suffix:
+                matched.extend(elements)
+                hits += 1
+        if hits > 1:
+            return document_order(matched)  # merge back into doc order
+        return matched
+
+    def paths_of(self, tag: str) -> tuple[str, ...]:
+        """The distinct root-relative paths ``tag`` occurs at."""
+        return tuple(self.paths_by_tag.get(tag, ()))
+
+    def count_at(self, path: str) -> int:
+        """How many elements sit at the root-relative ``path``."""
+        return len(self.path_map.get(path, ()))
+
+    def descendants_with_tag(self, origin: Node,
+                             tag: str) -> list[Element]:
+        """Elements named ``tag`` strictly below ``origin``, in document
+        order.  ``origin`` may be the document, the root element, or any
+        element of this document."""
+        candidates = self.tag_map.get(tag)
+        if not candidates:
+            return []
+        if isinstance(origin, Document):
+            return list(candidates)
+        parent = origin.parent
+        if isinstance(parent, Document):
+            # origin is the root element: everything but itself.
+            return [element for element in candidates
+                    if element is not origin]
+        out = []
+        for candidate in candidates:
+            if candidate is origin:
+                continue
+            node = candidate.parent
+            while node is not None:
+                if node is origin:
+                    out.append(candidate)
+                    break
+                node = node.parent
+        return out
+
+
+def summaries_of(documents: Iterable[Document]) -> list[StructuralSummary]:
+    """The (lazily built, cached) summaries of ``documents``."""
+    return [document.structural_summary() for document in documents]
+
+
+def fast_descendant_elements(node: Node,
+                             tag: str) -> Optional[list[Element]]:
+    """Summary-backed ``descendant::tag`` lookup, or ``None``.
+
+    Returns ``None`` when the node is detached (no owning document) or
+    is not an element/document — callers fall back to a tree walk.
+    """
+    if isinstance(node, Document):
+        document: Optional[Document] = node
+    elif isinstance(node, Element):
+        document = node.document
+    else:
+        return None
+    if document is None:
+        return None
+    return document.structural_summary().descendants_with_tag(node, tag)

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..obs.recorder import count as _obs_count
 from ..xml.nodes import Document, Node
 from .context import Context, DocumentProvider, EmptyProvider
 from .evaluator import evaluate
@@ -36,20 +37,26 @@ class CompiledQuery:
 
 
 class XQueryEngine:
-    """Compile-and-run facade with a small compiled-query cache."""
+    """Compile-and-run facade with a small compiled-query LRU cache."""
 
     def __init__(self, cache_size: int = 256) -> None:
+        # Insertion order doubles as recency order: hits reinsert their
+        # key, so the first key is always the least recently used.
         self._cache: dict[str, CompiledQuery] = {}
         self._cache_size = cache_size
 
     def compile(self, text: str) -> CompiledQuery:
         """Compile ``text``, reusing the cache when possible."""
-        query = self._cache.get(text)
-        if query is None:
-            query = CompiledQuery(text)
-            if len(self._cache) >= self._cache_size:
-                self._cache.pop(next(iter(self._cache)))
-            self._cache[text] = query
+        query = self._cache.pop(text, None)
+        if query is not None:
+            _obs_count("xquery.cache.hit")
+            self._cache[text] = query          # refresh recency
+            return query
+        _obs_count("xquery.cache.miss")
+        query = CompiledQuery(text)
+        if len(self._cache) >= self._cache_size:
+            self._cache.pop(next(iter(self._cache)))   # evict true LRU
+        self._cache[text] = query
         return query
 
     def execute(self, text: str,

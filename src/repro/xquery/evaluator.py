@@ -23,6 +23,7 @@ from ..xml.nodes import (
     Text,
     document_order,
 )
+from ..xml.summary import fast_descendant_elements
 from . import ast
 from .context import Context
 from .functions import lookup
@@ -313,19 +314,51 @@ def _compare_keys(left: object, right: object, spec: ast.OrderSpec) -> int:
 # -- paths --------------------------------------------------------------------------
 
 def _eval_path(node: ast.PathExpr, context: Context) -> list:
+    steps = _fuse_descendant_steps(node.steps)
     if node.absolute:
         item = context.require_item()
         if not isinstance(item, Node):
             raise XQueryTypeError("'/' requires a node context item")
         current: list = [item.root()]
-        remaining = node.steps
+        remaining = steps
     else:
-        current = _eval_step(node.steps[0], [None], context, initial=True)
-        remaining = node.steps[1:]
+        current = _eval_step(steps[0], [None], context, initial=True)
+        remaining = steps[1:]
 
     for step in remaining:
         current = _eval_step(step, current, context, initial=False)
     return current
+
+
+def _fuse_descendant_steps(steps: list) -> list:
+    """Fuse ``descendant-or-self::node()/child::T`` pairs (the ``//``
+    shorthand) into a single ``descendant::T`` step.
+
+    For any node test T the two are equivalent — every descendant is a
+    child of some member of the or-self set — as long as neither step
+    carries predicates (a positional predicate on the child step groups
+    per parent, which fusion would break).  The fused step avoids
+    materializing the entire subtree and, for named tests, is answered
+    straight from the document's tag map.
+    """
+    fused: list = []
+    index = 0
+    total = len(steps)
+    while index < total:
+        step = steps[index]
+        if (isinstance(step, ast.AxisStep)
+                and step.axis == "descendant-or-self"
+                and step.test == "node()" and not step.predicates
+                and index + 1 < total):
+            nxt = steps[index + 1]
+            if (isinstance(nxt, ast.AxisStep) and nxt.axis == "child"
+                    and not nxt.predicates):
+                fused.append(ast.AxisStep("descendant", nxt.test))
+                index += 2
+                continue
+        fused.append(step)
+        index += 1
+    return fused
 
 
 def _eval_step(step: object, input_sequence: list, context: Context,
@@ -411,9 +444,17 @@ def _axis_nodes(node: Node, step: ast.AxisStep) -> list:
         return [child for child in _children_of(node)
                 if _matches(child, test)]
     if axis == "descendant":
+        fast = _fast_descendants(node, test)
+        if fast is not None:
+            return fast
         return [desc for desc in _descendants_of(node)
                 if _matches(desc, test)]
     if axis == "descendant-or-self":
+        fast = _fast_descendants(node, test)
+        if fast is not None:
+            if _matches(node, test):
+                return [node] + fast
+            return fast
         out = [node] if _matches(node, test) else []
         out.extend(desc for desc in _descendants_of(node)
                    if _matches(desc, test))
@@ -439,6 +480,21 @@ def _children_of(node: Node) -> list:
     if isinstance(node, (Element, Document)):
         return node.children
     return []
+
+
+def _fast_descendants(node: Node, test: str) -> list | None:
+    """Tag-map shortcut for named descendant tests; None -> tree walk.
+
+    Only plain element-name tests qualify (kind tests and ``*`` must
+    see text/comment nodes the summary doesn't track), and only for
+    nodes attached to a document.
+    """
+    if test == "*" or test.endswith(")"):
+        return None
+    fast = fast_descendant_elements(node, test)
+    if fast is not None:
+        _obs_count("xquery.tagmap_hits")
+    return fast
 
 
 def _descendants_of(node: Node) -> list:

@@ -37,6 +37,8 @@ work; ``{{``/``}}`` escape literal braces.
 
 from __future__ import annotations
 
+from sys import intern as _intern
+
 from ..errors import XQuerySyntaxError
 from . import ast
 from .lexer import Lexer
@@ -444,7 +446,9 @@ class Parser:
         if self.tok.kind != NAME:
             raise self.error(
                 f"expected a name test, found {self.tok.value!r}")
-        return self.advance().value
+        # Interned to match the parser-interned tag names, so the
+        # evaluator's name-test comparisons are pointer comparisons.
+        return _intern(self.advance().value)
 
     def _parse_predicates(self) -> list:
         predicates = []

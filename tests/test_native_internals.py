@@ -44,20 +44,19 @@ class TestValueIndexes:
 
 
 class TestAcceleratedPlans:
-    def test_accelerated_plan_used_for_sd_point_query(self,
-                                                      small_corpora,
-                                                      monkeypatch):
+    def test_planner_probe_used_for_sd_point_query(self, small_corpora,
+                                                   monkeypatch):
         engine = load(small_corpora["dcsd"])
-        calls = {"accelerated": 0}
-        original = engine._run_accelerated
+        calls = {"probe": 0}
+        original = engine._run_index_plan
 
         def counting(*args, **kwargs):
-            calls["accelerated"] += 1
+            calls["probe"] += 1
             return original(*args, **kwargs)
 
-        monkeypatch.setattr(engine, "_run_accelerated", counting)
+        monkeypatch.setattr(engine, "_run_index_plan", counting)
         engine.execute("Q5", bind_params("Q5", "dcsd", 30))
-        assert calls["accelerated"] == 1
+        assert calls["probe"] == 1
 
     def test_md_classes_never_accelerate(self, small_corpora,
                                          monkeypatch):
@@ -65,9 +64,36 @@ class TestAcceleratedPlans:
         for multi-document classes (see module docstring)."""
         engine = load(small_corpora["dcmd"])
         monkeypatch.setattr(
+            engine, "_run_index_plan",
+            lambda *a, **k: pytest.fail("MD class used a planner probe"))
+        monkeypatch.setattr(
             engine, "_run_accelerated",
             lambda *a, **k: pytest.fail("MD class used acceleration"))
         engine.execute("Q5", bind_params("Q5", "dcmd", 30))
+
+    def test_same_named_tags_at_different_paths_index_separately(self):
+        """Regression: a slashed index path must match the full relative
+        path, not just the last segment (two ``name`` tags here)."""
+        from repro.xml.parser import parse_document
+
+        engine = NativeEngine()
+        text = ("<catalog>"
+                "<item><authors><author><name>A. Author</name>"
+                "</author></authors>"
+                "<publisher><name>Pub House</name></publisher>"
+                "</item></catalog>")
+        document = parse_document(text, name="cat.xml")
+        engine._collection.add(document)
+        index: dict = {}
+        engine._index_document("publisher/name", index, document)
+        assert list(index) == ["Pub House"]
+        index = {}
+        engine._index_document("author/name", index, document)
+        assert list(index) == ["A. Author"]
+        # A bare tag still matches anywhere (backward compatible).
+        index = {}
+        engine._index_document("name", index, document)
+        assert sorted(index) == ["A. Author", "Pub House"]
 
 
 class TestUpdateRetargeting:

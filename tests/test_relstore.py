@@ -171,6 +171,90 @@ class TestIndexes:
         assert len(HashIndex(table, "city")) == 4
 
 
+class TestIndexEdgeCases:
+    """Range-bound, NULL-key, violation-message and maintenance cases."""
+
+    # row ids by insertion order: ann=0 (34), bob=1 (28), cid=2 (NULL),
+    # dee=3 (41)
+
+    def test_range_half_open_low(self):
+        index = SortedIndex(people_table(), "age")
+        assert index.range(28, None, include_low=False) == [0, 3]
+
+    def test_range_half_open_high(self):
+        index = SortedIndex(people_table(), "age")
+        assert index.range(None, 41, include_high=False) == [1, 0]
+
+    def test_range_degenerate_point(self):
+        index = SortedIndex(people_table(), "age")
+        assert index.range(34, 34) == [0]
+        assert index.range(34, 34, include_low=False,
+                           include_high=False) == []
+
+    def test_range_inverted_bounds_is_empty(self):
+        index = SortedIndex(people_table(), "age")
+        assert index.range(50, 20) == []
+
+    def test_incremental_insert_skips_null_keys(self):
+        index = SortedIndex(people_table(), "age")
+        index.insert(None, 99)
+        assert len(index) == 3
+        index.remove(None, 99)            # no-op, no error
+        assert len(index) == 3
+        hash_index = HashIndex(people_table(), "age")
+        hash_index.insert(None, 99)
+        assert len(hash_index) == 3
+
+    def test_unique_violation_message_names_table_column_key(self):
+        with pytest.raises(SchemaError) as excinfo:
+            HashIndex(people_table(), "city", unique=True)
+        message = str(excinfo.value)
+        assert "unique index people.city" in message
+        assert "duplicate key" in message
+        assert "waterloo" in message
+
+    def test_sorted_unique_violation_message(self):
+        with pytest.raises(SchemaError) as excinfo:
+            SortedIndex(people_table(), "city", unique=True)
+        message = str(excinfo.value)
+        assert "unique index people.city" in message
+        assert "duplicate key" in message
+
+    def test_incremental_maintenance_mirrors_value_update(self):
+        # What the engines' update workload does to an index entry:
+        # remove the old key, insert the new one for the same row.
+        index = SortedIndex(people_table(), "age")
+        index.remove(34, 0)
+        index.insert(52, 0)
+        assert index.lookup(34) == []
+        assert index.range(45, None) == [0]
+        index.remove(28, 1)                  # row deleted
+        assert index.range(None, None) == [3, 0]
+        index.insert(30, 9)                  # row inserted
+        assert index.range(29, 31) == [9]
+
+    def test_database_indexes_follow_dml(self):
+        database = Database()
+        database.create_table("side", [
+            Column("doc", ColumnType.TEXT, nullable=False),
+            Column("value", ColumnType.TEXT),
+        ])
+        database.create_index("side", "value", "sorted")
+        database.insert_row("side", {"doc": "a.xml", "value": "10"})
+        database.insert_row("side", {"doc": "b.xml", "value": "20"})
+        database.insert_row("side", {"doc": "c.xml", "value": None})
+        assert [row["doc"] for row in
+                database.lookup("side", "value", "20")] == ["b.xml"]
+        index = database.index_for("side", "value")
+        assert len(index) == 2               # NULL key not indexed
+        for row_id in list(index.lookup("10")):
+            database.delete_row("side", row_id)
+        assert list(database.lookup("side", "value", "10")) == []
+        assert [row["doc"] for row in
+                database.range_scan("side", "value", "00", "99")] == \
+            ["b.xml"]
+
+
 class TestOperators:
     def test_seq_scan_with_predicate(self):
         table = people_table()

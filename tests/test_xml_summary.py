@@ -1,0 +1,151 @@
+"""Structural path summary tests: maps, matching, invalidation."""
+
+from __future__ import annotations
+
+from repro.xml.nodes import Document, Element, Text
+from repro.xml.parser import parse_document
+from repro.xml.summary import (
+    StructuralSummary,
+    fast_descendant_elements,
+    summaries_of,
+)
+
+CATALOG = """
+<catalog>
+  <item id="I1">
+    <title>First</title>
+    <authors>
+      <author><name>A. Author</name></author>
+      <author><name>B. Author</name></author>
+    </authors>
+    <publisher><name>Pub House</name></publisher>
+  </item>
+  <item id="I2">
+    <title>Second</title>
+    <publisher><name>Other House</name></publisher>
+  </item>
+</catalog>
+"""
+
+
+def catalog_document() -> Document:
+    return parse_document(CATALOG)
+
+
+class TestBuild:
+    def test_tag_map_partitions_in_document_order(self):
+        summary = StructuralSummary.build(catalog_document())
+        assert [e.tag for e in summary.tag_map["item"]] == ["item", "item"]
+        names = summary.tag_map["name"]
+        assert [e.text_content() for e in names] == \
+            ["A. Author", "B. Author", "Pub House", "Other House"]
+
+    def test_path_map_uses_root_relative_paths(self):
+        summary = StructuralSummary.build(catalog_document())
+        assert summary.count_at("catalog/item") == 2
+        assert summary.count_at("catalog/item/authors/author/name") == 2
+        assert summary.count_at("catalog/item/publisher/name") == 2
+        assert summary.count_at("name") == 0     # paths are absolute
+
+    def test_paths_by_tag_lists_distinct_paths(self):
+        summary = StructuralSummary.build(catalog_document())
+        assert set(summary.paths_of("name")) == {
+            "catalog/item/authors/author/name",
+            "catalog/item/publisher/name",
+        }
+        assert summary.paths_of("item") == ("catalog/item",)
+        assert summary.paths_of("nope") == ()
+
+    def test_empty_document_builds_empty_summary(self):
+        summary = StructuralSummary.build(Document())
+        assert summary.tag_map == {}
+        assert summary.path_map == {}
+
+
+class TestMatching:
+    def test_bare_tag_matches_anywhere(self):
+        summary = catalog_document().structural_summary()
+        assert len(summary.elements_matching("name")) == 4
+
+    def test_slashed_path_is_suffix_match(self):
+        summary = catalog_document().structural_summary()
+        publisher_names = summary.elements_matching("publisher/name")
+        assert [e.text_content() for e in publisher_names] == \
+            ["Pub House", "Other House"]
+        author_names = summary.elements_matching("author/name")
+        assert [e.text_content() for e in author_names] == \
+            ["A. Author", "B. Author"]
+
+    def test_multi_path_suffix_merges_in_document_order(self):
+        summary = catalog_document().structural_summary()
+        # "item/..." suffixes both name paths? No — use a suffix hitting
+        # both name paths: the bare last segment via slashed form.
+        matched = summary.elements_matching("author/name") \
+            + summary.elements_matching("publisher/name")
+        everything = summary.elements_matching("name")
+        assert set(id(e) for e in matched) == set(id(e) for e in everything)
+
+    def test_descendants_with_tag_scopes_to_origin(self):
+        document = catalog_document()
+        summary = document.structural_summary()
+        root = document.root_element
+        items = summary.elements_at_path("catalog/item")
+        first_item = items[0]
+        assert len(summary.descendants_with_tag(document, "name")) == 4
+        assert len(summary.descendants_with_tag(root, "name")) == 4
+        assert [e.text_content()
+                for e in summary.descendants_with_tag(first_item, "name")] \
+            == ["A. Author", "B. Author", "Pub House"]
+
+    def test_descendants_exclude_the_origin_itself(self):
+        document = catalog_document()
+        summary = document.structural_summary()
+        root = document.root_element
+        assert summary.descendants_with_tag(root, "catalog") == []
+
+
+class TestFastPath:
+    def test_descendant_elements_uses_summary(self):
+        document = catalog_document()
+        names = list(document.root_element.descendant_elements("name"))
+        assert len(names) == 4
+
+    def test_fast_lookup_none_for_detached_nodes(self):
+        orphan = Element("solo")
+        orphan.append(Element("child"))
+        assert fast_descendant_elements(orphan, "child") is None
+        # ...but the tree walk still works on detached subtrees.
+        assert [e.tag for e in orphan.descendant_elements("child")] \
+            == ["child"]
+
+    def test_fast_lookup_none_for_text_nodes(self):
+        assert fast_descendant_elements(Text("hi"), "name") is None
+
+
+class TestCaching:
+    def test_summary_is_cached_until_invalidated(self):
+        document = catalog_document()
+        first = document.structural_summary()
+        assert document.structural_summary() is first
+        document.invalidate_summary()
+        second = document.structural_summary()
+        assert second is not first
+        assert len(second.tag_map["name"]) == 4
+
+    def test_rebuild_after_element_mutation_sees_new_nodes(self):
+        document = catalog_document()
+        stale = document.structural_summary()
+        item = stale.elements_at_path("catalog/item")[0]
+        extra = Element("name")
+        extra.append(Text("Added"))
+        item.append(extra)
+        document.invalidate_summary()
+        fresh = document.structural_summary()
+        assert len(fresh.tag_map["name"]) == 5
+        assert len(stale.tag_map["name"]) == 4   # old object untouched
+
+    def test_summaries_of_returns_cached_objects(self):
+        documents = [catalog_document(), catalog_document()]
+        built = summaries_of(documents)
+        assert built[0] is documents[0].structural_summary()
+        assert built[1] is documents[1].structural_summary()

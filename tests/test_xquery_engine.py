@@ -49,6 +49,32 @@ class TestEngineCache:
     def test_execute_shortcut(self):
         assert XQueryEngine().execute("2 * 3") == [6]
 
+    def test_hit_refreshes_recency(self):
+        """True LRU: a hit must move the entry to the back so the
+        victim is the *least recently used*, not the oldest insert."""
+        engine = XQueryEngine(cache_size=2)
+        first = engine.compile("1")
+        engine.compile("2")
+        assert engine.compile("1") is first   # refresh "1"
+        engine.compile("3")                   # must evict "2", not "1"
+        assert engine.compile("1") is first
+        assert list(engine._cache) == ["3", "1"]
+
+    def test_cache_counters(self):
+        from repro.obs import Recorder, observing
+
+        engine = XQueryEngine(cache_size=2)
+        recorder = Recorder()
+        with observing(recorder):
+            engine.compile("1")               # miss
+            engine.compile("1")               # hit
+            engine.compile("2")               # miss
+            engine.compile("3")               # miss (evicts "1")
+            engine.compile("1")               # miss again
+        counters = recorder.counters.snapshot()
+        assert counters["xquery.cache.hit"] == 1
+        assert counters["xquery.cache.miss"] == 4
+
 
 class TestStaticCollection:
     def test_doc_lookup_by_name(self):
