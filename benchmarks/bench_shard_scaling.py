@@ -1,0 +1,120 @@
+"""Shard scaling A/B: sharded bulk load vs. the single-process engine.
+
+Run as a script to (re)generate ``BENCH_shard_scaling.json``::
+
+    PYTHONPATH=src python benchmarks/bench_shard_scaling.py
+
+For each multi-document class the artifact records three measurements
+at the default bench scale (divisor 1000, "large"):
+
+* ``single_seconds`` — one native engine loading the whole corpus;
+* ``wall_seconds`` — the sharded service (N fork workers) doing the
+  same load end-to-end, *as contended on this machine*;
+* ``per_shard_seconds`` — each shard's partition loaded sequentially
+  in isolation.  ``max(per_shard_seconds)`` is the critical path: the
+  wall time a machine with >= N free cores converges to, independent
+  of how oversubscribed the measuring host is.
+
+``projected_speedup = single_seconds / critical_path_seconds`` is the
+honest scaling number; ``measured_speedup`` is the contended one.  On a
+single-core container the measured number is *below* 1.0 while the
+projection holds — which is why both are recorded, along with
+``cpu_count``.  DC/MD's projection is capped well under N because its
+replicated flat documents (see ``DatabaseClass.replicated_documents``)
+are parsed by every worker; TC/MD partitions perfectly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.core.benchmark import BenchmarkConfig, XBench
+from repro.core.shard import ShardedEngine, shard_of
+from repro.engines import create
+
+SHARDS = 4
+SCALE = "large"
+CLASSES = ("dcmd", "tcmd")
+ARTIFACT = os.path.join(os.path.dirname(__file__),
+                        "BENCH_shard_scaling.json")
+
+
+def _measure_class(bench: XBench, class_key: str) -> dict:
+    scenario = bench.corpus.scenario(class_key, SCALE)
+    texts = list(scenario.texts)
+
+    start = time.perf_counter()
+    engine = create("native")
+    engine.timed_load(scenario.db_class, list(texts))
+    engine.close()
+    single = time.perf_counter() - start
+
+    sharded = ShardedEngine("native", shards=SHARDS)
+    start = time.perf_counter()
+    sharded.timed_load(scenario.db_class, list(texts))
+    wall = time.perf_counter() - start
+    sharded.close()
+
+    replicated = set(scenario.db_class.replicated_documents)
+    partitions: dict[int, list] = {i: [] for i in range(SHARDS)}
+    for name, text in texts:
+        if name not in replicated:
+            partitions[shard_of(name, SHARDS)].append((name, text))
+    broadcast = [(name, text) for name, text in texts
+                 if name in replicated]
+    per_shard = []
+    for index in range(SHARDS):
+        worker = create("native")
+        start = time.perf_counter()
+        worker.timed_load(scenario.db_class,
+                          partitions[index] + broadcast)
+        per_shard.append(time.perf_counter() - start)
+        worker.close()
+    critical = max(per_shard)
+
+    return {
+        "class": class_key,
+        "scale": SCALE,
+        "documents": len(texts),
+        "bytes": sum(len(text) for __, text in texts),
+        "replicated_documents": sorted(replicated),
+        "single_seconds": single,
+        "wall_seconds": wall,
+        "per_shard_seconds": per_shard,
+        "critical_path_seconds": critical,
+        "measured_speedup": single / wall,
+        "projected_speedup": single / critical,
+    }
+
+
+def main() -> int:
+    bench = XBench(BenchmarkConfig(scale_divisor=1000))
+    record = {
+        "schema": "xbench-shard-scaling/1",
+        "shards": SHARDS,
+        "scale_divisor": 1000,
+        "cpu_count": os.cpu_count(),
+        "classes": [_measure_class(bench, key) for key in CLASSES],
+    }
+    with open(ARTIFACT, "w") as handle:
+        json.dump(record, handle, indent=2)
+        handle.write("\n")
+    for row in record["classes"]:
+        print(f"{row['class']}: single {row['single_seconds']:.3f}s, "
+              f"critical path {row['critical_path_seconds']:.3f}s "
+              f"-> projected {row['projected_speedup']:.2f}x "
+              f"(measured {row['measured_speedup']:.2f}x on "
+              f"{record['cpu_count']} cpu)")
+    failures = [row["class"] for row in record["classes"]
+                if row["projected_speedup"] < 1.5]
+    if failures:
+        print(f"FAIL: projected speedup < 1.5x for {failures}")
+        return 1
+    print(f"ok: wrote {ARTIFACT}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

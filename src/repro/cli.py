@@ -32,7 +32,7 @@ from .core.diagrams import render_all_figures
 from .core.indexes import indexes_for
 from .core.report import format_suite
 from .databases import CLASSES_BY_KEY
-from .engines import make_engines
+from .engines import create
 from .errors import ReproError
 from .workload import ALL_QUERIES, bind_params
 from .workload.queries import QUERIES_BY_ID
@@ -64,6 +64,10 @@ def build_parser() -> argparse.ArgumentParser:
     suite.add_argument("--obs-out", default=None, metavar="DIR",
                        help="observe the run and write "
                             "BENCH_suite.json under DIR")
+    suite.add_argument("--shards", type=int, default=0, metavar="N",
+                       help="run every engine behind the sharded "
+                            "execution service with N worker "
+                            "processes (0 = single-process)")
 
     generate = sub.add_parser("generate", help="write a corpus to disk")
     generate.add_argument("class_key", choices=sorted(CLASSES_BY_KEY))
@@ -106,6 +110,11 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=sorted(CLASSES_BY_KEY))
     verify.add_argument("--divisor", type=int, default=2000)
     verify.add_argument("--scale", default="small")
+    verify.add_argument("--shards", type=int, default=0, metavar="N",
+                        help="also verify the native engine behind "
+                             "the sharded execution service with N "
+                             "workers; sharded mismatches exit "
+                             "non-zero")
 
     updates = sub.add_parser("updates",
                              help="run the update-workload extension")
@@ -115,6 +124,9 @@ def build_parser() -> argparse.ArgumentParser:
                                   "sqlserver"])
     updates.add_argument("--units", type=int, default=60)
     updates.add_argument("--count", type=int, default=30)
+    updates.add_argument("--shards", type=int, default=0, metavar="N",
+                         help="route the update stream through the "
+                              "sharded execution service")
 
     path = sub.add_parser(
         "path", help="run an arbitrary path query via structural "
@@ -141,6 +153,12 @@ def build_parser() -> argparse.ArgumentParser:
     multiuser.add_argument("--obs-out", default=None, metavar="DIR",
                            help="observe the run and write "
                                 "BENCH_multiuser.json under DIR")
+    multiuser.add_argument("--shards", type=int, default=0,
+                           metavar="N",
+                           help="run the streams against the sharded "
+                                "execution service with N worker "
+                                "processes (real parallelism instead "
+                                "of GIL interleaving)")
 
     profile = sub.add_parser(
         "profile", help="observed benchmark run (obs subsystem): "
@@ -176,6 +194,10 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=["text", "json"],
                          help="text report (default) or the artifact "
                               "JSON on stdout")
+    profile.add_argument("--shards", type=int, default=0, metavar="N",
+                         help="run every engine behind the sharded "
+                              "execution service with N worker "
+                              "processes")
 
     explain = sub.add_parser(
         "explain", help="EXPLAIN ANALYZE one workload query: run it "
@@ -211,6 +233,10 @@ def build_parser() -> argparse.ArgumentParser:
                           metavar="MS",
                           help="noise floor: cells faster than this in "
                                "both runs never gate (default 1 ms)")
+    obs_diff.add_argument("--normalize-shards", action="store_true",
+                          help="fold '<system> xN' sharded rows onto "
+                               "'<system>' so a shards-on run pairs "
+                               "with a shards-off baseline")
     obs_diff.add_argument("--format", default="text",
                           choices=["text", "json"])
     obs_diff.add_argument("--verbose", action="store_true",
@@ -267,18 +293,15 @@ def _dispatch(args: argparse.Namespace) -> int:
 
 
 def _cmd_path(args: argparse.Namespace) -> int:
-    import time
-    from .engines.edge import EdgeEngine
     from .xml.serializer import serialize
     db_class = CLASSES_BY_KEY[args.class_key]
-    engine = EdgeEngine()
     documents = db_class.generate(args.units, seed=42)
-    engine.timed_load(db_class,
-                      [(d.name, serialize(d)) for d in documents])
-    start = time.perf_counter()
-    values = engine.run_path(args.expression)
-    elapsed = (time.perf_counter() - start) * 1000
-    print(f"{len(values)} item(s) in {elapsed:.2f} ms "
+    with create("edge") as engine:
+        engine.timed_load(db_class,
+                          [(d.name, serialize(d)) for d in documents])
+        outcome = engine.adhoc(args.expression)
+    values = outcome.values
+    print(f"{len(values)} item(s) in {outcome.seconds * 1000:.2f} ms "
           f"(structural joins over the interval table)")
     for value in values[:args.limit]:
         preview = value if len(value) <= 100 else value[:97] + "..."
@@ -292,7 +315,8 @@ def _cmd_multiuser(args: argparse.Namespace) -> int:
     from .core.multiuser import run_multi_user
     from .obs import Recorder, bench_summary, observing, \
         write_bench_artifact
-    engine = _load_engine(args.engine, args.class_key, args.units, 42)
+    engine = _load_engine(args.engine, args.class_key, args.units, 42,
+                          shards=args.shards)
     recorder = Recorder(name="multiuser") if args.obs_out else None
     if recorder is not None:
         with observing(recorder):
@@ -311,10 +335,12 @@ def _cmd_multiuser(args: argparse.Namespace) -> int:
             "multiuser", recorder=recorder,
             config={"engine": args.engine, "class": args.class_key,
                     "streams": args.streams, "queries": args.queries,
-                    "units": args.units, "mode": args.mode},
+                    "units": args.units, "mode": args.mode,
+                    "shards": args.shards},
             extra={"multiuser": result.record()})
         path = write_bench_artifact(summary, args.obs_out)
         print(f"wrote {path}")
+    engine.close()
     return 0
 
 
@@ -331,7 +357,8 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         repeats=args.repeats,
         with_indexes=not args.no_indexes,
         observe=True,
-        explain=args.explain)
+        explain=args.explain,
+        shards=args.shards)
     if args.queries:
         config.query_ids = tuple(qid.upper()
                                  for qid in args.queries.split(","))
@@ -363,17 +390,9 @@ def _normalize_class_key(raw: str) -> str:
 
 
 def _make_engine(engine_key: str):
-    """One engine instance by key, including the edge store (which
-    ``make_engines()`` deliberately excludes from the paper's four)."""
-    if engine_key == "edge":
-        from .engines.edge import EdgeEngine
-        return EdgeEngine()
-    for engine in make_engines():
-        if engine.key == engine_key:
-            return engine
-    raise ReproError(
-        f"unknown engine key {engine_key!r}; choose from "
-        "native, xcolumn, xcollection, sqlserver, edge")
+    """One engine instance by key (the registry factory, which also
+    covers the edge store)."""
+    return create(engine_key)
 
 
 def _cmd_explain(args: argparse.Namespace) -> int:
@@ -424,6 +443,7 @@ def _cmd_explain(args: argparse.Namespace) -> int:
         section["plans"] = recorder.plan.tree_records()
         section["trees"] = recorder.plan.trees()
         sections.append(section)
+        engine.close()
 
     if args.format == "json":
         payload = [{key: value for key, value in section.items()
@@ -460,7 +480,8 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     try:
         report = diff_paths(args.artifact_a, args.artifact_b,
                             threshold=threshold,
-                            min_seconds=min_seconds)
+                            min_seconds=min_seconds,
+                            normalize_shards=args.normalize_shards)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -491,13 +512,25 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     class_keys = ([args.class_key] if args.class_key
                   else sorted(CLASSES_BY_KEY))
     mismatches = 0
+    sharded_mismatches = 0
     for class_key in class_keys:
-        report = verify_scenario(bench, class_key, args.scale)
+        report = verify_scenario(bench, class_key, args.scale,
+                                 shards=args.shards)
         print(report.format())
         print()
         mismatches += len(report.mismatches())
+        if args.shards > 1:
+            suffix = f" x{args.shards}"
+            sharded_mismatches += sum(
+                1 for label, __ in report.mismatches()
+                if label.endswith(suffix))
     print(f"{mismatches} cell(s) differ from the native oracle "
           "(expected: the paper's documented mapping infidelities)")
+    if sharded_mismatches:
+        print(f"error: {sharded_mismatches} sharded cell(s) differ "
+              "from the single-process oracle (merge bug)",
+              file=sys.stderr)
+        return 1
     return 0
 
 
@@ -508,7 +541,8 @@ def _cmd_suite(args: argparse.Namespace) -> int:
                              class_keys=tuple(args.classes.split(",")),
                              with_indexes=not args.no_indexes,
                              repeats=args.repeats,
-                             observe=args.obs_out is not None)
+                             observe=args.obs_out is not None,
+                             shards=args.shards)
     bench = XBench(config)
     suite = bench.run_suite()
     if args.format == "csv":
@@ -549,10 +583,14 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _load_engine(engine_key: str, class_key: str, units: int,
-                 seed: int):
+                 seed: int, shards: int = 0):
     from .xml.serializer import serialize
     db_class = CLASSES_BY_KEY[class_key]
-    engine = next(e for e in make_engines() if e.key == engine_key)
+    if shards > 1:
+        from .core.shard import ShardedEngine
+        engine = ShardedEngine(engine_key, shards=shards)
+    else:
+        engine = create(engine_key)
     engine.check_supported(db_class, "small")
     documents = db_class.generate(units, seed=seed)
     engine.timed_load(db_class,
@@ -582,6 +620,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
         print(f"  {preview}")
     if len(outcome.values) > args.limit:
         print(f"  ... {len(outcome.values) - args.limit} more")
+    engine.close()
     return 0
 
 
@@ -623,7 +662,8 @@ def _cmd_workload(args: argparse.Namespace) -> int:
 
 def _cmd_updates(args: argparse.Namespace) -> int:
     from .workload.updates import make_update_stream, run_update_stream
-    engine = _load_engine(args.engine, args.class_key, args.units, 42)
+    engine = _load_engine(args.engine, args.class_key, args.units, 42,
+                          shards=args.shards)
     stream = make_update_stream(args.class_key, args.units,
                                 count=args.count)
     stats = run_update_stream(engine, args.class_key, stream)
@@ -631,6 +671,7 @@ def _cmd_updates(args: argparse.Namespace) -> int:
     for kind in sorted(stats.counts):
         print(f"  {kind:<8}{stats.counts[kind]:>4} ops, "
               f"mean {stats.mean_ms(kind):8.3f} ms")
+    engine.close()
     return 0
 
 

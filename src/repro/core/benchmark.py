@@ -22,8 +22,7 @@ from dataclasses import asdict, dataclass, field
 
 from ..databases import ALL_CLASSES, SCALES_BY_NAME
 from ..databases.base import DatabaseClass, Scale
-from ..engines import Engine, make_engines
-from ..engines.native import NativeEngine
+from ..engines import PAPER_ENGINE_KEYS, Engine, create
 from ..errors import BenchmarkError, UnsupportedConfiguration, \
     UnsupportedQuery
 from ..obs import Recorder, observing
@@ -70,6 +69,9 @@ class BenchmarkConfig:
     #: trees embedded in the BENCH artifact.  Implies nothing unless
     #: ``observe`` is also on (the profiler rides the recorder).
     explain: bool = False
+    #: run every engine behind the sharded multi-process execution
+    #: service with this many worker processes (0/1 = single-process).
+    shards: int = 0
 
     def record(self) -> dict:
         """The config as a JSON-ready dict (for BENCH_* artifacts)."""
@@ -205,18 +207,25 @@ class XBench:
     # -- engine preparation -----------------------------------------------------
 
     def _engines_oracle_first(self) -> list[Engine]:
-        engines = make_engines()
+        keys = list(PAPER_ENGINE_KEYS)
         if self.config.engine_keys is not None:
-            known = {engine.key for engine in engines}
+            known = set(keys)
             unknown = [key for key in self.config.engine_keys
                        if key not in known]
             if unknown:
                 raise BenchmarkError(
                     f"unknown engine key(s) {', '.join(sorted(unknown))!s}; "
                     f"choose from {', '.join(sorted(known))}")
-            engines = [engine for engine in engines
-                       if engine.key in self.config.engine_keys]
-        engines.sort(key=lambda e: not isinstance(e, NativeEngine))
+            keys = [key for key in keys
+                    if key in self.config.engine_keys]
+        if self.config.shards > 1:
+            from .shard import ShardedEngine
+            engines: list[Engine] = [
+                ShardedEngine(key, shards=self.config.shards)
+                for key in keys]
+        else:
+            engines = [create(key) for key in keys]
+        engines.sort(key=lambda e: e.key != "native")
         return engines
 
     def load_engine(self, engine: Engine, class_key: str,
@@ -308,41 +317,50 @@ class XBench:
                                             scale_name).detail = str(exc)
                 continue
 
-            stats, load_counters = self._load_and_index(engine, scenario,
-                                                        scale_name)
-            load_cell.seconds = stats.seconds
-            if load_counters:
-                load_cell.counters = load_counters
+            try:
+                stats, load_counters = self._load_and_index(
+                    engine, scenario, scale_name)
+                load_cell.seconds = stats.seconds
+                if load_counters:
+                    load_cell.counters = load_counters
 
-            for qid in query_ids:
-                cell = query_results[qid].cell(engine.row_label,
-                                               class_key, scale_name)
-                params = bind_params(qid, class_key, scenario.units)
-                attrs = {"engine": engine.key, "class": class_key,
-                         "scale": scale_name, "qid": qid}
-                try:
-                    with obs_hooks.span("query", **attrs):
-                        outcome = engine.timed_execute(qid, params)
-                except UnsupportedQuery as exc:
-                    cell.detail = str(exc)
-                    continue
-                cell.seconds = outcome.seconds
-                if outcome.counters:
-                    cell.counters = outcome.counters
-                self._warm_runs(engine, qid, params, attrs, cell,
-                                outcome.seconds)
-                if not self.config.check_correctness:
-                    continue
-                if isinstance(engine, NativeEngine):
-                    oracles[qid] = outcome.values
-                    cell.correct = True
-                elif qid in oracles:
-                    cell.correct = outcome.values == oracles[qid]
-                    if not cell.correct:
-                        detail = ("result differs from native "
-                                  "oracle (mapping infidelity)")
-                        cell.detail = (f"{detail}; {cell.detail}"
-                                       if cell.detail else detail)
+                for qid in query_ids:
+                    cell = query_results[qid].cell(engine.row_label,
+                                                   class_key, scale_name)
+                    params = bind_params(qid, class_key, scenario.units)
+                    attrs = {"engine": engine.key, "class": class_key,
+                             "scale": scale_name, "qid": qid}
+                    try:
+                        with obs_hooks.span("query", **attrs):
+                            outcome = engine.timed_execute(qid, params)
+                    except UnsupportedQuery as exc:
+                        cell.detail = str(exc)
+                        continue
+                    cell.seconds = outcome.seconds
+                    if outcome.counters:
+                        cell.counters = outcome.counters
+                    self._warm_runs(engine, qid, params, attrs, cell,
+                                    outcome.seconds)
+                    if not self.config.check_correctness:
+                        continue
+                    if engine.key == "native":
+                        oracles[qid] = outcome.values
+                        cell.correct = True
+                    elif qid in oracles:
+                        cell.correct = outcome.values == oracles[qid]
+                        if not cell.correct:
+                            detail = ("result differs from native "
+                                      "oracle (mapping infidelity)")
+                            cell.detail = (f"{detail}; {cell.detail}"
+                                           if cell.detail else detail)
+                incidents = getattr(engine, "incidents", None)
+                if incidents:
+                    note = (f"{len(incidents)} shard incident(s): "
+                            + "; ".join(incidents))
+                    load_cell.detail = (f"{load_cell.detail}; {note}"
+                                        if load_cell.detail else note)
+            finally:
+                engine.close()
 
     def _warm_runs(self, engine: Engine, qid: str, params: dict,
                    attrs: dict, cell: Cell, cold_seconds: float) -> None:

@@ -12,6 +12,12 @@ serializes CPU work — throughput therefore measures engine efficiency
 under interleaving (lock-free read-only data structures, no
 cross-stream interference), not parallel speed-up; the ``interleaved``
 mode makes the same measurement deterministically without threads.
+
+For parallel speed-up that actually moves with cores, run the streams
+against the sharded execution service
+(:class:`repro.core.shard.ShardedEngine`, CLI ``multiuser --shards N``):
+each query then fans out across N worker *processes*, so the GIL bounds
+only the scatter-gather coordination, not the query work itself.
 """
 
 from __future__ import annotations

@@ -10,6 +10,8 @@ noting the results "are not necessarily accurate").
 
 from __future__ import annotations
 
+import re
+
 from ..databases import CLASSES_BY_KEY
 from ..engines import make_engines
 from .benchmark import ExperimentResult, SuiteResult
@@ -17,6 +19,32 @@ from .benchmark import ExperimentResult, SuiteResult
 #: paper column order.
 CLASS_ORDER = ("dcsd", "dcmd", "tcsd", "tcmd")
 SCALE_ORDER = ("small", "normal", "large")
+
+#: the sharded execution service's row suffix (``X-Hive x2``).
+_SHARD_SUFFIX = re.compile(r" x\d+$")
+
+
+def _row_labels(result: ExperimentResult) -> list[str]:
+    """Table rows for one result, in paper order.
+
+    The four paper rows always render (an engine with no cells shows
+    ``-``, matching the paper's layout) — unless the run was entirely
+    sharded, where dash rows for the unsharded systems would just be
+    noise.  Sharded rows (``<system> xN``) sort with their base
+    system, so a ``--shards`` run keeps the paper's row order.
+    """
+    paper_order = [engine.row_label for engine in make_engines()]
+    present = {row for (row, __, ___) in result.cells}
+
+    def order(row: str) -> tuple[int, str]:
+        base = _SHARD_SUFFIX.sub("", row)
+        index = (paper_order.index(base) if base in paper_order
+                 else len(paper_order))
+        return (index, row)
+
+    if present and not (present & set(paper_order)):
+        return sorted(present, key=order)
+    return sorted(set(paper_order) | present, key=order)
 
 
 def format_cell(result: ExperimentResult, row_label: str, class_key: str,
@@ -40,7 +68,7 @@ def format_table(result: ExperimentResult,
                  scale_names: tuple[str, ...] = SCALE_ORDER,
                  class_keys: tuple[str, ...] = CLASS_ORDER) -> str:
     """One experiment as a paper-style ASCII table."""
-    row_labels = [engine.row_label for engine in make_engines()]
+    row_labels = _row_labels(result)
     class_keys = tuple(key for key in class_keys
                        if any((row, key, scale) in result.cells
                               for row in row_labels

@@ -1,0 +1,702 @@
+"""Sharded multi-process execution service (``repro.core.shard``).
+
+XBench 1.0 is "a single machine benchmark"; the paper names distributed
+operation as a planned extension, and our own multiuser harness admits
+that the GIL serializes all CPU work.  This module is the first layer
+that scales with cores: a :class:`ShardedEngine` partitions a
+multi-document corpus across N worker *processes* by document-name hash,
+each worker owning a fully loaded engine instance built through the
+registry factory (:func:`repro.engines.create`), with scatter-gather
+``bulk_load`` / ``execute`` / update operations over a pipe-based RPC
+protocol.
+
+Correctness model
+-----------------
+
+The single-process native engine is the oracle, and its inter-document
+order is parse order (:class:`~repro.xml.nodes.Document` serials).  The
+service reproduces that order exactly:
+
+* every main document receives a **global ordinal** at partition time;
+* *document-selection* queries (the default) are evaluated **per
+  document** on each shard (:meth:`Engine.execute_per_document`) and
+  reassembled in ordinal order — byte-identical to a whole-collection
+  scan;
+* queries with explicit merge metadata on the workload
+  (:meth:`WorkloadQuery.merge_for`) use cheaper plans: ``point`` queries
+  (unique document id) run whole-shard and concatenate, ``sorted``
+  queries re-sort per-document results by their order-by key,
+  ``regroup`` queries re-aggregate per-shard ``<group>`` fragments, and
+  ``route`` queries go straight to the shard owning the named document;
+* reference documents named by
+  :attr:`DatabaseClass.replicated_documents` (DC/MD's flat tables) are
+  replicated to every shard so cross-document joins (Q19) still resolve;
+* single-document classes route everything to one *home* shard.
+
+Robustness
+----------
+
+Every RPC has a per-call timeout enforced with a poll loop that also
+watches worker liveness, so a killed worker is detected in ~50 ms rather
+than hanging.  A dead or timed-out worker is respawned and its state
+replayed — bulk load, index state and the per-shard journal of update
+operations — and the call retried; exhausted retries raise
+:class:`~repro.errors.ShardError`.  Incidents are recorded on
+:attr:`ShardedEngine.incidents` (surfaced in benchmark reports) and
+counted on the ``shard.respawns`` obs counter.  Application-level errors
+raised inside a worker (e.g. ``UnsupportedQuery``) are re-raised under
+their own exception type and never retried.
+"""
+
+from __future__ import annotations
+
+import builtins
+import multiprocessing
+import threading
+import time
+import zlib
+from dataclasses import dataclass, field
+
+from .. import errors as _errors_module
+from ..databases import CLASSES_BY_KEY
+from ..databases.base import DatabaseClass
+from ..engines import create
+from ..engines.base import Engine, LoadStats
+from ..errors import ShardError, UnsupportedOperation
+from ..obs import recorder as _obs
+from ..workload.queries import QUERIES_BY_ID
+from ..xml.nodes import Text
+from ..xml.parser import parse_document
+from ..xml.serializer import serialize
+
+#: Default per-RPC timeout (seconds).  Bulk loads at large scales are
+#: the slowest calls; queries finish orders of magnitude faster.
+DEFAULT_TIMEOUT = 120.0
+
+
+def shard_of(name: str, shards: int) -> int:
+    """The shard owning document ``name``.
+
+    Uses ``crc32`` rather than the builtin ``hash`` because the latter
+    is salted per process — partitioning must agree across runs (and
+    across parent/worker processes).
+    """
+    return zlib.crc32(name.encode("utf-8")) % shards
+
+
+# --------------------------------------------------------------------------
+# Worker side
+# --------------------------------------------------------------------------
+
+def _shard_worker(conn, engine_key: str) -> None:
+    """Worker process main loop: one engine, one duplex pipe.
+
+    Replies ``("ok", result)`` or ``("error", type_name, message)``;
+    the parent reconstructs exceptions from :mod:`repro.errors` (or
+    builtins) by type name.
+    """
+    # The worker is forked from the parent, which may have an obs
+    # recorder installed; observations recorded here would die with the
+    # process, so drop the inherited recorder and make the hooks no-op.
+    _obs.uninstall()
+    engine: Engine | None = None
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        op = message[0]
+        try:
+            if op == "load":
+                __, class_key, mains, replicated = message
+                engine = create(engine_key)
+                db_class = CLASSES_BY_KEY[class_key]
+                texts = [(name, text) for __ord, name, text in mains]
+                texts.extend(replicated)
+                stats = engine.timed_load(db_class, texts)
+                result = {"documents": stats.documents,
+                          "bytes": stats.bytes, "rows": stats.rows,
+                          "seconds": stats.seconds}
+            elif op == "indexes":
+                engine.create_indexes(list(message[1]))
+                result = None
+            elif op == "drop_indexes":
+                engine.drop_indexes()
+                result = None
+            elif op == "execute":
+                __, qid, params = message
+                result = engine.execute(qid, dict(params))
+            elif op == "execute_per_doc":
+                __, qid, params, names = message
+                try:
+                    parts = engine.execute_per_document(
+                        qid, dict(params), list(names))
+                    result = {"mode": "per_doc", "parts": parts}
+                except UnsupportedOperation:
+                    result = {"mode": "whole",
+                              "values": engine.execute(qid, dict(params))}
+            elif op == "adhoc":
+                __, text, params = message
+                result = engine.adhoc(text, dict(params)).values
+            elif op == "insert":
+                __, name, text = message
+                engine.insert_document(name, text)
+                result = None
+            elif op == "delete":
+                engine.delete_document(message[1])
+                result = None
+            elif op == "update_value":
+                __, id_path, id_value, target_tag, new_value = message
+                result = engine.update_value(id_path, id_value,
+                                             target_tag, new_value)
+            elif op == "ping":
+                result = "pong"
+            elif op == "stop":
+                conn.send(("ok", None))
+                break
+            else:
+                raise ShardError(f"unknown worker op {op!r}")
+            conn.send(("ok", result))
+        except Exception as exc:  # noqa: BLE001 - forwarded to parent
+            try:
+                conn.send(("error", type(exc).__name__, str(exc)))
+            except (OSError, ValueError):
+                break
+    conn.close()
+
+
+def _rebuild_error(type_name: str, message: str) -> Exception:
+    """Reconstruct a worker-side exception by type name."""
+    for namespace in (_errors_module, builtins):
+        cls = getattr(namespace, type_name, None)
+        if isinstance(cls, type) and issubclass(cls, Exception):
+            try:
+                return cls(message)
+            except TypeError:
+                break
+    return ShardError(f"worker raised {type_name}: {message}")
+
+
+# --------------------------------------------------------------------------
+# Parent side
+# --------------------------------------------------------------------------
+
+class _WorkerFailure(Exception):
+    """Internal: an RPC failed at the infrastructure level (worker dead,
+    pipe broken, or call timed out) — eligible for respawn + retry."""
+
+
+@dataclass
+class _Worker:
+    """Parent-side handle of one worker process."""
+
+    index: int
+    process: multiprocessing.process.BaseProcess
+    conn: object  # multiprocessing.connection.Connection
+
+
+@dataclass
+class _ShardState:
+    """Everything needed to (re)build one shard's engine."""
+
+    #: main documents owned by this shard: (ordinal, name, text).
+    mains: list[tuple[int, str, str]] = field(default_factory=list)
+    #: update operations applied since load, replayed on respawn.
+    journal: list[tuple] = field(default_factory=list)
+
+
+class ShardedEngine(Engine):
+    """Engine facade that scatter-gathers over N worker processes.
+
+    Satisfies the full :class:`Engine` contract — ``timed_load`` /
+    ``timed_execute`` / updates / ``adhoc`` / context manager — so the
+    benchmark driver, the multiuser harness and the CLI treat it exactly
+    like a local engine.  Public operations are serialized by an RLock
+    (concurrent streams queue at the service); each operation still fans
+    out across all workers in parallel.
+    """
+
+    def __init__(self, engine_key: str = "native", shards: int = 2,
+                 timeout: float = DEFAULT_TIMEOUT,
+                 retries: int = 1) -> None:
+        super().__init__()
+        if shards < 1:
+            raise ShardError(f"shards must be >= 1, got {shards}")
+        inner = create(engine_key)   # metadata + check_supported proxy
+        self._inner = inner
+        self.engine_key = engine_key
+        self.shards = shards
+        self.timeout = timeout
+        self.retries = retries
+        self.key = engine_key
+        self.row_label = f"{inner.row_label} x{shards}"
+        self.description = (f"{inner.description} — sharded across "
+                            f"{shards} worker processes")
+        #: infrastructure incidents (respawns, retries) for the report.
+        self.incidents: list[str] = []
+        self._lock = threading.RLock()
+        self._ctx = multiprocessing.get_context("fork")
+        self._workers: list[_Worker | None] = [None] * shards
+        self._states = [_ShardState() for __ in range(shards)]
+        self._replicated: list[tuple[str, str]] = []
+        self._ordinals: dict[str, int] = {}
+        self._next_ordinal = 0
+        self._index_paths: list[str] = []
+        self._class_key: str | None = None
+        self._home: int | None = None   # single-document classes
+
+    # -- configuration gating ------------------------------------------------
+
+    def check_supported(self, db_class: DatabaseClass,
+                        scale_name: str) -> None:
+        self._inner.check_supported(db_class, scale_name)
+
+    # -- partitioning --------------------------------------------------------
+
+    def shard_of(self, name: str) -> int:
+        """The shard owning main document ``name``."""
+        if self._home is not None:
+            return self._home
+        return shard_of(name, self.shards)
+
+    def _partition(self, db_class: DatabaseClass, texts) -> None:
+        replicated_names = set(db_class.replicated_documents)
+        for name, text in texts:
+            if name in replicated_names:
+                self._replicated.append((name, text))
+                continue
+            if db_class.single_document and self._home is None:
+                # All of a single-document class lives on one shard.
+                self._home = shard_of(name, self.shards)
+            ordinal = self._next_ordinal
+            self._next_ordinal += 1
+            self._ordinals[name] = ordinal
+            self._states[self.shard_of(name)].mains.append(
+                (ordinal, name, text))
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def bulk_load(self, db_class: DatabaseClass, texts) -> LoadStats:
+        with self._lock:
+            self._reset_state()
+            self._class_key = db_class.key
+            self._partition(db_class, texts)
+            with _obs.span("shard.bulk_load", shards=self.shards,
+                           engine=self.engine_key):
+                for index in range(self.shards):
+                    self._spawn(index)
+                replies = self._scatter(range(self.shards),
+                                        self._load_message)
+            documents = self._next_ordinal + len(self._replicated)
+            loaded_bytes = (sum(len(t) for __, __n, t in
+                                self._iter_mains())
+                            + sum(len(t) for __, t in self._replicated))
+            return LoadStats(
+                documents=documents, bytes=loaded_bytes,
+                rows=sum(reply["rows"] for reply in replies),
+                notes=[f"sharded across {self.shards} workers "
+                       f"({self.engine_key})"])
+
+    def _iter_mains(self):
+        for state in self._states:
+            yield from state.mains
+
+    def _load_message(self, index: int) -> tuple:
+        mains = sorted(self._states[index].mains)
+        return ("load", self._class_key, mains, list(self._replicated))
+
+    def _reset_state(self) -> None:
+        self._stop_workers()
+        self._states = [_ShardState() for __ in range(self.shards)]
+        self._replicated = []
+        self._ordinals = {}
+        self._next_ordinal = 0
+        self._index_paths = []
+        self._class_key = None
+        self._home = None
+        self.incidents = []
+
+    def _release(self) -> None:
+        with self._lock:
+            self._reset_state()
+
+    def _stop_workers(self) -> None:
+        for index, worker in enumerate(self._workers):
+            if worker is None:
+                continue
+            try:
+                worker.conn.send(("stop",))
+                deadline = time.monotonic() + 2.0
+                self._recv(worker, deadline)
+            except (_WorkerFailure, OSError, ValueError):
+                pass
+            self._terminate(worker)
+            self._workers[index] = None
+
+    @staticmethod
+    def _terminate(worker: _Worker) -> None:
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+        if worker.process.is_alive():
+            worker.process.terminate()
+        worker.process.join(timeout=2.0)
+
+    # -- indexes -------------------------------------------------------------
+
+    def create_indexes(self, paths: list[str]) -> None:
+        with self._lock:
+            self._index_paths.extend(
+                path for path in paths if path not in self._index_paths)
+            self._scatter(range(self.shards),
+                          lambda __: ("indexes", list(paths)))
+
+    def drop_indexes(self) -> None:
+        with self._lock:
+            self._index_paths = []
+            self._scatter(range(self.shards),
+                          lambda __: ("drop_indexes",))
+
+    # -- query execution -----------------------------------------------------
+
+    def execute(self, qid: str, params: dict) -> list[str]:
+        with self._lock:
+            self._require_loaded()
+            assert self.db_class is not None
+            spec = QUERIES_BY_ID[qid].merge_for(self.db_class.key)
+            if self.db_class.single_document:
+                spec = {"kind": "home"}
+            kind = spec["kind"]
+            _obs.count("shard.fanout_calls")
+            with _obs.plan_node("shard.fanout", shards=self.shards,
+                                merge=kind, qid=qid) as node:
+                values = self._execute_merged(qid, params, spec)
+                node.add(rows_out=len(values))
+            return values
+
+    def _execute_merged(self, qid: str, params: dict,
+                        spec: dict) -> list[str]:
+        kind = spec["kind"]
+        if kind == "home":
+            home = self._home if self._home is not None else 0
+            return self._call(home, ("execute", qid, dict(params)))
+        if kind == "route":
+            name = str(params[spec["param"]])
+            return self._call(self.shard_of(name),
+                              ("execute", qid, dict(params)))
+        if kind == "point":
+            replies = self._scatter(
+                range(self.shards),
+                lambda __: ("execute", qid, dict(params)))
+            return [value for values in replies for value in values]
+        if kind == "regroup":
+            replies = self._scatter(
+                range(self.shards),
+                lambda __: ("execute", qid, dict(params)))
+            return self._merge_regroup(replies, spec)
+        # concat / sorted: per-document evaluation on every shard.
+        replies = self._scatter(
+            range(self.shards),
+            lambda index: ("execute_per_doc", qid, dict(params),
+                           [name for __, name in
+                            self._shard_names(index)]))
+        merged = self._merge_per_document(replies)
+        if kind == "sorted":
+            merged = _stable_sort_by_key(merged, spec["key"])
+        return merged
+
+    def _shard_names(self, index: int) -> list[tuple[int, str]]:
+        return sorted((ordinal, name) for ordinal, name, __ in
+                      self._states[index].mains)
+
+    def _merge_per_document(self, replies: list[dict]) -> list[str]:
+        """Reassemble per-document results in global ordinal order.
+
+        Shards whose engine cannot scope evaluation per document fall
+        back to whole-shard results; those blocks are ordered by the
+        shard's smallest ordinal — correct only when results do not
+        interleave across shards (hence the native engine, which
+        supports per-document evaluation, is the sharding default).
+        """
+        keyed: list[tuple[int, int, list[str]]] = []
+        for index, reply in enumerate(replies):
+            if reply["mode"] == "per_doc":
+                for name, values in reply["parts"]:
+                    ordinal = self._ordinals.get(name)
+                    if ordinal is not None and values:
+                        keyed.append((ordinal, 0, values))
+            else:
+                names = self._shard_names(index)
+                block_ordinal = names[0][0] if names else index
+                keyed.append((block_ordinal, 1, reply["values"]))
+        keyed.sort(key=lambda entry: (entry[0], entry[1]))
+        return [value for __, __m, values in keyed for value in values]
+
+    def _merge_regroup(self, replies: list[list[str]],
+                       spec: dict) -> list[str]:
+        """Re-aggregate per-shard ``<group>`` fragments.
+
+        Each fragment carries a ``group_by`` child (the key) and a
+        ``total`` child (the per-shard count); keys are unioned, totals
+        summed, and the first fragment seen for a key is re-serialized
+        with the summed total — matching the oracle's ``order by`` on
+        the group key.
+        """
+        group_tag, total_tag = spec["group_by"], spec["total"]
+        groups: dict[str, tuple[object, object, int]] = {}
+        for values in replies:
+            for value in values:
+                root = parse_document(value).root_element
+                key_el = _first_descendant(root, group_tag)
+                total_el = _first_descendant(root, total_tag)
+                key = key_el.text_content() if key_el is not None else ""
+                total = int(total_el.text_content()) \
+                    if total_el is not None else 0
+                if key in groups:
+                    rep, rep_total_el, seen = groups[key]
+                    groups[key] = (rep, rep_total_el, seen + total)
+                else:
+                    groups[key] = (root, total_el, total)
+        out = []
+        for key in sorted(groups):
+            root, total_el, total = groups[key]
+            if total_el is not None:
+                replacement = Text(str(total))
+                replacement.parent = total_el
+                total_el.children = [replacement]
+            out.append(serialize(root))
+        return out
+
+    # -- ad-hoc queries ------------------------------------------------------
+
+    def _adhoc(self, text: str, params: dict) -> list[str]:
+        with self._lock:
+            if self._home is not None:
+                return self._call(self._home, ("adhoc", text, params))
+            replies = self._scatter(
+                range(self.shards), lambda __: ("adhoc", text, params))
+            return [value for values in replies for value in values]
+
+    # -- update workload -----------------------------------------------------
+
+    def insert_document(self, name: str, text: str) -> None:
+        with self._lock:
+            self._require_loaded()
+            ordinal = self._next_ordinal
+            self._next_ordinal += 1
+            self._ordinals[name] = ordinal
+            index = self.shard_of(name)
+            self._states[index].mains.append((ordinal, name, text))
+            try:
+                self._call(index, ("insert", name, text))
+            except Exception:
+                # Keep parent bookkeeping consistent with the worker.
+                self._states[index].mains.pop()
+                del self._ordinals[name]
+                self._next_ordinal = ordinal
+                raise
+
+    def delete_document(self, name: str) -> None:
+        with self._lock:
+            self._require_loaded()
+            index = self.shard_of(name)
+            self._call(index, ("delete", name))
+            self._ordinals.pop(name, None)
+            self._states[index].mains = [
+                entry for entry in self._states[index].mains
+                if entry[1] != name]
+
+    def update_value(self, id_path: str, id_value: str, target_tag: str,
+                     new_value: str) -> int:
+        with self._lock:
+            self._require_loaded()
+            message = ("update_value", id_path, id_value, target_tag,
+                       new_value)
+            replies = self._scatter(range(self.shards),
+                                    lambda __: message)
+            for state in self._states:
+                state.journal.append(message)
+            return sum(replies)
+
+    # -- RPC plumbing --------------------------------------------------------
+
+    def _spawn(self, index: int) -> None:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=_shard_worker, args=(child_conn, self.engine_key),
+            name=f"repro-shard-{index}", daemon=True)
+        process.start()
+        child_conn.close()
+        self._workers[index] = _Worker(index, process, parent_conn)
+
+    def _respawn(self, index: int, reason: str) -> None:
+        """Replace a dead worker and replay its state."""
+        _obs.count("shard.respawns")
+        incident = f"shard {index} respawned: {reason}"
+        self.incidents.append(incident)
+        worker = self._workers[index]
+        if worker is not None:
+            self._terminate(worker)
+        self._spawn(index)
+        if self._class_key is None:
+            return
+        self._call_raw(index, self._load_message(index))
+        if self._index_paths:
+            self._call_raw(index, ("indexes", list(self._index_paths)))
+        for op in self._states[index].journal:
+            self._call_raw(index, op)
+
+    def _call(self, index: int, message: tuple):
+        """One RPC with respawn-and-retry on infrastructure failure."""
+        attempts = self.retries + 1
+        for attempt in range(attempts):
+            try:
+                return self._call_raw(index, message)
+            except _WorkerFailure as failure:
+                if attempt + 1 >= attempts:
+                    raise ShardError(
+                        f"shard {index}: {failure} "
+                        f"(after {attempts} attempts)") from None
+                self._respawn(index, str(failure))
+        raise AssertionError("unreachable")
+
+    def _call_raw(self, index: int, message: tuple):
+        worker = self._workers[index]
+        if worker is None or not worker.process.is_alive():
+            raise _WorkerFailure("worker not running")
+        self._send(worker, message)
+        return self._recv(worker,
+                          time.monotonic() + self.timeout)
+
+    @staticmethod
+    def _send(worker: _Worker, message: tuple) -> None:
+        try:
+            worker.conn.send(message)
+        except (OSError, ValueError) as exc:
+            raise _WorkerFailure(f"send failed: {exc}") from None
+
+    def _recv(self, worker: _Worker, deadline: float):
+        """Receive one reply, watching liveness every 50 ms."""
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise _WorkerFailure(
+                    f"call timed out after {self.timeout:.0f}s")
+            try:
+                ready = worker.conn.poll(min(0.05, remaining))
+            except (OSError, ValueError) as exc:
+                raise _WorkerFailure(f"pipe broken: {exc}") from None
+            if ready:
+                try:
+                    reply = worker.conn.recv()
+                except (EOFError, OSError) as exc:
+                    raise _WorkerFailure(
+                        f"recv failed: {exc}") from None
+                if reply[0] == "error":
+                    raise _rebuild_error(reply[1], reply[2])
+                return reply[1]
+            if not worker.process.is_alive():
+                raise _WorkerFailure(
+                    f"worker died (exit code "
+                    f"{worker.process.exitcode})")
+
+    def _scatter(self, shard_ids, message_for) -> list:
+        """Send to every shard, then collect every reply.
+
+        The send phase is non-blocking (pipes buffer), so workers
+        compute in parallel; the collect phase reads each reply with
+        the per-call deadline.  Failures respawn + retry per shard; the
+        collect phase always drains every shard before re-raising the
+        first application-level error, keeping pipes message-aligned.
+        """
+        shard_ids = list(shard_ids)
+        sent: dict[int, tuple] = {}
+        failed: dict[int, _WorkerFailure] = {}
+        for index in shard_ids:
+            message = message_for(index)
+            sent[index] = message
+            worker = self._workers[index]
+            try:
+                if worker is None or not worker.process.is_alive():
+                    raise _WorkerFailure("worker not running")
+                self._send(worker, message)
+            except _WorkerFailure as failure:
+                failed[index] = failure
+        deadline = time.monotonic() + self.timeout
+        results: dict[int, object] = {}
+        errors: list[tuple[int, Exception]] = []
+        for index in shard_ids:
+            if index in failed:
+                continue
+            try:
+                results[index] = self._recv(self._workers[index],
+                                            deadline)
+            except _WorkerFailure as failure:
+                failed[index] = failure
+            except Exception as exc:  # application-level, not retried
+                errors.append((index, exc))
+        # Retry infrastructure failures on respawned workers.
+        for index, failure in failed.items():
+            if self.retries < 1:
+                errors.append((index, ShardError(
+                    f"shard {index}: {failure}")))
+                continue
+            try:
+                self._respawn(index, str(failure))
+                results[index] = self._call_raw(index, sent[index])
+            except _WorkerFailure as again:
+                errors.append((index, ShardError(
+                    f"shard {index}: {again} (after respawn)")))
+            except Exception as exc:
+                errors.append((index, exc))
+        if errors:
+            raise errors[0][1]
+        return [results[index] for index in shard_ids]
+
+
+def _first_descendant(element, tag: str):
+    """The first descendant element with ``tag`` (document order)."""
+    for child in element.children:
+        if getattr(child, "kind", None) != "element":
+            continue
+        if child.tag == tag:
+            return child
+        found = _first_descendant(child, tag)
+        if found is not None:
+            return found
+    return None
+
+
+_UNESCAPES = (("&lt;", "<"), ("&gt;", ">"), ("&quot;", '"'),
+              ("&apos;", "'"), ("&amp;", "&"))
+
+
+def _sort_key_of(value: str, tag: str) -> str:
+    """Extract the order-by key from one serialized result fragment."""
+    marker = f"<{tag}>"
+    start = value.find(marker)
+    if start < 0:
+        return ""
+    start += len(marker)
+    end = value.find(f"</{tag}>", start)
+    if end < 0:
+        return ""
+    key = value[start:end]
+    for entity, char in _UNESCAPES:
+        key = key.replace(entity, char)
+    return key
+
+
+def _stable_sort_by_key(values: list[str], tag: str) -> list[str]:
+    """Stable re-sort of ordinal-ordered fragments by their sort key.
+
+    Reproduces XQuery ``order by`` semantics: the input is already in
+    document order (global ordinals), and Python's ``sorted`` is
+    stable, so equal keys keep document order — exactly the oracle's
+    tie-breaking.
+    """
+    return sorted(values, key=lambda value: _sort_key_of(value, tag))
+
+
+__all__ = ["ShardedEngine", "shard_of", "DEFAULT_TIMEOUT"]

@@ -17,8 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..engines import make_engines
-from ..engines.native import NativeEngine
+from ..engines import PAPER_ENGINE_KEYS, create
 from ..errors import UnsupportedConfiguration, UnsupportedQuery
 from ..workload import bind_params
 from ..workload.queries import ALL_QUERIES
@@ -62,16 +61,25 @@ class VerificationReport:
 
 
 def verify_scenario(bench: XBench, class_key: str,
-                    scale_name: str = "small") -> VerificationReport:
-    """Build the verification matrix for one scenario."""
+                    scale_name: str = "small",
+                    shards: int = 0) -> VerificationReport:
+    """Build the verification matrix for one scenario.
+
+    With ``shards > 1`` an extra row runs the native engine behind the
+    sharded execution service, verifying that the scatter-gather merge
+    is byte-identical to the single-process oracle.
+    """
     scenario = bench.corpus.scenario(class_key, scale_name)
     query_ids = [query.qid for query in ALL_QUERIES
                  if query.applies_to(class_key)]
     report = VerificationReport(class_key, scale_name,
                                 query_ids=query_ids)
 
-    engines = sorted(make_engines(),
-                     key=lambda e: not isinstance(e, NativeEngine))
+    engines = sorted((create(key) for key in PAPER_ENGINE_KEYS),
+                     key=lambda e: e.key != "native")
+    if shards > 1:
+        from .shard import ShardedEngine
+        engines.insert(1, ShardedEngine("native", shards=shards))
     oracles: dict[str, list[str]] = {}
     for engine in engines:
         report.engine_labels.append(engine.row_label)
@@ -79,19 +87,22 @@ def verify_scenario(bench: XBench, class_key: str,
             engine.check_supported(scenario.db_class, scale_name)
         except UnsupportedConfiguration:
             continue
-        engine.timed_load(scenario.db_class, scenario.texts)
-        engine.create_indexes(list(indexes_for(class_key)))
-        for qid in query_ids:
-            params = bind_params(qid, class_key, scenario.units)
-            try:
-                values = engine.execute(qid, params)
-            except UnsupportedQuery:
-                continue
-            if isinstance(engine, NativeEngine):
-                oracles[qid] = values
-                report.cells[(engine.row_label, qid)] = "ok"
-            elif qid in oracles:
-                matches = values == oracles[qid]
-                report.cells[(engine.row_label, qid)] = \
-                    "ok" if matches else "differs"
+        try:
+            engine.timed_load(scenario.db_class, scenario.texts)
+            engine.create_indexes(list(indexes_for(class_key)))
+            for qid in query_ids:
+                params = bind_params(qid, class_key, scenario.units)
+                try:
+                    values = engine.execute(qid, params)
+                except UnsupportedQuery:
+                    continue
+                if engine.key == "native" and qid not in oracles:
+                    oracles[qid] = values
+                    report.cells[(engine.row_label, qid)] = "ok"
+                elif qid in oracles:
+                    matches = values == oracles[qid]
+                    report.cells[(engine.row_label, qid)] = \
+                        "ok" if matches else "differs"
+        finally:
+            engine.close()
     return report

@@ -60,6 +60,11 @@ class DatabaseClass(ABC):
     default_units: int = 0
     #: True for single-document classes.
     single_document: bool = False
+    #: Document names that are *reference data* shared by the whole
+    #: collection (e.g. DC/MD's flat-translated table documents that
+    #: Q19 joins against).  The sharded execution service replicates
+    #: these to every shard instead of hash-partitioning them.
+    replicated_documents: tuple[str, ...] = ()
 
     # Units used when estimating bytes-per-unit for scaling.
     _calibration_units: int = 8

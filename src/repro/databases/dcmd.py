@@ -26,6 +26,10 @@ class DCMD(DatabaseClass):
     size_parameter = "order_num"
     default_units = 200000
     single_document = False
+    #: The flat table documents are reference data joined from any
+    #: order (Q19), so sharding replicates them everywhere.
+    replicated_documents = tuple(
+        value[2] for value in FLAT_DOCUMENT_NAMES.values())
     _calibration_units = 20
 
     def generate(self, units: int, seed: int = 42) -> list[Document]:

@@ -35,6 +35,37 @@ class LoadStats:
     notes: list[str] = field(default_factory=list)
 
 
+class _CountingTexts:
+    """Wraps a corpus iterable, counting documents/bytes on first pass.
+
+    :meth:`Engine.timed_load` uses this when the corpus has no
+    ``total_bytes()`` metadata, so byte accounting happens *during* the
+    load pass instead of re-iterating ``texts`` afterwards (which would
+    double-read file-backed corpora and exhaust one-shot iterables).
+    """
+
+    def __init__(self, texts) -> None:
+        self._texts = texts
+        self._counted = False
+        self.documents = 0
+        self.bytes = 0
+
+    def __iter__(self):
+        first_pass = not self._counted
+        self._counted = True
+        for name, text in self._texts:
+            if first_pass:
+                self.documents += 1
+                self.bytes += len(text)
+            yield name, text
+
+    def __len__(self) -> int:
+        return len(self._texts)
+
+    def __getitem__(self, index):
+        return self._texts[index]
+
+
 @dataclass
 class QueryResult:
     """One query execution: normalized result plus timing.
@@ -81,6 +112,28 @@ class Engine(ABC):
                   texts: list[tuple[str, str]]) -> LoadStats:
         """Load a corpus of ``(name, xml_text)`` pairs."""
 
+    def close(self) -> None:
+        """Release everything the engine holds: document trees,
+        relstore tables, value indexes, compiled-query caches and
+        structural summaries.  Idempotent; the engine can be reloaded
+        with :meth:`bulk_load` afterwards."""
+        self._release()
+        self.db_class = None
+        self.loaded = False
+
+    def _release(self) -> None:
+        """Subclass hook behind :meth:`close`: drop storage and caches.
+
+        The default releases nothing; every concrete engine overrides it
+        to reset its storage to the freshly-constructed state."""
+
+    def __enter__(self) -> "Engine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
     @abstractmethod
     def create_indexes(self, paths: list[str]) -> None:
         """Create the per-class value indexes of the paper's Table 3.
@@ -95,6 +148,45 @@ class Engine(ABC):
     @abstractmethod
     def execute(self, qid: str, params: dict) -> list[str]:
         """Run one workload query and return normalized result strings."""
+
+    # -- ad-hoc queries --------------------------------------------------------
+
+    def adhoc(self, text: str, params: dict | None = None) -> QueryResult:
+        """Run an arbitrary engine-level query and return a
+        :class:`QueryResult` of normalized strings plus timing.
+
+        ``text`` is whatever query language the engine speaks natively —
+        XQuery for the tree engines, a pure path expression for the edge
+        store — so callers (the CLI, shard workers) need not special-case
+        engine types.  Engines without an ad-hoc query surface raise
+        :class:`UnsupportedOperation`.
+        """
+        self._require_loaded()
+        start = time.perf_counter()
+        values = self._adhoc(text, dict(params or {}))
+        return QueryResult("adhoc", values, time.perf_counter() - start)
+
+    def _adhoc(self, text: str, params: dict) -> list[str]:
+        """Subclass hook behind :meth:`adhoc`."""
+        raise UnsupportedOperation(
+            f"{self.row_label}: ad-hoc queries not supported")
+
+    def execute_per_document(self, qid: str, params: dict,
+                             names: list[str]
+                             ) -> list[tuple[str, list[str]]]:
+        """Evaluate a *document-selection* workload query once per named
+        document, returning ``(name, values)`` pairs in ``names`` order.
+
+        Documents in the engine's collection that are not listed in
+        ``names`` (replicated reference documents, e.g. DC/MD's flat
+        ``customer.xml``) stay visible to every per-document evaluation.
+        The sharded execution service uses this to reassemble global
+        document order across shards; engines without per-document
+        scoping raise :class:`UnsupportedOperation` and the service falls
+        back to shard-order concatenation.
+        """
+        raise UnsupportedOperation(
+            f"{self.row_label}: per-document execution not supported")
 
     # -- update workload (the paper's planned extension #2) -----------------
     #
@@ -152,20 +244,26 @@ class Engine(ABC):
                    texts) -> LoadStats:
         """Bulk load with wall-clock timing.
 
-        ``texts`` is any iterable of ``(name, xml_text)`` pairs with a
-        ``len()`` — a plain list, or a lazy
-        :class:`~repro.core.corpus_io.FileCorpus` whose file reads then
-        happen inside the timed region, like the paper's file loads.
+        ``texts`` is any iterable of ``(name, xml_text)`` pairs — a
+        plain list, or a lazy :class:`~repro.core.corpus_io.FileCorpus`
+        whose file reads then happen inside the timed region, like the
+        paper's file loads.  Corpora exposing ``total_bytes()`` (file
+        metadata) are sized without reading; anything else is counted
+        *during* the load pass, so one-shot iterables are neither
+        re-read nor exhausted.
         """
-        start = time.perf_counter()
-        stats = self.bulk_load(db_class, texts)
-        stats.seconds = time.perf_counter() - start
-        stats.documents = len(texts)
         total = getattr(texts, "total_bytes", None)
-        if total is not None:
+        counting = None if total is not None else _CountingTexts(texts)
+        start = time.perf_counter()
+        stats = self.bulk_load(db_class,
+                               texts if counting is None else counting)
+        stats.seconds = time.perf_counter() - start
+        if counting is None:
+            stats.documents = len(texts)
             stats.bytes = total()
         else:
-            stats.bytes = sum(len(text) for _, text in texts)
+            stats.documents = counting.documents
+            stats.bytes = counting.bytes
         self.db_class = db_class
         self.loaded = True
         # Generic load counters — every engine parses its documents and

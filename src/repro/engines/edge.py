@@ -246,9 +246,15 @@ class EdgeEngine(Engine):
                                                 None)
         self._index_paths = []
 
+    def _release(self) -> None:
+        """Drop the interval-encoded tables and their indexes."""
+        self.store = EdgeStore()
+        self._index_paths = []
+
     # -- query plans (the experiment subset, all four classes) ----------------
 
     def execute(self, qid: str, params: dict) -> list[str]:
+        self._require_loaded()
         assert self.db_class is not None
         handler = getattr(self, f"_{qid.lower()}_{self.db_class.key}",
                           None)
@@ -288,6 +294,9 @@ class EdgeEngine(Engine):
             else:
                 out.append(item)
         return out
+
+    def _adhoc(self, text: str, params: dict) -> list[str]:
+        return self.run_path(text, params)
 
     def _anchors(self, params: dict) -> list[dict]:
         assert self.db_class is not None

@@ -30,7 +30,7 @@ from ..errors import XQueryEvalError
 from ..obs.recorder import count as _obs_count
 from ..obs.recorder import plan_node as _obs_plan_node
 from ..workload.queries import QUERIES_BY_ID
-from ..xml.nodes import Attribute, Document, Element, Node
+from ..xml.nodes import Attribute, Document, Element, Node, Text
 from ..xml.parser import parse_document
 from ..xml.serializer import serialize
 from ..xquery.context import Context
@@ -105,6 +105,13 @@ class NativeEngine(Engine):
         self._indexes.clear()
         self._plan_cache.clear()
 
+    def _release(self) -> None:
+        """Drop the trees (and their cached structural summaries), the
+        value indexes and the plan cache."""
+        self._collection = StaticCollection()
+        self._indexes.clear()
+        self._plan_cache.clear()
+
     def _build_index(self, path: str) -> dict[str, list[Node]]:
         """Index every document: value -> value-carrying nodes.
 
@@ -139,6 +146,7 @@ class NativeEngine(Engine):
                                  []).append(element)
 
     def execute(self, qid: str, params: dict) -> list[str]:
+        self._require_loaded()
         assert self.db_class is not None
         class_key = self.db_class.key
         text = QUERIES_BY_ID[qid].text_for(class_key)
@@ -281,8 +289,11 @@ class NativeEngine(Engine):
             for target in targets:
                 self._retarget_indexes(target, new_value)
                 had_elements = target.has_element_children()
-                target.children = []
-                target.append_text(new_value)
+                # Swap the children list in one assignment so concurrent
+                # readers never observe the emptied intermediate state.
+                replacement = Text(new_value)
+                replacement.parent = target
+                target.children = [replacement]
                 changed += 1
                 if had_elements:
                     # Elements were removed: the cached structural
@@ -331,6 +342,45 @@ class NativeEngine(Engine):
         return self._xquery.execute(text, self._collection,
                                     variables=dict(params or {}),
                                     context_item=context_item)
+
+    def _adhoc(self, text: str, params: dict) -> list[str]:
+        return normalize_result(self.run_xquery(text, params))
+
+    def execute_per_document(self, qid: str, params: dict,
+                             names: list[str]
+                             ) -> list[tuple[str, list[str]]]:
+        """Evaluate ``qid`` once per named document.
+
+        Each evaluation sees a collection view of exactly one main
+        document plus every ambient document (those not listed in
+        ``names`` — the replicated flat tables of DC/MD), so queries that
+        join against ``doc('customer.xml')`` still resolve.  Document
+        order *within* each view follows the global serials assigned at
+        parse time, so per-document results concatenated in ``names``
+        order reproduce a whole-collection scan exactly.
+        """
+        assert self.db_class is not None
+        text = QUERIES_BY_ID[qid].text_for(self.db_class.key)
+        documents = self._collection.collection()
+        mains = set(names)
+        by_name = {doc.name: doc for doc in documents}
+        ambient = [doc for doc in documents if doc.name not in mains]
+        _obs_count("native.per_document_evals", len(names))
+        out: list[tuple[str, list[str]]] = []
+        for name in names:
+            main = by_name.get(name)
+            if main is None:
+                out.append((name, []))
+                continue
+            view = StaticCollection(
+                [doc for doc in documents
+                 if doc is main or doc.name not in mains]
+                if ambient else [main])
+            result = self._xquery.execute(text, view,
+                                          variables=dict(params),
+                                          context_item=None)
+            out.append((name, normalize_result(result)))
+        return out
 
 
 def normalize_result(items: list) -> list[str]:

@@ -84,6 +84,11 @@ class ShreddedEngine(Engine):
             self.store.database.indexes.pop((table, column), None)
         self._index_paths = []
 
+    def _release(self) -> None:
+        """Drop the shredded tables (and their indexes) entirely."""
+        self.store = ShreddedStore(keep_mixed_text=self.keep_mixed_text)
+        self._index_paths = []
+
     def _resolve_path(self, path: str) -> tuple[str, str]:
         """Map a Table 3 path to (table, column) in the shredded store."""
         if "/@" in path:
@@ -104,6 +109,7 @@ class ShreddedEngine(Engine):
             f"{self.row_label}: cannot resolve index path {path!r}")
 
     def execute(self, qid: str, params: dict) -> list[str]:
+        self._require_loaded()
         assert self.db_class is not None
         class_key = self.db_class.key
         if not has_plan(qid, class_key):

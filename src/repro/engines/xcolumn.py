@@ -178,9 +178,16 @@ class XColumnEngine(Engine):
                 self.database.indexes.pop((table, "value"), None)
         self._index_paths = []
 
+    def _release(self) -> None:
+        """Drop the CLOB table, the side tables and their indexes."""
+        self.database = Database()
+        self._index_paths = []
+        self._live = False
+
     # -- query execution ---------------------------------------------------------------
 
     def execute(self, qid: str, params: dict) -> list[str]:
+        self._require_loaded()
         assert self.db_class is not None
         handler = getattr(self, f"_{qid.lower()}_{self.db_class.key}", None)
         if handler is None:

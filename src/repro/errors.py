@@ -100,5 +100,14 @@ class UnsupportedQuery(EngineError):
     """
 
 
+class ShardError(EngineError):
+    """Raised by the sharded execution service for infrastructure
+    failures: a worker process died and could not be respawned, an RPC
+    call timed out, or retries were exhausted.  Application-level errors
+    raised *inside* a worker (e.g. :class:`UnsupportedQuery`) are
+    re-raised under their own type, not this one.
+    """
+
+
 class BenchmarkError(ReproError):
     """Raised by the benchmark driver for invalid experiment requests."""

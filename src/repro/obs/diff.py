@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import json
 import pathlib
+import re
 from dataclasses import dataclass, field
 
 from ..errors import ReproError
@@ -57,10 +58,19 @@ def load_artifact(path: str | pathlib.Path) -> dict:
     return document
 
 
-def _cells_by_key(artifact: dict) -> dict[tuple, dict]:
+#: ``<system> xN`` — the row label the sharded execution service gives
+#: its cells (e.g. ``X-Hive x2``).
+_SHARD_SUFFIX = re.compile(r" x\d+$")
+
+
+def _cells_by_key(artifact: dict,
+                  normalize_shards: bool = False) -> dict[tuple, dict]:
     cells = {}
     for cell in artifact.get("cells", ()):
-        key = (cell.get("table"), cell.get("system"),
+        system = cell.get("system")
+        if normalize_shards and system is not None:
+            system = _SHARD_SUFFIX.sub("", system)
+        key = (cell.get("table"), system,
                cell.get("class"), cell.get("scale"))
         cells[key] = cell
     return cells
@@ -212,14 +222,19 @@ def _counter_drift(a_cell: dict, b_cell: dict) -> dict:
 
 def diff_artifacts(a: dict, b: dict,
                    threshold: float = DEFAULT_THRESHOLD,
-                   min_seconds: float = DEFAULT_MIN_SECONDS
-                   ) -> DiffReport:
-    """Compare two loaded artifacts; see the module docstring."""
+                   min_seconds: float = DEFAULT_MIN_SECONDS,
+                   normalize_shards: bool = False) -> DiffReport:
+    """Compare two loaded artifacts; see the module docstring.
+
+    ``normalize_shards`` folds the sharded service's ``<system> xN``
+    row labels onto ``<system>``, pairing a shards-on run's cells with
+    a shards-off baseline (the CI shard A/B gate).
+    """
     report = DiffReport(a_name=a.get("name", "A"),
                         b_name=b.get("name", "B"),
                         threshold=threshold, min_seconds=min_seconds)
-    a_cells = _cells_by_key(a)
-    b_cells = _cells_by_key(b)
+    a_cells = _cells_by_key(a, normalize_shards=normalize_shards)
+    b_cells = _cells_by_key(b, normalize_shards=normalize_shards)
     for key in sorted(set(a_cells) | set(b_cells),
                       key=lambda item: tuple(str(part)
                                              for part in item)):
@@ -266,7 +281,9 @@ def diff_artifacts(a: dict, b: dict,
 
 def diff_paths(a_path: str | pathlib.Path, b_path: str | pathlib.Path,
                threshold: float = DEFAULT_THRESHOLD,
-               min_seconds: float = DEFAULT_MIN_SECONDS) -> DiffReport:
+               min_seconds: float = DEFAULT_MIN_SECONDS,
+               normalize_shards: bool = False) -> DiffReport:
     """Load two artifacts from disk and compare them."""
     return diff_artifacts(load_artifact(a_path), load_artifact(b_path),
-                          threshold=threshold, min_seconds=min_seconds)
+                          threshold=threshold, min_seconds=min_seconds,
+                          normalize_shards=normalize_shards)

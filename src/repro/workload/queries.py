@@ -26,6 +26,21 @@ class WorkloadQuery:
     canonical_class: str
     #: database-class key -> XQuery text.
     xquery: dict = field(default_factory=dict)
+    #: database-class key -> merge spec for sharded execution (how to
+    #: reassemble per-shard partial results into the single-process
+    #: answer).  ``kind`` is one of:
+    #:
+    #: * ``concat``  — per-document evaluation, reassembled in global
+    #:   document order (the default for collection scans);
+    #: * ``point``   — the query selects by a unique document id, so at
+    #:   most one shard answers: run whole-shard, concatenate;
+    #: * ``sorted``  — ``order by`` query: stable re-sort of per-document
+    #:   results by ``key`` (a descendant tag of each result fragment);
+    #: * ``regroup`` — grouped aggregate: re-group per-shard ``<group>``
+    #:   fragments by ``group_by`` and re-sum their ``total``;
+    #: * ``route``   — single-document retrieval: route to the shard
+    #:   owning ``param``'s document name.
+    merge: dict = field(default_factory=dict)
 
     def text_for(self, class_key: str) -> str:
         """The XQuery for ``class_key`` (KeyError if not applicable)."""
@@ -33,6 +48,15 @@ class WorkloadQuery:
 
     def applies_to(self, class_key: str) -> bool:
         return class_key in self.xquery
+
+    def merge_for(self, class_key: str) -> dict:
+        """The sharded merge spec for ``class_key``.
+
+        Defaults to ``{"kind": "concat"}`` — per-document evaluation
+        with global-document-order reassembly — which is correct for
+        any query whose results are independent per document.
+        """
+        return self.merge.get(class_key, {"kind": "concat"})
 
 
 Q1 = WorkloadQuery(
@@ -43,6 +67,7 @@ Q1 = WorkloadQuery(
         "dcsd": "/catalog/item[@id = $id]",
         "dcmd": "collection()/order[@id = $id]",
     },
+    merge={"dcmd": {"kind": "point"}},
 )
 
 Q2 = WorkloadQuery(
@@ -85,6 +110,12 @@ Q3 = WorkloadQuery(
             "[shipping_information/ship_type = $t]) }</total></group>"
         ),
     },
+    merge={
+        "dcmd": {"kind": "regroup", "group_by": "ship_type",
+                 "total": "total"},
+        "tcsd": {"kind": "regroup", "group_by": "location",
+                 "total": "total"},
+    },
 )
 
 Q4 = WorkloadQuery(
@@ -118,6 +149,7 @@ Q5 = WorkloadQuery(
         "tcmd": ("collection()/article[@id = $id]"
                  "/body/sec[1]/heading"),
     },
+    merge={"dcmd": {"kind": "point"}, "tcmd": {"kind": "point"}},
 )
 
 Q6 = WorkloadQuery(
@@ -159,6 +191,7 @@ Q8 = WorkloadQuery(
         "dcmd": "collection()/order[@id = $id]/*/ship_type",
         "tcmd": "collection()/article[@id = $id]/*/title",
     },
+    merge={"dcmd": {"kind": "point"}, "tcmd": {"kind": "point"}},
 )
 
 Q9 = WorkloadQuery(
@@ -169,6 +202,7 @@ Q9 = WorkloadQuery(
         "dcmd": "collection()/order[@id = $id]/*/*/order_status",
         "tcmd": "collection()/article[@id = $id]//citation",
     },
+    merge={"dcmd": {"kind": "point"}, "tcmd": {"kind": "point"}},
 )
 
 Q10 = WorkloadQuery(
@@ -184,6 +218,7 @@ Q10 = WorkloadQuery(
             "{ $o/shipping_information/ship_type }</order_summary>"
         ),
     },
+    merge={"dcmd": {"kind": "sorted", "key": "ship_type"}},
 )
 
 Q11 = WorkloadQuery(
@@ -199,6 +234,8 @@ Q11 = WorkloadQuery(
             "return <quotation>{ $q/author }{ $q/date }</quotation>"
         ),
     },
+    # ISO dates sort lexicographically = chronologically.
+    merge={"tcsd": {"kind": "sorted", "key": "date"}},
 )
 
 Q12 = WorkloadQuery(
@@ -227,6 +264,7 @@ Q12 = WorkloadQuery(
             "{ $a/prolog/abstract }</article_info>"
         ),
     },
+    merge={"dcmd": {"kind": "point"}, "tcmd": {"kind": "point"}},
 )
 
 Q13 = WorkloadQuery(
@@ -246,6 +284,7 @@ Q13 = WorkloadQuery(
             "</summary>"
         ),
     },
+    merge={"tcmd": {"kind": "point"}},
 )
 
 Q14 = WorkloadQuery(
@@ -307,6 +346,10 @@ Q16 = WorkloadQuery(
     {
         "dcmd": "doc($name)",
         "tcmd": "doc($name)",
+    },
+    merge={
+        "dcmd": {"kind": "route", "param": "name"},
+        "tcmd": {"kind": "route", "param": "name"},
     },
 )
 
@@ -377,6 +420,9 @@ Q19 = WorkloadQuery(
             "</customer_order>"
         ),
     },
+    # Whole-shard execution works because the flat reference documents
+    # (customer.xml) are replicated to every shard.
+    merge={"dcmd": {"kind": "point"}},
 )
 
 Q20 = WorkloadQuery(

@@ -36,9 +36,78 @@ class TestEngineRegistry:
     def test_fresh_instances(self):
         assert make_engines()[0] is not make_engines()[0]
 
+    def test_create_by_key(self):
+        from repro.engines import PAPER_ENGINE_KEYS, create
+        for key in PAPER_ENGINE_KEYS:
+            engine = create(key)
+            assert engine.key == key
+        assert isinstance(create("native"), NativeEngine)
+        assert create("native") is not create("native")
+
+    def test_create_unknown_key_lists_choices(self):
+        from repro.engines import create
+        from repro.errors import EngineError
+        with pytest.raises(EngineError) as excinfo:
+            create("tamino")
+        assert "native" in str(excinfo.value)
+
+    def test_register_custom_factory(self):
+        from repro.engines import _REGISTRY, create, register
+        register("probe", NativeEngine)
+        try:
+            assert isinstance(create("probe"), NativeEngine)
+        finally:
+            _REGISTRY.pop("probe", None)
+
     def test_execute_before_load_rejected(self):
         with pytest.raises(BenchmarkError):
             NativeEngine().timed_execute("Q5", {})
+
+
+class TestEngineLifecycle:
+    def test_close_releases_and_allows_reload(self, small_corpora):
+        corpus = small_corpora["dcmd"]
+        engine = load(NativeEngine(), corpus)
+        params = bind_params("Q5", "dcmd", 30)
+        expect = engine.execute("Q5", params)
+        engine.close()
+        assert not engine.loaded
+        with pytest.raises(BenchmarkError):
+            engine.execute("Q5", params)
+        load(engine, corpus)
+        assert engine.execute("Q5", params) == expect
+
+    def test_context_manager_closes(self, small_corpora):
+        corpus = small_corpora["dcmd"]
+        with SqlServerEngine() as engine:
+            load(engine, corpus)
+            assert engine.loaded
+        assert not engine.loaded
+
+    def test_adhoc_on_native(self, small_corpora):
+        engine = load(NativeEngine(), small_corpora["dcmd"])
+        outcome = engine.adhoc("count(collection()/order)")
+        assert outcome.values and outcome.seconds >= 0
+
+    def test_adhoc_unsupported_on_shredded(self, small_corpora):
+        from repro.errors import UnsupportedOperation
+        engine = load(SqlServerEngine(), small_corpora["dcmd"])
+        with pytest.raises(UnsupportedOperation):
+            engine.adhoc("collection()/order")
+
+    def test_timed_load_accepts_one_shot_iterable(self, small_corpora):
+        corpus = small_corpora["dcmd"]
+        baseline = NativeEngine()
+        stats = baseline.timed_load(corpus["class"],
+                                    list(corpus["texts"]))
+        engine = NativeEngine()
+        one_shot = iter(list(corpus["texts"]))
+        got = engine.timed_load(corpus["class"], one_shot)
+        assert got.documents == stats.documents
+        assert got.bytes == stats.bytes
+        params = bind_params("Q17", "dcmd", 30)
+        assert engine.execute("Q17", params) == baseline.execute(
+            "Q17", params)
 
 
 class TestRestrictions:

@@ -2,12 +2,15 @@
 
 from __future__ import annotations
 
+import threading
+
 import pytest
 
 from repro.core.indexes import indexes_for
 from repro.core.multiuser import run_multi_user
 from repro.engines import NativeEngine, SqlServerEngine
 from repro.errors import BenchmarkError
+from repro.workload.params import bind_params
 
 
 def load(factory, corpus):
@@ -103,3 +106,122 @@ class TestMultiUser:
                                     30, streams=3, queries_per_stream=4,
                                     seed=5, mode="interleaved")
         assert threaded.total_queries == sequential.total_queries
+
+
+class TestConcurrentMixedWorkload:
+    """Reader threads querying while an update stream mutates the same
+    engine.  The update path swaps an element's children in one
+    assignment, so a concurrent reader must see either the old or the
+    new value — never an empty or torn one."""
+
+    STATUSES = ("MIXED_A", "MIXED_B")
+
+    def _run_mixed(self, engine, readers=3, writes=40, reads=30):
+        params = dict(bind_params("Q9", "dcmd", 30))
+        order_id = params["id"]
+        baseline = engine.execute("Q9", params)
+        assert baseline, "probe order must have an order_status"
+        allowed = set()
+        for status in self.STATUSES:
+            allowed.update(value.replace(
+                ">" + self._status_text(baseline[0]) + "<",
+                ">" + status + "<") for value in baseline)
+        allowed.update(baseline)
+        observed, errors = [], []
+
+        def reader():
+            try:
+                for __ in range(reads):
+                    observed.append(tuple(engine.execute("Q9", params)))
+            except Exception as exc:  # pragma: no cover - fail below
+                errors.append(exc)
+
+        def writer():
+            try:
+                for index in range(writes):
+                    engine.update_value(
+                        "order/@id", order_id, "order_status",
+                        self.STATUSES[index % len(self.STATUSES)])
+            except Exception as exc:  # pragma: no cover - fail below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=reader)
+                   for __ in range(readers)]
+        threads.append(threading.Thread(target=writer))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors, errors
+        assert observed
+        for result in observed:
+            assert result, "reader saw an empty (torn) result"
+            for value in result:
+                assert value in allowed, (
+                    f"torn read: {value!r} is neither the old nor a "
+                    f"written status")
+
+    @staticmethod
+    def _status_text(serialized):
+        inner = serialized.split(">", 1)[1].rsplit("<", 1)[0]
+        return inner
+
+    def test_no_torn_reads_native(self, small_corpora):
+        engine = load(NativeEngine, small_corpora["dcmd"])
+        self._run_mixed(engine)
+
+    def test_no_torn_reads_sharded(self, small_corpora):
+        from repro.core.shard import ShardedEngine
+        corpus = small_corpora["dcmd"]
+        engine = load(lambda: ShardedEngine("native", shards=2), corpus)
+        try:
+            self._run_mixed(engine, readers=2, writes=20, reads=10)
+        finally:
+            engine.close()
+
+    def test_updates_visible_after_mixed_run(self, small_corpora):
+        """Summary/index invalidation holds: once the writers are done,
+        every reader sees the final written value, matching a fresh
+        engine that applied the same updates sequentially."""
+        corpus = small_corpora["dcmd"]
+        engine = load(NativeEngine, corpus)
+        self._run_mixed(engine, readers=2, writes=11, reads=5)
+        params = dict(bind_params("Q9", "dcmd", 30))
+        oracle = load(NativeEngine, corpus)
+        oracle.update_value("order/@id", params["id"], "order_status",
+                            self.STATUSES[10 % len(self.STATUSES)])
+        assert engine.execute("Q9", params) == oracle.execute(
+            "Q9", params)
+
+    def test_queries_while_sharded_update_stream(self, small_corpora):
+        """run_multi_user streams against the sharded service while an
+        update stream mutates documents underneath them."""
+        from repro.core.shard import ShardedEngine
+        corpus = small_corpora["dcmd"]
+        engine = load(lambda: ShardedEngine("native", shards=2), corpus)
+        try:
+            stop = threading.Event()
+
+            def updater():
+                index = 0
+                while not stop.is_set():
+                    engine.update_value(
+                        "order/@id", str(1 + index % 30),
+                        "order_status",
+                        self.STATUSES[index % len(self.STATUSES)])
+                    index += 1
+
+            thread = threading.Thread(target=updater)
+            thread.start()
+            try:
+                result = run_multi_user(engine, "dcmd", 30, streams=2,
+                                        queries_per_stream=4,
+                                        mode="threads")
+            finally:
+                stop.set()
+                thread.join()
+            assert result.total_queries == 8
+            assert all(stream.errors == 0 for stream in result.streams)
+            assert not engine.incidents
+        finally:
+            engine.close()
