@@ -20,6 +20,8 @@ Commands
               trees (rows, calls, wall-time) per engine
 ``obs``       artifact tooling; ``obs diff A B`` compares two BENCH
               artifacts and gates on cold-time regressions
+``chaos``     run a workload under a named fault-injection scenario
+              and score availability (``BENCH_chaos.json``)
 """
 
 from __future__ import annotations
@@ -68,6 +70,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run every engine behind the sharded "
                             "execution service with N worker "
                             "processes (0 = single-process)")
+    suite.add_argument("--rpc-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-RPC timeout for the sharded service "
+                            "(default: the service default)")
 
     generate = sub.add_parser("generate", help="write a corpus to disk")
     generate.add_argument("class_key", choices=sorted(CLASSES_BY_KEY))
@@ -115,6 +121,9 @@ def build_parser() -> argparse.ArgumentParser:
                              "the sharded execution service with N "
                              "workers; sharded mismatches exit "
                              "non-zero")
+    verify.add_argument("--rpc-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-RPC timeout for the sharded row")
 
     updates = sub.add_parser("updates",
                              help="run the update-workload extension")
@@ -159,6 +168,16 @@ def build_parser() -> argparse.ArgumentParser:
                                 "execution service with N worker "
                                 "processes (real parallelism instead "
                                 "of GIL interleaving)")
+    multiuser.add_argument("--rpc-timeout", type=float, default=None,
+                           metavar="SECONDS",
+                           help="per-RPC timeout for the sharded "
+                                "service")
+    multiuser.add_argument("--deadline", type=float, default=None,
+                           metavar="SECONDS",
+                           help="per-query deadline; over-budget "
+                                "queries are cancelled cooperatively "
+                                "and counted as QueryTimeout "
+                                "incidents")
 
     profile = sub.add_parser(
         "profile", help="observed benchmark run (obs subsystem): "
@@ -198,6 +217,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="run every engine behind the sharded "
                               "execution service with N worker "
                               "processes")
+    profile.add_argument("--rpc-timeout", type=float, default=None,
+                         metavar="SECONDS",
+                         help="per-RPC timeout for the sharded "
+                              "service (default: the service default)")
 
     explain = sub.add_parser(
         "explain", help="EXPLAIN ANALYZE one workload query: run it "
@@ -241,6 +264,49 @@ def build_parser() -> argparse.ArgumentParser:
                           choices=["text", "json"])
     obs_diff.add_argument("--verbose", action="store_true",
                           help="list unchanged cells too")
+
+    from .faults.scenarios import SCENARIOS
+    chaos = sub.add_parser(
+        "chaos", help="run a workload under a named fault-injection "
+                      "scenario and score availability")
+    chaos.add_argument("--scenario", required=True,
+                       choices=sorted(SCENARIOS),
+                       help="named fault scenario")
+    chaos.add_argument("--class", dest="class_key", default="dcmd",
+                       choices=sorted(CLASSES_BY_KEY))
+    chaos.add_argument("--engine", default="native",
+                       choices=["native", "xcolumn", "xcollection",
+                                "sqlserver"])
+    chaos.add_argument("--units", type=int, default=24)
+    chaos.add_argument("--shards", type=int, default=3)
+    chaos.add_argument("--queries", type=int, default=40)
+    chaos.add_argument("--seed", type=int, default=7,
+                       help="fault-plan + query-mix seed (same seed = "
+                            "same fault sequence and scorecard)")
+    chaos.add_argument("--retries", type=int, default=2)
+    chaos.add_argument("--degraded", default="partial",
+                       choices=["fail", "partial"],
+                       help="shard-failure policy during the run")
+    chaos.add_argument("--deadline", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-query deadline (overrides the "
+                            "scenario's recommendation)")
+    chaos.add_argument("--rpc-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-RPC timeout (overrides the "
+                            "scenario's recommendation)")
+    chaos.add_argument("--min-availability", type=float, default=None,
+                       metavar="PCT",
+                       help="exit non-zero when availability falls "
+                            "below PCT (unhandled exceptions always "
+                            "fail the run)")
+    chaos.add_argument("--name", default="chaos",
+                       help="artifact name (BENCH_<name>.json)")
+    chaos.add_argument("--obs-out", default=None, metavar="DIR",
+                       help="write the BENCH_<name>.json scorecard "
+                            "under DIR")
+    chaos.add_argument("--format", default="text",
+                       choices=["text", "json"])
     return parser
 
 
@@ -289,6 +355,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_explain(args)
     elif args.command == "obs":
         return _cmd_obs(args)
+    elif args.command == "chaos":
+        return _cmd_chaos(args)
     return 0
 
 
@@ -316,19 +384,22 @@ def _cmd_multiuser(args: argparse.Namespace) -> int:
     from .obs import Recorder, bench_summary, observing, \
         write_bench_artifact
     engine = _load_engine(args.engine, args.class_key, args.units, 42,
-                          shards=args.shards)
+                          shards=args.shards,
+                          rpc_timeout=args.rpc_timeout)
     recorder = Recorder(name="multiuser") if args.obs_out else None
     if recorder is not None:
         with observing(recorder):
             result = run_multi_user(engine, args.class_key, args.units,
                                     streams=args.streams,
                                     queries_per_stream=args.queries,
-                                    mode=args.mode)
+                                    mode=args.mode,
+                                    deadline_seconds=args.deadline)
     else:
         result = run_multi_user(engine, args.class_key, args.units,
                                 streams=args.streams,
                                 queries_per_stream=args.queries,
-                                mode=args.mode)
+                                mode=args.mode,
+                                deadline_seconds=args.deadline)
     print(result.summary())
     if recorder is not None:
         summary = bench_summary(
@@ -358,7 +429,8 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         with_indexes=not args.no_indexes,
         observe=True,
         explain=args.explain,
-        shards=args.shards)
+        shards=args.shards,
+        rpc_timeout=args.rpc_timeout)
     if args.queries:
         config.query_ids = tuple(qid.upper()
                                  for qid in args.queries.split(","))
@@ -492,6 +564,50 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     return report.exit_code()
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+    from .faults import run_chaos
+    from .obs import Recorder, bench_summary, write_bench_artifact
+    recorder = Recorder(name=args.name)
+    result = run_chaos(args.scenario, class_key=args.class_key,
+                       engine_key=args.engine, units=args.units,
+                       shards=args.shards, queries=args.queries,
+                       seed=args.seed, retries=args.retries,
+                       degraded=args.degraded,
+                       rpc_timeout=args.rpc_timeout,
+                       deadline_seconds=args.deadline,
+                       recorder=recorder)
+    if args.format == "json":
+        print(json.dumps(result.record(), indent=2))
+    else:
+        print(result.summary())
+    if args.obs_out is not None:
+        summary = bench_summary(
+            args.name, recorder=recorder,
+            config={"scenario": args.scenario, "seed": args.seed,
+                    "engine": args.engine, "class": args.class_key,
+                    "units": args.units, "shards": args.shards,
+                    "queries": args.queries,
+                    "retries": args.retries,
+                    "degraded": args.degraded,
+                    "deadline": args.deadline,
+                    "rpc_timeout": args.rpc_timeout},
+            extra={"chaos": result.record()})
+        path = write_bench_artifact(summary, args.obs_out)
+        print(f"wrote {path}")
+    if result.unhandled:
+        print(f"error: {result.unhandled} unhandled exception(s) "
+              "escaped the resilience layer", file=sys.stderr)
+        return 1
+    if (args.min_availability is not None
+            and result.availability_pct < args.min_availability):
+        print(f"error: availability {result.availability_pct:.2f}% "
+              f"below the required {args.min_availability:.2f}%",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_schema(args: argparse.Namespace) -> int:
     from .xml.schema import render_diagram
     from .xml.schema_export import to_dtd, to_xsd
@@ -515,7 +631,8 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     sharded_mismatches = 0
     for class_key in class_keys:
         report = verify_scenario(bench, class_key, args.scale,
-                                 shards=args.shards)
+                                 shards=args.shards,
+                                 rpc_timeout=args.rpc_timeout)
         print(report.format())
         print()
         mismatches += len(report.mismatches())
@@ -542,7 +659,8 @@ def _cmd_suite(args: argparse.Namespace) -> int:
                              with_indexes=not args.no_indexes,
                              repeats=args.repeats,
                              observe=args.obs_out is not None,
-                             shards=args.shards)
+                             shards=args.shards,
+                             rpc_timeout=args.rpc_timeout)
     bench = XBench(config)
     suite = bench.run_suite()
     if args.format == "csv":
@@ -583,12 +701,14 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _load_engine(engine_key: str, class_key: str, units: int,
-                 seed: int, shards: int = 0):
+                 seed: int, shards: int = 0,
+                 rpc_timeout: float | None = None):
     from .xml.serializer import serialize
     db_class = CLASSES_BY_KEY[class_key]
     if shards > 1:
         from .core.shard import ShardedEngine
-        engine = ShardedEngine(engine_key, shards=shards)
+        engine = ShardedEngine(engine_key, shards=shards,
+                               timeout=rpc_timeout)
     else:
         engine = create(engine_key)
     engine.check_supported(db_class, "small")

@@ -23,8 +23,9 @@ from dataclasses import asdict, dataclass, field
 from ..databases import ALL_CLASSES, SCALES_BY_NAME
 from ..databases.base import DatabaseClass, Scale
 from ..engines import PAPER_ENGINE_KEYS, Engine, create
-from ..errors import BenchmarkError, UnsupportedConfiguration, \
-    UnsupportedQuery
+from ..errors import BenchmarkError, QueryTimeout, ShardError, \
+    UnsupportedConfiguration, UnsupportedQuery
+from ..faults.deadline import Deadline, deadline_scope
 from ..obs import Recorder, observing
 from ..obs import recorder as obs_hooks
 from ..workload import bind_params
@@ -72,6 +73,16 @@ class BenchmarkConfig:
     #: run every engine behind the sharded multi-process execution
     #: service with this many worker processes (0/1 = single-process).
     shards: int = 0
+    #: per-RPC timeout for the sharded service (None = the service's
+    #: DEFAULT_TIMEOUT).
+    rpc_timeout: float | None = None
+    #: per-query deadline (seconds): queries exceeding it are cancelled
+    #: cooperatively and reported as QueryTimeout incidents (None = no
+    #: deadline).
+    deadline_seconds: float | None = None
+    #: sharded degradation policy: "fail" (any shard failure fails the
+    #: query) or "partial" (answer from healthy shards + incident).
+    degraded: str = "fail"
 
     def record(self) -> dict:
         """The config as a JSON-ready dict (for BENCH_* artifacts)."""
@@ -221,7 +232,10 @@ class XBench:
         if self.config.shards > 1:
             from .shard import ShardedEngine
             engines: list[Engine] = [
-                ShardedEngine(key, shards=self.config.shards)
+                ShardedEngine(key, shards=self.config.shards,
+                              timeout=self.config.rpc_timeout,
+                              degraded=self.config.degraded,
+                              seed=self.config.seed)
                 for key in keys]
         else:
             engines = [create(key) for key in keys]
@@ -330,11 +344,22 @@ class XBench:
                     params = bind_params(qid, class_key, scenario.units)
                     attrs = {"engine": engine.key, "class": class_key,
                              "scale": scale_name, "qid": qid}
+                    deadline = (
+                        Deadline(self.config.deadline_seconds)
+                        if self.config.deadline_seconds is not None
+                        else None)
                     try:
-                        with obs_hooks.span("query", **attrs):
+                        with obs_hooks.span("query", **attrs), \
+                                deadline_scope(deadline):
                             outcome = engine.timed_execute(qid, params)
                     except UnsupportedQuery as exc:
                         cell.detail = str(exc)
+                        continue
+                    except (QueryTimeout, ShardError) as exc:
+                        # Typed incident (CircuitOpen is a ShardError):
+                        # the cell stays unsupported-shaped but names
+                        # the failure, like the shard incident column.
+                        cell.detail = f"{type(exc).__name__}: {exc}"
                         continue
                     cell.seconds = outcome.seconds
                     if outcome.counters:

@@ -27,7 +27,13 @@ import threading
 import time
 from dataclasses import dataclass, field
 
-from ..errors import BenchmarkError, UnsupportedQuery
+from ..errors import (
+    BenchmarkError,
+    QueryTimeout,
+    ShardError,
+    UnsupportedQuery,
+)
+from ..faults.deadline import Deadline, deadline_scope
 from ..obs import LatencyHistogram
 from ..obs import recorder as obs_hooks
 from ..workload import bind_params
@@ -47,6 +53,9 @@ class StreamResult:
     queries: int = 0
     errors: int = 0
     latencies: list = field(default_factory=list)
+    #: typed incident counts (QueryTimeout, ShardError, CircuitOpen...)
+    #: — unsupported queries stay in ``errors``.
+    incidents: dict = field(default_factory=dict)
 
     def latency_histogram(self) -> LatencyHistogram:
         return LatencyHistogram(self.latencies)
@@ -101,6 +110,11 @@ class MultiUserResult:
                  f"p95 {overall.p95 * 1000:.2f} ms, "
                  f"p99 {overall.p99 * 1000:.2f} ms, "
                  f"max {overall.max * 1000:.2f} ms"]
+        incidents = self.incident_counts()
+        if incidents:
+            lines.append("  incidents: " + ", ".join(
+                f"{name} x{count}"
+                for name, count in sorted(incidents.items())))
         for stream in self.streams:
             lines.append(
                 f"  stream {stream.stream_id}: {stream.queries} queries, "
@@ -111,12 +125,21 @@ class MultiUserResult:
                 f"max {stream.max_latency_ms():.2f} ms")
         return "\n".join(lines)
 
+    def incident_counts(self) -> dict:
+        """Typed incidents aggregated across streams."""
+        totals: dict[str, int] = {}
+        for stream in self.streams:
+            for name, count in stream.incidents.items():
+                totals[name] = totals.get(name, 0) + count
+        return totals
+
     def record(self) -> dict:
         """JSON-ready summary (for BENCH_* artifacts)."""
         return {
             "streams": len(self.streams),
             "total_queries": self.total_queries,
             "errors": sum(stream.errors for stream in self.streams),
+            "incidents": self.incident_counts(),
             "wall_seconds": self.wall_seconds,
             "throughput_qps": self.throughput_qps,
             "latency": self.latency_histogram().summary(),
@@ -145,15 +168,54 @@ def _stream_plan(class_key: str, units: int, queries_per_stream: int,
     return plan
 
 
+def _execute_once(engine, qid: str, params: dict, index: int,
+                  result: StreamResult,
+                  deadline_seconds: float | None) -> None:
+    """One stream query: time it, classify any typed incident.
+
+    The deadline scope and the plan-tree stack are both thread-local,
+    so concurrent streams never interfere.
+    """
+    deadline = (Deadline(deadline_seconds)
+                if deadline_seconds is not None else None)
+    start = time.perf_counter()
+    try:
+        # Plan trees are keyed per stream (and built on a thread-local
+        # stack), so concurrent streams never cross-link operator nodes.
+        with obs_hooks.plan_tree(qid=qid, stream=index), \
+                deadline_scope(deadline):
+            engine.execute(qid, params)
+    except UnsupportedQuery:
+        result.errors += 1
+        return
+    except (QueryTimeout, ShardError) as exc:
+        # Typed incidents (CircuitOpen is a ShardError): the stream
+        # keeps going, the outcome is counted by exception type.
+        name = type(exc).__name__
+        result.errors += 1
+        result.incidents[name] = result.incidents.get(name, 0) + 1
+        obs_hooks.count("multiuser.incidents")
+        return
+    elapsed = time.perf_counter() - start
+    result.latencies.append(elapsed)
+    result.queries += 1
+    obs_hooks.record_latency("multiuser.query", elapsed)
+    obs_hooks.count("multiuser.queries")
+
+
 def run_multi_user(engine, class_key: str, units: int,
                    streams: int = 4, queries_per_stream: int = 20,
                    seed: int = 17,
                    query_ids: tuple[str, ...] = EXPERIMENT_QUERIES,
-                   mode: str = "threads") -> MultiUserResult:
+                   mode: str = "threads",
+                   deadline_seconds: float | None = None) -> MultiUserResult:
     """Run N client streams against one loaded engine.
 
     ``mode`` is ``"threads"`` (real threads, wall-clock throughput) or
     ``"interleaved"`` (deterministic round-robin on one thread).
+    ``deadline_seconds`` installs a per-query
+    :class:`~repro.faults.deadline.Deadline`; queries over budget are
+    cancelled cooperatively and counted as ``QueryTimeout`` incidents.
     """
     plans = [_stream_plan(class_key, units, queries_per_stream,
                           seed + index, query_ids)
@@ -165,21 +227,8 @@ def run_multi_user(engine, class_key: str, units: int,
         # independent of its siblings.
         with obs_hooks.span("multiuser.stream", stream=index):
             for qid, params in plans[index]:
-                start = time.perf_counter()
-                try:
-                    # Plan trees are keyed per stream (and built on a
-                    # thread-local stack), so concurrent streams never
-                    # cross-link operator nodes.
-                    with obs_hooks.plan_tree(qid=qid, stream=index):
-                        engine.execute(qid, params)
-                except UnsupportedQuery:
-                    results[index].errors += 1
-                    continue
-                elapsed = time.perf_counter() - start
-                results[index].latencies.append(elapsed)
-                results[index].queries += 1
-                obs_hooks.record_latency("multiuser.query", elapsed)
-                obs_hooks.count("multiuser.queries")
+                _execute_once(engine, qid, params, index,
+                              results[index], deadline_seconds)
 
     wall_start = time.perf_counter()
     if mode == "threads":
@@ -199,18 +248,8 @@ def run_multi_user(engine, class_key: str, units: int,
                 except StopIteration:
                     live.discard(index)
                     continue
-                start = time.perf_counter()
-                try:
-                    with obs_hooks.plan_tree(qid=qid, stream=index):
-                        engine.execute(qid, params)
-                except UnsupportedQuery:
-                    results[index].errors += 1
-                    continue
-                elapsed = time.perf_counter() - start
-                results[index].latencies.append(elapsed)
-                results[index].queries += 1
-                obs_hooks.record_latency("multiuser.query", elapsed)
-                obs_hooks.count("multiuser.queries")
+                _execute_once(engine, qid, params, index,
+                              results[index], deadline_seconds)
     else:
         raise BenchmarkError(f"unknown multi-user mode {mode!r}")
 

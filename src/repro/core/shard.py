@@ -40,12 +40,35 @@ Every RPC has a per-call timeout enforced with a poll loop that also
 watches worker liveness, so a killed worker is detected in ~50 ms rather
 than hanging.  A dead or timed-out worker is respawned and its state
 replayed — bulk load, index state and the per-shard journal of update
-operations — and the call retried; exhausted retries raise
-:class:`~repro.errors.ShardError`.  Incidents are recorded on
-:attr:`ShardedEngine.incidents` (surfaced in benchmark reports) and
-counted on the ``shard.respawns`` obs counter.  Application-level errors
-raised inside a worker (e.g. ``UnsupportedQuery``) are re-raised under
-their own exception type and never retried.
+operations — and the call retried under a
+:class:`~repro.faults.policy.RetryPolicy` (exponential backoff with
+deterministic jitter and a cumulative retry budget); exhausted retries
+raise :class:`~repro.errors.ShardError`.  Each shard has a
+:class:`~repro.faults.policy.CircuitBreaker`: K consecutive
+infrastructure failures trip it, further calls fail fast with
+:class:`~repro.errors.CircuitOpen` until a cooldown probe succeeds.
+With ``degraded="partial"`` the fan-out merges answer from the healthy
+shards and annotate the query with a
+:class:`~repro.errors.PartialResult` incident record instead of failing
+it.  Incidents are recorded on :attr:`ShardedEngine.incidents`
+(surfaced in benchmark reports) and counted on the ``shard.respawns`` /
+``shard.retries`` / ``shard.breaker_trips`` / ``shard.partial_results``
+obs counters.  Application-level errors raised inside a worker (e.g.
+``UnsupportedQuery``) are re-raised under their own exception type and
+never retried.
+
+Deadlines travel with the RPC: when a
+:class:`~repro.faults.deadline.Deadline` is active on the calling
+thread, its remaining budget is sent as ``("deadline", remaining,
+message)`` and installed around the worker-side op, so the worker's
+evaluator cancels cooperatively (:class:`~repro.errors.QueryTimeout`)
+while the parent bounds its pipe wait by the same remainder plus a
+grace period (the typed reply should win the race against the
+infrastructure timeout).
+
+Fault-injection sites (:mod:`repro.faults.plan`, free when no plan is
+installed): ``shard.rpc`` (worker side, per op), ``shard.pipe`` (parent
+side, per send) and ``shard.result`` (worker-side result payload).
 """
 
 from __future__ import annotations
@@ -62,7 +85,16 @@ from ..databases import CLASSES_BY_KEY
 from ..databases.base import DatabaseClass
 from ..engines import create
 from ..engines.base import Engine, LoadStats
-from ..errors import ShardError, UnsupportedOperation
+from ..errors import (
+    CircuitOpen,
+    FaultInjected,
+    QueryTimeout,
+    ShardError,
+    UnsupportedOperation,
+)
+from ..faults import deadline as _deadline
+from ..faults import plan as _faults
+from ..faults.policy import CircuitBreaker, RetryPolicy
 from ..obs import recorder as _obs
 from ..workload.queries import QUERIES_BY_ID
 from ..xml.nodes import Text
@@ -72,6 +104,10 @@ from ..xml.serializer import serialize
 #: Default per-RPC timeout (seconds).  Bulk loads at large scales are
 #: the slowest calls; queries finish orders of magnitude faster.
 DEFAULT_TIMEOUT = 120.0
+
+#: extra pipe-wait past a propagated deadline, so a worker's typed
+#: QueryTimeout reply beats the parent's infrastructure timeout.
+DEADLINE_GRACE = 0.25
 
 
 def shard_of(name: str, shards: int) -> int:
@@ -88,81 +124,132 @@ def shard_of(name: str, shards: int) -> int:
 # Worker side
 # --------------------------------------------------------------------------
 
-def _shard_worker(conn, engine_key: str) -> None:
+def _shard_worker(conn, engine_key: str, shard_index: int = 0,
+                  generation: int = 0) -> None:
     """Worker process main loop: one engine, one duplex pipe.
 
     Replies ``("ok", result)`` or ``("error", type_name, message)``;
     the parent reconstructs exceptions from :mod:`repro.errors` (or
-    builtins) by type name.
+    builtins) by type name.  Messages may arrive wrapped as
+    ``("deadline", remaining, inner)``: the remaining budget is
+    installed as a :class:`~repro.faults.deadline.Deadline` around the
+    op so evaluation cancels cooperatively.
     """
     # The worker is forked from the parent, which may have an obs
     # recorder installed; observations recorded here would die with the
     # process, so drop the inherited recorder and make the hooks no-op.
     _obs.uninstall()
-    engine: Engine | None = None
+    # The fork also inherits any installed FaultPlan.  Re-key the
+    # decision namespace per (shard, respawn generation): decisions stay
+    # deterministic, but a respawned worker's retried call draws a fresh
+    # decision instead of replaying the crash that killed its
+    # predecessor.
+    _faults.set_namespace(f"w{shard_index}.g{generation}")
     while True:
         try:
             message = conn.recv()
         except (EOFError, OSError):
             break
+        # Every request is (call_id, payload); the id is echoed in the
+        # reply so the parent can discard replies to calls it abandoned
+        # (e.g. a deadline fired while the worker was still computing).
+        call_id, message = message
+        deadline = None
+        if message[0] == "deadline":
+            __, remaining, message = message
+            deadline = _deadline.Deadline(remaining)
         op = message[0]
         try:
-            if op == "load":
-                __, class_key, mains, replicated = message
-                engine = create(engine_key)
-                db_class = CLASSES_BY_KEY[class_key]
-                texts = [(name, text) for __ord, name, text in mains]
-                texts.extend(replicated)
-                stats = engine.timed_load(db_class, texts)
-                result = {"documents": stats.documents,
-                          "bytes": stats.bytes, "rows": stats.rows,
-                          "seconds": stats.seconds}
-            elif op == "indexes":
-                engine.create_indexes(list(message[1]))
-                result = None
-            elif op == "drop_indexes":
-                engine.drop_indexes()
-                result = None
-            elif op == "execute":
-                __, qid, params = message
-                result = engine.execute(qid, dict(params))
-            elif op == "execute_per_doc":
-                __, qid, params, names = message
-                try:
-                    parts = engine.execute_per_document(
-                        qid, dict(params), list(names))
-                    result = {"mode": "per_doc", "parts": parts}
-                except UnsupportedOperation:
-                    result = {"mode": "whole",
-                              "values": engine.execute(qid, dict(params))}
-            elif op == "adhoc":
-                __, text, params = message
-                result = engine.adhoc(text, dict(params)).values
-            elif op == "insert":
-                __, name, text = message
-                engine.insert_document(name, text)
-                result = None
-            elif op == "delete":
-                engine.delete_document(message[1])
-                result = None
-            elif op == "update_value":
-                __, id_path, id_value, target_tag, new_value = message
-                result = engine.update_value(id_path, id_value,
-                                             target_tag, new_value)
-            elif op == "ping":
-                result = "pong"
-            elif op == "stop":
-                conn.send(("ok", None))
-                break
-            else:
-                raise ShardError(f"unknown worker op {op!r}")
-            conn.send(("ok", result))
+            with _deadline.deadline_scope(deadline):
+                _run_worker_op(conn, engine_key, shard_index, call_id,
+                               op, message, deadline)
+        except _WorkerStop:
+            break
         except Exception as exc:  # noqa: BLE001 - forwarded to parent
             try:
-                conn.send(("error", type(exc).__name__, str(exc)))
+                conn.send((call_id,
+                           ("error", type(exc).__name__, str(exc))))
             except (OSError, ValueError):
                 break
     conn.close()
+
+
+class _WorkerStop(Exception):
+    """Internal: the worker received ``stop`` and should exit."""
+
+
+def _run_worker_op(conn, engine_key: str, shard_index: int,
+                   call_id: int, op: str, message: tuple,
+                   deadline) -> None:
+    """Dispatch one worker op and send its ``("ok", result)`` reply.
+
+    Split out of the loop so the whole op — injection site, deadline
+    check, dispatch and reply serialization — sits under one
+    ``deadline_scope`` / error handler.
+    """
+    global _worker_engine
+    engine = _worker_engine
+    _faults.inject("shard.rpc", op=op, shard=shard_index)
+    if deadline is not None:
+        # A delay fault may already have consumed the budget; fail
+        # typed before doing any work.
+        deadline.check("rpc dispatch")
+    if op == "load":
+        __, class_key, mains, replicated = message
+        engine = _worker_engine = create(engine_key)
+        db_class = CLASSES_BY_KEY[class_key]
+        texts = [(name, text) for __ord, name, text in mains]
+        texts.extend(replicated)
+        stats = engine.timed_load(db_class, texts)
+        result = {"documents": stats.documents,
+                  "bytes": stats.bytes, "rows": stats.rows,
+                  "seconds": stats.seconds}
+    elif op == "indexes":
+        engine.create_indexes(list(message[1]))
+        result = None
+    elif op == "drop_indexes":
+        engine.drop_indexes()
+        result = None
+    elif op == "execute":
+        __, qid, params = message
+        result = engine.execute(qid, dict(params))
+    elif op == "execute_per_doc":
+        __, qid, params, names = message
+        try:
+            parts = engine.execute_per_document(
+                qid, dict(params), list(names))
+            result = {"mode": "per_doc", "parts": parts}
+        except UnsupportedOperation:
+            result = {"mode": "whole",
+                      "values": engine.execute(qid, dict(params))}
+    elif op == "adhoc":
+        __, text, params = message
+        result = engine.adhoc(text, dict(params)).values
+    elif op == "insert":
+        __, name, text = message
+        engine.insert_document(name, text)
+        result = None
+    elif op == "delete":
+        engine.delete_document(message[1])
+        result = None
+    elif op == "update_value":
+        __, id_path, id_value, target_tag, new_value = message
+        result = engine.update_value(id_path, id_value,
+                                     target_tag, new_value)
+    elif op == "ping":
+        result = "pong"
+    elif op == "stop":
+        conn.send((call_id, ("ok", None)))
+        raise _WorkerStop
+    else:
+        raise ShardError(f"unknown worker op {op!r}")
+    result = _faults.corrupt_value("shard.result", result, op=op,
+                                   shard=shard_index)
+    conn.send((call_id, ("ok", result)))
+
+
+#: the worker process's engine instance (one worker per process).
+_worker_engine: Engine | None = None
 
 
 def _rebuild_error(type_name: str, message: str) -> Exception:
@@ -193,6 +280,13 @@ class _Worker:
     index: int
     process: multiprocessing.process.BaseProcess
     conn: object  # multiprocessing.connection.Connection
+    #: RPC sequence counter; each call's id is echoed in its reply so
+    #: replies to abandoned calls are recognisably stale.
+    calls: int = 0
+
+    def next_call_id(self) -> int:
+        self.calls += 1
+        return self.calls
 
 
 @dataclass
@@ -216,27 +310,48 @@ class ShardedEngine(Engine):
     out across all workers in parallel.
     """
 
+    #: accepted values for the ``degraded`` policy knob.
+    DEGRADED_MODES = ("fail", "partial")
+
     def __init__(self, engine_key: str = "native", shards: int = 2,
-                 timeout: float = DEFAULT_TIMEOUT,
-                 retries: int = 1) -> None:
+                 timeout: float | None = DEFAULT_TIMEOUT,
+                 retries: int = 1, *, degraded: str = "fail",
+                 seed: int = 0, backoff_base: float = 0.05,
+                 retry_budget: float = 30.0,
+                 breaker_threshold: int = 3,
+                 breaker_cooldown: float = 5.0) -> None:
         super().__init__()
         if shards < 1:
             raise ShardError(f"shards must be >= 1, got {shards}")
+        if degraded not in self.DEGRADED_MODES:
+            raise ShardError(
+                f"degraded must be one of {self.DEGRADED_MODES}, "
+                f"got {degraded!r}")
         inner = create(engine_key)   # metadata + check_supported proxy
         self._inner = inner
         self.engine_key = engine_key
         self.shards = shards
-        self.timeout = timeout
+        self.timeout = DEFAULT_TIMEOUT if timeout is None else timeout
         self.retries = retries
+        self.degraded = degraded
         self.key = engine_key
         self.row_label = f"{inner.row_label} x{shards}"
         self.description = (f"{inner.description} — sharded across "
                             f"{shards} worker processes")
         #: infrastructure incidents (respawns, retries) for the report.
         self.incidents: list[str] = []
+        #: partial-result records: {"qid", "failed_shards", "reason"}.
+        self.partials: list[dict] = []
+        self._retry = RetryPolicy(retries=retries, base=backoff_base,
+                                  budget_seconds=retry_budget,
+                                  seed=seed)
+        self._breaker_threshold = breaker_threshold
+        self._breaker_cooldown = breaker_cooldown
+        self._breakers = self._new_breakers()
         self._lock = threading.RLock()
         self._ctx = multiprocessing.get_context("fork")
         self._workers: list[_Worker | None] = [None] * shards
+        self._generations = [0] * shards
         self._states = [_ShardState() for __ in range(shards)]
         self._replicated: list[tuple[str, str]] = []
         self._ordinals: dict[str, int] = {}
@@ -244,6 +359,12 @@ class ShardedEngine(Engine):
         self._index_paths: list[str] = []
         self._class_key: str | None = None
         self._home: int | None = None   # single-document classes
+
+    def _new_breakers(self) -> list[CircuitBreaker]:
+        return [CircuitBreaker(threshold=self._breaker_threshold,
+                               cooldown=self._breaker_cooldown,
+                               name=f"shard {index} breaker")
+                for index in range(self.shards)]
 
     # -- configuration gating ------------------------------------------------
 
@@ -315,6 +436,8 @@ class ShardedEngine(Engine):
         self._class_key = None
         self._home = None
         self.incidents = []
+        self.partials = []
+        self._breakers = self._new_breakers()
 
     def _release(self) -> None:
         with self._lock:
@@ -325,9 +448,10 @@ class ShardedEngine(Engine):
             if worker is None:
                 continue
             try:
-                worker.conn.send(("stop",))
-                deadline = time.monotonic() + 2.0
-                self._recv(worker, deadline)
+                call_id = worker.next_call_id()
+                worker.conn.send((call_id, ("stop",)))
+                self._recv(worker, time.monotonic() + 2.0, 2.0,
+                           call_id)
             except (_WorkerFailure, OSError, ValueError):
                 pass
             self._terminate(worker)
@@ -386,22 +510,24 @@ class ShardedEngine(Engine):
             return self._call(self.shard_of(name),
                               ("execute", qid, dict(params)))
         if kind == "point":
-            replies = self._scatter(
+            pairs = self._fanout(
                 range(self.shards),
-                lambda __: ("execute", qid, dict(params)))
-            return [value for values in replies for value in values]
+                lambda __: ("execute", qid, dict(params)), qid=qid)
+            return [value for __, values in pairs for value in values]
         if kind == "regroup":
-            replies = self._scatter(
+            pairs = self._fanout(
                 range(self.shards),
-                lambda __: ("execute", qid, dict(params)))
-            return self._merge_regroup(replies, spec)
+                lambda __: ("execute", qid, dict(params)), qid=qid)
+            return self._merge_regroup(
+                [values for __, values in pairs], spec)
         # concat / sorted: per-document evaluation on every shard.
-        replies = self._scatter(
+        pairs = self._fanout(
             range(self.shards),
             lambda index: ("execute_per_doc", qid, dict(params),
                            [name for __, name in
-                            self._shard_names(index)]))
-        merged = self._merge_per_document(replies)
+                            self._shard_names(index)]),
+            qid=qid)
+        merged = self._merge_per_document(pairs)
         if kind == "sorted":
             merged = _stable_sort_by_key(merged, spec["key"])
         return merged
@@ -410,17 +536,20 @@ class ShardedEngine(Engine):
         return sorted((ordinal, name) for ordinal, name, __ in
                       self._states[index].mains)
 
-    def _merge_per_document(self, replies: list[dict]) -> list[str]:
+    def _merge_per_document(
+            self, pairs: list[tuple[int, dict]]) -> list[str]:
         """Reassemble per-document results in global ordinal order.
 
-        Shards whose engine cannot scope evaluation per document fall
-        back to whole-shard results; those blocks are ordered by the
-        shard's smallest ordinal — correct only when results do not
-        interleave across shards (hence the native engine, which
-        supports per-document evaluation, is the sharding default).
+        ``pairs`` carries ``(shard, reply)`` (degraded fan-outs may
+        omit shards).  Shards whose engine cannot scope evaluation per
+        document fall back to whole-shard results; those blocks are
+        ordered by the shard's smallest ordinal — correct only when
+        results do not interleave across shards (hence the native
+        engine, which supports per-document evaluation, is the
+        sharding default).
         """
         keyed: list[tuple[int, int, list[str]]] = []
-        for index, reply in enumerate(replies):
+        for index, reply in pairs:
             if reply["mode"] == "per_doc":
                 for name, values in reply["parts"]:
                     ordinal = self._ordinals.get(name)
@@ -474,9 +603,10 @@ class ShardedEngine(Engine):
         with self._lock:
             if self._home is not None:
                 return self._call(self._home, ("adhoc", text, params))
-            replies = self._scatter(
-                range(self.shards), lambda __: ("adhoc", text, params))
-            return [value for values in replies for value in values]
+            pairs = self._fanout(
+                range(self.shards), lambda __: ("adhoc", text, params),
+                qid="adhoc")
+            return [value for __, values in pairs for value in values]
 
     # -- update workload -----------------------------------------------------
 
@@ -524,7 +654,9 @@ class ShardedEngine(Engine):
     def _spawn(self, index: int) -> None:
         parent_conn, child_conn = self._ctx.Pipe(duplex=True)
         process = self._ctx.Process(
-            target=_shard_worker, args=(child_conn, self.engine_key),
+            target=_shard_worker,
+            args=(child_conn, self.engine_key, index,
+                  self._generations[index]),
             name=f"repro-shard-{index}", daemon=True)
         process.start()
         child_conn.close()
@@ -538,6 +670,7 @@ class ShardedEngine(Engine):
         worker = self._workers[index]
         if worker is not None:
             self._terminate(worker)
+        self._generations[index] += 1
         self._spawn(index)
         if self._class_key is None:
             return
@@ -547,112 +680,267 @@ class ShardedEngine(Engine):
         for op in self._states[index].journal:
             self._call_raw(index, op)
 
+    def _record_failure(self, index: int) -> None:
+        """Account one infrastructure failure on the shard's breaker."""
+        if self._breakers[index].record_failure():
+            _obs.count("shard.breaker_trips")
+            self.incidents.append(
+                f"shard {index} breaker opened after "
+                f"{self._breakers[index].consecutive_failures} "
+                f"consecutive failures")
+
     def _call(self, index: int, message: tuple):
-        """One RPC with respawn-and-retry on infrastructure failure."""
-        attempts = self.retries + 1
-        for attempt in range(attempts):
+        """One RPC with breaker gating and respawn-and-retry on
+        infrastructure failure."""
+        self._breakers[index].allow()
+        try:
+            result = self._call_raw(index, message)
+        except _WorkerFailure as failure:
+            return self._retry_after_failure(index, message, failure)
+        self._breakers[index].record_success()
+        return result
+
+    def _retry_after_failure(self, index: int, message: tuple,
+                             failure: _WorkerFailure):
+        """The shared recovery path: account the failure, back off,
+        respawn, re-call — until the retry policy or an active deadline
+        says stop.
+
+        Raises :class:`~repro.errors.ShardError` when retries are
+        exhausted, :class:`~repro.errors.CircuitOpen` when this
+        failure (or an earlier one) tripped the breaker, and
+        :class:`~repro.errors.QueryTimeout` when the caller's deadline
+        expired while recovering.
+        """
+        attempt = 0
+        while True:
+            self._record_failure(index)
+            active = _deadline.current()
+            if active is not None and active.expired():
+                raise QueryTimeout(
+                    f"shard {index}: deadline expired during "
+                    f"recovery ({failure})",
+                    budget_seconds=active.budget) from None
+            if not self._retry.allow_retry(attempt):
+                raise ShardError(
+                    f"{failure} (after {attempt + 1} "
+                    f"attempt{'s' if attempt else ''})") from None
+            _obs.count("shard.retries")
+            self._retry.pause(attempt)
+            self._breakers[index].allow()   # may have tripped above
             try:
-                return self._call_raw(index, message)
-            except _WorkerFailure as failure:
-                if attempt + 1 >= attempts:
-                    raise ShardError(
-                        f"shard {index}: {failure} "
-                        f"(after {attempts} attempts)") from None
                 self._respawn(index, str(failure))
-        raise AssertionError("unreachable")
+                result = self._call_raw(index, message)
+            except _WorkerFailure as again:
+                failure = again
+                attempt += 1
+                continue
+            self._breakers[index].record_success()
+            return result
 
     def _call_raw(self, index: int, message: tuple):
         worker = self._workers[index]
         if worker is None or not worker.process.is_alive():
-            raise _WorkerFailure("worker not running")
-        self._send(worker, message)
-        return self._recv(worker,
-                          time.monotonic() + self.timeout)
+            raise _WorkerFailure(f"shard {index}: worker not running")
+        wire, budget = self._wire(index, message)
+        call_id = worker.next_call_id()
+        self._send(worker, (call_id, wire), op=message[0])
+        return self._recv(worker, time.monotonic() + budget, budget,
+                          call_id)
+
+    def _wire(self, index: int, message: tuple) -> tuple[tuple, float]:
+        """The on-pipe form of ``message`` plus the pipe-wait budget.
+
+        With an active deadline the message is wrapped as
+        ``("deadline", remaining, message)`` and the pipe wait is
+        bounded by the remainder plus :data:`DEADLINE_GRACE`, so the
+        worker's cooperative :class:`~repro.errors.QueryTimeout` beats
+        the parent's infrastructure timeout.
+        """
+        active = _deadline.current()
+        if active is None:
+            return message, self.timeout
+        remaining = active.remaining()
+        if remaining <= 0:
+            raise QueryTimeout(
+                f"shard {index}: deadline expired before dispatch",
+                budget_seconds=active.budget)
+        return (("deadline", remaining, message),
+                min(self.timeout, remaining + DEADLINE_GRACE))
 
     @staticmethod
-    def _send(worker: _Worker, message: tuple) -> None:
+    def _send(worker: _Worker, message: tuple,
+              op: str | None = None) -> None:
         try:
+            _faults.inject("shard.pipe", op=op, shard=worker.index)
             worker.conn.send(message)
+        except FaultInjected as exc:
+            raise _WorkerFailure(
+                f"shard {worker.index}: {exc}") from None
         except (OSError, ValueError) as exc:
-            raise _WorkerFailure(f"send failed: {exc}") from None
+            raise _WorkerFailure(
+                f"shard {worker.index}: send failed: {exc}") from None
 
-    def _recv(self, worker: _Worker, deadline: float):
-        """Receive one reply, watching liveness every 50 ms."""
+    def _recv(self, worker: _Worker, deadline: float,
+              budget: float | None = None,
+              call_id: int | None = None):
+        """Receive one reply, watching liveness every 50 ms.
+
+        ``budget`` is the actual wait this call was given (callers may
+        use less than ``self.timeout``, e.g. the 2 s stop/ping waits or
+        a deadline-bounded query), so the timeout message reports the
+        real number.  Replies carrying a different ``call_id`` belong
+        to abandoned calls (deadline fired, parent timed out first) and
+        are discarded, keeping the pipe aligned without killing a
+        worker that is merely slow.
+        """
+        if budget is None:
+            budget = self.timeout
         while True:
             remaining = deadline - time.monotonic()
             if remaining <= 0:
                 raise _WorkerFailure(
-                    f"call timed out after {self.timeout:.0f}s")
+                    f"shard {worker.index}: call timed out after "
+                    f"{budget:.1f}s")
             try:
                 ready = worker.conn.poll(min(0.05, remaining))
             except (OSError, ValueError) as exc:
-                raise _WorkerFailure(f"pipe broken: {exc}") from None
+                raise _WorkerFailure(
+                    f"shard {worker.index}: pipe broken: "
+                    f"{exc}") from None
             if ready:
                 try:
-                    reply = worker.conn.recv()
+                    reply_id, reply = worker.conn.recv()
                 except (EOFError, OSError) as exc:
                     raise _WorkerFailure(
-                        f"recv failed: {exc}") from None
+                        f"shard {worker.index}: recv failed: "
+                        f"{exc}") from None
+                if call_id is not None and reply_id != call_id:
+                    continue    # stale reply from an abandoned call
                 if reply[0] == "error":
                     raise _rebuild_error(reply[1], reply[2])
                 return reply[1]
             if not worker.process.is_alive():
                 raise _WorkerFailure(
-                    f"worker died (exit code "
+                    f"shard {worker.index}: worker died (exit code "
                     f"{worker.process.exitcode})")
 
     def _scatter(self, shard_ids, message_for) -> list:
+        """Strict fan-out: every shard must answer or the call fails.
+
+        Used by lifecycle and update operations, where silently
+        skipping a shard would diverge parent and worker state."""
+        return [reply for __, reply in
+                self._fanout(shard_ids, message_for, qid=None)]
+
+    def _fanout(self, shard_ids, message_for,
+                qid: str | None = None) -> list[tuple[int, object]]:
+        """Fan out and return ``(shard, reply)`` pairs in shard order.
+
+        With ``degraded="partial"`` and a ``qid`` (i.e. a read-only
+        query fan-out), pure infrastructure failures drop their shard
+        from the answer: the healthy pairs are returned and the query
+        is annotated on :attr:`partials` / :attr:`incidents` and the
+        ``shard.partial_results`` counter.  Application-level errors —
+        and any failure in strict mode — raise as before.
+        """
+        shard_ids = list(shard_ids)
+        replies, failures = self._scatter_impl(shard_ids, message_for)
+        if failures:
+            infra_only = all(isinstance(exc, ShardError)
+                             for __, exc in failures)
+            if not (qid is not None and self.degraded == "partial"
+                    and infra_only):
+                for __, exc in failures:
+                    if isinstance(exc, QueryTimeout):
+                        raise exc
+                raise failures[0][1]
+            failed = sorted(index for index, __ in failures)
+            reason = "; ".join(f"shard {index}: {exc}"
+                               for index, exc in failures)
+            _obs.count("shard.partial_results")
+            self.partials.append({"qid": qid, "failed_shards": failed,
+                                  "reason": reason})
+            self.incidents.append(
+                f"PartialResult: {qid} answered without shard(s) "
+                f"{failed}: {reason}")
+        return [(index, replies[index]) for index in shard_ids
+                if index in replies]
+
+    def _scatter_impl(self, shard_ids, message_for):
         """Send to every shard, then collect every reply.
 
         The send phase is non-blocking (pipes buffer), so workers
         compute in parallel; the collect phase reads each reply with
-        the per-call deadline.  Failures respawn + retry per shard; the
-        collect phase always drains every shard before re-raising the
-        first application-level error, keeping pipes message-aligned.
+        the per-call deadline.  Infrastructure failures go through the
+        shared breaker/backoff/respawn recovery; the collect phase
+        always drains every live shard before reporting, keeping pipes
+        message-aligned.  Returns ``(replies, failures)`` where
+        ``replies`` maps shard -> result and ``failures`` lists
+        ``(shard, exception)`` for everything else.
         """
-        shard_ids = list(shard_ids)
+        # Resolve any active deadline once, before the first send, so a
+        # pre-expired deadline cannot abort the loop with replies still
+        # in flight (which would misalign the pipes).
+        remaining = None
+        budget = self.timeout
+        active = _deadline.current()
+        if active is not None:
+            remaining = active.remaining()
+            if remaining <= 0:
+                raise QueryTimeout(
+                    "deadline expired before shard fan-out",
+                    budget_seconds=active.budget)
+            budget = min(self.timeout, remaining + DEADLINE_GRACE)
         sent: dict[int, tuple] = {}
+        call_ids: dict[int, int] = {}
         failed: dict[int, _WorkerFailure] = {}
+        skipped: set[int] = set()
+        results: dict[int, object] = {}
+        failures: list[tuple[int, Exception]] = []
         for index in shard_ids:
             message = message_for(index)
             sent[index] = message
+            try:
+                self._breakers[index].allow()
+            except CircuitOpen as exc:
+                skipped.add(index)
+                failures.append((index, exc))
+                continue
             worker = self._workers[index]
             try:
                 if worker is None or not worker.process.is_alive():
-                    raise _WorkerFailure("worker not running")
-                self._send(worker, message)
+                    raise _WorkerFailure(
+                        f"shard {index}: worker not running")
+                wire = (message if remaining is None
+                        else ("deadline", remaining, message))
+                call_ids[index] = worker.next_call_id()
+                self._send(worker, (call_ids[index], wire),
+                           op=message[0])
             except _WorkerFailure as failure:
                 failed[index] = failure
-        deadline = time.monotonic() + self.timeout
-        results: dict[int, object] = {}
-        errors: list[tuple[int, Exception]] = []
+        deadline = time.monotonic() + budget
         for index in shard_ids:
-            if index in failed:
+            if index in failed or index in skipped:
                 continue
             try:
                 results[index] = self._recv(self._workers[index],
-                                            deadline)
+                                            deadline, budget,
+                                            call_ids[index])
             except _WorkerFailure as failure:
                 failed[index] = failure
             except Exception as exc:  # application-level, not retried
-                errors.append((index, exc))
-        # Retry infrastructure failures on respawned workers.
+                failures.append((index, exc))
+            else:
+                self._breakers[index].record_success()
+        # Recover infrastructure failures on respawned workers.
         for index, failure in failed.items():
-            if self.retries < 1:
-                errors.append((index, ShardError(
-                    f"shard {index}: {failure}")))
-                continue
             try:
-                self._respawn(index, str(failure))
-                results[index] = self._call_raw(index, sent[index])
-            except _WorkerFailure as again:
-                errors.append((index, ShardError(
-                    f"shard {index}: {again} (after respawn)")))
+                results[index] = self._retry_after_failure(
+                    index, sent[index], failure)
             except Exception as exc:
-                errors.append((index, exc))
-        if errors:
-            raise errors[0][1]
-        return [results[index] for index in shard_ids]
+                failures.append((index, exc))
+        return results, failures
 
 
 def _first_descendant(element, tag: str):

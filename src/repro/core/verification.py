@@ -62,12 +62,14 @@ class VerificationReport:
 
 def verify_scenario(bench: XBench, class_key: str,
                     scale_name: str = "small",
-                    shards: int = 0) -> VerificationReport:
+                    shards: int = 0,
+                    rpc_timeout: float | None = None) -> VerificationReport:
     """Build the verification matrix for one scenario.
 
     With ``shards > 1`` an extra row runs the native engine behind the
-    sharded execution service, verifying that the scatter-gather merge
-    is byte-identical to the single-process oracle.
+    sharded execution service (``rpc_timeout`` bounds its per-call
+    waits), verifying that the scatter-gather merge is byte-identical
+    to the single-process oracle.
     """
     scenario = bench.corpus.scenario(class_key, scale_name)
     query_ids = [query.qid for query in ALL_QUERIES
@@ -79,7 +81,8 @@ def verify_scenario(bench: XBench, class_key: str,
                      key=lambda e: e.key != "native")
     if shards > 1:
         from .shard import ShardedEngine
-        engines.insert(1, ShardedEngine("native", shards=shards))
+        engines.insert(1, ShardedEngine("native", shards=shards,
+                                        timeout=rpc_timeout))
     oracles: dict[str, list[str]] = {}
     for engine in engines:
         report.engine_labels.append(engine.row_label)

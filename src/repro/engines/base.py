@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 
 from ..databases.base import DatabaseClass
 from ..errors import BenchmarkError, UnsupportedOperation
+from ..faults import plan as _faults
 from ..obs import recorder as _obs
 
 
@@ -220,6 +221,7 @@ class Engine(ABC):
     def timed_execute(self, qid: str, params: dict) -> QueryResult:
         """Execute with wall-clock timing (the paper's cold-run time)."""
         self._require_loaded()
+        _faults.inject("engine.execute", engine=self.key, qid=qid)
         database = self.relational_database()
         if database is not None:
             database.reset_scan_counters()
@@ -252,6 +254,8 @@ class Engine(ABC):
         *during* the load pass, so one-shot iterables are neither
         re-read nor exhausted.
         """
+        _faults.inject("engine.bulk_load", engine=self.key,
+                       db_class=db_class.key)
         total = getattr(texts, "total_bytes", None)
         counting = None if total is not None else _CountingTexts(texts)
         start = time.perf_counter()

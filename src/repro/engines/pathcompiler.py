@@ -23,6 +23,7 @@ from __future__ import annotations
 from bisect import bisect_left, bisect_right
 
 from ..errors import EngineError
+from ..faults.deadline import checkpoint as _deadline_checkpoint
 from ..obs.recorder import count as _obs_count
 from ..xquery import ast
 from ..xquery.parser import parse_query
@@ -141,6 +142,7 @@ def execute_path(store, expression: ast.PathExpr,
     index = 0
     total = len(steps)
     while index < total:
+        _deadline_checkpoint()
         step = steps[index]
         if at_document_level and step.axis == "child":
             at_document_level = False

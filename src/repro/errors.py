@@ -109,5 +109,61 @@ class ShardError(EngineError):
     """
 
 
+class CircuitOpen(ShardError):
+    """A shard's circuit breaker is open: the shard failed ``K``
+    consecutive RPCs at the infrastructure level, so further calls fail
+    fast instead of waiting out another timeout.  After the breaker's
+    cooldown one probe call is let through (half-open); a success closes
+    the circuit again.  Surfaced in benchmark reports exactly like
+    :class:`ShardError` incidents.
+    """
+
+
+class QueryTimeout(ReproError):
+    """A query exceeded its :class:`~repro.faults.deadline.Deadline`.
+
+    Raised cooperatively: the XQuery evaluator and the edge path
+    compiler check the thread-local deadline every N evaluation steps,
+    so a runaway (or fault-delayed) query aborts with this typed error
+    instead of hanging the harness.  Crossing the sharded RPC boundary,
+    the remaining budget travels with the call and the worker-side
+    evaluator raises this same type; it is an application-level error —
+    never retried, never respawned.
+    """
+
+    def __init__(self, message: str, budget_seconds: float | None = None):
+        self.budget_seconds = budget_seconds
+        if budget_seconds is not None:
+            message = f"{message} (deadline {budget_seconds:.3f}s)"
+        super().__init__(message)
+
+
+class PartialResult(EngineError):
+    """A sharded query was answered from the healthy shards only.
+
+    In ``degraded="partial"`` mode the merge planner drops shards whose
+    RPCs exhausted retries (or whose breaker is open) and annotates the
+    query with an incident record instead of failing it outright.  This
+    type names that outcome: it carries the merged ``values`` from the
+    healthy shards and the ``failed_shards`` indices, and its name is
+    what the benchmark report's incident column shows.
+    """
+
+    def __init__(self, message: str, values: list | None = None,
+                 failed_shards: tuple = ()):
+        self.values = list(values or [])
+        self.failed_shards = tuple(failed_shards)
+        super().__init__(message)
+
+
+class FaultInjected(ReproError):
+    """An error deliberately injected by an active
+    :class:`~repro.faults.plan.FaultPlan` rule of kind ``"error"``.
+
+    Distinct from every organic error type so tests and the chaos
+    scorecard can tell injected failures from real bugs.
+    """
+
+
 class BenchmarkError(ReproError):
     """Raised by the benchmark driver for invalid experiment requests."""

@@ -1,0 +1,58 @@
+"""repro.faults — deterministic fault injection and resilience.
+
+Four pieces, one import surface:
+
+* :mod:`~repro.faults.plan` — seeded :class:`FaultPlan`/:class:`FaultRule`
+  and the injection hooks (``inject``/``corrupt_value``), no-ops until a
+  plan is installed;
+* :mod:`~repro.faults.deadline` — :class:`Deadline` propagation with
+  cooperative cancellation checkpoints
+  (:class:`~repro.errors.QueryTimeout`);
+* :mod:`~repro.faults.policy` — :class:`RetryPolicy` (exponential
+  backoff + jitter + budget) and per-shard :class:`CircuitBreaker`;
+* :mod:`~repro.faults.scenarios` / :mod:`~repro.faults.chaos` — named
+  chaos scenarios and the ``repro chaos`` harness producing the
+  ``BENCH_chaos.json`` scorecard.
+
+Like the obs recorder, every hook costs one global read plus a ``None``
+check while inactive, so the production query path pays nothing.
+"""
+
+from .chaos import ChaosResult, run_chaos
+from .deadline import CHECK_EVERY, Deadline, checkpoint, deadline_scope
+from .plan import (
+    CRASH_EXIT_CODE,
+    FaultPlan,
+    FaultRule,
+    corrupt_value,
+    fault_scope,
+    inject,
+    install,
+    set_namespace,
+    uninstall,
+)
+from .policy import CircuitBreaker, RetryPolicy
+from .scenarios import SCENARIOS, Scenario, build_scenario
+
+__all__ = [
+    "CHECK_EVERY",
+    "CRASH_EXIT_CODE",
+    "SCENARIOS",
+    "ChaosResult",
+    "CircuitBreaker",
+    "Deadline",
+    "FaultPlan",
+    "FaultRule",
+    "RetryPolicy",
+    "Scenario",
+    "build_scenario",
+    "checkpoint",
+    "corrupt_value",
+    "deadline_scope",
+    "fault_scope",
+    "inject",
+    "install",
+    "run_chaos",
+    "set_namespace",
+    "uninstall",
+]

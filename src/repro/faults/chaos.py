@@ -1,0 +1,238 @@
+"""The chaos harness: run a workload under a named fault scenario.
+
+Drives a deterministic query stream against a
+:class:`~repro.core.shard.ShardedEngine` while a seeded
+:class:`~repro.faults.plan.FaultPlan` injects failures, and scores the
+service's behaviour: every query must return a result (possibly
+partial) or a *typed* incident — no hangs, no unhandled exceptions.
+The scorecard (availability %, P99 under faults, retries, breaker
+trips, partial results) lands in ``BENCH_chaos.json`` through the obs
+recorder, and the same ``(scenario, seed)`` reproduces the identical
+fault sequence and counts.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..errors import (
+    CircuitOpen,
+    QueryTimeout,
+    ReproError,
+    ShardError,
+    UnsupportedQuery,
+)
+from ..obs import LatencyHistogram, Recorder, observing
+from ..obs import recorder as _obs
+from .deadline import Deadline, deadline_scope
+from .plan import fault_scope
+from .scenarios import Scenario, build_scenario
+
+# NOTE: repro.core.shard (and through it the engines) import this
+# package's siblings for their injection sites, so the execution-stack
+# imports below must stay inside run_chaos() to avoid a cycle.
+
+#: corpus generation seed — fixed so the scenario seed varies only the
+#: fault sequence and query mix, never the data.
+CORPUS_SEED = 42
+
+
+@dataclass
+class ChaosResult:
+    """One chaos run's scorecard."""
+
+    scenario: str
+    seed: int
+    engine_key: str
+    class_key: str
+    shards: int
+    queries: int = 0
+    ok: int = 0
+    partial: int = 0
+    failed: int = 0
+    unhandled: int = 0
+    wall_seconds: float = 0.0
+    latencies: list = field(default_factory=list)
+    #: typed incidents: {"qid", "type", "message"} per failed query.
+    incidents: list = field(default_factory=list)
+    #: obs counter totals relevant to resilience.
+    counters: dict = field(default_factory=dict)
+    #: faults fired in the parent process (worker-side fires die with
+    #: their process; their effects show up as retries/respawns).
+    faults_injected: int = 0
+
+    @property
+    def availability_pct(self) -> float:
+        if not self.queries:
+            return 100.0
+        return 100.0 * (self.ok + self.partial) / self.queries
+
+    def latency_histogram(self) -> LatencyHistogram:
+        return LatencyHistogram(self.latencies)
+
+    def record(self) -> dict:
+        """JSON-ready scorecard (for BENCH_chaos.json)."""
+        histogram = self.latency_histogram()
+        return {
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "engine": self.engine_key,
+            "class": self.class_key,
+            "shards": self.shards,
+            "queries": self.queries,
+            "ok": self.ok,
+            "partial": self.partial,
+            "failed": self.failed,
+            "unhandled": self.unhandled,
+            "availability_pct": round(self.availability_pct, 3),
+            "wall_seconds": self.wall_seconds,
+            "latency": histogram.summary(),
+            "retries": self.counters.get("shard.retries", 0),
+            "respawns": self.counters.get("shard.respawns", 0),
+            "breaker_trips": self.counters.get("shard.breaker_trips", 0),
+            "partial_results": self.counters.get(
+                "shard.partial_results", 0),
+            "deadline_timeouts": self.counters.get(
+                "faults.deadline_timeouts", 0),
+            "faults_injected_parent": self.faults_injected,
+            "incidents": self.incidents,
+        }
+
+    def summary(self) -> str:
+        histogram = self.latency_histogram()
+        lines = [
+            f"chaos scenario {self.scenario!r} (seed {self.seed}) on "
+            f"{self.class_key} via {self.engine_key} x{self.shards}:",
+            f"  {self.queries} queries: {self.ok} ok, "
+            f"{self.partial} partial, {self.failed} failed, "
+            f"{self.unhandled} unhandled "
+            f"-> availability {self.availability_pct:.2f}%",
+            f"  latency under faults: p50 {histogram.p50 * 1000:.2f} ms, "
+            f"p95 {histogram.p95 * 1000:.2f} ms, "
+            f"p99 {histogram.p99 * 1000:.2f} ms, "
+            f"max {histogram.max * 1000:.2f} ms",
+            f"  retries {self.counters.get('shard.retries', 0)}, "
+            f"respawns {self.counters.get('shard.respawns', 0)}, "
+            f"breaker trips "
+            f"{self.counters.get('shard.breaker_trips', 0)}, "
+            f"partial results "
+            f"{self.counters.get('shard.partial_results', 0)}",
+        ]
+        for incident in self.incidents[:8]:
+            lines.append(f"  incident {incident['qid']}: "
+                         f"{incident['type']}: {incident['message']}")
+        if len(self.incidents) > 8:
+            lines.append(f"  ... {len(self.incidents) - 8} more "
+                         "incident(s)")
+        return "\n".join(lines)
+
+
+def run_chaos(scenario_name: str, *, class_key: str = "dcmd",
+              engine_key: str = "native", units: int = 24,
+              shards: int = 3, queries: int = 40, seed: int = 7,
+              retries: int = 2, degraded: str = "partial",
+              rpc_timeout: float | None = None,
+              deadline_seconds: float | None = None,
+              recorder: Recorder | None = None,
+              scenario: Scenario | None = None) -> ChaosResult:
+    """Run ``queries`` workload queries under a named fault scenario.
+
+    Explicit ``rpc_timeout``/``deadline_seconds`` override the
+    scenario's recommendations.  Returns the scorecard; pass a
+    ``recorder`` to keep the underlying spans/counters (the CLI embeds
+    them in the BENCH artifact).
+    """
+    from ..core.multiuser import _stream_plan
+    from ..core.shard import DEFAULT_TIMEOUT, ShardedEngine
+    from ..databases import CLASSES_BY_KEY
+    from ..xml.serializer import serialize
+
+    scenario = scenario or build_scenario(scenario_name)
+    plan = scenario.plan(seed)
+    effective_deadline = (deadline_seconds
+                          if deadline_seconds is not None
+                          else scenario.deadline_seconds)
+    effective_timeout = (rpc_timeout if rpc_timeout is not None
+                         else scenario.rpc_timeout)
+    if effective_timeout is None:
+        effective_timeout = min(DEFAULT_TIMEOUT, 15.0)
+    recorder = recorder or Recorder(name="chaos")
+
+    db_class = CLASSES_BY_KEY[class_key]
+    documents = db_class.generate(units, seed=CORPUS_SEED)
+    texts = [(doc.name, serialize(doc)) for doc in documents]
+    stream = _stream_plan(class_key, units, queries, seed,
+                          _applicable_experiment_queries(class_key))
+
+    result = ChaosResult(scenario.name, seed, engine_key, class_key,
+                         shards)
+    engine = ShardedEngine(engine_key, shards=shards,
+                           timeout=effective_timeout, retries=retries,
+                           degraded=degraded, seed=seed,
+                           breaker_cooldown=0.5)
+    wall_start = time.perf_counter()
+    # The plan is installed before bulk_load so forked workers (and
+    # later respawns) inherit it; scenario rules match query ops only,
+    # keeping the load phase healthy.
+    with observing(recorder), fault_scope(plan):
+        try:
+            engine.timed_load(db_class, texts)
+            for qid, params in stream:
+                _run_one(engine, qid, params, effective_deadline,
+                         result)
+        finally:
+            engine.close()
+    result.wall_seconds = time.perf_counter() - wall_start
+    result.counters = recorder.counters.snapshot()
+    result.faults_injected = len(plan.log)
+    return result
+
+
+def _applicable_experiment_queries(class_key: str) -> tuple[str, ...]:
+    from ..workload.queries import EXPERIMENT_QUERIES, QUERIES_BY_ID
+    return tuple(qid for qid in EXPERIMENT_QUERIES
+                 if QUERIES_BY_ID[qid].applies_to(class_key))
+
+
+def _run_one(engine, qid: str, params: dict,
+             deadline_seconds: float | None,
+             result: ChaosResult) -> None:
+    result.queries += 1
+    partials_before = len(engine.partials)
+    deadline = (Deadline(deadline_seconds)
+                if deadline_seconds is not None else None)
+    start = time.perf_counter()
+    try:
+        with deadline_scope(deadline):
+            engine.execute(qid, params)
+    except UnsupportedQuery:
+        # Not a fault outcome: the query simply has no translation.
+        result.queries -= 1
+        return
+    except QueryTimeout as exc:
+        _obs.count("faults.deadline_timeouts")
+        _incident(result, qid, exc)
+        return
+    except (CircuitOpen, ShardError, ReproError) as exc:
+        _incident(result, qid, exc)
+        return
+    except Exception as exc:  # noqa: BLE001 - scored, then surfaced
+        result.unhandled += 1
+        _incident(result, qid, exc)
+        return
+    elapsed = time.perf_counter() - start
+    result.latencies.append(elapsed)
+    _obs.record_latency("chaos.query", elapsed)
+    if len(engine.partials) > partials_before:
+        result.partial += 1
+    else:
+        result.ok += 1
+
+
+def _incident(result: ChaosResult, qid: str, exc: Exception) -> None:
+    result.failed += 1
+    result.incidents.append({"qid": qid,
+                             "type": type(exc).__name__,
+                             "message": str(exc)})
+    _obs.count("chaos.incidents")

@@ -1,0 +1,118 @@
+"""Deadline propagation and cooperative cancellation.
+
+A :class:`Deadline` is an absolute expiry on the monotonic clock,
+carried from ``BenchmarkConfig``/CLI flags down into the query engines.
+Long-running layers — the XQuery evaluator's AST dispatch and the edge
+path compiler's step loop — call :func:`checkpoint` as they work; every
+:data:`CHECK_EVERY` steps the thread-local deadline is consulted and an
+expired one raises :class:`~repro.errors.QueryTimeout`, so a runaway (or
+fault-delayed) query aborts with a typed error instead of hanging the
+harness.
+
+Crossing the sharded RPC boundary, the parent sends the *remaining*
+budget with the call (``("deadline", remaining, message)``) and the
+worker installs it around the op, so the worker-side evaluator enforces
+the same deadline cooperatively while the parent bounds its pipe wait by
+the same remainder (plus a grace period, so the worker's typed
+``QueryTimeout`` reply wins the race against the parent's
+infrastructure timeout).
+
+Cost model: with no deadline installed anywhere, :func:`checkpoint` is
+one global read and a return — the evaluator's hot path stays
+observation-free, mirroring the obs recorder and the fault plan hooks.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+
+from ..errors import QueryTimeout
+
+#: evaluation steps between deadline checks.
+CHECK_EVERY = 64
+
+_state = threading.local()
+#: count of active deadline scopes across all threads: the cheap gate
+#: read by :func:`checkpoint` before touching thread-local state.
+_enabled = 0
+
+
+class Deadline:
+    """An absolute expiry on the monotonic clock."""
+
+    __slots__ = ("expires_at", "budget")
+
+    def __init__(self, seconds: float) -> None:
+        self.budget = float(seconds)
+        self.expires_at = time.monotonic() + self.budget
+
+    @classmethod
+    def after(cls, seconds: float) -> "Deadline":
+        """A deadline ``seconds`` from now."""
+        return cls(seconds)
+
+    def remaining(self) -> float:
+        """Seconds left (negative once expired)."""
+        return self.expires_at - time.monotonic()
+
+    def expired(self) -> bool:
+        return self.remaining() <= 0.0
+
+    def check(self, what: str = "query") -> None:
+        """Raise :class:`~repro.errors.QueryTimeout` if expired."""
+        if self.expired():
+            raise QueryTimeout(f"{what} exceeded its deadline",
+                               budget_seconds=self.budget)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Deadline budget={self.budget:.3f}s "
+                f"remaining={self.remaining():.3f}s>")
+
+
+def current() -> Deadline | None:
+    """The calling thread's innermost active deadline, if any."""
+    stack = getattr(_state, "stack", None)
+    if not stack:
+        return None
+    return stack[-1]
+
+
+@contextmanager
+def deadline_scope(deadline: Deadline | None):
+    """Install ``deadline`` for the calling thread for a block; nests
+    (the innermost deadline wins).  ``None`` is an explicit no-op scope
+    so call sites need no conditional."""
+    if deadline is None:
+        yield None
+        return
+    global _enabled
+    stack = getattr(_state, "stack", None)
+    if stack is None:
+        stack = _state.stack = []
+    stack.append(deadline)
+    _enabled += 1
+    try:
+        yield deadline
+    finally:
+        stack.pop()
+        _enabled -= 1
+
+
+def checkpoint() -> None:
+    """Cooperative cancellation point (call from evaluation loops).
+
+    Free when no deadline is active anywhere; otherwise checks the
+    thread-local deadline every :data:`CHECK_EVERY` calls and raises
+    :class:`~repro.errors.QueryTimeout` once it has expired.
+    """
+    if not _enabled:
+        return
+    ticks = getattr(_state, "ticks", 0) + 1
+    _state.ticks = ticks
+    if ticks % CHECK_EVERY:
+        return
+    deadline = current()
+    if deadline is not None:
+        deadline.check("evaluation")

@@ -1,0 +1,260 @@
+"""Deterministic, seed-driven fault injection (``repro.faults.plan``).
+
+A :class:`FaultPlan` is a seeded set of :class:`FaultRule` entries, each
+naming an *injection site* (a string like ``"shard.rpc"``), a fault
+``kind`` and a trigger (per-call probability and/or an every-nth-call
+counter).  Instrumented layers call :func:`inject` (or
+:func:`corrupt_value`) at their sites; while no plan is installed — the
+default — every hook is a single global read plus a ``None`` check, so
+fault injection costs effectively nothing when off, mirroring the obs
+recorder's design.
+
+Determinism
+-----------
+
+Probability triggers do **not** draw from shared RNG state (which would
+make decisions depend on cross-thread/cross-process interleaving).
+Instead every decision is a pure function of ``(seed, namespace, site,
+call_number)`` hashed through crc32, so the same seed reproduces the
+identical fault sequence run after run.  Forked shard workers inherit
+the installed plan and re-namespace themselves per ``(shard,
+generation)`` via :func:`set_namespace`, so a respawned worker's retried
+call sees a *different* decision than the crash that killed its
+predecessor — deterministically.
+
+Fault kinds
+-----------
+
+``delay``    sleep ``seconds`` then continue normally
+``hang``     sleep ``seconds`` (default 30) — long enough to trip RPC
+             timeouts and deadlines, short enough not to leak forever
+``crash``    ``os._exit(86)`` — only meaningful at worker-process sites
+``error``    raise :class:`~repro.errors.FaultInjected`
+``corrupt``  mutate the payload at :func:`corrupt_value` sites
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import zlib
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from ..errors import FaultInjected
+
+#: exit code used by ``crash`` faults (recognizable in incident text).
+CRASH_EXIT_CODE = 86
+
+KINDS = ("delay", "hang", "crash", "corrupt", "error")
+
+
+@dataclass
+class FaultRule:
+    """One injection rule.
+
+    ``site`` must match the injection site exactly.  ``match`` filters
+    on the site's keyword attributes: a plain value must compare equal,
+    a tuple/set/list means membership (e.g. ``{"op": ("execute",
+    "adhoc")}``).  The rule fires when the (deterministic) probability
+    draw passes or the per-site matched-call counter hits ``every``;
+    ``limit`` caps total fires per process.
+    """
+
+    site: str
+    kind: str
+    probability: float = 0.0
+    every: int | None = None
+    seconds: float = 0.0
+    match: dict = field(default_factory=dict)
+    limit: int | None = None
+    fired: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; "
+                             f"choose from {', '.join(KINDS)}")
+
+    def matches(self, attrs: dict) -> bool:
+        for key, want in self.match.items():
+            got = attrs.get(key)
+            if isinstance(want, (tuple, set, frozenset, list)):
+                if got not in want:
+                    return False
+            elif got != want:
+                return False
+        return True
+
+
+def _decision(seed: int, namespace: str, site: str, call: int) -> float:
+    """Deterministic pseudo-uniform draw in [0, 1) for one call."""
+    token = f"{seed}:{namespace}:{site}:{call}".encode("utf-8")
+    return zlib.crc32(token) / 4294967296.0
+
+
+class FaultPlan:
+    """A seeded rule set plus per-site call counters and a fired log.
+
+    The ``log`` records every fired fault as ``(site, kind, call,
+    attrs)`` in this process, which is what the determinism tests (and
+    the chaos scorecard's injected-fault count) read back.
+    """
+
+    def __init__(self, seed: int, rules: list[FaultRule]) -> None:
+        self.seed = seed
+        self.rules = list(rules)
+        self.counters: dict[str, int] = {}
+        self.log: list[tuple[str, str, int, dict]] = []
+        self._sites = {rule.site for rule in self.rules}
+
+    def fire(self, site: str, attrs: dict) -> None:
+        """Apply every matching rule for one call at ``site``."""
+        if site not in self._sites:
+            return
+        call = self.counters.get(site, 0) + 1
+        self.counters[site] = call
+        for rule in self.rules:
+            if rule.site != site or not rule.matches(attrs):
+                continue
+            if rule.limit is not None and rule.fired >= rule.limit:
+                continue
+            triggered = False
+            if rule.every is not None and call % rule.every == 0:
+                triggered = True
+            elif rule.probability > 0.0:
+                draw = _decision(self.seed, _namespace, site, call)
+                triggered = draw < rule.probability
+            if not triggered:
+                continue
+            rule.fired += 1
+            self.log.append((site, rule.kind, call, dict(attrs)))
+            self._apply(rule, site, attrs)
+
+    def corrupt(self, site: str, value, attrs: dict):
+        """Like :meth:`fire` but for payload sites: a triggered
+        ``corrupt`` rule returns a deterministically mangled copy of
+        ``value``; any other outcome returns ``value`` unchanged
+        (non-corrupt kinds still apply their side effects)."""
+        if site not in self._sites:
+            return value
+        call = self.counters.get(site, 0) + 1
+        self.counters[site] = call
+        for rule in self.rules:
+            if rule.site != site or not rule.matches(attrs):
+                continue
+            if rule.limit is not None and rule.fired >= rule.limit:
+                continue
+            triggered = False
+            if rule.every is not None and call % rule.every == 0:
+                triggered = True
+            elif rule.probability > 0.0:
+                draw = _decision(self.seed, _namespace, site, call)
+                triggered = draw < rule.probability
+            if not triggered:
+                continue
+            rule.fired += 1
+            self.log.append((site, rule.kind, call, dict(attrs)))
+            if rule.kind == "corrupt":
+                value = _mangle(value)
+            else:
+                self._apply(rule, site, attrs)
+        return value
+
+    @staticmethod
+    def _apply(rule: FaultRule, site: str, attrs: dict) -> None:
+        if rule.kind == "delay":
+            time.sleep(rule.seconds)
+        elif rule.kind == "hang":
+            time.sleep(rule.seconds or 30.0)
+        elif rule.kind == "crash":
+            os._exit(CRASH_EXIT_CODE)
+        elif rule.kind == "error":
+            detail = (f" (op {attrs['op']})" if "op" in attrs else "")
+            raise FaultInjected(f"injected fault at {site}{detail}")
+        # "corrupt" at a fire-only site is a no-op: the payload lives
+        # at corrupt_value sites.
+
+
+def _mangle(value):
+    """Deterministic corruption of a result payload."""
+    if isinstance(value, list):
+        return (value[:-1] if value
+                else ["<corrupt/>"])          # drop the last item
+    if isinstance(value, str):
+        return value + "\x00corrupt"
+    if isinstance(value, dict):
+        mangled = dict(value)
+        if "values" in mangled and isinstance(mangled["values"], list):
+            mangled["values"] = _mangle(mangled["values"])
+        elif "parts" in mangled and mangled["parts"]:
+            name, values = mangled["parts"][-1]
+            mangled["parts"] = (list(mangled["parts"][:-1])
+                                + [(name, _mangle(list(values)))])
+        return mangled
+    return value
+
+
+#: The installed plan; ``None`` means fault injection is off.
+_active: FaultPlan | None = None
+#: Decision namespace: re-keyed per worker process + generation so a
+#: respawned worker's retried calls draw fresh decisions.
+_namespace: str = ""
+
+
+def install(plan: FaultPlan) -> None:
+    """Route the injection hooks into ``plan``."""
+    global _active
+    _active = plan
+
+
+def uninstall() -> None:
+    """Disable fault injection (hooks become no-ops again)."""
+    global _active
+    _active = None
+
+
+def active() -> FaultPlan | None:
+    """The installed plan, if any."""
+    return _active
+
+
+def set_namespace(namespace: str) -> None:
+    """Re-key probability decisions (worker processes call this with
+    their ``shard``/``generation`` identity after fork)."""
+    global _namespace
+    _namespace = namespace
+
+
+@contextmanager
+def fault_scope(plan: FaultPlan | None):
+    """Install ``plan`` for a block, then restore the previous plan.
+    ``None`` makes the block a no-op scope."""
+    global _active
+    previous = _active
+    if plan is not None:
+        _active = plan
+    try:
+        yield plan
+    finally:
+        _active = previous
+
+
+# -- hook API (what the instrumented layers call) ---------------------------
+
+def inject(site: str, **attrs) -> None:
+    """One injection site; free (global read + None check) when no
+    plan is installed.  May sleep, raise
+    :class:`~repro.errors.FaultInjected`, or kill the process,
+    depending on the matching rule."""
+    plan = _active
+    if plan is not None:
+        plan.fire(site, attrs)
+
+
+def corrupt_value(site: str, value, **attrs):
+    """A payload-carrying injection site: returns ``value`` (possibly
+    mangled by a ``corrupt`` rule); free when no plan is installed."""
+    plan = _active
+    if plan is None:
+        return value
+    return plan.corrupt(site, value, attrs)

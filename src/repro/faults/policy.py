@@ -1,0 +1,134 @@
+"""Resilience policies: retry backoff and per-shard circuit breakers.
+
+Both are deliberately clock-injectable and seed-deterministic so the
+chaos harness's scorecards replay exactly: backoff jitter draws from a
+seeded RNG, and breaker transitions depend only on the injected clock
+and the observed failure sequence.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from ..errors import CircuitOpen
+
+
+class RetryPolicy:
+    """Exponential backoff with deterministic jitter and a retry budget.
+
+    ``retries`` is the number of *extra* attempts after the first.
+    Sleeps grow as ``base * 2**attempt`` capped at ``cap``, each
+    stretched by up to ``jitter`` fractional noise from the seeded RNG.
+    ``budget_seconds`` bounds the cumulative backoff sleep per policy
+    instance: once spent, :meth:`allow_retry` refuses further retries —
+    a storm of failing calls degrades fast instead of stalling the
+    harness in sleeps.
+    """
+
+    def __init__(self, retries: int = 1, base: float = 0.05,
+                 cap: float = 2.0, jitter: float = 0.5,
+                 budget_seconds: float = 30.0, seed: int = 0,
+                 sleep=time.sleep) -> None:
+        self.retries = max(0, retries)
+        self.base = base
+        self.cap = cap
+        self.jitter = jitter
+        self.budget_seconds = budget_seconds
+        self.spent = 0.0
+        self._rng = random.Random(seed)
+        self._sleep = sleep
+
+    @property
+    def attempts(self) -> int:
+        """Total attempts per call (first try + retries)."""
+        return self.retries + 1
+
+    def backoff(self, attempt: int) -> float:
+        """The sleep before retry number ``attempt`` (0-based)."""
+        raw = min(self.cap, self.base * (2.0 ** attempt))
+        return raw * (1.0 + self.jitter * self._rng.random())
+
+    def allow_retry(self, attempt: int) -> bool:
+        """May retry number ``attempt`` (0-based) proceed?"""
+        if attempt >= self.retries:
+            return False
+        return self.spent < self.budget_seconds
+
+    def pause(self, attempt: int) -> float:
+        """Sleep the backoff for ``attempt`` (bounded by the remaining
+        budget) and account it; returns the seconds slept."""
+        seconds = min(self.backoff(attempt),
+                      max(0.0, self.budget_seconds - self.spent))
+        if seconds > 0.0:
+            self._sleep(seconds)
+        self.spent += seconds
+        return seconds
+
+
+#: circuit breaker states.
+CLOSED, OPEN, HALF_OPEN = "closed", "open", "half-open"
+
+
+class CircuitBreaker:
+    """Per-shard breaker: trip after K consecutive infrastructure
+    failures, fail fast while open, probe once after the cooldown.
+
+    * ``closed``    — normal operation; failures accumulate.
+    * ``open``      — :meth:`allow` raises
+      :class:`~repro.errors.CircuitOpen` until ``cooldown`` elapses.
+    * ``half-open`` — one probe call is allowed; success closes the
+      breaker, failure re-opens it (and restarts the cooldown).
+    """
+
+    def __init__(self, threshold: int = 3, cooldown: float = 5.0,
+                 name: str = "", clock=time.monotonic) -> None:
+        self.threshold = max(1, threshold)
+        self.cooldown = cooldown
+        self.name = name
+        self._clock = clock
+        self.state = CLOSED
+        self.consecutive_failures = 0
+        self.trips = 0
+        self._opened_at = 0.0
+
+    def allow(self) -> None:
+        """Gate one call; raises :class:`~repro.errors.CircuitOpen`
+        while the breaker is open and the cooldown has not elapsed."""
+        if self.state == OPEN:
+            if self._clock() - self._opened_at >= self.cooldown:
+                self.state = HALF_OPEN
+            else:
+                remaining = (self.cooldown
+                             - (self._clock() - self._opened_at))
+                raise CircuitOpen(
+                    f"{self.name or 'circuit'}: open after "
+                    f"{self.consecutive_failures} consecutive "
+                    f"failures; retry in {max(0.0, remaining):.1f}s")
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0
+        self.state = CLOSED
+
+    def record_failure(self) -> bool:
+        """Account one infrastructure failure; True when this failure
+        trips (or re-trips) the breaker."""
+        self.consecutive_failures += 1
+        if self.state == HALF_OPEN:
+            self._trip()
+            return True
+        if (self.state == CLOSED
+                and self.consecutive_failures >= self.threshold):
+            self._trip()
+            return True
+        return False
+
+    def _trip(self) -> None:
+        self.state = OPEN
+        self.trips += 1
+        self._opened_at = self._clock()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<CircuitBreaker {self.name or '?'} {self.state} "
+                f"failures={self.consecutive_failures} "
+                f"trips={self.trips}>")

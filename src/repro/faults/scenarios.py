@@ -1,0 +1,102 @@
+"""Named chaos scenarios for the ``repro chaos`` harness.
+
+Each scenario is a recipe: a set of :class:`~repro.faults.plan.FaultRule`
+entries plus the harness knobs that make the scenario meaningful (a
+per-query deadline for ``query-bomb``, a short RPC timeout for
+``slow-shard``...).  Scenarios are pure data — :func:`build_scenario`
+instantiates the seeded :class:`~repro.faults.plan.FaultPlan` so the
+same ``(scenario, seed)`` pair reproduces the identical fault sequence.
+
+Sites used (registered across the execution stack):
+
+* ``shard.rpc``      — worker-side, once per RPC (attrs: op, shard)
+* ``shard.pipe``     — parent-side, once per send (attrs: op, shard)
+* ``shard.result``   — worker-side payload site (corruption)
+* ``engine.execute`` / ``engine.bulk_load`` — engine entry points
+* ``relstore.scan`` / ``relstore.insert``   — table I/O
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .plan import FaultPlan, FaultRule
+
+#: worker ops that carry query work (load/index ops stay healthy so
+#: scenarios measure query-time resilience, not setup failures).
+QUERY_OPS = ("execute", "execute_per_doc", "adhoc")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named chaos recipe."""
+
+    name: str
+    description: str
+    rules: tuple = ()
+    #: per-query deadline the harness installs (None = no deadline).
+    deadline_seconds: float | None = None
+    #: per-RPC timeout override for the sharded engine.
+    rpc_timeout: float | None = None
+    extra: dict = field(default_factory=dict)
+
+    def plan(self, seed: int) -> FaultPlan:
+        """A fresh seeded plan (rules are copied: ``fired`` counters
+        are per-run state)."""
+        rules = [FaultRule(site=rule.site, kind=rule.kind,
+                           probability=rule.probability,
+                           every=rule.every, seconds=rule.seconds,
+                           match=dict(rule.match), limit=rule.limit)
+                 for rule in self.rules]
+        return FaultPlan(seed, rules)
+
+
+SCENARIOS: dict[str, Scenario] = {
+    "worker-crash-storm": Scenario(
+        name="worker-crash-storm",
+        description=("workers die mid-query (~12% of query RPCs): "
+                     "exercises death detection, respawn + journal "
+                     "replay, and backoff retries"),
+        rules=(FaultRule(site="shard.rpc", kind="crash",
+                         probability=0.12,
+                         match={"op": QUERY_OPS}),),
+    ),
+    "slow-shard": Scenario(
+        name="slow-shard",
+        description=("one shard answers every query RPC ~80 ms late: "
+                     "exercises tail latency accounting and, with a "
+                     "short RPC timeout, timeout + retry paths"),
+        rules=(FaultRule(site="shard.rpc", kind="delay", seconds=0.08,
+                         probability=1.0,
+                         match={"op": QUERY_OPS, "shard": 0}),),
+    ),
+    "flaky-pipe": Scenario(
+        name="flaky-pipe",
+        description=("the parent's RPC pipe drops ~15% of sends: "
+                     "exercises infrastructure retries and the "
+                     "per-shard circuit breaker"),
+        rules=(FaultRule(site="shard.pipe", kind="error",
+                         probability=0.15,
+                         match={"op": QUERY_OPS}),),
+    ),
+    "query-bomb": Scenario(
+        name="query-bomb",
+        description=("~25% of queries stall ~0.6 s inside the engine "
+                     "against a 0.25 s deadline: exercises cooperative "
+                     "cancellation (QueryTimeout) end to end"),
+        rules=(FaultRule(site="shard.rpc", kind="delay", seconds=0.6,
+                         probability=0.25,
+                         match={"op": QUERY_OPS}),),
+        deadline_seconds=0.25,
+    ),
+}
+
+
+def build_scenario(name: str) -> Scenario:
+    """Resolve a scenario by name (raising with the known names)."""
+    scenario = SCENARIOS.get(name)
+    if scenario is None:
+        raise KeyError(
+            f"unknown chaos scenario {name!r}; choose from "
+            f"{', '.join(sorted(SCENARIOS))}")
+    return scenario

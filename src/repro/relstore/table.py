@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Iterator, Optional, Sequence
 
 from ..errors import SchemaError
+from ..faults import plan as _faults
 from .types import ColumnType, coerce
 
 
@@ -67,6 +68,7 @@ class Table:
 
     def insert_many(self, rows: Iterator[dict]) -> int:
         """Bulk insert; returns the number of rows inserted."""
+        _faults.inject("relstore.insert", table=self.name)
         count = 0
         for values in rows:
             self.insert(values)
@@ -105,6 +107,7 @@ class Table:
 
         Tombstones are skipped but still counted as scanned pages.
         """
+        _faults.inject("relstore.scan", table=self.name)
         for row_id, row in enumerate(self.rows):
             self.rows_scanned += 1
             if row is not None:

@@ -12,6 +12,7 @@ import functools
 import math
 
 from ..errors import XQueryEvalError, XQueryTypeError
+from ..faults.deadline import checkpoint as _deadline_checkpoint
 from ..obs.recorder import count as _obs_count
 from ..obs.recorder import plan as _obs_plan
 from ..xml.nodes import (
@@ -48,6 +49,7 @@ def evaluate(expression: object, context: Context) -> list:
     wall-time, call counts and output cardinality; without a profiler
     the dispatch is untouched.
     """
+    _deadline_checkpoint()
     node_type = type(expression)
     handler = _HANDLERS.get(node_type)
     if handler is None:

@@ -15,10 +15,22 @@ class TestHierarchy:
         errors.RelStoreError, errors.SchemaError, errors.EngineError,
         errors.UnsupportedConfiguration, errors.LoadError,
         errors.UnsupportedOperation, errors.UnsupportedQuery,
-        errors.BenchmarkError,
+        errors.BenchmarkError, errors.ShardError, errors.CircuitOpen,
+        errors.QueryTimeout, errors.PartialResult,
+        errors.FaultInjected,
     ])
     def test_all_derive_from_repro_error(self, exc):
         assert issubclass(exc, errors.ReproError)
+
+    def test_circuit_open_is_a_shard_error(self):
+        # Callers catching ShardError (infrastructure) also see breaker
+        # fast-fails without a new except arm.
+        assert issubclass(errors.CircuitOpen, errors.ShardError)
+
+    def test_query_timeout_carries_budget(self):
+        error = errors.QueryTimeout("q", budget_seconds=0.25)
+        assert error.budget_seconds == 0.25
+        assert "0.250s" in str(error)
 
     def test_parse_error_under_xml(self):
         assert issubclass(errors.XMLParseError, errors.XMLError)

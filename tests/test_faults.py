@@ -1,0 +1,427 @@
+"""Fault injection, deadlines and graceful degradation tests.
+
+The contract under test: a seeded FaultPlan reproduces the identical
+fault sequence run after run; deadlines cancel long evaluations
+cooperatively with a typed QueryTimeout; the sharded service retries
+with backoff, trips per-shard circuit breakers, and (in partial mode)
+answers from the healthy shards with an incident record instead of
+failing the query.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.shard import ShardedEngine
+from repro.engines import create
+from repro.errors import (
+    CircuitOpen,
+    FaultInjected,
+    QueryTimeout,
+    ShardError,
+)
+from repro.faults import run_chaos
+from repro.faults.deadline import Deadline, checkpoint, deadline_scope
+from repro.faults.plan import (
+    FaultPlan,
+    FaultRule,
+    corrupt_value,
+    fault_scope,
+    inject,
+    set_namespace,
+)
+from repro.faults.policy import CircuitBreaker, RetryPolicy
+from repro.faults.scenarios import SCENARIOS, build_scenario
+from repro.workload.params import bind_params
+from repro.workload.queries import QUERIES_BY_ID
+
+QUERY_OPS = ("execute", "execute_per_doc", "adhoc")
+
+
+def load_sharded(corpus, shards=3, **kwargs):
+    engine = ShardedEngine("native", shards=shards, **kwargs)
+    engine.timed_load(corpus["class"], list(corpus["texts"]))
+    return engine
+
+
+# --------------------------------------------------------------------------
+# FaultPlan
+# --------------------------------------------------------------------------
+
+class TestFaultPlan:
+    def test_hooks_are_noops_without_a_plan(self):
+        # Must neither raise nor mutate the payload.
+        inject("shard.rpc", op="execute")
+        assert corrupt_value("shard.result", [1, 2]) == [1, 2]
+
+    def test_error_rule_raises_fault_injected(self):
+        plan = FaultPlan(1, [FaultRule(site="s", kind="error",
+                                       probability=1.0)])
+        with fault_scope(plan), pytest.raises(FaultInjected):
+            inject("s", op="execute")
+
+    def test_same_seed_reproduces_the_fault_sequence(self):
+        def run(seed):
+            plan = FaultPlan(seed, [FaultRule(site="s", kind="delay",
+                                              probability=0.3)])
+            with fault_scope(plan):
+                for call in range(50):
+                    inject("s", call=call)
+            return plan.log
+
+        assert run(9) == run(9)
+        assert run(9) != run(10)    # and the seed actually matters
+
+    def test_namespace_rekeys_decisions(self):
+        def run(namespace):
+            plan = FaultPlan(3, [FaultRule(site="s", kind="delay",
+                                           probability=0.3)])
+            set_namespace(namespace)
+            try:
+                with fault_scope(plan):
+                    for __ in range(50):
+                        inject("s")
+            finally:
+                set_namespace("")
+            return [call for __, __k, call, __a in plan.log]
+
+        # A respawned worker (new generation) draws fresh decisions.
+        assert run("w0.g0") != run("w0.g1")
+
+    def test_every_nth_call_trigger(self):
+        plan = FaultPlan(0, [FaultRule(site="s", kind="delay",
+                                       every=3)])
+        with fault_scope(plan):
+            for __ in range(9):
+                inject("s")
+        assert [call for __, __k, call, __a in plan.log] == [3, 6, 9]
+
+    def test_match_filters_on_attributes(self):
+        rule = FaultRule(site="s", kind="error", probability=1.0,
+                         match={"op": QUERY_OPS, "shard": 0})
+        plan = FaultPlan(0, [rule])
+        with fault_scope(plan):
+            inject("s", op="load", shard=0)        # wrong op
+            inject("s", op="execute", shard=1)     # wrong shard
+            with pytest.raises(FaultInjected):
+                inject("s", op="execute", shard=0)
+
+    def test_limit_caps_total_fires(self):
+        plan = FaultPlan(0, [FaultRule(site="s", kind="delay",
+                                       every=1, limit=2)])
+        with fault_scope(plan):
+            for __ in range(5):
+                inject("s")
+        assert len(plan.log) == 2
+
+    def test_corrupt_rule_mangles_the_payload(self):
+        plan = FaultPlan(0, [FaultRule(site="p", kind="corrupt",
+                                       every=1)])
+        with fault_scope(plan):
+            assert corrupt_value("p", ["a", "b"]) == ["a"]
+            assert corrupt_value("p", "x").endswith("corrupt")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FaultRule(site="s", kind="explode")
+
+    def test_scenario_plans_are_independent(self):
+        scenario = build_scenario("worker-crash-storm")
+        first, second = scenario.plan(7), scenario.plan(7)
+        first.rules[0].fired = 99
+        assert second.rules[0].fired == 0
+
+    def test_unknown_scenario_lists_choices(self):
+        with pytest.raises(KeyError, match="worker-crash-storm"):
+            build_scenario("nope")
+
+
+# --------------------------------------------------------------------------
+# Deadlines
+# --------------------------------------------------------------------------
+
+class TestDeadline:
+    def test_checkpoint_free_without_deadline(self):
+        checkpoint()    # must not raise or require any state
+
+    def test_check_raises_once_expired(self):
+        deadline = Deadline(0.0)
+        assert deadline.expired()
+        with pytest.raises(QueryTimeout):
+            deadline.check("test")
+
+    def test_checkpoint_raises_inside_scope(self):
+        with deadline_scope(Deadline(0.0)):
+            with pytest.raises(QueryTimeout):
+                for __ in range(200):   # > CHECK_EVERY ticks
+                    checkpoint()
+
+    def test_scope_nests_and_restores(self):
+        outer = Deadline(60.0)
+        from repro.faults import deadline as deadline_module
+        with deadline_scope(outer):
+            inner = Deadline(30.0)
+            with deadline_scope(inner):
+                assert deadline_module.current() is inner
+            assert deadline_module.current() is outer
+        assert deadline_module.current() is None
+
+    def test_evaluator_cancels_mid_query(self, small_corpora):
+        # A real engine evaluation aborts with the typed error instead
+        # of running to completion.
+        corpus = small_corpora["dcmd"]
+        with create("native") as engine:
+            engine.timed_load(corpus["class"], list(corpus["texts"]))
+            params = bind_params("Q1", "dcmd", corpus["units"])
+            with deadline_scope(Deadline(0.0)):
+                with pytest.raises(QueryTimeout):
+                    engine.execute("Q1", params)
+
+
+# --------------------------------------------------------------------------
+# Policies
+# --------------------------------------------------------------------------
+
+class TestRetryPolicy:
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(retries=8, base=0.1, cap=0.4, jitter=0.0)
+        assert policy.backoff(0) == pytest.approx(0.1)
+        assert policy.backoff(1) == pytest.approx(0.2)
+        assert policy.backoff(5) == pytest.approx(0.4)   # capped
+
+    def test_jitter_is_seed_deterministic(self):
+        one = RetryPolicy(seed=4).backoff(0)
+        two = RetryPolicy(seed=4).backoff(0)
+        assert one == two
+
+    def test_retry_budget_exhausts(self):
+        sleeps = []
+        policy = RetryPolicy(retries=100, base=1.0, cap=1.0,
+                             jitter=0.0, budget_seconds=2.5,
+                             sleep=sleeps.append)
+        attempt = 0
+        while policy.allow_retry(attempt):
+            policy.pause(attempt)
+            attempt += 1
+        assert policy.spent == pytest.approx(2.5)
+        assert attempt == 3     # 1.0 + 1.0 + 0.5 (bounded final sleep)
+
+    def test_zero_retries_never_allows(self):
+        assert not RetryPolicy(retries=0).allow_retry(0)
+
+
+class TestCircuitBreaker:
+    def make(self, **kwargs):
+        self.now = 0.0
+        kwargs.setdefault("threshold", 3)
+        kwargs.setdefault("cooldown", 5.0)
+        return CircuitBreaker(clock=lambda: self.now, **kwargs)
+
+    def test_trips_after_threshold_consecutive_failures(self):
+        breaker = self.make()
+        assert not breaker.record_failure()
+        assert not breaker.record_failure()
+        assert breaker.record_failure()     # third trips
+        with pytest.raises(CircuitOpen):
+            breaker.allow()
+        assert breaker.trips == 1
+
+    def test_success_resets_the_streak(self):
+        breaker = self.make()
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        assert not breaker.record_failure()     # streak restarted
+
+    def test_half_open_probe_recovers(self):
+        breaker = self.make()
+        for __ in range(3):
+            breaker.record_failure()
+        self.now = 6.0              # past the cooldown
+        breaker.allow()             # probe allowed (half-open)
+        assert breaker.state == "half-open"
+        breaker.record_success()
+        assert breaker.state == "closed"
+        breaker.allow()
+
+    def test_half_open_failure_retrips(self):
+        breaker = self.make()
+        for __ in range(3):
+            breaker.record_failure()
+        self.now = 6.0
+        breaker.allow()
+        assert breaker.record_failure()     # probe failed: re-trip
+        assert breaker.trips == 2
+        with pytest.raises(CircuitOpen):
+            breaker.allow()
+
+
+# --------------------------------------------------------------------------
+# Sharded service under faults
+# --------------------------------------------------------------------------
+
+class TestShardedResilience:
+    def test_rpc_timeout_message_reports_budget_and_shard(
+            self, small_corpora):
+        # Satellite fix: the timeout message must name the shard and
+        # the actual wait budget, not always DEFAULT_TIMEOUT.
+        corpus = small_corpora["dcmd"]
+        plan = FaultPlan(0, [FaultRule(
+            site="shard.rpc", kind="delay", seconds=0.6,
+            probability=1.0, match={"op": QUERY_OPS})])
+        with fault_scope(plan):
+            engine = load_sharded(corpus, shards=2, timeout=0.1,
+                                  retries=0)
+            try:
+                params = bind_params("Q1", "dcmd", corpus["units"])
+                with pytest.raises(ShardError) as excinfo:
+                    engine.execute("Q1", params)
+                assert "shard" in str(excinfo.value)
+                assert "timed out after 0.1s" in str(excinfo.value)
+            finally:
+                engine.close()
+
+    def test_deadline_propagates_through_the_rpc(self, small_corpora):
+        corpus = small_corpora["dcmd"]
+        plan = FaultPlan(0, [FaultRule(
+            site="shard.rpc", kind="delay", seconds=0.5,
+            probability=1.0, match={"op": QUERY_OPS})])
+        with fault_scope(plan):
+            engine = load_sharded(corpus, shards=2, retries=2)
+            try:
+                params = bind_params("Q1", "dcmd", corpus["units"])
+                start = time.monotonic()
+                with deadline_scope(Deadline(0.15)):
+                    with pytest.raises(QueryTimeout):
+                        engine.execute("Q1", params)
+                # The deadline cut the call short: no full retry storm.
+                assert time.monotonic() - start < 5.0
+            finally:
+                engine.close()
+
+    def test_breaker_trips_then_fails_fast(self, small_corpora):
+        corpus = small_corpora["dcmd"]
+        engine = load_sharded(corpus, shards=2, retries=0,
+                              breaker_threshold=1,
+                              breaker_cooldown=60.0)
+        try:
+            params = bind_params("Q1", "dcmd", corpus["units"])
+            engine._workers[0].process.kill()
+            time.sleep(0.2)
+            with pytest.raises(ShardError):
+                engine.execute("Q1", params)
+            assert engine._breakers[0].state == "open"
+            assert any("breaker opened" in incident
+                       for incident in engine.incidents)
+            # Fail fast now: the open breaker raises before any RPC.
+            with pytest.raises(CircuitOpen):
+                engine._call(0, ("ping",))
+        finally:
+            engine.close()
+
+    def test_partial_mode_answers_from_healthy_shards(
+            self, small_corpora):
+        corpus = small_corpora["dcmd"]
+        engine = load_sharded(corpus, shards=3, retries=0,
+                              degraded="partial")
+        try:
+            # A per-document (concat) query, so the healthy-shard
+            # answer is a deterministic subsequence of the oracle's.
+            qid = "Q14"
+            assert (QUERIES_BY_ID[qid].merge_for("dcmd")["kind"]
+                    == "concat")
+            params = bind_params(qid, "dcmd", corpus["units"])
+            victim = 1
+            engine._workers[victim].process.kill()
+            time.sleep(0.2)
+            values = engine.execute(qid, params)
+            assert engine.partials
+            record = engine.partials[0]
+            assert record["qid"] == qid
+            assert record["failed_shards"] == [victim]
+
+            # Oracle restricted to the surviving shards' documents
+            # (plus the replicated reference docs) must match exactly.
+            healthy = {name
+                       for index, state in enumerate(engine._states)
+                       if index != victim
+                       for __, name, __t in state.mains}
+            healthy |= {name for name, __ in engine._replicated}
+            with create("native") as oracle:
+                oracle.timed_load(
+                    corpus["class"],
+                    [(name, text) for name, text in corpus["texts"]
+                     if name in healthy])
+                assert values == oracle.execute(qid, params)
+        finally:
+            engine.close()
+
+    def test_strict_mode_still_fails_the_query(self, small_corpora):
+        corpus = small_corpora["dcmd"]
+        engine = load_sharded(corpus, shards=3, retries=0)   # degraded="fail"
+        try:
+            params = bind_params("Q1", "dcmd", corpus["units"])
+            engine._workers[1].process.kill()
+            time.sleep(0.2)
+            with pytest.raises(ShardError):
+                engine.execute("Q1", params)
+            assert engine.partials == []
+        finally:
+            engine.close()
+
+    def test_crash_faults_recover_via_respawn(self, small_corpora):
+        corpus = small_corpora["dcmd"]
+        scenario = build_scenario("worker-crash-storm")
+        plan = scenario.plan(7)
+        with fault_scope(plan):
+            engine = load_sharded(corpus, shards=2, retries=3)
+            try:
+                params = bind_params("Q1", "dcmd", corpus["units"])
+                oracle_values = None
+                for __ in range(6):
+                    values = engine.execute("Q1", params)
+                    if oracle_values is None:
+                        oracle_values = values
+                    # Recovered runs keep returning the full answer.
+                    assert values == oracle_values
+            finally:
+                engine.close()
+
+    def test_rejects_unknown_degraded_mode(self):
+        with pytest.raises(ShardError):
+            ShardedEngine("native", shards=2, degraded="maybe")
+
+
+# --------------------------------------------------------------------------
+# Chaos harness
+# --------------------------------------------------------------------------
+
+class TestChaos:
+    def test_known_scenarios_present(self):
+        assert {"worker-crash-storm", "slow-shard", "flaky-pipe",
+                "query-bomb"} <= set(SCENARIOS)
+
+    def test_scorecard_is_seed_deterministic(self):
+        def run():
+            result = run_chaos("worker-crash-storm", units=8,
+                               queries=6, shards=2, seed=5)
+            return (result.queries, result.ok, result.partial,
+                    result.failed, result.unhandled,
+                    [(i["qid"], i["type"]) for i in result.incidents])
+
+        first, second = run(), run()
+        assert first == second
+        assert first[4] == 0    # nothing unhandled
+
+    def test_every_query_gets_result_or_typed_incident(self):
+        result = run_chaos("query-bomb", units=8, queries=6,
+                           shards=2, seed=7)
+        assert result.unhandled == 0
+        assert (result.ok + result.partial + result.failed
+                == result.queries)
+        assert all(incident["type"] for incident in result.incidents)
+        record = result.record()
+        assert record["availability_pct"] == pytest.approx(
+            result.availability_pct, abs=1e-3)
