@@ -22,6 +22,12 @@ Commands
               artifacts and gates on cold-time regressions
 ``chaos``     run a workload under a named fault-injection scenario
               and score availability (``BENCH_chaos.json``)
+``serve``     persistent query server: warm engines across requests,
+              admission control, weighted-fair tenants, graceful
+              drain on SIGTERM
+``load``      open/closed-loop load harness against a running server;
+              ``--rate-sweep`` traces throughput-vs-P99 into
+              ``BENCH_serving.json``
 """
 
 from __future__ import annotations
@@ -178,6 +184,9 @@ def build_parser() -> argparse.ArgumentParser:
                                 "queries are cancelled cooperatively "
                                 "and counted as QueryTimeout "
                                 "incidents")
+    multiuser.add_argument("--seed", type=int, default=17,
+                           help="stream-plan seed (same seed = same "
+                                "per-stream query/params schedule)")
 
     profile = sub.add_parser(
         "profile", help="observed benchmark run (obs subsystem): "
@@ -307,6 +316,108 @@ def build_parser() -> argparse.ArgumentParser:
                             "under DIR")
     chaos.add_argument("--format", default="text",
                        choices=["text", "json"])
+
+    serve = sub.add_parser(
+        "serve", help="persistent query server: warm engines, "
+                      "admission control, weighted-fair tenants, "
+                      "graceful drain on SIGTERM")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7497,
+                       help="listen port (0 = ephemeral; the bound "
+                            "port is announced on stdout)")
+    serve.add_argument("--engine", default="native",
+                       choices=["native", "xcolumn", "xcollection",
+                                "sqlserver"],
+                       help="default session engine (hello may "
+                            "override)")
+    serve.add_argument("--class", dest="class_key", default="dcmd",
+                       choices=sorted(CLASSES_BY_KEY))
+    serve.add_argument("--units", type=int, default=24)
+    serve.add_argument("--shards", type=int, default=0, metavar="N",
+                       help="serve the default spec behind the "
+                            "sharded execution service")
+    serve.add_argument("--queue", type=int, default=64,
+                       metavar="DEPTH",
+                       help="bounded request queue; beyond this, "
+                            "requests are shed with ServerOverloaded")
+    serve.add_argument("--executors", type=int, default=1,
+                       metavar="N", help="concurrent query slots")
+    serve.add_argument("--tenant-weight", action="append",
+                       default=None, metavar="NAME=W",
+                       help="fair-scheduling weight (repeatable; "
+                            "unlisted tenants get 1.0)")
+    serve.add_argument("--deadline", type=float, default=None,
+                       metavar="SECONDS",
+                       help="deadline applied to requests that do "
+                            "not carry one")
+    serve.add_argument("--rpc-timeout", type=float, default=None,
+                       metavar="SECONDS")
+    serve.add_argument("--degraded", default="partial",
+                       choices=["fail", "partial"])
+    serve.add_argument("--throttle", type=float, default=0.0,
+                       metavar="SECONDS",
+                       help="artificial per-query service-time floor "
+                            "(gives tiny corpora a realistic "
+                            "saturation knee in load tests)")
+    serve.add_argument("--no-preload", action="store_true",
+                       help="skip loading the default engine before "
+                            "accepting connections")
+
+    load = sub.add_parser(
+        "load", help="open/closed-loop load harness against a "
+                     "running `repro serve`")
+    load.add_argument("--host", default="127.0.0.1")
+    load.add_argument("--port", type=int, default=7497)
+    load.add_argument("--engine", default="native",
+                      choices=["native", "xcolumn", "xcollection",
+                               "sqlserver"])
+    load.add_argument("--class", dest="class_key", default="dcmd",
+                      choices=sorted(CLASSES_BY_KEY))
+    load.add_argument("--units", type=int, default=24,
+                      help="must match the corpus served for the "
+                           "session spec")
+    load.add_argument("--shards", type=int, default=0)
+    load.add_argument("--mode", default="closed",
+                      choices=["closed", "open"],
+                      help="closed: N sessions, next query on "
+                           "completion; open: seeded Poisson "
+                           "arrivals at --rate")
+    load.add_argument("--rate", type=float, default=20.0,
+                      metavar="QPS", help="open-loop arrival rate")
+    load.add_argument("--rate-sweep", default=None, metavar="R1,R2,..",
+                      help="open-loop trials across these rates; "
+                           "traces the throughput-vs-P99 curve")
+    load.add_argument("--streams", type=int, default=4,
+                      help="closed-loop sessions / open-loop "
+                           "in-flight worker cap")
+    load.add_argument("--think", type=float, default=0.0,
+                      metavar="SECONDS",
+                      help="closed-loop think time between queries")
+    load.add_argument("--warmup", type=float, default=1.0,
+                      metavar="SECONDS",
+                      help="untimed traffic before the measurement "
+                           "window")
+    load.add_argument("--measure", type=float, default=5.0,
+                      metavar="SECONDS", help="measurement window")
+    load.add_argument("--seed", type=int, default=17,
+                      help="arrival-schedule + query-mix seed")
+    load.add_argument("--deadline", type=float, default=None,
+                      metavar="SECONDS",
+                      help="per-request deadline sent to the server")
+    load.add_argument("--tenant", action="append", default=None,
+                      metavar="NAME=SHARE",
+                      help="traffic mix tenant (repeatable; default "
+                           "one tenant 'default')")
+    load.add_argument("--queries", default=None,
+                      help="comma list of query ids (default: the "
+                           "experiment five)")
+    load.add_argument("--name", default="serving",
+                      help="artifact name (BENCH_<name>.json)")
+    load.add_argument("--obs-out", default=None, metavar="DIR",
+                      help="write the BENCH_<name>.json scorecard "
+                           "under DIR")
+    load.add_argument("--format", default="text",
+                      choices=["text", "json"])
     return parser
 
 
@@ -357,6 +468,10 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_obs(args)
     elif args.command == "chaos":
         return _cmd_chaos(args)
+    elif args.command == "serve":
+        return _cmd_serve(args)
+    elif args.command == "load":
+        return _cmd_load(args)
     return 0
 
 
@@ -383,35 +498,36 @@ def _cmd_multiuser(args: argparse.Namespace) -> int:
     from .core.multiuser import run_multi_user
     from .obs import Recorder, bench_summary, observing, \
         write_bench_artifact
-    engine = _load_engine(args.engine, args.class_key, args.units, 42,
-                          shards=args.shards,
-                          rpc_timeout=args.rpc_timeout)
-    recorder = Recorder(name="multiuser") if args.obs_out else None
-    if recorder is not None:
-        with observing(recorder):
+    with _load_engine(args.engine, args.class_key, args.units, 42,
+                      shards=args.shards,
+                      rpc_timeout=args.rpc_timeout) as engine:
+        recorder = Recorder(name="multiuser") if args.obs_out else None
+        if recorder is not None:
+            with observing(recorder):
+                result = run_multi_user(
+                    engine, args.class_key, args.units,
+                    streams=args.streams,
+                    queries_per_stream=args.queries,
+                    mode=args.mode, seed=args.seed,
+                    deadline_seconds=args.deadline)
+        else:
             result = run_multi_user(engine, args.class_key, args.units,
                                     streams=args.streams,
                                     queries_per_stream=args.queries,
-                                    mode=args.mode,
+                                    mode=args.mode, seed=args.seed,
                                     deadline_seconds=args.deadline)
-    else:
-        result = run_multi_user(engine, args.class_key, args.units,
-                                streams=args.streams,
-                                queries_per_stream=args.queries,
-                                mode=args.mode,
-                                deadline_seconds=args.deadline)
-    print(result.summary())
-    if recorder is not None:
-        summary = bench_summary(
-            "multiuser", recorder=recorder,
-            config={"engine": args.engine, "class": args.class_key,
-                    "streams": args.streams, "queries": args.queries,
-                    "units": args.units, "mode": args.mode,
-                    "shards": args.shards},
-            extra={"multiuser": result.record()})
-        path = write_bench_artifact(summary, args.obs_out)
-        print(f"wrote {path}")
-    engine.close()
+        print(result.summary())
+        if recorder is not None:
+            summary = bench_summary(
+                "multiuser", recorder=recorder,
+                config={"engine": args.engine, "class": args.class_key,
+                        "streams": args.streams,
+                        "queries": args.queries,
+                        "units": args.units, "mode": args.mode,
+                        "seed": args.seed, "shards": args.shards},
+                extra={"multiuser": result.record()})
+            path = write_bench_artifact(summary, args.obs_out)
+            print(f"wrote {path}")
     return 0
 
 
@@ -493,29 +609,29 @@ def _cmd_explain(args: argparse.Namespace) -> int:
 
     sections: list[dict] = []
     for engine_key in engine_keys:
-        engine = _make_engine(engine_key)
-        section: dict = {"engine": engine_key,
-                         "system": engine.row_label, "qid": qid,
-                         "class": class_key}
-        try:
-            engine.check_supported(db_class, "small")
-            engine.timed_load(db_class, texts)
-            engine.create_indexes(list(indexes_for(class_key)))
-            params = bind_params(qid, class_key, args.units)
-            recorder = Recorder(name="explain", plan=PlanProfiler())
-            with observing(recorder):
-                outcome = engine.timed_execute(qid, params)
-        except (UnsupportedConfiguration, UnsupportedQuery) as exc:
-            section["unsupported"] = str(exc)
+        with _make_engine(engine_key) as engine:
+            section: dict = {"engine": engine_key,
+                             "system": engine.row_label, "qid": qid,
+                             "class": class_key}
+            try:
+                engine.check_supported(db_class, "small")
+                engine.timed_load(db_class, texts)
+                engine.create_indexes(list(indexes_for(class_key)))
+                params = bind_params(qid, class_key, args.units)
+                recorder = Recorder(name="explain",
+                                    plan=PlanProfiler())
+                with observing(recorder):
+                    outcome = engine.timed_execute(qid, params)
+            except (UnsupportedConfiguration, UnsupportedQuery) as exc:
+                section["unsupported"] = str(exc)
+                sections.append(section)
+                continue
+            section["seconds"] = outcome.seconds
+            section["rows"] = len(outcome.values)
+            section["params"] = dict(params)
+            section["plans"] = recorder.plan.tree_records()
+            section["trees"] = recorder.plan.trees()
             sections.append(section)
-            continue
-        section["seconds"] = outcome.seconds
-        section["rows"] = len(outcome.values)
-        section["params"] = dict(params)
-        section["plans"] = recorder.plan.tree_records()
-        section["trees"] = recorder.plan.trees()
-        sections.append(section)
-        engine.close()
 
     if args.format == "json":
         payload = [{key: value for key, value in section.items()
@@ -604,6 +720,124 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         print(f"error: availability {result.availability_pct:.2f}% "
               f"below the required {args.min_availability:.2f}%",
               file=sys.stderr)
+        return 1
+    return 0
+
+
+def _parse_pairs(items: list[str] | None, flag: str) -> dict:
+    """Parse repeated ``NAME=NUMBER`` flags into a dict."""
+    pairs: dict[str, float] = {}
+    for item in items or []:
+        name, sep, value = item.partition("=")
+        if not sep or not name:
+            raise ReproError(
+                f"{flag} expects NAME=NUMBER, got {item!r}")
+        try:
+            pairs[name] = float(value)
+        except ValueError:
+            raise ReproError(
+                f"{flag} expects NAME=NUMBER, got {item!r}") from None
+    return pairs
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    from .server import QueryServer, ServerConfig
+    config = ServerConfig(
+        host=args.host, port=args.port, engine=args.engine,
+        class_key=args.class_key, units=args.units,
+        shards=args.shards, max_queue=args.queue,
+        executors=args.executors,
+        tenant_weights=_parse_pairs(args.tenant_weight,
+                                    "--tenant-weight"),
+        default_deadline=args.deadline,
+        rpc_timeout=args.rpc_timeout, degraded=args.degraded,
+        preload=not args.no_preload,
+        throttle_seconds=args.throttle)
+    return asyncio.run(QueryServer(config).run())
+
+
+def _cmd_load(args: argparse.Namespace) -> int:
+    import json
+    from .loadgen import (
+        LoadConfig,
+        run_rate_sweep,
+        run_trial,
+        sweep_curve,
+    )
+    from .obs import Recorder, bench_summary, observing, \
+        write_bench_artifact
+    tenants = tuple(_parse_pairs(args.tenant, "--tenant").items()) \
+        or (("default", 1.0),)
+    query_ids = (tuple(qid.upper() for qid in args.queries.split(","))
+                 if args.queries else None)
+    config = LoadConfig(
+        host=args.host, port=args.port, engine=args.engine,
+        class_key=args.class_key, units=args.units,
+        shards=args.shards, mode=args.mode, rate=args.rate,
+        streams=args.streams, think_seconds=args.think,
+        warmup_seconds=args.warmup, measure_seconds=args.measure,
+        seed=args.seed, deadline=args.deadline, tenants=tenants)
+    if query_ids:
+        config.query_ids = query_ids
+    import contextlib
+    recorder = Recorder(name=args.name) if args.obs_out else None
+    scope = (observing(recorder) if recorder is not None
+             else contextlib.nullcontext())
+    with scope:
+        if args.rate_sweep:
+            rates = [float(rate)
+                     for rate in args.rate_sweep.split(",")]
+            results = run_rate_sweep(config, rates)
+            curve = sweep_curve(results)
+            record = {"sweep": [trial.record() for trial in results],
+                      "curve": curve}
+            errors = sum(trial.errors for trial in results)
+            if args.format == "json":
+                print(json.dumps(record, indent=2))
+            else:
+                for trial in results:
+                    print(trial.summary())
+                print("\nrate sweep (throughput vs tail latency):")
+                print(f"  {'rate':>8} {'ok/s':>8} {'p50 ms':>9} "
+                      f"{'p95 ms':>9} {'p99 ms':>9} {'rej':>5} "
+                      f"{'t/o':>5} {'ok %':>6}")
+                for point in curve:
+                    print(f"  {point['target_rate']:>8g} "
+                          f"{point['throughput_qps']:>8.1f} "
+                          f"{point['p50_ms']:>9.2f} "
+                          f"{point['p95_ms']:>9.2f} "
+                          f"{point['p99_ms']:>9.2f} "
+                          f"{point['rejected']:>5} "
+                          f"{point['timeouts']:>5} "
+                          f"{point['success_pct']:>6.1f}")
+        else:
+            result = run_trial(config)
+            record = result.record()
+            errors = result.errors
+            if args.format == "json":
+                print(json.dumps(record, indent=2))
+            else:
+                print(result.summary())
+    if args.obs_out is not None:
+        summary = bench_summary(
+            args.name, recorder=recorder,
+            config={"host": args.host, "port": args.port,
+                    "engine": args.engine, "class": args.class_key,
+                    "units": args.units, "shards": args.shards,
+                    "mode": ("open" if args.rate_sweep
+                             else args.mode),
+                    "rate": args.rate, "rate_sweep": args.rate_sweep,
+                    "streams": args.streams, "think": args.think,
+                    "warmup": args.warmup, "measure": args.measure,
+                    "seed": args.seed, "deadline": args.deadline,
+                    "tenants": dict(tenants)},
+            extra={"serving": record})
+        path = write_bench_artifact(summary, args.obs_out)
+        print(f"wrote {path}")
+    if errors:
+        print(f"error: {errors} request(s) failed with unexpected "
+              "errors", file=sys.stderr)
         return 1
     return 0
 
@@ -711,11 +945,16 @@ def _load_engine(engine_key: str, class_key: str, units: int,
                                timeout=rpc_timeout)
     else:
         engine = create(engine_key)
-    engine.check_supported(db_class, "small")
-    documents = db_class.generate(units, seed=seed)
-    engine.timed_load(db_class,
-                      [(d.name, serialize(d)) for d in documents])
-    engine.create_indexes(list(indexes_for(class_key)))
+    try:
+        engine.check_supported(db_class, "small")
+        documents = db_class.generate(units, seed=seed)
+        engine.timed_load(db_class,
+                          [(d.name, serialize(d)) for d in documents])
+        engine.create_indexes(list(indexes_for(class_key)))
+    except BaseException:
+        # A failed load must still reap sharded worker processes.
+        engine.close()
+        raise
     return engine
 
 
@@ -726,21 +965,21 @@ def _cmd_query(args: argparse.Namespace) -> int:
         print(f"error: {qid} is not defined for {args.class_key}",
               file=sys.stderr)
         return 1
-    engine = _load_engine(args.engine, args.class_key, args.units,
-                          args.seed)
-    params = bind_params(qid, args.class_key, args.units)
-    outcome = engine.timed_execute(qid, params)
-    print(f"{qid} on {args.class_key} via {engine.row_label}: "
-          f"{len(outcome.values)} item(s) in "
-          f"{outcome.seconds * 1000:.2f} ms")
-    print(f"  query: {query.text_for(args.class_key)}")
-    print(f"  params: {params}")
-    for value in outcome.values[:args.limit]:
-        preview = value if len(value) <= 100 else value[:97] + "..."
-        print(f"  {preview}")
-    if len(outcome.values) > args.limit:
-        print(f"  ... {len(outcome.values) - args.limit} more")
-    engine.close()
+    with _load_engine(args.engine, args.class_key, args.units,
+                      args.seed) as engine:
+        params = bind_params(qid, args.class_key, args.units)
+        outcome = engine.timed_execute(qid, params)
+        print(f"{qid} on {args.class_key} via {engine.row_label}: "
+              f"{len(outcome.values)} item(s) in "
+              f"{outcome.seconds * 1000:.2f} ms")
+        print(f"  query: {query.text_for(args.class_key)}")
+        print(f"  params: {params}")
+        for value in outcome.values[:args.limit]:
+            preview = (value if len(value) <= 100
+                       else value[:97] + "...")
+            print(f"  {preview}")
+        if len(outcome.values) > args.limit:
+            print(f"  ... {len(outcome.values) - args.limit} more")
     return 0
 
 
@@ -782,16 +1021,16 @@ def _cmd_workload(args: argparse.Namespace) -> int:
 
 def _cmd_updates(args: argparse.Namespace) -> int:
     from .workload.updates import make_update_stream, run_update_stream
-    engine = _load_engine(args.engine, args.class_key, args.units, 42,
-                          shards=args.shards)
-    stream = make_update_stream(args.class_key, args.units,
-                                count=args.count)
-    stats = run_update_stream(engine, args.class_key, stream)
-    print(f"update stream on {args.class_key} via {engine.row_label}:")
-    for kind in sorted(stats.counts):
-        print(f"  {kind:<8}{stats.counts[kind]:>4} ops, "
-              f"mean {stats.mean_ms(kind):8.3f} ms")
-    engine.close()
+    with _load_engine(args.engine, args.class_key, args.units, 42,
+                      shards=args.shards) as engine:
+        stream = make_update_stream(args.class_key, args.units,
+                                    count=args.count)
+        stats = run_update_stream(engine, args.class_key, stream)
+        print(f"update stream on {args.class_key} via "
+              f"{engine.row_label}:")
+        for kind in sorted(stats.counts):
+            print(f"  {kind:<8}{stats.counts[kind]:>4} ops, "
+                  f"mean {stats.mean_ms(kind):8.3f} ms")
     return 0
 
 

@@ -106,10 +106,7 @@ class MultiUserResult:
                  f"{self.total_queries} queries in "
                  f"{self.wall_seconds:.2f}s -> "
                  f"{self.throughput_qps:.1f} q/s",
-                 f"  overall: p50 {overall.p50 * 1000:.2f} ms, "
-                 f"p95 {overall.p95 * 1000:.2f} ms, "
-                 f"p99 {overall.p99 * 1000:.2f} ms, "
-                 f"max {overall.max * 1000:.2f} ms"]
+                 f"  overall: {overall.format_ms()}"]
         incidents = self.incident_counts()
         if incidents:
             lines.append("  incidents: " + ", ".join(
@@ -119,10 +116,7 @@ class MultiUserResult:
             lines.append(
                 f"  stream {stream.stream_id}: {stream.queries} queries, "
                 f"mean {stream.mean_latency_ms():.2f} ms, "
-                f"p50 {stream.p50_latency_ms():.2f} ms, "
-                f"p95 {stream.p95_latency_ms():.2f} ms, "
-                f"p99 {stream.p99_latency_ms():.2f} ms, "
-                f"max {stream.max_latency_ms():.2f} ms")
+                f"{stream.latency_histogram().format_ms()}")
         return "\n".join(lines)
 
     def incident_counts(self) -> dict:

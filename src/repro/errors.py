@@ -156,6 +156,33 @@ class PartialResult(EngineError):
         super().__init__(message)
 
 
+class ServerError(ReproError):
+    """Base class for the persistent query server's typed failures.
+
+    The server never lets an exception escape a connection handler:
+    every failure crosses the wire as a typed error response, and the
+    client library re-raises (or counts) it under one of these types.
+    """
+
+
+class ServerOverloaded(ServerError):
+    """The server shed this request at admission time.
+
+    Raised (and sent as a typed response) when the bounded request
+    queue is full, or when the request carries a deadline that the
+    predicted in-queue wait would already exhaust — shedding early is
+    cheaper than queueing work that is doomed to time out.
+    """
+
+
+class ServerDraining(ServerError):
+    """The server is shutting down gracefully (SIGTERM drain).
+
+    In-flight and already-admitted queries complete; new sessions and
+    new queries are refused with this type.
+    """
+
+
 class FaultInjected(ReproError):
     """An error deliberately injected by an active
     :class:`~repro.faults.plan.FaultPlan` rule of kind ``"error"``.

@@ -108,10 +108,7 @@ class ChaosResult:
             f"{self.partial} partial, {self.failed} failed, "
             f"{self.unhandled} unhandled "
             f"-> availability {self.availability_pct:.2f}%",
-            f"  latency under faults: p50 {histogram.p50 * 1000:.2f} ms, "
-            f"p95 {histogram.p95 * 1000:.2f} ms, "
-            f"p99 {histogram.p99 * 1000:.2f} ms, "
-            f"max {histogram.max * 1000:.2f} ms",
+            f"  latency under faults: {histogram.format_ms()}",
             f"  retries {self.counters.get('shard.retries', 0)}, "
             f"respawns {self.counters.get('shard.respawns', 0)}, "
             f"breaker trips "

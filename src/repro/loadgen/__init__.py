@@ -1,0 +1,34 @@
+"""repro.loadgen — the client-side load harness.
+
+The workload-driver half of the serving story (Benchbase/YCSB shape):
+
+* :mod:`~repro.loadgen.client` — a blocking socket client speaking the
+  server's length-prefixed JSON protocol;
+* :mod:`~repro.loadgen.driver` — open-loop (seeded Poisson arrivals at
+  a configured rate) and closed-loop (N sessions, optional think time)
+  drivers over the workload query mix, with warm-up vs measurement
+  windows, per-tenant breakdowns and a rate-sweep mode that traces the
+  throughput-vs-tail-latency curve into ``BENCH_serving.json``.
+"""
+
+from .client import ServingClient
+from .driver import (
+    LoadConfig,
+    TrialResult,
+    run_closed_loop,
+    run_open_loop,
+    run_rate_sweep,
+    run_trial,
+    sweep_curve,
+)
+
+__all__ = [
+    "ServingClient",
+    "LoadConfig",
+    "TrialResult",
+    "run_closed_loop",
+    "run_open_loop",
+    "run_rate_sweep",
+    "run_trial",
+    "sweep_curve",
+]

@@ -1,0 +1,93 @@
+"""Blocking socket client for the query server.
+
+One :class:`ServingClient` is one connection (one session after
+:meth:`ServingClient.hello`).  Responses are returned as the raw
+protocol dicts — ``{"ok": True, ...}`` or ``{"ok": False, "error":
+"<TypeName>", ...}`` — because the load drivers *count* typed failures
+(rejections, timeouts) rather than raising on them; callers that want
+exceptions can check ``response["ok"]`` themselves.
+"""
+
+from __future__ import annotations
+
+import socket
+
+from ..errors import ServerError
+from ..server.protocol import recv_message, send_message
+
+
+class ServingClient:
+    """One connection to a :class:`~repro.server.server.QueryServer`."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 timeout: float = 60.0) -> None:
+        self.host = host
+        self.port = port
+        self._sock = socket.create_connection((host, port),
+                                              timeout=timeout)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+
+    # -- protocol calls ------------------------------------------------------
+
+    def call(self, message: dict) -> dict:
+        """One request/response round trip."""
+        send_message(self._sock, message)
+        reply = recv_message(self._sock)
+        if reply is None:
+            raise ServerError("server closed the connection")
+        return reply
+
+    def hello(self, engine: str | None = None,
+              class_key: str | None = None, units: int | None = None,
+              shards: int | None = None,
+              tenant: str = "default") -> dict:
+        """Open the session; omitted fields take the server defaults."""
+        message: dict = {"op": "hello", "tenant": tenant}
+        if engine is not None:
+            message["engine"] = engine
+        if class_key is not None:
+            message["class"] = class_key
+        if units is not None:
+            message["units"] = units
+        if shards is not None:
+            message["shards"] = shards
+        return self.call(message)
+
+    def query(self, qid: str, params: dict | None = None,
+              deadline: float | None = None,
+              tenant: str | None = None) -> dict:
+        message: dict = {"op": "query", "qid": qid}
+        if params is not None:
+            message["params"] = params
+        if deadline is not None:
+            message["deadline"] = deadline
+        if tenant is not None:
+            message["tenant"] = tenant
+        return self.call(message)
+
+    def stats(self) -> dict:
+        return self.call({"op": "stats"})
+
+    def ping(self) -> dict:
+        return self.call({"op": "ping"})
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Polite close: best-effort ``bye``, then shut the socket."""
+        try:
+            send_message(self._sock, {"op": "bye"})
+            recv_message(self._sock)
+        except (OSError, ServerError):
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServingClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False

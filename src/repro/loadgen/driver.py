@@ -1,0 +1,457 @@
+"""Open- and closed-loop load drivers with warm-up/measure windows.
+
+The two canonical load shapes (YCSB/Benchbase lineage):
+
+* **Closed loop** — N concurrent sessions, each issuing its next query
+  when the previous answer returns (optionally after a think time).
+  Offered load adapts to the server: classic interactive-user model,
+  measures peak sustainable throughput.
+* **Open loop** — arrivals fire from a seeded Poisson process at a
+  configured rate regardless of completions: the internet-traffic
+  model that actually exposes tail latency and overload behaviour.
+  Latency is measured from the request's *scheduled arrival time*, not
+  its send time, so client-side backlog cannot hide server queueing
+  (the coordinated-omission correction).
+
+Every trial runs ``warmup_seconds`` of untimed traffic before the
+measurement window; only requests scheduled inside the window feed the
+reported counts and percentiles.  :func:`run_rate_sweep` walks a list
+of open-loop rates to trace the throughput-vs-P99 curve into the
+``BENCH_serving.json`` artifact (the saturation knee).
+"""
+
+from __future__ import annotations
+
+import queue
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+
+from ..errors import BenchmarkError
+from ..obs import LatencyHistogram
+from ..obs import recorder as _obs
+from ..workload import bind_params
+from ..workload.queries import EXPERIMENT_QUERIES, QUERIES_BY_ID
+from .client import ServingClient
+
+#: response error types counted as load shedding (not failures).
+_REJECTED_TYPES = ("ServerOverloaded", "ServerDraining")
+
+
+@dataclass
+class LoadConfig:
+    """Knobs of one load trial."""
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    engine: str = "native"
+    class_key: str = "dcmd"
+    units: int = 24
+    shards: int = 0
+    #: ``"closed"`` or ``"open"``.
+    mode: str = "closed"
+    #: open-loop arrival rate (requests/second).
+    rate: float = 20.0
+    #: closed-loop session count; open-loop in-flight worker cap.
+    streams: int = 4
+    #: closed-loop think time between a reply and the next request.
+    think_seconds: float = 0.0
+    warmup_seconds: float = 0.5
+    measure_seconds: float = 2.0
+    seed: int = 17
+    #: per-request deadline sent to the server (None = none).
+    deadline: float | None = None
+    #: arrival mix of tenants: (name, share) pairs.
+    tenants: tuple = (("default", 1.0),)
+    query_ids: tuple = EXPERIMENT_QUERIES
+
+    @property
+    def total_seconds(self) -> float:
+        return self.warmup_seconds + self.measure_seconds
+
+
+class _RequestMix:
+    """Seeded infinite (tenant, qid, params) stream for one worker."""
+
+    def __init__(self, config: LoadConfig, seed: int) -> None:
+        self._rng = random.Random(seed)
+        self._config = config
+        self._applicable = [
+            qid for qid in config.query_ids
+            if QUERIES_BY_ID[qid].applies_to(config.class_key)]
+        if not self._applicable:
+            raise BenchmarkError(
+                f"no queries of the mix apply to "
+                f"{config.class_key!r}")
+        names = [name for name, __ in config.tenants]
+        shares = [max(0.0, share) for __, share in config.tenants]
+        if not any(shares):
+            shares = [1.0] * len(names)
+        self._tenants = names
+        self._shares = shares
+
+    def next(self) -> tuple[str, str, dict]:
+        config = self._config
+        qid = self._rng.choice(self._applicable)
+        params = dict(bind_params(qid, config.class_key, config.units))
+        if "id" in params:
+            # Distinct simulated users hit distinct point targets.
+            params["id"] = str(self._rng.randint(1, config.units))
+        tenant = self._rng.choices(self._tenants,
+                                   weights=self._shares)[0]
+        return tenant, qid, params
+
+
+@dataclass
+class _Outcome:
+    """One request's classified result."""
+
+    tenant: str
+    qid: str
+    kind: str                  # ok | rejected | timeout | error
+    latency: float = 0.0       # seconds, from scheduled arrival
+    scheduled: float = 0.0     # monotonic scheduled arrival
+    partial: bool = False
+
+
+@dataclass
+class _TenantStats:
+    completed: int = 0
+    rejected: int = 0
+    timeouts: int = 0
+    errors: int = 0
+    latencies: LatencyHistogram = field(
+        default_factory=LatencyHistogram)
+
+    def record(self) -> dict:
+        return {"completed": self.completed, "rejected": self.rejected,
+                "timeouts": self.timeouts, "errors": self.errors,
+                "latency": self.latencies.summary()}
+
+
+@dataclass
+class TrialResult:
+    """One trial's scorecard (measurement window unless noted)."""
+
+    mode: str
+    target_rate: float | None
+    config: LoadConfig
+    offered: int = 0            # scheduled/sent inside the window
+    completed: int = 0
+    rejected: int = 0
+    timeouts: int = 0
+    partials: int = 0
+    errors: int = 0
+    total_requests: int = 0     # whole run, warm-up included
+    wall_seconds: float = 0.0
+    latencies: LatencyHistogram = field(
+        default_factory=LatencyHistogram)
+    per_tenant: dict = field(default_factory=dict)
+
+    @property
+    def throughput_qps(self) -> float:
+        measure = self.config.measure_seconds
+        if measure <= 0:
+            return 0.0
+        return self.completed / measure
+
+    @property
+    def achieved_rate(self) -> float:
+        measure = self.config.measure_seconds
+        if measure <= 0:
+            return 0.0
+        return self.offered / measure
+
+    @property
+    def success_pct(self) -> float:
+        if not self.offered:
+            return 100.0
+        return 100.0 * self.completed / self.offered
+
+    def record(self) -> dict:
+        """JSON-ready scorecard (for BENCH_serving.json)."""
+        return {
+            "mode": self.mode,
+            "target_rate": self.target_rate,
+            "streams": self.config.streams,
+            "think_seconds": self.config.think_seconds,
+            "warmup_seconds": self.config.warmup_seconds,
+            "measure_seconds": self.config.measure_seconds,
+            "seed": self.config.seed,
+            "deadline": self.config.deadline,
+            "offered": self.offered,
+            "achieved_rate": round(self.achieved_rate, 3),
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "timeouts": self.timeouts,
+            "partials": self.partials,
+            "errors": self.errors,
+            "success_pct": round(self.success_pct, 3),
+            "throughput_qps": round(self.throughput_qps, 3),
+            "total_requests": self.total_requests,
+            "wall_seconds": self.wall_seconds,
+            "latency": self.latencies.summary(),
+            "per_tenant": {tenant: stats.record()
+                           for tenant, stats in
+                           sorted(self.per_tenant.items())},
+        }
+
+    def summary(self) -> str:
+        label = (f"open @ {self.target_rate:g}/s"
+                 if self.mode == "open"
+                 else f"closed x{self.config.streams}")
+        lines = [
+            f"{label}: {self.offered} offered in "
+            f"{self.config.measure_seconds:.1f}s -> "
+            f"{self.completed} ok ({self.throughput_qps:.1f} q/s), "
+            f"{self.rejected} rejected, {self.timeouts} timeouts, "
+            f"{self.partials} partial, {self.errors} errors "
+            f"[{self.success_pct:.1f}% success]",
+            f"  latency: {self.latencies.format_ms()}",
+        ]
+        for tenant, stats in sorted(self.per_tenant.items()):
+            lines.append(f"  tenant {tenant}: {stats.completed} ok, "
+                         f"{stats.rejected} rejected, "
+                         f"{stats.latencies.format_ms()}")
+        return "\n".join(lines)
+
+
+def _classify(reply: dict, tenant: str, qid: str, latency: float,
+              scheduled: float) -> _Outcome:
+    if reply.get("ok"):
+        return _Outcome(tenant, qid, "ok", latency, scheduled,
+                        partial=bool(reply.get("partial")))
+    error = reply.get("error", "")
+    if error in _REJECTED_TYPES:
+        kind = "rejected"
+    elif error == "QueryTimeout":
+        kind = "timeout"
+    else:
+        kind = "error"
+    return _Outcome(tenant, qid, kind, latency, scheduled)
+
+
+def _aggregate(config: LoadConfig, mode: str,
+               target_rate: float | None, outcomes: list[_Outcome],
+               measure_start: float, measure_end: float,
+               wall: float) -> TrialResult:
+    result = TrialResult(mode, target_rate, config, wall_seconds=wall)
+    result.total_requests = len(outcomes)
+    for outcome in outcomes:
+        if not measure_start <= outcome.scheduled < measure_end:
+            continue
+        result.offered += 1
+        stats = result.per_tenant.setdefault(outcome.tenant,
+                                             _TenantStats())
+        if outcome.kind == "ok":
+            result.completed += 1
+            stats.completed += 1
+            if outcome.partial:
+                result.partials += 1
+            result.latencies.add(outcome.latency)
+            stats.latencies.add(outcome.latency)
+            _obs.record_latency("serving.latency", outcome.latency)
+            _obs.record_latency(f"serving.latency.{outcome.tenant}",
+                                outcome.latency)
+        elif outcome.kind == "rejected":
+            result.rejected += 1
+            stats.rejected += 1
+            _obs.count("serving.rejected")
+        elif outcome.kind == "timeout":
+            result.timeouts += 1
+            stats.timeouts += 1
+            _obs.count("serving.timeouts")
+        else:
+            result.errors += 1
+            stats.errors += 1
+            _obs.count("serving.errors")
+    return result
+
+
+def _connect(config: LoadConfig, tenant: str) -> ServingClient:
+    client = ServingClient(config.host, config.port)
+    reply = client.hello(engine=config.engine,
+                         class_key=config.class_key,
+                         units=config.units, shards=config.shards,
+                         tenant=tenant)
+    if not reply.get("ok"):
+        client.close()
+        raise BenchmarkError(
+            f"handshake refused: {reply.get('error')}: "
+            f"{reply.get('message')}")
+    return client
+
+
+# -- closed loop --------------------------------------------------------------
+
+def run_closed_loop(config: LoadConfig) -> TrialResult:
+    """N sessions, next query on completion, optional think time."""
+    outcomes_per_stream: list[list[_Outcome]] = [
+        [] for __ in range(config.streams)]
+    start = time.monotonic()
+    end = start + config.total_seconds
+
+    def run_stream(index: int) -> None:
+        mix = _RequestMix(config, config.seed + index)
+        # A stream keeps one tenant for its whole session (sessions
+        # belong to users); the mix's first draw picks it.
+        tenant, __, ___ = mix.next()
+        out = outcomes_per_stream[index]
+        try:
+            client = _connect(config, tenant)
+        except (OSError, BenchmarkError):
+            out.append(_Outcome(tenant, "-", "error",
+                                scheduled=time.monotonic()))
+            return
+        try:
+            while True:
+                now = time.monotonic()
+                if now >= end:
+                    break
+                __, qid, params = mix.next()
+                try:
+                    reply = client.query(qid, params=params,
+                                         deadline=config.deadline)
+                except Exception as exc:  # noqa: BLE001 - counted
+                    out.append(_Outcome(tenant, qid, "error",
+                                        scheduled=now))
+                    if isinstance(exc, OSError):
+                        break  # dead connection ends the stream
+                    continue
+                latency = time.monotonic() - now
+                out.append(_classify(reply, tenant, qid, latency, now))
+                if config.think_seconds > 0.0:
+                    time.sleep(config.think_seconds)
+        finally:
+            client.close()
+
+    workers = [threading.Thread(target=run_stream, args=(index,))
+               for index in range(config.streams)]
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join()
+    wall = time.monotonic() - start
+    outcomes = [outcome for per_stream in outcomes_per_stream
+                for outcome in per_stream]
+    return _aggregate(config, "closed", None, outcomes,
+                      start + config.warmup_seconds, end, wall)
+
+
+# -- open loop ----------------------------------------------------------------
+
+def run_open_loop(config: LoadConfig,
+                  rate: float | None = None) -> TrialResult:
+    """Seeded Poisson arrivals at ``rate``/s, independent of
+    completions; latency counts from the scheduled arrival."""
+    rate = config.rate if rate is None else rate
+    if rate <= 0:
+        raise BenchmarkError(f"open-loop rate must be > 0, got {rate}")
+    rng = random.Random(config.seed)
+    offsets: list[float] = []
+    clock = rng.expovariate(rate)
+    while clock < config.total_seconds:
+        offsets.append(clock)
+        clock += rng.expovariate(rate)
+
+    work: queue.SimpleQueue = queue.SimpleQueue()
+    outcomes_per_worker: list[list[_Outcome]] = [
+        [] for __ in range(config.streams)]
+
+    def run_worker(index: int) -> None:
+        out = outcomes_per_worker[index]
+        try:
+            client = _connect(config, "default")
+        except (OSError, BenchmarkError):
+            client = None
+        try:
+            while True:
+                item = work.get()
+                if item is None:
+                    break
+                scheduled, tenant, qid, params = item
+                if client is None:
+                    out.append(_Outcome(tenant, qid, "error",
+                                        scheduled=scheduled))
+                    continue
+                try:
+                    reply = client.query(qid, params=params,
+                                         deadline=config.deadline,
+                                         tenant=tenant)
+                except Exception:  # noqa: BLE001 - counted
+                    out.append(_Outcome(tenant, qid, "error",
+                                        scheduled=scheduled))
+                    continue
+                latency = time.monotonic() - scheduled
+                out.append(_classify(reply, tenant, qid, latency,
+                                     scheduled))
+        finally:
+            if client is not None:
+                client.close()
+
+    workers = [threading.Thread(target=run_worker, args=(index,))
+               for index in range(config.streams)]
+    for worker in workers:
+        worker.start()
+
+    mix = _RequestMix(config, config.seed)
+    start = time.monotonic()
+    for offset in offsets:
+        scheduled = start + offset
+        delay = scheduled - time.monotonic()
+        if delay > 0:
+            time.sleep(delay)
+        tenant, qid, params = mix.next()
+        work.put((scheduled, tenant, qid, params))
+    for __ in workers:
+        work.put(None)
+    for worker in workers:
+        worker.join()
+    wall = time.monotonic() - start
+    outcomes = [outcome for per_worker in outcomes_per_worker
+                for outcome in per_worker]
+    return _aggregate(config, "open", rate, outcomes,
+                      start + config.warmup_seconds,
+                      start + config.total_seconds, wall)
+
+
+# -- entry points -------------------------------------------------------------
+
+def run_trial(config: LoadConfig) -> TrialResult:
+    """One trial in the configured mode."""
+    if config.mode == "open":
+        return run_open_loop(config)
+    if config.mode == "closed":
+        return run_closed_loop(config)
+    raise BenchmarkError(f"unknown load mode {config.mode!r}")
+
+
+def run_rate_sweep(config: LoadConfig,
+                   rates: list[float]) -> list[TrialResult]:
+    """Open-loop trials across ``rates`` (the throughput/latency
+    curve); each trial reuses the seed so only the rate varies."""
+    results = []
+    for rate in rates:
+        results.append(run_open_loop(config, rate=rate))
+    return results
+
+
+def sweep_curve(results: list[TrialResult]) -> list[dict]:
+    """The throughput-vs-tail-latency curve, one point per rate."""
+    curve = []
+    for result in results:
+        summary = result.latencies.summary()
+        curve.append({
+            "target_rate": result.target_rate,
+            "achieved_rate": round(result.achieved_rate, 3),
+            "throughput_qps": round(result.throughput_qps, 3),
+            "p50_ms": summary["p50_ms"],
+            "p95_ms": summary["p95_ms"],
+            "p99_ms": summary["p99_ms"],
+            "rejected": result.rejected,
+            "timeouts": result.timeouts,
+            "errors": result.errors,
+            "success_pct": round(result.success_pct, 3),
+        })
+    return curve

@@ -94,6 +94,14 @@ class LatencyHistogram:
             "max_ms": self.max * scale,
         }
 
+    def format_ms(self) -> str:
+        """The one-line percentile report every summary shares:
+        ``p50 … ms, p95 … ms, p99 … ms, max … ms``."""
+        return (f"p50 {self.p50 * 1000:.2f} ms, "
+                f"p95 {self.p95 * 1000:.2f} ms, "
+                f"p99 {self.p99 * 1000:.2f} ms, "
+                f"max {self.max * 1000:.2f} ms")
+
     def __len__(self) -> int:
         return len(self.samples)
 

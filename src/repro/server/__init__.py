@@ -1,0 +1,44 @@
+"""repro.server — the persistent query server.
+
+Promotes the engines (and the sharded execution service) from
+per-invocation processes into a long-lived serving tier:
+
+* :mod:`~repro.server.protocol` — the length-prefixed JSON wire
+  protocol shared by the server and the load-generation clients;
+* :mod:`~repro.server.admission` — the bounded request queue with
+  admission control (load shedding) and per-tenant weighted fair
+  scheduling;
+* :mod:`~repro.server.server` — the asyncio socket server: session
+  handshake with engine/class/scale selection, warm engine reuse
+  across sessions, deadline-aware dispatch and graceful drain on
+  SIGTERM.
+
+The client side lives in :mod:`repro.loadgen`.
+"""
+
+from .admission import AdmissionController, Request
+from .protocol import (
+    MAX_FRAME,
+    encode_frame,
+    error_response,
+    read_message,
+    recv_message,
+    send_message,
+    write_message,
+)
+from .server import EngineSpec, QueryServer, ServerConfig
+
+__all__ = [
+    "AdmissionController",
+    "Request",
+    "MAX_FRAME",
+    "encode_frame",
+    "error_response",
+    "read_message",
+    "recv_message",
+    "send_message",
+    "write_message",
+    "EngineSpec",
+    "QueryServer",
+    "ServerConfig",
+]

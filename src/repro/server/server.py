@@ -1,0 +1,576 @@
+"""The persistent query server: warm engines behind an asyncio socket.
+
+Every CLI ``repro query``/``suite`` run pays cold corpus generation,
+parsing and indexing before the first query; "multiuser" was threads
+inside one such process.  :class:`QueryServer` separates the system
+under test from its workload driver: it owns loaded engines across
+requests (the millions-of-users serving shape), speaks the
+length-prefixed JSON protocol of :mod:`~repro.server.protocol`, and
+runs every query through the admission-controlled weighted-fair queue
+of :mod:`~repro.server.admission`.
+
+Flow of one query::
+
+    client ── hello ──────────▶ engine cache (load once, reuse warm)
+    client ── query ──────────▶ AdmissionController.submit
+                                  │ full / doomed deadline ──▶ typed
+                                  │                            ServerOverloaded
+                                  ▼
+                            weighted-fair dequeue (dispatcher task)
+                                  │ deadline expired in queue ─▶ typed
+                                  ▼                              QueryTimeout
+                            executor thread: deadline_scope(engine.execute)
+                                  ▼
+    client ◀── {ok, rows, seconds, queued_ms} ── future
+
+Backpressure rides the PR 5 machinery: a request's wire ``deadline``
+becomes a :class:`~repro.faults.deadline.Deadline` at admission time,
+so queue wait consumes the same budget the evaluator's cooperative
+checkpoints (and the sharded RPC wire) enforce, and a sharded engine
+keeps its per-shard :class:`~repro.faults.policy.CircuitBreaker` and
+:class:`~repro.faults.policy.RetryPolicy` underneath the server
+untouched.
+
+Graceful drain: SIGTERM (or :meth:`QueryServer.request_drain`) stops
+accepting sessions and queries, finishes everything already admitted,
+answers each waiting client, then exits — no query is abandoned
+mid-flight.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from ..databases import CLASSES_BY_KEY
+from ..engines import create, engine_keys
+from ..errors import (
+    QueryTimeout,
+    ReproError,
+    ServerDraining,
+    ServerError,
+    ServerOverloaded,
+    ShardError,
+    UnsupportedQuery,
+)
+from ..faults.deadline import Deadline, deadline_scope
+from ..obs import recorder as _obs
+from ..workload import bind_params
+from ..workload.queries import QUERIES_BY_ID
+from ..xml.serializer import serialize
+from .admission import AdmissionController, Request
+from .protocol import error_response, read_message, write_message
+
+#: corpus generation seed shared with the CLI defaults, so a server
+#: corpus matches what `repro query` would have built.
+CORPUS_SEED = 42
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """One warm-engine cache key: what a session asked to query."""
+
+    engine: str = "native"
+    class_key: str = "dcmd"
+    units: int = 24
+    shards: int = 0
+
+    def validate(self) -> None:
+        if self.engine not in engine_keys():
+            raise ServerError(
+                f"unknown engine {self.engine!r}; registered: "
+                f"{', '.join(sorted(engine_keys()))}")
+        if self.class_key not in CLASSES_BY_KEY:
+            raise ServerError(
+                f"unknown database class {self.class_key!r}; choose "
+                f"from {', '.join(sorted(CLASSES_BY_KEY))}")
+        if self.units < 1:
+            raise ServerError(f"units must be >= 1, got {self.units}")
+
+
+@dataclass
+class ServerConfig:
+    """Knobs of one server instance."""
+
+    host: str = "127.0.0.1"
+    #: 0 = ephemeral; the bound port is on :attr:`QueryServer.port`.
+    port: int = 0
+    #: default session spec, preloaded at startup when ``preload``.
+    engine: str = "native"
+    class_key: str = "dcmd"
+    units: int = 24
+    shards: int = 0
+    #: bounded request queue: beyond this, shed with ServerOverloaded.
+    max_queue: int = 64
+    #: concurrent query executor slots (threads).
+    executors: int = 1
+    #: per-tenant fair-scheduling weights (unlisted tenants get 1.0).
+    tenant_weights: dict = field(default_factory=dict)
+    #: deadline applied to requests that do not send one (None = none).
+    default_deadline: float | None = None
+    #: per-RPC timeout handed to a sharded engine.
+    rpc_timeout: float | None = None
+    #: sharded degradation policy (partial keeps serving around a dead
+    #: shard, annotating answers instead of failing them).
+    degraded: str = "partial"
+    seed: int = 0
+    #: warm engines kept before least-recently-used eviction.
+    max_engines: int = 4
+    #: load the default spec before accepting connections.
+    preload: bool = True
+    #: artificial per-query service-time floor (seconds).  A load-test
+    #: knob: tiny test corpora answer in microseconds, which makes
+    #: saturation unreachable for a socket-bound driver; a floor of a
+    #: few ms gives rate sweeps a realistic, controllable knee.
+    throttle_seconds: float = 0.0
+
+    def default_spec(self) -> EngineSpec:
+        return EngineSpec(self.engine, self.class_key, self.units,
+                          self.shards)
+
+
+class _EngineCache:
+    """Warm engines keyed by :class:`EngineSpec`, LRU-bounded.
+
+    Loads run on executor threads (they can take seconds); the lock
+    serializes loads and keeps eviction consistent.  Evicted engines
+    are closed, which reaps a sharded engine's worker processes.
+    """
+
+    def __init__(self, config: ServerConfig) -> None:
+        self._config = config
+        self._engines: OrderedDict[EngineSpec, object] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get_or_load(self, spec: EngineSpec):
+        """Return ``(engine, warm)``; loads cold specs on this thread."""
+        with self._lock:
+            engine = self._engines.get(spec)
+            if engine is not None:
+                self._engines.move_to_end(spec)
+                return engine, True
+            engine = self._load(spec)
+            self._engines[spec] = engine
+            while len(self._engines) > self._config.max_engines:
+                __, evicted = self._engines.popitem(last=False)
+                evicted.close()
+            return engine, False
+
+    def _load(self, spec: EngineSpec):
+        db_class = CLASSES_BY_KEY[spec.class_key]
+        if spec.shards > 1:
+            from ..core.shard import ShardedEngine
+            engine = ShardedEngine(spec.engine, shards=spec.shards,
+                                   timeout=self._config.rpc_timeout,
+                                   degraded=self._config.degraded,
+                                   seed=self._config.seed)
+        else:
+            engine = create(spec.engine)
+        try:
+            engine.check_supported(db_class, "small")
+            documents = db_class.generate(spec.units, seed=CORPUS_SEED)
+            engine.timed_load(
+                db_class, [(d.name, serialize(d)) for d in documents])
+            from ..core.indexes import indexes_for
+            engine.create_indexes(list(indexes_for(spec.class_key)))
+        except BaseException:
+            engine.close()
+            raise
+        return engine
+
+    def close(self) -> None:
+        with self._lock:
+            while self._engines:
+                __, engine = self._engines.popitem(last=False)
+                engine.close()
+
+
+@dataclass
+class _Session:
+    """One connection's handshake state."""
+
+    spec: EngineSpec
+    engine: object
+    tenant: str = "default"
+
+
+@dataclass
+class _Pending:
+    """The admission-queue payload: everything one query needs."""
+
+    session: _Session
+    qid: str
+    params: dict
+    tenant: str
+    future: asyncio.Future
+
+
+class QueryServer:
+    """Asyncio socket server owning warm engines across requests."""
+
+    def __init__(self, config: ServerConfig | None = None) -> None:
+        self.config = config or ServerConfig()
+        self.admission = AdmissionController(
+            capacity=self.config.max_queue,
+            weights=dict(self.config.tenant_weights),
+            executors=self.config.executors)
+        self._cache = _EngineCache(self.config)
+        self._server: asyncio.AbstractServer | None = None
+        self._pool = None               # ThreadPoolExecutor, lazy
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._work = asyncio.Event()
+        self._draining = False
+        self._dispatchers: list[asyncio.Task] = []
+        self._writers: set[asyncio.StreamWriter] = set()
+        self._sessions = 0
+        self.port: int | None = None
+        self.counters: dict[str, int] = {
+            "sessions": 0, "queries": 0, "completed": 0,
+            "failed": 0, "timeouts": 0, "partials": 0,
+            "rejected": 0, "unhandled": 0, "refused_draining": 0,
+        }
+        self.per_tenant: dict[str, int] = {}
+        # background-thread harness (tests, embedded use)
+        self._thread: threading.Thread | None = None
+        self._thread_loop: asyncio.AbstractEventLoop | None = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind, preload the default engine, start dispatchers."""
+        from concurrent.futures import ThreadPoolExecutor
+        self._loop = asyncio.get_running_loop()
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.config.executors,
+            thread_name_prefix="repro-serve")
+        if self.config.preload:
+            spec = self.config.default_spec()
+            spec.validate()
+            await self._loop.run_in_executor(
+                None, self._cache.get_or_load, spec)
+        self._server = await asyncio.start_server(
+            self._handle, self.config.host, self.config.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._dispatchers = [
+            asyncio.ensure_future(self._dispatch_loop())
+            for __ in range(self.config.executors)]
+
+    async def serve_until_drained(self) -> None:
+        """Serve until :meth:`request_drain` finishes the queue.
+
+        The dispatcher tasks only return once draining was requested
+        and every admitted request has been settled, so awaiting them
+        *is* the drain barrier."""
+        await asyncio.gather(*self._dispatchers)
+        await self._close_connections()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+        self._cache.close()
+
+    def request_drain(self) -> None:
+        """Begin graceful shutdown: refuse new work, finish admitted.
+
+        Safe to call from a signal handler on the server's loop."""
+        if self._draining:
+            return
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+        self._work.set()
+
+    async def _close_connections(self) -> None:
+        for writer in list(self._writers):
+            with contextlib.suppress(OSError):
+                writer.close()
+        self._writers.clear()
+
+    async def run(self) -> int:
+        """CLI entry: start, announce, install signal handlers, drain."""
+        import signal
+        await self.start()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            with contextlib.suppress(NotImplementedError, RuntimeError):
+                loop.add_signal_handler(signum, self.request_drain)
+        spec = self.config.default_spec()
+        print(f"repro serve: listening on {self.config.host}:"
+              f"{self.port} (engine {spec.engine}, class "
+              f"{spec.class_key}, units {spec.units}, shards "
+              f"{spec.shards}, queue {self.config.max_queue}, "
+              f"executors {self.config.executors})", flush=True)
+        await self.serve_until_drained()
+        snapshot = self.stats()
+        print("repro serve: drained — "
+              f"{snapshot['completed']} completed, "
+              f"{snapshot['rejected']} rejected, "
+              f"{snapshot['timeouts']} timeouts, "
+              f"{snapshot['unhandled']} unhandled", flush=True)
+        return 0 if snapshot["unhandled"] == 0 else 1
+
+    # -- background-thread harness -------------------------------------------
+
+    def start_background(self) -> "QueryServer":
+        """Run the server on a private event-loop thread (tests and
+        in-process harnesses); returns once the port is bound."""
+        started = threading.Event()
+        startup: list[BaseException] = []
+
+        def runner() -> None:
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            self._thread_loop = loop
+            try:
+                loop.run_until_complete(self._background_main(started,
+                                                              startup))
+            finally:
+                started.set()
+                loop.close()
+
+        self._thread = threading.Thread(target=runner, daemon=True,
+                                        name="repro-serve-loop")
+        self._thread.start()
+        if not started.wait(timeout=60.0):
+            raise ServerError("server failed to start within 60s")
+        if startup:
+            raise startup[0]
+        return self
+
+    async def _background_main(self, started: threading.Event,
+                               startup: list) -> None:
+        try:
+            await self.start()
+        except BaseException as exc:    # surfaced on the caller thread
+            startup.append(exc)
+            return
+        started.set()
+        await self.serve_until_drained()
+        loop = asyncio.get_running_loop()
+        await loop.shutdown_default_executor()
+
+    def stop_background(self, timeout: float = 30.0) -> None:
+        """Drain the background server and join its thread."""
+        if self._thread_loop is not None and self._thread is not None:
+            with contextlib.suppress(RuntimeError):
+                self._thread_loop.call_soon_threadsafe(
+                    self.request_drain)
+            self._thread.join(timeout)
+
+    # -- connection handling -------------------------------------------------
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        self._writers.add(writer)
+        session: _Session | None = None
+        try:
+            while True:
+                try:
+                    message = await read_message(reader)
+                except ServerError:
+                    break
+                if message is None:
+                    break
+                reply, done = await self._respond(message, session)
+                if isinstance(reply, tuple):
+                    session, reply = reply
+                try:
+                    write_message(writer, reply)
+                    await writer.drain()
+                except (OSError, ConnectionError):
+                    break
+                if done:
+                    break
+        finally:
+            self._writers.discard(writer)
+            with contextlib.suppress(OSError):
+                writer.close()
+
+    async def _respond(self, message: dict,
+                       session: _Session | None):
+        """Route one request; returns ``(reply | (session, reply),
+        close_connection)``."""
+        op = message.get("op")
+        if op == "ping":
+            return {"ok": True, "pong": True}, False
+        if op == "stats":
+            return {"ok": True, "stats": self.stats()}, False
+        if op == "bye":
+            return {"ok": True, "bye": True}, True
+        if op == "hello":
+            return await self._on_hello(message), False
+        if op == "query":
+            return await self._on_query(message, session), False
+        return error_response(
+            "BadRequest", f"unknown op {op!r}"), True
+
+    async def _on_hello(self, message: dict):
+        if self._draining:
+            self.counters["refused_draining"] += 1
+            return error_response(
+                ServerDraining("server is draining; not accepting "
+                               "new sessions"))
+        defaults = self.config
+        spec = EngineSpec(
+            engine=str(message.get("engine", defaults.engine)),
+            class_key=str(message.get("class", defaults.class_key)),
+            units=int(message.get("units", defaults.units)),
+            shards=int(message.get("shards", defaults.shards)))
+        try:
+            spec.validate()
+            engine, warm = await self._loop.run_in_executor(
+                None, self._cache.get_or_load, spec)
+        except ReproError as exc:
+            return error_response(exc)
+        session = _Session(spec, engine,
+                           tenant=str(message.get("tenant", "default")))
+        self._sessions += 1
+        self.counters["sessions"] += 1
+        _obs.count("server.sessions")
+        reply = {"ok": True, "session": self._sessions, "warm": warm,
+                 "engine": spec.engine, "class": spec.class_key,
+                 "units": spec.units, "shards": spec.shards,
+                 "row_label": getattr(engine, "row_label", spec.engine)}
+        return (session, reply)
+
+    async def _on_query(self, message: dict,
+                        session: _Session | None) -> dict:
+        if session is None:
+            return error_response("BadRequest",
+                                  "query before hello handshake")
+        if self._draining:
+            self.counters["refused_draining"] += 1
+            return error_response(
+                ServerDraining("server is draining; not accepting "
+                               "new queries"))
+        qid = str(message.get("qid", "")).upper()
+        query = QUERIES_BY_ID.get(qid)
+        if query is None or not query.applies_to(session.spec.class_key):
+            return error_response(
+                UnsupportedQuery(f"{qid or '<missing qid>'} is not "
+                                 f"defined for "
+                                 f"{session.spec.class_key}"))
+        params = message.get("params")
+        if not isinstance(params, dict):
+            params = dict(bind_params(qid, session.spec.class_key,
+                                      session.spec.units))
+        deadline_seconds = message.get("deadline",
+                                       self.config.default_deadline)
+        deadline = (Deadline(float(deadline_seconds))
+                    if deadline_seconds is not None else None)
+        tenant = str(message.get("tenant") or session.tenant)
+        self.counters["queries"] += 1
+        _obs.count("server.queries")
+        pending = _Pending(session, qid, dict(params), tenant,
+                           self._loop.create_future())
+        request = Request(tenant=tenant, payload=pending,
+                          deadline=deadline)
+        try:
+            self.admission.submit(request)
+        except ServerOverloaded as exc:
+            self.counters["rejected"] += 1
+            _obs.count("server.rejected")
+            return error_response(exc)
+        self._work.set()
+        return await pending.future
+
+    # -- dispatch ------------------------------------------------------------
+
+    async def _dispatch_loop(self) -> None:
+        while True:
+            request = self.admission.next_ready()
+            for expired in self.admission.drain_expired():
+                self._settle_expired(expired)
+            if request is None:
+                if self._draining and self.admission.size == 0:
+                    return
+                self._work.clear()
+                with contextlib.suppress(asyncio.TimeoutError):
+                    await asyncio.wait_for(self._work.wait(),
+                                           timeout=0.1)
+                continue
+            await self._run_request(request)
+
+    def _settle_expired(self, request: Request) -> None:
+        pending: _Pending = request.payload
+        self.counters["timeouts"] += 1
+        _obs.count("server.expired_in_queue")
+        self._settle(pending, error_response(QueryTimeout(
+            "deadline expired while queued",
+            budget_seconds=request.deadline.budget)))
+
+    async def _run_request(self, request: Request) -> None:
+        pending: _Pending = request.payload
+        queued_ms = request.queued_seconds(time.monotonic()) * 1000.0
+        self.admission.in_flight += 1
+        try:
+            rows, seconds, partial = await self._loop.run_in_executor(
+                self._pool, self._execute, pending, request.deadline)
+        except QueryTimeout as exc:
+            self.counters["timeouts"] += 1
+            _obs.count("server.timeouts")
+            self._settle(pending, error_response(exc))
+            return
+        except (ShardError, UnsupportedQuery, ReproError) as exc:
+            self.counters["failed"] += 1
+            _obs.count("server.failed")
+            self._settle(pending, error_response(exc))
+            return
+        except Exception as exc:  # noqa: BLE001 - counted, typed reply
+            self.counters["unhandled"] += 1
+            _obs.count("server.unhandled")
+            self._settle(pending, error_response(
+                "InternalError", f"{type(exc).__name__}: {exc}"))
+            return
+        finally:
+            self.admission.in_flight -= 1
+        self.admission.note_service_time(seconds)
+        self.counters["completed"] += 1
+        if partial:
+            self.counters["partials"] += 1
+            _obs.count("server.partials")
+        self.per_tenant[pending.tenant] = (
+            self.per_tenant.get(pending.tenant, 0) + 1)
+        _obs.count("server.completed")
+        _obs.record_latency("server.service", seconds)
+        self._settle(pending, {
+            "ok": True, "qid": pending.qid, "rows": rows,
+            "seconds": seconds, "queued_ms": queued_ms,
+            "tenant": pending.tenant, "partial": partial})
+
+    def _execute(self, pending: _Pending, deadline: Deadline | None):
+        """Run one admitted query on an executor thread."""
+        engine = pending.session.engine
+        partials_before = len(getattr(engine, "partials", ()))
+        start = time.perf_counter()
+        with deadline_scope(deadline):
+            values = engine.execute(pending.qid, pending.params)
+            floor = self.config.throttle_seconds
+            if floor > 0.0:
+                remaining = floor - (time.perf_counter() - start)
+                if remaining > 0.0:
+                    time.sleep(remaining)
+                if deadline is not None:
+                    deadline.check("throttled service")
+        elapsed = time.perf_counter() - start
+        partial = (len(getattr(engine, "partials", ()))
+                   > partials_before)
+        return len(values), elapsed, partial
+
+    def _settle(self, pending: _Pending, reply: dict) -> None:
+        if not pending.future.done():
+            pending.future.set_result(reply)
+
+    # -- introspection -------------------------------------------------------
+
+    def stats(self) -> dict:
+        snapshot = dict(self.counters)
+        snapshot["admission"] = self.admission.snapshot()
+        snapshot["per_tenant"] = dict(self.per_tenant)
+        snapshot["draining"] = self._draining
+        return snapshot
