@@ -28,6 +28,10 @@ Commands
 ``load``      open/closed-loop load harness against a running server;
               ``--rate-sweep`` traces throughput-vs-P99 into
               ``BENCH_serving.json``
+``trace``     reassemble NDJSON span logs (server + client) into
+              cross-process trace trees: completeness, per-request
+              critical paths, and the aggregate time-attribution
+              table (queue vs pipe vs execute vs merge)
 """
 
 from __future__ import annotations
@@ -230,6 +234,10 @@ def build_parser() -> argparse.ArgumentParser:
                          metavar="SECONDS",
                          help="per-RPC timeout for the sharded "
                               "service (default: the service default)")
+    profile.add_argument("--sample-resources", action="store_true",
+                         help="sample CPU/RSS of this process during "
+                              "the run (pilot-calibrated interval) "
+                              "and embed the summary in the artifact")
 
     explain = sub.add_parser(
         "explain", help="EXPLAIN ANALYZE one workload query: run it "
@@ -362,6 +370,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--no-preload", action="store_true",
                        help="skip loading the default engine before "
                             "accepting connections")
+    serve.add_argument("--trace-spans", default=None, metavar="PATH",
+                       help="record distributed-trace spans and write "
+                            "them as NDJSON here on drain (feed the "
+                            "log to `repro trace`)")
+    serve.add_argument("--no-resource-sampling", action="store_true",
+                       help="disable the CPU/RSS sampler over the "
+                            "server and its shard workers")
 
     load = sub.add_parser(
         "load", help="open/closed-loop load harness against a "
@@ -418,6 +433,33 @@ def build_parser() -> argparse.ArgumentParser:
                            "under DIR")
     load.add_argument("--format", default="text",
                       choices=["text", "json"])
+    load.add_argument("--trace-spans", default=None, metavar="PATH",
+                      help="record client-side request spans and "
+                           "write them as NDJSON here (pair with the "
+                           "server's log in `repro trace` for the "
+                           "client-vs-server decomposition)")
+
+    trace = sub.add_parser(
+        "trace", help="reassemble NDJSON span logs into cross-process "
+                      "trace trees and print the time-attribution "
+                      "table")
+    trace.add_argument("logs", nargs="+", metavar="SPANS.ndjson",
+                       help="span logs to merge (server and/or "
+                            "client; order does not matter)")
+    trace.add_argument("--format", default="text",
+                       choices=["text", "json"])
+    trace.add_argument("--limit", type=int, default=3, metavar="N",
+                       help="trace trees to print in text mode "
+                            "(slowest first; default 3)")
+    trace.add_argument("--trace", dest="trace_id", default=None,
+                       metavar="ID",
+                       help="print only the tree(s) of this trace id")
+    trace.add_argument("--min-completeness", type=float, default=None,
+                       metavar="PCT",
+                       help="exit non-zero when fewer than PCT%% of "
+                            "traces reassemble into complete trees")
+    trace.add_argument("--out", default=None, metavar="PATH",
+                       help="also write the JSON report here")
     return parser
 
 
@@ -472,6 +514,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_serve(args)
     elif args.command == "load":
         return _cmd_load(args)
+    elif args.command == "trace":
+        return _cmd_trace(args)
     return 0
 
 
@@ -551,10 +595,22 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         config.query_ids = tuple(qid.upper()
                                  for qid in args.queries.split(","))
     bench = XBench(config)
-    suite = bench.run_suite()
+    sampler = None
+    if args.sample_resources:
+        import os
+        from .obs import ResourceSampler
+        sampler = ResourceSampler([os.getpid()])
+        sampler.start()
+    try:
+        suite = bench.run_suite()
+    finally:
+        if sampler is not None:
+            sampler.stop()
     recorder = bench.recorder
     summary = bench_summary(args.name, suite=suite, recorder=recorder,
                             config=config.record())
+    if sampler is not None:
+        summary["resources"] = sampler.summary()
     json_mode = args.format == "json"
     if json_mode:
         # The artifact document itself goes to stdout (pipeable);
@@ -753,7 +809,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         default_deadline=args.deadline,
         rpc_timeout=args.rpc_timeout, degraded=args.degraded,
         preload=not args.no_preload,
-        throttle_seconds=args.throttle)
+        throttle_seconds=args.throttle,
+        trace=args.trace_spans is not None,
+        trace_spans=args.trace_spans,
+        sample_resources=not args.no_resource_sampling)
     return asyncio.run(QueryServer(config).run())
 
 
@@ -781,7 +840,8 @@ def _cmd_load(args: argparse.Namespace) -> int:
     if query_ids:
         config.query_ids = query_ids
     import contextlib
-    recorder = Recorder(name=args.name) if args.obs_out else None
+    observed = args.obs_out is not None or args.trace_spans is not None
+    recorder = Recorder(name=args.name) if observed else None
     scope = (observing(recorder) if recorder is not None
              else contextlib.nullcontext())
     with scope:
@@ -819,7 +879,22 @@ def _cmd_load(args: argparse.Namespace) -> int:
                 print(json.dumps(record, indent=2))
             else:
                 print(result.summary())
+    if args.trace_spans is not None and recorder is not None:
+        from .obs import trace_records, write_ndjson
+        spans_path = write_ndjson(trace_records(recorder),
+                                  args.trace_spans)
+        print(f"wrote {spans_path}")
     if args.obs_out is not None:
+        # The server's live telemetry (CPU/RSS sampler, engine cache,
+        # admission state) rides along in the artifact so one
+        # BENCH_serving.json holds both sides of the run.
+        server_stats = None
+        try:
+            from .loadgen import ServingClient
+            with ServingClient(args.host, args.port) as stats_client:
+                server_stats = stats_client.stats()
+        except (OSError, ReproError):
+            pass
         summary = bench_summary(
             args.name, recorder=recorder,
             config={"host": args.host, "port": args.port,
@@ -832,12 +907,100 @@ def _cmd_load(args: argparse.Namespace) -> int:
                     "warmup": args.warmup, "measure": args.measure,
                     "seed": args.seed, "deadline": args.deadline,
                     "tenants": dict(tenants)},
-            extra={"serving": record})
+            extra={"serving": record,
+                   **({"server_stats": server_stats}
+                      if server_stats is not None else {})})
         path = write_bench_artifact(summary, args.obs_out)
         print(f"wrote {path}")
     if errors:
         print(f"error: {errors} request(s) failed with unexpected "
               "errors", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+    import pathlib
+    from .obs.trace import (
+        assemble,
+        attribution,
+        attribution_table,
+        completeness,
+        format_attribution,
+        render_tree,
+    )
+    records: list[dict] = []
+    for log in args.logs:
+        path = pathlib.Path(log)
+        if not path.exists():
+            print(f"error: no span log at {log}", file=sys.stderr)
+            return 2
+        for line in path.read_text(encoding="utf-8").splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                print(f"error: {log}: not NDJSON", file=sys.stderr)
+                return 2
+            if isinstance(record, dict):
+                records.append(record)
+
+    trees = assemble(records)
+    if args.trace_id is not None:
+        trees = [tree for tree in trees
+                 if tree.trace_id == args.trace_id]
+        if not trees:
+            print(f"error: no spans for trace {args.trace_id}",
+                  file=sys.stderr)
+            return 2
+    coverage = completeness(trees)
+    table = attribution_table(trees)
+    # Slowest requests first: where an investigation starts.
+    ranked = sorted(trees, key=lambda tree: attribution(tree)["total"],
+                    reverse=True)
+    shown = ranked if args.trace_id is not None else \
+        ranked[:max(0, args.limit)]
+    report = {
+        "logs": list(args.logs),
+        "completeness": coverage,
+        "attribution": table,
+        "slowest": [
+            {"trace_id": tree.trace_id,
+             "complete": tree.complete,
+             **attribution(tree),
+             "critical_path": [
+                 {"name": span.get("name"),
+                  "process": span.get("process"),
+                  "ms": span.get("seconds", 0.0) * 1000.0}
+                 for span in tree.critical_path()]}
+            for tree in shown],
+    }
+    if args.format == "json":
+        print(json.dumps(report, indent=2))
+    else:
+        print(f"{coverage['traces']} trace(s) from "
+              f"{len(args.logs)} log(s): {coverage['complete']} "
+              f"complete ({coverage['complete_pct']:.1f}%), "
+              f"{coverage['incomplete']} incomplete")
+        print()
+        print(format_attribution(table))
+        for tree in shown:
+            print()
+            print(render_tree(tree))
+    if args.out is not None:
+        from .obs.export import _write_text_atomic
+        _write_text_atomic(pathlib.Path(args.out),
+                           json.dumps(report, indent=2) + "\n")
+        print(f"wrote {args.out}",
+              file=sys.stderr if args.format == "json" else sys.stdout)
+    if (args.min_completeness is not None
+            and coverage["complete_pct"] < args.min_completeness):
+        print(f"error: trace completeness "
+              f"{coverage['complete_pct']:.2f}% below the required "
+              f"{args.min_completeness:.2f}%", file=sys.stderr)
         return 1
     return 0
 

@@ -74,6 +74,7 @@ side, per send) and ``shard.result`` (worker-side result payload).
 from __future__ import annotations
 
 import builtins
+import itertools
 import multiprocessing
 import threading
 import time
@@ -96,6 +97,8 @@ from ..faults import deadline as _deadline
 from ..faults import plan as _faults
 from ..faults.policy import CircuitBreaker, RetryPolicy
 from ..obs import recorder as _obs
+from ..obs import trace as _trace
+from ..obs.export import trace_records as _trace_records
 from ..workload.queries import QUERIES_BY_ID
 from ..xml.nodes import Text
 from ..xml.parser import parse_document
@@ -128,23 +131,36 @@ def _shard_worker(conn, engine_key: str, shard_index: int = 0,
                   generation: int = 0) -> None:
     """Worker process main loop: one engine, one duplex pipe.
 
-    Replies ``("ok", result)`` or ``("error", type_name, message)``;
-    the parent reconstructs exceptions from :mod:`repro.errors` (or
-    builtins) by type name.  Messages may arrive wrapped as
-    ``("deadline", remaining, inner)``: the remaining budget is
-    installed as a :class:`~repro.faults.deadline.Deadline` around the
-    op so evaluation cancels cooperatively.
+    Replies ``("ok", result)``, ``("okt", result, span_records)`` for
+    traced calls, or ``("error", type_name, message)``; the parent
+    reconstructs exceptions from :mod:`repro.errors` (or builtins) by
+    type name.  Messages may arrive wrapped as ``("trace", ctx,
+    inner)`` and/or ``("deadline", remaining, inner)`` (trace
+    outermost): the remaining budget is installed as a
+    :class:`~repro.faults.deadline.Deadline` around the op so
+    evaluation cancels cooperatively, and a trace context makes the op
+    record a ``shard.worker`` span (plus any engine spans) into a
+    per-call collector whose exported records ride back on the reply —
+    workers write no files, so span export stays atomic at the parent.
     """
     # The worker is forked from the parent, which may have an obs
     # recorder installed; observations recorded here would die with the
     # process, so drop the inherited recorder and make the hooks no-op.
     _obs.uninstall()
+    # Span gids exported from this process are namespaced by (shard,
+    # respawn generation), so a respawned worker can never collide with
+    # spans its predecessor already shipped for the same trace.
+    _trace.set_process_tag(f"w{shard_index}.g{generation}")
     # The fork also inherits any installed FaultPlan.  Re-key the
     # decision namespace per (shard, respawn generation): decisions stay
     # deterministic, but a respawned worker's retried call draws a fresh
     # decision instead of replaying the crash that killed its
     # predecessor.
     _faults.set_namespace(f"w{shard_index}.g{generation}")
+    # One span-id counter for the whole worker lifetime: each traced
+    # call gets a fresh collector, so without this the ids (and hence
+    # the exported gids) would restart at 1 on every call and collide.
+    span_ids = itertools.count(1)
     while True:
         try:
             message = conn.recv()
@@ -154,6 +170,10 @@ def _shard_worker(conn, engine_key: str, shard_index: int = 0,
         # reply so the parent can discard replies to calls it abandoned
         # (e.g. a deadline fired while the worker was still computing).
         call_id, message = message
+        trace_ctx = None
+        if message[0] == "trace":
+            __, trace_wire, message = message
+            trace_ctx = _trace.from_wire(trace_wire)
         deadline = None
         if message[0] == "deadline":
             __, remaining, message = message
@@ -161,9 +181,26 @@ def _shard_worker(conn, engine_key: str, shard_index: int = 0,
         op = message[0]
         try:
             with _deadline.deadline_scope(deadline):
-                _run_worker_op(conn, engine_key, shard_index, call_id,
-                               op, message, deadline)
+                if trace_ctx is not None:
+                    collector = _obs.Recorder(name="shard-worker")
+                    collector.tracer._ids = span_ids
+                    with _obs.observing(collector), \
+                            _trace.trace_scope(trace_ctx):
+                        with _obs.span("shard.worker", op=op,
+                                       shard=shard_index):
+                            result = _run_worker_op(
+                                engine_key, shard_index, op, message,
+                                deadline)
+                    reply = ("okt", result, _trace_records(collector))
+                else:
+                    result = _run_worker_op(engine_key, shard_index,
+                                            op, message, deadline)
+                    reply = ("ok", result)
         except _WorkerStop:
+            try:
+                conn.send((call_id, ("ok", None)))
+            except (OSError, ValueError):
+                pass
             break
         except Exception as exc:  # noqa: BLE001 - forwarded to parent
             try:
@@ -171,6 +208,11 @@ def _shard_worker(conn, engine_key: str, shard_index: int = 0,
                            ("error", type(exc).__name__, str(exc))))
             except (OSError, ValueError):
                 break
+            continue
+        try:
+            conn.send((call_id, reply))
+        except (OSError, ValueError):
+            break
     conn.close()
 
 
@@ -178,14 +220,15 @@ class _WorkerStop(Exception):
     """Internal: the worker received ``stop`` and should exit."""
 
 
-def _run_worker_op(conn, engine_key: str, shard_index: int,
-                   call_id: int, op: str, message: tuple,
-                   deadline) -> None:
-    """Dispatch one worker op and send its ``("ok", result)`` reply.
+def _run_worker_op(engine_key: str, shard_index: int, op: str,
+                   message: tuple, deadline):
+    """Dispatch one worker op and return its result.
 
     Split out of the loop so the whole op — injection site, deadline
-    check, dispatch and reply serialization — sits under one
-    ``deadline_scope`` / error handler.
+    check and dispatch — sits under one ``deadline_scope`` / error
+    handler (and, when traced, inside the ``shard.worker`` span, which
+    must close before the reply is serialized so its duration rides
+    along).  ``stop`` raises :class:`_WorkerStop`; the loop acks it.
     """
     global _worker_engine
     engine = _worker_engine
@@ -239,13 +282,11 @@ def _run_worker_op(conn, engine_key: str, shard_index: int,
     elif op == "ping":
         result = "pong"
     elif op == "stop":
-        conn.send((call_id, ("ok", None)))
         raise _WorkerStop
     else:
         raise ShardError(f"unknown worker op {op!r}")
-    result = _faults.corrupt_value("shard.result", result, op=op,
-                                   shard=shard_index)
-    conn.send((call_id, ("ok", result)))
+    return _faults.corrupt_value("shard.result", result, op=op,
+                                 shard=shard_index)
 
 
 #: the worker process's engine instance (one worker per process).
@@ -359,6 +400,9 @@ class ShardedEngine(Engine):
         self._index_paths: list[str] = []
         self._class_key: str | None = None
         self._home: int | None = None   # single-document classes
+        #: perf_counter of the first reply of the current execute()
+        #: fan-out — the raw material of time-to-first-result.
+        self._first_reply_ts: float | None = None
 
     def _new_breakers(self) -> list[CircuitBreaker]:
         return [CircuitBreaker(threshold=self._breaker_threshold,
@@ -371,6 +415,20 @@ class ShardedEngine(Engine):
     def check_supported(self, db_class: DatabaseClass,
                         scale_name: str) -> None:
         self._inner.check_supported(db_class, scale_name)
+
+    # -- live telemetry ------------------------------------------------------
+
+    def worker_pids(self) -> list[int]:
+        """PIDs of the live worker processes (for resource sampling)."""
+        return [worker.process.pid for worker in self._workers
+                if worker is not None and worker.process.is_alive()]
+
+    def breaker_states(self) -> list[dict]:
+        """Per-shard circuit-breaker snapshot for the stats surface."""
+        return [{"shard": index, "state": breaker.state,
+                 "consecutive_failures": breaker.consecutive_failures,
+                 "trips": breaker.trips}
+                for index, breaker in enumerate(self._breakers)]
 
     # -- partitioning --------------------------------------------------------
 
@@ -493,10 +551,18 @@ class ShardedEngine(Engine):
                 spec = {"kind": "home"}
             kind = spec["kind"]
             _obs.count("shard.fanout_calls")
-            with _obs.plan_node("shard.fanout", shards=self.shards,
-                                merge=kind, qid=qid) as node:
-                values = self._execute_merged(qid, params, spec)
-                node.add(rows_out=len(values))
+            self._first_reply_ts = None
+            start = time.perf_counter()
+            with _obs.span("shard.fanout", shards=self.shards,
+                           merge=kind, qid=qid):
+                with _obs.plan_node("shard.fanout", shards=self.shards,
+                                    merge=kind, qid=qid) as node:
+                    values = self._execute_merged(qid, params, spec)
+                    node.add(rows_out=len(values))
+            first = self._first_reply_ts
+            self.last_ttfr_seconds = (
+                (first - start) if first is not None
+                else time.perf_counter() - start)
             return values
 
     def _execute_merged(self, qid: str, params: dict,
@@ -513,13 +579,16 @@ class ShardedEngine(Engine):
             pairs = self._fanout(
                 range(self.shards),
                 lambda __: ("execute", qid, dict(params)), qid=qid)
-            return [value for __, values in pairs for value in values]
+            with _obs.span("shard.merge", kind="point"):
+                return [value for __, values in pairs
+                        for value in values]
         if kind == "regroup":
             pairs = self._fanout(
                 range(self.shards),
                 lambda __: ("execute", qid, dict(params)), qid=qid)
-            return self._merge_regroup(
-                [values for __, values in pairs], spec)
+            with _obs.span("shard.merge", kind="regroup"):
+                return self._merge_regroup(
+                    [values for __, values in pairs], spec)
         # concat / sorted: per-document evaluation on every shard.
         pairs = self._fanout(
             range(self.shards),
@@ -527,9 +596,10 @@ class ShardedEngine(Engine):
                            [name for __, name in
                             self._shard_names(index)]),
             qid=qid)
-        merged = self._merge_per_document(pairs)
-        if kind == "sorted":
-            merged = _stable_sort_by_key(merged, spec["key"])
+        with _obs.span("shard.merge", kind=kind):
+            merged = self._merge_per_document(pairs)
+            if kind == "sorted":
+                merged = _stable_sort_by_key(merged, spec["key"])
         return merged
 
     def _shard_names(self, index: int) -> list[tuple[int, str]]:
@@ -743,10 +813,34 @@ class ShardedEngine(Engine):
         if worker is None or not worker.process.is_alive():
             raise _WorkerFailure(f"shard {index}: worker not running")
         wire, budget = self._wire(index, message)
+        wire = self._trace_wire(wire)
         call_id = worker.next_call_id()
         self._send(worker, (call_id, wire), op=message[0])
         return self._recv(worker, time.monotonic() + budget, budget,
                           call_id)
+
+    def _trace_wire(self, wire: tuple) -> tuple:
+        """Wrap an on-pipe message as ``("trace", ctx, wire)`` when a
+        trace is being recorded.
+
+        Requires *both* an ambient :class:`~repro.obs.trace.TraceContext`
+        and an installed recorder: without a recorder the worker's span
+        records would come back with nowhere to land, and without a
+        context there is no trace to join — either way the wire stays
+        untouched and the worker takes its untraced fast path.  The
+        worker parents under the calling thread's innermost open span
+        (the ``shard.fanout``), or the context's own remote parent for
+        direct calls.
+        """
+        ctx = _trace.current()
+        recorder = _obs.active()
+        if ctx is None or recorder is None:
+            return wire
+        parent = recorder.tracer.current_span()
+        parent_gid = (_trace.gid_of(parent.span_id)
+                      if parent is not None else ctx.parent_gid)
+        return ("trace", {"trace_id": ctx.trace_id,
+                          "parent": parent_gid}, wire)
 
     def _wire(self, index: int, message: tuple) -> tuple[tuple, float]:
         """The on-pipe form of ``message`` plus the pipe-wait budget.
@@ -819,6 +913,12 @@ class ShardedEngine(Engine):
                     continue    # stale reply from an abandoned call
                 if reply[0] == "error":
                     raise _rebuild_error(reply[1], reply[2])
+                if reply[0] == "okt":
+                    # Traced reply: adopt the worker's span records
+                    # into the installed recorder.
+                    _obs.adopt_spans(reply[2])
+                if self._first_reply_ts is None:
+                    self._first_reply_ts = time.perf_counter()
                 return reply[1]
             if not worker.process.is_alive():
                 raise _WorkerFailure(
@@ -860,7 +960,8 @@ class ShardedEngine(Engine):
                                for index, exc in failures)
             _obs.count("shard.partial_results")
             self.partials.append({"qid": qid, "failed_shards": failed,
-                                  "reason": reason})
+                                  "reason": reason,
+                                  "trace_id": _trace.current_trace_id()})
             self.incidents.append(
                 f"PartialResult: {qid} answered without shard(s) "
                 f"{failed}: {reason}")
@@ -914,6 +1015,7 @@ class ShardedEngine(Engine):
                         f"shard {index}: worker not running")
                 wire = (message if remaining is None
                         else ("deadline", remaining, message))
+                wire = self._trace_wire(wire)
                 call_ids[index] = worker.next_call_id()
                 self._send(worker, (call_ids[index], wire),
                            op=message[0])

@@ -94,6 +94,11 @@ class Engine(ABC):
     row_label: str = ""
     #: human description of what the engine emulates.
     description: str = ""
+    #: time-to-first-result of the most recent :meth:`execute` call,
+    #: when the engine can observe it (the sharded engine stamps the
+    #: first shard reply); ``None`` means "same as total elapsed".
+    #: Telemetry only — concurrent executors may interleave writes.
+    last_ttfr_seconds: float | None = None
 
     def __init__(self) -> None:
         self.db_class: DatabaseClass | None = None

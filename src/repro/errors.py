@@ -128,11 +128,14 @@ class QueryTimeout(ReproError):
     instead of hanging the harness.  Crossing the sharded RPC boundary,
     the remaining budget travels with the call and the worker-side
     evaluator raises this same type; it is an application-level error —
-    never retried, never respawned.
+    never retried, never respawned.  When the failed query was traced,
+    ``trace_id`` joins the error against the span logs.
     """
 
-    def __init__(self, message: str, budget_seconds: float | None = None):
+    def __init__(self, message: str, budget_seconds: float | None = None,
+                 trace_id: str | None = None):
         self.budget_seconds = budget_seconds
+        self.trace_id = trace_id
         if budget_seconds is not None:
             message = f"{message} (deadline {budget_seconds:.3f}s)"
         super().__init__(message)
@@ -146,13 +149,15 @@ class PartialResult(EngineError):
     query with an incident record instead of failing it outright.  This
     type names that outcome: it carries the merged ``values`` from the
     healthy shards and the ``failed_shards`` indices, and its name is
-    what the benchmark report's incident column shows.
+    what the benchmark report's incident column shows.  When the query
+    was traced, ``trace_id`` joins the incident against the span logs.
     """
 
     def __init__(self, message: str, values: list | None = None,
-                 failed_shards: tuple = ()):
+                 failed_shards: tuple = (), trace_id: str | None = None):
         self.values = list(values or [])
         self.failed_shards = tuple(failed_shards)
+        self.trace_id = trace_id
         super().__init__(message)
 
 

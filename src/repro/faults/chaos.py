@@ -25,6 +25,7 @@ from ..errors import (
 )
 from ..obs import LatencyHistogram, Recorder, observing
 from ..obs import recorder as _obs
+from ..obs import trace as _trace
 from .deadline import Deadline, deadline_scope
 from .plan import fault_scope
 from .scenarios import Scenario, build_scenario
@@ -54,7 +55,8 @@ class ChaosResult:
     unhandled: int = 0
     wall_seconds: float = 0.0
     latencies: list = field(default_factory=list)
-    #: typed incidents: {"qid", "type", "message"} per failed query.
+    #: typed incidents: {"qid", "type", "message", "trace_id"} per
+    #: failed query; the trace id joins the incident to its spans.
     incidents: list = field(default_factory=list)
     #: obs counter totals relevant to resilience.
     counters: dict = field(default_factory=dict)
@@ -199,9 +201,14 @@ def _run_one(engine, qid: str, params: dict,
     partials_before = len(engine.partials)
     deadline = (Deadline(deadline_seconds)
                 if deadline_seconds is not None else None)
+    # Every chaos query gets its own trace, so incidents carry an id
+    # that matches the spans (and shard partials) of the request that
+    # produced them.
+    trace_id = _trace.new_trace_id()
     start = time.perf_counter()
     try:
-        with deadline_scope(deadline):
+        with _trace.trace_scope(_trace.TraceContext(trace_id)), \
+                deadline_scope(deadline):
             engine.execute(qid, params)
     except UnsupportedQuery:
         # Not a fault outcome: the query simply has no translation.
@@ -209,14 +216,14 @@ def _run_one(engine, qid: str, params: dict,
         return
     except QueryTimeout as exc:
         _obs.count("faults.deadline_timeouts")
-        _incident(result, qid, exc)
+        _incident(result, qid, exc, trace_id)
         return
     except (CircuitOpen, ShardError, ReproError) as exc:
-        _incident(result, qid, exc)
+        _incident(result, qid, exc, trace_id)
         return
     except Exception as exc:  # noqa: BLE001 - scored, then surfaced
         result.unhandled += 1
-        _incident(result, qid, exc)
+        _incident(result, qid, exc, trace_id)
         return
     elapsed = time.perf_counter() - start
     result.latencies.append(elapsed)
@@ -227,9 +234,13 @@ def _run_one(engine, qid: str, params: dict,
         result.ok += 1
 
 
-def _incident(result: ChaosResult, qid: str, exc: Exception) -> None:
+def _incident(result: ChaosResult, qid: str, exc: Exception,
+              trace_id: str | None = None) -> None:
     result.failed += 1
-    result.incidents.append({"qid": qid,
-                             "type": type(exc).__name__,
-                             "message": str(exc)})
+    result.incidents.append({
+        "qid": qid,
+        "type": type(exc).__name__,
+        "message": str(exc),
+        "trace_id": getattr(exc, "trace_id", None) or trace_id,
+    })
     _obs.count("chaos.incidents")

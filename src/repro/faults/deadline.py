@@ -29,6 +29,7 @@ import time
 from contextlib import contextmanager
 
 from ..errors import QueryTimeout
+from ..obs import trace as _trace
 
 #: evaluation steps between deadline checks.
 CHECK_EVERY = 64
@@ -64,7 +65,8 @@ class Deadline:
         """Raise :class:`~repro.errors.QueryTimeout` if expired."""
         if self.expired():
             raise QueryTimeout(f"{what} exceeded its deadline",
-                               budget_seconds=self.budget)
+                               budget_seconds=self.budget,
+                               trace_id=_trace.current_trace_id())
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<Deadline budget={self.budget:.3f}s "

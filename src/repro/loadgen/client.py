@@ -55,7 +55,11 @@ class ServingClient:
 
     def query(self, qid: str, params: dict | None = None,
               deadline: float | None = None,
-              tenant: str | None = None) -> dict:
+              tenant: str | None = None,
+              trace: dict | None = None) -> dict:
+        """Run one query; ``trace`` is the optional wire-form trace
+        context (:func:`repro.obs.trace.to_wire`) joining this request
+        to a client-side distributed trace."""
         message: dict = {"op": "query", "qid": qid}
         if params is not None:
             message["params"] = params
@@ -63,10 +67,14 @@ class ServingClient:
             message["deadline"] = deadline
         if tenant is not None:
             message["tenant"] = tenant
+        if trace is not None:
+            message["trace"] = trace
         return self.call(message)
 
     def stats(self) -> dict:
-        return self.call({"op": "stats"})
+        """The server's live telemetry snapshot (``stats`` verb)."""
+        reply = self.call({"op": "stats"})
+        return reply.get("stats", reply)
 
     def ping(self) -> dict:
         return self.call({"op": "ping"})

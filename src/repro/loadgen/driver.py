@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from ..errors import BenchmarkError
 from ..obs import LatencyHistogram
 from ..obs import recorder as _obs
+from ..obs import trace as _trace
 from ..workload import bind_params
 from ..workload.queries import EXPERIMENT_QUERIES, QUERIES_BY_ID
 from .client import ServingClient
@@ -113,6 +114,12 @@ class _Outcome:
     latency: float = 0.0       # seconds, from scheduled arrival
     scheduled: float = 0.0     # monotonic scheduled arrival
     partial: bool = False
+    #: server-reported decomposition of a successful reply: service
+    #: seconds, admission-queue wait and time-to-first-result — the
+    #: raw material of the client-vs-server latency split.
+    server_seconds: float | None = None
+    queued_ms: float | None = None
+    ttfr_ms: float | None = None
 
 
 @dataclass
@@ -148,6 +155,18 @@ class TrialResult:
     latencies: LatencyHistogram = field(
         default_factory=LatencyHistogram)
     per_tenant: dict = field(default_factory=dict)
+    #: client-vs-server latency decomposition, from the fields traced
+    #: replies carry: server execute time, admission-queue wait,
+    #: time-to-first-result, and the client-side remainder
+    #: (network + framing + client scheduling).
+    server_seconds: LatencyHistogram = field(
+        default_factory=LatencyHistogram)
+    queue_seconds: LatencyHistogram = field(
+        default_factory=LatencyHistogram)
+    overhead_seconds: LatencyHistogram = field(
+        default_factory=LatencyHistogram)
+    ttfr_seconds: LatencyHistogram = field(
+        default_factory=LatencyHistogram)
 
     @property
     def throughput_qps(self) -> float:
@@ -192,6 +211,12 @@ class TrialResult:
             "total_requests": self.total_requests,
             "wall_seconds": self.wall_seconds,
             "latency": self.latencies.summary(),
+            "decomposition": {
+                "server": self.server_seconds.summary(),
+                "queue": self.queue_seconds.summary(),
+                "client_overhead": self.overhead_seconds.summary(),
+                "ttfr": self.ttfr_seconds.summary(),
+            },
             "per_tenant": {tenant: stats.record()
                            for tenant, stats in
                            sorted(self.per_tenant.items())},
@@ -221,7 +246,10 @@ def _classify(reply: dict, tenant: str, qid: str, latency: float,
               scheduled: float) -> _Outcome:
     if reply.get("ok"):
         return _Outcome(tenant, qid, "ok", latency, scheduled,
-                        partial=bool(reply.get("partial")))
+                        partial=bool(reply.get("partial")),
+                        server_seconds=reply.get("seconds"),
+                        queued_ms=reply.get("queued_ms"),
+                        ttfr_ms=reply.get("ttfr_ms"))
     error = reply.get("error", "")
     if error in _REJECTED_TYPES:
         kind = "rejected"
@@ -251,6 +279,15 @@ def _aggregate(config: LoadConfig, mode: str,
                 result.partials += 1
             result.latencies.add(outcome.latency)
             stats.latencies.add(outcome.latency)
+            if outcome.server_seconds is not None:
+                queued = (outcome.queued_ms or 0.0) / 1000.0
+                result.server_seconds.add(outcome.server_seconds)
+                result.queue_seconds.add(queued)
+                result.overhead_seconds.add(max(
+                    0.0, outcome.latency - outcome.server_seconds
+                    - queued))
+            if outcome.ttfr_ms is not None:
+                result.ttfr_seconds.add(outcome.ttfr_ms / 1000.0)
             _obs.record_latency("serving.latency", outcome.latency)
             _obs.record_latency(f"serving.latency.{outcome.tenant}",
                                 outcome.latency)
@@ -267,6 +304,28 @@ def _aggregate(config: LoadConfig, mode: str,
             stats.errors += 1
             _obs.count("serving.errors")
     return result
+
+
+def _traced_query(client: ServingClient, config: LoadConfig,
+                  qid: str, params: dict,
+                  tenant: str | None = None) -> dict:
+    """One query, wrapped in a ``client.request`` root span (and sent
+    with trace context) when a recorder is active; a plain call
+    otherwise, so untraced runs pay nothing."""
+    if _obs.active() is None:
+        return client.query(qid, params=params,
+                            deadline=config.deadline, tenant=tenant)
+    ctx = _trace.TraceContext(_trace.new_trace_id())
+    with _trace.trace_scope(ctx):
+        with _obs.span(_trace.CLIENT_ROOT, qid=qid) as handle:
+            wire = {"trace_id": ctx.trace_id,
+                    "parent": _trace.gid_of(handle.span.span_id)}
+            reply = client.query(qid, params=params,
+                                 deadline=config.deadline,
+                                 tenant=tenant, trace=wire)
+            if reply.get("ttfr_ms") is not None:
+                _obs.annotate(ttfr_ms=reply["ttfr_ms"])
+    return reply
 
 
 def _connect(config: LoadConfig, tenant: str) -> ServingClient:
@@ -311,8 +370,7 @@ def run_closed_loop(config: LoadConfig) -> TrialResult:
                     break
                 __, qid, params = mix.next()
                 try:
-                    reply = client.query(qid, params=params,
-                                         deadline=config.deadline)
+                    reply = _traced_query(client, config, qid, params)
                 except Exception as exc:  # noqa: BLE001 - counted
                     out.append(_Outcome(tenant, qid, "error",
                                         scheduled=now))
@@ -376,9 +434,8 @@ def run_open_loop(config: LoadConfig,
                                         scheduled=scheduled))
                     continue
                 try:
-                    reply = client.query(qid, params=params,
-                                         deadline=config.deadline,
-                                         tenant=tenant)
+                    reply = _traced_query(client, config, qid, params,
+                                          tenant=tenant)
                 except Exception:  # noqa: BLE001 - counted
                     out.append(_Outcome(tenant, qid, "error",
                                         scheduled=scheduled))

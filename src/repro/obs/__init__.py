@@ -11,7 +11,12 @@ Four pieces, one import surface:
 * :mod:`~repro.obs.export` / :mod:`~repro.obs.profile` — NDJSON span
   logs, ``BENCH_<name>.json`` artifacts and the text profile report;
 * :mod:`~repro.obs.diff` — cross-run artifact comparison with a
-  regression gate (``repro obs diff``).
+  regression gate (``repro obs diff``);
+* :mod:`~repro.obs.trace` — cross-process trace context riding the
+  serving protocol and shard RPC, plus offline span-tree reassembly
+  and time attribution (``repro trace``);
+* :mod:`~repro.obs.resources` — pilot-calibrated CPU/RSS sampling over
+  the server and its fork workers.
 
 Instrumented layers call the hook functions (``span``, ``count``,
 ``gauge``, ``record_latency``) from :mod:`~repro.obs.recorder`; all of
@@ -34,6 +39,7 @@ from .export import (
     read_ndjson,
     span_record,
     suite_cells,
+    trace_records,
     write_bench_artifact,
     write_ndjson,
 )
@@ -51,6 +57,8 @@ from .profile import format_profile
 from .recorder import (
     Recorder,
     active,
+    adopt_spans,
+    annotate,
     count,
     counters_delta,
     counters_snapshot,
@@ -65,6 +73,8 @@ from .recorder import (
     span,
     uninstall,
 )
+from .resources import ResourceSampler
+from .trace import TraceContext, current_trace_id, new_trace_id, trace_scope
 from .tracer import NULL_SPAN, Span, Tracer
 
 __all__ = [
@@ -80,6 +90,7 @@ __all__ = [
     "read_ndjson",
     "span_record",
     "suite_cells",
+    "trace_records",
     "write_bench_artifact",
     "write_ndjson",
     "LatencyHistogram",
@@ -94,6 +105,8 @@ __all__ = [
     "format_profile",
     "Recorder",
     "active",
+    "adopt_spans",
+    "annotate",
     "count",
     "counters_delta",
     "counters_snapshot",
@@ -107,6 +120,11 @@ __all__ = [
     "record_latency",
     "span",
     "uninstall",
+    "ResourceSampler",
+    "TraceContext",
+    "current_trace_id",
+    "new_trace_id",
+    "trace_scope",
     "NULL_SPAN",
     "Span",
     "Tracer",

@@ -23,6 +23,7 @@ import pathlib
 import tempfile
 import time
 
+from . import trace as _trace
 from .plan import plan_cell_summary
 from .recorder import Recorder
 from .tracer import Span
@@ -41,8 +42,16 @@ PHASE_SPANS = ("generate", "load", "index", "query")
 # -- NDJSON span logs --------------------------------------------------------
 
 def span_record(span: Span) -> dict:
-    """One span as a flat JSON-ready dict."""
-    return {
+    """One span as a flat JSON-ready dict.
+
+    Traced spans also carry their cross-process identity: the globally
+    unique ``gid`` (``<process-tag>:<span-id>``), the parent's gid
+    (local parent resolved to a gid in this process's namespace, or the
+    ``remote_parent`` handed over the wire), the ``trace_id``, and the
+    exporting ``process`` tag — everything :func:`repro.obs.trace.assemble`
+    needs to relink the tree across processes.
+    """
+    record = {
         "span_id": span.span_id,
         "parent_id": span.parent_id,
         "name": span.name,
@@ -51,6 +60,26 @@ def span_record(span: Span) -> dict:
         "thread": span.thread,
         "attrs": dict(span.attrs),
     }
+    if span.trace_id is not None:
+        record["trace_id"] = span.trace_id
+        record["gid"] = _trace.gid_of(span.span_id)
+        record["process"] = _trace.process_tag()
+        if span.parent_id is not None:
+            record["parent_gid"] = _trace.gid_of(span.parent_id)
+        else:
+            record["parent_gid"] = span.remote_parent
+    return record
+
+
+def trace_records(recorder: Recorder) -> list[dict]:
+    """Every traced span record of a session: this process's spans
+    (those stamped with a trace id) plus the foreign records adopted
+    from shard workers, ordered by start time."""
+    records = [span_record(span) for span in recorder.tracer.spans
+               if span.trace_id is not None]
+    records.extend(recorder.foreign_spans)
+    records.sort(key=lambda record: record.get("start", 0.0))
+    return records
 
 
 def _write_text_atomic(target: pathlib.Path, text: str) -> None:
@@ -72,11 +101,16 @@ def _write_text_atomic(target: pathlib.Path, text: str) -> None:
         raise
 
 
-def write_ndjson(spans: list[Span], path: str | pathlib.Path) -> pathlib.Path:
-    """Write spans as NDJSON (one object per line); atomic."""
+def write_ndjson(spans, path: str | pathlib.Path) -> pathlib.Path:
+    """Write spans as NDJSON (one object per line); atomic.
+
+    Accepts :class:`Span` objects or already-exported record dicts
+    (foreign spans adopted from other processes arrive as dicts).
+    """
     target = pathlib.Path(path)
     _write_text_atomic(target, "".join(
-        json.dumps(span_record(span)) + "\n" for span in spans))
+        json.dumps(span if isinstance(span, dict) else span_record(span))
+        + "\n" for span in spans))
     return target
 
 

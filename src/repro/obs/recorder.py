@@ -43,7 +43,16 @@ class Recorder:
         self.gauges = GaugeSet()
         self.histograms: dict[str, LatencyHistogram] = {}
         self.plan = plan
+        #: exported span records adopted from other processes (shard
+        #: workers piggyback theirs on RPC replies) — already dicts in
+        #: the NDJSON schema, merged with local spans at export time.
+        self.foreign_spans: list[dict] = []
         self._lock = threading.Lock()
+
+    def adopt_spans(self, records) -> None:
+        """Merge span records exported by another process."""
+        with self._lock:
+            self.foreign_spans.extend(records)
 
     def histogram(self, name: str) -> LatencyHistogram:
         """The named histogram, created on first use."""
@@ -101,6 +110,24 @@ def span(name: str, **attrs):
     if recorder is None:
         return NULL_SPAN
     return recorder.tracer.span(name, **attrs)
+
+
+def adopt_spans(records) -> None:
+    """Merge span records from another process; no-op when disabled."""
+    recorder = _active
+    if recorder is not None and records:
+        recorder.adopt_spans(records)
+
+
+def annotate(**attrs) -> None:
+    """Attach attributes to the calling thread's innermost open span;
+    no-op when no recorder is installed or no span is open."""
+    recorder = _active
+    if recorder is None:
+        return
+    span = recorder.tracer.current_span()
+    if span is not None:
+        span.attrs.update(attrs)
 
 
 def count(name: str, amount: int = 1) -> None:

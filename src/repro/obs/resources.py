@@ -1,0 +1,155 @@
+"""Low-overhead CPU/RSS sampling with pilot-run calibration.
+
+BENCH artifacts should carry memory and CPU alongside wall time, but a
+sampler that burns measurable CPU poisons the very numbers it reports.
+So :class:`ResourceSampler` runs a two-stage model: a short pilot
+measures what one sample actually costs on this machine, then the full
+run samples at an interval chosen so sampling stays under a target
+overhead fraction (default 2%), clamped to a sane range.
+
+Samples come from ``/proc/<pid>/stat`` (utime+stime) and
+``/proc/<pid>/statm`` (resident pages) so one sampler can watch a whole
+process tree — the server plus every fork worker — without cooperation
+from the sampled processes.  Where ``/proc`` is unavailable the sampler
+degrades to :func:`resource.getrusage` for the calling process only and
+says so in its summary.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+#: Hard bounds on the calibrated interval: never busier than 20 Hz,
+#: never lazier than one sample every 2 s (a 5 s run should still catch
+#: a couple of samples).
+MIN_INTERVAL = 0.05
+MAX_INTERVAL = 2.0
+
+_CLK_TCK = os.sysconf("SC_CLK_TCK") if hasattr(os, "sysconf") else 100
+_PAGE_KB = (os.sysconf("SC_PAGE_SIZE") // 1024
+            if hasattr(os, "sysconf") else 4)
+
+
+def _read_proc(pid: int) -> tuple[float, int] | None:
+    """(cpu_seconds, rss_kb) for one pid from /proc, or None."""
+    try:
+        with open(f"/proc/{pid}/stat", "rb") as handle:
+            stat = handle.read().decode("ascii", "replace")
+        with open(f"/proc/{pid}/statm", "rb") as handle:
+            statm = handle.read().split()
+    except OSError:
+        return None
+    # The comm field may contain spaces/parens; parse after the last ')'.
+    fields = stat[stat.rfind(")") + 2:].split()
+    utime, stime = int(fields[11]), int(fields[12])
+    rss_pages = int(statm[1])
+    return (utime + stime) / _CLK_TCK, rss_pages * _PAGE_KB
+
+
+class ResourceSampler:
+    """Background CPU/RSS sampler over a dynamic set of pids.
+
+    ``pids`` is a callable returning the pids to watch on each tick, so
+    the set can follow engine-cache churn (workers spawning, dying,
+    respawning) without re-plumbing the sampler.
+    """
+
+    def __init__(self, pids, overhead_budget: float = 0.02,
+                 interval: float | None = None) -> None:
+        self._pids = pids if callable(pids) else (lambda: list(pids))
+        self.overhead_budget = overhead_budget
+        self.interval = interval  # None until calibrate() (or explicit)
+        self.mode = "proc" if os.path.isdir("/proc/self") else "rusage"
+        self.samples = 0
+        self.sample_cost = 0.0
+        self._per_pid: dict[int, dict] = {}
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # -- sampling ------------------------------------------------------------
+
+    def _sample_once(self) -> None:
+        if self.mode == "rusage":
+            import resource
+            usage = resource.getrusage(resource.RUSAGE_SELF)
+            cpu = usage.ru_utime + usage.ru_stime
+            with self._lock:
+                cell = self._per_pid.setdefault(os.getpid(), {
+                    "cpu_seconds": 0.0, "rss_max_kb": 0, "samples": 0})
+                cell["cpu_seconds"] = cpu
+                cell["rss_max_kb"] = max(cell["rss_max_kb"],
+                                         usage.ru_maxrss)
+                cell["samples"] += 1
+                self.samples += 1
+            return
+        for pid in self._pids():
+            reading = _read_proc(pid)
+            if reading is None:
+                continue
+            cpu, rss_kb = reading
+            with self._lock:
+                cell = self._per_pid.setdefault(pid, {
+                    "cpu_seconds": 0.0, "rss_max_kb": 0, "samples": 0})
+                cell["cpu_seconds"] = cpu
+                cell["rss_max_kb"] = max(cell["rss_max_kb"], rss_kb)
+                cell["samples"] += 1
+        with self._lock:
+            self.samples += 1
+
+    def calibrate(self, pilot: int = 5) -> float:
+        """Pilot-run ``pilot`` samples, time them, and set the interval
+        so sampling costs at most ``overhead_budget`` of wall time."""
+        start = time.perf_counter()
+        for _ in range(max(1, pilot)):
+            self._sample_once()
+        cost = (time.perf_counter() - start) / max(1, pilot)
+        self.sample_cost = cost
+        self.interval = min(MAX_INTERVAL, max(
+            MIN_INTERVAL, cost / max(self.overhead_budget, 1e-6)))
+        return self.interval
+
+    # -- background thread ---------------------------------------------------
+
+    def start(self) -> "ResourceSampler":
+        """Start sampling in a daemon thread (calibrating first if no
+        interval was set)."""
+        if self.interval is None:
+            self.calibrate()
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="resource-sampler", daemon=True)
+        self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            self._sample_once()
+
+    def stop(self) -> None:
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=2.0)
+            self._thread = None
+
+    # -- reporting -----------------------------------------------------------
+
+    def summary(self) -> dict:
+        """The artifact-ready snapshot: totals plus per-pid readings."""
+        with self._lock:
+            per_pid = {str(pid): dict(cell)
+                       for pid, cell in sorted(self._per_pid.items())}
+        return {
+            "mode": self.mode,
+            "interval_seconds": self.interval,
+            "sample_cost_seconds": self.sample_cost,
+            "samples": self.samples,
+            "cpu_seconds_total": round(sum(
+                cell["cpu_seconds"] for cell in per_pid.values()), 4),
+            "rss_max_kb_total": sum(
+                cell["rss_max_kb"] for cell in per_pid.values()),
+            "pids": per_pid,
+        }

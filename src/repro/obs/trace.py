@@ -1,0 +1,361 @@
+"""Trace context: cross-process request identity and reassembly.
+
+A :class:`TraceContext` is the identity one request carries end to end:
+a ``trace_id`` shared by every span the request produces anywhere — the
+loadgen client, the server's event loop, its executor threads and the
+sharded engine's fork workers — plus the globally-unique id of the span
+to parent the next hop under, and optional ``baggage``.
+
+Span identity across processes is a **gid**: ``"<process-tag>:<span-id>"``.
+Span ids are only unique within one tracer, so every exported span is
+stamped with the exporting process's tag (``p<pid>`` by default; shard
+workers use ``w<shard>.g<generation>`` so a respawned worker can never
+collide with its predecessor's spans).  The wire form of a context is a
+plain JSON-safe dict (:func:`to_wire` / :func:`from_wire`), which rides
+the server's length-prefixed JSON protocol (a ``trace`` field on
+``query``) and the shard pipe RPC (a ``("trace", ctx, inner)`` wrapper).
+
+Propagation is thread-local and free when unused: :func:`current` is one
+thread-local read, and none of the instrumented layers wrap anything on
+the wire unless a context *and* an obs recorder are both active.
+
+The second half of the module is offline: :func:`assemble` groups
+exported NDJSON span records back into per-request :class:`TraceTree`\\ s,
+:func:`attribution` decomposes one tree's wall time into the serving
+buckets (queue / execute / pipe / merge / client_net / other), and
+:func:`attribution_table` aggregates many trees into the table the
+``repro trace`` CLI prints.  This module deliberately imports nothing
+from the rest of the package (the tracer imports *it*).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import uuid
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+#: span names with a reserved meaning in attribution (see the module
+#: docstring of :func:`attribution`).
+SERVER_ROOT = "server.request"
+CLIENT_ROOT = "client.request"
+QUEUE_SPAN = "server.queue"
+EXECUTE_SPAN = "server.execute"
+FANOUT_SPAN = "shard.fanout"
+WORKER_SPAN = "shard.worker"
+MERGE_SPAN = "shard.merge"
+
+#: attribution bucket names, in display order.
+BUCKETS = ("queue", "execute", "pipe", "merge", "client_net", "other")
+
+
+@dataclass
+class TraceContext:
+    """One request's cross-process identity."""
+
+    trace_id: str
+    #: gid of the span the receiving hop should parent under.
+    parent_gid: str | None = None
+    baggage: dict = field(default_factory=dict)
+
+
+_state = threading.local()
+_process_tag: str | None = None
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-char trace id."""
+    return uuid.uuid4().hex[:16]
+
+
+def current() -> TraceContext | None:
+    """The calling thread's innermost active trace context, if any."""
+    stack = getattr(_state, "stack", None)
+    if not stack:
+        return None
+    return stack[-1]
+
+
+def current_trace_id() -> str | None:
+    """The active trace id, if any (for tagging errors/incidents)."""
+    ctx = current()
+    return ctx.trace_id if ctx is not None else None
+
+
+@contextmanager
+def trace_scope(ctx: TraceContext | None):
+    """Install ``ctx`` for the calling thread for a block; nests (the
+    innermost context wins).  ``None`` is an explicit no-op scope."""
+    if ctx is None:
+        yield None
+        return
+    stack = getattr(_state, "stack", None)
+    if stack is None:
+        stack = _state.stack = []
+    stack.append(ctx)
+    try:
+        yield ctx
+    finally:
+        stack.pop()
+
+
+# -- process identity ---------------------------------------------------------
+
+def process_tag() -> str:
+    """This process's span-namespace tag (``p<pid>`` unless set)."""
+    if _process_tag is not None:
+        return _process_tag
+    return f"p{os.getpid()}"
+
+
+def set_process_tag(tag: str | None) -> None:
+    """Override the process tag (shard workers: ``w<shard>.g<gen>``)."""
+    global _process_tag
+    _process_tag = tag
+
+
+def gid_of(span_id: int) -> str:
+    """The globally-unique id of a local span."""
+    return f"{process_tag()}:{span_id}"
+
+
+# -- wire form ----------------------------------------------------------------
+
+def to_wire(ctx: TraceContext) -> dict:
+    """The JSON-safe wire form of a context."""
+    wire: dict = {"trace_id": ctx.trace_id}
+    if ctx.parent_gid is not None:
+        wire["parent"] = ctx.parent_gid
+    if ctx.baggage:
+        wire["baggage"] = dict(ctx.baggage)
+    return wire
+
+
+def from_wire(wire) -> TraceContext | None:
+    """Rebuild a context from its wire form (None on anything bogus —
+    a malformed trace field must never fail the request it rides)."""
+    if not isinstance(wire, dict):
+        return None
+    trace_id = wire.get("trace_id")
+    if not isinstance(trace_id, str) or not trace_id:
+        return None
+    parent = wire.get("parent")
+    baggage = wire.get("baggage")
+    return TraceContext(
+        trace_id=trace_id,
+        parent_gid=parent if isinstance(parent, str) else None,
+        baggage=dict(baggage) if isinstance(baggage, dict) else {})
+
+
+# -- reassembly ---------------------------------------------------------------
+
+class TraceTree:
+    """One trace's spans, re-linked parent-to-child across processes."""
+
+    def __init__(self, trace_id: str, spans: list[dict]) -> None:
+        self.trace_id = trace_id
+        self.spans = spans
+        self.by_gid = {span["gid"]: span for span in spans
+                       if span.get("gid")}
+        self.children: dict[str, list[dict]] = {}
+        self.roots: list[dict] = []
+        self.orphans: list[dict] = []
+        for span in spans:
+            parent = span.get("parent_gid")
+            if parent is None:
+                self.roots.append(span)
+            elif parent in self.by_gid:
+                self.children.setdefault(parent, []).append(span)
+            else:
+                self.orphans.append(span)
+        for kids in self.children.values():
+            kids.sort(key=lambda span: span.get("start", 0.0))
+
+    @property
+    def complete(self) -> bool:
+        """Exactly one root and every other span linked under it."""
+        return len(self.roots) == 1 and not self.orphans
+
+    @property
+    def root(self) -> dict | None:
+        return self.roots[0] if len(self.roots) == 1 else None
+
+    def named(self, name: str) -> list[dict]:
+        return [span for span in self.spans if span.get("name") == name]
+
+    def children_of(self, span: dict) -> list[dict]:
+        return self.children.get(span.get("gid"), [])
+
+    def critical_path(self) -> list[dict]:
+        """Root-to-leaf path, always descending into the slowest child."""
+        path: list[dict] = []
+        span = self.root
+        while span is not None:
+            path.append(span)
+            kids = self.children_of(span)
+            span = (max(kids, key=lambda k: k.get("seconds", 0.0))
+                    if kids else None)
+        return path
+
+
+def assemble(records: list[dict]) -> list[TraceTree]:
+    """Group exported span records into per-trace trees.
+
+    Records without a ``trace_id`` (untraced spans sharing the log) are
+    ignored.  Trees come back ordered by their earliest span start, so
+    a log replays in roughly arrival order.
+    """
+    by_trace: dict[str, list[dict]] = {}
+    for record in records:
+        trace_id = record.get("trace_id")
+        if trace_id:
+            by_trace.setdefault(trace_id, []).append(record)
+    trees = [TraceTree(trace_id, spans)
+             for trace_id, spans in by_trace.items()]
+    trees.sort(key=lambda tree: min(
+        (span.get("start", 0.0) for span in tree.spans), default=0.0))
+    return trees
+
+
+def completeness(trees: list[TraceTree]) -> dict:
+    """How many traces reassembled into complete single-root trees."""
+    total = len(trees)
+    complete = sum(1 for tree in trees if tree.complete)
+    return {
+        "traces": total,
+        "complete": complete,
+        "incomplete": total - complete,
+        "complete_pct": (100.0 * complete / total) if total else 100.0,
+    }
+
+
+def attribution(tree: TraceTree) -> dict:
+    """Decompose one request's wall time into serving buckets.
+
+    * ``queue`` — admission-queue wait (``server.queue``);
+    * ``execute`` — engine work: per fan-out, the slowest shard's
+      ``shard.worker`` span (the fan-out's critical path), or the whole
+      ``server.execute`` span when the engine is not sharded;
+    * ``pipe`` — fan-out wall time not covered by the slowest worker or
+      the merge: (de)serialization and pipe transport;
+    * ``merge`` — parent-side result merging (``shard.merge``);
+    * ``client_net`` — client-observed latency beyond the server span:
+      socket transport and client-side scheduling;
+    * ``other`` — the unattributed remainder (dispatch, reply
+      serialization, lock waits).
+
+    All values are seconds; ``total`` is the root span's duration.
+    """
+    out = {bucket: 0.0 for bucket in BUCKETS}
+    root = tree.root
+    if root is None:
+        return {"total": 0.0, **out}
+    total = root.get("seconds", 0.0)
+    servers = tree.named(SERVER_ROOT)
+    if root.get("name") == CLIENT_ROOT and servers:
+        server_seconds = sum(s.get("seconds", 0.0) for s in servers)
+        out["client_net"] = max(0.0, total - server_seconds)
+    out["queue"] = sum(s.get("seconds", 0.0)
+                       for s in tree.named(QUEUE_SPAN))
+    fanouts = tree.named(FANOUT_SPAN)
+    if fanouts:
+        for fanout in fanouts:
+            kids = tree.children_of(fanout)
+            workers = [k.get("seconds", 0.0) for k in kids
+                       if k.get("name") == WORKER_SPAN]
+            merge = sum(k.get("seconds", 0.0) for k in kids
+                        if k.get("name") == MERGE_SPAN)
+            slowest = max(workers, default=0.0)
+            out["execute"] += slowest
+            out["merge"] += merge
+            out["pipe"] += max(
+                0.0, fanout.get("seconds", 0.0) - slowest - merge)
+    else:
+        out["execute"] = sum(s.get("seconds", 0.0)
+                             for s in tree.named(EXECUTE_SPAN))
+    accounted = sum(out[b] for b in BUCKETS if b != "other")
+    out["other"] = max(0.0, total - accounted)
+    return {"total": total, **out}
+
+
+def attribution_table(trees: list[TraceTree]) -> dict:
+    """Aggregate bucket totals over complete trees: the where-does-the-
+    time-go table (seconds, percent of total, and mean ms/request)."""
+    totals = {bucket: 0.0 for bucket in BUCKETS}
+    wall = 0.0
+    counted = 0
+    ttfr_ms: list[float] = []
+    for tree in trees:
+        if not tree.complete:
+            continue
+        counted += 1
+        decomposed = attribution(tree)
+        wall += decomposed["total"]
+        for bucket in BUCKETS:
+            totals[bucket] += decomposed[bucket]
+        for span in tree.named(SERVER_ROOT) or tree.roots:
+            value = span.get("attrs", {}).get("ttfr_ms")
+            if isinstance(value, (int, float)):
+                ttfr_ms.append(float(value))
+    table = {
+        "requests": counted,
+        "total_seconds": wall,
+        "buckets": {
+            bucket: {
+                "seconds": totals[bucket],
+                "pct": (100.0 * totals[bucket] / wall) if wall else 0.0,
+                "mean_ms": (totals[bucket] * 1000.0 / counted)
+                           if counted else 0.0,
+            }
+            for bucket in BUCKETS
+        },
+    }
+    if ttfr_ms:
+        table["ttfr_ms_mean"] = sum(ttfr_ms) / len(ttfr_ms)
+    return table
+
+
+def format_attribution(table: dict) -> str:
+    """The attribution table as aligned text."""
+    lines = [f"time attribution over {table['requests']} complete "
+             f"request(s), {table['total_seconds'] * 1000:.1f} ms total:",
+             f"  {'bucket':<12}{'ms total':>10}{'mean ms':>10}"
+             f"{'share':>8}"]
+    for bucket in BUCKETS:
+        cell = table["buckets"][bucket]
+        lines.append(f"  {bucket:<12}{cell['seconds'] * 1000:>10.2f}"
+                     f"{cell['mean_ms']:>10.3f}{cell['pct']:>7.1f}%")
+    if "ttfr_ms_mean" in table:
+        lines.append(f"  mean time-to-first-result: "
+                     f"{table['ttfr_ms_mean']:.3f} ms")
+    return "\n".join(lines)
+
+
+def render_tree(tree: TraceTree, indent: str = "") -> str:
+    """One trace as an indented text tree (critical path marked *)."""
+    critical = {id(span) for span in tree.critical_path()}
+    lines = [f"trace {tree.trace_id} "
+             f"({'complete' if tree.complete else 'INCOMPLETE'}, "
+             f"{len(tree.spans)} span(s))"]
+
+    def walk(span: dict, depth: int) -> None:
+        mark = "*" if id(span) in critical else " "
+        attrs = span.get("attrs", {})
+        detail = " ".join(f"{key}={value}" for key, value in
+                          sorted(attrs.items()) if key != "ttfr_ms")
+        lines.append(
+            f"{indent}{mark} {'  ' * depth}{span.get('name')} "
+            f"[{span.get('process', '?')}] "
+            f"{span.get('seconds', 0.0) * 1000:.3f} ms"
+            + (f"  {detail}" if detail else ""))
+        for child in tree.children_of(span):
+            walk(child, depth + 1)
+
+    for root in sorted(tree.roots, key=lambda s: s.get("start", 0.0)):
+        walk(root, 0)
+    for orphan in tree.orphans:
+        lines.append(f"{indent}! orphan {orphan.get('name')} "
+                     f"[{orphan.get('process', '?')}] parent "
+                     f"{orphan.get('parent_gid')!r} missing")
+    return "\n".join(lines)

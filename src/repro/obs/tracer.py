@@ -19,6 +19,8 @@ import threading
 import time
 from dataclasses import dataclass, field
 
+from . import trace as _trace
+
 
 @dataclass
 class Span:
@@ -31,6 +33,12 @@ class Span:
     end: float | None = None
     attrs: dict = field(default_factory=dict)
     thread: str = ""
+    #: cross-process identity: the trace this span belongs to, and —
+    #: when the span has no *local* parent — the gid of its remote
+    #: parent in another process.  Stamped from the ambient
+    #: :mod:`repro.obs.trace` context; both None for untraced spans.
+    trace_id: str | None = None
+    remote_parent: str | None = None
 
     @property
     def seconds(self) -> float:
@@ -67,12 +75,12 @@ class _LiveSpan:
 
     def __init__(self, tracer: "Tracer", name: str, attrs: dict) -> None:
         self._tracer = tracer
-        self._span = Span(span_id=next(tracer._ids),
-                          parent_id=tracer._current_id(),
-                          name=name,
-                          start=time.perf_counter(),
-                          attrs=attrs,
-                          thread=threading.current_thread().name)
+        self._span = tracer._new_span(name, attrs)
+
+    @property
+    def span(self) -> Span:
+        """The underlying (possibly still open) span record."""
+        return self._span
 
     def set(self, **attrs) -> "_LiveSpan":
         """Attach attributes to the open span."""
@@ -80,7 +88,7 @@ class _LiveSpan:
         return self
 
     def __enter__(self) -> "_LiveSpan":
-        self._tracer._push(self._span.span_id)
+        self._tracer._push(self._span)
         return self
 
     def __exit__(self, *exc) -> bool:
@@ -103,20 +111,83 @@ class Tracer:
         """Open a span; use as a context manager."""
         return _LiveSpan(self, name, attrs)
 
+    def _new_span(self, name: str, attrs: dict,
+                  trace_id: str | None = None,
+                  parent_gid: str | None = None) -> Span:
+        """Allocate a span, linked to the calling thread's innermost
+        open span, or — when there is none — to the ambient trace
+        context's remote parent in another process."""
+        parent = self.current_span()
+        ctx = _trace.current()
+        if trace_id is None and ctx is not None:
+            trace_id = ctx.trace_id
+        remote = None
+        if parent is None:
+            remote = parent_gid if parent_gid is not None else (
+                ctx.parent_gid if ctx is not None else None)
+        return Span(span_id=next(self._ids),
+                    parent_id=parent.span_id if parent else None,
+                    name=name,
+                    start=time.perf_counter(),
+                    attrs=attrs,
+                    thread=threading.current_thread().name,
+                    trace_id=trace_id,
+                    remote_parent=remote)
+
+    # -- manual span API -----------------------------------------------------
+    #
+    # Context-manager spans assume one call stack per thread; code that
+    # interleaves many requests on one thread (the server's asyncio
+    # loop) instead opens and closes spans by handle, never touching the
+    # thread-local stack.
+
+    def start_span(self, name: str, *, trace_id: str | None = None,
+                   parent_gid: str | None = None, **attrs) -> Span:
+        """Open a span detached from the thread stack; close it with
+        :meth:`end_span`.  Children parent under it via ``parent_gid``
+        (cross-process) or an explicit trace scope."""
+        return self._new_span(name, attrs, trace_id=trace_id,
+                              parent_gid=parent_gid)
+
+    def end_span(self, span: Span) -> None:
+        """Close and record a span from :meth:`start_span`."""
+        span.end = time.perf_counter()
+        self._finish(span)
+
+    def record_span(self, name: str, start: float, end: float, *,
+                    parent_id: int | None = None,
+                    parent_gid: str | None = None,
+                    trace_id: str | None = None, **attrs) -> Span:
+        """Record an already-elapsed interval as a finished span (used
+        for phases measured before their span exists, e.g. admission
+        wait, which is only known once the request leaves the queue)."""
+        span = Span(span_id=next(self._ids),
+                    parent_id=parent_id,
+                    name=name,
+                    start=start,
+                    end=end,
+                    attrs=attrs,
+                    thread=threading.current_thread().name,
+                    trace_id=trace_id,
+                    remote_parent=parent_gid if parent_id is None else None)
+        self._finish(span)
+        return span
+
     # -- per-thread stack ----------------------------------------------------
 
-    def _stack(self) -> list[int]:
+    def _stack(self) -> list[Span]:
         stack = getattr(self._stacks, "stack", None)
         if stack is None:
             stack = self._stacks.stack = []
         return stack
 
-    def _current_id(self) -> int | None:
+    def current_span(self) -> Span | None:
+        """The calling thread's innermost open context-manager span."""
         stack = self._stack()
         return stack[-1] if stack else None
 
-    def _push(self, span_id: int) -> None:
-        self._stack().append(span_id)
+    def _push(self, span: Span) -> None:
+        self._stack().append(span)
 
     def _pop(self) -> None:
         stack = self._stack()

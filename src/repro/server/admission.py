@@ -196,8 +196,11 @@ class AdmissionController:
         """Counters plus live state, for ``stats`` responses."""
         return {
             **self.counters,
+            "capacity": self.capacity,
+            "executors": self.executors,
             "queued": self._size,
             "in_flight": self.in_flight,
+            "predicted_wait_ms": self.predicted_wait() * 1000.0,
             "ewma_service_ms": (self.ewma_service * 1000.0
                                 if self.ewma_service is not None
                                 else None),

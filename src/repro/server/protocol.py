@@ -15,8 +15,18 @@ Requests carry an ``op``:
             metadata.
 ``query``   run one workload query: ``qid``, optional ``params``
             (server binds defaults otherwise), optional ``deadline``
-            seconds and optional per-request ``tenant`` override.
-``stats``   the server's counter snapshot (admission + completion).
+            seconds, optional per-request ``tenant`` override, and an
+            optional ``trace`` object ``{"trace_id": "<16 hex>",
+            "parent": "<process>:<span_id>"}`` joining the request to
+            the client's distributed trace (see
+            :mod:`repro.obs.trace`); a traced reply echoes
+            ``trace_id`` and adds ``ttfr_ms``.
+``stats``   the live telemetry snapshot: completion counters,
+            admission state (queue depth, capacity, EWMA service
+            time, per-tenant queues), per-tenant completions,
+            warm-engine cache (hits/misses/evictions, per-engine
+            circuit-breaker states and worker PIDs), CPU/RSS from the
+            resource sampler, and trace status.
 ``ping``    liveness probe.
 ``bye``     close the session.
 

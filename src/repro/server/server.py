@@ -59,6 +59,9 @@ from ..errors import (
 )
 from ..faults.deadline import Deadline, deadline_scope
 from ..obs import recorder as _obs
+from ..obs import trace as _trace
+from ..obs.export import trace_records, write_ndjson
+from ..obs.resources import ResourceSampler
 from ..workload import bind_params
 from ..workload.queries import QUERIES_BY_ID
 from ..xml.serializer import serialize
@@ -127,6 +130,15 @@ class ServerConfig:
     #: saturation unreachable for a socket-bound driver; a floor of a
     #: few ms gives rate sweeps a realistic, controllable knee.
     throttle_seconds: float = 0.0
+    #: record cross-process spans for every request (implied by
+    #: ``trace_spans``); each reply then carries its ``trace_id``.
+    trace: bool = False
+    #: NDJSON path the server's span log is written to (atomically) at
+    #: drain; enables tracing.
+    trace_spans: str | None = None
+    #: sample CPU/RSS of the server and its shard workers (pilot-run
+    #: calibrated interval), surfaced in ``stats`` responses.
+    sample_resources: bool = True
 
     def default_spec(self) -> EngineSpec:
         return EngineSpec(self.engine, self.class_key, self.units,
@@ -145,6 +157,9 @@ class _EngineCache:
         self._config = config
         self._engines: OrderedDict[EngineSpec, object] = OrderedDict()
         self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
 
     def get_or_load(self, spec: EngineSpec):
         """Return ``(engine, warm)``; loads cold specs on this thread."""
@@ -152,13 +167,45 @@ class _EngineCache:
             engine = self._engines.get(spec)
             if engine is not None:
                 self._engines.move_to_end(spec)
+                self.hits += 1
                 return engine, True
+            self.misses += 1
             engine = self._load(spec)
             self._engines[spec] = engine
             while len(self._engines) > self._config.max_engines:
                 __, evicted = self._engines.popitem(last=False)
+                self.evictions += 1
                 evicted.close()
             return engine, False
+
+    def worker_pids(self) -> list[int]:
+        """Shard-worker PIDs of every cached engine (for sampling)."""
+        with self._lock:
+            engines = list(self._engines.values())
+        pids: list[int] = []
+        for engine in engines:
+            getter = getattr(engine, "worker_pids", None)
+            if getter is not None:
+                pids.extend(getter())
+        return pids
+
+    def snapshot(self) -> dict:
+        """Hit/miss counters plus one record per warm engine."""
+        with self._lock:
+            items = list(self._engines.items())
+        warm = []
+        for spec, engine in items:
+            record = {"engine": spec.engine, "class": spec.class_key,
+                      "units": spec.units, "shards": spec.shards}
+            breakers = getattr(engine, "breaker_states", None)
+            if breakers is not None:
+                record["breakers"] = breakers()
+            pids = getattr(engine, "worker_pids", None)
+            if pids is not None:
+                record["worker_pids"] = pids()
+            warm.append(record)
+        return {"hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions, "warm": warm}
 
     def _load(self, spec: EngineSpec):
         db_class = CLASSES_BY_KEY[spec.class_key]
@@ -207,6 +254,12 @@ class _Pending:
     params: dict
     tenant: str
     future: asyncio.Future
+    #: trace identity when the server is tracing: the request's trace
+    #: id and its open ``server.request`` root span (a manual span —
+    #: the event loop interleaves requests, so the thread-local
+    #: context-manager stack cannot hold it).
+    trace_id: str | None = None
+    root: object = None
 
 
 class QueryServer:
@@ -234,6 +287,11 @@ class QueryServer:
             "rejected": 0, "unhandled": 0, "refused_draining": 0,
         }
         self.per_tenant: dict[str, int] = {}
+        #: the span recorder driving distributed tracing (None = off).
+        self.recorder: _obs.Recorder | None = None
+        #: CPU/RSS sampler over this process + shard workers.
+        self.sampler: ResourceSampler | None = None
+        self.started_at: float | None = None
         # background-thread harness (tests, embedded use)
         self._thread: threading.Thread | None = None
         self._thread_loop: asyncio.AbstractEventLoop | None = None
@@ -247,6 +305,9 @@ class QueryServer:
         self._pool = ThreadPoolExecutor(
             max_workers=self.config.executors,
             thread_name_prefix="repro-serve")
+        if self.config.trace or self.config.trace_spans is not None:
+            self.recorder = _obs.Recorder(name="serve")
+            _obs.install(self.recorder)
         if self.config.preload:
             spec = self.config.default_spec()
             spec.validate()
@@ -255,6 +316,12 @@ class QueryServer:
         self._server = await asyncio.start_server(
             self._handle, self.config.host, self.config.port)
         self.port = self._server.sockets[0].getsockname()[1]
+        if self.config.sample_resources:
+            import os
+            self.sampler = ResourceSampler(
+                lambda: [os.getpid()] + self._cache.worker_pids())
+            self.sampler.start()    # calibrates on first start
+        self.started_at = time.monotonic()
         self._dispatchers = [
             asyncio.ensure_future(self._dispatch_loop())
             for __ in range(self.config.executors)]
@@ -272,6 +339,16 @@ class QueryServer:
             await self._server.wait_closed()
         if self._pool is not None:
             self._pool.shutdown(wait=True)
+        if self.sampler is not None:
+            self.sampler.stop()
+        if self.recorder is not None:
+            if self.config.trace_spans is not None:
+                write_ndjson(trace_records(self.recorder),
+                             self.config.trace_spans)
+            # Only drop the global hook if it is still ours — a test
+            # harness may have installed its own recorder since.
+            if _obs.active() is self.recorder:
+                _obs.uninstall()
         self._cache.close()
 
     def request_drain(self) -> None:
@@ -307,6 +384,9 @@ class QueryServer:
               f"executors {self.config.executors})", flush=True)
         await self.serve_until_drained()
         snapshot = self.stats()
+        if self.config.trace_spans is not None:
+            print(f"repro serve: trace spans written to "
+                  f"{self.config.trace_spans}", flush=True)
         print("repro serve: drained — "
               f"{snapshot['completed']} completed, "
               f"{snapshot['rejected']} rejected, "
@@ -466,8 +546,10 @@ class QueryServer:
         tenant = str(message.get("tenant") or session.tenant)
         self.counters["queries"] += 1
         _obs.count("server.queries")
+        trace_id, root = self._open_trace(message, qid, tenant)
         pending = _Pending(session, qid, dict(params), tenant,
-                           self._loop.create_future())
+                           self._loop.create_future(),
+                           trace_id=trace_id, root=root)
         request = Request(tenant=tenant, payload=pending,
                           deadline=deadline)
         try:
@@ -475,9 +557,31 @@ class QueryServer:
         except ServerOverloaded as exc:
             self.counters["rejected"] += 1
             _obs.count("server.rejected")
-            return error_response(exc)
+            self._settle(pending, error_response(exc))
+            return await pending.future
         self._work.set()
         return await pending.future
+
+    def _open_trace(self, message: dict, qid: str, tenant: str):
+        """Open the request's ``server.request`` root span when tracing.
+
+        Joins the client's trace when the message carries a ``trace``
+        field (continuing its trace id under its ``parent`` gid), or
+        starts a server-rooted trace otherwise, so untraced clients
+        still reassemble.  Returns ``(trace_id, root_span)`` — both
+        None with tracing off.
+        """
+        recorder = self.recorder
+        if recorder is None:
+            return None, None
+        ctx = _trace.from_wire(message.get("trace"))
+        trace_id = (ctx.trace_id if ctx is not None
+                    else _trace.new_trace_id())
+        root = recorder.tracer.start_span(
+            "server.request", trace_id=trace_id,
+            parent_gid=ctx.parent_gid if ctx is not None else None,
+            qid=qid, tenant=tenant)
+        return trace_id, root
 
     # -- dispatch ------------------------------------------------------------
 
@@ -502,15 +606,25 @@ class QueryServer:
         _obs.count("server.expired_in_queue")
         self._settle(pending, error_response(QueryTimeout(
             "deadline expired while queued",
-            budget_seconds=request.deadline.budget)))
+            budget_seconds=request.deadline.budget,
+            trace_id=pending.trace_id)))
 
     async def _run_request(self, request: Request) -> None:
         pending: _Pending = request.payload
         queued_ms = request.queued_seconds(time.monotonic()) * 1000.0
+        if pending.root is not None:
+            # Admission wait is only known at dequeue; backfill it as a
+            # finished span ending now, under the request root.
+            end = time.perf_counter()
+            self.recorder.tracer.record_span(
+                "server.queue", start=end - queued_ms / 1000.0,
+                end=end, parent_id=pending.root.span_id,
+                trace_id=pending.trace_id, tenant=pending.tenant)
         self.admission.in_flight += 1
         try:
-            rows, seconds, partial = await self._loop.run_in_executor(
-                self._pool, self._execute, pending, request.deadline)
+            rows, seconds, partial, ttfr = \
+                await self._loop.run_in_executor(
+                    self._pool, self._execute, pending, request.deadline)
         except QueryTimeout as exc:
             self.counters["timeouts"] += 1
             _obs.count("server.timeouts")
@@ -538,17 +652,32 @@ class QueryServer:
             self.per_tenant.get(pending.tenant, 0) + 1)
         _obs.count("server.completed")
         _obs.record_latency("server.service", seconds)
+        _obs.record_latency("server.ttfr", ttfr)
         self._settle(pending, {
             "ok": True, "qid": pending.qid, "rows": rows,
             "seconds": seconds, "queued_ms": queued_ms,
+            "ttfr_ms": ttfr * 1000.0,
             "tenant": pending.tenant, "partial": partial})
 
     def _execute(self, pending: _Pending, deadline: Deadline | None):
-        """Run one admitted query on an executor thread."""
+        """Run one admitted query on an executor thread.
+
+        When tracing, the engine call runs inside a ``server.execute``
+        span under a trace scope parented on the request root, so a
+        sharded engine's RPC layer propagates the context to its
+        workers.
+        """
         engine = pending.session.engine
         partials_before = len(getattr(engine, "partials", ()))
+        ctx = None
+        if pending.root is not None:
+            ctx = _trace.TraceContext(
+                pending.trace_id,
+                parent_gid=_trace.gid_of(pending.root.span_id))
         start = time.perf_counter()
-        with deadline_scope(deadline):
+        with _trace.trace_scope(ctx), deadline_scope(deadline), \
+                _obs.span("server.execute", qid=pending.qid,
+                          tenant=pending.tenant):
             values = engine.execute(pending.qid, pending.params)
             floor = self.config.throttle_seconds
             if floor > 0.0:
@@ -558,11 +687,31 @@ class QueryServer:
                 if deadline is not None:
                     deadline.check("throttled service")
         elapsed = time.perf_counter() - start
+        # A sharded engine stamps its first shard reply; locals fall
+        # back to "first result arrived when the query finished".
+        ttfr = getattr(engine, "last_ttfr_seconds", None)
+        if ttfr is None or ttfr > elapsed:
+            ttfr = elapsed
         partial = (len(getattr(engine, "partials", ()))
                    > partials_before)
-        return len(values), elapsed, partial
+        return len(values), elapsed, partial, ttfr
 
     def _settle(self, pending: _Pending, reply: dict) -> None:
+        """Resolve a request's future — the one funnel every outcome
+        (reply, rejection, timeout, failure) passes through, so it also
+        attaches the trace id to the reply and closes the request's
+        root span exactly once."""
+        if pending.trace_id is not None:
+            reply.setdefault("trace_id", pending.trace_id)
+        root = pending.root
+        if root is not None:
+            pending.root = None
+            root.attrs["outcome"] = (
+                "ok" if reply.get("ok") else
+                str(reply.get("error", "error")))
+            if "ttfr_ms" in reply:
+                root.attrs["ttfr_ms"] = reply["ttfr_ms"]
+            self.recorder.tracer.end_span(root)
         if not pending.future.done():
             pending.future.set_result(reply)
 
@@ -573,4 +722,16 @@ class QueryServer:
         snapshot["admission"] = self.admission.snapshot()
         snapshot["per_tenant"] = dict(self.per_tenant)
         snapshot["draining"] = self._draining
+        snapshot["uptime_seconds"] = (
+            time.monotonic() - self.started_at
+            if self.started_at is not None else None)
+        snapshot["engines"] = self._cache.snapshot()
+        snapshot["resources"] = (self.sampler.summary()
+                                 if self.sampler is not None else None)
+        snapshot["trace"] = {
+            "enabled": self.recorder is not None,
+            "spans_recorded": (len(self.recorder.tracer.spans)
+                               + len(self.recorder.foreign_spans)
+                               if self.recorder is not None else 0),
+        }
         return snapshot

@@ -181,7 +181,7 @@ def test_roundtrip_and_warm_engine_reuse(server):
         assert reply["tenant"] == "default"
     with ServingClient(port=server.port) as client:
         assert client.hello()["warm"]           # cache survived
-        stats = client.stats()["stats"]
+        stats = client.stats()
         assert stats["completed"] >= 1
         assert stats["unhandled"] == 0
 

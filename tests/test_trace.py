@@ -1,0 +1,447 @@
+"""Distributed-tracing tests: context propagation, cross-process span
+reassembly, attribution, and the live-telemetry surfaces.
+
+The contracts under test: a trace context survives every hop of the
+serving stack (client wire field, server root span, shard pipe RPC,
+fork-worker spans piggybacked on replies) and reassembles offline into
+exactly one complete tree per request — including across a worker
+respawn, whose new process generation must never collide with its
+predecessor's span ids; timeouts and incidents carry the originating
+trace id; span logs are written atomically; and the resource sampler
+calibrates itself against its own measured cost.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro import obs as _obs
+from repro.errors import QueryTimeout
+from repro.faults.deadline import Deadline, deadline_scope
+from repro.loadgen import ServingClient
+from repro.obs import Recorder, ResourceSampler, observing
+from repro.obs import trace as trace_mod
+from repro.obs.export import (
+    read_ndjson,
+    span_record,
+    trace_records,
+    write_ndjson,
+)
+from repro.obs.trace import (
+    TraceContext,
+    assemble,
+    attribution,
+    attribution_table,
+    completeness,
+    from_wire,
+    to_wire,
+)
+from repro.server import QueryServer, ServerConfig
+from repro.workload.params import bind_params
+
+
+# -- context and wire form ----------------------------------------------------
+
+
+class TestContext:
+    def test_wire_roundtrip(self):
+        ctx = TraceContext("abcd1234abcd1234", parent_gid="p1:7",
+                           baggage={"tenant": "gold"})
+        back = from_wire(to_wire(ctx))
+        assert back.trace_id == ctx.trace_id
+        assert back.parent_gid == "p1:7"
+        assert back.baggage == {"tenant": "gold"}
+
+    @pytest.mark.parametrize("wire", [
+        None, "nope", 7, [], {}, {"trace_id": ""}, {"trace_id": 3},
+    ])
+    def test_malformed_wire_is_none_not_an_error(self, wire):
+        assert from_wire(wire) is None
+
+    def test_scope_is_nested_and_thread_local(self):
+        assert trace_mod.current() is None
+        outer = TraceContext(trace_mod.new_trace_id())
+        inner = TraceContext(trace_mod.new_trace_id())
+        with trace_mod.trace_scope(outer):
+            assert trace_mod.current_trace_id() == outer.trace_id
+            with trace_mod.trace_scope(inner):
+                assert trace_mod.current_trace_id() == inner.trace_id
+            assert trace_mod.current_trace_id() == outer.trace_id
+        assert trace_mod.current() is None
+
+    def test_none_scope_is_a_noop(self):
+        with trace_mod.trace_scope(None):
+            assert trace_mod.current() is None
+
+    def test_trace_ids_are_16_hex(self):
+        tid = trace_mod.new_trace_id()
+        assert len(tid) == 16
+        int(tid, 16)
+
+
+# -- tracer stamping ----------------------------------------------------------
+
+
+class TestStamping:
+    def test_spans_inherit_the_ambient_trace(self):
+        recorder = Recorder()
+        ctx = TraceContext("feed0000feed0000", parent_gid="px:9")
+        with observing(recorder), trace_mod.trace_scope(ctx):
+            with _obs.span("outer"):
+                with _obs.span("inner"):
+                    pass
+        inner, outer = recorder.tracer.named("inner")[0], \
+            recorder.tracer.named("outer")[0]
+        assert outer.trace_id == inner.trace_id == ctx.trace_id
+        # Only the stack root links to the remote parent.
+        assert outer.remote_parent == "px:9"
+        assert inner.remote_parent is None
+        assert inner.parent_id == outer.span_id
+
+    def test_untraced_spans_stay_unstamped(self):
+        recorder = Recorder()
+        with observing(recorder):
+            with _obs.span("plain"):
+                pass
+        span = recorder.tracer.named("plain")[0]
+        assert span.trace_id is None
+        assert "trace_id" not in span_record(span)
+        assert "gid" not in span_record(span)
+
+    def test_manual_spans_bypass_the_thread_stack(self):
+        recorder = Recorder()
+        tracer = recorder.tracer
+        root = tracer.start_span("server.request", trace_id="ab" * 8,
+                                 parent_gid="pc:1")
+        assert tracer.current_span() is None   # not on the stack
+        tracer.record_span("server.queue", start=1.0, end=1.5,
+                           parent_id=root.span_id,
+                           trace_id="ab" * 8)
+        tracer.end_span(root)
+        assert root.end is not None
+        queue = tracer.named("server.queue")[0]
+        assert queue.seconds == pytest.approx(0.5)
+        assert queue.parent_id == root.span_id
+
+
+# -- offline reassembly -------------------------------------------------------
+
+
+def _span(gid, name, parent=None, seconds=1.0, start=0.0, trace="t1",
+          **attrs):
+    process = gid.split(":")[0]
+    return {"gid": gid, "parent_gid": parent, "name": name,
+            "seconds": seconds, "start": start, "trace_id": trace,
+            "process": process, "attrs": attrs}
+
+
+class TestReassembly:
+    def test_complete_tree_across_processes(self):
+        records = [
+            _span("c:1", "client.request", seconds=10.0),
+            _span("s:1", "server.request", parent="c:1", seconds=9.0,
+                  start=0.5),
+            _span("s:2", "server.queue", parent="s:1", seconds=1.0,
+                  start=0.5),
+            _span("s:3", "server.execute", parent="s:1", seconds=7.0,
+                  start=1.5),
+            _span("s:4", "shard.fanout", parent="s:3", seconds=6.0,
+                  start=2.0),
+            _span("w0.g0:1", "shard.worker", parent="s:4",
+                  seconds=4.0, start=2.5),
+            _span("w1.g0:1", "shard.worker", parent="s:4",
+                  seconds=3.0, start=2.5),
+            _span("s:5", "shard.merge", parent="s:4", seconds=0.5,
+                  start=8.0),
+        ]
+        trees = assemble(records)
+        assert len(trees) == 1
+        tree = trees[0]
+        assert tree.complete
+        assert tree.root["name"] == "client.request"
+        path = [span["name"] for span in tree.critical_path()]
+        assert path == ["client.request", "server.request",
+                        "server.execute", "shard.fanout",
+                        "shard.worker"]
+        decomposed = attribution(tree)
+        assert decomposed["total"] == pytest.approx(10.0)
+        assert decomposed["queue"] == pytest.approx(1.0)
+        assert decomposed["execute"] == pytest.approx(4.0)  # slowest
+        assert decomposed["merge"] == pytest.approx(0.5)
+        assert decomposed["pipe"] == pytest.approx(6.0 - 4.0 - 0.5)
+        assert decomposed["client_net"] == pytest.approx(1.0)
+        total = sum(decomposed[b] for b in trace_mod.BUCKETS)
+        assert total == pytest.approx(decomposed["total"])
+
+    def test_orphans_make_a_tree_incomplete(self):
+        records = [
+            _span("s:1", "server.request"),
+            _span("w0.g1:1", "shard.worker", parent="s:99"),
+        ]
+        tree = assemble(records)[0]
+        assert not tree.complete
+        assert len(tree.orphans) == 1
+        coverage = completeness([tree])
+        assert coverage["complete"] == 0
+        assert coverage["complete_pct"] == 0.0
+
+    def test_untraced_records_are_ignored(self):
+        assert assemble([{"name": "load", "seconds": 1.0}]) == []
+
+    def test_attribution_table_skips_incomplete_trees(self):
+        good = assemble([_span("s:1", "server.request", seconds=2.0,
+                               ttfr_ms=5.0)])[0]
+        bad = assemble([_span("s:1", "server.request", trace="t2"),
+                        _span("w:1", "x", parent="s:9", trace="t2")])[0]
+        table = attribution_table([good, bad])
+        assert table["requests"] == 1
+        assert table["total_seconds"] == pytest.approx(2.0)
+        assert table["ttfr_ms_mean"] == pytest.approx(5.0)
+
+
+# -- cross-process propagation through the sharded engine ---------------------
+
+
+class TestShardedPropagation:
+    def test_fork_workers_report_spans_under_the_trace(self,
+                                                      small_corpora):
+        from repro.core.shard import ShardedEngine
+        corpus = small_corpora["dcmd"]
+        recorder = Recorder()
+        engine = ShardedEngine("native", shards=3)
+        try:
+            engine.timed_load(corpus["class"], list(corpus["texts"]))
+            params = bind_params("Q5", "dcmd", corpus["units"])
+            ctx = TraceContext(trace_mod.new_trace_id())
+            with observing(recorder), trace_mod.trace_scope(ctx):
+                engine.execute("Q5", params)
+            assert engine.last_ttfr_seconds is not None
+            assert engine.last_ttfr_seconds > 0.0
+        finally:
+            engine.close()
+        trees = assemble(trace_records(recorder))
+        assert len(trees) == 1
+        tree = trees[0]
+        assert tree.complete, (tree.roots, tree.orphans)
+        workers = tree.named("shard.worker")
+        assert len(workers) == 3
+        tags = {span["process"] for span in workers}
+        assert tags == {"w0.g0", "w1.g0", "w2.g0"}
+        assert tree.named("shard.fanout") and tree.named("shard.merge")
+
+    def test_trace_survives_worker_respawn_without_collisions(
+            self, small_corpora):
+        from repro.core.shard import ShardedEngine
+        corpus = small_corpora["dcmd"]
+        recorder = Recorder()
+        engine = ShardedEngine("native", shards=3, retries=2)
+        try:
+            engine.timed_load(corpus["class"], list(corpus["texts"]))
+            params = bind_params("Q1", "dcmd", corpus["units"])
+            with observing(recorder):
+                with trace_mod.trace_scope(
+                        TraceContext(trace_mod.new_trace_id())):
+                    engine.execute("Q1", params)
+                engine._workers[1].process.kill()
+                time.sleep(0.1)
+                with trace_mod.trace_scope(
+                        TraceContext(trace_mod.new_trace_id())):
+                    engine.execute("Q1", params)
+        finally:
+            engine.close()
+        trees = assemble(trace_records(recorder))
+        assert len(trees) == 2
+        for tree in trees:
+            assert tree.complete, (tree.trace_id, tree.orphans)
+        # The respawned worker reports under a bumped generation, so
+        # its span gids can never collide with the dead worker's.
+        processes = {span["process"]
+                     for span in trees[1].named("shard.worker")}
+        assert "w1.g1" in processes
+        gids = [span["gid"] for tree in trees for span in tree.spans]
+        assert len(gids) == len(set(gids))
+
+    def test_untraced_execution_adopts_nothing(self, small_corpora):
+        from repro.core.shard import ShardedEngine
+        corpus = small_corpora["dcmd"]
+        recorder = Recorder()
+        engine = ShardedEngine("native", shards=2)
+        try:
+            engine.timed_load(corpus["class"], list(corpus["texts"]))
+            params = bind_params("Q5", "dcmd", corpus["units"])
+            with observing(recorder):
+                engine.execute("Q5", params)
+        finally:
+            engine.close()
+        assert recorder.foreign_spans == []
+        assert trace_records(recorder) == []
+
+
+# -- server end to end --------------------------------------------------------
+
+
+class TestServerTracing:
+    def test_traced_request_reassembles_and_reports_ttfr(self,
+                                                         tmp_path):
+        spans_path = tmp_path / "server.ndjson"
+        config = ServerConfig(class_key="dcmd", units=4, shards=2,
+                              executors=2, trace=True,
+                              trace_spans=str(spans_path))
+        server = QueryServer(config).start_background()
+        try:
+            with ServingClient(port=server.port) as client:
+                client.hello(shards=2)
+                wire = {"trace_id": "cafe0123cafe0123",
+                        "parent": "loadgen:1"}
+                reply = client.query(
+                    "Q5", params=bind_params("Q5", "dcmd", 4),
+                    trace=wire)
+                assert reply["ok"]
+                assert reply["trace_id"] == "cafe0123cafe0123"
+                assert reply["ttfr_ms"] > 0.0
+                assert reply["ttfr_ms"] <= reply["seconds"] * 1000.0
+
+                stats = client.stats()
+                assert stats["trace"]["enabled"]
+                assert stats["engines"]["misses"] >= 1
+                assert stats["admission"]["capacity"] == 64
+                assert stats["uptime_seconds"] > 0.0
+                warm = stats["engines"]["warm"][0]
+                assert warm["shards"] == 2
+                assert len(warm["worker_pids"]) == 2
+                assert all(b["state"] == "closed"
+                           for b in warm["breakers"])
+        finally:
+            server.stop_background()
+        records = read_ndjson(spans_path)
+        trees = assemble(records)
+        by_id = {tree.trace_id: tree for tree in trees}
+        tree = by_id["cafe0123cafe0123"]
+        # The server's slice of the tree: its root is remote-parented
+        # at the client's gid, which is absent from the server log.
+        assert [span["name"] for span in tree.roots] == []
+        assert len(tree.orphans) == 1
+        root = tree.orphans[0]
+        assert root["name"] == "server.request"
+        assert root["parent_gid"] == "loadgen:1"
+        names = {span["name"] for span in tree.spans}
+        assert {"server.request", "server.queue", "server.execute",
+                "shard.fanout", "shard.worker",
+                "shard.merge"} <= names
+        # Re-linking under a synthetic client root completes it.
+        records.append({"gid": "loadgen:1", "name": "client.request",
+                        "trace_id": "cafe0123cafe0123",
+                        "parent_gid": None, "seconds": 1.0,
+                        "start": 0.0, "process": "loadgen",
+                        "attrs": {}})
+        joined = [t for t in assemble(records)
+                  if t.trace_id == "cafe0123cafe0123"][0]
+        assert joined.complete
+
+    def test_untraced_server_replies_have_no_trace_id(self):
+        server = QueryServer(
+            ServerConfig(class_key="dcmd", units=4)).start_background()
+        try:
+            with ServingClient(port=server.port) as client:
+                client.hello()
+                reply = client.query(
+                    "Q5", params=bind_params("Q5", "dcmd", 4))
+                assert reply["ok"]
+                assert "trace_id" not in reply
+                stats = client.stats()
+                assert stats["trace"] == {"enabled": False,
+                                          "spans_recorded": 0}
+        finally:
+            server.stop_background()
+
+
+# -- error tagging ------------------------------------------------------------
+
+
+class TestErrorTagging:
+    def test_deadline_timeout_carries_the_trace_id(self):
+        ctx = TraceContext(trace_mod.new_trace_id())
+        deadline = Deadline(0.0)
+        with trace_mod.trace_scope(ctx), deadline_scope(deadline):
+            with pytest.raises(QueryTimeout) as caught:
+                deadline.check("test")
+        assert caught.value.trace_id == ctx.trace_id
+
+    def test_timeout_without_scope_has_no_trace_id(self):
+        deadline = Deadline(0.0)
+        with deadline_scope(deadline):
+            with pytest.raises(QueryTimeout) as caught:
+                deadline.check("test")
+        assert caught.value.trace_id is None
+
+    def test_chaos_incidents_tagged_with_trace_id(self):
+        from repro.faults.chaos import run_chaos
+        result = run_chaos("worker-crash-storm", units=8, shards=2,
+                           queries=8, seed=3)
+        for incident in result.incidents:
+            assert incident["trace_id"], incident
+
+
+# -- export atomicity ---------------------------------------------------------
+
+
+class TestExport:
+    def test_ndjson_accepts_dict_records_and_is_atomic(self, tmp_path):
+        target = tmp_path / "deep" / "spans.ndjson"
+        records = [_span("a:1", "x"), _span("a:2", "y", parent="a:1")]
+        write_ndjson(records, target)
+        assert read_ndjson(target) == records
+        # No temp droppings left beside the file.
+        assert [p.name for p in target.parent.iterdir()] == \
+            ["spans.ndjson"]
+
+    def test_trace_records_orders_by_start(self):
+        recorder = Recorder()
+        # perf_counter values are unbounded; an impossibly-late start
+        # keeps the foreign span last regardless of the local clock.
+        recorder.adopt_spans([_span("w:1", "late", start=1e15)])
+        with observing(recorder), trace_mod.trace_scope(
+                TraceContext("aa" * 8)):
+            with _obs.span("early"):
+                pass
+        names = [record["name"] for record in trace_records(recorder)]
+        assert names == ["early", "late"]
+
+
+# -- resource sampler ---------------------------------------------------------
+
+
+class TestResourceSampler:
+    def test_calibration_bounds_the_interval(self):
+        import os
+        sampler = ResourceSampler([os.getpid()])
+        interval = sampler.calibrate(pilot=3)
+        assert 0.05 <= interval <= 2.0
+        assert sampler.sample_cost >= 0.0
+
+    def test_sampling_collects_cpu_and_rss(self):
+        import os
+        sampler = ResourceSampler([os.getpid()], interval=0.01)
+        sampler.start()
+        deadline = time.monotonic() + 2.0
+        try:
+            while (sampler.samples < 3
+                   and time.monotonic() < deadline):
+                time.sleep(0.02)
+        finally:
+            sampler.stop()
+        summary = sampler.summary()
+        assert summary["samples"] >= 3
+        assert summary["mode"] in ("proc", "rusage")
+        assert summary["cpu_seconds_total"] >= 0.0
+        assert summary["rss_max_kb_total"] > 0
+        assert str(os.getpid()) in summary["pids"]
+
+    def test_dead_pid_is_skipped_not_fatal(self):
+        sampler = ResourceSampler([2 ** 22 + 12345], interval=0.01)
+        sampler._sample_once()
+        assert sampler.summary()["pids"] == {} \
+            or sampler.summary()["mode"] == "rusage"
