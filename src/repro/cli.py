@@ -80,6 +80,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run every engine behind the sharded "
                             "execution service with N worker "
                             "processes (0 = single-process)")
+    suite.add_argument("--snapshot-dir", default=None, metavar="DIR",
+                       help="warm-start corpora from `repro snapshot "
+                            "build` artifacts under DIR (missing or "
+                            "stale snapshots fall back to generation)")
     suite.add_argument("--rpc-timeout", type=float, default=None,
                        metavar="SECONDS",
                        help="per-RPC timeout for the sharded service "
@@ -131,6 +135,9 @@ def build_parser() -> argparse.ArgumentParser:
                              "the sharded execution service with N "
                              "workers; sharded mismatches exit "
                              "non-zero")
+    verify.add_argument("--snapshot-dir", default=None, metavar="DIR",
+                        help="warm-start corpora from snapshots "
+                             "under DIR")
     verify.add_argument("--rpc-timeout", type=float, default=None,
                         metavar="SECONDS",
                         help="per-RPC timeout for the sharded row")
@@ -230,6 +237,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="run every engine behind the sharded "
                               "execution service with N worker "
                               "processes")
+    profile.add_argument("--snapshot-dir", default=None, metavar="DIR",
+                         help="warm-start corpora from snapshots "
+                              "under DIR")
     profile.add_argument("--rpc-timeout", type=float, default=None,
                          metavar="SECONDS",
                          help="per-RPC timeout for the sharded "
@@ -377,6 +387,40 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--no-resource-sampling", action="store_true",
                        help="disable the CPU/RSS sampler over the "
                             "server and its shard workers")
+    serve.add_argument("--snapshot-dir", default=None, metavar="DIR",
+                       help="cold engine loads mmap pre-encoded "
+                            "corpora from snapshots under DIR "
+                            "instead of generating + parsing")
+
+    snapshot = sub.add_parser(
+        "snapshot", help="build/inspect pre-encoded corpus snapshots "
+                         "(mmap-loadable warm starts)")
+    snap_sub = snapshot.add_subparsers(dest="snapshot_command",
+                                       required=True)
+    snap_build = snap_sub.add_parser(
+        "build", help="generate a corpus and write its snapshot")
+    snap_build.add_argument("class_key", nargs="?", default="all",
+                            choices=sorted(CLASSES_BY_KEY) + ["all"],
+                            help="one class, or 'all' (default)")
+    snap_build.add_argument("--units", type=int, default=None,
+                            help="explicit unit count (default: "
+                                 "derive from --scale/--divisor, "
+                                 "matching what suite/verify load)")
+    snap_build.add_argument("--scale", default="small",
+                            choices=["small", "normal", "large"])
+    snap_build.add_argument("--divisor", type=int, default=1000,
+                            help="paper-budget divisor used to derive "
+                                 "units when --units is not given")
+    snap_build.add_argument("--seed", type=int, default=42)
+    snap_build.add_argument("--out", default="snapshots",
+                            metavar="DIR")
+    snap_inspect = snap_sub.add_parser(
+        "inspect", help="print a snapshot's directory and totals")
+    snap_inspect.add_argument("path", help="snapshot file (.rxs)")
+    snap_inspect.add_argument("--limit", type=int, default=10,
+                              metavar="N",
+                              help="per-document rows to print "
+                                   "(0 = all)")
 
     load = sub.add_parser(
         "load", help="open/closed-loop load harness against a "
@@ -510,6 +554,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_obs(args)
     elif args.command == "chaos":
         return _cmd_chaos(args)
+    elif args.command == "snapshot":
+        return _cmd_snapshot(args)
     elif args.command == "serve":
         return _cmd_serve(args)
     elif args.command == "load":
@@ -590,7 +636,8 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         observe=True,
         explain=args.explain,
         shards=args.shards,
-        rpc_timeout=args.rpc_timeout)
+        rpc_timeout=args.rpc_timeout,
+        snapshot_dir=args.snapshot_dir)
     if args.queries:
         config.query_ids = tuple(qid.upper()
                                  for qid in args.queries.split(","))
@@ -812,8 +859,57 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         throttle_seconds=args.throttle,
         trace=args.trace_spans is not None,
         trace_spans=args.trace_spans,
-        sample_resources=not args.no_resource_sampling)
+        sample_resources=not args.no_resource_sampling,
+        snapshot_dir=args.snapshot_dir)
     return asyncio.run(QueryServer(config).run())
+
+
+def _cmd_snapshot(args: argparse.Namespace) -> int:
+    from .core.corpus_io import Snapshot, snapshot_filename, \
+        write_snapshot
+    if args.snapshot_command == "build":
+        import pathlib
+        from .databases import SCALES_BY_NAME
+        class_keys = (sorted(CLASSES_BY_KEY)
+                      if args.class_key == "all" else [args.class_key])
+        out = pathlib.Path(args.out)
+        for class_key in class_keys:
+            db_class = CLASSES_BY_KEY[class_key]
+            units = args.units
+            if units is None:
+                budget = SCALES_BY_NAME[args.scale].budget(args.divisor)
+                units = db_class.units_for_budget(budget,
+                                                  seed=args.seed)
+            documents = db_class.generate(units, seed=args.seed)
+            path = out / snapshot_filename(class_key, units)
+            meta = write_snapshot(path, documents,
+                                  meta={"class": class_key,
+                                        "units": units,
+                                        "seed": args.seed})
+            print(f"wrote {path}: {meta['documents']} document(s), "
+                  f"{meta['payload_bytes'] / 1024:.0f} KB encoded")
+        return 0
+    # inspect
+    with Snapshot.open(args.path) as snapshot:
+        meta = snapshot.meta
+        entries = snapshot.entries
+        nodes = sum(entry["nodes"] for entry in entries)
+        interns = sum(entry["interns"] for entry in entries)
+        print(f"{args.path}: {meta.get('format')} "
+              f"class={meta.get('class')} units={meta.get('units')} "
+              f"seed={meta.get('seed')}")
+        print(f"  {len(entries)} document(s), {nodes} node(s), "
+              f"{interns} interned name(s), "
+              f"{meta.get('payload_bytes', 0)} encoded byte(s)")
+        shown = entries if args.limit == 0 else entries[:args.limit]
+        for entry in shown:
+            print(f"  {entry['name']}: {entry['nodes']} node(s), "
+                  f"{entry['interns']} intern(s), "
+                  f"{entry['length']} byte(s) @ {entry['offset']}")
+        if len(entries) > len(shown):
+            print(f"  ... {len(entries) - len(shown)} more "
+                  f"(--limit 0 for all)")
+    return 0
 
 
 def _cmd_load(args: argparse.Namespace) -> int:
@@ -1021,7 +1117,8 @@ def _cmd_schema(args: argparse.Namespace) -> int:
 
 def _cmd_verify(args: argparse.Namespace) -> int:
     from .core.verification import verify_scenario
-    bench = XBench(BenchmarkConfig(scale_divisor=args.divisor))
+    bench = XBench(BenchmarkConfig(scale_divisor=args.divisor,
+                                   snapshot_dir=args.snapshot_dir))
     class_keys = ([args.class_key] if args.class_key
                   else sorted(CLASSES_BY_KEY))
     mismatches = 0
@@ -1057,7 +1154,8 @@ def _cmd_suite(args: argparse.Namespace) -> int:
                              repeats=args.repeats,
                              observe=args.obs_out is not None,
                              shards=args.shards,
-                             rpc_timeout=args.rpc_timeout)
+                             rpc_timeout=args.rpc_timeout,
+                             snapshot_dir=args.snapshot_dir)
     bench = XBench(config)
     suite = bench.run_suite()
     if args.format == "csv":

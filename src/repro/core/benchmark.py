@@ -83,6 +83,11 @@ class BenchmarkConfig:
     #: sharded degradation policy: "fail" (any shard failure fails the
     #: query) or "partial" (answer from healthy shards + incident).
     degraded: str = "fail"
+    #: directory of ``repro snapshot build`` artifacts: scenario corpora
+    #: whose (class, units, seed) snapshot exists are mmap-loaded as
+    #: pre-encoded node arrays instead of generated and re-parsed
+    #: (warm start).  Missing or stale snapshots fall back silently.
+    snapshot_dir: str | None = None
 
     def record(self) -> dict:
         """The config as a JSON-ready dict (for BENCH_* artifacts)."""
@@ -113,8 +118,10 @@ class Scenario:
     db_class: DatabaseClass
     scale: Scale
     units: int
-    #: ``(name, xml_text)`` pairs — a plain list, or a lazy
-    #: :class:`~repro.core.corpus_io.FileCorpus` when file-backed.
+    #: ``(name, payload)`` pairs — a plain list of XML text, a lazy
+    #: :class:`~repro.core.corpus_io.FileCorpus` when file-backed, or
+    #: a :class:`~repro.core.corpus_io.SnapshotCorpus` of pre-encoded
+    #: node arrays when loaded from a snapshot.
     texts: object
 
     @property
@@ -149,6 +156,15 @@ class CorpusCache:
         scale = SCALES_BY_NAME[scale_name]
         budget = scale.budget(self.config.scale_divisor)
         units = db_class.units_for_budget(budget, seed=self.config.seed)
+        if self.config.snapshot_dir is not None:
+            from .corpus_io import open_snapshot_corpus
+            corpus = open_snapshot_corpus(self.config.snapshot_dir,
+                                          class_key, units,
+                                          self.config.seed)
+            if corpus is not None:
+                obs_hooks.count("snapshot.hits")
+                return Scenario(db_class, scale, units, corpus)
+            obs_hooks.count("snapshot.misses")
         documents = db_class.generate(units, seed=self.config.seed)
         texts: object = [(document.name, serialize(document))
                          for document in documents]

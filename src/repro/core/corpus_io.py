@@ -5,13 +5,32 @@ thousands of small files whose open/read cost dominates Experiment 1.
 A :class:`FileCorpus` makes that cost real: it looks like a sequence of
 ``(name, xml_text)`` pairs, but each text is read from disk at iteration
 time, inside the engine's timed load loop.
+
+This module also owns the **snapshot** container (``RXSN``): a corpus
+pre-encoded into :mod:`repro.xml.binary` node arrays and written as one
+mmap-loadable file, so warm starts skip XML parsing entirely.  Layout::
+
+    RXSN | version u32 | meta_len u32 | meta JSON | payload bytes
+
+The JSON meta carries identity fields (class, units, seed — validated
+on open) plus a directory of ``{name, offset, length, nodes, interns}``
+entries whose offsets index the payload region; each payload slice is
+one ``RXB1`` document.  A :class:`SnapshotCorpus` is the engine-facing
+view: a sequence of ``(name, EncodedDocument)`` pairs sliced lazily out
+of the mmap.
 """
 
 from __future__ import annotations
 
+import json
+import mmap
 import os
+import struct
 from pathlib import Path
 from typing import Iterator
+
+from ..errors import BenchmarkError
+from ..xml.binary import EncodedDocument, encode_document
 
 
 class FileCorpus:
@@ -54,3 +73,181 @@ def write_corpus(texts, directory: str | Path) -> FileCorpus:
         path.write_text(text, encoding="utf-8")
         entries.append((name, path))
     return FileCorpus(entries)
+
+
+# --------------------------------------------------------------------------
+# Snapshots (pre-encoded corpora, mmap-loaded for warm starts)
+# --------------------------------------------------------------------------
+
+SNAPSHOT_MAGIC = b"RXSN"
+SNAPSHOT_VERSION = 1
+_SNAP_HEADER = struct.Struct("<4sII")   # magic, version, meta_len
+#: snapshot file suffix (``dcmd_u24.rxs``).
+SNAPSHOT_SUFFIX = ".rxs"
+
+
+def snapshot_filename(class_key: str, units: int) -> str:
+    """Canonical snapshot name for a (class, units) corpus."""
+    return f"{class_key}_u{units}{SNAPSHOT_SUFFIX}"
+
+
+def write_snapshot(path: str | Path, documents,
+                   meta: dict | None = None) -> dict:
+    """Encode ``documents`` (parsed :class:`~repro.xml.nodes.Document`
+    trees, in collection order) into one snapshot file at ``path``.
+
+    ``meta`` carries identity fields (``class``, ``units``, ``seed``)
+    that :func:`open_snapshot` callers validate before trusting the
+    corpus.  Returns the full meta dict (identity + directory).  The
+    write is atomic (temp file + rename), so a crashed build never
+    leaves a half-readable snapshot behind.
+    """
+    entries = []
+    payloads = []
+    offset = 0
+    for document in documents:
+        payload = encode_document(document)
+        wrapper = EncodedDocument(document.name, payload)
+        entries.append({"name": document.name, "offset": offset,
+                        "length": len(payload),
+                        "nodes": wrapper.node_count(),
+                        "interns": wrapper.intern_count()})
+        payloads.append(payload)
+        offset += len(payload)
+    full_meta = dict(meta or {})
+    full_meta["format"] = f"rxsn/{SNAPSHOT_VERSION}"
+    full_meta["documents"] = len(entries)
+    full_meta["payload_bytes"] = offset
+    full_meta["entries"] = entries
+    meta_blob = json.dumps(full_meta).encode("utf-8")
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    temp = target.with_name(target.name + ".tmp")
+    with open(temp, "wb") as handle:
+        handle.write(_SNAP_HEADER.pack(SNAPSHOT_MAGIC,
+                                       SNAPSHOT_VERSION,
+                                       len(meta_blob)))
+        handle.write(meta_blob)
+        for payload in payloads:
+            handle.write(payload)
+    os.replace(temp, target)
+    return full_meta
+
+
+class Snapshot:
+    """One open snapshot file: parsed meta plus the mmapped payload.
+
+    Keep the snapshot open for as long as decoded corpora are being
+    loaded from it — :class:`SnapshotCorpus` slices are views into the
+    mmap (decoding copies, so finished engines never pin it).
+    """
+
+    def __init__(self, path: Path, handle, mm: mmap.mmap,
+                 meta: dict, payload_base: int) -> None:
+        self.path = path
+        self._handle = handle
+        self._mm = mm
+        self.meta = meta
+        self._base = payload_base
+        self._view = memoryview(mm)
+
+    @classmethod
+    def open(cls, path: str | Path) -> "Snapshot":
+        target = Path(path)
+        handle = open(target, "rb")
+        try:
+            header = handle.read(_SNAP_HEADER.size)
+            if len(header) < _SNAP_HEADER.size:
+                raise BenchmarkError(f"{target}: truncated snapshot")
+            magic, version, meta_len = _SNAP_HEADER.unpack(header)
+            if magic != SNAPSHOT_MAGIC:
+                raise BenchmarkError(
+                    f"{target}: not a snapshot (magic {magic!r})")
+            if version != SNAPSHOT_VERSION:
+                raise BenchmarkError(
+                    f"{target}: snapshot version {version} "
+                    f"(supported: {SNAPSHOT_VERSION})")
+            meta = json.loads(handle.read(meta_len).decode("utf-8"))
+            mm = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+        except BaseException:
+            handle.close()
+            raise
+        return cls(target, handle, mm, meta,
+                   _SNAP_HEADER.size + meta_len)
+
+    @property
+    def entries(self) -> list[dict]:
+        return self.meta.get("entries", [])
+
+    def payload(self, entry: dict) -> memoryview:
+        start = self._base + entry["offset"]
+        return self._view[start:start + entry["length"]]
+
+    def corpus(self) -> "SnapshotCorpus":
+        return SnapshotCorpus(self)
+
+    def close(self) -> None:
+        try:
+            self._view.release()
+        except BufferError:  # pragma: no cover - live exports
+            pass
+        try:
+            self._mm.close()
+        except BufferError:  # pragma: no cover - live exports
+            pass
+        self._handle.close()
+
+    def __enter__(self) -> "Snapshot":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+
+class SnapshotCorpus:
+    """Engine-facing view of a snapshot: lazily sliced
+    ``(name, EncodedDocument)`` pairs in collection order."""
+
+    def __init__(self, snapshot: Snapshot) -> None:
+        self._snapshot = snapshot
+        self._entries = snapshot.entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def _pair(self, entry: dict) -> tuple[str, EncodedDocument]:
+        return (entry["name"],
+                EncodedDocument(entry["name"],
+                                self._snapshot.payload(entry)))
+
+    def __iter__(self) -> Iterator[tuple[str, EncodedDocument]]:
+        for entry in self._entries:
+            yield self._pair(entry)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self._pair(entry) for entry in self._entries[index]]
+        return self._pair(self._entries[index])
+
+    def total_bytes(self) -> int:
+        """Encoded corpus size (snapshot payload bytes, no reads)."""
+        return sum(entry["length"] for entry in self._entries)
+
+
+def open_snapshot_corpus(directory: str | Path, class_key: str,
+                         units: int, seed: int
+                         ) -> SnapshotCorpus | None:
+    """The snapshot corpus for ``(class, units, seed)`` under
+    ``directory``, or ``None`` when absent or when its identity meta
+    disagrees (a stale snapshot is *skipped*, never trusted)."""
+    path = Path(directory) / snapshot_filename(class_key, units)
+    if not path.exists():
+        return None
+    snapshot = Snapshot.open(path)
+    meta = snapshot.meta
+    if (meta.get("class") != class_key or meta.get("units") != units
+            or meta.get("seed") != seed):
+        snapshot.close()
+        return None
+    return snapshot.corpus()

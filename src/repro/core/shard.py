@@ -66,6 +66,29 @@ while the parent bounds its pipe wait by the same remainder plus a
 grace period (the typed reply should win the race against the
 infrastructure timeout).
 
+Transport
+---------
+
+Bulk-load corpora ship through ``multiprocessing.shared_memory`` by
+default (``transport="shm"``): the parent packs every payload — XML
+text, or pre-encoded :class:`~repro.xml.binary.EncodedDocument` node
+arrays when loading from a snapshot — into one segment, and the load
+RPC carries only ``(segment name, offset, length)`` triples, so the
+pipe cost of scatter is independent of corpus size.  Workers attach
+read-only (unregistering from their resource tracker so a crash can
+never unlink the parent's segment — :mod:`repro.core.shm`), copy their
+slices out, and detach; a respawned worker re-attaches the same
+segment instead of re-shipping.  The parent owns the segment via a
+reference count and unlinks it on the next ``bulk_load`` or
+``close()``.  ``transport="pipe"`` restores inline payloads (and is
+the automatic fallback when no shared memory is available).  Documents
+inserted after load ride inline as ``extras`` in the respawn replay.
+:attr:`ShardedEngine.last_load_report` records the transport used,
+parent-side encode/copy time, segment size and per-worker
+attach/load phase timings; the ``shard.pipe_bytes`` /
+``shard.shm_segments`` / ``shard.shm_bytes`` obs counters quantify
+what actually crossed each medium.
+
 Fault-injection sites (:mod:`repro.faults.plan`, free when no plan is
 installed): ``shard.rpc`` (worker side, per op), ``shard.pipe`` (parent
 side, per send) and ``shard.result`` (worker-side result payload).
@@ -74,8 +97,10 @@ side, per send) and ``shard.result`` (worker-side result payload).
 from __future__ import annotations
 
 import builtins
+import gc
 import itertools
 import multiprocessing
+import pickle
 import threading
 import time
 import zlib
@@ -100,9 +125,11 @@ from ..obs import recorder as _obs
 from ..obs import trace as _trace
 from ..obs.export import trace_records as _trace_records
 from ..workload.queries import QUERIES_BY_ID
+from ..xml.binary import EncodedDocument
 from ..xml.nodes import Text
 from ..xml.parser import parse_document
 from ..xml.serializer import serialize
+from . import shm as _shm
 
 #: Default per-RPC timeout (seconds).  Bulk loads at large scales are
 #: the slowest calls; queries finish orders of magnitude faster.
@@ -157,6 +184,15 @@ def _shard_worker(conn, engine_key: str, shard_index: int = 0,
     # decision instead of replaying the crash that killed its
     # predecessor.
     _faults.set_namespace(f"w{shard_index}.g{generation}")
+    # Under the fork start method the worker inherits the parent's
+    # entire heap copy-on-write.  The first collections in the child
+    # would traverse the gc headers of every inherited object, faulting
+    # those shared pages into private copies — a large, pure overhead
+    # tax on the first bulk load.  Freeze the inherited heap into the
+    # permanent generation (an O(1) list splice) so the collector never
+    # traverses it; everything this worker allocates is still collected
+    # normally.
+    gc.freeze()
     # One span-id counter for the whole worker lifetime: each traced
     # call gets a fresh collector, so without this the ids (and hence
     # the exported gids) would restart at 1 on every call and collide.
@@ -238,15 +274,22 @@ def _run_worker_op(engine_key: str, shard_index: int, op: str,
         # typed before doing any work.
         deadline.check("rpc dispatch")
     if op == "load":
-        __, class_key, mains, replicated = message
         engine = _worker_engine = create(engine_key)
-        db_class = CLASSES_BY_KEY[class_key]
-        texts = [(name, text) for __ord, name, text in mains]
-        texts.extend(replicated)
+        db_class = CLASSES_BY_KEY[message[1]]
+        if isinstance(message[2], dict):
+            texts, phases = _read_segment_corpus(message[2])
+        else:
+            __, __class_key, mains, replicated = message
+            texts = [(name, text) for __ord, name, text in mains]
+            texts.extend(replicated)
+            phases = None
         stats = engine.timed_load(db_class, texts)
         result = {"documents": stats.documents,
                   "bytes": stats.bytes, "rows": stats.rows,
                   "seconds": stats.seconds}
+        if phases is not None:
+            phases["load_seconds"] = stats.seconds
+            result["phases"] = phases
     elif op == "indexes":
         engine.create_indexes(list(message[1]))
         result = None
@@ -287,6 +330,50 @@ def _run_worker_op(engine_key: str, shard_index: int, op: str,
         raise ShardError(f"unknown worker op {op!r}")
     return _faults.corrupt_value("shard.result", result, op=op,
                                  shard=shard_index)
+
+
+def _payload_from(buf, name: str, kind: str, offset: int, length: int):
+    """One load payload copied out of a shared-memory segment.
+
+    Kind ``"b"`` is an RXB1 node array (stays encoded; the engine's
+    ``materialize`` decodes it without parsing), ``"t"`` is UTF-8 XML
+    text.  Both copy, so the segment can be detached immediately.
+    """
+    raw = bytes(buf[offset:offset + length])
+    if kind == "b":
+        return EncodedDocument(name, raw)
+    return raw.decode("utf-8")
+
+
+def _read_segment_corpus(spec: dict) -> tuple[list, dict]:
+    """Materialize a worker's corpus from the shm load ``spec``.
+
+    Attaches the named segment, copies this shard's slices out and
+    detaches *before* the timed load, so a worker never holds the
+    parent's segment open past the RPC that shipped it.  Returns the
+    ``(name, payload)`` list (mains in ordinal order, then ``extras``
+    inserted after the original load, then replicated documents) plus
+    an ``attach_seconds`` phase timing.
+    """
+    start = time.perf_counter()
+    segment = _shm.attach_segment(spec["segment"])
+    try:
+        buf = segment.buf
+        mains = [(ordinal, name,
+                  _payload_from(buf, name, kind, offset, length))
+                 for ordinal, name, kind, offset, length
+                 in spec["entries"]]
+        replicated = [(name,
+                       _payload_from(buf, name, kind, offset, length))
+                      for name, kind, offset, length
+                      in spec["replicated"]]
+    finally:
+        _shm.detach_segment(segment)
+    mains.extend(spec.get("extras", ()))
+    mains.sort(key=lambda entry: entry[0])
+    texts = [(name, payload) for __ord, name, payload in mains]
+    texts.extend(replicated)
+    return texts, {"attach_seconds": time.perf_counter() - start}
 
 
 #: the worker process's engine instance (one worker per process).
@@ -353,6 +440,8 @@ class ShardedEngine(Engine):
 
     #: accepted values for the ``degraded`` policy knob.
     DEGRADED_MODES = ("fail", "partial")
+    #: accepted values for the bulk-load ``transport`` knob.
+    TRANSPORTS = ("shm", "pipe")
 
     def __init__(self, engine_key: str = "native", shards: int = 2,
                  timeout: float | None = DEFAULT_TIMEOUT,
@@ -360,7 +449,8 @@ class ShardedEngine(Engine):
                  seed: int = 0, backoff_base: float = 0.05,
                  retry_budget: float = 30.0,
                  breaker_threshold: int = 3,
-                 breaker_cooldown: float = 5.0) -> None:
+                 breaker_cooldown: float = 5.0,
+                 transport: str = "shm") -> None:
         super().__init__()
         if shards < 1:
             raise ShardError(f"shards must be >= 1, got {shards}")
@@ -368,6 +458,10 @@ class ShardedEngine(Engine):
             raise ShardError(
                 f"degraded must be one of {self.DEGRADED_MODES}, "
                 f"got {degraded!r}")
+        if transport not in self.TRANSPORTS:
+            raise ShardError(
+                f"transport must be one of {self.TRANSPORTS}, "
+                f"got {transport!r}")
         inner = create(engine_key)   # metadata + check_supported proxy
         self._inner = inner
         self.engine_key = engine_key
@@ -403,6 +497,15 @@ class ShardedEngine(Engine):
         #: perf_counter of the first reply of the current execute()
         #: fan-out — the raw material of time-to-first-result.
         self._first_reply_ts: float | None = None
+        #: how bulk-load corpora ship to workers ("shm" or "pipe").
+        self.transport = transport
+        self._segment: _shm.OwnedSegment | None = None
+        self._segment_entries: list[dict] = [dict()
+                                             for __ in range(shards)]
+        self._replicated_entries: list[tuple] = []
+        #: transport + phase timings of the most recent bulk load
+        #: (None before the first load).
+        self.last_load_report: dict | None = None
 
     def _new_breakers(self) -> list[CircuitBreaker]:
         return [CircuitBreaker(threshold=self._breaker_threshold,
@@ -460,12 +563,35 @@ class ShardedEngine(Engine):
             self._reset_state()
             self._class_key = db_class.key
             self._partition(db_class, texts)
-            with _obs.span("shard.bulk_load", shards=self.shards,
-                           engine=self.engine_key):
-                for index in range(self.shards):
-                    self._spawn(index)
-                replies = self._scatter(range(self.shards),
-                                        self._load_message)
+            transport = self.transport
+            encode_seconds = 0.0
+            if transport == "shm":
+                try:
+                    encode_seconds = self._build_segment()
+                except (OSError, ValueError) as exc:
+                    self.incidents.append(
+                        f"shared memory unavailable ({exc}); "
+                        "falling back to pipe transport")
+                    self._release_segment()
+                    transport = "pipe"
+            try:
+                with _obs.span("shard.bulk_load", shards=self.shards,
+                               engine=self.engine_key,
+                               transport=transport):
+                    for index in range(self.shards):
+                        self._spawn(index)
+                    replies = self._scatter(range(self.shards),
+                                            self._load_message)
+            except BaseException:
+                self._release_segment()
+                raise
+            self.last_load_report = {
+                "transport": transport,
+                "encode_seconds": encode_seconds,
+                "segment_bytes": (self._segment.size
+                                  if self._segment is not None else 0),
+                "workers": [reply.get("phases") for reply in replies],
+            }
             documents = self._next_ordinal + len(self._replicated)
             loaded_bytes = (sum(len(t) for __, __n, t in
                                 self._iter_mains())
@@ -480,12 +606,84 @@ class ShardedEngine(Engine):
         for state in self._states:
             yield from state.mains
 
+    def _build_segment(self) -> float:
+        """Pack every partitioned payload into one shm segment.
+
+        Per document the segment stores either UTF-8 XML text (kind
+        ``"t"`` — workers still parse, but in parallel) or an RXB1
+        node array (kind ``"b"``, snapshot-fed corpora — workers skip
+        parsing entirely).  ``_segment_entries[shard][name]`` maps to
+        ``(kind, offset, length)``; replicated documents are stored
+        once and referenced by every shard's load message.  Returns
+        the parent-side encode+copy wall time.
+        """
+        start = time.perf_counter()
+        blobs: list[bytes] = []
+        offset = 0
+        entries: list[dict] = [dict() for __ in range(self.shards)]
+
+        def place(payload) -> tuple[str, int, int]:
+            nonlocal offset
+            if isinstance(payload, EncodedDocument):
+                kind, data = "b", payload.tobytes()
+            else:
+                kind, data = "t", payload.encode("utf-8")
+            blobs.append(data)
+            entry = (kind, offset, len(data))
+            offset += len(data)
+            return entry
+
+        for index, state in enumerate(self._states):
+            for __ordinal, name, payload in state.mains:
+                entries[index][name] = place(payload)
+        replicated = [(name,) + place(payload)
+                      for name, payload in self._replicated]
+        segment = _shm.OwnedSegment(max(1, offset))
+        cursor = 0
+        buf = segment.buf
+        for data in blobs:
+            buf[cursor:cursor + len(data)] = data
+            cursor += len(data)
+        self._segment = segment
+        self._segment_entries = entries
+        self._replicated_entries = replicated
+        _obs.count("shard.shm_segments")
+        _obs.count("shard.shm_bytes", offset)
+        return time.perf_counter() - start
+
     def _load_message(self, index: int) -> tuple:
-        mains = sorted(self._states[index].mains)
-        return ("load", self._class_key, mains, list(self._replicated))
+        mains = sorted(self._states[index].mains,
+                       key=lambda entry: entry[0])
+        if self._segment is None:
+            return ("load", self._class_key, mains,
+                    list(self._replicated))
+        placed = self._segment_entries[index]
+        entries = []
+        extras = []
+        for ordinal, name, payload in mains:
+            entry = placed.get(name)
+            if entry is not None:
+                entries.append((ordinal, name) + entry)
+            else:
+                # Inserted after the segment was built — ships inline
+                # (and replays inline on respawn).
+                extras.append((ordinal, name, payload))
+        return ("load", self._class_key,
+                {"segment": self._segment.name,
+                 "entries": entries,
+                 "extras": extras,
+                 "replicated": list(self._replicated_entries)})
+
+    def _release_segment(self) -> None:
+        if self._segment is not None:
+            self._segment.release()
+            self._segment = None
+        self._segment_entries = [dict() for __ in range(self.shards)]
+        self._replicated_entries = []
 
     def _reset_state(self) -> None:
         self._stop_workers()
+        self._release_segment()
         self._states = [_ShardState() for __ in range(self.shards)]
         self._replicated = []
         self._ordinals = {}
@@ -496,6 +694,7 @@ class ShardedEngine(Engine):
         self.incidents = []
         self.partials = []
         self._breakers = self._new_breakers()
+        self.last_load_report = None
 
     def _release(self) -> None:
         with self._lock:
@@ -867,6 +1066,18 @@ class ShardedEngine(Engine):
               op: str | None = None) -> None:
         try:
             _faults.inject("shard.pipe", op=op, shard=worker.index)
+            if _obs.active() is not None:
+                # What actually crosses the pipe (the connection
+                # pickles the same message); priced only while a
+                # recorder observes, since it serializes twice.
+                try:
+                    _obs.count("shard.pipe_bytes",
+                               len(pickle.dumps(
+                                   message,
+                                   protocol=pickle.HIGHEST_PROTOCOL)))
+                except (pickle.PicklingError, TypeError,
+                        AttributeError):
+                    pass
             worker.conn.send(message)
         except FaultInjected as exc:
             raise _WorkerFailure(

@@ -1,0 +1,103 @@
+"""Shared-memory segment lifecycle for the sharded transport.
+
+``multiprocessing.shared_memory`` on Python < 3.13 has a well-known
+footgun: *attaching* to an existing segment registers it with the
+process's ``resource_tracker``, so a worker that crashes (or merely
+exits) can unlink a segment the parent still owns — and chaos runs end
+with ``resource_tracker`` leak warnings for segments that were cleaned
+up correctly.  This module centralizes the fix:
+
+* the **parent** creates segments through :class:`OwnedSegment`, which
+  reference-counts hand-outs and unlinks exactly once on release;
+* **workers** attach through :func:`attach_segment`, which immediately
+  unregisters the segment from their resource tracker — a crashing
+  worker then just drops its mapping, and a clean worker detaches with
+  :func:`detach_segment`.
+
+Ownership rule: the creating process is the only unlinker.  Workers
+treat segments as read-only, attach for the duration of one bulk load,
+and never outlive the parent's handle.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import resource_tracker, shared_memory
+
+
+class OwnedSegment:
+    """A created segment plus a reference count.
+
+    The creator holds one reference; consumers that need the segment to
+    outlive a scope take extra ones with :meth:`retain`.  The segment
+    is unlinked when the last reference is released.  ``release`` is
+    idempotent past zero, so error paths can release unconditionally.
+    """
+
+    __slots__ = ("shm", "refs")
+
+    def __init__(self, size: int) -> None:
+        self.shm = shared_memory.SharedMemory(create=True, size=size)
+        self.refs = 1
+
+    @property
+    def name(self) -> str:
+        return self.shm.name
+
+    @property
+    def buf(self):
+        return self.shm.buf
+
+    @property
+    def size(self) -> int:
+        return self.shm.size
+
+    def retain(self) -> "OwnedSegment":
+        self.refs += 1
+        return self
+
+    def release(self) -> None:
+        if self.refs <= 0:
+            return
+        self.refs -= 1
+        if self.refs == 0:
+            try:
+                self.shm.close()
+            except (OSError, BufferError):
+                pass
+            try:
+                self.shm.unlink()
+            except (FileNotFoundError, OSError):
+                pass
+
+
+def attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment *without* adopting ownership.
+
+    Python 3.11's ``SharedMemory(name=...)`` registers even a plain
+    attachment with the resource tracker, which unlinks the segment
+    when this process dies — even though the parent created it and
+    still needs it.  Worse, under the ``fork`` start method every
+    process talks to the *same* tracker daemon, whose per-name cache
+    is a set: an attach's register is a duplicate no-op, so
+    unregistering afterwards would erase the parent's registration
+    and the parent's own unlink would then trip a tracker ``KeyError``.
+    The only clean fix before 3.13's ``track=False`` is to suppress
+    the register call for the duration of the attach.
+    """
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+def detach_segment(segment: shared_memory.SharedMemory) -> None:
+    """Close an attached segment (never unlinks)."""
+    try:
+        segment.close()
+    except (OSError, BufferError):  # pragma: no cover - close races
+        pass
+
+
+__all__ = ["OwnedSegment", "attach_segment", "detach_segment"]

@@ -6,6 +6,14 @@ pay in reality, plus whatever its storage architecture adds: shredding and
 key indexes for the relational engines, side-table extraction for Xcolumn,
 nothing extra for the native engine.
 
+Load payloads follow the protocol of :mod:`repro.xml.binary`: each
+``(name, payload)`` pair carries either XML text (parsed as before) or
+an :class:`~repro.xml.binary.EncodedDocument` — a pre-parsed,
+struct-packed node array from a snapshot or a shared-memory shard
+segment, decoded without touching the parser.  ``len(payload)`` is the
+encoded byte size in that case, which is what the byte accounting below
+reports.
+
 ``execute`` returns a list of result strings (serialized fragments or
 atomic values) so results are comparable across engines; the benchmark
 driver uses the native engine as the correctness oracle, mirroring the
@@ -116,7 +124,8 @@ class Engine(ABC):
     @abstractmethod
     def bulk_load(self, db_class: DatabaseClass,
                   texts: list[tuple[str, str]]) -> LoadStats:
-        """Load a corpus of ``(name, xml_text)`` pairs."""
+        """Load a corpus of ``(name, payload)`` pairs (XML text or
+        :class:`~repro.xml.binary.EncodedDocument` node arrays)."""
 
     def close(self) -> None:
         """Release everything the engine holds: document trees,

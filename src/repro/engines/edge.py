@@ -28,7 +28,7 @@ from ..relstore.database import Database
 from ..relstore.table import Column
 from ..relstore.types import ColumnType
 from ..xml.nodes import Document, Element, Text
-from ..xml.parser import parse_document
+from ..xml.binary import materialize
 from ..xml.serializer import serialize
 from .base import Engine, LoadStats
 from .translation import element_str
@@ -217,8 +217,7 @@ class EdgeEngine(Engine):
         self.store = EdgeStore()
         rows = 0
         for name, text in texts:
-            rows += self.store.load_document(parse_document(text,
-                                                            name=name))
+            rows += self.store.load_document(materialize(name, text))
         self.store.build_key_indexes()
         return LoadStats(rows=rows,
                          notes=["interval-encoded, schema-agnostic"])

@@ -30,8 +30,8 @@ from ..errors import XQueryEvalError
 from ..obs.recorder import count as _obs_count
 from ..obs.recorder import plan_node as _obs_plan_node
 from ..workload.queries import QUERIES_BY_ID
+from ..xml.binary import materialize
 from ..xml.nodes import Attribute, Document, Element, Node, Text
-from ..xml.parser import parse_document
 from ..xml.serializer import serialize
 from ..xquery.context import Context
 from ..xquery.engine import StaticCollection, XQueryEngine
@@ -93,7 +93,7 @@ class NativeEngine(Engine):
         self._indexes.clear()
         self._plan_cache.clear()
         for name, text in texts:
-            self._collection.add(parse_document(text, name=name))
+            self._collection.add(materialize(name, text))
         return LoadStats(rows=0, notes=["parsed into trees"])
 
     def create_indexes(self, paths: list[str]) -> None:
@@ -256,7 +256,7 @@ class NativeEngine(Engine):
 
     def insert_document(self, name: str, text: str) -> None:
         """Parse and add one document, maintaining value indexes."""
-        document = parse_document(text, name=name)
+        document = materialize(name, text)
         self._collection.add(document)
         self._plan_cache.clear()
         for path, index in self._indexes.items():

@@ -25,7 +25,7 @@ from ..errors import UnsupportedConfiguration, UnsupportedOperation, \
     UnsupportedQuery
 from ..obs.recorder import plan_node as _obs_plan_node
 from ..xml.nodes import Element
-from ..xml.parser import parse_document
+from ..xml.binary import materialize
 from .base import Engine, LoadStats
 from .shredding import ShreddedStore, ShredPlan
 from .translation import has_plan, run_plan
@@ -55,7 +55,7 @@ class ShreddedEngine(Engine):
         plans_by_root = {plan.root_tag: plan for plan in plans}
         rows = 0
         for name, text in texts:
-            document = parse_document(text, name=name)
+            document = materialize(name, text)
             if self.validate_mapping:
                 plan = plans_by_root.get(document.root_element.tag)
                 if plan is not None:
@@ -127,7 +127,7 @@ class ShreddedEngine(Engine):
     def insert_document(self, name: str, text: str) -> None:
         """Parse and shred one new document; indexes are maintained
         incrementally (the store is live after bulk loading)."""
-        document = parse_document(text, name=name)
+        document = materialize(name, text)
         self.store.shred_document(document)
 
     def delete_document(self, name: str) -> None:

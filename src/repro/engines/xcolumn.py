@@ -27,6 +27,7 @@ from ..relstore.database import Database
 from ..relstore.table import Column
 from ..relstore.types import ColumnType
 from ..workload.queries import QUERIES_BY_ID
+from ..xml.binary import materialize, payload_text
 from ..xml.nodes import Document, Element
 from ..xml.parser import parse_document
 from ..xquery.engine import StaticCollection, XQueryEngine
@@ -126,8 +127,9 @@ class XColumnEngine(Engine):
         rows = 0
         documents_table = self.database.table("documents")
         for name, text in texts:
-            document = parse_document(text, name=name)
-            documents_table.insert({"name": name, "content": text})
+            document = materialize(name, text)
+            documents_table.insert({"name": name,
+                                    "content": payload_text(text)})
             rows += self._extract_side_rows(document, specs)
 
         # DB2 builds key indexes on side tables during load.
@@ -235,9 +237,10 @@ class XColumnEngine(Engine):
     # side tables.
 
     def insert_document(self, name: str, text: str) -> None:
-        document = parse_document(text, name=name)
+        document = materialize(name, text)
         self.database.insert_row("documents",
-                                 {"name": name, "content": text})
+                                 {"name": name,
+                                  "content": payload_text(text)})
         assert self.db_class is not None
         self._extract_side_rows(document,
                                 SIDE_SPECS.get(self.db_class.key, ()))

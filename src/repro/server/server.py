@@ -139,6 +139,10 @@ class ServerConfig:
     #: sample CPU/RSS of the server and its shard workers (pilot-run
     #: calibrated interval), surfaced in ``stats`` responses.
     sample_resources: bool = True
+    #: directory of ``repro snapshot build`` artifacts; cold engine
+    #: loads whose (class, units, CORPUS_SEED) snapshot exists skip
+    #: generation + parsing and mmap-load pre-encoded node arrays.
+    snapshot_dir: str | None = None
 
     def default_spec(self) -> EngineSpec:
         return EngineSpec(self.engine, self.class_key, self.units,
@@ -219,9 +223,17 @@ class _EngineCache:
             engine = create(spec.engine)
         try:
             engine.check_supported(db_class, "small")
-            documents = db_class.generate(spec.units, seed=CORPUS_SEED)
-            engine.timed_load(
-                db_class, [(d.name, serialize(d)) for d in documents])
+            corpus = None
+            if self._config.snapshot_dir is not None:
+                from ..core.corpus_io import open_snapshot_corpus
+                corpus = open_snapshot_corpus(
+                    self._config.snapshot_dir, spec.class_key,
+                    spec.units, CORPUS_SEED)
+            if corpus is None:
+                documents = db_class.generate(spec.units,
+                                              seed=CORPUS_SEED)
+                corpus = [(d.name, serialize(d)) for d in documents]
+            engine.timed_load(db_class, corpus)
             from ..core.indexes import indexes_for
             engine.create_indexes(list(indexes_for(spec.class_key)))
         except BaseException:

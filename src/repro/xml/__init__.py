@@ -1,5 +1,13 @@
 """XML substrate: document model, parser, serializer, schema descriptions."""
 
+from .binary import (
+    BinarySummary,
+    EncodedDocument,
+    decode_document,
+    encode_document,
+    materialize,
+    payload_text,
+)
 from .nodes import (
     Attribute,
     Comment,
@@ -16,7 +24,13 @@ from .serializer import serialize, write_document
 
 __all__ = [
     "Attribute",
+    "BinarySummary",
     "Comment",
+    "EncodedDocument",
+    "decode_document",
+    "encode_document",
+    "materialize",
+    "payload_text",
     "Document",
     "Element",
     "Node",

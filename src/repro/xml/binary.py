@@ -1,0 +1,421 @@
+"""Compact binary document encoding (struct-packed node arrays).
+
+A parsed document is flattened into three sections:
+
+* an **intern table** of tag and attribute names (each distinct name is
+  stored once and referenced by id);
+* a single UTF-8 **text blob** holding every text, comment and
+  attribute value, referenced by character offset + length;
+* a flat **node array** of 8 little-endian ``int32`` fields per node,
+  laid out in document order, so a node's array index *is* its
+  document-order key (the document node is index 0, attributes sit
+  immediately after their owner element and before its children —
+  exactly :meth:`~repro.xml.nodes.Document.refresh_order`).
+
+Per-node fields::
+
+    0  kind          0=document 1=element 2=text 3=comment 4=attribute
+    1  name_id       intern-table id of the tag / attribute name (-1)
+    2  text_off      char offset into the text blob (-1 = no text)
+    3  text_len      char length of the node's text
+    4  parent        node index of the parent (-1 for the document)
+    5  next_sibling  node index of the next sibling (-1 = last)
+    6  first_child   node index of the first child (-1 = leaf)
+    7  subtree_end   index of the last node inside this subtree
+
+Because parents always precede children, decoding is a single forward
+pass that rebuilds the object graph with ``__new__`` (no parser, no
+``refresh_order``); ``order_key`` is assigned from the array index.
+Decoded documents carry a pre-seeded :class:`BinarySummary` whose
+``descendant::tag`` lookups bisect sorted index arrays against the
+stored ``subtree_end`` — the hot scan loop runs over ints, and
+:class:`~repro.xml.nodes.Element` objects are only touched for the
+matching slice.
+
+The per-document wire format (``RXB1``) is what rides inside
+shared-memory shard transport segments and on-disk snapshots
+(:mod:`repro.core.corpus_io`).
+"""
+
+from __future__ import annotations
+
+import struct
+from array import array
+from bisect import bisect_right
+from sys import intern as _intern
+from typing import Optional
+
+from .nodes import Attribute, Comment, Document, Element, Node, Text
+from .summary import StructuralSummary
+
+KIND_DOCUMENT = 0
+KIND_ELEMENT = 1
+KIND_TEXT = 2
+KIND_COMMENT = 3
+KIND_ATTRIBUTE = 4
+
+#: fields per node record (see the module docstring).
+NODE_FIELDS = 8
+NODE_BYTES = NODE_FIELDS * 4
+
+MAGIC = b"RXB1"
+_HEADER = struct.Struct("<4sIIII")   # magic, nodes, names, names_len, text_len
+
+# The node array is written with array("i"): native int32.  Every
+# platform this stack targets has 4-byte C ints; fail loudly otherwise
+# rather than producing unreadable payloads.
+assert array("i").itemsize == 4, "binary codec requires 4-byte C ints"
+
+
+def encode_document(document: Document) -> bytes:
+    """Flatten ``document`` into one self-contained ``RXB1`` payload."""
+    names: dict[str, int] = {}
+    text_parts: list[str] = []
+    fields = array("i")
+
+    text_pos = 0
+
+    def intern_name(name: str) -> int:
+        name_id = names.get(name)
+        if name_id is None:
+            name_id = names[name] = len(names)
+        return name_id
+
+    def add(kind: int, name_id: int, text: Optional[str],
+            parent: int) -> int:
+        nonlocal text_pos
+        index = len(fields) // NODE_FIELDS
+        if text is None:
+            off, length = -1, 0
+        else:
+            off, length = text_pos, len(text)
+            text_parts.append(text)
+            text_pos += length
+        fields.extend((kind, name_id, off, length, parent, -1, -1,
+                       index))
+        return index
+
+    def link(indices: list[int], owner: int, slot: int) -> None:
+        """Chain ``next_sibling`` pointers; seed the owner's ``slot``."""
+        if not indices:
+            return
+        fields[owner * NODE_FIELDS + slot] = indices[0]
+        for left, right in zip(indices, indices[1:]):
+            fields[left * NODE_FIELDS + 5] = right
+
+    def visit(node: Node, parent: int) -> int:
+        if isinstance(node, Element):
+            index = add(KIND_ELEMENT, intern_name(node.tag), None,
+                        parent)
+            attr_indices = [add(KIND_ATTRIBUTE, intern_name(attr.name),
+                                attr.value, index)
+                            for attr in node.attributes.values()]
+            # Attributes chain among themselves; the element's
+            # first_child points at its first *child* node.
+            if attr_indices:
+                for left, right in zip(attr_indices, attr_indices[1:]):
+                    fields[left * NODE_FIELDS + 5] = right
+            child_indices = [visit(child, index)
+                             for child in node.children]
+            link(child_indices, index, 6)
+            fields[index * NODE_FIELDS + 7] = \
+                len(fields) // NODE_FIELDS - 1
+            return index
+        if isinstance(node, Text):
+            return add(KIND_TEXT, -1, node.text, parent)
+        if isinstance(node, Comment):
+            return add(KIND_COMMENT, -1, node.text, parent)
+        raise TypeError(f"cannot encode {type(node).__name__} nodes")
+
+    add(KIND_DOCUMENT, -1, None, -1)
+    top_indices = [visit(child, 0) for child in document.children]
+    link(top_indices, 0, 6)
+    fields[7] = len(fields) // NODE_FIELDS - 1
+
+    name_blob = "\x00".join(names).encode("utf-8")
+    text_blob = "".join(text_parts).encode("utf-8")
+    header = _HEADER.pack(MAGIC, len(fields) // NODE_FIELDS,
+                          len(names), len(name_blob), len(text_blob))
+    return b"".join((header, name_blob, text_blob, fields.tobytes()))
+
+
+def decode_document(data, name: str = "") -> Document:
+    """Rebuild a :class:`Document` from one ``RXB1`` payload.
+
+    ``data`` may be ``bytes`` or any buffer (a memoryview into a
+    shared-memory segment or an mmapped snapshot); the decoder copies
+    what it needs, so the returned tree never pins the source buffer.
+    Single forward pass: parents always precede children, so nodes are
+    attached as they are materialized and ``order_key`` comes straight
+    from the array index — no ``refresh_order`` walk.  The document's
+    creation serial is assigned exactly like a parse, so inter-document
+    order follows decode order.
+    """
+    view = memoryview(data)
+    magic, node_count, name_count, names_len, text_len = \
+        _HEADER.unpack_from(view, 0)
+    if magic != MAGIC:
+        raise ValueError(f"not an RXB1 payload (magic {magic!r})")
+    offset = _HEADER.size
+    name_blob = bytes(view[offset:offset + names_len])
+    offset += names_len
+    text = bytes(view[offset:offset + text_len]).decode("utf-8")
+    offset += text_len
+    fields = array("i")
+    fields.frombytes(
+        bytes(view[offset:offset + node_count * NODE_BYTES]))
+    names = ([_intern(part) for part in
+              name_blob.decode("utf-8").split("\x00")]
+             if name_count else [])
+
+    document = Document.__new__(Document)
+    document.parent = None
+    document.order_key = 0
+    document.children = []
+    document.name = name
+    document._summary = None
+    Document._next_serial += 1
+    document.serial = Document._next_serial
+
+    # The hot loop: one object materialized per node record.  Class
+    # and builtin lookups are hoisted into locals, and tag/index maps
+    # are *not* built here — BinarySummary derives them lazily from
+    # the node list on the first ``descendant::tag`` probe, so loads
+    # that never query a document never pay for its indexes.
+    nodes: list[Node] = [document]
+    nodes_append = nodes.append
+    new_element = Element.__new__
+    new_text = Text.__new__
+    new_attribute = Attribute.__new__
+    new_comment = Comment.__new__
+    element_cls, text_cls = Element, Text
+    attribute_cls, comment_cls = Attribute, Comment
+    base = 0
+    for index in range(1, node_count):
+        base += NODE_FIELDS
+        kind = fields[base]
+        parent = nodes[fields[base + 4]]
+        if kind == KIND_ELEMENT:
+            element = new_element(element_cls)
+            element.tag = names[fields[base + 1]]
+            element.attributes = {}
+            element.children = []
+            element.parent = parent
+            element.order_key = index
+            parent.children.append(element)
+            nodes_append(element)
+        elif kind == KIND_TEXT:
+            off = fields[base + 2]
+            node = new_text(text_cls)
+            node.text = text[off:off + fields[base + 3]]
+            node.parent = parent
+            node.order_key = index
+            parent.children.append(node)
+            nodes_append(node)
+        elif kind == KIND_ATTRIBUTE:
+            off = fields[base + 2]
+            attr = new_attribute(attribute_cls)
+            attr.name = names[fields[base + 1]]
+            attr.value = text[off:off + fields[base + 3]]
+            attr.parent = parent
+            attr.order_key = index
+            parent.attributes[attr.name] = attr
+            nodes_append(attr)
+        elif kind == KIND_COMMENT:
+            off = fields[base + 2]
+            node = new_comment(comment_cls)
+            node.text = text[off:off + fields[base + 3]]
+            node.parent = parent
+            node.order_key = index
+            parent.children.append(node)
+            nodes_append(node)
+        else:
+            raise ValueError(f"unknown node kind {kind}")
+
+    document._summary = BinarySummary(document, fields, nodes)
+    return document
+
+
+class BinarySummary(StructuralSummary):
+    """A structural summary backed by a decoded node array.
+
+    ``descendant::tag`` bisects the tag's sorted index array against
+    the origin's stored ``subtree_end`` instead of walking parent
+    chains per candidate — O(log n + matches) over ints.  Both index
+    layers build lazily: the tag maps on the first descendant probe
+    (one int-typed pass over the node array, no tree walk), the path
+    maps on the first path-shaped lookup — so a bulk load that never
+    queries a document never pays for its indexes.
+
+    Any mutation that adds or removes elements must still go through
+    :meth:`~repro.xml.nodes.Document.invalidate_summary`, which drops
+    this summary entirely; the next access rebuilds a plain
+    :class:`~repro.xml.summary.StructuralSummary` from the (mutated)
+    object graph.  Frozen index arrays therefore always describe the
+    tree they were decoded from.
+    """
+
+    __slots__ = ("_document", "_fields", "_nodes", "_tag_indices",
+                 "_paths_ready")
+
+    def __init__(self, document: Document, fields: array,
+                 nodes: list) -> None:
+        super().__init__()
+        self._document = document
+        self._fields = fields
+        self._nodes = nodes
+        self._tag_indices: dict | None = None
+        self._paths_ready = False
+
+    def _ensure_tags(self) -> None:
+        if self._tag_indices is not None:
+            return
+        fields = self._fields
+        nodes = self._nodes
+        tag_map: dict[str, list[Element]] = {}
+        tag_indices: dict[str, array] = {}
+        base = 0
+        for index in range(1, len(nodes)):
+            base += NODE_FIELDS
+            if fields[base] == KIND_ELEMENT:
+                element = nodes[index]
+                tag = element.tag
+                bucket = tag_map.get(tag)
+                if bucket is None:
+                    tag_map[tag] = bucket = []
+                    tag_indices[tag] = array("i")
+                bucket.append(element)
+                tag_indices[tag].append(index)
+        self.tag_map = tag_map
+        self._tag_indices = tag_indices
+
+    def _ensure_paths(self) -> None:
+        if self._paths_ready:
+            return
+        built = StructuralSummary.build(self._document)
+        self.path_map = built.path_map
+        self.paths_by_tag = built.paths_by_tag
+        self._paths_ready = True
+
+    # -- tag- and path-shaped lookups build their maps on demand ---------
+
+    def elements_with_tag(self, tag: str) -> list[Element]:
+        self._ensure_tags()
+        return super().elements_with_tag(tag)
+
+    def elements_at_path(self, path: str) -> list[Element]:
+        self._ensure_paths()
+        return super().elements_at_path(path)
+
+    def elements_matching(self, path: str) -> list[Element]:
+        if "/" in path:
+            self._ensure_paths()
+        return super().elements_matching(path)
+
+    def paths_of(self, tag: str) -> tuple[str, ...]:
+        self._ensure_paths()
+        return super().paths_of(tag)
+
+    def count_at(self, path: str) -> int:
+        self._ensure_paths()
+        return super().count_at(path)
+
+    # -- the array-backed descendant fast path ---------------------------
+
+    def descendants_with_tag(self, origin: Node,
+                             tag: str) -> list[Element]:
+        self._ensure_tags()
+        indices = self._tag_indices.get(tag)
+        if not indices:
+            return []
+        bucket = self.tag_map[tag]
+        if isinstance(origin, Document):
+            return list(bucket)
+        index = origin.order_key
+        if index < 0:
+            # Node added after decode: no array identity; fall back.
+            return super().descendants_with_tag(origin, tag)
+        end = self._fields[index * NODE_FIELDS + 7]
+        lo = bisect_right(indices, index)
+        hi = bisect_right(indices, end, lo)
+        return bucket[lo:hi]
+
+
+class EncodedDocument:
+    """One document in wire form: a named ``RXB1`` payload.
+
+    Engines accept these in place of XML text in their bulk-load
+    ``(name, payload)`` pairs (see :func:`materialize`); ``len()``
+    reports the encoded byte size so
+    :class:`~repro.engines.base._CountingTexts` byte accounting stays
+    meaningful.  The payload may be a memoryview into shared memory or
+    an mmapped snapshot; pickling (the sharded service's pipe-transport
+    fallback) copies it into plain bytes.
+    """
+
+    __slots__ = ("name", "data")
+
+    def __init__(self, name: str, data) -> None:
+        self.name = name
+        self.data = data
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def tobytes(self) -> bytes:
+        return bytes(self.data)
+
+    def __reduce__(self):
+        return (EncodedDocument, (self.name, self.tobytes()))
+
+    # -- header introspection (snapshot inspect) -------------------------
+
+    def _header(self) -> tuple:
+        return _HEADER.unpack_from(memoryview(self.data), 0)
+
+    def node_count(self) -> int:
+        return self._header()[1]
+
+    def intern_count(self) -> int:
+        return self._header()[2]
+
+    def to_document(self) -> Document:
+        return decode_document(self.data, name=self.name)
+
+    def to_text(self) -> str:
+        from .serializer import serialize
+        return serialize(self.to_document())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<EncodedDocument {self.name!r} "
+                f"{len(self.data)} bytes>")
+
+
+def materialize(name: str, payload) -> Document:
+    """The engine-side payload protocol: a bulk-load payload becomes a
+    :class:`Document` — XML text is parsed, an
+    :class:`EncodedDocument` is decoded (no parser involved)."""
+    if isinstance(payload, EncodedDocument):
+        return payload.to_document()
+    from .parser import parse_document
+    return parse_document(payload, name=name)
+
+
+def payload_text(payload) -> str:
+    """A bulk-load payload as XML text (for CLOB-style storage)."""
+    if isinstance(payload, EncodedDocument):
+        return payload.to_text()
+    return payload
+
+
+__all__ = [
+    "BinarySummary",
+    "EncodedDocument",
+    "MAGIC",
+    "NODE_BYTES",
+    "NODE_FIELDS",
+    "decode_document",
+    "encode_document",
+    "materialize",
+    "payload_text",
+]

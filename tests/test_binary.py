@@ -1,0 +1,326 @@
+"""Binary document store tests: RXB1 codec, snapshots, fast paths.
+
+The contract under test: ``decode(encode(doc))`` is indistinguishable
+from the original — canonical serialization, document order, query
+results and structural-summary answers all match — across every
+workload class and across adversarial hypothesis-generated trees
+(unicode text, attributes, mixed content).  Snapshots round-trip the
+same corpora through the mmap-loadable RXSN container.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.corpus_io import (
+    Snapshot,
+    open_snapshot_corpus,
+    snapshot_filename,
+    write_snapshot,
+)
+from repro.databases import CLASSES_BY_KEY
+from repro.engines import create
+from repro.workload.params import bind_params
+from repro.workload.queries import workload_for_class
+from repro.xml.binary import (
+    BinarySummary,
+    EncodedDocument,
+    decode_document,
+    encode_document,
+    materialize,
+    payload_text,
+)
+from repro.xml.nodes import Document, Element
+from repro.xml.parser import parse_document
+from repro.xml.serializer import serialize
+from repro.xml.summary import StructuralSummary
+
+# -- strategies (mirror test_properties, plus unicode) -----------------------
+
+tag_names = st.text(alphabet="abcdefgh", min_size=1, max_size=6)
+attr_values = st.text(
+    st.characters(min_codepoint=32, max_codepoint=0x2FF), max_size=12)
+text_values = st.text(
+    st.characters(min_codepoint=32, max_codepoint=0x10FF,
+                  blacklist_characters="<&"),
+    min_size=1, max_size=20)
+
+
+@st.composite
+def xml_trees(draw, depth: int = 3) -> Element:
+    element = Element(draw(tag_names))
+    for name in draw(st.lists(tag_names, max_size=3, unique=True)):
+        element.set_attribute(name, draw(attr_values))
+    if depth > 0:
+        for __ in range(draw(st.integers(0, 3))):
+            if draw(st.booleans()):
+                element.append(draw(xml_trees(depth=depth - 1)))
+            else:
+                element.append_text(draw(text_values))
+    return element
+
+
+@st.composite
+def xml_documents(draw) -> Document:
+    document = Document(draw(xml_trees()), name="prop.xml")
+    document.refresh_order()
+    return document
+
+
+def roundtrip(document: Document) -> Document:
+    return decode_document(encode_document(document),
+                           name=document.name)
+
+
+def walk(node):
+    """Every node of a tree in document order (attributes included)."""
+    yield node
+    if isinstance(node, Element):
+        yield from node.attributes.values()
+        for child in node.children:
+            yield from walk(child)
+    elif isinstance(node, Document):
+        for child in node.children:
+            yield from walk(child)
+
+
+# -- codec round trips -------------------------------------------------------
+
+
+class TestRoundTrip:
+    @given(xml_documents())
+    @settings(max_examples=60, deadline=None)
+    def test_serialization_survives_roundtrip(self, document):
+        assert serialize(roundtrip(document)) == serialize(document)
+
+    @given(xml_documents())
+    @settings(max_examples=40, deadline=None)
+    def test_document_order_survives_roundtrip(self, document):
+        decoded = roundtrip(document)
+        originals = [(node.order_key, type(node).__name__)
+                     for node in walk(document)]
+        copies = [(node.order_key, type(node).__name__)
+                  for node in walk(decoded)]
+        assert copies == originals
+
+    @given(xml_documents())
+    @settings(max_examples=40, deadline=None)
+    def test_decoded_summary_matches_structural(self, document):
+        decoded = roundtrip(document)
+        reference = StructuralSummary.build(document)
+        summary = decoded.structural_summary()
+        assert isinstance(summary, BinarySummary)
+        for tag in reference.tag_map:
+            expect = [el.order_key
+                      for el in reference.descendants_with_tag(
+                          document, tag)]
+            got = [el.order_key
+                   for el in summary.descendants_with_tag(decoded, tag)]
+            assert got == expect
+        # Path maps build lazily on first path-shaped lookup.
+        for path, rows in reference.path_map.items():
+            assert summary.count_at(path) == len(rows)
+        assert sorted(summary.path_map) == sorted(reference.path_map)
+
+    @pytest.mark.parametrize("class_key", sorted(CLASSES_BY_KEY))
+    def test_workload_class_corpora_roundtrip(self, class_key):
+        db_class = CLASSES_BY_KEY[class_key]
+        for document in db_class.generate(2, seed=7):
+            assert (serialize(roundtrip(document))
+                    == serialize(document))
+
+    def test_unicode_attributes_mixed_content(self):
+        text = ("<resume lang=\"français\" note=\"\">"
+                "café <b>naïve</b> — "
+                "<em>你好</em> tail &amp; more"
+                "<!-- é comment --></resume>")
+        document = parse_document(text, name="unicode.xml")
+        decoded = roundtrip(document)
+        assert serialize(decoded) == serialize(document)
+        root = decoded.children[0]
+        assert root.attributes["lang"].value == "français"
+        assert root.attributes["note"].value == ""
+
+    def test_descendant_probe_on_nested_repeats(self):
+        # Repeated tags at several depths: the subtree-end interval
+        # probe must honor subtree boundaries exactly.
+        text = ("<a><b><c/><b><c/><c/></b></b><d><b><c/></b></d>"
+                "<c>tail</c></a>")
+        document = parse_document(text, name="nested.xml")
+        decoded = roundtrip(document)
+        summary = decoded.structural_summary()
+        reference = StructuralSummary.build(document)
+        originals = list(walk(document))
+        twins = list(walk(decoded))
+        for origin, twin in zip(originals, twins):
+            if not isinstance(origin, Element):
+                continue
+            for tag in ("b", "c", "d", "nope"):
+                expect = [el.order_key for el in
+                          reference.descendants_with_tag(origin, tag)]
+                got = [el.order_key for el in
+                       summary.descendants_with_tag(twin, tag)]
+                assert got == expect
+
+    def test_mutation_invalidates_binary_summary(self):
+        document = parse_document("<a><b/><b/></a>", name="mut.xml")
+        decoded = roundtrip(document)
+        assert len(decoded.structural_summary()
+                   .descendants_with_tag(decoded, "b")) == 2
+        decoded.children[0].append(Element("b"))
+        decoded.refresh_order()
+        decoded.invalidate_summary()
+        summary = decoded.structural_summary()
+        assert not isinstance(summary, BinarySummary)
+        assert len(summary.descendants_with_tag(decoded, "b")) == 3
+
+
+class TestEncodedDocument:
+    def test_len_is_encoded_size_and_header_counts(self):
+        document = parse_document("<a x=\"1\"><b>t</b></a>",
+                                  name="h.xml")
+        payload = encode_document(document)
+        wrapper = EncodedDocument("h.xml", payload)
+        assert len(wrapper) == len(payload)
+        # document, a, @x, b, text
+        assert wrapper.node_count() == 5
+        assert wrapper.intern_count() >= 3
+        assert serialize(wrapper.to_document()) == serialize(document)
+        assert wrapper.to_text() == serialize(document)
+
+    def test_pickle_roundtrip(self):
+        document = parse_document("<a><b/></a>", name="p.xml")
+        wrapper = EncodedDocument("p.xml",
+                                  encode_document(document))
+        clone = pickle.loads(pickle.dumps(wrapper))
+        assert clone.name == "p.xml"
+        assert serialize(clone.to_document()) == serialize(document)
+
+    def test_materialize_and_payload_text(self):
+        text = "<a><b>x</b></a>"
+        document = parse_document(text, name="m.xml")
+        wrapper = EncodedDocument("m.xml", encode_document(document))
+        assert serialize(materialize("m.xml", text)) == text
+        assert serialize(materialize("m.xml", wrapper)) == text
+        assert payload_text(text) == text
+        assert payload_text(wrapper) == text
+
+
+class TestQueryEquivalence:
+    """An engine loaded from encoded payloads answers every workload
+    query exactly as one loaded from XML text."""
+
+    @pytest.mark.parametrize("class_key", sorted(CLASSES_BY_KEY))
+    def test_native_results_match(self, class_key, small_corpora):
+        corpus = small_corpora[class_key]
+        encoded = [(name, EncodedDocument(
+                        name, encode_document(parse_document(
+                            text, name=name))))
+                   for name, text in corpus["texts"]]
+        from_text = create("native")
+        from_text.timed_load(corpus["class"], list(corpus["texts"]))
+        from_encoded = create("native")
+        from_encoded.timed_load(corpus["class"], encoded)
+        try:
+            for query in workload_for_class(class_key):
+                params = bind_params(query.qid, class_key,
+                                     corpus["units"])
+                assert (from_encoded.execute(query.qid, params)
+                        == from_text.execute(query.qid, params)), (
+                    f"{query.qid} on {class_key} differs when loaded "
+                    "from encoded node arrays")
+        finally:
+            from_text.close()
+            from_encoded.close()
+
+
+# -- snapshots ---------------------------------------------------------------
+
+
+class TestSnapshots:
+    def build(self, tmp_path, class_key="dcmd", units=3, seed=11):
+        db_class = CLASSES_BY_KEY[class_key]
+        documents = db_class.generate(units, seed=seed)
+        path = tmp_path / snapshot_filename(class_key, units)
+        meta = write_snapshot(path, documents,
+                              meta={"class": class_key,
+                                    "units": units, "seed": seed})
+        return path, documents, meta
+
+    def test_write_open_roundtrip(self, tmp_path):
+        path, documents, meta = self.build(tmp_path)
+        assert meta["documents"] == len(documents)
+        with Snapshot.open(path) as snapshot:
+            corpus = snapshot.corpus()
+            assert len(corpus) == len(documents)
+            assert corpus.total_bytes() == meta["payload_bytes"]
+            for (name, payload), document in zip(corpus, documents):
+                assert name == document.name
+                assert (serialize(payload.to_document())
+                        == serialize(document))
+
+    def test_open_snapshot_corpus_validates_identity(self, tmp_path):
+        self.build(tmp_path, units=3, seed=11)
+        assert open_snapshot_corpus(tmp_path, "dcmd", 3, 11) is not None
+        assert open_snapshot_corpus(tmp_path, "dcmd", 3, 99) is None
+        assert open_snapshot_corpus(tmp_path, "dcmd", 4, 11) is None
+        assert open_snapshot_corpus(tmp_path, "missing", 3, 11) is None
+
+    def test_rejects_corrupt_header(self, tmp_path):
+        from repro.errors import BenchmarkError
+        bogus = tmp_path / "bogus.rxs"
+        bogus.write_bytes(b"NOPE" + b"\x00" * 16)
+        with pytest.raises(BenchmarkError):
+            Snapshot.open(bogus)
+
+    def test_benchmark_warm_start_uses_snapshot(self, tmp_path):
+        from repro.core.benchmark import BenchmarkConfig, CorpusCache
+        config = BenchmarkConfig(scale_divisor=20000,
+                                 snapshot_dir=str(tmp_path))
+        cold = CorpusCache(config)
+        scenario = cold._build("dcmd", "small")
+        db_class = CLASSES_BY_KEY["dcmd"]
+        documents = db_class.generate(scenario.units, seed=config.seed)
+        write_snapshot(
+            tmp_path / snapshot_filename("dcmd", scenario.units),
+            documents,
+            meta={"class": "dcmd", "units": scenario.units,
+                  "seed": config.seed})
+        warm = CorpusCache(config).scenario("dcmd", "small")
+        assert warm.texts.__class__.__name__ == "SnapshotCorpus"
+        engine = create("native")
+        try:
+            engine.timed_load(warm.db_class, warm.texts)
+            params = bind_params("Q17", "dcmd", warm.units)
+            oracle = create("native")
+            oracle.timed_load(scenario.db_class, scenario.texts)
+            try:
+                assert (engine.execute("Q17", params)
+                        == oracle.execute("Q17", params))
+            finally:
+                oracle.close()
+        finally:
+            engine.close()
+
+    def test_sharded_load_from_snapshot_corpus(self, tmp_path):
+        from repro.core.shard import ShardedEngine
+        path, documents, __ = self.build(tmp_path, units=4, seed=5)
+        corpus = open_snapshot_corpus(tmp_path, "dcmd", 4, 5)
+        db_class = CLASSES_BY_KEY["dcmd"]
+        oracle = create("native")
+        oracle.timed_load(db_class,
+                          [(d.name, serialize(d)) for d in documents])
+        sharded = ShardedEngine("native", shards=2)
+        try:
+            sharded.timed_load(db_class, corpus)
+            assert sharded.last_load_report["transport"] == "shm"
+            got = sharded.adhoc("collection()/order/@id")
+            expect = oracle.adhoc("collection()/order/@id")
+            assert sorted(got.values) == sorted(expect.values)
+        finally:
+            oracle.close()
+            sharded.close()

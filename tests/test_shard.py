@@ -214,6 +214,102 @@ class TestRobustness:
         assert not engine.loaded
 
 
+class TestShmTransport:
+    """Bulk-load corpora ship via shared memory by default; the pipe
+    carries only (segment, offset, length) triples."""
+
+    def test_shm_matches_pipe_transport(self, small_corpora):
+        corpus = small_corpora["dcmd"]
+        via_shm = load_sharded(corpus, shards=2, transport="shm")
+        via_pipe = load_sharded(corpus, shards=2, transport="pipe")
+        try:
+            assert via_shm.last_load_report["transport"] == "shm"
+            assert via_pipe.last_load_report["transport"] == "pipe"
+            assert via_shm.last_load_report["segment_bytes"] > 0
+            for worker in via_shm.last_load_report["workers"]:
+                assert worker["attach_seconds"] >= 0
+                assert worker["load_seconds"] > 0
+            params = bind_params("Q17", "dcmd", corpus["units"])
+            assert (via_shm.execute("Q17", params)
+                    == via_pipe.execute("Q17", params))
+        finally:
+            via_shm.close()
+            via_pipe.close()
+
+    def test_rejects_unknown_transport(self):
+        with pytest.raises(ShardError):
+            ShardedEngine("native", shards=2, transport="carrier-pigeon")
+
+    def test_segment_unlinked_on_close(self, small_corpora):
+        from multiprocessing import shared_memory
+        corpus = small_corpora["dcmd"]
+        engine = load_sharded(corpus, shards=2, transport="shm")
+        segment_name = engine._segment.name
+        shared_memory.SharedMemory(name=segment_name).close()
+        engine.close()
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=segment_name)
+
+    def test_respawn_reattaches_segment(self, small_corpora):
+        corpus = small_corpora["dcmd"]
+        oracle = load_oracle(corpus)
+        sharded = load_sharded(corpus, shards=2, transport="shm")
+        try:
+            # Post-load insert rides inline as a respawn-replayed
+            # extra; the original corpus is re-read from the segment.
+            name, text = next(
+                (doc_name, doc_text)
+                for doc_name, doc_text in corpus["texts"]
+                if doc_name.startswith("order"))
+            oracle.insert_document("order901.xml", text)
+            sharded.insert_document("order901.xml", text)
+            for worker in list(sharded._workers):
+                worker.process.kill()
+            time.sleep(0.05)
+            params = bind_params("Q17", "dcmd", corpus["units"])
+            assert (sharded.execute("Q17", params)
+                    == oracle.execute("Q17", params))
+            assert any("respawned" in note
+                       for note in sharded.incidents)
+        finally:
+            oracle.close()
+            sharded.close()
+
+    def test_worker_crash_does_not_unlink_segment(self, small_corpora):
+        from multiprocessing import shared_memory
+        corpus = small_corpora["dcmd"]
+        sharded = load_sharded(corpus, shards=2, transport="shm")
+        try:
+            segment_name = sharded._segment.name
+            for worker in list(sharded._workers):
+                worker.process.kill()
+            time.sleep(0.1)
+            # The parent still owns the segment (workers attach
+            # untracked, so their death cannot reap it).
+            probe = shared_memory.SharedMemory(name=segment_name)
+            probe.close()
+        finally:
+            sharded.close()
+
+    def test_shm_ships_fewer_pipe_bytes(self, small_corpora):
+        from repro.obs import Recorder, observing
+        corpus = small_corpora["dcmd"]
+
+        def load_bytes(transport):
+            with observing(Recorder()) as recorder:
+                engine = load_sharded(corpus, shards=2,
+                                      transport=transport)
+                engine.close()
+                return recorder.counters.get("shard.pipe_bytes")
+
+        shm_bytes = load_bytes("shm")
+        pipe_bytes = load_bytes("pipe")
+        assert shm_bytes > 0 and pipe_bytes > 0
+        assert shm_bytes * 10 <= pipe_bytes, (
+            f"shm load shipped {shm_bytes} pipe bytes vs "
+            f"{pipe_bytes} inline — expected >= 10x reduction")
+
+
 class TestUpdates:
     def test_insert_delete_route_to_owner(self, small_corpora):
         corpus = small_corpora["dcmd"]
