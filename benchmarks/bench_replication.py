@@ -1,0 +1,119 @@
+"""Replication A/B: read throughput under `strong` vs `eventual`.
+
+Run as a script to (re)generate ``BENCH_serving.json``::
+
+    PYTHONPATH=src python benchmarks/bench_replication.py
+
+One query server is started with ``shards=2, replicas=2`` and a
+service-time floor (the load-test knob that gives tiny test corpora a
+realistic saturation knee).  With replicas the floor moves *into the
+engine* — it is paid while holding the serving row's lease — so the
+knee scales with the number of rows that can serve a read:
+
+* ``strong`` reads are pinned to the primary row and saturate near
+  ``executors-independent`` 1/floor q/s per shard pair;
+* ``eventual`` reads fan across primary + 2 replica rows
+  (least-outstanding selection) and should push the knee close to
+  ``(replicas + 1) / floor``.
+
+The same seeded open-loop rate sweep runs under both tiers (only the
+session consistency differs).  Every request carries a deadline: an
+open loop with no deadline eventually completes *everything* late,
+which makes ``completed / measure_seconds`` echo the offered rate for
+any tier — with a deadline, requests the saturated tier cannot serve
+in time are shed at admission or deadline-killed, so completed
+throughput plateaus at real capacity.  The artifact records both
+curves plus ``read_gain`` = best eventual throughput / best strong
+throughput.  ``--min-gain`` (used by CI) fails the run if replication
+bought less than the required factor.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+
+from repro.loadgen import LoadConfig, run_rate_sweep, sweep_curve
+from repro.server import QueryServer, ServerConfig
+
+CLASS_KEY = "dcmd"
+UNITS = 12
+SHARDS = 2
+REPLICAS = 2
+FLOOR_SECONDS = 0.02
+DEADLINE_SECONDS = 0.25
+RATES = [25.0, 50.0, 100.0, 150.0]
+SEED = 17
+ARTIFACT = os.path.join(os.path.dirname(__file__),
+                        "BENCH_serving.json")
+
+
+def _sweep(port: int, consistency: str) -> list[dict]:
+    config = LoadConfig(port=port, class_key=CLASS_KEY, units=UNITS,
+                        shards=SHARDS, replicas=REPLICAS,
+                        consistency=consistency, mode="open",
+                        streams=16, deadline=DEADLINE_SECONDS,
+                        warmup_seconds=0.5,
+                        measure_seconds=2.0, seed=SEED)
+    return sweep_curve(run_rate_sweep(config, list(RATES)))
+
+
+def _best_qps(curve: list[dict]) -> float:
+    return max(point["throughput_qps"] for point in curve)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default=ARTIFACT,
+                        help="artifact path (default: the committed "
+                             "benchmarks/BENCH_serving.json)")
+    parser.add_argument("--min-gain", type=float, default=None,
+                        help="fail unless eventual/strong read "
+                             "throughput >= this factor")
+    args = parser.parse_args()
+
+    server = QueryServer(ServerConfig(
+        port=0, class_key=CLASS_KEY, units=UNITS, shards=SHARDS,
+        replicas=REPLICAS, executors=REPLICAS + 2, max_queue=64,
+        throttle_seconds=FLOOR_SECONDS, seed=SEED,
+        sample_resources=False)).start_background()
+    try:
+        curves = {tier: _sweep(server.port, tier)
+                  for tier in ("strong", "eventual")}
+    finally:
+        server.stop_background()
+
+    strong_qps = _best_qps(curves["strong"])
+    eventual_qps = _best_qps(curves["eventual"])
+    gain = round(eventual_qps / strong_qps, 3) if strong_qps else 0.0
+    artifact = {
+        "schema": "xbench-replication/1",
+        "config": {
+            "class": CLASS_KEY, "units": UNITS, "shards": SHARDS,
+            "replicas": REPLICAS, "service_floor_s": FLOOR_SECONDS,
+            "deadline_s": DEADLINE_SECONDS,
+            "rates": RATES, "seed": SEED,
+        },
+        "replication_sweep": curves,
+        "best_throughput_qps": {"strong": strong_qps,
+                                "eventual": eventual_qps},
+        "read_gain": gain,
+    }
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(artifact, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    print(f"strong   best {strong_qps:7.1f} q/s")
+    print(f"eventual best {eventual_qps:7.1f} q/s  "
+          f"(gain {gain:.2f}x with {REPLICAS} replicas)")
+    print(f"wrote {args.out}")
+    if args.min_gain is not None and gain < args.min_gain:
+        print(f"FAIL: read gain {gain:.2f}x < required "
+              f"{args.min_gain:.2f}x")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -130,6 +130,12 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=sorted(CLASSES_BY_KEY))
     verify.add_argument("--divisor", type=int, default=2000)
     verify.add_argument("--scale", default="small")
+    verify.add_argument("--replicas", type=int, default=0,
+                        metavar="N",
+                        help="read replicas per shard on the sharded "
+                             "row; its reads then run under eventual "
+                             "consistency, verifying journal-shipped "
+                             "replica state against the oracle")
     verify.add_argument("--shards", type=int, default=0, metavar="N",
                         help="also verify the native engine behind "
                              "the sharded execution service with N "
@@ -322,6 +328,25 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="SECONDS",
                        help="per-RPC timeout (overrides the "
                             "scenario's recommendation)")
+    chaos.add_argument("--replicas", type=int, default=None,
+                       metavar="N",
+                       help="read replicas per shard (default: the "
+                            "scenario's recommendation)")
+    chaos.add_argument("--consistency", default=None,
+                       metavar="TIER",
+                       help="read tier: strong, eventual, "
+                            "read_your_writes, bounded_staleness:K "
+                            "(default: the scenario's recommendation)")
+    chaos.add_argument("--write-every", type=int, default=None,
+                       metavar="N",
+                       help="interleave one acknowledged write every "
+                            "N operations (default: the scenario's "
+                            "recommendation; 0 disables)")
+    chaos.add_argument("--max-lost-writes", type=int, default=None,
+                       metavar="N",
+                       help="fail (exit 1) when more than N "
+                            "acknowledged writes are lost (the "
+                            "replication CI gate uses 0)")
     chaos.add_argument("--min-availability", type=float, default=None,
                        metavar="PCT",
                        help="exit non-zero when availability falls "
@@ -354,6 +379,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--shards", type=int, default=0, metavar="N",
                        help="serve the default spec behind the "
                             "sharded execution service")
+    serve.add_argument("--replicas", type=int, default=0, metavar="N",
+                       help="read replicas per shard of the default "
+                            "spec (requires --shards >= 2); replica "
+                            "sessions honor per-request consistency "
+                            "tiers")
     serve.add_argument("--queue", type=int, default=64,
                        metavar="DEPTH",
                        help="bounded request queue; beyond this, "
@@ -436,6 +466,13 @@ def build_parser() -> argparse.ArgumentParser:
                       help="must match the corpus served for the "
                            "session spec")
     load.add_argument("--shards", type=int, default=0)
+    load.add_argument("--replicas", type=int, default=0, metavar="N",
+                      help="read replicas per shard of the session "
+                           "spec (requires --shards >= 2)")
+    load.add_argument("--consistency", default="strong",
+                      metavar="TIER",
+                      help="session read tier: strong, eventual, "
+                           "read_your_writes, bounded_staleness:K")
     load.add_argument("--mode", default="closed",
                       choices=["closed", "open"],
                       help="closed: N sessions, next query on "
@@ -795,6 +832,9 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
                        degraded=args.degraded,
                        rpc_timeout=args.rpc_timeout,
                        deadline_seconds=args.deadline,
+                       replicas=args.replicas,
+                       consistency=args.consistency,
+                       write_every=args.write_every,
                        recorder=recorder)
     if args.format == "json":
         print(json.dumps(result.record(), indent=2))
@@ -810,7 +850,9 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
                     "retries": args.retries,
                     "degraded": args.degraded,
                     "deadline": args.deadline,
-                    "rpc_timeout": args.rpc_timeout},
+                    "rpc_timeout": args.rpc_timeout,
+                    "replicas": result.replicas,
+                    "consistency": result.consistency},
             extra={"chaos": result.record()})
         path = write_bench_artifact(summary, args.obs_out)
         print(f"wrote {path}")
@@ -822,6 +864,12 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             and result.availability_pct < args.min_availability):
         print(f"error: availability {result.availability_pct:.2f}% "
               f"below the required {args.min_availability:.2f}%",
+              file=sys.stderr)
+        return 1
+    if (args.max_lost_writes is not None
+            and result.lost_writes > args.max_lost_writes):
+        print(f"error: {result.lost_writes} acknowledged write(s) "
+              f"lost (at most {args.max_lost_writes} allowed)",
               file=sys.stderr)
         return 1
     return 0
@@ -849,7 +897,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     config = ServerConfig(
         host=args.host, port=args.port, engine=args.engine,
         class_key=args.class_key, units=args.units,
-        shards=args.shards, max_queue=args.queue,
+        shards=args.shards, replicas=args.replicas,
+        max_queue=args.queue,
         executors=args.executors,
         tenant_weights=_parse_pairs(args.tenant_weight,
                                     "--tenant-weight"),
@@ -929,7 +978,9 @@ def _cmd_load(args: argparse.Namespace) -> int:
     config = LoadConfig(
         host=args.host, port=args.port, engine=args.engine,
         class_key=args.class_key, units=args.units,
-        shards=args.shards, mode=args.mode, rate=args.rate,
+        shards=args.shards, replicas=args.replicas,
+        consistency=args.consistency,
+        mode=args.mode, rate=args.rate,
         streams=args.streams, think_seconds=args.think,
         warmup_seconds=args.warmup, measure_seconds=args.measure,
         seed=args.seed, deadline=args.deadline, tenants=tenants)
@@ -996,6 +1047,8 @@ def _cmd_load(args: argparse.Namespace) -> int:
             config={"host": args.host, "port": args.port,
                     "engine": args.engine, "class": args.class_key,
                     "units": args.units, "shards": args.shards,
+                    "replicas": args.replicas,
+                    "consistency": args.consistency,
                     "mode": ("open" if args.rate_sweep
                              else args.mode),
                     "rate": args.rate, "rate_sweep": args.rate_sweep,
@@ -1126,15 +1179,18 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     for class_key in class_keys:
         report = verify_scenario(bench, class_key, args.scale,
                                  shards=args.shards,
-                                 rpc_timeout=args.rpc_timeout)
+                                 rpc_timeout=args.rpc_timeout,
+                                 replicas=args.replicas)
         print(report.format())
         print()
         mismatches += len(report.mismatches())
         if args.shards > 1:
+            # The sharded row's label is "... xN" (plus " +Nr" with
+            # replicas), so match the shard marker anywhere.
             suffix = f" x{args.shards}"
             sharded_mismatches += sum(
                 1 for label, __ in report.mismatches()
-                if label.endswith(suffix))
+                if suffix in label)
     print(f"{mismatches} cell(s) differ from the native oracle "
           "(expected: the paper's documented mapping infidelities)")
     if sharded_mismatches:

@@ -89,8 +89,41 @@ attach/load phase timings; the ``shard.pipe_bytes`` /
 ``shard.shm_segments`` / ``shard.shm_bytes`` obs counters quantify
 what actually crossed each medium.
 
+Replication
+-----------
+
+``replicas=N`` gives every shard ``N`` read replicas, organised as
+*rows*: replica row ``r`` holds one replica worker per shard, so a
+whole read fan-out can run against one row without touching the
+primaries.  Primaries acknowledge writes as before; each acknowledged
+write appends a **sequence-numbered** entry to the per-shard journal
+(``_committed_seq`` is the global write sequence), and entries ship to
+replicas over the same pipe RPC as a ``("replay", upto_seq, entries)``
+batch — synchronously after each write by default, or batched by a
+background thread every ``ship_interval`` seconds.  Replicas suppress
+duplicate sequences and report their ``applied_seq`` back, so lag is
+observable (``shard.replica_lag`` gauge, :meth:`replication_state`).
+
+Read-only queries route by consistency tier
+(:mod:`repro.api`): ``strong`` pins to the primaries,
+``read_your_writes`` needs a row that has applied the session's last
+write, ``bounded_staleness`` tolerates a bounded write lag and
+``eventual`` takes any live row — among eligible rows the one with the
+fewest outstanding reads wins, and with no eligible row the read falls
+back to the primaries (``shard.consistency_fallbacks``).  A replica
+failure mid-read marks the row deficient (repaired by respawn on the
+next lease or flush) and the read retries on the primaries.
+
+When a *primary* dies and replicas exist, recovery prefers **failover**
+over respawn-and-replay: the freshest replica of that shard is caught
+up from the journal, promoted in place (re-tagged to the primary
+namespace), and its old row slot becomes a deficit to backfill —
+``shard.failovers`` counts these, and the shard's breaker closes on
+the successful promotion instead of burning its retry budget.
+
 Fault-injection sites (:mod:`repro.faults.plan`, free when no plan is
-installed): ``shard.rpc`` (worker side, per op), ``shard.pipe`` (parent
+installed): ``shard.rpc`` (worker side, per op — including ``replay``,
+which the replica-lag chaos scenario delays), ``shard.pipe`` (parent
 side, per send) and ``shard.result`` (worker-side result payload).
 """
 
@@ -104,8 +137,10 @@ import pickle
 import threading
 import time
 import zlib
+from contextlib import ExitStack, contextmanager
 from dataclasses import dataclass, field
 
+from .. import api as _api
 from .. import errors as _errors_module
 from ..databases import CLASSES_BY_KEY
 from ..databases.base import DatabaseClass
@@ -155,7 +190,7 @@ def shard_of(name: str, shards: int) -> int:
 # --------------------------------------------------------------------------
 
 def _shard_worker(conn, engine_key: str, shard_index: int = 0,
-                  generation: int = 0) -> None:
+                  generation: int = 0, tag: str | None = None) -> None:
     """Worker process main loop: one engine, one duplex pipe.
 
     Replies ``("ok", result)``, ``("okt", result, span_records)`` for
@@ -175,15 +210,18 @@ def _shard_worker(conn, engine_key: str, shard_index: int = 0,
     # process, so drop the inherited recorder and make the hooks no-op.
     _obs.uninstall()
     # Span gids exported from this process are namespaced by (shard,
-    # respawn generation), so a respawned worker can never collide with
-    # spans its predecessor already shipped for the same trace.
-    _trace.set_process_tag(f"w{shard_index}.g{generation}")
+    # respawn generation) — replicas carry a row marker too
+    # ("w<shard>r<row>.g<gen>") — so a respawned worker can never
+    # collide with spans its predecessor already shipped for the same
+    # trace.  A promoted replica is re-tagged via the "promote" op.
+    tag = tag or f"w{shard_index}.g{generation}"
+    _trace.set_process_tag(tag)
     # The fork also inherits any installed FaultPlan.  Re-key the
     # decision namespace per (shard, respawn generation): decisions stay
     # deterministic, but a respawned worker's retried call draws a fresh
     # decision instead of replaying the crash that killed its
     # predecessor.
-    _faults.set_namespace(f"w{shard_index}.g{generation}")
+    _faults.set_namespace(tag)
     # Under the fork start method the worker inherits the parent's
     # entire heap copy-on-write.  The first collections in the child
     # would traverse the gc headers of every inherited object, faulting
@@ -266,7 +304,7 @@ def _run_worker_op(engine_key: str, shard_index: int, op: str,
     must close before the reply is serialized so its duration rides
     along).  ``stop`` raises :class:`_WorkerStop`; the loop acks it.
     """
-    global _worker_engine
+    global _worker_engine, _worker_applied_seq
     engine = _worker_engine
     _faults.inject("shard.rpc", op=op, shard=shard_index)
     if deadline is not None:
@@ -275,6 +313,7 @@ def _run_worker_op(engine_key: str, shard_index: int, op: str,
         deadline.check("rpc dispatch")
     if op == "load":
         engine = _worker_engine = create(engine_key)
+        _worker_applied_seq = 0
         db_class = CLASSES_BY_KEY[message[1]]
         if isinstance(message[2], dict):
             texts, phases = _read_segment_corpus(message[2])
@@ -322,6 +361,27 @@ def _run_worker_op(engine_key: str, shard_index: int, op: str,
         __, id_path, id_value, target_tag, new_value = message
         result = engine.update_value(id_path, id_value,
                                      target_tag, new_value)
+    elif op == "replay":
+        # Journal shipping: apply sequence-numbered write entries,
+        # suppressing any sequence already applied (duplicate batches
+        # are harmless), then advance to ``upto_seq`` — an empty batch
+        # is how a freshly-loaded replica gets stamped as caught up.
+        __, upto_seq, entries = message
+        applied = _worker_applied_seq
+        for seq, entry in entries:
+            if seq <= applied:
+                continue
+            _apply_journal_op(engine, entry)
+            applied = seq
+        _worker_applied_seq = max(applied, int(upto_seq))
+        result = _worker_applied_seq
+    elif op == "promote":
+        # Failover: this replica is now shard ``shard_index``'s
+        # primary.  Re-tag span gids and the fault namespace so spans
+        # and chaos decisions attribute to its new role.
+        _trace.set_process_tag(message[1])
+        _faults.set_namespace(message[1])
+        result = None
     elif op == "ping":
         result = "pong"
     elif op == "stop":
@@ -376,8 +436,25 @@ def _read_segment_corpus(spec: dict) -> tuple[list, dict]:
     return texts, {"attach_seconds": time.perf_counter() - start}
 
 
+def _apply_journal_op(engine: Engine, entry: tuple) -> None:
+    """Apply one shipped journal entry to a replica's engine."""
+    op = entry[0]
+    if op == "insert":
+        engine.insert_document(entry[1], entry[2])
+    elif op == "delete":
+        engine.delete_document(entry[1])
+    elif op == "update_value":
+        engine.update_value(entry[1], entry[2], entry[3], entry[4])
+    else:
+        raise ShardError(f"unknown journal op {op!r}")
+
+
 #: the worker process's engine instance (one worker per process).
 _worker_engine: Engine | None = None
+
+#: highest journal sequence this worker has applied (replicas only;
+#: reset on every load, advanced by ``replay`` batches).
+_worker_applied_seq: int = 0
 
 
 def _rebuild_error(type_name: str, message: str) -> Exception:
@@ -411,6 +488,10 @@ class _Worker:
     #: RPC sequence counter; each call's id is echoed in its reply so
     #: replies to abandoned calls are recognisably stale.
     calls: int = 0
+    #: highest journal sequence this worker has acknowledged applying
+    #: (replicas only; primaries are by definition at the committed
+    #: sequence).  Parent-side mirror of the worker's own counter.
+    applied_seq: int = 0
 
     def next_call_id(self) -> int:
         self.calls += 1
@@ -423,8 +504,11 @@ class _ShardState:
 
     #: main documents owned by this shard: (ordinal, name, text).
     mains: list[tuple[int, str, str]] = field(default_factory=list)
-    #: update operations applied since load, replayed on respawn.
-    journal: list[tuple] = field(default_factory=list)
+    #: acknowledged write operations since load as ``(seq, op)``
+    #: entries — the replication log.  Shipped incrementally to
+    #: replicas; primary respawns replay only the ``update_value``
+    #: entries (``mains`` already reflects structural inserts/deletes).
+    journal: list[tuple[int, tuple]] = field(default_factory=list)
 
 
 class ShardedEngine(Engine):
@@ -450,10 +534,16 @@ class ShardedEngine(Engine):
                  retry_budget: float = 30.0,
                  breaker_threshold: int = 3,
                  breaker_cooldown: float = 5.0,
-                 transport: str = "shm") -> None:
+                 transport: str = "shm",
+                 replicas: int = 0,
+                 ship_interval: float = 0.0,
+                 default_consistency="strong",
+                 service_floor: float = 0.0) -> None:
         super().__init__()
         if shards < 1:
             raise ShardError(f"shards must be >= 1, got {shards}")
+        if replicas < 0:
+            raise ShardError(f"replicas must be >= 0, got {replicas}")
         if degraded not in self.DEGRADED_MODES:
             raise ShardError(
                 f"degraded must be one of {self.DEGRADED_MODES}, "
@@ -470,7 +560,16 @@ class ShardedEngine(Engine):
         self.retries = retries
         self.degraded = degraded
         self.key = engine_key
-        self.row_label = f"{inner.row_label} x{shards}"
+        self.replicas = replicas
+        self.ship_interval = ship_interval
+        self._default_consistency = _api.Consistency.parse(
+            default_consistency)
+        #: minimum wall time a query holds its lease (primary lock or
+        #: replica row lock) — models a per-row service-time floor so
+        #: read scale-out is measurable on any core count.
+        self.service_floor = service_floor
+        suffix = f" +{replicas}r" if replicas else ""
+        self.row_label = f"{inner.row_label} x{shards}{suffix}"
         self.description = (f"{inner.description} — sharded across "
                             f"{shards} worker processes")
         #: infrastructure incidents (respawns, retries) for the report.
@@ -506,6 +605,31 @@ class ShardedEngine(Engine):
         #: transport + phase timings of the most recent bulk load
         #: (None before the first load).
         self.last_load_report: dict | None = None
+        # -- replication state --
+        #: global write sequence: bumped once per acknowledged write.
+        self._committed_seq = 0
+        #: replica row r (1-based) lives at _replica_rows[r - 1]: one
+        #: worker per shard, or None where the slot is dead.
+        self._replica_rows: list[list[_Worker | None]] = [
+            [None] * shards for __ in range(replicas)]
+        self._replica_generations = [[0] * shards
+                                     for __ in range(replicas)]
+        #: one lock per replica row; a replica read leases the whole
+        #: row so its pipes never interleave with another reader.
+        #: Lock order is always self._lock -> row locks ascending.
+        self._row_locks = [threading.RLock() for __ in range(replicas)]
+        #: in-flight reads per row (index 0 = primaries) — the
+        #: least-outstanding routing signal.  Plain int bumps; races
+        #: only skew load estimates, never correctness.
+        self._row_outstanding = [0] * (replicas + 1)
+        #: (row, shard) slots that need a respawn (died mid-read or
+        #: mid-ship); repaired lazily at the next lease or flush.
+        self._replica_deficits: set[tuple[int, int]] = set()
+        self._replicas_loaded = False
+        #: completed primary->replica promotions (see _try_failover).
+        self.failovers = 0
+        self._ship_thread: threading.Thread | None = None
+        self._ship_stop = threading.Event()
 
     def _new_breakers(self) -> list[CircuitBreaker]:
         return [CircuitBreaker(threshold=self._breaker_threshold,
@@ -523,8 +647,40 @@ class ShardedEngine(Engine):
 
     def worker_pids(self) -> list[int]:
         """PIDs of the live worker processes (for resource sampling)."""
-        return [worker.process.pid for worker in self._workers
+        pids = [worker.process.pid for worker in self._workers
                 if worker is not None and worker.process.is_alive()]
+        for row_workers in self._replica_rows:
+            pids.extend(worker.process.pid for worker in row_workers
+                        if worker is not None
+                        and worker.process.is_alive())
+        return pids
+
+    @property
+    def committed_seq(self) -> int:
+        """The global write sequence (last acknowledged write)."""
+        return self._committed_seq
+
+    def replication_state(self) -> dict:
+        """Replica-row snapshot: liveness, applied sequence and lag."""
+        with self._lock:
+            committed = self._committed_seq
+            rows = []
+            for row in range(1, self.replicas + 1):
+                workers = self._replica_rows[row - 1]
+                alive = all(worker is not None
+                            and worker.process.is_alive()
+                            for worker in workers)
+                applied = min((worker.applied_seq for worker in workers
+                               if worker is not None), default=0)
+                rows.append({"row": row, "alive": alive,
+                             "applied_seq": applied,
+                             "lag": max(0, committed - applied),
+                             "outstanding": self._row_outstanding[row]})
+            return {"replicas": self.replicas,
+                    "committed_seq": committed,
+                    "ship_interval": self.ship_interval,
+                    "failovers": self.failovers,
+                    "rows": rows}
 
     def breaker_states(self) -> list[dict]:
         """Per-shard circuit-breaker snapshot for the stats surface."""
@@ -558,8 +714,21 @@ class ShardedEngine(Engine):
 
     # -- lifecycle -----------------------------------------------------------
 
+    @contextmanager
+    def _exclusive(self):
+        """Global lock plus every row lock, in ascending order.
+
+        Every state mutation (load, indexes, writes, shipping, close)
+        runs under this, so a reader holding only its row lock sees
+        stable corpus state for the duration of its lease."""
+        with ExitStack() as stack:
+            stack.enter_context(self._lock)
+            for lock in self._row_locks:
+                stack.enter_context(lock)
+            yield
+
     def bulk_load(self, db_class: DatabaseClass, texts) -> LoadStats:
-        with self._lock:
+        with self._exclusive():
             self._reset_state()
             self._class_key = db_class.key
             self._partition(db_class, texts)
@@ -582,6 +751,8 @@ class ShardedEngine(Engine):
                         self._spawn(index)
                     replies = self._scatter(range(self.shards),
                                             self._load_message)
+                if self.replicas:
+                    self._load_replica_rows()
             except BaseException:
                 self._release_segment()
                 raise
@@ -682,7 +853,9 @@ class ShardedEngine(Engine):
         self._replicated_entries = []
 
     def _reset_state(self) -> None:
+        self._stop_ship_thread()
         self._stop_workers()
+        self._stop_replicas()
         self._release_segment()
         self._states = [_ShardState() for __ in range(self.shards)]
         self._replicated = []
@@ -695,9 +868,14 @@ class ShardedEngine(Engine):
         self.partials = []
         self._breakers = self._new_breakers()
         self.last_load_report = None
+        self._committed_seq = 0
+        self._replica_deficits = set()
+        self._row_outstanding = [0] * (self.replicas + 1)
+        self._replicas_loaded = False
+        self.failovers = 0
 
     def _release(self) -> None:
-        with self._lock:
+        with self._exclusive():
             self._reset_state()
 
     def _stop_workers(self) -> None:
@@ -714,6 +892,21 @@ class ShardedEngine(Engine):
             self._terminate(worker)
             self._workers[index] = None
 
+    def _stop_replicas(self) -> None:
+        for row_workers in self._replica_rows:
+            for index, worker in enumerate(row_workers):
+                if worker is None:
+                    continue
+                try:
+                    call_id = worker.next_call_id()
+                    worker.conn.send((call_id, ("stop",)))
+                    self._recv(worker, time.monotonic() + 2.0, 2.0,
+                               call_id)
+                except (_WorkerFailure, OSError, ValueError):
+                    pass
+                self._terminate(worker)
+                row_workers[index] = None
+
     @staticmethod
     def _terminate(worker: _Worker) -> None:
         try:
@@ -727,74 +920,217 @@ class ShardedEngine(Engine):
     # -- indexes -------------------------------------------------------------
 
     def create_indexes(self, paths: list[str]) -> None:
-        with self._lock:
+        with self._exclusive():
             self._index_paths.extend(
                 path for path in paths if path not in self._index_paths)
             self._scatter(range(self.shards),
                           lambda __: ("indexes", list(paths)))
+            self._mirror_to_replicas(("indexes", list(paths)))
 
     def drop_indexes(self) -> None:
-        with self._lock:
+        with self._exclusive():
             self._index_paths = []
             self._scatter(range(self.shards),
                           lambda __: ("drop_indexes",))
+            self._mirror_to_replicas(("drop_indexes",))
+
+    def _mirror_to_replicas(self, message: tuple) -> None:
+        """Best-effort copy of an index op to every replica; a slot
+        that fails becomes a deficit and is rebuilt with the index
+        state replayed, so nothing is lost."""
+        if not self._replicas_loaded:
+            return
+        for row in range(1, self.replicas + 1):
+            for index, worker in enumerate(self._replica_rows[row - 1]):
+                if worker is None:
+                    self._replica_deficits.add((row, index))
+                    continue
+                try:
+                    self._call_worker(worker, message)
+                except _WorkerFailure:
+                    self._replica_deficits.add((row, index))
 
     # -- query execution -----------------------------------------------------
 
     def execute(self, qid: str, params: dict) -> list[str]:
+        consistency = (_api.current_consistency()
+                       or self._default_consistency)
+        row = self._lease_read_row(consistency)
+        if row:
+            try:
+                with self._row_locks[row - 1]:
+                    return self._execute_replica(qid, params, row)
+            except _WorkerFailure as failure:
+                # The row died mid-read; its deficit is already
+                # recorded.  Reads are side-effect free, so retry the
+                # whole query on the primaries.
+                _obs.count("shard.replica_fallbacks")
+                self.incidents.append(
+                    f"replica row {row} failed mid-read ({failure}); "
+                    "read retried on primaries")
+            finally:
+                self._row_outstanding[row] -= 1
+            self._row_outstanding[0] += 1
         with self._lock:
-            self._require_loaded()
-            assert self.db_class is not None
-            spec = QUERIES_BY_ID[qid].merge_for(self.db_class.key)
-            if self.db_class.single_document:
-                spec = {"kind": "home"}
-            kind = spec["kind"]
-            _obs.count("shard.fanout_calls")
-            self._first_reply_ts = None
-            start = time.perf_counter()
-            with _obs.span("shard.fanout", shards=self.shards,
-                           merge=kind, qid=qid):
-                with _obs.plan_node("shard.fanout", shards=self.shards,
-                                    merge=kind, qid=qid) as node:
-                    values = self._execute_merged(qid, params, spec)
-                    node.add(rows_out=len(values))
-            first = self._first_reply_ts
-            self.last_ttfr_seconds = (
-                (first - start) if first is not None
-                else time.perf_counter() - start)
-            return values
+            try:
+                return self._execute_primary(qid, params)
+            finally:
+                self._row_outstanding[0] -= 1
 
-    def _execute_merged(self, qid: str, params: dict,
-                        spec: dict) -> list[str]:
+    def _lease_read_row(self, consistency: _api.Consistency) -> int:
+        """Pick the row this read runs on: ``0`` for the primaries or
+        a 1-based replica row.
+
+        Only fully-alive rows whose slowest shard satisfies the tier's
+        required sequence are eligible; among those the one with the
+        fewest outstanding reads wins.  No eligible row falls back to
+        the primaries (``shard.consistency_fallbacks``)."""
+        if consistency.tier == "strong" or not self.replicas:
+            self._row_outstanding[0] += 1
+            return 0
+        with self._lock:
+            if not self._replicas_loaded:
+                self._row_outstanding[0] += 1
+                return 0
+            if self._replica_deficits:
+                self._repair_replicas_locked()
+            committed = self._committed_seq
+            if consistency.tier == "read_your_writes":
+                # Clamp: a session sequence from before a reload can
+                # exceed the new corpus's committed sequence; a fully
+                # caught-up replica is always an acceptable answer.
+                required = min(consistency.min_seq, committed)
+            elif consistency.tier == "bounded_staleness":
+                required = max(0, committed - consistency.max_lag)
+            else:
+                required = 0
+            best, best_load, max_lag = 0, None, 0
+            for row in range(1, self.replicas + 1):
+                workers = self._replica_rows[row - 1]
+                if any(worker is None or not worker.process.is_alive()
+                       for worker in workers):
+                    continue
+                applied = min(worker.applied_seq for worker in workers)
+                max_lag = max(max_lag, committed - applied)
+                if applied < required:
+                    continue
+                load = self._row_outstanding[row]
+                if best_load is None or load < best_load:
+                    best, best_load = row, load
+            _obs.gauge("shard.replica_lag", max_lag)
+            if best:
+                _obs.count("shard.replica_reads")
+            else:
+                _obs.count("shard.consistency_fallbacks")
+            self._row_outstanding[best] += 1
+            return best
+
+    def _execute_primary(self, qid: str, params: dict) -> list[str]:
+        self._require_loaded()
+        assert self.db_class is not None
+        spec = QUERIES_BY_ID[qid].merge_for(self.db_class.key)
+        if self.db_class.single_document:
+            spec = {"kind": "home"}
+        kind = spec["kind"]
+        _obs.count("shard.fanout_calls")
+        self._first_reply_ts = None
+        start = time.perf_counter()
+        with _obs.span("shard.fanout", shards=self.shards,
+                       merge=kind, qid=qid):
+            with _obs.plan_node("shard.fanout", shards=self.shards,
+                                merge=kind, qid=qid) as node:
+                values = self._execute_merged(qid, params, spec)
+                node.add(rows_out=len(values))
+        first = self._first_reply_ts
+        self.last_ttfr_seconds = (
+            (first - start) if first is not None
+            else time.perf_counter() - start)
+        self._pad_service_floor(start)
+        return values
+
+    def _execute_replica(self, qid: str, params: dict,
+                         row: int) -> list[str]:
+        """One read against replica row ``row`` (row lock held).
+
+        Same merge plans as the primary path, but every RPC goes to
+        the row's workers and any infrastructure failure raises
+        :class:`_WorkerFailure` (after marking the slot deficient) so
+        the caller can retry on the primaries — replica reads never
+        respawn inline."""
+        self._require_loaded()
+        assert self.db_class is not None
+        spec = QUERIES_BY_ID[qid].merge_for(self.db_class.key)
+        if self.db_class.single_document:
+            spec = {"kind": "home"}
+        kind = spec["kind"]
+        _obs.count("shard.fanout_calls")
+        start = time.perf_counter()
+        with _obs.span("shard.fanout", shards=self.shards,
+                       merge=kind, qid=qid, replica_row=row):
+            with _obs.plan_node("shard.fanout", shards=self.shards,
+                                merge=kind, qid=qid) as node:
+                values = self._execute_merged(
+                    qid, params, spec,
+                    call=lambda index, message:
+                        self._replica_row_call(row, index, message),
+                    fanout=lambda shard_ids, message_for:
+                        self._replica_row_fanout(row, shard_ids,
+                                                 message_for))
+                node.add(rows_out=len(values))
+        self._pad_service_floor(start)
+        return values
+
+    def _pad_service_floor(self, start: float) -> None:
+        """Hold the current lease until ``service_floor`` has elapsed.
+
+        Sleeping *inside* the lease is the point: it models a per-row
+        service-time floor, so ``strong`` traffic saturates at ~1/floor
+        QPS while replica rows multiply read capacity — measurable
+        even on a single core."""
+        if self.service_floor <= 0:
+            return
+        remaining = self.service_floor - (time.perf_counter() - start)
+        active = _deadline.current()
+        if active is not None:
+            remaining = min(remaining, active.remaining())
+        if remaining > 0:
+            time.sleep(remaining)
+        if active is not None:
+            active.check("service floor")
+
+    def _execute_merged(self, qid: str, params: dict, spec: dict,
+                        call=None, fanout=None) -> list[str]:
+        if call is None:
+            call = self._call
+        if fanout is None:
+            fanout = lambda shard_ids, message_for: self._fanout(  # noqa: E731
+                shard_ids, message_for, qid=qid)
         kind = spec["kind"]
         if kind == "home":
             home = self._home if self._home is not None else 0
-            return self._call(home, ("execute", qid, dict(params)))
+            return call(home, ("execute", qid, dict(params)))
         if kind == "route":
             name = str(params[spec["param"]])
-            return self._call(self.shard_of(name),
-                              ("execute", qid, dict(params)))
+            return call(self.shard_of(name),
+                        ("execute", qid, dict(params)))
         if kind == "point":
-            pairs = self._fanout(
-                range(self.shards),
-                lambda __: ("execute", qid, dict(params)), qid=qid)
+            pairs = fanout(range(self.shards),
+                           lambda __: ("execute", qid, dict(params)))
             with _obs.span("shard.merge", kind="point"):
                 return [value for __, values in pairs
                         for value in values]
         if kind == "regroup":
-            pairs = self._fanout(
-                range(self.shards),
-                lambda __: ("execute", qid, dict(params)), qid=qid)
+            pairs = fanout(range(self.shards),
+                           lambda __: ("execute", qid, dict(params)))
             with _obs.span("shard.merge", kind="regroup"):
                 return self._merge_regroup(
                     [values for __, values in pairs], spec)
         # concat / sorted: per-document evaluation on every shard.
-        pairs = self._fanout(
+        pairs = fanout(
             range(self.shards),
             lambda index: ("execute_per_doc", qid, dict(params),
                            [name for __, name in
-                            self._shard_names(index)]),
-            qid=qid)
+                            self._shard_names(index)]))
         with _obs.span("shard.merge", kind=kind):
             merged = self._merge_per_document(pairs)
             if kind == "sorted":
@@ -869,18 +1205,55 @@ class ShardedEngine(Engine):
     # -- ad-hoc queries ------------------------------------------------------
 
     def _adhoc(self, text: str, params: dict) -> list[str]:
+        # Ad-hoc reads honor the same consistency routing as the
+        # workload queries: replica rows serve tiers they satisfy,
+        # with primary fallback on mid-read failure.
+        consistency = (_api.current_consistency()
+                       or self._default_consistency)
+        row = self._lease_read_row(consistency)
+        if row:
+            try:
+                with self._row_locks[row - 1]:
+                    return self._adhoc_on_row(text, params, row)
+            except _WorkerFailure as failure:
+                _obs.count("shard.replica_fallbacks")
+                self.incidents.append(
+                    f"replica row {row} failed mid-read ({failure}); "
+                    "adhoc retried on primaries")
+            finally:
+                self._row_outstanding[row] -= 1
+            self._row_outstanding[0] += 1
         with self._lock:
-            if self._home is not None:
-                return self._call(self._home, ("adhoc", text, params))
-            pairs = self._fanout(
-                range(self.shards), lambda __: ("adhoc", text, params),
-                qid="adhoc")
-            return [value for __, values in pairs for value in values]
+            try:
+                if self._home is not None:
+                    return self._call(self._home,
+                                      ("adhoc", text, params))
+                pairs = self._fanout(
+                    range(self.shards),
+                    lambda __: ("adhoc", text, params), qid="adhoc")
+                return [value for __, values in pairs
+                        for value in values]
+            finally:
+                self._row_outstanding[0] -= 1
+
+    def _adhoc_on_row(self, text: str, params: dict,
+                      row: int) -> list[str]:
+        """One ad-hoc read against replica row ``row`` (row lock
+        held); infrastructure failures raise :class:`_WorkerFailure`
+        for the primary-fallback path."""
+        self._require_loaded()
+        if self._home is not None:
+            return self._replica_row_call(row, self._home,
+                                          ("adhoc", text, params))
+        pairs = self._replica_row_fanout(
+            row, range(self.shards),
+            lambda __: ("adhoc", text, params))
+        return [value for __, values in pairs for value in values]
 
     # -- update workload -----------------------------------------------------
 
     def insert_document(self, name: str, text: str) -> None:
-        with self._lock:
+        with self._exclusive():
             self._require_loaded()
             ordinal = self._next_ordinal
             self._next_ordinal += 1
@@ -895,9 +1268,13 @@ class ShardedEngine(Engine):
                 del self._ordinals[name]
                 self._next_ordinal = ordinal
                 raise
+            self._committed_seq += 1
+            self._states[index].journal.append(
+                (self._committed_seq, ("insert", name, text)))
+            self._after_write()
 
     def delete_document(self, name: str) -> None:
-        with self._lock:
+        with self._exclusive():
             self._require_loaded()
             index = self.shard_of(name)
             self._call(index, ("delete", name))
@@ -905,31 +1282,49 @@ class ShardedEngine(Engine):
             self._states[index].mains = [
                 entry for entry in self._states[index].mains
                 if entry[1] != name]
+            self._committed_seq += 1
+            self._states[index].journal.append(
+                (self._committed_seq, ("delete", name)))
+            self._after_write()
 
     def update_value(self, id_path: str, id_value: str, target_tag: str,
                      new_value: str) -> int:
-        with self._lock:
+        with self._exclusive():
             self._require_loaded()
             message = ("update_value", id_path, id_value, target_tag,
                        new_value)
             replies = self._scatter(range(self.shards),
                                     lambda __: message)
+            self._committed_seq += 1
             for state in self._states:
-                state.journal.append(message)
+                state.journal.append((self._committed_seq, message))
+            self._after_write()
             return sum(replies)
+
+    def _after_write(self) -> None:
+        """Post-acknowledgement replication hook: with no ship
+        interval, journal entries ship synchronously; otherwise the
+        ship thread batches them."""
+        if self._replicas_loaded and self.ship_interval <= 0:
+            self._ship_pending_locked()
 
     # -- RPC plumbing --------------------------------------------------------
 
-    def _spawn(self, index: int) -> None:
+    def _spawn_process(self, index: int, generation: int,
+                       tag: str | None, name: str) -> _Worker:
         parent_conn, child_conn = self._ctx.Pipe(duplex=True)
         process = self._ctx.Process(
             target=_shard_worker,
-            args=(child_conn, self.engine_key, index,
-                  self._generations[index]),
-            name=f"repro-shard-{index}", daemon=True)
+            args=(child_conn, self.engine_key, index, generation, tag),
+            name=name, daemon=True)
         process.start()
         child_conn.close()
-        self._workers[index] = _Worker(index, process, parent_conn)
+        return _Worker(index, process, parent_conn)
+
+    def _spawn(self, index: int) -> None:
+        self._workers[index] = self._spawn_process(
+            index, self._generations[index], None,
+            f"repro-shard-{index}")
 
     def _respawn(self, index: int, reason: str) -> None:
         """Replace a dead worker and replay its state."""
@@ -946,8 +1341,11 @@ class ShardedEngine(Engine):
         self._call_raw(index, self._load_message(index))
         if self._index_paths:
             self._call_raw(index, ("indexes", list(self._index_paths)))
-        for op in self._states[index].journal:
-            self._call_raw(index, op)
+        # The load message already reflects structural inserts/deletes
+        # (``mains`` is current), so only value updates replay.
+        for __seq, op in self._states[index].journal:
+            if op[0] == "update_value":
+                self._call_raw(index, op)
 
     def _record_failure(self, index: int) -> None:
         """Account one infrastructure failure on the shard's breaker."""
@@ -975,6 +1373,12 @@ class ShardedEngine(Engine):
         respawn, re-call — until the retry policy or an active deadline
         says stop.
 
+        With replicas, recovery first attempts a **failover**: the
+        freshest live replica of the shard is caught up from the
+        journal and promoted to primary — much cheaper than a respawn
+        (no reload), it consumes no retry attempt, and its success
+        closes the shard's breaker.
+
         Raises :class:`~repro.errors.ShardError` when retries are
         exhausted, :class:`~repro.errors.CircuitOpen` when this
         failure (or an earlier one) tripped the breaker, and
@@ -990,15 +1394,23 @@ class ShardedEngine(Engine):
                     f"shard {index}: deadline expired during "
                     f"recovery ({failure})",
                     budget_seconds=active.budget) from None
-            if not self._retry.allow_retry(attempt):
-                raise ShardError(
-                    f"{failure} (after {attempt + 1} "
-                    f"attempt{'s' if attempt else ''})") from None
-            _obs.count("shard.retries")
-            self._retry.pause(attempt)
-            self._breakers[index].allow()   # may have tripped above
+            if self._try_failover(index, str(failure)):
+                self._breakers[index].record_success()
+            else:
+                if not self._retry.allow_retry(attempt):
+                    raise ShardError(
+                        f"{failure} (after {attempt + 1} "
+                        f"attempt{'s' if attempt else ''})") from None
+                _obs.count("shard.retries")
+                self._retry.pause(attempt)
+                self._breakers[index].allow()   # may have tripped above
+                try:
+                    self._respawn(index, str(failure))
+                except _WorkerFailure as again:
+                    failure = again
+                    attempt += 1
+                    continue
             try:
-                self._respawn(index, str(failure))
                 result = self._call_raw(index, message)
             except _WorkerFailure as again:
                 failure = again
@@ -1007,11 +1419,71 @@ class ShardedEngine(Engine):
             self._breakers[index].record_success()
             return result
 
+    def _try_failover(self, index: int, reason: str) -> bool:
+        """Promote the freshest live replica of shard ``index`` to
+        primary.  Returns False (leaving respawn as the fallback) when
+        no replica is promotable.
+
+        The candidate is detached from its row under the row lock (the
+        slot becomes a deficit to backfill), caught up from the
+        journal — structural entries included, since unlike a respawn
+        it keeps its loaded corpus — then re-tagged to the primary
+        namespace under a bumped generation and installed."""
+        if not self.replicas or not self._replicas_loaded:
+            return False
+        best_row, best = 0, None
+        for row in range(1, self.replicas + 1):
+            worker = self._replica_rows[row - 1][index]
+            if worker is None or not worker.process.is_alive():
+                continue
+            if best is None or worker.applied_seq > best.applied_seq:
+                best_row, best = row, worker
+        if best is None:
+            return False
+        with self._row_locks[best_row - 1]:
+            self._replica_rows[best_row - 1][index] = None
+        self._replica_deficits.add((best_row, index))
+        with _obs.span("shard.failover", shard=index, row=best_row):
+            try:
+                entries = [entry for entry in
+                           self._states[index].journal
+                           if entry[0] > best.applied_seq]
+                best.applied_seq = int(self._call_worker(
+                    best, ("replay", self._committed_seq, entries)))
+                self._generations[index] += 1
+                self._call_worker(
+                    best,
+                    ("promote",
+                     f"w{index}.g{self._generations[index]}"))
+            except Exception as exc:  # noqa: BLE001 - abort, fall back
+                self._terminate(best)
+                self.incidents.append(
+                    f"shard {index} failover from replica row "
+                    f"{best_row} aborted: {exc}")
+                return False
+        old = self._workers[index]
+        self._workers[index] = best
+        if old is not None:
+            self._terminate(old)
+        self.failovers += 1
+        _obs.count("shard.failovers")
+        self.incidents.append(
+            f"shard {index} failed over to replica row {best_row} "
+            f"(applied_seq {best.applied_seq}): {reason}")
+        return True
+
     def _call_raw(self, index: int, message: tuple):
         worker = self._workers[index]
         if worker is None or not worker.process.is_alive():
             raise _WorkerFailure(f"shard {index}: worker not running")
-        wire, budget = self._wire(index, message)
+        return self._call_worker(worker, message, f"shard {index}")
+
+    def _call_worker(self, worker: _Worker, message: tuple,
+                     label: str | None = None):
+        """One deadline/trace-wrapped RPC on an explicit worker handle
+        (primary or replica)."""
+        wire, budget = self._wire(label or f"shard {worker.index}",
+                                  message)
         wire = self._trace_wire(wire)
         call_id = worker.next_call_id()
         self._send(worker, (call_id, wire), op=message[0])
@@ -1041,7 +1513,7 @@ class ShardedEngine(Engine):
         return ("trace", {"trace_id": ctx.trace_id,
                           "parent": parent_gid}, wire)
 
-    def _wire(self, index: int, message: tuple) -> tuple[tuple, float]:
+    def _wire(self, label: str, message: tuple) -> tuple[tuple, float]:
         """The on-pipe form of ``message`` plus the pipe-wait budget.
 
         With an active deadline the message is wrapped as
@@ -1056,7 +1528,7 @@ class ShardedEngine(Engine):
         remaining = active.remaining()
         if remaining <= 0:
             raise QueryTimeout(
-                f"shard {index}: deadline expired before dispatch",
+                f"{label}: deadline expired before dispatch",
                 budget_seconds=active.budget)
         return (("deadline", remaining, message),
                 min(self.timeout, remaining + DEADLINE_GRACE))
@@ -1254,6 +1726,260 @@ class ShardedEngine(Engine):
             except Exception as exc:
                 failures.append((index, exc))
         return results, failures
+
+    # -- replication plumbing ------------------------------------------------
+
+    def _spawn_replica(self, row: int, index: int) -> _Worker:
+        generation = self._replica_generations[row - 1][index]
+        worker = self._spawn_process(
+            index, generation, f"w{index}r{row}.g{generation}",
+            f"repro-shard-{index}-r{row}")
+        self._replica_rows[row - 1][index] = worker
+        return worker
+
+    def _load_replica_rows(self) -> None:
+        """Spawn and load every replica row (bulk-load tail).
+
+        Loads are pipelined per row like the primary scatter; the shm
+        segment is still owned by the parent, so replicas attach to
+        the same segment instead of re-shipping the corpus.  A fresh
+        corpus is at sequence 0, so new workers are born caught up.
+        Replica load failures are strict: a half-provisioned row would
+        otherwise silently serve nothing."""
+        self._replicas_loaded = False
+        try:
+            for row in range(1, self.replicas + 1):
+                workers = [self._spawn_replica(row, index)
+                           for index in range(self.shards)]
+                call_ids = {}
+                for index, worker in enumerate(workers):
+                    call_ids[index] = worker.next_call_id()
+                    wire = self._trace_wire(self._load_message(index))
+                    self._send(worker, (call_ids[index], wire),
+                               op="load")
+                deadline = time.monotonic() + self.timeout
+                for index, worker in enumerate(workers):
+                    self._recv(worker, deadline, self.timeout,
+                               call_ids[index])
+                if self._index_paths:
+                    for worker in workers:
+                        self._call_worker(
+                            worker,
+                            ("indexes", list(self._index_paths)))
+        except _WorkerFailure as failure:
+            raise ShardError(
+                f"replica load failed: {failure}") from None
+        self._replicas_loaded = True
+        self._start_ship_thread()
+
+    def _respawn_replica(self, row: int, index: int,
+                         reason: str) -> None:
+        """Rebuild one replica slot: load the current corpus, replay
+        value updates (the load message carries original document
+        text), then stamp it caught up at the committed sequence."""
+        _obs.count("shard.replica_respawns")
+        self.incidents.append(
+            f"replica row {row} shard {index} respawned: {reason}")
+        old = self._replica_rows[row - 1][index]
+        if old is not None:
+            self._terminate(old)
+        self._replica_generations[row - 1][index] += 1
+        worker = self._spawn_replica(row, index)
+        if self._class_key is None:
+            return
+        self._call_worker(worker, self._load_message(index))
+        if self._index_paths:
+            self._call_worker(worker,
+                              ("indexes", list(self._index_paths)))
+        updates = [entry for entry in self._states[index].journal
+                   if entry[1][0] == "update_value"]
+        worker.applied_seq = int(self._call_worker(
+            worker, ("replay", self._committed_seq, updates)))
+
+    def _repair_replicas_locked(self) -> None:
+        """Respawn every deficient replica slot (global lock held; the
+        affected row locks are taken per slot so an in-flight read on
+        another row is untouched).  A slot that fails to come back
+        stays dead and deficient — the next lease retries."""
+        failed = []
+        while True:
+            try:
+                # Atomic pop: a reader may add deficits concurrently
+                # (it holds only its row lock), and none may be lost.
+                row, index = self._replica_deficits.pop()
+            except KeyError:
+                break
+            with self._row_locks[row - 1]:
+                try:
+                    self._respawn_replica(row, index, "deficit repair")
+                except (_WorkerFailure, ShardError, OSError) as exc:
+                    failed.append((row, index))
+                    self.incidents.append(
+                        f"replica row {row} shard {index} repair "
+                        f"failed: {exc}")
+        self._replica_deficits.update(failed)
+
+    def _ship_pending_locked(self) -> None:
+        """Ship journal entries past each replica's applied sequence
+        (exclusive lock held).
+
+        Batches are idempotent — the worker suppresses duplicate
+        sequences — and an empty batch still advances ``applied_seq``
+        for replicas whose shard saw no writes.  A failed endpoint
+        becomes a deficit; shipping never blocks the write that
+        triggered it beyond this one pass."""
+        committed = self._committed_seq
+        max_lag = 0
+        for row in range(1, self.replicas + 1):
+            workers = self._replica_rows[row - 1]
+            row_applied = committed
+            for index in range(self.shards):
+                worker = workers[index]
+                if worker is None or not worker.process.is_alive():
+                    self._replica_deficits.add((row, index))
+                    row_applied = 0
+                    continue
+                if worker.applied_seq < committed:
+                    entries = [entry for entry in
+                               self._states[index].journal
+                               if entry[0] > worker.applied_seq]
+                    try:
+                        worker.applied_seq = int(self._call_worker(
+                            worker, ("replay", committed, entries)))
+                        _obs.count("shard.journal_shipped",
+                                   len(entries))
+                    except _WorkerFailure as failure:
+                        self._replica_deficits.add((row, index))
+                        self.incidents.append(
+                            f"replica row {row} shard {index} ship "
+                            f"failed: {failure}")
+                        row_applied = 0
+                        continue
+                row_applied = min(row_applied, worker.applied_seq)
+            max_lag = max(max_lag, committed - row_applied)
+        _obs.gauge("shard.replica_lag", max_lag)
+
+    def flush_replication(self) -> None:
+        """Ship all pending journal entries and repair deficits now.
+
+        The synchronous form of what the ship thread does every
+        ``ship_interval``; tests and the chaos harness call it to
+        bound lag deterministically.  Ships first (which is also how
+        dead slots are *noticed* and recorded as deficits), then
+        repairs and re-ships, so one flush leaves every repairable
+        row alive and caught up."""
+        with self._exclusive():
+            if not self._replicas_loaded:
+                return
+            self._ship_pending_locked()
+            if self._replica_deficits:
+                self._repair_replicas_locked()
+                self._ship_pending_locked()
+
+    def _start_ship_thread(self) -> None:
+        if self.ship_interval <= 0 or self._ship_thread is not None:
+            return
+        self._ship_stop = threading.Event()
+        self._ship_thread = threading.Thread(
+            target=self._ship_loop, name="repro-journal-ship",
+            daemon=True)
+        self._ship_thread.start()
+
+    def _ship_loop(self) -> None:
+        # The bounded lock acquire keeps shutdown deadlock-free: the
+        # stopper holds the global lock while joining, so this thread
+        # must never block on it unconditionally.
+        while not self._ship_stop.wait(max(self.ship_interval, 0.01)):
+            if not self._lock.acquire(timeout=0.2):
+                continue
+            try:
+                if self._ship_stop.is_set() \
+                        or not self._replicas_loaded:
+                    continue
+                with ExitStack() as stack:
+                    for lock in self._row_locks:
+                        stack.enter_context(lock)
+                    if self._replica_deficits:
+                        self._repair_replicas_locked()
+                    self._ship_pending_locked()
+            except Exception as exc:  # noqa: BLE001 - keep shipping
+                self.incidents.append(f"journal ship failed: {exc}")
+            finally:
+                self._lock.release()
+
+    def _stop_ship_thread(self) -> None:
+        if self._ship_thread is None:
+            return
+        self._ship_stop.set()
+        self._ship_thread.join(timeout=5.0)
+        self._ship_thread = None
+
+    def _replica_row_call(self, row: int, index: int, message: tuple):
+        """One RPC against replica ``(row, index)``; infrastructure
+        failures mark the slot deficient and raise
+        :class:`_WorkerFailure` for the primary-fallback path."""
+        worker = self._replica_rows[row - 1][index]
+        if worker is None or not worker.process.is_alive():
+            self._replica_deficits.add((row, index))
+            raise _WorkerFailure(
+                f"replica row {row} shard {index}: not running")
+        try:
+            return self._call_worker(worker, message,
+                                     f"replica row {row} shard {index}")
+        except _WorkerFailure:
+            self._replica_deficits.add((row, index))
+            raise
+
+    def _replica_row_fanout(self, row: int, shard_ids,
+                            message_for) -> list[tuple[int, object]]:
+        """Strict pipelined fan-out across one replica row.
+
+        No degraded mode and no inline recovery: any infrastructure
+        failure marks its slot deficient and raises, and the caller
+        retries the whole read on the primaries.  Abandoned replies
+        from the failed fan-out are discarded by call-id on the row's
+        next lease, so the pipes stay aligned."""
+        shard_ids = list(shard_ids)
+        workers = self._replica_rows[row - 1]
+        remaining = None
+        budget = self.timeout
+        active = _deadline.current()
+        if active is not None:
+            remaining = active.remaining()
+            if remaining <= 0:
+                raise QueryTimeout(
+                    f"deadline expired before replica row {row} "
+                    "fan-out", budget_seconds=active.budget)
+            budget = min(self.timeout, remaining + DEADLINE_GRACE)
+        call_ids: dict[int, int] = {}
+        for index in shard_ids:
+            worker = workers[index]
+            message = message_for(index)
+            try:
+                if worker is None or not worker.process.is_alive():
+                    raise _WorkerFailure(
+                        f"replica row {row} shard {index}: "
+                        "not running")
+                wire = (message if remaining is None
+                        else ("deadline", remaining, message))
+                wire = self._trace_wire(wire)
+                call_ids[index] = worker.next_call_id()
+                self._send(worker, (call_ids[index], wire),
+                           op=message[0])
+            except _WorkerFailure:
+                self._replica_deficits.add((row, index))
+                raise
+        deadline = time.monotonic() + budget
+        results = []
+        for index in shard_ids:
+            try:
+                results.append((index, self._recv(
+                    workers[index], deadline, budget,
+                    call_ids[index])))
+            except _WorkerFailure:
+                self._replica_deficits.add((row, index))
+                raise
+        return results
 
 
 def _first_descendant(element, tag: str):

@@ -63,13 +63,17 @@ class VerificationReport:
 def verify_scenario(bench: XBench, class_key: str,
                     scale_name: str = "small",
                     shards: int = 0,
-                    rpc_timeout: float | None = None) -> VerificationReport:
+                    rpc_timeout: float | None = None,
+                    replicas: int = 0) -> VerificationReport:
     """Build the verification matrix for one scenario.
 
     With ``shards > 1`` an extra row runs the native engine behind the
     sharded execution service (``rpc_timeout`` bounds its per-call
     waits), verifying that the scatter-gather merge is byte-identical
-    to the single-process oracle.
+    to the single-process oracle.  With ``replicas > 0`` that row also
+    provisions read replicas and reads under ``eventual`` consistency,
+    so every cell additionally verifies that journal-shipped replica
+    state answers byte-identically to the primaries.
     """
     scenario = bench.corpus.scenario(class_key, scale_name)
     query_ids = [query.qid for query in ALL_QUERIES
@@ -81,8 +85,10 @@ def verify_scenario(bench: XBench, class_key: str,
                      key=lambda e: e.key != "native")
     if shards > 1:
         from .shard import ShardedEngine
-        engines.insert(1, ShardedEngine("native", shards=shards,
-                                        timeout=rpc_timeout))
+        engines.insert(1, ShardedEngine(
+            "native", shards=shards, timeout=rpc_timeout,
+            replicas=replicas,
+            default_consistency=("eventual" if replicas else "strong")))
     oracles: dict[str, list[str]] = {}
     for engine in engines:
         report.engine_labels.append(engine.row_label)

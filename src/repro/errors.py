@@ -188,6 +188,17 @@ class ServerDraining(ServerError):
     """
 
 
+class ConsistencyError(ReproError):
+    """An invalid consistency tier or tier argument was requested.
+
+    Raised when parsing a consistency specification (an unknown tier
+    name, a negative ``max_lag``, a malformed ``tier:arg`` string) and
+    when a request asks for a guarantee the engine cannot express —
+    e.g. ``read_your_writes`` with a session sequence from a different
+    corpus generation.
+    """
+
+
 class FaultInjected(ReproError):
     """An error deliberately injected by an active
     :class:`~repro.faults.plan.FaultPlan` rule of kind ``"error"``.

@@ -13,9 +13,11 @@ fault sequence and counts.
 
 from __future__ import annotations
 
+import random
 import time
 from dataclasses import dataclass, field
 
+from ..api import consistency_scope
 from ..errors import (
     CircuitOpen,
     QueryTimeout,
@@ -48,11 +50,28 @@ class ChaosResult:
     engine_key: str
     class_key: str
     shards: int
+    replicas: int = 0
+    consistency: str = "strong"
+    #: total operations scored (reads + interleaved writes).
     queries: int = 0
     ok: int = 0
     partial: int = 0
     failed: int = 0
     unhandled: int = 0
+    #: interleaved write-stream accounting.  An *acknowledged* write is
+    #: one ``update_value`` that returned; the post-storm verification
+    #: reads every acknowledged token back under ``strong`` and counts
+    #: any mismatch as a lost write (the CI gate requires zero).
+    writes: int = 0
+    writes_acked: int = 0
+    writes_failed: int = 0
+    writes_verified: int = 0
+    writes_unverified: int = 0
+    lost_writes: int = 0
+    #: primary->replica promotions the engine performed.
+    failovers: int = 0
+    #: final :meth:`ShardedEngine.replication_state` snapshot.
+    replication: dict = field(default_factory=dict)
     wall_seconds: float = 0.0
     latencies: list = field(default_factory=list)
     #: typed incidents: {"qid", "type", "message", "trace_id"} per
@@ -82,12 +101,22 @@ class ChaosResult:
             "engine": self.engine_key,
             "class": self.class_key,
             "shards": self.shards,
+            "replicas": self.replicas,
+            "consistency": self.consistency,
             "queries": self.queries,
             "ok": self.ok,
             "partial": self.partial,
             "failed": self.failed,
             "unhandled": self.unhandled,
             "availability_pct": round(self.availability_pct, 3),
+            "writes": self.writes,
+            "writes_acked": self.writes_acked,
+            "writes_failed": self.writes_failed,
+            "writes_verified": self.writes_verified,
+            "writes_unverified": self.writes_unverified,
+            "lost_writes": self.lost_writes,
+            "failovers": self.failovers,
+            "replication": self.replication,
             "wall_seconds": self.wall_seconds,
             "latency": histogram.summary(),
             "retries": self.counters.get("shard.retries", 0),
@@ -95,6 +124,12 @@ class ChaosResult:
             "breaker_trips": self.counters.get("shard.breaker_trips", 0),
             "partial_results": self.counters.get(
                 "shard.partial_results", 0),
+            "replica_reads": self.counters.get(
+                "shard.replica_reads", 0),
+            "replica_fallbacks": self.counters.get(
+                "shard.replica_fallbacks", 0),
+            "consistency_fallbacks": self.counters.get(
+                "shard.consistency_fallbacks", 0),
             "deadline_timeouts": self.counters.get(
                 "faults.deadline_timeouts", 0),
             "faults_injected_parent": self.faults_injected,
@@ -103,10 +138,13 @@ class ChaosResult:
 
     def summary(self) -> str:
         histogram = self.latency_histogram()
+        label = f"{self.engine_key} x{self.shards}"
+        if self.replicas:
+            label += f" +{self.replicas}r ({self.consistency})"
         lines = [
             f"chaos scenario {self.scenario!r} (seed {self.seed}) on "
-            f"{self.class_key} via {self.engine_key} x{self.shards}:",
-            f"  {self.queries} queries: {self.ok} ok, "
+            f"{self.class_key} via {label}:",
+            f"  {self.queries} operations: {self.ok} ok, "
             f"{self.partial} partial, {self.failed} failed, "
             f"{self.unhandled} unhandled "
             f"-> availability {self.availability_pct:.2f}%",
@@ -118,6 +156,21 @@ class ChaosResult:
             f"partial results "
             f"{self.counters.get('shard.partial_results', 0)}",
         ]
+        if self.writes:
+            lines.append(
+                f"  writes: {self.writes_acked}/{self.writes} acked, "
+                f"{self.writes_verified} verified, "
+                f"{self.writes_unverified} unverified, "
+                f"{self.lost_writes} LOST")
+        if self.replicas:
+            lines.append(
+                f"  replication: {self.failovers} failover(s), "
+                f"{self.counters.get('shard.replica_reads', 0)} "
+                f"replica reads, "
+                f"{self.counters.get('shard.replica_fallbacks', 0)} "
+                f"replica fallbacks, "
+                f"{self.counters.get('shard.consistency_fallbacks', 0)}"
+                f" consistency fallbacks")
         for incident in self.incidents[:8]:
             lines.append(f"  incident {incident['qid']}: "
                          f"{incident['type']}: {incident['message']}")
@@ -133,18 +186,28 @@ def run_chaos(scenario_name: str, *, class_key: str = "dcmd",
               retries: int = 2, degraded: str = "partial",
               rpc_timeout: float | None = None,
               deadline_seconds: float | None = None,
+              replicas: int | None = None,
+              consistency: str | None = None,
+              write_every: int | None = None,
+              ship_interval: float | None = None,
               recorder: Recorder | None = None,
               scenario: Scenario | None = None) -> ChaosResult:
     """Run ``queries`` workload queries under a named fault scenario.
 
-    Explicit ``rpc_timeout``/``deadline_seconds`` override the
-    scenario's recommendations.  Returns the scorecard; pass a
+    Explicit ``rpc_timeout``/``deadline_seconds``/``replicas``/
+    ``consistency``/``write_every``/``ship_interval`` override the
+    scenario's recommendations.  With a write cadence, acknowledged
+    ``update_value`` writes interleave with the reads and every
+    acknowledged token is read back under ``strong`` consistency after
+    the storm — a mismatch is a **lost acknowledged write**, which the
+    CI gate requires to be zero.  Returns the scorecard; pass a
     ``recorder`` to keep the underlying spans/counters (the CLI embeds
     them in the BENCH artifact).
     """
     from ..core.multiuser import _stream_plan
     from ..core.shard import DEFAULT_TIMEOUT, ShardedEngine
     from ..databases import CLASSES_BY_KEY
+    from ..workload.updates import UPDATE_TARGETS
     from ..xml.serializer import serialize
 
     scenario = scenario or build_scenario(scenario_name)
@@ -156,6 +219,16 @@ def run_chaos(scenario_name: str, *, class_key: str = "dcmd",
                          else scenario.rpc_timeout)
     if effective_timeout is None:
         effective_timeout = min(DEFAULT_TIMEOUT, 15.0)
+    effective_replicas = (replicas if replicas is not None
+                          else scenario.replicas)
+    effective_consistency = (consistency if consistency is not None
+                             else scenario.consistency)
+    effective_write_every = (write_every if write_every is not None
+                             else scenario.write_every)
+    effective_ship = (ship_interval if ship_interval is not None
+                      else scenario.ship_interval)
+    if class_key not in UPDATE_TARGETS:
+        effective_write_every = 0   # reads only: no update workload
     recorder = recorder or Recorder(name="chaos")
 
     db_class = CLASSES_BY_KEY[class_key]
@@ -165,23 +238,47 @@ def run_chaos(scenario_name: str, *, class_key: str = "dcmd",
                           _applicable_experiment_queries(class_key))
 
     result = ChaosResult(scenario.name, seed, engine_key, class_key,
-                         shards)
+                         shards, replicas=effective_replicas,
+                         consistency=effective_consistency)
     engine = ShardedEngine(engine_key, shards=shards,
                            timeout=effective_timeout, retries=retries,
                            degraded=degraded, seed=seed,
-                           breaker_cooldown=0.5)
+                           breaker_cooldown=0.5,
+                           replicas=effective_replicas,
+                           ship_interval=effective_ship)
+    write_rng = random.Random(seed * 31 + 1)
+    #: id -> last token written, or None once a write attempt on that
+    #: id failed (its final state is unknowable, so it is excluded
+    #: from the lost-write check rather than trusted either way).
+    expected: dict[str, str] = {}
     wall_start = time.perf_counter()
-    # The plan is installed before bulk_load so forked workers (and
-    # later respawns) inherit it; scenario rules match query ops only,
-    # keeping the load phase healthy.
-    with observing(recorder), fault_scope(plan):
-        try:
+    try:
+        # The plan is installed before bulk_load so forked workers (and
+        # later respawns) inherit it; scenario rules match query/write
+        # ops only, keeping the load phase healthy.
+        with observing(recorder), fault_scope(plan):
             engine.timed_load(db_class, texts)
+            operation = 0
             for qid, params in stream:
-                _run_one(engine, qid, params, effective_deadline,
-                         result)
-        finally:
-            engine.close()
+                operation += 1
+                if (effective_write_every
+                        and operation % effective_write_every == 0):
+                    _run_write(engine, class_key,
+                               str(write_rng.randint(1, units)),
+                               f"tok{operation}", result, expected)
+                with consistency_scope(effective_consistency):
+                    _run_one(engine, qid, params, effective_deadline,
+                             result)
+        # Post-storm verification runs outside the fault scope: newly
+        # respawned workers fork clean, and retries/failover absorb
+        # any leftover faulty worker.
+        with observing(recorder):
+            _verify_acked_writes(engine, class_key, expected, result)
+            result.failovers = engine.failovers
+            if effective_replicas:
+                result.replication = engine.replication_state()
+    finally:
+        engine.close()
     result.wall_seconds = time.perf_counter() - wall_start
     result.counters = recorder.counters.snapshot()
     result.faults_injected = len(plan.log)
@@ -232,6 +329,95 @@ def _run_one(engine, qid: str, params: dict,
         result.partial += 1
     else:
         result.ok += 1
+
+
+def _run_write(engine, class_key: str, id_value: str, token: str,
+               result: ChaosResult,
+               expected: dict[str, str | None]) -> None:
+    """One interleaved ``update_value`` write, scored like a query.
+
+    An acknowledged write records its token in ``expected`` for the
+    post-storm read-back; a *failed* write poisons its id (set to
+    ``None``) because the document's final state is unknowable — the
+    write may or may not have landed before the fault fired.
+    """
+    from ..workload.updates import UPDATE_TARGETS
+
+    id_path, target_tag, __ = UPDATE_TARGETS[class_key]
+    result.queries += 1
+    result.writes += 1
+    trace_id = _trace.new_trace_id()
+    start = time.perf_counter()
+    try:
+        with _trace.trace_scope(_trace.TraceContext(trace_id)):
+            engine.update_value(id_path, id_value, target_tag, token)
+    except (CircuitOpen, ShardError, ReproError) as exc:
+        result.writes_failed += 1
+        expected[id_value] = None
+        _incident(result, f"write:{id_value}", exc, trace_id)
+        return
+    except Exception as exc:  # noqa: BLE001 - scored, then surfaced
+        result.unhandled += 1
+        result.writes_failed += 1
+        expected[id_value] = None
+        _incident(result, f"write:{id_value}", exc, trace_id)
+        return
+    elapsed = time.perf_counter() - start
+    result.latencies.append(elapsed)
+    _obs.record_latency("chaos.write", elapsed)
+    result.ok += 1
+    result.writes_acked += 1
+    expected[id_value] = token
+
+
+def _verify_acked_writes(engine, class_key: str,
+                         expected: dict[str, str | None],
+                         result: ChaosResult) -> None:
+    """Read every acknowledged token back under ``strong`` consistency.
+
+    A readable document missing its token is a **lost acknowledged
+    write**.  A document whose read keeps failing on infrastructure
+    errors (a worker still carrying an inherited fault plan, say)
+    counts as *unverified*, not lost — absence of evidence either way.
+    """
+    from ..workload.updates import UPDATE_TARGETS
+
+    if class_key not in UPDATE_TARGETS or not expected:
+        return
+    id_path, target_tag, __ = UPDATE_TARGETS[class_key]
+    root = id_path.split("/")[0]
+    query = f"collection()/{root}[@id = $id]//{target_tag}"
+    for id_value, token in sorted(expected.items()):
+        if token is None:
+            continue   # poisoned by a failed write: state unknowable
+        values: list | None = None
+        last_error: Exception | None = None
+        for __attempt in range(3):
+            try:
+                with consistency_scope("strong"):
+                    values = engine.adhoc(query,
+                                          {"id": id_value}).values
+                break
+            except (CircuitOpen, ShardError, ReproError) as exc:
+                last_error = exc
+                time.sleep(0.05)
+        if values is None:
+            result.writes_unverified += 1
+            _incident(result, f"verify:{id_value}",
+                      last_error or ShardError("verification failed"))
+            continue
+        if any(token in value for value in values):
+            result.writes_verified += 1
+        else:
+            result.lost_writes += 1
+            result.incidents.append({
+                "qid": f"verify:{id_value}",
+                "type": "LostWrite",
+                "message": (f"acknowledged token {token!r} missing "
+                            f"from read-back {values!r}"),
+                "trace_id": None,
+            })
+            _obs.count("chaos.lost_writes")
 
 
 def _incident(result: ChaosResult, qid: str, exc: Exception,

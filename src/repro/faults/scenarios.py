@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..errors import BenchmarkError
 from .plan import FaultPlan, FaultRule
 
 #: worker ops that carry query work (load/index ops stay healthy so
@@ -38,6 +39,15 @@ class Scenario:
     deadline_seconds: float | None = None
     #: per-RPC timeout override for the sharded engine.
     rpc_timeout: float | None = None
+    #: read replicas per shard the harness provisions (0 = none).
+    replicas: int = 0
+    #: interleave one acknowledged write every N queries (0 = reads
+    #: only) — the raw material of the lost-write gate.
+    write_every: int = 0
+    #: consistency tier the harness reads under.
+    consistency: str = "strong"
+    #: journal ship interval for the engine (<= 0 ships synchronously).
+    ship_interval: float = 0.0
     extra: dict = field(default_factory=dict)
 
     def plan(self, seed: int) -> FaultPlan:
@@ -89,6 +99,37 @@ SCENARIOS: dict[str, Scenario] = {
                          match={"op": QUERY_OPS}),),
         deadline_seconds=0.25,
     ),
+    "failover-storm": Scenario(
+        name="failover-storm",
+        description=("workers (primaries and replicas alike) crash on "
+                     "~8% of query/write RPCs while acknowledged "
+                     "writes interleave with eventual-consistency "
+                     "reads: exercises replica fallback, primary "
+                     "failover with journal catch-up, and the "
+                     "zero-lost-acknowledged-writes guarantee"),
+        rules=(FaultRule(site="shard.rpc", kind="crash",
+                         probability=0.08,
+                         match={"op": QUERY_OPS
+                                + ("update_value",)}),),
+        replicas=2,
+        write_every=4,
+        consistency="eventual",
+    ),
+    "replica-lag": Scenario(
+        name="replica-lag",
+        description=("every journal replay batch lands ~120 ms late "
+                     "under a 50 ms ship interval: exercises lag "
+                     "observation, bounded-staleness routing and the "
+                     "primary fallback when no replica is fresh "
+                     "enough"),
+        rules=(FaultRule(site="shard.rpc", kind="delay", seconds=0.12,
+                         probability=1.0,
+                         match={"op": "replay"}),),
+        replicas=1,
+        write_every=3,
+        consistency="bounded_staleness:2",
+        ship_interval=0.05,
+    ),
 }
 
 
@@ -96,7 +137,7 @@ def build_scenario(name: str) -> Scenario:
     """Resolve a scenario by name (raising with the known names)."""
     scenario = SCENARIOS.get(name)
     if scenario is None:
-        raise KeyError(
+        raise BenchmarkError(
             f"unknown chaos scenario {name!r}; choose from "
             f"{', '.join(sorted(SCENARIOS))}")
     return scenario

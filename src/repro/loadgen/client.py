@@ -1,17 +1,30 @@
 """Blocking socket client for the query server.
 
 One :class:`ServingClient` is one connection (one session after
-:meth:`ServingClient.hello`).  Responses are returned as the raw
-protocol dicts — ``{"ok": True, ...}`` or ``{"ok": False, "error":
-"<TypeName>", ...}`` — because the load drivers *count* typed failures
-(rejections, timeouts) rather than raising on them; callers that want
-exceptions can check ``response["ok"]`` themselves.
+:meth:`ServingClient.hello`).  The dict-based calls (:meth:`hello`,
+:meth:`query`, :meth:`update`) return the raw protocol dicts —
+``{"ok": True, ...}`` or ``{"ok": False, "error": "<TypeName>", ...}``
+— because the load drivers *count* typed failures (rejections,
+timeouts) rather than raising on them.
+
+The typed surface sits on top: :meth:`ServingClient.request` sends a
+:class:`repro.api.QueryRequest` and returns a
+:class:`repro.api.QueryResponse`, and :meth:`ServingClient.session`
+opens a context-managed :class:`Session` that threads tenant,
+consistency tier and the read-your-writes sequence floor through every
+call so callers never hand-assemble wire dicts.
 """
 
 from __future__ import annotations
 
 import socket
 
+from ..api import (
+    Consistency,
+    QueryRequest,
+    QueryResponse,
+    SessionOptions,
+)
 from ..errors import ServerError
 from ..server.protocol import recv_message, send_message
 
@@ -40,8 +53,15 @@ class ServingClient:
     def hello(self, engine: str | None = None,
               class_key: str | None = None, units: int | None = None,
               shards: int | None = None,
+              replicas: int | None = None,
+              consistency=None,
               tenant: str = "default") -> dict:
-        """Open the session; omitted fields take the server defaults."""
+        """Open the session; omitted fields take the server defaults.
+
+        ``consistency`` (a tier string, wire dict or
+        :class:`~repro.api.Consistency`) becomes the session default
+        for reads; ``replicas`` provisions read replicas per shard.
+        """
         message: dict = {"op": "hello", "tenant": tenant}
         if engine is not None:
             message["engine"] = engine
@@ -51,15 +71,22 @@ class ServingClient:
             message["units"] = units
         if shards is not None:
             message["shards"] = shards
+        if replicas is not None:
+            message["replicas"] = replicas
+        if consistency is not None:
+            message["consistency"] = (
+                Consistency.parse(consistency).to_wire())
         return self.call(message)
 
     def query(self, qid: str, params: dict | None = None,
               deadline: float | None = None,
               tenant: str | None = None,
+              consistency=None,
               trace: dict | None = None) -> dict:
         """Run one query; ``trace`` is the optional wire-form trace
         context (:func:`repro.obs.trace.to_wire`) joining this request
-        to a client-side distributed trace."""
+        to a client-side distributed trace, ``consistency`` the
+        optional per-request tier override."""
         message: dict = {"op": "query", "qid": qid}
         if params is not None:
             message["params"] = params
@@ -67,9 +94,49 @@ class ServingClient:
             message["deadline"] = deadline
         if tenant is not None:
             message["tenant"] = tenant
+        if consistency is not None:
+            message["consistency"] = (
+                Consistency.parse(consistency).to_wire())
         if trace is not None:
             message["trace"] = trace
         return self.call(message)
+
+    def update(self, id_value: str, value: str | None = None,
+               deadline: float | None = None,
+               tenant: str | None = None) -> dict:
+        """Run one acknowledged write (the ``update`` verb); the reply
+        carries ``seq``, the committed write sequence."""
+        message: dict = {"op": "update", "id": str(id_value)}
+        if value is not None:
+            message["value"] = value
+        if deadline is not None:
+            message["deadline"] = deadline
+        if tenant is not None:
+            message["tenant"] = tenant
+        return self.call(message)
+
+    # -- typed surface -------------------------------------------------------
+
+    def request(self, request: QueryRequest) -> QueryResponse:
+        """Send one typed :class:`~repro.api.QueryRequest`."""
+        return QueryResponse.from_wire(self.call(request.to_wire()))
+
+    def session(self, options: SessionOptions | None = None,
+                **fields) -> "Session":
+        """Open a typed session: sends the ``hello`` now, returns a
+        context-managed :class:`Session`.  Either pass a prebuilt
+        :class:`~repro.api.SessionOptions` or its fields as kwargs."""
+        if options is None:
+            options = SessionOptions(**fields)
+        elif fields:
+            raise ServerError(
+                "pass SessionOptions or field kwargs, not both")
+        reply = self.call(options.to_wire())
+        if not reply.get("ok"):
+            raise ServerError(
+                f"hello failed: {reply.get('error')}: "
+                f"{reply.get('message')}")
+        return Session(self, options, reply)
 
     def stats(self) -> dict:
         """The server's live telemetry snapshot (``stats`` verb)."""
@@ -94,6 +161,76 @@ class ServingClient:
             pass
 
     def __enter__(self) -> "ServingClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+
+class Session:
+    """One established server session with its consistency state.
+
+    Wraps a :class:`ServingClient` after the handshake:
+
+    * every read carries the session's tenant and consistency tier
+      (overridable per call);
+    * :attr:`last_write_seq` tracks the highest acknowledged write
+      sequence, and a ``read_your_writes`` read that did not pin a
+      ``min_seq`` automatically asks for at least that — the client
+      side of the read-your-writes contract (the server keeps the
+      same floor for dict-speaking clients).
+
+    Closing the session closes the underlying client connection.
+    """
+
+    def __init__(self, client: ServingClient, options: SessionOptions,
+                 hello_reply: dict) -> None:
+        self.client = client
+        self.options = options
+        self.hello_reply = hello_reply
+        #: highest ``seq`` any acknowledged write of this session saw.
+        self.last_write_seq = 0
+
+    def _effective(self, consistency) -> Consistency:
+        resolved = (Consistency.parse(consistency)
+                    if consistency is not None
+                    else self.options.consistency)
+        if (resolved.tier == "read_your_writes"
+                and not resolved.min_seq):
+            resolved = resolved.with_min_seq(self.last_write_seq)
+        return resolved
+
+    def query(self, qid: str, params: dict | None = None,
+              deadline: float | None = None,
+              consistency=None) -> QueryResponse:
+        """One typed read under the session's (or given) tier."""
+        request = QueryRequest(
+            qid=qid, params=dict(params or {}),
+            deadline=(deadline if deadline is not None
+                      else self.options.deadline),
+            tenant=self.options.tenant,
+            consistency=self._effective(consistency),
+            trace=self.options.trace)
+        return self.client.request(request)
+
+    def update(self, id_value: str,
+               value: str | None = None) -> QueryResponse:
+        """One typed acknowledged write; advances
+        :attr:`last_write_seq` on success."""
+        reply = self.client.update(id_value, value=value,
+                                   deadline=self.options.deadline,
+                                   tenant=self.options.tenant)
+        response = QueryResponse.from_wire(reply)
+        if response.ok and response.seq:
+            self.last_write_seq = max(self.last_write_seq,
+                                      response.seq)
+        return response
+
+    def close(self) -> None:
+        self.client.close()
+
+    def __enter__(self) -> "Session":
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:

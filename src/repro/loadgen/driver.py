@@ -50,6 +50,11 @@ class LoadConfig:
     class_key: str = "dcmd"
     units: int = 24
     shards: int = 0
+    #: read replicas per shard (requires shards >= 2).
+    replicas: int = 0
+    #: consistency tier reads run under ("strong", "eventual",
+    #: "bounded_staleness:K", "read_your_writes").
+    consistency: str = "strong"
     #: ``"closed"`` or ``"open"``.
     mode: str = "closed"
     #: open-loop arrival rate (requests/second).
@@ -193,6 +198,8 @@ class TrialResult:
         return {
             "mode": self.mode,
             "target_rate": self.target_rate,
+            "replicas": self.config.replicas,
+            "consistency": self.config.consistency,
             "streams": self.config.streams,
             "think_seconds": self.config.think_seconds,
             "warmup_seconds": self.config.warmup_seconds,
@@ -226,6 +233,9 @@ class TrialResult:
         label = (f"open @ {self.target_rate:g}/s"
                  if self.mode == "open"
                  else f"closed x{self.config.streams}")
+        if self.config.replicas:
+            label += (f" [+{self.config.replicas}r "
+                      f"{self.config.consistency}]")
         lines = [
             f"{label}: {self.offered} offered in "
             f"{self.config.measure_seconds:.1f}s -> "
@@ -333,6 +343,10 @@ def _connect(config: LoadConfig, tenant: str) -> ServingClient:
     reply = client.hello(engine=config.engine,
                          class_key=config.class_key,
                          units=config.units, shards=config.shards,
+                         replicas=config.replicas or None,
+                         consistency=(config.consistency
+                                      if config.consistency != "strong"
+                                      else None),
                          tenant=tenant)
     if not reply.get("ok"):
         client.close()

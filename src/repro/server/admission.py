@@ -37,7 +37,7 @@ import time
 from collections import deque
 from dataclasses import dataclass, field
 
-from ..errors import ServerOverloaded
+from ..errors import ServerError, ServerOverloaded
 from ..faults.deadline import Deadline
 
 
@@ -72,7 +72,7 @@ class AdmissionController:
                  ewma_alpha: float = 0.25,
                  clock=time.monotonic) -> None:
         if capacity < 1:
-            raise ValueError(f"capacity must be >= 1, got {capacity}")
+            raise ServerError(f"capacity must be >= 1, got {capacity}")
         self.capacity = capacity
         self.executors = max(1, executors)
         self.default_weight = default_weight

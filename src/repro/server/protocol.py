@@ -9,18 +9,34 @@ small under load.
 
 Requests carry an ``op``:
 
-``hello``   open a session: engine/class/units/shards selection plus a
-            ``tenant`` label for fair scheduling.  The server loads (or
-            reuses, warm) the matching engine and replies with corpus
-            metadata.
+``hello``   open a session: engine/class/units/shards/``replicas``
+            selection plus a ``tenant`` label for fair scheduling and
+            an optional session-default ``consistency`` tier (a string
+            or :meth:`repro.api.Consistency.to_wire` dict).  The
+            server loads (or reuses, warm) the matching engine and
+            replies with corpus metadata.  The typed form of this
+            message is :class:`repro.api.SessionOptions`.
 ``query``   run one workload query: ``qid``, optional ``params``
             (server binds defaults otherwise), optional ``deadline``
-            seconds, optional per-request ``tenant`` override, and an
+            seconds, optional per-request ``tenant`` override, an
+            optional per-request ``consistency`` override (tier
+            string or wire dict; replicated sessions route the read
+            accordingly — see ``docs/replication.md``), and an
             optional ``trace`` object ``{"trace_id": "<16 hex>",
             "parent": "<process>:<span_id>"}`` joining the request to
             the client's distributed trace (see
             :mod:`repro.obs.trace`); a traced reply echoes
-            ``trace_id`` and adds ``ttfr_ms``.
+            ``trace_id`` and adds ``ttfr_ms``.  The typed form is
+            :class:`repro.api.QueryRequest` /
+            :class:`repro.api.QueryResponse`.
+``update``  run one acknowledged write: set the class's canonical
+            update target on the document whose ``id`` matches
+            (optional ``value`` overrides the canonical new value).
+            Rides the same admission queue as queries; an ``ok``
+            reply means the write committed on every shard and
+            carries ``seq``, the engine's committed write sequence —
+            feed it back as ``read_your_writes`` ``min_seq`` (the
+            server also tracks it per session as the default floor).
 ``stats``   the live telemetry snapshot: completion counters,
             admission state (queue depth, capacity, EWMA service
             time, per-tenant queues), per-tenant completions,

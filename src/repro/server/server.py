@@ -46,6 +46,12 @@ import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
+from ..api import (
+    Consistency,
+    QueryRequest,
+    SessionOptions,
+    consistency_scope,
+)
 from ..databases import CLASSES_BY_KEY
 from ..engines import create, engine_keys
 from ..errors import (
@@ -55,6 +61,7 @@ from ..errors import (
     ServerError,
     ServerOverloaded,
     ShardError,
+    UnsupportedOperation,
     UnsupportedQuery,
 )
 from ..faults.deadline import Deadline, deadline_scope
@@ -81,6 +88,7 @@ class EngineSpec:
     class_key: str = "dcmd"
     units: int = 24
     shards: int = 0
+    replicas: int = 0
 
     def validate(self) -> None:
         if self.engine not in engine_keys():
@@ -93,6 +101,9 @@ class EngineSpec:
                 f"from {', '.join(sorted(CLASSES_BY_KEY))}")
         if self.units < 1:
             raise ServerError(f"units must be >= 1, got {self.units}")
+        if self.replicas and self.shards < 2:
+            raise ServerError(
+                "replicas require a sharded engine (shards >= 2)")
 
 
 @dataclass
@@ -107,6 +118,8 @@ class ServerConfig:
     class_key: str = "dcmd"
     units: int = 24
     shards: int = 0
+    #: read replicas per shard for the default spec (requires shards).
+    replicas: int = 0
     #: bounded request queue: beyond this, shed with ServerOverloaded.
     max_queue: int = 64
     #: concurrent query executor slots (threads).
@@ -146,7 +159,7 @@ class ServerConfig:
 
     def default_spec(self) -> EngineSpec:
         return EngineSpec(self.engine, self.class_key, self.units,
-                          self.shards)
+                          self.shards, self.replicas)
 
 
 class _EngineCache:
@@ -200,13 +213,19 @@ class _EngineCache:
         warm = []
         for spec, engine in items:
             record = {"engine": spec.engine, "class": spec.class_key,
-                      "units": spec.units, "shards": spec.shards}
+                      "units": spec.units, "shards": spec.shards,
+                      "replicas": spec.replicas}
             breakers = getattr(engine, "breaker_states", None)
             if breakers is not None:
                 record["breakers"] = breakers()
             pids = getattr(engine, "worker_pids", None)
             if pids is not None:
                 record["worker_pids"] = pids()
+            if spec.replicas:
+                replication = getattr(engine, "replication_state", None)
+                if replication is not None:
+                    record["replication"] = replication()
+                record["failovers"] = getattr(engine, "failovers", 0)
             warm.append(record)
         return {"hits": self.hits, "misses": self.misses,
                 "evictions": self.evictions, "warm": warm}
@@ -215,10 +234,18 @@ class _EngineCache:
         db_class = CLASSES_BY_KEY[spec.class_key]
         if spec.shards > 1:
             from ..core.shard import ShardedEngine
+            # With replicas, the service floor moves *into* the engine
+            # (the sleep holds the row lease), so concurrency across
+            # primary + replica rows is what a rate sweep measures;
+            # the server-side throttle is skipped for such engines.
+            floor = (self._config.throttle_seconds
+                     if spec.replicas else 0.0)
             engine = ShardedEngine(spec.engine, shards=spec.shards,
                                    timeout=self._config.rpc_timeout,
                                    degraded=self._config.degraded,
-                                   seed=self._config.seed)
+                                   seed=self._config.seed,
+                                   replicas=spec.replicas,
+                                   service_floor=floor)
         else:
             engine = create(spec.engine)
         try:
@@ -255,17 +282,31 @@ class _Session:
     spec: EngineSpec
     engine: object
     tenant: str = "default"
+    #: session-default consistency tier for reads (from the hello).
+    consistency: Consistency = field(
+        default_factory=lambda: Consistency())
+    #: highest write sequence this session was acknowledged — the
+    #: server-side fallback ``min_seq`` for ``read_your_writes``
+    #: requests that do not pin one themselves.
+    last_seq: int = 0
 
 
 @dataclass
 class _Pending:
-    """The admission-queue payload: everything one query needs."""
+    """The admission-queue payload: everything one request needs."""
 
     session: _Session
     qid: str
     params: dict
     tenant: str
     future: asyncio.Future
+    #: "query" or "update" — what the executor thread runs.
+    kind: str = "query"
+    #: per-request consistency override (None = session default).
+    consistency: Consistency | None = None
+    #: update-op operands (kind == "update").
+    update_id: str = ""
+    update_value: str | None = None
     #: trace identity when the server is tracing: the request's trace
     #: id and its open ``server.request`` root span (a manual span —
     #: the event loop interleaves requests, so the thread-local
@@ -498,6 +539,8 @@ class QueryServer:
             return await self._on_hello(message), False
         if op == "query":
             return await self._on_query(message, session), False
+        if op == "update":
+            return await self._on_update(message, session), False
         return error_response(
             "BadRequest", f"unknown op {op!r}"), True
 
@@ -508,25 +551,33 @@ class QueryServer:
                 ServerDraining("server is draining; not accepting "
                                "new sessions"))
         defaults = self.config
-        spec = EngineSpec(
-            engine=str(message.get("engine", defaults.engine)),
-            class_key=str(message.get("class", defaults.class_key)),
-            units=int(message.get("units", defaults.units)),
-            shards=int(message.get("shards", defaults.shards)))
+        payload = dict(message)
+        payload.setdefault("engine", defaults.engine)
+        payload.setdefault("class", defaults.class_key)
+        payload.setdefault("units", defaults.units)
+        payload.setdefault("shards", defaults.shards)
         try:
+            options = SessionOptions.from_wire(payload)
+            spec = EngineSpec(engine=options.engine,
+                              class_key=options.class_key,
+                              units=options.units,
+                              shards=options.shards,
+                              replicas=options.replicas)
             spec.validate()
             engine, warm = await self._loop.run_in_executor(
                 None, self._cache.get_or_load, spec)
         except ReproError as exc:
             return error_response(exc)
-        session = _Session(spec, engine,
-                           tenant=str(message.get("tenant", "default")))
+        session = _Session(spec, engine, tenant=options.tenant,
+                           consistency=options.consistency)
         self._sessions += 1
         self.counters["sessions"] += 1
         _obs.count("server.sessions")
         reply = {"ok": True, "session": self._sessions, "warm": warm,
                  "engine": spec.engine, "class": spec.class_key,
                  "units": spec.units, "shards": spec.shards,
+                 "replicas": spec.replicas,
+                 "consistency": options.consistency.tier,
                  "row_label": getattr(engine, "row_label", spec.engine)}
         return (session, reply)
 
@@ -540,29 +591,68 @@ class QueryServer:
             return error_response(
                 ServerDraining("server is draining; not accepting "
                                "new queries"))
-        qid = str(message.get("qid", "")).upper()
+        try:
+            parsed = QueryRequest.from_wire(message)
+        except ReproError as exc:
+            return error_response(exc)
+        qid = parsed.qid.upper()
         query = QUERIES_BY_ID.get(qid)
         if query is None or not query.applies_to(session.spec.class_key):
             return error_response(
                 UnsupportedQuery(f"{qid or '<missing qid>'} is not "
                                  f"defined for "
                                  f"{session.spec.class_key}"))
-        params = message.get("params")
-        if not isinstance(params, dict):
+        params = parsed.params
+        if not params:
             params = dict(bind_params(qid, session.spec.class_key,
                                       session.spec.units))
-        deadline_seconds = message.get("deadline",
-                                       self.config.default_deadline)
-        deadline = (Deadline(float(deadline_seconds))
-                    if deadline_seconds is not None else None)
-        tenant = str(message.get("tenant") or session.tenant)
-        self.counters["queries"] += 1
-        _obs.count("server.queries")
+        deadline_seconds = (parsed.deadline
+                            if parsed.deadline is not None
+                            else self.config.default_deadline)
+        tenant = str(parsed.tenant or session.tenant)
         trace_id, root = self._open_trace(message, qid, tenant)
         pending = _Pending(session, qid, dict(params), tenant,
                            self._loop.create_future(),
+                           consistency=parsed.consistency,
                            trace_id=trace_id, root=root)
-        request = Request(tenant=tenant, payload=pending,
+        return await self._admit(pending, deadline_seconds)
+
+    async def _on_update(self, message: dict,
+                         session: _Session | None) -> dict:
+        """Route one acknowledged write through the same admission
+        queue the reads ride — an update that returns ``ok`` has been
+        committed on every shard (and journaled for the replicas)."""
+        if session is None:
+            return error_response("BadRequest",
+                                  "update before hello handshake")
+        if self._draining:
+            self.counters["refused_draining"] += 1
+            return error_response(
+                ServerDraining("server is draining; not accepting "
+                               "new updates"))
+        id_value = str(message.get("id", "")).strip()
+        if not id_value:
+            return error_response("BadRequest",
+                                  "update requires an 'id' field")
+        deadline_seconds = message.get("deadline",
+                                       self.config.default_deadline)
+        tenant = str(message.get("tenant") or session.tenant)
+        trace_id, root = self._open_trace(message, "UPDATE", tenant)
+        pending = _Pending(session, "UPDATE", {}, tenant,
+                           self._loop.create_future(), kind="update",
+                           update_id=id_value,
+                           update_value=message.get("value"),
+                           trace_id=trace_id, root=root)
+        return await self._admit(pending, deadline_seconds)
+
+    async def _admit(self, pending: _Pending,
+                     deadline_seconds) -> dict:
+        """Submit one parsed request to admission and await its reply."""
+        deadline = (Deadline(float(deadline_seconds))
+                    if deadline_seconds is not None else None)
+        self.counters["queries"] += 1
+        _obs.count("server.queries")
+        request = Request(tenant=pending.tenant, payload=pending,
                           deadline=deadline)
         try:
             self.admission.submit(request)
@@ -634,7 +724,7 @@ class QueryServer:
                 trace_id=pending.trace_id, tenant=pending.tenant)
         self.admission.in_flight += 1
         try:
-            rows, seconds, partial, ttfr = \
+            rows, seconds, partial, ttfr, seq = \
                 await self._loop.run_in_executor(
                     self._pool, self._execute, pending, request.deadline)
         except QueryTimeout as exc:
@@ -665,34 +755,57 @@ class QueryServer:
         _obs.count("server.completed")
         _obs.record_latency("server.service", seconds)
         _obs.record_latency("server.ttfr", ttfr)
-        self._settle(pending, {
+        if pending.kind == "update" and seq:
+            # The session's read-your-writes floor advances with every
+            # acknowledged write it issued.
+            pending.session.last_seq = max(pending.session.last_seq,
+                                           seq)
+        reply = {
             "ok": True, "qid": pending.qid, "rows": rows,
             "seconds": seconds, "queued_ms": queued_ms,
             "ttfr_ms": ttfr * 1000.0,
-            "tenant": pending.tenant, "partial": partial})
+            "tenant": pending.tenant, "partial": partial}
+        if seq:
+            reply["seq"] = seq
+        self._settle(pending, reply)
 
     def _execute(self, pending: _Pending, deadline: Deadline | None):
-        """Run one admitted query on an executor thread.
+        """Run one admitted request on an executor thread.
 
         When tracing, the engine call runs inside a ``server.execute``
         span under a trace scope parented on the request root, so a
         sharded engine's RPC layer propagates the context to its
-        workers.
+        workers.  Reads run under the request's (or session's)
+        consistency tier; a ``read_your_writes`` request that did not
+        pin a ``min_seq`` inherits the session's last acknowledged
+        write sequence.
         """
         engine = pending.session.engine
+        if pending.kind == "update":
+            return self._execute_update(pending, deadline)
         partials_before = len(getattr(engine, "partials", ()))
         ctx = None
         if pending.root is not None:
             ctx = _trace.TraceContext(
                 pending.trace_id,
                 parent_gid=_trace.gid_of(pending.root.span_id))
+        consistency = (pending.consistency
+                       or pending.session.consistency)
+        if (consistency.tier == "read_your_writes"
+                and not consistency.min_seq):
+            consistency = consistency.with_min_seq(
+                pending.session.last_seq)
         start = time.perf_counter()
         with _trace.trace_scope(ctx), deadline_scope(deadline), \
+                consistency_scope(consistency), \
                 _obs.span("server.execute", qid=pending.qid,
                           tenant=pending.tenant):
             values = engine.execute(pending.qid, pending.params)
             floor = self.config.throttle_seconds
-            if floor > 0.0:
+            if floor > 0.0 and getattr(engine, "service_floor",
+                                       0.0) <= 0.0:
+                # Engines with their own service floor pad inside the
+                # row lease; padding again here would double-count.
                 remaining = floor - (time.perf_counter() - start)
                 if remaining > 0.0:
                     time.sleep(remaining)
@@ -706,7 +819,39 @@ class QueryServer:
             ttfr = elapsed
         partial = (len(getattr(engine, "partials", ()))
                    > partials_before)
-        return len(values), elapsed, partial, ttfr
+        return len(values), elapsed, partial, ttfr, 0
+
+    def _execute_update(self, pending: _Pending,
+                        deadline: Deadline | None):
+        """Run one admitted ``update`` on an executor thread: set the
+        class's canonical update target (``order_status`` /
+        ``date_of_publication``) on the document matching ``id``."""
+        from ..workload.updates import UPDATE_TARGETS
+        spec = pending.session.spec
+        target = UPDATE_TARGETS.get(spec.class_key)
+        if target is None:
+            raise UnsupportedOperation(
+                f"updates are defined for multi-document classes, "
+                f"not {spec.class_key!r}")
+        id_path, target_tag, default_value = target
+        new_value = (pending.update_value
+                     if pending.update_value is not None
+                     else default_value)
+        engine = pending.session.engine
+        ctx = None
+        if pending.root is not None:
+            ctx = _trace.TraceContext(
+                pending.trace_id,
+                parent_gid=_trace.gid_of(pending.root.span_id))
+        start = time.perf_counter()
+        with _trace.trace_scope(ctx), deadline_scope(deadline), \
+                _obs.span("server.update", tenant=pending.tenant):
+            changed = engine.update_value(id_path, pending.update_id,
+                                          target_tag, str(new_value))
+        elapsed = time.perf_counter() - start
+        seq = getattr(engine, "committed_seq", 0)
+        _obs.count("server.updates")
+        return changed, elapsed, False, elapsed, seq
 
     def _settle(self, pending: _Pending, reply: dict) -> None:
         """Resolve a request's future — the one funnel every outcome

@@ -134,7 +134,8 @@ class TestFaultPlan:
         assert second.rules[0].fired == 0
 
     def test_unknown_scenario_lists_choices(self):
-        with pytest.raises(KeyError, match="worker-crash-storm"):
+        from repro.errors import BenchmarkError
+        with pytest.raises(BenchmarkError, match="worker-crash-storm"):
             build_scenario("nope")
 
 
