@@ -195,6 +195,16 @@ def build_parser() -> argparse.ArgumentParser:
                            metavar="SECONDS",
                            help="per-RPC timeout for the sharded "
                                 "service")
+    multiuser.add_argument("--replicas", type=int, default=0,
+                           metavar="N",
+                           help="read replicas per shard (requires "
+                                "--shards >= 2); the report then "
+                                "includes a per-tier staleness table")
+    multiuser.add_argument("--consistency", default="strong",
+                           choices=["strong", "read_your_writes",
+                                    "bounded_staleness", "eventual"],
+                           help="default read-consistency tier for "
+                                "replicated reads")
     multiuser.add_argument("--deadline", type=float, default=None,
                            metavar="SECONDS",
                            help="per-query deadline; over-budget "
@@ -342,6 +352,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="interleave one acknowledged write every "
                             "N operations (default: the scenario's "
                             "recommendation; 0 disables)")
+    chaos.add_argument("--data-dir", default=None, metavar="DIR",
+                       help="durable-mode data directory (WAL + "
+                            "checkpoints); default for durable "
+                            "scenarios is a private temp dir")
+    chaos.add_argument("--restarts", type=int, default=None,
+                       metavar="N",
+                       help="kill -9 + cold-start recovery cycles "
+                            "spread through the stream (default: the "
+                            "scenario's recommendation)")
     chaos.add_argument("--max-lost-writes", type=int, default=None,
                        metavar="N",
                        help="fail (exit 1) when more than N "
@@ -421,6 +440,23 @@ def build_parser() -> argparse.ArgumentParser:
                        help="cold engine loads mmap pre-encoded "
                             "corpora from snapshots under DIR "
                             "instead of generating + parsing")
+    serve.add_argument("--data-dir", default=None, metavar="DIR",
+                       help="durable mode: sharded specs journal "
+                            "every write under DIR and a restart "
+                            "against the same DIR recovers to the "
+                            "exact committed sequence (kill -9 safe "
+                            "with --fsync always)")
+    serve.add_argument("--fsync", default="batch",
+                       choices=["always", "batch", "off"],
+                       help="WAL fsync policy for --data-dir specs: "
+                            "always = fsync before every ack, batch "
+                            "= fsync at checkpoints/rotation, off = "
+                            "leave it to the OS")
+    serve.add_argument("--checkpoint-interval", type=float,
+                       default=0.0, metavar="SECONDS",
+                       help="background checkpoint + WAL compaction "
+                            "period for --data-dir specs (0 = only "
+                            "the load-time checkpoint)")
 
     snapshot = sub.add_parser(
         "snapshot", help="build/inspect pre-encoded corpus snapshots "
@@ -500,6 +536,12 @@ def build_parser() -> argparse.ArgumentParser:
     load.add_argument("--deadline", type=float, default=None,
                       metavar="SECONDS",
                       help="per-request deadline sent to the server")
+    load.add_argument("--update-every", type=int, default=0,
+                      metavar="N",
+                      help="interleave one acknowledged write every N "
+                           "requests (0 = reads only); acked writes "
+                           "are reported run-wide for the "
+                           "crash-recovery lost-write gate")
     load.add_argument("--tenant", action="append", default=None,
                       metavar="NAME=SHARE",
                       help="traffic mix tenant (repeatable; default "
@@ -627,7 +669,9 @@ def _cmd_multiuser(args: argparse.Namespace) -> int:
         write_bench_artifact
     with _load_engine(args.engine, args.class_key, args.units, 42,
                       shards=args.shards,
-                      rpc_timeout=args.rpc_timeout) as engine:
+                      rpc_timeout=args.rpc_timeout,
+                      replicas=args.replicas,
+                      consistency=args.consistency) as engine:
         recorder = Recorder(name="multiuser") if args.obs_out else None
         if recorder is not None:
             with observing(recorder):
@@ -651,7 +695,9 @@ def _cmd_multiuser(args: argparse.Namespace) -> int:
                         "streams": args.streams,
                         "queries": args.queries,
                         "units": args.units, "mode": args.mode,
-                        "seed": args.seed, "shards": args.shards},
+                        "seed": args.seed, "shards": args.shards,
+                        "replicas": args.replicas,
+                        "consistency": args.consistency},
                 extra={"multiuser": result.record()})
             path = write_bench_artifact(summary, args.obs_out)
             print(f"wrote {path}")
@@ -835,6 +881,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
                        replicas=args.replicas,
                        consistency=args.consistency,
                        write_every=args.write_every,
+                       data_dir=args.data_dir,
+                       restarts=args.restarts,
                        recorder=recorder)
     if args.format == "json":
         print(json.dumps(result.record(), indent=2))
@@ -909,7 +957,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         trace=args.trace_spans is not None,
         trace_spans=args.trace_spans,
         sample_resources=not args.no_resource_sampling,
-        snapshot_dir=args.snapshot_dir)
+        snapshot_dir=args.snapshot_dir,
+        data_dir=args.data_dir, fsync=args.fsync,
+        checkpoint_interval=args.checkpoint_interval)
     return asyncio.run(QueryServer(config).run())
 
 
@@ -983,7 +1033,8 @@ def _cmd_load(args: argparse.Namespace) -> int:
         mode=args.mode, rate=args.rate,
         streams=args.streams, think_seconds=args.think,
         warmup_seconds=args.warmup, measure_seconds=args.measure,
-        seed=args.seed, deadline=args.deadline, tenants=tenants)
+        seed=args.seed, deadline=args.deadline,
+        update_every=args.update_every, tenants=tenants)
     if query_ids:
         config.query_ids = query_ids
     import contextlib
@@ -1253,13 +1304,16 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 def _load_engine(engine_key: str, class_key: str, units: int,
                  seed: int, shards: int = 0,
-                 rpc_timeout: float | None = None):
+                 rpc_timeout: float | None = None,
+                 replicas: int = 0, consistency: str = "strong"):
     from .xml.serializer import serialize
     db_class = CLASSES_BY_KEY[class_key]
     if shards > 1:
         from .core.shard import ShardedEngine
         engine = ShardedEngine(engine_key, shards=shards,
-                               timeout=rpc_timeout)
+                               timeout=rpc_timeout,
+                               replicas=replicas,
+                               default_consistency=consistency)
     else:
         engine = create(engine_key)
     try:

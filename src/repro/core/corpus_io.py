@@ -102,16 +102,40 @@ def write_snapshot(path: str | Path, documents,
     write is atomic (temp file + rename), so a crashed build never
     leaves a half-readable snapshot behind.
     """
+    return write_snapshot_payloads(
+        path,
+        ((document.name, encode_document(document), None)
+         for document in documents),
+        meta)
+
+
+def write_snapshot_payloads(path: str | Path, payload_entries,
+                            meta: dict | None = None) -> dict:
+    """Write already-encoded RXB1 payloads as one snapshot file.
+
+    ``payload_entries`` yields ``(name, payload, extra)`` triples:
+    ``payload`` is the raw RXB1 bytes (what
+    :func:`~repro.xml.binary.encode_document` returns, or what a shard
+    worker exports at checkpoint time), and ``extra`` is an optional
+    dict merged into that document's directory entry — checkpoints use
+    it to carry each document's global ordinal and replicated flag
+    through the container.  Same atomicity and layout as
+    :func:`write_snapshot`; that function is now a thin encode-then-
+    delegate wrapper over this one.
+    """
     entries = []
     payloads = []
     offset = 0
-    for document in documents:
-        payload = encode_document(document)
-        wrapper = EncodedDocument(document.name, payload)
-        entries.append({"name": document.name, "offset": offset,
-                        "length": len(payload),
-                        "nodes": wrapper.node_count(),
-                        "interns": wrapper.intern_count()})
+    for name, payload, extra in payload_entries:
+        payload = bytes(payload)
+        wrapper = EncodedDocument(name, payload)
+        entry = {"name": name, "offset": offset,
+                 "length": len(payload),
+                 "nodes": wrapper.node_count(),
+                 "interns": wrapper.intern_count()}
+        if extra:
+            entry.update(extra)
+        entries.append(entry)
         payloads.append(payload)
         offset += len(payload)
     full_meta = dict(meta or {})

@@ -84,6 +84,10 @@ class MultiUserResult:
 
     streams: list = field(default_factory=list)
     wall_seconds: float = 0.0
+    #: end-of-run per-consistency-tier replica staleness (from
+    #: :meth:`~repro.core.shard.ShardedEngine.staleness_by_tier`);
+    #: ``None`` for engines without replicas.
+    staleness: dict | None = None
 
     @property
     def total_queries(self) -> int:
@@ -117,6 +121,19 @@ class MultiUserResult:
                 f"  stream {stream.stream_id}: {stream.queries} queries, "
                 f"mean {stream.mean_latency_ms():.2f} ms, "
                 f"{stream.latency_histogram().format_ms()}")
+        if self.staleness:
+            lines.append(
+                f"  replication: committed_seq "
+                f"{self.staleness.get('committed_seq', 0)}, "
+                f"{self.staleness.get('live_rows', 0)}/"
+                f"{self.staleness.get('replicas', 0)} replica rows "
+                "live")
+            lines.append("    tier                    rows  "
+                         "max staleness")
+            for tier, info in self.staleness.get("tiers", {}).items():
+                lines.append(
+                    f"    {tier:<22}  {info.get('rows', 0):>4}  "
+                    f"{info.get('max_staleness', 0):>13}")
         return "\n".join(lines)
 
     def incident_counts(self) -> dict:
@@ -139,6 +156,7 @@ class MultiUserResult:
             "latency": self.latency_histogram().summary(),
             "per_stream": [stream.latency_histogram().summary()
                            for stream in self.streams],
+            "staleness": self.staleness,
         }
 
 
@@ -247,4 +265,10 @@ def run_multi_user(engine, class_key: str, units: int,
     else:
         raise BenchmarkError(f"unknown multi-user mode {mode!r}")
 
-    return MultiUserResult(results, time.perf_counter() - wall_start)
+    wall = time.perf_counter() - wall_start
+    # End-of-run replication staleness (replicated sharded engines
+    # only): what lag each consistency tier's readers would see now.
+    tiers = getattr(engine, "staleness_by_tier", None)
+    staleness = tiers() if tiers is not None \
+        and getattr(engine, "replicas", 0) else None
+    return MultiUserResult(results, wall, staleness=staleness)

@@ -125,6 +125,31 @@ Fault-injection sites (:mod:`repro.faults.plan`, free when no plan is
 installed): ``shard.rpc`` (worker side, per op — including ``replay``,
 which the replica-lag chaos scenario delays), ``shard.pipe`` (parent
 side, per send) and ``shard.result`` (worker-side result payload).
+The WAL adds ``wal.append`` and ``wal.fsync`` (:mod:`repro.core.wal`).
+
+Durability
+----------
+
+``data_dir=`` makes acknowledged writes survive the process: every
+write appends to a per-shard :class:`~repro.core.wal.WriteAheadLog`
+(fsync policy ``always|batch|off``) before the call returns, and
+:meth:`ShardedEngine.checkpoint` — manual, or periodic via
+``checkpoint_interval`` — exports every shard's *current* engine state
+through the new ``snapshot`` worker op into per-shard RXSN files,
+records the cut in a :class:`~repro.core.checkpoint.CheckpointManager`
+manifest, compacts WAL segments below the oldest retained checkpoint
+and truncates the in-memory journal to the uncompacted suffix
+(``shard.journal_bytes`` gauges the bound).  A checkpoint also
+refreshes the parent's ``mains`` with the exported payloads, so primary
+respawns and replica rebuilds load checkpoint state + journal suffix
+instead of original text + full history — replicas that fall below the
+journal floor (their entries were compacted) are rebuilt the same way
+(``shard.snapshot_catchups``), which is exactly snapshot-based catch-up
+after a long partition.  ``ShardedEngine(recover_dir=...)`` cold-starts
+from the newest *valid* checkpoint (damaged ones fall back to the
+previous) plus WAL replay to the exact committed sequence; corrupt WAL
+records are skipped with a typed
+:class:`~repro.errors.WalCorruption` incident, never a crash.
 """
 
 from __future__ import annotations
@@ -139,6 +164,7 @@ import time
 import zlib
 from contextlib import ExitStack, contextmanager
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from .. import api as _api
 from .. import errors as _errors_module
@@ -150,6 +176,7 @@ from ..errors import (
     CircuitOpen,
     FaultInjected,
     QueryTimeout,
+    RecoveryError,
     ShardError,
     UnsupportedOperation,
 )
@@ -160,11 +187,14 @@ from ..obs import recorder as _obs
 from ..obs import trace as _trace
 from ..obs.export import trace_records as _trace_records
 from ..workload.queries import QUERIES_BY_ID
-from ..xml.binary import EncodedDocument
+from ..xml.binary import EncodedDocument, encode_document
 from ..xml.nodes import Text
 from ..xml.parser import parse_document
 from ..xml.serializer import serialize
 from . import shm as _shm
+from .checkpoint import CheckpointManager
+from .corpus_io import write_snapshot_payloads
+from .wal import DEFAULT_SEGMENT_BYTES, FSYNC_POLICIES, WriteAheadLog
 
 #: Default per-RPC timeout (seconds).  Bulk loads at large scales are
 #: the slowest calls; queries finish orders of magnitude faster.
@@ -375,6 +405,14 @@ def _run_worker_op(engine_key: str, shard_index: int, op: str,
             applied = seq
         _worker_applied_seq = max(applied, int(upto_seq))
         result = _worker_applied_seq
+    elif op == "snapshot":
+        # Checkpoint: export the engine's *current* documents (the
+        # parent's ``mains`` text is stale the moment an update_value
+        # lands worker-side) as RXB1 payloads.  The parent assembles
+        # them into per-shard RXSN snapshot files and refreshes its
+        # own state from the same payloads.
+        result = [(document.name, encode_document(document))
+                  for document in engine.export_documents()]
     elif op == "promote":
         # Failover: this replica is now shard ``shard_index``'s
         # primary.  Re-tag span gids and the fault namespace so spans
@@ -502,13 +540,23 @@ class _Worker:
 class _ShardState:
     """Everything needed to (re)build one shard's engine."""
 
-    #: main documents owned by this shard: (ordinal, name, text).
+    #: main documents owned by this shard: (ordinal, name, payload) —
+    #: XML text at load time, refreshed to RXB1
+    #: :class:`~repro.xml.binary.EncodedDocument` payloads at each
+    #: checkpoint so respawns load checkpoint state, not original text.
     mains: list[tuple[int, str, str]] = field(default_factory=list)
-    #: acknowledged write operations since load as ``(seq, op)``
-    #: entries — the replication log.  Shipped incrementally to
-    #: replicas; primary respawns replay only the ``update_value``
-    #: entries (``mains`` already reflects structural inserts/deletes).
+    #: acknowledged write operations since the last checkpoint as
+    #: ``(seq, op)`` entries — the replication log.  Shipped
+    #: incrementally to replicas; primary respawns replay only the
+    #: ``update_value`` entries (``mains`` already reflects structural
+    #: inserts/deletes).
     journal: list[tuple[int, tuple]] = field(default_factory=list)
+    #: highest sequence *truncated out of* the journal (the last
+    #: checkpoint's cut).  The journal holds exactly the entries with
+    #: ``seq > journal_floor``; a replica whose applied sequence fell
+    #: below the floor cannot catch up incrementally and is rebuilt
+    #: from the checkpoint-refreshed ``mains`` instead.
+    journal_floor: int = 0
 
 
 class ShardedEngine(Engine):
@@ -538,12 +586,26 @@ class ShardedEngine(Engine):
                  replicas: int = 0,
                  ship_interval: float = 0.0,
                  default_consistency="strong",
-                 service_floor: float = 0.0) -> None:
+                 service_floor: float = 0.0,
+                 data_dir: str | Path | None = None,
+                 recover_dir: str | Path | None = None,
+                 fsync: str = "batch",
+                 wal_segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+                 checkpoint_interval: float = 0.0) -> None:
         super().__init__()
         if shards < 1:
             raise ShardError(f"shards must be >= 1, got {shards}")
         if replicas < 0:
             raise ShardError(f"replicas must be >= 0, got {replicas}")
+        if fsync not in FSYNC_POLICIES:
+            raise ShardError(
+                f"fsync must be one of {FSYNC_POLICIES}, got {fsync!r}")
+        if recover_dir is not None:
+            if data_dir is not None \
+                    and Path(data_dir) != Path(recover_dir):
+                raise ShardError(
+                    "pass either data_dir or recover_dir, not both")
+            data_dir = recover_dir
         if degraded not in self.DEGRADED_MODES:
             raise ShardError(
                 f"degraded must be one of {self.DEGRADED_MODES}, "
@@ -630,6 +692,33 @@ class ShardedEngine(Engine):
         self.failovers = 0
         self._ship_thread: threading.Thread | None = None
         self._ship_stop = threading.Event()
+        # -- durability state --
+        self._data_dir = Path(data_dir) if data_dir is not None else None
+        self._fsync = fsync
+        self._wal_segment_bytes = wal_segment_bytes
+        self.checkpoint_interval = checkpoint_interval
+        self._wal: list[WriteAheadLog] | None = None
+        self._checkpoint_manager = (
+            CheckpointManager(self._data_dir)
+            if self._data_dir is not None else None)
+        self._checkpoint_thread: threading.Thread | None = None
+        self._checkpoint_stop = threading.Event()
+        #: the last checkpoint's committed sequence (0 = none yet).
+        self.last_checkpoint_seq = 0
+        #: what the last :meth:`recover` rebuilt (None before one).
+        self.last_recovery_report: dict | None = None
+        #: set while close() tears the engine down, so a replication
+        #: flush or background tick racing shutdown becomes a no-op
+        #: instead of touching a half-released engine.
+        self._closing = False
+        if recover_dir is not None:
+            self.recover()
+
+    @staticmethod
+    def can_recover(data_dir: str | Path) -> bool:
+        """Whether ``data_dir`` holds a checkpoint manifest to
+        cold-start from (the server's recover-vs-fresh-load fork)."""
+        return CheckpointManager.exists(data_dir)
 
     def _new_breakers(self) -> list[CircuitBreaker]:
         return [CircuitBreaker(threshold=self._breaker_threshold,
@@ -728,7 +817,13 @@ class ShardedEngine(Engine):
             yield
 
     def bulk_load(self, db_class: DatabaseClass, texts) -> LoadStats:
+        # Background threads are joined before the locks are taken:
+        # they acquire the same locks with a bounded wait, so joining
+        # under _exclusive() would make shutdown latency worst-case,
+        # and a tick racing the reload must not see torn state.
+        self._halt_background()
         with self._exclusive():
+            self._closing = False
             self._reset_state()
             self._class_key = db_class.key
             self._partition(db_class, texts)
@@ -756,6 +851,14 @@ class ShardedEngine(Engine):
             except BaseException:
                 self._release_segment()
                 raise
+            if self._data_dir is not None:
+                # Durable mode: open the per-shard logs and establish
+                # the load-time checkpoint — the baseline every
+                # recovery starts from (WAL replay alone cannot
+                # recreate the bulk-loaded corpus).
+                self._open_wal()
+                self._checkpoint_locked()
+                self._start_checkpoint_thread()
             self.last_load_report = {
                 "transport": transport,
                 "encode_seconds": encode_seconds,
@@ -854,9 +957,11 @@ class ShardedEngine(Engine):
 
     def _reset_state(self) -> None:
         self._stop_ship_thread()
+        self._stop_checkpoint_thread()
         self._stop_workers()
         self._stop_replicas()
         self._release_segment()
+        self._close_wal()
         self._states = [_ShardState() for __ in range(self.shards)]
         self._replicated = []
         self._ordinals = {}
@@ -873,10 +978,61 @@ class ShardedEngine(Engine):
         self._row_outstanding = [0] * (self.replicas + 1)
         self._replicas_loaded = False
         self.failovers = 0
+        self.last_checkpoint_seq = 0
+
+    def _halt_background(self) -> None:
+        """Join the ship and checkpoint threads *without* holding the
+        engine locks.  Both loops take the global lock with a bounded
+        wait, so stopping them from under ``_exclusive()`` works — but
+        it serializes shutdown behind their current tick, and a flush
+        arriving between the join and the teardown would race a
+        half-torn-down engine.  Stopping first, outside the locks,
+        closes that window."""
+        self._stop_ship_thread()
+        self._stop_checkpoint_thread()
 
     def _release(self) -> None:
+        self._closing = True
+        self._halt_background()
         with self._exclusive():
             self._reset_state()
+
+    def abort(self) -> None:
+        """Hard-stop without clean shutdown — the in-process stand-in
+        for ``kill -9`` used by the recovery tests and the restart-storm
+        chaos scenario.
+
+        Worker processes are killed outright (no ``stop`` op, no
+        journal ship, no final checkpoint or WAL sync beyond what each
+        acknowledged write already wrote), and parent-owned OS
+        resources (pipes, the shm segment, WAL file handles) are
+        released so the *simulating* process does not leak them.  The
+        on-disk WAL/checkpoint state is left exactly as a real SIGKILL
+        would leave it; recover from it with
+        ``ShardedEngine(recover_dir=...)``.
+        """
+        self._closing = True
+        self._halt_background()
+        everyone = list(self._workers)
+        for row_workers in self._replica_rows:
+            everyone.extend(row_workers)
+        for worker in everyone:
+            if worker is None:
+                continue
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+            if worker.process.is_alive():
+                worker.process.kill()
+            worker.process.join(timeout=2.0)
+        self._workers = [None] * self.shards
+        self._replica_rows = [[None] * self.shards
+                              for __ in range(self.replicas)]
+        self._release_segment()
+        self._close_wal()
+        self.loaded = False
+        self.db_class = None
 
     def _stop_workers(self) -> None:
         for index, worker in enumerate(self._workers):
@@ -1271,6 +1427,8 @@ class ShardedEngine(Engine):
             self._committed_seq += 1
             self._states[index].journal.append(
                 (self._committed_seq, ("insert", name, text)))
+            self._wal_append(index, self._committed_seq,
+                             ("insert", name, text))
             self._after_write()
 
     def delete_document(self, name: str) -> None:
@@ -1285,6 +1443,8 @@ class ShardedEngine(Engine):
             self._committed_seq += 1
             self._states[index].journal.append(
                 (self._committed_seq, ("delete", name)))
+            self._wal_append(index, self._committed_seq,
+                             ("delete", name))
             self._after_write()
 
     def update_value(self, id_path: str, id_value: str, target_tag: str,
@@ -1298,6 +1458,8 @@ class ShardedEngine(Engine):
             self._committed_seq += 1
             for state in self._states:
                 state.journal.append((self._committed_seq, message))
+            for index in range(self.shards):
+                self._wal_append(index, self._committed_seq, message)
             self._after_write()
             return sum(replies)
 
@@ -1305,8 +1467,445 @@ class ShardedEngine(Engine):
         """Post-acknowledgement replication hook: with no ship
         interval, journal entries ship synchronously; otherwise the
         ship thread batches them."""
+        _obs.gauge("shard.journal_bytes", self.journal_bytes())
         if self._replicas_loaded and self.ship_interval <= 0:
             self._ship_pending_locked()
+
+    def _wal_append(self, index: int, seq: int, op: tuple) -> None:
+        """Append one journal entry to shard ``index``'s log (no-op
+        without a data dir).
+
+        Runs after the workers applied the op but *before* the write
+        returns, so acknowledged == logged.  A failed append (disk
+        fault) raises — the caller sees a failed write — but the
+        sequence stays consumed and the journal entry stays: the op
+        already applied worker-side, and an unacknowledged write is
+        allowed to land or vanish, never to corrupt sequencing.
+        """
+        if self._wal is None:
+            return
+        try:
+            self._wal[index].append(seq, op)
+        except (FaultInjected, ShardError) as exc:
+            _obs.count("wal.append_failures")
+            self.incidents.append(
+                f"wal append failed for shard {index} seq {seq}: "
+                f"{exc}")
+            raise
+
+    # -- durability: WAL, checkpoints, recovery ------------------------------
+
+    def _open_wal(self) -> None:
+        self._close_wal()
+        assert self._data_dir is not None
+        self._wal = [WriteAheadLog(
+            self._data_dir, index, fsync=self._fsync,
+            segment_bytes=self._wal_segment_bytes)
+            for index in range(self.shards)]
+
+    def _close_wal(self) -> None:
+        if self._wal is None:
+            return
+        for log in self._wal:
+            log.close()
+        self._wal = None
+
+    def journal_bytes(self) -> int:
+        """Approximate in-memory size of the replication journal —
+        string payload bytes plus a small per-entry overhead.  The
+        observable side of the checkpoint bound (``shard.journal_bytes``
+        gauge): without checkpoints it grows with every write, after
+        one it holds only the uncompacted suffix."""
+        total = 0
+        for state in self._states:
+            for __seq, op in state.journal:
+                total += 16 + sum(
+                    len(part) if isinstance(part, str) else 8
+                    for part in op)
+        return total
+
+    def wal_disk_bytes(self) -> int:
+        """Total on-disk WAL size across shards (0 without a data
+        dir) — what checkpoint compaction bounds."""
+        return sum(log.disk_bytes() for log in (self._wal or ()))
+
+    def durability_state(self) -> dict | None:
+        """Durability snapshot for the stats surface (None when the
+        engine runs memory-only)."""
+        if self._data_dir is None:
+            return None
+        with self._lock:
+            return {"data_dir": str(self._data_dir),
+                    "fsync": self._fsync,
+                    "committed_seq": self._committed_seq,
+                    "last_checkpoint_seq": self.last_checkpoint_seq,
+                    "checkpoint_interval": self.checkpoint_interval,
+                    "wal_bytes": self.wal_disk_bytes(),
+                    "journal_bytes": self.journal_bytes()}
+
+    def staleness_by_tier(self, bound: int = 8) -> dict:
+        """Per-consistency-tier view of replica staleness: for each
+        tier, how many rows could serve a read right now and the worst
+        ``committed_seq - applied_seq`` such a read could observe.
+        ``bound`` parameterizes the ``bounded_staleness:K`` line.  The
+        multiuser report renders this as its replication table."""
+        with self._lock:
+            committed = self._committed_seq
+            lags = []
+            for row in range(1, self.replicas + 1):
+                workers = self._replica_rows[row - 1]
+                if any(worker is None or not worker.process.is_alive()
+                       for worker in workers):
+                    continue
+                applied = min(worker.applied_seq for worker in workers)
+                lags.append(max(0, committed - applied))
+            caught_up = [lag for lag in lags if lag == 0]
+            within = [lag for lag in lags if lag <= bound]
+            tiers = {
+                "strong": {"rows": 1, "max_staleness": 0},
+                "read_your_writes": {"rows": 1 + len(caught_up),
+                                     "max_staleness": 0},
+                f"bounded_staleness:{bound}": {
+                    "rows": 1 + len(within),
+                    "max_staleness": max(within, default=0)},
+                "eventual": {"rows": 1 + len(lags),
+                             "max_staleness": max(lags, default=0)},
+            }
+            return {"committed_seq": committed,
+                    "replicas": self.replicas,
+                    "live_rows": len(lags),
+                    "tiers": tiers}
+
+    def checkpoint(self) -> dict:
+        """Take one checkpoint now: snapshot every shard's engine
+        state, persist it (with a data dir), compact the WAL below the
+        oldest retained checkpoint, and truncate the in-memory journal
+        to the suffix.  Works without a data dir too — then it is
+        purely the journal-bound operation."""
+        with self._exclusive():
+            self._require_loaded()
+            return self._checkpoint_locked()
+
+    def _checkpoint_locked(self) -> dict:
+        seq = self._committed_seq
+        start = time.perf_counter()
+        with _obs.span("shard.checkpoint", seq=seq):
+            exports = self._scatter(range(self.shards),
+                                    lambda __: ("snapshot",))
+            # Parent ``mains`` must be refreshed whenever value
+            # updates are about to leave the journal: respawns replay
+            # only the journal's update_value entries over ``mains``,
+            # so dropped updates must already be baked in.  Structural
+            # entries are in ``mains`` by construction, so a journal
+            # with no updates needs no refresh (and the load-time
+            # checkpoint keeps its shm segment).
+            if any(op[0] == "update_value" for state in self._states
+                   for __seq, op in state.journal):
+                self._refresh_from_exports(exports)
+                self._release_segment()
+            if self._checkpoint_manager is not None:
+                paths = self._write_checkpoint_snapshots(seq, exports)
+                self._checkpoint_manager.record(
+                    seq=seq, class_key=self._class_key or "",
+                    engine_key=self.engine_key, shards=self.shards,
+                    snapshot_paths=paths,
+                    index_paths=list(self._index_paths),
+                    next_ordinal=self._next_ordinal, home=self._home)
+                if self._wal is not None:
+                    # Compact below the *oldest retained* checkpoint:
+                    # the previous one stays recoverable (manifest
+                    # fallback) only while its WAL suffix survives.
+                    cutoff = (self._checkpoint_manager
+                              .oldest_retained_seq())
+                    for log in self._wal:
+                        log.truncate_below(cutoff)
+                        log.sync()
+            for state in self._states:
+                state.journal = [entry for entry in state.journal
+                                 if entry[0] > seq]
+                state.journal_floor = max(state.journal_floor, seq)
+        self.last_checkpoint_seq = seq
+        _obs.count("shard.checkpoints")
+        _obs.gauge("shard.journal_bytes", self.journal_bytes())
+        return {"seq": seq,
+                "seconds": time.perf_counter() - start,
+                "journal_bytes": self.journal_bytes(),
+                "wal_bytes": self.wal_disk_bytes()}
+
+    def _refresh_from_exports(self, exports: list) -> None:
+        """Swap parent-side payloads for the workers' exported RXB1
+        state (checkpoint cut).  After this, ``mains`` + the journal
+        suffix reproduce the current worker state exactly — which is
+        what respawns, replica rebuilds and failover catch-up rely
+        on once pre-checkpoint entries are gone."""
+        replicated_names = {name for name, __ in self._replicated}
+        for index, export in enumerate(exports):
+            encoded = {name: payload for name, payload in export}
+            state = self._states[index]
+            state.mains = [
+                (ordinal, name,
+                 EncodedDocument(name, encoded[name])
+                 if name in encoded else payload)
+                for ordinal, name, payload in state.mains]
+        if self._replicated and exports:
+            encoded = {name: payload for name, payload in exports[0]
+                       if name in replicated_names}
+            self._replicated = [
+                (name,
+                 EncodedDocument(name, encoded[name])
+                 if name in encoded else payload)
+                for name, payload in self._replicated]
+
+    def _write_checkpoint_snapshots(self, seq: int,
+                                    exports: list) -> list[Path]:
+        """One RXSN file per shard from the exported payloads, with
+        ``ordinal``/``replicated`` carried in each directory entry."""
+        manager = self._checkpoint_manager
+        assert manager is not None
+        replicated_names = {name for name, __ in self._replicated}
+        paths = []
+        for index, export in enumerate(exports):
+            entries = []
+            for name, payload in export:
+                if name in replicated_names:
+                    extra = {"ordinal": -1, "replicated": True}
+                else:
+                    ordinal = self._ordinals.get(name)
+                    if ordinal is None:
+                        continue
+                    extra = {"ordinal": ordinal, "replicated": False}
+                entries.append((name, payload, extra))
+            path = manager.snapshot_path(seq, index)
+            write_snapshot_payloads(
+                path, entries,
+                {"class": self._class_key, "shard": index,
+                 "checkpoint_seq": seq})
+            paths.append(path)
+        return paths
+
+    def recover(self) -> dict:
+        """Cold-start from the data directory: newest valid checkpoint
+        + WAL replay to the exact committed sequence.
+
+        Rebuilds the partition map from the checkpoint snapshots,
+        replays WAL records past the checkpoint into parent state (the
+        journal suffix, ``mains`` for structural ops) skipping corrupt
+        records with :class:`~repro.errors.WalCorruption` incidents,
+        then spawns and loads workers — primaries and replica rows —
+        and applies the update suffix so every process sits at the
+        committed sequence.  Raises
+        :class:`~repro.errors.RecoveryError` when there is nothing
+        usable to recover from."""
+        if self._checkpoint_manager is None:
+            raise RecoveryError("no data directory configured")
+        self._halt_background()
+        with self._exclusive():
+            self._closing = False
+            return self._recover_locked()
+
+    def _recover_locked(self) -> dict:
+        manager = self._checkpoint_manager
+        start = time.perf_counter()
+        manifest = manager.load()
+        if manifest is None:
+            raise RecoveryError(
+                f"{self._data_dir}: no checkpoint manifest")
+        if manifest.get("shards") != self.shards:
+            raise RecoveryError(
+                f"{self._data_dir}: manifest has "
+                f"{manifest.get('shards')} shards, engine has "
+                f"{self.shards}")
+        if manifest.get("engine") != self.engine_key:
+            raise RecoveryError(
+                f"{self._data_dir}: manifest engine "
+                f"{manifest.get('engine')!r} != {self.engine_key!r}")
+        class_key = manifest.get("class")
+        db_class = CLASSES_BY_KEY.get(class_key)
+        if db_class is None:
+            raise RecoveryError(
+                f"{self._data_dir}: unknown class {class_key!r}")
+        found = manager.latest_valid()
+        if found is None:
+            raise RecoveryError(
+                f"{self._data_dir}: no usable checkpoint (all "
+                "snapshot files missing or corrupt)")
+        entry, snapshots, fallbacks = found
+        self._reset_state()
+        self.incidents.extend(fallbacks)
+        checkpoint_seq = int(entry.get("seq", 0))
+        self._class_key = class_key
+        try:
+            for index, snapshot in enumerate(snapshots):
+                for meta in snapshot.entries:
+                    payload = EncodedDocument(
+                        meta["name"], bytes(snapshot.payload(meta)))
+                    if meta.get("replicated"):
+                        # Stored in every shard's file (each worker
+                        # holds them); take one copy.
+                        if index == 0:
+                            self._replicated.append(
+                                (meta["name"], payload))
+                        continue
+                    ordinal = int(meta.get("ordinal", -1))
+                    self._states[index].mains.append(
+                        (ordinal, meta["name"], payload))
+                    self._ordinals[meta["name"]] = ordinal
+        finally:
+            for snapshot in snapshots:
+                snapshot.close()
+        fallback_ordinal = 1 + max(self._ordinals.values(), default=-1)
+        self._next_ordinal = int(
+            entry.get("next_ordinal", fallback_ordinal))
+        home = entry.get("home")
+        self._home = int(home) if home is not None else None
+        self._index_paths = list(entry.get("index_paths", ()))
+        self._committed_seq = checkpoint_seq
+        for state in self._states:
+            state.journal_floor = checkpoint_seq
+
+        # WAL replay into parent state.  Structural ops re-apply to
+        # the partition map in *global* sequence order (ordinals are
+        # assigned in commit order); update_value entries stay
+        # journal-only, exactly like the live write path.
+        self._open_wal()
+        wal_records = 0
+        corrupt_records = 0
+        structural: list[tuple[int, int, tuple]] = []
+        for index, log in enumerate(self._wal):
+            records = log.records(after_seq=checkpoint_seq)
+            for incident in log.incidents:
+                self.incidents.append(f"WalCorruption: {incident}")
+            corrupt_records += len(log.incidents)
+            wal_records += len(records)
+            state = self._states[index]
+            state.journal = [(seq, tuple(op)) for seq, op in records]
+            for seq, op in state.journal:
+                self._committed_seq = max(self._committed_seq, seq)
+                if op[0] in ("insert", "delete"):
+                    structural.append((seq, index, op))
+        for seq, index, op in sorted(structural):
+            state = self._states[index]
+            if op[0] == "insert":
+                ordinal = self._next_ordinal
+                self._next_ordinal += 1
+                self._ordinals[op[1]] = ordinal
+                state.mains.append((ordinal, op[1], op[2]))
+            else:
+                self._ordinals.pop(op[1], None)
+                state.mains = [main for main in state.mains
+                               if main[1] != op[1]]
+
+        # Spawn and load workers from the rebuilt state, then replay
+        # the update suffix so worker state reaches the committed seq.
+        transport = self.transport
+        if transport == "shm":
+            try:
+                self._build_segment()
+            except (OSError, ValueError) as exc:
+                self.incidents.append(
+                    f"shared memory unavailable ({exc}); "
+                    "falling back to pipe transport")
+                self._release_segment()
+                transport = "pipe"
+        with _obs.span("shard.recover", shards=self.shards,
+                       checkpoint_seq=checkpoint_seq,
+                       wal_records=wal_records):
+            for index in range(self.shards):
+                self._spawn(index)
+            self._scatter(range(self.shards), self._load_message)
+            if self._index_paths:
+                self._scatter(
+                    range(self.shards),
+                    lambda __: ("indexes", list(self._index_paths)))
+            for index, state in enumerate(self._states):
+                for __seq, op in state.journal:
+                    if op[0] == "update_value":
+                        self._call(index, op)
+            if self.replicas:
+                self._load_replica_rows()
+                self._catch_up_replicas_locked()
+        self.db_class = db_class
+        self.loaded = True
+        self._start_checkpoint_thread()
+        report = {
+            "data_dir": str(self._data_dir),
+            "class": class_key,
+            "checkpoint_seq": checkpoint_seq,
+            "committed_seq": self._committed_seq,
+            "wal_records": wal_records,
+            "corrupt_records": corrupt_records,
+            "checkpoint_fallbacks": len(fallbacks),
+            "documents": self._next_ordinal,
+            "seconds": time.perf_counter() - start,
+        }
+        self.last_recovery_report = report
+        _obs.count("shard.recoveries")
+        return report
+
+    def _catch_up_replicas_locked(self) -> None:
+        """Stamp freshly loaded replica rows at the committed sequence.
+
+        After a recovery load the rows hold checkpoint-state ``mains``
+        (structural suffix included), so only the journal's
+        update_value entries separate them from the primaries — replay
+        those and stamp.  ``_ship_pending_locked`` cannot do this: the
+        journal floor sits at the checkpoint, and a floor gap normally
+        (correctly) forces a rebuild."""
+        committed = self._committed_seq
+        for row in range(1, self.replicas + 1):
+            for index, worker in enumerate(
+                    self._replica_rows[row - 1]):
+                if worker is None:
+                    continue
+                updates = [e for e in self._states[index].journal
+                           if e[1][0] == "update_value"]
+                try:
+                    worker.applied_seq = int(self._call_worker(
+                        worker, ("replay", committed, updates)))
+                except _WorkerFailure as failure:
+                    self._replica_deficits.add((row, index))
+                    self.incidents.append(
+                        f"replica row {row} shard {index} recovery "
+                        f"catch-up failed: {failure}")
+
+    def _start_checkpoint_thread(self) -> None:
+        if self.checkpoint_interval <= 0 or self._data_dir is None \
+                or self._checkpoint_thread is not None:
+            return
+        self._checkpoint_stop = threading.Event()
+        self._checkpoint_thread = threading.Thread(
+            target=self._checkpoint_loop, name="repro-checkpoint",
+            daemon=True)
+        self._checkpoint_thread.start()
+
+    def _checkpoint_loop(self) -> None:
+        # Same shutdown contract as the ship loop: bounded lock
+        # acquire, so a closer holding the locks never deadlocks
+        # against this thread's tick.
+        while not self._checkpoint_stop.wait(self.checkpoint_interval):
+            if not self._lock.acquire(timeout=0.2):
+                continue
+            try:
+                if self._checkpoint_stop.is_set() or self._closing \
+                        or not self.loaded:
+                    continue
+                with ExitStack() as stack:
+                    for lock in self._row_locks:
+                        stack.enter_context(lock)
+                    if self._committed_seq > self.last_checkpoint_seq:
+                        self._checkpoint_locked()
+            except Exception as exc:  # noqa: BLE001 - keep ticking
+                self.incidents.append(
+                    f"background checkpoint failed: {exc}")
+            finally:
+                self._lock.release()
+
+    def _stop_checkpoint_thread(self) -> None:
+        if self._checkpoint_thread is None:
+            return
+        self._checkpoint_stop.set()
+        self._checkpoint_thread.join(timeout=10.0)
+        self._checkpoint_thread = None
 
     # -- RPC plumbing --------------------------------------------------------
 
@@ -1439,6 +2038,17 @@ class ShardedEngine(Engine):
             if best is None or worker.applied_seq > best.applied_seq:
                 best_row, best = row, worker
         if best is None:
+            return False
+        if best.applied_seq < self._states[index].journal_floor:
+            # The journal no longer reaches back far enough to catch
+            # this candidate up (entries below the checkpoint floor
+            # were compacted) — fall back to a respawn, which reloads
+            # from the checkpoint-refreshed mains.
+            self.incidents.append(
+                f"shard {index} failover skipped: freshest replica "
+                f"(applied_seq {best.applied_seq}) is behind the "
+                f"checkpoint floor "
+                f"{self._states[index].journal_floor}")
             return False
         with self._row_locks[best_row - 1]:
             self._replica_rows[best_row - 1][index] = None
@@ -1840,6 +2450,23 @@ class ShardedEngine(Engine):
                     row_applied = 0
                     continue
                 if worker.applied_seq < committed:
+                    floor = self._states[index].journal_floor
+                    if worker.applied_seq < floor:
+                        # Checkpoint compaction dropped entries this
+                        # replica still needs — incremental ship can
+                        # no longer catch it up.  Snapshot catch-up
+                        # instead: the deficit repair reloads the slot
+                        # from the checkpoint-refreshed ``mains`` and
+                        # replays only the journal suffix.
+                        _obs.count("shard.snapshot_catchups")
+                        self.incidents.append(
+                            f"replica row {row} shard {index} behind "
+                            f"the checkpoint floor "
+                            f"({worker.applied_seq} < {floor}); "
+                            "snapshot catch-up scheduled")
+                        self._replica_deficits.add((row, index))
+                        row_applied = 0
+                        continue
                     entries = [entry for entry in
                                self._states[index].journal
                                if entry[0] > worker.applied_seq]
@@ -1869,7 +2496,7 @@ class ShardedEngine(Engine):
         repairs and re-ships, so one flush leaves every repairable
         row alive and caught up."""
         with self._exclusive():
-            if not self._replicas_loaded:
+            if self._closing or not self._replicas_loaded:
                 return
             self._ship_pending_locked()
             if self._replica_deficits:
@@ -1893,7 +2520,7 @@ class ShardedEngine(Engine):
             if not self._lock.acquire(timeout=0.2):
                 continue
             try:
-                if self._ship_stop.is_set() \
+                if self._ship_stop.is_set() or self._closing \
                         or not self._replicas_loaded:
                     continue
                 with ExitStack() as stack:

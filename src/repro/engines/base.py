@@ -228,6 +228,18 @@ class Engine(ABC):
         raise UnsupportedOperation(
             f"{self.row_label}: value updates not supported")
 
+    def export_documents(self):
+        """The loaded documents as parsed trees, in collection order.
+
+        The durable sharded engine's checkpoint path calls this inside
+        each worker to capture the *current* (post-update) state, then
+        encodes it into RXSN snapshots.  Engines whose loaded form is
+        not a document collection (the relational analogues) raise
+        :class:`UnsupportedOperation` — they cannot be checkpointed.
+        """
+        raise UnsupportedOperation(
+            f"{self.row_label}: document export not supported")
+
     def relational_database(self):
         """The engine's relstore Database, if it has one (else None)."""
         return None

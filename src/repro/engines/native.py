@@ -334,6 +334,10 @@ class NativeEngine(Engine):
         """The loaded documents (for oracle checks)."""
         return self._collection.collection()
 
+    def export_documents(self) -> list[Document]:
+        """Current document trees for checkpoint snapshots."""
+        return self._collection.collection()
+
     def run_xquery(self, text: str, params: dict | None = None) -> list:
         """Run arbitrary XQuery against the loaded database."""
         context_item = None

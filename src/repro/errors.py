@@ -119,6 +119,40 @@ class CircuitOpen(ShardError):
     """
 
 
+class WalCorruption(EngineError):
+    """A write-ahead-log record failed its CRC32 check.
+
+    Recovery treats corruption as data loss, not as a crash: a torn
+    final frame is truncated (the write it held was never acknowledged
+    under ``fsync="always"``), and a corrupt record in the middle of a
+    segment is *skipped* — replay continues with the next frame and the
+    incident is recorded on the recovering engine.  Carries the segment
+    path and the byte ``offset`` of the bad frame so the incident is
+    actionable.
+    """
+
+    def __init__(self, message: str, path: str | None = None,
+                 offset: int | None = None):
+        self.path = path
+        self.offset = offset
+        if path is not None:
+            where = path if offset is None else f"{path}@{offset}"
+            message = f"{message} ({where})"
+        super().__init__(message)
+
+
+class RecoveryError(EngineError):
+    """Cold-start recovery from a data directory cannot proceed.
+
+    Raised when the directory has no usable checkpoint manifest, when
+    every recorded checkpoint's snapshot files are missing or corrupt,
+    or when the manifest disagrees with the recovering engine's
+    configuration (shard count, database class).  Distinct from
+    :class:`WalCorruption`: a bad WAL *record* is skipped and recovery
+    continues; this type means there is nothing to recover onto.
+    """
+
+
 class QueryTimeout(ReproError):
     """A query exceeded its :class:`~repro.faults.deadline.Deadline`.
 

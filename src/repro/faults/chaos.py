@@ -72,6 +72,13 @@ class ChaosResult:
     failovers: int = 0
     #: final :meth:`ShardedEngine.replication_state` snapshot.
     replication: dict = field(default_factory=dict)
+    #: durable-mode accounting: whether the run journaled to disk, how
+    #: many kill -9 + cold-start cycles it survived, and each cycle's
+    #: recovery report (committed seq, WAL records replayed, corrupt
+    #: records skipped, wall seconds).
+    durable: bool = False
+    restarts: int = 0
+    recoveries: list = field(default_factory=list)
     wall_seconds: float = 0.0
     latencies: list = field(default_factory=list)
     #: typed incidents: {"qid", "type", "message", "trace_id"} per
@@ -117,6 +124,11 @@ class ChaosResult:
             "lost_writes": self.lost_writes,
             "failovers": self.failovers,
             "replication": self.replication,
+            "durable": self.durable,
+            "restarts": self.restarts,
+            "recoveries": self.recoveries,
+            "wal_append_failures": self.counters.get(
+                "wal.append_failures", 0),
             "wall_seconds": self.wall_seconds,
             "latency": histogram.summary(),
             "retries": self.counters.get("shard.retries", 0),
@@ -162,6 +174,17 @@ class ChaosResult:
                 f"{self.writes_verified} verified, "
                 f"{self.writes_unverified} unverified, "
                 f"{self.lost_writes} LOST")
+        if self.durable:
+            replayed = sum(r.get("wal_records", 0)
+                           for r in self.recoveries)
+            corrupt = sum(r.get("corrupt_records", 0)
+                          for r in self.recoveries)
+            lines.append(
+                f"  durability: {self.restarts} kill -9 + recovery "
+                f"cycle(s), {replayed} WAL records replayed, "
+                f"{corrupt} corrupt records skipped, "
+                f"{self.counters.get('wal.append_failures', 0)} "
+                "append failures")
         if self.replicas:
             lines.append(
                 f"  replication: {self.failovers} failover(s), "
@@ -190,19 +213,27 @@ def run_chaos(scenario_name: str, *, class_key: str = "dcmd",
               consistency: str | None = None,
               write_every: int | None = None,
               ship_interval: float | None = None,
+              data_dir: str | None = None,
+              restarts: int | None = None,
               recorder: Recorder | None = None,
               scenario: Scenario | None = None) -> ChaosResult:
     """Run ``queries`` workload queries under a named fault scenario.
 
     Explicit ``rpc_timeout``/``deadline_seconds``/``replicas``/
-    ``consistency``/``write_every``/``ship_interval`` override the
-    scenario's recommendations.  With a write cadence, acknowledged
-    ``update_value`` writes interleave with the reads and every
-    acknowledged token is read back under ``strong`` consistency after
-    the storm — a mismatch is a **lost acknowledged write**, which the
-    CI gate requires to be zero.  Returns the scorecard; pass a
-    ``recorder`` to keep the underlying spans/counters (the CLI embeds
-    them in the BENCH artifact).
+    ``consistency``/``write_every``/``ship_interval``/``restarts``
+    override the scenario's recommendations.  With a write cadence,
+    acknowledged ``update_value`` writes interleave with the reads and
+    every acknowledged token is read back under ``strong`` consistency
+    after the storm — a mismatch is a **lost acknowledged write**,
+    which the CI gate requires to be zero.
+
+    Durable scenarios (``scenario.durable``, or an explicit
+    ``data_dir``/``restarts``) journal every write to a WAL under a
+    data directory; ``restarts`` kill -9 + cold-start cycles are spread
+    evenly through the stream, so the post-storm verification reads
+    acked tokens back from *recovered* state.  Returns the scorecard;
+    pass a ``recorder`` to keep the underlying spans/counters (the CLI
+    embeds them in the BENCH artifact).
     """
     from ..core.multiuser import _stream_plan
     from ..core.shard import DEFAULT_TIMEOUT, ShardedEngine
@@ -227,6 +258,10 @@ def run_chaos(scenario_name: str, *, class_key: str = "dcmd",
                              else scenario.write_every)
     effective_ship = (ship_interval if ship_interval is not None
                       else scenario.ship_interval)
+    effective_restarts = (restarts if restarts is not None
+                          else scenario.restarts)
+    effective_durable = (scenario.durable or effective_restarts > 0
+                         or data_dir is not None)
     if class_key not in UPDATE_TARGETS:
         effective_write_every = 0   # reads only: no update workload
     recorder = recorder or Recorder(name="chaos")
@@ -239,13 +274,25 @@ def run_chaos(scenario_name: str, *, class_key: str = "dcmd",
 
     result = ChaosResult(scenario.name, seed, engine_key, class_key,
                          shards, replicas=effective_replicas,
-                         consistency=effective_consistency)
-    engine = ShardedEngine(engine_key, shards=shards,
-                           timeout=effective_timeout, retries=retries,
-                           degraded=degraded, seed=seed,
-                           breaker_cooldown=0.5,
-                           replicas=effective_replicas,
-                           ship_interval=effective_ship)
+                         consistency=effective_consistency,
+                         durable=effective_durable)
+    engine_kwargs = dict(timeout=effective_timeout, retries=retries,
+                         degraded=degraded, seed=seed,
+                         breaker_cooldown=0.5,
+                         replicas=effective_replicas,
+                         ship_interval=effective_ship)
+    cleanup_dir = None
+    if effective_durable:
+        if data_dir is None:
+            import tempfile
+            data_dir = tempfile.mkdtemp(prefix="repro-chaos-wal-")
+            cleanup_dir = data_dir
+        engine_kwargs.update(data_dir=data_dir, fsync=scenario.fsync)
+    engine = ShardedEngine(engine_key, shards=shards, **engine_kwargs)
+    # kill -9 points, spread evenly through the stream (operation
+    # numbers after which the engine is hard-killed and recovered).
+    restart_points = {queries * (cycle + 1) // (effective_restarts + 1)
+                      for cycle in range(effective_restarts)}
     write_rng = random.Random(seed * 31 + 1)
     #: id -> last token written, or None once a write attempt on that
     #: id failed (its final state is unknowable, so it is excluded
@@ -261,6 +308,19 @@ def run_chaos(scenario_name: str, *, class_key: str = "dcmd",
             operation = 0
             for qid, params in stream:
                 operation += 1
+                if operation in restart_points:
+                    # kill -9: workers SIGKILLed mid-stream, no clean
+                    # shutdown — then cold-start from the newest valid
+                    # checkpoint + WAL replay.  Every write acked
+                    # before this point must survive it.
+                    engine.abort()
+                    engine = ShardedEngine(engine_key, shards=shards,
+                                           recover_dir=data_dir,
+                                           **engine_kwargs)
+                    report = dict(engine.last_recovery_report or {})
+                    report["operation"] = operation
+                    result.recoveries.append(report)
+                    result.restarts += 1
                 if (effective_write_every
                         and operation % effective_write_every == 0):
                     _run_write(engine, class_key,
@@ -279,6 +339,9 @@ def run_chaos(scenario_name: str, *, class_key: str = "dcmd",
                 result.replication = engine.replication_state()
     finally:
         engine.close()
+        if cleanup_dir is not None:
+            import shutil
+            shutil.rmtree(cleanup_dir, ignore_errors=True)
     result.wall_seconds = time.perf_counter() - wall_start
     result.counters = recorder.counters.snapshot()
     result.faults_injected = len(plan.log)

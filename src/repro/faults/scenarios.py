@@ -48,6 +48,17 @@ class Scenario:
     consistency: str = "strong"
     #: journal ship interval for the engine (<= 0 ships synchronously).
     ship_interval: float = 0.0
+    #: run the engine in durable mode: the harness provisions a data
+    #: directory (WAL + checkpoints) and the post-storm verification
+    #: reads acked writes back from *recovered* state.
+    durable: bool = False
+    #: WAL fsync policy for durable runs.  ``"always"`` is the honest
+    #: setting for kill -9 storms: an ack means the record is on disk.
+    fsync: str = "always"
+    #: kill -9 + recover cycles spread evenly through the stream (the
+    #: whole engine is hard-killed mid-workload and cold-started from
+    #: checkpoint + WAL replay).  Implies ``durable``.
+    restarts: int = 0
     extra: dict = field(default_factory=dict)
 
     def plan(self, seed: int) -> FaultPlan:
@@ -114,6 +125,37 @@ SCENARIOS: dict[str, Scenario] = {
         replicas=2,
         write_every=4,
         consistency="eventual",
+    ),
+    "kill9-restart-storm": Scenario(
+        name="kill9-restart-storm",
+        description=("the whole engine is hard-killed (kill -9 "
+                     "semantics: workers SIGKILLed, no shutdown "
+                     "checkpoint) three times mid-workload and "
+                     "cold-started from checkpoint + WAL replay each "
+                     "time, with acknowledged writes interleaving "
+                     "throughout: exercises torn-tail truncation, "
+                     "recovery to the exact committed sequence, and "
+                     "the zero-lost-acknowledged-writes guarantee "
+                     "across restarts"),
+        durable=True,
+        restarts=3,
+        write_every=3,
+        consistency="strong",
+    ),
+    "disk-fault": Scenario(
+        name="disk-fault",
+        description=("~15% of WAL appends fail at the disk layer: "
+                     "the affected writes surface typed errors "
+                     "(unacknowledged, excluded from the lost-write "
+                     "gate) while acknowledged writes keep their "
+                     "durability guarantee — verified through a final "
+                     "kill -9 + recovery"),
+        rules=(FaultRule(site="wal.append", kind="error",
+                         probability=0.15),),
+        durable=True,
+        restarts=1,
+        write_every=2,
+        consistency="strong",
     ),
     "replica-lag": Scenario(
         name="replica-lag",

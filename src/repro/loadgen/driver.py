@@ -68,6 +68,11 @@ class LoadConfig:
     seed: int = 17
     #: per-request deadline sent to the server (None = none).
     deadline: float | None = None
+    #: interleave one acknowledged write (the ``update`` verb) every N
+    #: requests (0 = reads only).  Acked writes are collected run-wide
+    #: as ``(seq, id, value)`` — the raw material of the crash-recovery
+    #: zero-lost-acknowledged-writes gate.
+    update_every: int = 0
     #: arrival mix of tenants: (name, share) pairs.
     tenants: tuple = (("default", 1.0),)
     query_ids: tuple = EXPERIMENT_QUERIES
@@ -108,6 +113,15 @@ class _RequestMix:
                                    weights=self._shares)[0]
         return tenant, qid, params
 
+    def next_update(self) -> tuple[str, str, str]:
+        """Seeded (tenant, id, value) for one acknowledged write."""
+        config = self._config
+        ident = str(self._rng.randint(1, config.units))
+        value = f"tok{self._rng.randrange(16 ** 6):06x}"
+        tenant = self._rng.choices(self._tenants,
+                                   weights=self._shares)[0]
+        return tenant, ident, value
+
 
 @dataclass
 class _Outcome:
@@ -125,6 +139,12 @@ class _Outcome:
     server_seconds: float | None = None
     queued_ms: float | None = None
     ttfr_ms: float | None = None
+    #: acknowledged-write bookkeeping (``qid == "update"`` outcomes):
+    #: the target id, the written value, and the committed seq the
+    #: server acknowledged with.
+    update_id: str | None = None
+    update_value: str | None = None
+    seq: int | None = None
 
 
 @dataclass
@@ -172,6 +192,18 @@ class TrialResult:
         default_factory=LatencyHistogram)
     ttfr_seconds: LatencyHistogram = field(
         default_factory=LatencyHistogram)
+    #: acknowledged writes interleaved by ``update_every`` (window).
+    updates_sent: int = 0
+    updates_acked: int = 0
+    #: every acked write of the whole run (warm-up included) as
+    #: ``(seq, id, value)`` — the lost-write gate must cover every
+    #: acknowledgement, not just the measurement window.
+    acked_updates: list = field(default_factory=list)
+    #: sent-but-unacknowledged writes as ``(id, value)``: the ack was
+    #: lost (connection died, timeout, rejection) so the write is
+    #: *indeterminate* — it may or may not have committed.  A recovery
+    #: gate must accept either outcome for these.
+    unacked_updates: list = field(default_factory=list)
 
     @property
     def throughput_qps(self) -> float:
@@ -216,6 +248,16 @@ class TrialResult:
             "success_pct": round(self.success_pct, 3),
             "throughput_qps": round(self.throughput_qps, 3),
             "total_requests": self.total_requests,
+            "updates": {
+                "update_every": self.config.update_every,
+                "sent": self.updates_sent,
+                "acked": self.updates_acked,
+                "acked_total": len(self.acked_updates),
+                "indeterminate": len(self.unacked_updates),
+                "max_acked_seq": max(
+                    (seq for seq, __, ___ in self.acked_updates),
+                    default=0),
+            },
             "wall_seconds": self.wall_seconds,
             "latency": self.latencies.summary(),
             "decomposition": {
@@ -245,6 +287,11 @@ class TrialResult:
             f"[{self.success_pct:.1f}% success]",
             f"  latency: {self.latencies.format_ms()}",
         ]
+        if self.config.update_every:
+            lines.append(
+                f"  writes: {self.updates_acked}/{self.updates_sent} "
+                f"acked in window, {len(self.acked_updates)} acked "
+                "run-wide")
         for tenant, stats in sorted(self.per_tenant.items()):
             lines.append(f"  tenant {tenant}: {stats.completed} ok, "
                          f"{stats.rejected} rejected, "
@@ -277,9 +324,22 @@ def _aggregate(config: LoadConfig, mode: str,
     result = TrialResult(mode, target_rate, config, wall_seconds=wall)
     result.total_requests = len(outcomes)
     for outcome in outcomes:
+        if outcome.qid == "update" and outcome.seq is not None:
+            # Run-wide, warm-up included: every acknowledgement is a
+            # durability promise the recovery gate must verify.
+            result.acked_updates.append(
+                (outcome.seq, outcome.update_id,
+                 outcome.update_value))
+        elif outcome.qid == "update" and outcome.update_id is not None:
+            result.unacked_updates.append(
+                (outcome.update_id, outcome.update_value))
         if not measure_start <= outcome.scheduled < measure_end:
             continue
         result.offered += 1
+        if outcome.qid == "update":
+            result.updates_sent += 1
+            if outcome.kind == "ok":
+                result.updates_acked += 1
         stats = result.per_tenant.setdefault(outcome.tenant,
                                              _TenantStats())
         if outcome.kind == "ok":
@@ -313,6 +373,8 @@ def _aggregate(config: LoadConfig, mode: str,
             result.errors += 1
             stats.errors += 1
             _obs.count("serving.errors")
+    # Commit order, regardless of which stream carried the ack.
+    result.acked_updates.sort()
     return result
 
 
@@ -336,6 +398,31 @@ def _traced_query(client: ServingClient, config: LoadConfig,
             if reply.get("ttfr_ms") is not None:
                 _obs.annotate(ttfr_ms=reply["ttfr_ms"])
     return reply
+
+
+def _issue_update(client: ServingClient, config: LoadConfig,
+                  tenant: str, ident: str, value: str,
+                  scheduled: float) -> _Outcome:
+    """One acknowledged write, classified like a query (qid
+    ``"update"``); an acked outcome carries (seq, id, value) so the
+    lost-write gate can replay it against recovered state.  OSError
+    propagates — the caller owns dead-connection handling."""
+    try:
+        reply = client.update(ident, value=value,
+                              deadline=config.deadline, tenant=tenant)
+    except OSError:
+        raise
+    except Exception:  # noqa: BLE001 - counted
+        return _Outcome(tenant, "update", "error",
+                        scheduled=scheduled, update_id=ident,
+                        update_value=value)
+    latency = time.monotonic() - scheduled
+    outcome = _classify(reply, tenant, "update", latency, scheduled)
+    outcome.update_id = ident
+    outcome.update_value = value
+    if outcome.kind == "ok":
+        outcome.seq = reply.get("seq")
+    return outcome
 
 
 def _connect(config: LoadConfig, tenant: str) -> ServingClient:
@@ -377,11 +464,28 @@ def run_closed_loop(config: LoadConfig) -> TrialResult:
             out.append(_Outcome(tenant, "-", "error",
                                 scheduled=time.monotonic()))
             return
+        ops = 0
         try:
             while True:
                 now = time.monotonic()
                 if now >= end:
                     break
+                ops += 1
+                if (config.update_every > 0
+                        and ops % config.update_every == 0):
+                    __, ident, value = mix.next_update()
+                    try:
+                        out.append(_issue_update(
+                            client, config, tenant, ident, value, now))
+                    except OSError:
+                        out.append(_Outcome(tenant, "update", "error",
+                                            scheduled=now,
+                                            update_id=ident,
+                                            update_value=value))
+                        break
+                    if config.think_seconds > 0.0:
+                        time.sleep(config.think_seconds)
+                    continue
                 __, qid, params = mix.next()
                 try:
                     reply = _traced_query(client, config, qid, params)
@@ -447,6 +551,18 @@ def run_open_loop(config: LoadConfig,
                     out.append(_Outcome(tenant, qid, "error",
                                         scheduled=scheduled))
                     continue
+                if qid == "update":
+                    try:
+                        out.append(_issue_update(
+                            client, config, tenant, params["id"],
+                            params["value"], scheduled))
+                    except OSError:
+                        out.append(_Outcome(
+                            tenant, "update", "error",
+                            scheduled=scheduled,
+                            update_id=params["id"],
+                            update_value=params["value"]))
+                    continue
                 try:
                     reply = _traced_query(client, config, qid, params,
                                           tenant=tenant)
@@ -468,11 +584,17 @@ def run_open_loop(config: LoadConfig,
 
     mix = _RequestMix(config, config.seed)
     start = time.monotonic()
-    for offset in offsets:
+    for sent, offset in enumerate(offsets, start=1):
         scheduled = start + offset
         delay = scheduled - time.monotonic()
         if delay > 0:
             time.sleep(delay)
+        if (config.update_every > 0
+                and sent % config.update_every == 0):
+            tenant, ident, value = mix.next_update()
+            work.put((scheduled, tenant, "update",
+                      {"id": ident, "value": value}))
+            continue
         tenant, qid, params = mix.next()
         work.put((scheduled, tenant, qid, params))
     for __ in workers:

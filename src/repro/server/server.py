@@ -156,6 +156,16 @@ class ServerConfig:
     #: loads whose (class, units, CORPUS_SEED) snapshot exists skip
     #: generation + parsing and mmap-load pre-encoded node arrays.
     snapshot_dir: str | None = None
+    #: durable-mode root: each sharded spec journals its writes under
+    #: ``<data_dir>/<engine>-<class>-u<units>-s<shards>`` and a restart
+    #: against the same directory recovers to the exact committed
+    #: sequence instead of reloading a fresh corpus.
+    data_dir: str | None = None
+    #: WAL fsync policy for durable specs ("always"/"batch"/"off").
+    fsync: str = "batch"
+    #: background checkpoint period in seconds (0 = checkpoint only at
+    #: load time; the WAL then grows until an explicit checkpoint).
+    checkpoint_interval: float = 0.0
 
     def default_spec(self) -> EngineSpec:
         return EngineSpec(self.engine, self.class_key, self.units,
@@ -226,12 +236,28 @@ class _EngineCache:
                 if replication is not None:
                     record["replication"] = replication()
                 record["failovers"] = getattr(engine, "failovers", 0)
+            durability = getattr(engine, "durability_state", None)
+            if durability is not None:
+                state = durability()
+                if state is not None:
+                    record["durability"] = state
             warm.append(record)
         return {"hits": self.hits, "misses": self.misses,
                 "evictions": self.evictions, "warm": warm}
 
+    def _spec_data_dir(self, spec: EngineSpec):
+        """The durable subdirectory of one engine spec (None when the
+        server runs memory-only or the spec is not sharded)."""
+        if self._config.data_dir is None or spec.shards <= 1:
+            return None
+        from pathlib import Path
+        return (Path(self._config.data_dir)
+                / f"{spec.engine}-{spec.class_key}"
+                  f"-u{spec.units}-s{spec.shards}")
+
     def _load(self, spec: EngineSpec):
         db_class = CLASSES_BY_KEY[spec.class_key]
+        data_dir = self._spec_data_dir(spec)
         if spec.shards > 1:
             from ..core.shard import ShardedEngine
             # With replicas, the service floor moves *into* the engine
@@ -240,12 +266,38 @@ class _EngineCache:
             # the server-side throttle is skipped for such engines.
             floor = (self._config.throttle_seconds
                      if spec.replicas else 0.0)
-            engine = ShardedEngine(spec.engine, shards=spec.shards,
-                                   timeout=self._config.rpc_timeout,
-                                   degraded=self._config.degraded,
-                                   seed=self._config.seed,
-                                   replicas=spec.replicas,
-                                   service_floor=floor)
+            if data_dir is not None \
+                    and ShardedEngine.can_recover(data_dir):
+                # A previous server journaled this spec: recover to
+                # the committed sequence instead of reloading — the
+                # crash-recovery CI job greps for this announcement.
+                engine = ShardedEngine(
+                    spec.engine, shards=spec.shards,
+                    timeout=self._config.rpc_timeout,
+                    degraded=self._config.degraded,
+                    seed=self._config.seed, replicas=spec.replicas,
+                    service_floor=floor, recover_dir=data_dir,
+                    fsync=self._config.fsync,
+                    checkpoint_interval=(
+                        self._config.checkpoint_interval))
+                report = engine.last_recovery_report or {}
+                print(f"repro serve: recovered {spec.engine} "
+                      f"{spec.class_key} u{spec.units} from "
+                      f"{data_dir} (committed_seq "
+                      f"{report.get('committed_seq', 0)}, "
+                      f"{report.get('wal_records', 0)} wal records, "
+                      f"{report.get('corrupt_records', 0)} corrupt)",
+                      flush=True)
+                return engine
+            engine = ShardedEngine(
+                spec.engine, shards=spec.shards,
+                timeout=self._config.rpc_timeout,
+                degraded=self._config.degraded,
+                seed=self._config.seed,
+                replicas=spec.replicas,
+                service_floor=floor, data_dir=data_dir,
+                fsync=self._config.fsync,
+                checkpoint_interval=self._config.checkpoint_interval)
         else:
             engine = create(spec.engine)
         try:

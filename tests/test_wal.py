@@ -1,0 +1,250 @@
+"""Unit tests for the write-ahead log and checkpoint manifests.
+
+The corruption policy under test (see ``repro.core.wal``):
+
+* a torn tail on the last segment is truncated away on open;
+* a mid-log CRC mismatch is skipped with one typed
+  :class:`~repro.errors.WalCorruption` incident while replay continues;
+* an implausible frame length abandons the segment remainder;
+* the checkpoint manifest falls back to the previous checkpoint when
+  the newest one's snapshot files are gone.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+import pytest
+
+from repro.core import wal as wal_mod
+from repro.core.checkpoint import CheckpointManager
+from repro.core.corpus_io import write_snapshot_payloads
+from repro.core.wal import FSYNC_POLICIES, WriteAheadLog
+from repro.errors import ShardError
+from repro.xml.binary import encode_document
+from repro.xml.parser import parse_document
+
+OPS = [
+    (1, ("update_value", "order/@id", "1", "order_status", "tokA")),
+    (2, ("insert", "extra.xml", "<order/>")),
+    (3, ("update_value", "order/@id", "2", "order_status", "tokB")),
+]
+
+_HEADER_SIZE = struct.calcsize("<4sIIQ")
+_FRAME_HEADER = struct.Struct("<II")
+
+
+def filled_log(tmp_path, records=OPS, **kwargs):
+    log = WriteAheadLog(tmp_path, 0, **kwargs)
+    for seq, op in records:
+        log.append(seq, op)
+    log.close()
+    return log
+
+
+def segment_of(tmp_path) -> "Path":
+    segments = sorted((tmp_path / "shard-0" / "wal").glob("seg-*.wal"))
+    assert segments
+    return segments[-1]
+
+
+def frame_offsets(data: bytes) -> list[int]:
+    """Start offsets of every frame in one segment's bytes."""
+    offsets, offset = [], _HEADER_SIZE
+    while offset + _FRAME_HEADER.size <= len(data):
+        length, __ = _FRAME_HEADER.unpack_from(data, offset)
+        offsets.append(offset)
+        offset += _FRAME_HEADER.size + length
+    return offsets
+
+
+class TestAppendReplay:
+    def test_round_trip_across_reopen(self, tmp_path):
+        filled_log(tmp_path)
+        log = WriteAheadLog(tmp_path, 0)
+        assert log.records() == OPS
+        assert log.last_seq == 3
+        assert log.incidents == []
+        # Appends resume after the recovered tail.
+        log.append(4, ("delete", "extra.xml"))
+        log.close()
+        log = WriteAheadLog(tmp_path, 0)
+        assert [seq for seq, __ in log.records()] == [1, 2, 3, 4]
+        assert log.records(after_seq=3) == [(4, ("delete",
+                                                 "extra.xml"))]
+        log.close()
+
+    @pytest.mark.parametrize("fsync", FSYNC_POLICIES)
+    def test_fsync_policy_matrix(self, tmp_path, fsync):
+        filled_log(tmp_path, fsync=fsync)
+        log = WriteAheadLog(tmp_path, 0, fsync=fsync)
+        assert log.records() == OPS
+        log.close()
+
+    def test_unknown_fsync_policy_rejected(self, tmp_path):
+        with pytest.raises(ShardError):
+            WriteAheadLog(tmp_path, 0, fsync="sometimes")
+
+    def test_shard_mismatch_is_corruption(self, tmp_path):
+        filled_log(tmp_path)
+        log = WriteAheadLog(tmp_path, 1)
+        # shard 1 opening shard 0's directory is empty, not damaged
+        assert log.records() == []
+        log.close()
+        other = WriteAheadLog(tmp_path, 0)
+        assert other.records() == OPS
+        other.close()
+
+
+class TestTornTail:
+    def test_torn_frame_header_truncated(self, tmp_path):
+        filled_log(tmp_path)
+        path = segment_of(tmp_path)
+        intact = path.stat().st_size
+        with open(path, "ab") as handle:
+            handle.write(b"\x30\x00")  # 2 of 8 frame-header bytes
+        log = WriteAheadLog(tmp_path, 0)
+        assert path.stat().st_size == intact
+        assert log.records() == OPS
+        assert any("torn frame header" in str(incident)
+                   for incident in log.incidents)
+        log.close()
+
+    def test_torn_frame_payload_truncated(self, tmp_path):
+        filled_log(tmp_path)
+        path = segment_of(tmp_path)
+        intact = path.stat().st_size
+        payload = b'[9,["update_value","x"]]'
+        with open(path, "ab") as handle:
+            handle.write(_FRAME_HEADER.pack(len(payload),
+                                            zlib.crc32(payload)))
+            handle.write(payload[:5])  # crash mid-payload
+        log = WriteAheadLog(tmp_path, 0)
+        assert path.stat().st_size == intact
+        assert log.records() == OPS
+        assert log.last_seq == 3
+        assert any("torn frame payload" in str(incident)
+                   for incident in log.incidents)
+        log.close()
+
+
+class TestMidLogCorruption:
+    def corrupt_frame(self, tmp_path, frame_index, mutate):
+        path = segment_of(tmp_path)
+        data = bytearray(path.read_bytes())
+        offset = frame_offsets(bytes(data))[frame_index]
+        mutate(data, offset)
+        path.write_bytes(bytes(data))
+
+    def test_crc_mismatch_skipped_replay_continues(self, tmp_path):
+        filled_log(tmp_path)
+
+        def flip_payload_byte(data, offset):
+            data[offset + _FRAME_HEADER.size] ^= 0xFF
+
+        self.corrupt_frame(tmp_path, 1, flip_payload_byte)
+        log = WriteAheadLog(tmp_path, 0)
+        records = log.records()
+        # Record 2 is gone; 1 and 3 replay fine.
+        assert [seq for seq, __ in records] == [1, 3]
+        crc_incidents = [incident for incident in log.incidents
+                         if "crc mismatch" in str(incident)]
+        # Open scans once, records() scans again: one incident, not two.
+        assert len(crc_incidents) == 1
+        log.close()
+
+    def test_implausible_length_abandons_remainder(self, tmp_path):
+        filled_log(tmp_path)
+
+        def wreck_length(data, offset):
+            _FRAME_HEADER.pack_into(data, offset, 0xFFFFFFF0, 0)
+
+        self.corrupt_frame(tmp_path, 1, wreck_length)
+        log = WriteAheadLog(tmp_path, 0)
+        # Resync is impossible past a damaged length word.
+        assert [seq for seq, __ in log.records()] == [1]
+        assert any("implausible frame length" in str(incident)
+                   for incident in log.incidents)
+        log.close()
+
+
+class TestRotationCompaction:
+    def test_rotation_under_tiny_segments(self, tmp_path):
+        log = WriteAheadLog(tmp_path, 0, segment_bytes=64)
+        for seq in range(1, 9):
+            log.append(seq, ("update_value", "order/@id", str(seq),
+                             "order_status", f"tok{seq}"))
+        assert len(log.segments()) > 1
+        assert [seq for seq, __ in log.records()] == list(range(1, 9))
+        log.close()
+
+    def test_truncate_below_deletes_whole_segments(self, tmp_path):
+        log = WriteAheadLog(tmp_path, 0, segment_bytes=64)
+        for seq in range(1, 9):
+            log.append(seq, ("update_value", "order/@id", str(seq),
+                             "order_status", f"tok{seq}"))
+        assert log.truncate_below(8) >= 1
+        # Everything checkpointed: only the empty live segment remains.
+        assert log.records(after_seq=0) == []
+        assert log.disk_bytes() <= 64
+        log.append(9, ("delete", "extra.xml"))
+        assert [seq for seq, __ in log.records()] == [9]
+        log.close()
+
+    def test_truncate_below_keeps_uncheckpointed_suffix(self, tmp_path):
+        log = WriteAheadLog(tmp_path, 0, segment_bytes=64)
+        for seq in range(1, 9):
+            log.append(seq, ("update_value", "order/@id", str(seq),
+                             "order_status", f"tok{seq}"))
+        log.truncate_below(4)
+        survivors = [seq for seq, __ in log.records(after_seq=4)]
+        assert survivors == [5, 6, 7, 8]
+        log.close()
+
+
+class TestCheckpointManifest:
+    def write_checkpoint(self, manager, seq):
+        path = manager.snapshot_path(seq, 0)
+        payload = encode_document(
+            parse_document(f"<doc seq='{seq}'/>", name="doc.xml"))
+        write_snapshot_payloads(
+            path, [("doc.xml", payload,
+                    {"ordinal": 0, "replicated": False})],
+            {"checkpoint_seq": seq})
+        return manager.record(seq=seq, class_key="dcmd",
+                              engine_key="native", shards=1,
+                              snapshot_paths=[path], index_paths=[],
+                              next_ordinal=1, home=None)
+
+    def test_keep_bound_drops_oldest_snapshot(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        self.write_checkpoint(manager, 5)
+        self.write_checkpoint(manager, 9)
+        manifest = self.write_checkpoint(manager, 12)
+        kept = [entry["seq"] for entry in manifest["checkpoints"]]
+        assert kept == [9, 12]
+        assert not manager.snapshot_path(5, 0).exists()
+        assert manager.oldest_retained_seq() == 9
+
+    def test_latest_valid_falls_back_past_deleted_snapshot(
+            self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        self.write_checkpoint(manager, 5)
+        self.write_checkpoint(manager, 9)
+        manager.snapshot_path(9, 0).unlink()
+        entry, snapshots, incidents = manager.latest_valid()
+        try:
+            assert entry["seq"] == 5
+        finally:
+            for snapshot in snapshots:
+                snapshot.close()
+        assert len(incidents) == 1
+        assert "falling back" in incidents[0]
+
+    def test_latest_valid_none_when_all_unusable(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        self.write_checkpoint(manager, 5)
+        manager.snapshot_path(5, 0).unlink()
+        assert manager.latest_valid() is None
+        assert CheckpointManager.exists(tmp_path)
